@@ -1,0 +1,84 @@
+// Ablation A3 — the §3 query-sensor matching example: "if it is known that the worst
+// case notification latency for typical queries is 10 minutes, the proxy can instruct
+// remote sensors to set its radio duty-cycling parameters accordingly in order to
+// conserve energy."
+//
+// Sweeps the query latency requirement; the matcher maps it to an LPL check interval;
+// we measure achieved pull latency and idle radio energy at each setting.
+
+#include <cstdio>
+
+#include "src/core/deployment.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+int main() {
+  std::printf("Ablation A3: latency requirement -> duty cycle -> energy\n");
+  std::printf("(single sensor; every query is a tight-tolerance NOW query forcing a pull)\n\n");
+
+  const Duration bounds[] = {Seconds(2), Seconds(10), Seconds(60), Minutes(5), Minutes(10),
+                             Minutes(30)};
+  TextTable table;
+  table.SetHeader({"latency_bound", "lpl_interval", "pull_lat_mean_s", "pull_lat_p95_s",
+                   "met_bound", "idle_J_per_day"});
+
+  for (Duration bound : bounds) {
+    DeploymentConfig config;
+    config.num_proxies = 1;
+    config.sensors_per_proxy = 1;
+    config.policy = PushPolicy::kNone;  // isolate the pull path
+    config.proxy_mode = ProxyMode::kAlwaysPull;
+    config.manage_models = false;
+    config.enable_matcher = true;
+    config.seed = 4242;
+    Deployment deployment(config);
+    deployment.Start();
+    deployment.RunUntil(Hours(1));
+
+    const NodeId sensor = Deployment::SensorId(0, 0);
+    SampleSet latency_s;
+    int met = 0;
+    int total = 0;
+    // First a burst of queries so the matcher learns the requirement, then measure.
+    for (int i = 0; i < 40; ++i) {
+      QuerySpec spec;
+      spec.type = QueryType::kNow;
+      spec.sensor_id = sensor;
+      spec.tolerance = 0.05;
+      spec.latency_bound = bound;
+      const UnifiedQueryResult result = deployment.QueryAndWait(spec);
+      deployment.RunUntil(deployment.sim().Now() + Minutes(5));
+      if (i < 10) {
+        continue;  // warmup while the matcher converges
+      }
+      ++total;
+      if (result.answer.status.ok()) {
+        latency_s.Add(ToSeconds(result.Latency()));
+        if (result.Latency() <= bound) {
+          ++met;
+        }
+      }
+    }
+    // Idle energy at the matched duty cycle, measured over a quiet day.
+    deployment.net().SettleIdleEnergy();
+    const double before = deployment.sensor(0, 0).meter().RadioTotal();
+    deployment.RunUntil(deployment.sim().Now() + Days(1));
+    deployment.net().SettleIdleEnergy();
+    const double idle_j = deployment.sensor(0, 0).meter().RadioTotal() - before;
+
+    table.AddRow({FormatDuration(bound),
+                  FormatDuration(deployment.net().LplInterval(sensor)),
+                  TextTable::Num(latency_s.mean(), 2),
+                  TextTable::Num(latency_s.Quantile(0.95), 2),
+                  TextTable::Num(static_cast<double>(met) / total, 2),
+                  TextTable::Num(idle_j, 2)});
+  }
+
+  std::printf("=== A3: duty-cycle matching ===\n");
+  table.Print();
+  std::printf("\nClaim check: looser latency bounds let the matcher lengthen the LPL\n"
+              "interval, cutting idle listening energy while still meeting the bound.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Ablation A8 — failure injection against the §5 replication claim: "caches and
+// prediction models at the wireless proxies may need to be further replicated at the
+// wired proxies to enable low-latency query responses" (and availability).
+//
+// Part 1: packet-loss sweep — query success and latency under increasingly lossy
+// sensor links. Part 2: proxy failure — availability with and without replication.
+
+#include <cstdio>
+
+#include "src/core/deployment.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+namespace {
+
+struct QueryStatsOut {
+  double success = 0.0;
+  double mean_lat_ms = 0.0;
+  double extrap_share = 0.0;
+};
+
+QueryStatsOut IssueQueries(Deployment& deployment, int count, double tolerance,
+                           uint64_t seed) {
+  Pcg32 rng(seed);
+  int ok = 0;
+  int extrapolated = 0;
+  SampleSet latency;
+  for (int i = 0; i < count; ++i) {
+    QuerySpec spec;
+    const int p = static_cast<int>(rng.UniformInt(0, deployment.config().num_proxies - 1));
+    const int s =
+        static_cast<int>(rng.UniformInt(0, deployment.config().sensors_per_proxy - 1));
+    spec.sensor_id = Deployment::SensorId(p, s);
+    spec.tolerance = tolerance;
+    if (rng.Bernoulli(0.3)) {
+      spec.type = QueryType::kPast;
+      const SimTime start = deployment.sim().Now() - Hours(3) -
+                            static_cast<Duration>(rng.UniformInt(0, Hours(6)));
+      spec.range = TimeInterval{start, start + Minutes(15)};
+    }
+    const UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    if (result.answer.status.ok()) {
+      ++ok;
+      latency.Add(ToMillis(result.Latency()));
+      if (result.answer.source == AnswerSource::kExtrapolated) {
+        ++extrapolated;
+      }
+    }
+    deployment.RunUntil(deployment.sim().Now() + Minutes(3));
+  }
+  QueryStatsOut out;
+  out.success = static_cast<double>(ok) / count;
+  out.mean_lat_ms = latency.mean();
+  out.extrap_share = ok > 0 ? static_cast<double>(extrapolated) / ok : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A8: failure injection\n\n");
+
+  // --- Part 1: frame loss sweep ---
+  TextTable loss_table;
+  loss_table.SetHeader({"frame_loss", "push_drop_rate", "retries_per_frame",
+                        "query_success", "mean_lat_ms", "J_per_day"});
+  for (double loss : {0.0, 0.1, 0.25, 0.4, 0.5}) {
+    DeploymentConfig config;
+    config.num_proxies = 1;
+    config.sensors_per_proxy = 4;
+    config.net.default_frame_loss = loss;
+    config.seed = 600;
+    Deployment deployment(config);
+    deployment.Start();
+    deployment.RunUntil(Days(2));
+    const QueryStatsOut q = IssueQueries(deployment, 40, 0.8, 601);
+
+    const NetStats& net = deployment.net().stats();
+    const double drop_rate =
+        net.messages_sent > 0
+            ? static_cast<double>(net.messages_dropped) / net.messages_sent
+            : 0.0;
+    const double retries =
+        net.frames_sent > 0
+            ? static_cast<double>(net.frame_retries) / net.frames_sent
+            : 0.0;
+    loss_table.AddRow({TextTable::Num(loss, 2), TextTable::Num(drop_rate, 3),
+                       TextTable::Num(retries, 3), TextTable::Num(q.success, 2),
+                       TextTable::Num(q.mean_lat_ms, 1),
+                       TextTable::Num(deployment.MeanSensorEnergy() /
+                                          ToDays(deployment.sim().Now()), 1)});
+  }
+  std::printf("=== A8a: packet-loss sweep ===\n");
+  loss_table.Print();
+
+  // --- Part 2: proxy failure with/without replication ---
+  TextTable failover_table;
+  failover_table.SetHeader({"replication", "success_before", "success_after",
+                            "failovers", "extrap_share_after"});
+  for (bool replication : {false, true}) {
+    DeploymentConfig config;
+    config.num_proxies = 2;
+    config.sensors_per_proxy = 4;
+    config.enable_replication = replication;
+    config.seed = 700;
+    Deployment deployment(config);
+    deployment.Start();
+    deployment.RunUntil(Days(2));
+
+    const QueryStatsOut before = IssueQueries(deployment, 30, 1.0, 701);
+    deployment.net().SetNodeDown(Deployment::ProxyId(0), true);
+    const QueryStatsOut after = IssueQueries(deployment, 30, 1.0, 702);
+
+    failover_table.AddRow({replication ? "on" : "off", TextTable::Num(before.success, 2),
+                           TextTable::Num(after.success, 2),
+                           TextTable::Int(static_cast<long long>(
+                               deployment.store().stats().failovers)),
+                           TextTable::Num(after.extrap_share, 2)});
+  }
+  std::printf("\n=== A8b: proxy failure and replica failover ===\n");
+  failover_table.Print();
+  std::printf("\nClaim check: retries absorb moderate loss (success stays high, retries and\n"
+              "energy climb); without replication a proxy failure takes its sensors'\n"
+              "queries down, with replication the peer keeps answering from replicated\n"
+              "cache + models.\n");
+  return 0;
+}

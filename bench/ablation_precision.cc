@@ -1,0 +1,95 @@
+// Ablation A2 — the §3 extrapolation claim: "extrapolated data can mask cache misses
+// and answer queries so long as the query precision is met."
+//
+// Sweeps the query error tolerance and reports where answers come from (cache /
+// extrapolation / sensor pull) and what they cost in latency and sensor traffic.
+
+#include <cstdio>
+
+#include "src/core/deployment.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+int main() {
+  std::printf("Ablation A2: query tolerance vs answer source and latency\n");
+  std::printf("(2 proxies x 4 sensors, model-driven push at 0.5 C, 2-day warmup)\n\n");
+
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 4;
+  config.policy = PushPolicy::kModelDriven;
+  config.model_tolerance = 0.5;
+  config.seed = 777;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(2));
+
+  const double tolerances[] = {0.1, 0.25, 0.5, 1.0, 2.0, 4.0};
+  TextTable table;
+  table.SetHeader({"tolerance_C", "hit", "extrapolated", "pull", "failed", "mean_lat_ms",
+                   "p95_lat_ms", "pulls_issued"});
+
+  Pcg32 rng(99);
+  for (double tolerance : tolerances) {
+    int hit = 0;
+    int extrapolated = 0;
+    int pull = 0;
+    int failed = 0;
+    SampleSet latency_ms;
+    const uint64_t pulls_before = deployment.proxy(0).stats().pulls +
+                                  deployment.proxy(1).stats().pulls;
+    for (int i = 0; i < 60; ++i) {
+      QuerySpec spec;
+      // Mix NOW and short PAST queries across sensors.
+      const int p = static_cast<int>(rng.UniformInt(0, 1));
+      const int s = static_cast<int>(rng.UniformInt(0, 3));
+      spec.sensor_id = Deployment::SensorId(p, s);
+      spec.tolerance = tolerance;
+      if (rng.Bernoulli(0.4)) {
+        spec.type = QueryType::kPast;
+        const SimTime start =
+            deployment.sim().Now() - Hours(6) -
+            static_cast<Duration>(rng.UniformInt(0, Hours(12)));
+        spec.range = TimeInterval{start, start + Minutes(20)};
+      }
+      const UnifiedQueryResult result = deployment.QueryAndWait(spec);
+      if (!result.answer.status.ok()) {
+        ++failed;
+        continue;
+      }
+      latency_ms.Add(ToMillis(result.Latency()));
+      switch (result.answer.source) {
+        case AnswerSource::kCacheHit:
+          ++hit;
+          break;
+        case AnswerSource::kExtrapolated:
+          ++extrapolated;
+          break;
+        case AnswerSource::kSensorPull:
+          ++pull;
+          break;
+        case AnswerSource::kFailed:
+          break;
+      }
+      // Space queries out so pulled data ages out of the freshness window.
+      deployment.RunUntil(deployment.sim().Now() + Minutes(7));
+    }
+    const uint64_t pulls_after =
+        deployment.proxy(0).stats().pulls + deployment.proxy(1).stats().pulls;
+    table.AddRow({TextTable::Num(tolerance, 2), TextTable::Int(hit),
+                  TextTable::Int(extrapolated), TextTable::Int(pull),
+                  TextTable::Int(failed), TextTable::Num(latency_ms.mean(), 1),
+                  TextTable::Num(latency_ms.Quantile(0.95), 1),
+                  TextTable::Int(static_cast<long long>(pulls_after - pulls_before))});
+  }
+
+  std::printf("=== A2: answer source vs tolerance ===\n");
+  table.Print();
+  std::printf("\nClaim check: tight tolerances force radio pulls (slow, costly); once the\n"
+              "tolerance clears the push threshold (0.5 C), extrapolation answers almost\n"
+              "everything at millisecond latency.\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Ablation A1 — the §2 claim that "a pure pull-based approach ... will likely fail to
+// capture [unexpected events]", and that model-driven push beats value-driven and
+// periodic reporting on the energy/fidelity/event-latency frontier.
+//
+// Identical 7-day temperature world (with injected transient events) under five sensor
+// reporting policies; we report sensor energy, proxy-side reconstruction error, and
+// rare-event detection.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "src/core/deployment.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+namespace {
+
+struct PolicyResult {
+  double energy_j_day = 0.0;
+  double cache_rmse = 0.0;
+  double push_fraction = 0.0;
+  double event_detect = 0.0;
+  double event_latency_s = 0.0;
+};
+
+PolicyResult RunPolicy(PushPolicy policy, ProxyMode mode, bool manage_models) {
+  DeploymentConfig config;
+  config.num_proxies = 1;
+  config.sensors_per_proxy = 4;
+  config.policy = policy;
+  config.proxy_mode = mode;
+  config.manage_models = manage_models;
+  config.model_tolerance = 0.5;
+  config.value_delta = 0.5;  // same threshold for a fair fight
+  config.batch_interval = Hours(1);
+  config.field.events_per_day = 1.0;
+  config.seed = 1234;  // identical world across policies
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(7));
+
+  PolicyResult result;
+  result.energy_j_day = deployment.MeanSensorEnergy() / 7.0;
+
+  // Proxy-side reconstruction: nearest cache entry (or nothing) on a 10-min grid over
+  // the post-warmup window, against ground truth.
+  double sq = 0.0;
+  int64_t points = 0;
+  uint64_t pushed = 0;
+  uint64_t samples = 0;
+  uint64_t events = 0;
+  uint64_t detected = 0;
+  RunningStats latency;
+  for (int s = 0; s < config.sensors_per_proxy; ++s) {
+    const NodeId id = Deployment::SensorId(0, s);
+    const SummaryCache* cache = deployment.proxy(0).cache(id);
+    for (SimTime t = Days(2); t < Days(7); t += Minutes(10)) {
+      const double truth = deployment.field().TruthAt(s, t);
+      auto near = cache->Nearest(t, Minutes(10));
+      double estimate = truth;  // perfect if present
+      if (near.has_value()) {
+        estimate = near->second.value;
+      } else {
+        auto latest = cache->Latest();
+        estimate = latest.has_value() ? latest->second.value : 20.0;
+      }
+      sq += (estimate - truth) * (estimate - truth);
+      ++points;
+    }
+    pushed += deployment.sensor(0, s).stats().pushed_samples;
+    samples += deployment.sensor(0, s).stats().samples;
+    for (const TransientEvent& event :
+         deployment.field().EventsIn(s, TimeInterval{Days(2), Days(7) - Hours(1)})) {
+      if (std::abs(event.magnitude) < 2.0) {
+        continue;
+      }
+      ++events;
+      for (const auto& entry :
+           cache->RangeEntries({event.start, event.start + Minutes(10)})) {
+        // Judge by arrival time: a late-delivered batch covering the window is not a
+        // timely detection.
+        if (entry.source != CacheSource::kExtrapolated &&
+            entry.inserted_at <= event.start + Minutes(10)) {
+          ++detected;
+          latency.Add(ToSeconds(entry.inserted_at - event.start));
+          break;
+        }
+      }
+    }
+  }
+  result.cache_rmse = std::sqrt(sq / static_cast<double>(points));
+  result.push_fraction = static_cast<double>(pushed) / static_cast<double>(samples);
+  result.event_detect = events > 0 ? static_cast<double>(detected) / events : 0.0;
+  result.event_latency_s = latency.mean();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A1: reporting policies on an identical 7-day world\n"
+              "(4 sensors, 1 C-scale transients ~1/day/sensor, threshold 0.5 C)\n\n");
+  TextTable table;
+  table.SetHeader({"policy", "J_per_day", "push_frac", "cache_rmse_C", "event_detect",
+                   "event_lat_s"});
+  struct Row {
+    const char* name;
+    PushPolicy policy;
+    ProxyMode mode;
+    bool models;
+  };
+  const Row rows[] = {
+      {"pull-only (no push)", PushPolicy::kNone, ProxyMode::kAlwaysPull, false},
+      {"every-sample stream", PushPolicy::kEverySample, ProxyMode::kCacheOnly, false},
+      {"batched hourly", PushPolicy::kBatched, ProxyMode::kCacheOnly, false},
+      {"value-driven d=0.5", PushPolicy::kValueDriven, ProxyMode::kCacheOnly, false},
+      {"model-driven (PRESTO)", PushPolicy::kModelDriven, ProxyMode::kPresto, true},
+  };
+  for (const Row& row : rows) {
+    std::printf("running %s...\n", row.name);
+    const PolicyResult r = RunPolicy(row.policy, row.mode, row.models);
+    table.AddRow({row.name, TextTable::Num(r.energy_j_day, 1),
+                  TextTable::Num(r.push_fraction, 3), TextTable::Num(r.cache_rmse, 2),
+                  TextTable::Num(r.event_detect, 2), TextTable::Num(r.event_latency_s, 1)});
+  }
+  std::printf("\n=== A1: push policy frontier ===\n");
+  table.Print();
+  std::printf("\nClaim check: pull-only detects ~no events; model-driven detects them at\n"
+              "stream-class latency for a small fraction of streaming's energy, and pushes\n"
+              "fewer samples than value-driven at equal threshold.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation A9 — the §3 claim that "cached data from other nearby sensors ... can be
+// used for such extrapolation": when a sensor goes silent, the proxy can answer for it
+// by conditioning a multivariate Gaussian on its neighbours (BBQ-style) instead of (or
+// better than) its own temporal model.
+//
+// A 16-sensor correlated field; one sensor is silenced; we compare marginal, temporal,
+// and spatial-conditional estimates of the silent sensor against ground truth, as a
+// function of the field's spatial correlation.
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/models/ar.h"
+#include "src/models/spatial.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/workload/temperature.h"
+
+using namespace presto;
+
+namespace {
+
+constexpr Duration kPeriod = Seconds(31);
+constexpr int kSensors = 16;
+constexpr int kTarget = 5;
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A9: spatial extrapolation for a silent sensor\n");
+  std::printf("(16-sensor field, sensor %d silenced after day 3, estimates vs truth)\n\n",
+              kTarget);
+
+  TextTable table;
+  table.SetHeader({"correlation", "marginal_rmse", "temporal_rmse", "spatial_rmse",
+                   "spatial_claimed_sigma"});
+
+  for (double rho : {0.95, 0.85, 0.6, 0.3}) {
+    TemperatureParams world;
+    world.seed = 909;
+    world.events_per_day = 0.0;
+    TemperatureField field(kSensors, world, rho);
+
+    // Train on days 0-3: snapshots for the joint Gaussian, history for the AR model.
+    std::vector<std::vector<double>> snapshots;
+    std::vector<Sample> target_history;
+    for (SimTime t = 0; t < Days(3); t += Minutes(10)) {
+      std::vector<double> row(kSensors);
+      for (int s = 0; s < kSensors; ++s) {
+        row[static_cast<size_t>(s)] = field.MeasureAt(s, t);
+      }
+      snapshots.push_back(std::move(row));
+    }
+    for (SimTime t = 0; t < Days(3); t += kPeriod) {
+      target_history.push_back(Sample{t, field.MeasureAt(kTarget, t)});
+    }
+
+    SpatialGaussianModel spatial;
+    if (!spatial.Fit(snapshots).ok()) {
+      continue;
+    }
+    ModelConfig mc;
+    mc.sample_period = kPeriod;
+    SeasonalArModel temporal(mc);
+    if (!temporal.Fit(target_history).ok()) {
+      continue;
+    }
+
+    // Evaluate on day 3-5: the target is silent; neighbours report fresh values.
+    RunningStats marginal_err;
+    RunningStats temporal_err;
+    RunningStats spatial_err;
+    RunningStats claimed_sigma;
+    for (SimTime t = Days(3); t < Days(5); t += Minutes(30)) {
+      const double truth = field.TruthAt(kTarget, t);
+      std::vector<std::pair<int, double>> observed;
+      for (int s = 0; s < kSensors; ++s) {
+        if (s != kTarget) {
+          observed.emplace_back(s, field.MeasureAt(s, t));
+        }
+      }
+      auto marginal = spatial.Condition(kTarget, {});
+      auto conditioned = spatial.Condition(kTarget, observed);
+      if (!marginal.ok() || !conditioned.ok()) {
+        continue;
+      }
+      marginal_err.Add(std::abs(marginal->value - truth));
+      spatial_err.Add(std::abs(conditioned->value - truth));
+      claimed_sigma.Add(conditioned->stddev);
+      temporal_err.Add(std::abs(temporal.Predict(t).value - truth));
+    }
+    auto rms = [](const RunningStats& s) {
+      return std::sqrt(s.mean() * s.mean() + s.variance());
+    };
+    table.AddRow({TextTable::Num(rho, 2), TextTable::Num(rms(marginal_err), 2),
+                  TextTable::Num(rms(temporal_err), 2), TextTable::Num(rms(spatial_err), 2),
+                  TextTable::Num(claimed_sigma.mean(), 2)});
+  }
+
+  std::printf("=== A9: silent-sensor estimation error ===\n");
+  table.Print();
+  std::printf("\nClaim check: with strong spatial correlation, conditioning on live\n"
+              "neighbours beats the sensor's own (aging) temporal forecast; the advantage\n"
+              "fades as correlation drops — and the model's claimed sigma tracks that.\n");
+  return 0;
+}

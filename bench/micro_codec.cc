@@ -1,0 +1,94 @@
+// Microbench M2 — wavelet codec: transform/denoise/codec throughput and the
+// bytes-per-sample the energy model ultimately charges, across batch sizes (the
+// Figure 2 mechanism at micro scale).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+#include "src/wavelet/codec.h"
+#include "src/wavelet/denoise.h"
+#include "src/wavelet/transform.h"
+
+namespace presto {
+namespace {
+
+std::vector<double> Signal(size_t n) {
+  Pcg32 rng(7);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 20.0 + 4.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 2786.0) +
+             rng.Gaussian(0, 0.12);
+  }
+  return out;
+}
+
+void BM_ForwardDwt(benchmark::State& state) {
+  const auto signal = Signal(static_cast<size_t>(state.range(0)));
+  const WaveletKind kind = state.range(1) == 0 ? WaveletKind::kHaar
+                                               : WaveletKind::kDaubechies4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ForwardDwt(signal, kind, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(kind == WaveletKind::kHaar ? "haar" : "d4");
+}
+BENCHMARK(BM_ForwardDwt)->ArgsProduct({{256, 4096}, {0, 1}});
+
+void BM_CompressBatch(benchmark::State& state) {
+  const auto signal = Signal(static_cast<size_t>(state.range(0)));
+  CodecParams params;
+  params.quant_step = 0.05;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto out = EncodeWaveletBatch(0, Seconds(31), signal, params);
+    bytes = out.ok() ? out->size() : 0;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel(std::to_string(8.0 * static_cast<double>(bytes) /
+                                static_cast<double>(state.range(0))) +
+                 " bits/sample");
+}
+BENCHMARK(BM_CompressBatch)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Arg(4096);
+
+void BM_DecompressBatch(benchmark::State& state) {
+  const auto signal = Signal(static_cast<size_t>(state.range(0)));
+  CodecParams params;
+  params.quant_step = 0.05;
+  const auto encoded = EncodeWaveletBatch(0, Seconds(31), signal, params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeBatch(*encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecompressBatch)->Arg(512)->Arg(4096);
+
+void BM_Denoise(benchmark::State& state) {
+  const auto signal = Signal(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Denoise(signal, WaveletKind::kHaar, 0, ThresholdMode::kHard));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Denoise);
+
+void BM_EncodeIrregular(benchmark::State& state) {
+  Pcg32 rng(9);
+  std::vector<Sample> samples;
+  SimTime t = 0;
+  for (int i = 0; i < 1024; ++i) {
+    t += rng.UniformInt(1, 90) * kSecond;
+    samples.push_back(Sample{t, rng.Gaussian(20, 3)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeIrregularBatch(samples));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EncodeIrregular);
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,110 @@
+// Microbench M3 — the sensor archive: append/query/mount cost and the per-record
+// energy the flash model charges (the storage side of the paper's §1 "storage is two
+// orders of magnitude cheaper than communication" argument).
+
+#include <benchmark/benchmark.h>
+
+#include "src/flash/archive_store.h"
+#include "src/util/rng.h"
+
+namespace presto {
+namespace {
+
+constexpr Duration kPeriod = Seconds(31);
+
+FlashParams BenchFlash() {
+  FlashParams p;
+  p.num_blocks = 1024;  // 4 MiB
+  return p;
+}
+
+void BM_ArchiveAppend(benchmark::State& state) {
+  EnergyMeter meter;
+  FlashDevice dev(BenchFlash(), &meter);
+  ArchiveParams params;
+  params.nominal_sample_period = kPeriod;
+  ArchiveStore store(&dev, params);
+  Pcg32 rng(3);
+  SimTime t = 0;
+  int64_t records = 0;
+  for (auto _ : state) {
+    t += kPeriod;
+    benchmark::DoNotOptimize(store.Append(Sample{t, rng.Gaussian(20, 3)}));
+    ++records;
+  }
+  state.SetItemsProcessed(records);
+  state.counters["uJ_per_record"] =
+      records > 0 ? 1e6 * meter.Total() / static_cast<double>(records) : 0;
+}
+BENCHMARK(BM_ArchiveAppend);
+
+void BM_ArchiveQueryRange(benchmark::State& state) {
+  FlashDevice dev(BenchFlash(), nullptr);
+  ArchiveParams params;
+  params.nominal_sample_period = kPeriod;
+  ArchiveStore store(&dev, params);
+  SimTime t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    t += kPeriod;
+    (void)store.Append(Sample{t, 20.0});
+  }
+  (void)store.Flush();
+  Pcg32 rng(4);
+  const Duration window = state.range(0) * kMinute;
+  for (auto _ : state) {
+    const SimTime start = static_cast<SimTime>(rng.UniformInt(0, t - window));
+    benchmark::DoNotOptimize(store.Query(TimeInterval{start, start + window}));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + "min");
+}
+BENCHMARK(BM_ArchiveQueryRange)->Arg(10)->Arg(60)->Arg(360);
+
+void BM_ArchiveMount(benchmark::State& state) {
+  FlashDevice dev(BenchFlash(), nullptr);
+  ArchiveParams params;
+  params.nominal_sample_period = kPeriod;
+  {
+    ArchiveStore store(&dev, params);
+    SimTime t = 0;
+    for (int i = 0; i < 100000; ++i) {
+      t += kPeriod;
+      (void)store.Append(Sample{t, 20.0});
+    }
+    (void)store.Flush();
+  }
+  for (auto _ : state) {
+    ArchiveStore store(&dev, params);
+    benchmark::DoNotOptimize(store.Mount());
+  }
+}
+BENCHMARK(BM_ArchiveMount);
+
+void BM_AgingPass(benchmark::State& state) {
+  // Keep a small store permanently at the aging threshold and measure pass cost.
+  FlashParams small;
+  small.num_blocks = 32;
+  for (auto _ : state) {
+    state.PauseTiming();
+    FlashDevice dev(small, nullptr);
+    ArchiveParams params;
+    params.nominal_sample_period = kPeriod;
+    ArchiveStore store(&dev, params);
+    SimTime t = 0;
+    // Fill to just below the reserve so the next append crosses it.
+    while (store.FreeBlocks() > params.reserve_blocks + 1) {
+      t += kPeriod;
+      (void)store.Append(Sample{t, 20.0});
+    }
+    state.ResumeTiming();
+    // This append opens a new segment and triggers exactly one aging pass.
+    while (store.stats().aging_passes == 0) {
+      t += kPeriod;
+      (void)store.Append(Sample{t, 20.0});
+    }
+    benchmark::DoNotOptimize(store.stats().aging_passes);
+  }
+}
+BENCHMARK(BM_AgingPass);
+
+}  // namespace
+}  // namespace presto

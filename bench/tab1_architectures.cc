@@ -1,0 +1,67 @@
+// Reproduces Table 1 of the paper — the comparison of sensor-data architectures — as a
+// *measured* table: the same simulated world and query stream run under each
+// architecture row, with each qualitative column replaced by the metric it implies.
+//
+//   Diffusion/Cougar row  -> direct-query  (queries travel to sensors; no prediction)
+//   TinyDB-BBQ/Aurora row -> streaming     (push everything to the proxy tier)
+//   PRESTO row            -> proxy querying + sensor querying on miss, caching +
+//                            archival, prediction, hierarchical & energy-aware
+//
+// Columns map as: "NOW queries" -> latency/success; "PAST queries" -> success/fidelity;
+// "Prediction" -> extrapolated share; "Energy-aware" -> J per sensor-day and
+// messages/day; the rare-event columns quantify the push-based advantage of §2.
+
+#include <cstdio>
+
+#include "src/core/architectures.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+int main() {
+  ArchitectureBenchConfig config;
+  config.warmup = Days(2);
+  config.query_window = Days(2);
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 8;
+  config.queries_per_hour = 24.0;
+  config.past_fraction = 0.3;
+  config.events_per_day = 1.0;
+  config.seed = 42;
+
+  std::printf("PRESTO Table 1 reproduction: identical world (%d sensors, %.0f days,\n"
+              "%.0f queries/h, %.0f%% PAST) under three architectures\n\n",
+              config.num_proxies * config.sensors_per_proxy,
+              ToDays(config.warmup + config.query_window), config.queries_per_hour,
+              100.0 * config.past_fraction);
+
+  TextTable table;
+  table.SetHeader({"architecture", "now_lat_ms", "now_p95_ms", "now_ok", "past_ok",
+                   "past_rmse_C", "extrap_share", "hit_share", "pull_share",
+                   "J_per_day", "msgs_per_day", "event_detect", "event_lat_s"});
+
+  for (ArchitectureKind kind : {ArchitectureKind::kDirectQuery,
+                                ArchitectureKind::kStreaming, ArchitectureKind::kPresto}) {
+    std::printf("running %s...\n", ArchitectureName(kind));
+    const ArchitectureMetrics m = RunArchitectureBench(kind, config);
+    table.AddRow({m.name, TextTable::Num(m.now_latency_ms_mean, 1),
+                  TextTable::Num(m.now_latency_ms_p95, 1), TextTable::Num(m.now_success, 2),
+                  TextTable::Num(m.past_success, 2), TextTable::Num(m.past_rmse, 2),
+                  TextTable::Num(m.extrapolated_share, 2),
+                  TextTable::Num(m.cache_hit_share, 2), TextTable::Num(m.pull_share, 2),
+                  TextTable::Num(m.energy_j_per_sensor_day, 1),
+                  TextTable::Num(m.messages_per_sensor_day, 1),
+                  TextTable::Num(m.event_detection_rate, 2),
+                  TextTable::Num(m.event_latency_s, 1)});
+  }
+
+  std::printf("\n=== Table 1 (measured analogue) ===\n");
+  table.Print();
+  std::printf(
+      "\nPaper's qualitative claims, quantified:\n"
+      "  direct-query: lowest energy but second-scale NOW latency (not interactive)\n"
+      "  streaming:    interactive but burns energy pushing every sample\n"
+      "  presto:       streaming-class latency at near-direct energy, only row with\n"
+      "                prediction (extrapolated answers) and sensor-archival PAST\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Quickstart: build a small PRESTO deployment, let it learn, and query it.
+//
+//   ./examples/quickstart
+//
+// Two tethered proxies manage eight battery-powered temperature sensors. Sensors
+// archive everything locally in flash and push only what their proxy-installed model
+// cannot predict. We then issue NOW and PAST queries through the unified store and
+// print where each answer came from (cache / model extrapolation / sensor pull), what
+// it cost, and how the sensors' energy was spent.
+
+#include <cstdio>
+
+#include "src/core/architectures.h"
+#include "src/core/deployment.h"
+#include "src/util/logging.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+namespace {
+
+void PrintResult(const char* label, const UnifiedQueryResult& result) {
+  const QueryAnswer& answer = result.answer;
+  if (!answer.status.ok()) {
+    std::printf("%-28s FAILED: %s\n", label, answer.status.ToString().c_str());
+    return;
+  }
+  std::printf("%-28s value=%6.2fC  source=%-12s  err<=%.2fC  latency=%s  via proxy %u%s\n",
+              label, answer.value, AnswerSourceName(answer.source), answer.error_estimate,
+              FormatDuration(result.Latency()).c_str(), result.served_by,
+              result.used_replica ? " (replica)" : "");
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kWarn);
+
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 4;
+  config.policy = PushPolicy::kModelDriven;
+  config.model_tolerance = 0.5;  // sensors stay silent while the model is within 0.5 C
+  config.engine.model_type = ModelType::kSeasonalAr;
+  config.seed = 7;
+
+  Deployment deployment(config);
+  deployment.Start();
+
+  std::printf("== PRESTO quickstart: 2 proxies x 4 sensors, 31 s sampling ==\n\n");
+  std::printf("Running 2 simulated days (sensors bootstrap, proxies fit models)...\n");
+  deployment.RunUntil(Days(2));
+
+  SensorNode& s00 = deployment.sensor(0, 0);
+  std::printf("sensor(0,0) after 2 days: %llu samples, %llu pushes (%.1f%% suppressed), "
+              "model=%s\n\n",
+              static_cast<unsigned long long>(s00.stats().samples),
+              static_cast<unsigned long long>(s00.stats().pushes),
+              100.0 * static_cast<double>(s00.stats().suppressed) /
+                  static_cast<double>(s00.stats().samples),
+              s00.model() != nullptr ? s00.model()->Name() : "(none yet)");
+
+  // --- NOW queries ---
+  QuerySpec now_loose;
+  now_loose.type = QueryType::kNow;
+  now_loose.sensor_id = Deployment::SensorId(0, 0);
+  now_loose.tolerance = 1.0;  // loose: the model's guarantee suffices
+  PrintResult("NOW (tolerance 1.0C):", deployment.QueryAndWait(now_loose));
+
+  QuerySpec now_tight = now_loose;
+  now_tight.tolerance = 0.05;  // tighter than the push threshold: forces a sensor pull
+  PrintResult("NOW (tolerance 0.05C):", deployment.QueryAndWait(now_tight));
+
+  // --- PAST queries ---
+  QuerySpec past;
+  past.type = QueryType::kPast;
+  past.sensor_id = Deployment::SensorId(1, 2);
+  past.range = TimeInterval{Hours(30), Hours(30) + Minutes(30)};
+  past.tolerance = 1.0;
+  PrintResult("PAST 30h ago (tol 1.0C):", deployment.QueryAndWait(past));
+
+  QuerySpec past_tight = past;
+  past_tight.range = TimeInterval{Hours(40), Hours(40) + Minutes(30)};
+  past_tight.tolerance = 0.05;
+  PrintResult("PAST 40h ago (tol 0.05C):", deployment.QueryAndWait(past_tight));
+
+  // --- where did the energy go? ---
+  deployment.net().SettleIdleEnergy();
+  std::printf("\nsensor(0,0) energy: %s\n", s00.meter().Breakdown().c_str());
+  std::printf("sensor(0,0) archive: %d free blocks, %llu records\n",
+              s00.archive().FreeBlocks(),
+              static_cast<unsigned long long>(s00.archive().stats().records_appended));
+
+  const ProxyStats& proxy_stats = deployment.proxy(0).stats();
+  std::printf("proxy 1: %llu pushes received, %llu queries (%llu hits, %llu extrapolated, "
+              "%llu pulls), %llu model sends\n",
+              static_cast<unsigned long long>(proxy_stats.pushes_received),
+              static_cast<unsigned long long>(proxy_stats.queries),
+              static_cast<unsigned long long>(proxy_stats.cache_hits),
+              static_cast<unsigned long long>(proxy_stats.extrapolations),
+              static_cast<unsigned long long>(proxy_stats.pulls),
+              static_cast<unsigned long long>(proxy_stats.model_sends));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quantitative analogue of the paper's Table 1: run the *same* world and query stream
+// over three architectures and report what each column of the table claims.
+//
+//   kDirectQuery  — Diffusion/Cougar row: queries travel to the sensors, no proxy
+//                   cache, no prediction, sensor-side archival only.
+//   kStreaming    — TinyDB-BBQ/Aurora row: sensors push every sample to the proxy tier,
+//                   which answers everything from its stream store.
+//   kPresto       — proxy querying + sensor querying on miss, caching + archival,
+//                   prediction, hierarchical and energy-aware.
+//
+// Metrics map to Table 1 columns: NOW latency (interactive use), PAST support
+// (answerability + fidelity), prediction (extrapolated share), energy awareness
+// (J/sensor/day), and rare-event behaviour (the push-based advantage §2 argues for).
+
+#ifndef SRC_CORE_ARCHITECTURES_H_
+#define SRC_CORE_ARCHITECTURES_H_
+
+#include <string>
+
+#include "src/core/deployment.h"
+
+namespace presto {
+
+enum class ArchitectureKind : uint8_t {
+  kDirectQuery = 0,
+  kStreaming = 1,
+  kPresto = 2,
+};
+
+const char* ArchitectureName(ArchitectureKind kind);
+
+struct ArchitectureBenchConfig {
+  Duration warmup = Days(2);    // training period before queries start
+  Duration query_window = Days(2);
+  int num_proxies = 2;
+  int sensors_per_proxy = 8;
+  double queries_per_hour = 24.0;
+  double past_fraction = 0.3;
+  double events_per_day = 1.0;  // injected rare events per sensor
+  uint64_t seed = 42;
+};
+
+struct ArchitectureMetrics {
+  std::string name;
+  // NOW queries.
+  double now_latency_ms_mean = 0.0;
+  double now_latency_ms_p95 = 0.0;
+  double now_success = 0.0;
+  // PAST queries.
+  double past_success = 0.0;
+  double past_rmse = 0.0;  // vs ground truth, successful queries only
+  // Answer provenance (prediction column).
+  double cache_hit_share = 0.0;
+  double extrapolated_share = 0.0;
+  double pull_share = 0.0;
+  // Energy awareness.
+  double energy_j_per_sensor_day = 0.0;
+  double messages_per_sensor_day = 0.0;
+  // Rare events.
+  double event_detection_rate = 0.0;  // events reported to the proxy within 10 min
+  double event_latency_s = 0.0;       // mean report delay for detected events
+};
+
+// Runs one architecture over the configured world. Deterministic given the config.
+ArchitectureMetrics RunArchitectureBench(ArchitectureKind kind,
+                                         const ArchitectureBenchConfig& config);
+
+}  // namespace presto
+
+#endif  // SRC_CORE_ARCHITECTURES_H_

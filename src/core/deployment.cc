@@ -1,0 +1,142 @@
+#include "src/core/deployment.h"
+
+#include "src/util/assert.h"
+#include "src/util/rng.h"
+
+namespace presto {
+
+Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
+  Build([this](int global_index) {
+    return [this, global_index](SimTime t) { return field_->MeasureAt(global_index, t); };
+  });
+}
+
+Deployment::Deployment(const DeploymentConfig& config, MeasureFactory measure_factory)
+    : config_(config) {
+  Build(std::move(measure_factory));
+}
+
+void Deployment::Build(MeasureFactory measure_factory) {
+  PRESTO_CHECK(config_.num_proxies >= 1);
+  PRESTO_CHECK(config_.sensors_per_proxy >= 1);
+  PRESTO_CHECK(measure_factory != nullptr);
+
+  net_ = std::make_unique<Network>(&sim_, config_.net, config_.seed ^ 0x6e6574);
+  TemperatureParams field_params = config_.field;
+  field_params.seed = config_.seed ^ 0x6669656c64;
+  field_ = std::make_unique<TemperatureField>(total_sensors(), field_params,
+                                              config_.spatial_correlation);
+  store_ = std::make_unique<UnifiedStore>(&sim_, net_.get(), config_.seed ^ 0x696478);
+
+  Pcg32 rng(config_.seed, /*stream=*/0x4450);
+
+  // Proxies first (sensors send to them from their very first sample).
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    ProxyNodeConfig pc;
+    pc.id = ProxyId(p);
+    pc.mode = config_.proxy_mode;
+    pc.engine = config_.engine;
+    pc.engine.model_config = config_.model_config;
+    pc.matcher = config_.matcher;
+    pc.default_tolerance = config_.model_tolerance;
+    pc.pull_timeout = config_.pull_timeout;
+    pc.manage_models = config_.manage_models;
+    pc.enable_matcher = config_.enable_matcher;
+    pc.enable_replication = config_.enable_replication && config_.num_proxies > 1;
+    pc.replica_id = ProxyId((p + 1) % config_.num_proxies);
+    pc.seed = config_.seed ^ (0x5050 + static_cast<uint64_t>(p));
+    proxies_.push_back(std::make_unique<ProxyNode>(&sim_, net_.get(), pc));
+  }
+  // Wired mesh between proxies (replication + query forwarding).
+  for (int a = 0; a < config_.num_proxies; ++a) {
+    for (int b = a + 1; b < config_.num_proxies; ++b) {
+      net_->ConnectWired(ProxyId(a), ProxyId(b));
+    }
+  }
+
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    for (int s = 0; s < config_.sensors_per_proxy; ++s) {
+      SensorNodeConfig sc;
+      sc.id = SensorId(p, s);
+      sc.proxy_id = ProxyId(p);
+      sc.sensing_period = config_.sensing_period;
+      sc.policy = config_.policy;
+      sc.model_tolerance = config_.model_tolerance;
+      sc.value_delta = config_.value_delta;
+      sc.batch_interval = config_.batch_interval;
+      sc.compress = config_.compress;
+      sc.codec = config_.codec;
+      sc.flash = config_.flash;
+      sc.archive = config_.archive;
+      sc.archive.nominal_sample_period = config_.sensing_period;
+      sc.model_config = config_.model_config;
+      sc.model_config.sample_period = config_.sensing_period;
+      sc.radio = config_.sensor_radio;
+      sc.drift_ppm = rng.Uniform(-config_.max_drift_ppm, config_.max_drift_ppm);
+      sc.clock_offset = static_cast<Duration>(
+          rng.Uniform(0.0, static_cast<double>(config_.max_clock_offset)));
+      sc.seed = config_.seed ^ (0x5353 + static_cast<uint64_t>(GlobalSensorIndex(p, s)));
+
+      sensors_.push_back(std::make_unique<SensorNode>(
+          &sim_, net_.get(), sc, measure_factory(GlobalSensorIndex(p, s))));
+      proxies_[static_cast<size_t>(p)]->RegisterSensor(sc.id, config_.sensing_period);
+      // The replica must know the sensor to accept replicated state and serve failover.
+      if (config_.enable_replication && config_.num_proxies > 1) {
+        proxies_[static_cast<size_t>((p + 1) % config_.num_proxies)]->RegisterSensor(
+            sc.id, config_.sensing_period, /*replica=*/true);
+      }
+    }
+  }
+
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    store_->AddProxy(proxies_[static_cast<size_t>(p)].get());
+    if (config_.enable_replication && config_.num_proxies > 1) {
+      store_->SetReplicaOf(ProxyId(p), ProxyId((p + 1) % config_.num_proxies));
+    }
+  }
+}
+
+SensorNode& Deployment::sensor(int proxy_index, int sensor_index) {
+  const int global = GlobalSensorIndex(proxy_index, sensor_index);
+  PRESTO_CHECK(global >= 0 && global < total_sensors());
+  return *sensors_[static_cast<size_t>(global)];
+}
+
+void Deployment::Start() {
+  for (auto& proxy : proxies_) {
+    proxy->Start();
+  }
+  for (auto& sensor : sensors_) {
+    sensor->Start();
+  }
+}
+
+double Deployment::MeanSensorEnergy() {
+  net_->SettleIdleEnergy();
+  double total = 0.0;
+  for (auto& sensor : sensors_) {
+    total += sensor->meter().Total();
+  }
+  return total / static_cast<double>(sensors_.size());
+}
+
+UnifiedQueryResult Deployment::QueryAndWait(const QuerySpec& spec, Duration max_wait) {
+  bool done = false;
+  UnifiedQueryResult result;
+  store_->Query(spec, [&done, &result](const UnifiedQueryResult& r) {
+    result = r;
+    done = true;
+  });
+  const SimTime deadline = sim_.Now() + max_wait;
+  while (!done && sim_.NextEventTime() >= 0 && sim_.NextEventTime() <= deadline) {
+    sim_.Step();
+  }
+  if (!done) {
+    result.answer.status = DeadlineExceededError("query did not complete in max_wait");
+    result.issued_at = sim_.Now();
+    result.completed_at = sim_.Now();
+  }
+  return result;
+}
+
+}  // namespace presto

@@ -1,0 +1,112 @@
+// Deployment builder: wires a complete PRESTO system — simulator, tiered network,
+// proxies (with caches/engines/matchers), sensors (with flash archives and push
+// policies), spatially correlated workload, skip-graph-routed unified store, optional
+// proxy replication — from one config struct. This is the entry point examples,
+// benches, and integration tests share.
+
+#ifndef SRC_CORE_DEPLOYMENT_H_
+#define SRC_CORE_DEPLOYMENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/core/unified_store.h"
+#include "src/net/network.h"
+#include "src/proxy/proxy_node.h"
+#include "src/sensor/sensor_node.h"
+#include "src/sim/simulator.h"
+#include "src/workload/temperature.h"
+
+namespace presto {
+
+struct DeploymentConfig {
+  int num_proxies = 2;
+  int sensors_per_proxy = 8;
+
+  // Sensor behaviour.
+  Duration sensing_period = Seconds(31);
+  PushPolicy policy = PushPolicy::kModelDriven;
+  double model_tolerance = 0.5;
+  double value_delta = 1.0;
+  Duration batch_interval = Minutes(16.5);
+  bool compress = false;
+  CodecParams codec;
+  FlashParams flash;
+  ArchiveParams archive;
+  ModelConfig model_config;
+  NodeRadioConfig sensor_radio;        // powered=false; lpl/post-burst knobs
+  double max_drift_ppm = 40.0;         // per-sensor drift drawn uniformly in +/- this
+  Duration max_clock_offset = Seconds(2);
+
+  // Proxy behaviour.
+  ProxyMode proxy_mode = ProxyMode::kPresto;
+  PredictionEngineParams engine;
+  MatcherParams matcher;
+  bool manage_models = true;
+  bool enable_matcher = false;  // opt-in: benches sweep this explicitly
+  bool enable_replication = false;
+  Duration pull_timeout = Minutes(10);
+
+  // World.
+  TemperatureParams field;
+  double spatial_correlation = 0.85;
+
+  NetworkParams net;
+  uint64_t seed = 42;
+};
+
+class Deployment {
+ public:
+  // Reads the world for one sensor; the default reads the temperature field.
+  using MeasureFactory = std::function<SensorNode::MeasureFn(int global_sensor_index)>;
+
+  explicit Deployment(const DeploymentConfig& config);
+  Deployment(const DeploymentConfig& config, MeasureFactory measure_factory);
+
+  // Starts sensing loops and proxy maintenance. Call once, then run the simulator.
+  void Start();
+
+  // --- topology accessors ---
+  static NodeId ProxyId(int proxy_index) { return static_cast<NodeId>(1 + proxy_index); }
+  static NodeId SensorId(int proxy_index, int sensor_index) {
+    return static_cast<NodeId>(1000 * (proxy_index + 1) + sensor_index);
+  }
+  int GlobalSensorIndex(int proxy_index, int sensor_index) const {
+    return proxy_index * config_.sensors_per_proxy + sensor_index;
+  }
+  int total_sensors() const { return config_.num_proxies * config_.sensors_per_proxy; }
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return *net_; }
+  UnifiedStore& store() { return *store_; }
+  TemperatureField& field() { return *field_; }
+  ProxyNode& proxy(int proxy_index) { return *proxies_[static_cast<size_t>(proxy_index)]; }
+  SensorNode& sensor(int proxy_index, int sensor_index);
+  const DeploymentConfig& config() const { return config_; }
+
+  // Mean sensor energy in joules (settles idle energy first).
+  double MeanSensorEnergy();
+
+  // Issues a query and runs the simulator until it completes (or `max_wait` passes).
+  UnifiedQueryResult QueryAndWait(const QuerySpec& spec, Duration max_wait = Minutes(30));
+
+  // Runs the simulator forward to `t` (no-op if already past).
+  void RunUntil(SimTime t) { sim_.RunUntil(t); }
+
+ private:
+  void Build(MeasureFactory measure_factory);
+
+  DeploymentConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<TemperatureField> field_;
+  std::unique_ptr<UnifiedStore> store_;
+  std::vector<std::unique_ptr<ProxyNode>> proxies_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;  // proxy-major order
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_DEPLOYMENT_H_

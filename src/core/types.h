@@ -1,0 +1,39 @@
+// User-facing query types for the unified logical store (paper §5).
+
+#ifndef SRC_CORE_TYPES_H_
+#define SRC_CORE_TYPES_H_
+
+#include "src/net/network.h"
+#include "src/proxy/proxy_node.h"
+#include "src/util/sample.h"
+
+namespace presto {
+
+enum class QueryType : uint8_t {
+  kNow = 0,   // current value of a sensor
+  kPast = 1,  // archival range query
+};
+
+struct QuerySpec {
+  QueryType type = QueryType::kNow;
+  NodeId sensor_id = 0;
+  TimeInterval range{};              // kPast only
+  double tolerance = 0.5;            // acceptable absolute error (value units)
+  Duration latency_bound = Seconds(30);
+};
+
+// What the unified store hands back: the owning proxy's answer plus routing metadata.
+struct UnifiedQueryResult {
+  QueryAnswer answer;
+  NodeId served_by = 0;   // proxy that produced the answer
+  int index_hops = 0;     // skip-graph hops spent locating the owner
+  bool used_replica = false;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+
+  Duration Latency() const { return completed_at - issued_at; }
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_TYPES_H_

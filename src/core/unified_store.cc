@@ -1,0 +1,101 @@
+#include "src/core/unified_store.h"
+
+#include "src/util/assert.h"
+#include "src/util/logging.h"
+
+namespace presto {
+
+UnifiedStore::UnifiedStore(Simulator* sim, Network* net, uint64_t seed,
+                           Duration per_hop_latency)
+    : sim_(sim), net_(net), per_hop_latency_(per_hop_latency), index_(seed) {
+  PRESTO_CHECK(sim_ != nullptr);
+  PRESTO_CHECK(net_ != nullptr);
+}
+
+void UnifiedStore::AddProxy(ProxyNode* proxy) {
+  PRESTO_CHECK(proxy != nullptr);
+  proxies_[proxy->config().id] = proxy;
+  for (NodeId sensor : proxy->sensors()) {
+    index_.Insert(sensor, proxy->config().id);
+  }
+}
+
+void UnifiedStore::SetReplicaOf(NodeId primary, NodeId replica) {
+  replica_of_[primary] = replica;
+}
+
+ProxyNode* UnifiedStore::FindProxy(NodeId proxy_id) const {
+  auto it = proxies_.find(proxy_id);
+  return it == proxies_.end() ? nullptr : it->second;
+}
+
+void UnifiedStore::Query(const QuerySpec& spec,
+                         std::function<void(const UnifiedQueryResult&)> callback) {
+  ++stats_.queries;
+  const SimTime issued_at = sim_->Now();
+
+  // Resolve the owner through the order-preserving index.
+  SkipGraph::SearchStats search = index_.Search(spec.sensor_id);
+  stats_.total_index_hops += search.hops;
+
+  UnifiedQueryResult result;
+  result.issued_at = issued_at;
+  result.index_hops = search.hops;
+
+  if (!search.found) {
+    ++stats_.unroutable;
+    result.answer.status = NotFoundError("sensor not in the distributed index");
+    result.completed_at = sim_->Now();
+    callback(result);
+    return;
+  }
+
+  NodeId proxy_id = static_cast<NodeId>(search.value);
+  bool used_replica = false;
+  if (net_->IsNodeDown(proxy_id)) {
+    auto replica = replica_of_.find(proxy_id);
+    if (replica != replica_of_.end() && !net_->IsNodeDown(replica->second)) {
+      proxy_id = replica->second;
+      used_replica = true;
+      ++stats_.failovers;
+    } else {
+      result.answer.status = UnavailableError("owning proxy (and replica) down");
+      result.completed_at = sim_->Now();
+      callback(result);
+      return;
+    }
+  }
+  ProxyNode* proxy = FindProxy(proxy_id);
+  if (proxy == nullptr || !proxy->ManagesSensor(spec.sensor_id)) {
+    ++stats_.unroutable;
+    result.answer.status = NotFoundError("index points at a proxy without this sensor");
+    result.completed_at = sim_->Now();
+    callback(result);
+    return;
+  }
+  ++stats_.routed;
+  result.served_by = proxy_id;
+  result.used_replica = used_replica;
+
+  // Forwarding the query across `hops` proxies costs wired latency each way.
+  const Duration route_delay = per_hop_latency_ * (search.hops + 1);
+  auto on_answer = [this, result, callback = std::move(callback),
+                    route_delay](const QueryAnswer& answer) mutable {
+    result.answer = answer;
+    sim_->ScheduleIn(route_delay, [this, result, callback = std::move(callback)]() mutable {
+      result.completed_at = sim_->Now();
+      callback(result);
+    });
+  };
+
+  sim_->ScheduleIn(route_delay, [proxy, spec, on_answer = std::move(on_answer)]() mutable {
+    if (spec.type == QueryType::kNow) {
+      proxy->QueryNow(spec.sensor_id, spec.tolerance, spec.latency_bound,
+                      std::move(on_answer));
+    } else {
+      proxy->QueryPast(spec.sensor_id, spec.range, spec.tolerance, std::move(on_answer));
+    }
+  });
+}
+
+}  // namespace presto

@@ -1,0 +1,62 @@
+// The unified logical store (paper §5): one query interface over many proxies and
+// thousands of sensors. A skip graph keyed by sensor id maps each sensor to its owning
+// proxy; queries route through the index (hop-accounted, with per-hop wired latency),
+// fail over to the owner's replica when the owner is down, and return
+// provenance-annotated answers.
+
+#ifndef SRC_CORE_UNIFIED_STORE_H_
+#define SRC_CORE_UNIFIED_STORE_H_
+
+#include <functional>
+#include <map>
+
+#include "src/core/types.h"
+#include "src/index/skip_graph.h"
+#include "src/net/network.h"
+#include "src/proxy/proxy_node.h"
+#include "src/sim/simulator.h"
+
+namespace presto {
+
+struct UnifiedStoreStats {
+  uint64_t queries = 0;
+  uint64_t routed = 0;
+  uint64_t failovers = 0;
+  uint64_t unroutable = 0;
+  uint64_t total_index_hops = 0;
+};
+
+class UnifiedStore {
+ public:
+  // Per-hop latency models proxy-to-proxy forwarding on the wired tier while resolving
+  // the distributed index.
+  UnifiedStore(Simulator* sim, Network* net, uint64_t seed,
+               Duration per_hop_latency = Millis(2));
+
+  // Indexes every sensor the proxy manages. Call after RegisterSensor on the proxy.
+  void AddProxy(ProxyNode* proxy);
+
+  // Declares `replica` as the failover target for `primary`'s sensors.
+  void SetReplicaOf(NodeId primary, NodeId replica);
+
+  // Routes and executes a query; the callback fires when the answer is complete.
+  void Query(const QuerySpec& spec, std::function<void(const UnifiedQueryResult&)> callback);
+
+  const UnifiedStoreStats& stats() const { return stats_; }
+  int IndexSize() const { return static_cast<int>(index_.size()); }
+
+ private:
+  ProxyNode* FindProxy(NodeId proxy_id) const;
+
+  Simulator* sim_;
+  Network* net_;
+  Duration per_hop_latency_;
+  SkipGraph index_;  // sensor id -> owning proxy id
+  std::map<NodeId, ProxyNode*> proxies_;
+  std::map<NodeId, NodeId> replica_of_;  // primary -> replica
+  UnifiedStoreStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_UNIFIED_STORE_H_

@@ -1,0 +1,96 @@
+#include "src/flash/flash_device.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+FlashDevice::FlashDevice(const FlashParams& params, EnergyMeter* meter)
+    : params_(params), meter_(meter) {
+  PRESTO_CHECK(params_.page_size_bytes > 0);
+  PRESTO_CHECK(params_.pages_per_block > 0);
+  PRESTO_CHECK(params_.num_blocks > 0);
+  data_.assign(static_cast<size_t>(params_.CapacityBytes()), 0xFF);
+  written_.assign(static_cast<size_t>(params_.TotalPages()), false);
+  wear_.assign(static_cast<size_t>(params_.num_blocks), 0);
+}
+
+void FlashDevice::Charge(EnergyComponent c, double joules, Duration latency) {
+  if (meter_ != nullptr) {
+    meter_->Charge(c, joules);
+  }
+  stats_.busy_time += latency;
+}
+
+Status FlashDevice::ReadPage(int page, std::span<uint8_t> out) {
+  if (!ValidPage(page)) {
+    return OutOfRangeError("flash: page out of range");
+  }
+  if (out.size() != static_cast<size_t>(params_.page_size_bytes)) {
+    return InvalidArgumentError("flash: read buffer must be one page");
+  }
+  const size_t offset = static_cast<size_t>(page) * params_.page_size_bytes;
+  std::copy_n(data_.begin() + static_cast<ptrdiff_t>(offset), params_.page_size_bytes,
+              out.begin());
+  ++stats_.page_reads;
+  Charge(EnergyComponent::kFlashRead, params_.read_page_energy_j, params_.read_page_latency);
+  return OkStatus();
+}
+
+Status FlashDevice::WritePage(int page, std::span<const uint8_t> data) {
+  if (!ValidPage(page)) {
+    return OutOfRangeError("flash: page out of range");
+  }
+  if (data.size() != static_cast<size_t>(params_.page_size_bytes)) {
+    return InvalidArgumentError("flash: write buffer must be one page");
+  }
+  if (written_[static_cast<size_t>(page)]) {
+    return FailedPreconditionError("flash: page not erased");
+  }
+  const size_t offset = static_cast<size_t>(page) * params_.page_size_bytes;
+  std::copy(data.begin(), data.end(), data_.begin() + static_cast<ptrdiff_t>(offset));
+  written_[static_cast<size_t>(page)] = true;
+  ++stats_.page_writes;
+  Charge(EnergyComponent::kFlashWrite, params_.write_page_energy_j, params_.write_page_latency);
+  return OkStatus();
+}
+
+Status FlashDevice::EraseBlock(int block) {
+  if (!ValidBlock(block)) {
+    return OutOfRangeError("flash: block out of range");
+  }
+  const int first = block * params_.pages_per_block;
+  for (int p = first; p < first + params_.pages_per_block; ++p) {
+    written_[static_cast<size_t>(p)] = false;
+  }
+  const size_t offset = static_cast<size_t>(first) * params_.page_size_bytes;
+  const size_t len = static_cast<size_t>(params_.pages_per_block) * params_.page_size_bytes;
+  std::fill_n(data_.begin() + static_cast<ptrdiff_t>(offset), len, 0xFF);
+  ++wear_[static_cast<size_t>(block)];
+  ++stats_.block_erases;
+  Charge(EnergyComponent::kFlashErase, params_.erase_block_energy_j,
+         params_.erase_block_latency);
+  return OkStatus();
+}
+
+bool FlashDevice::IsPageWritten(int page) const {
+  PRESTO_CHECK(ValidPage(page));
+  return written_[static_cast<size_t>(page)];
+}
+
+uint32_t FlashDevice::BlockWear(int block) const {
+  PRESTO_CHECK(ValidBlock(block));
+  return wear_[static_cast<size_t>(block)];
+}
+
+void FlashDevice::CorruptPageForTest(int page) {
+  PRESTO_CHECK(ValidPage(page));
+  const size_t offset = static_cast<size_t>(page) * params_.page_size_bytes;
+  for (int i = 0; i < params_.page_size_bytes; ++i) {
+    data_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(0xA5 ^ i);
+  }
+  written_[static_cast<size_t>(page)] = true;
+}
+
+}  // namespace presto

@@ -1,0 +1,136 @@
+#include "src/flash/page_codec.h"
+
+#include "src/util/assert.h"
+#include "src/util/bytes.h"
+
+namespace presto {
+namespace {
+
+// Millisecond-granularity delta encoding for archived timestamps.
+int64_t ToDeltaMs(SimTime later, SimTime earlier) { return (later - earlier) / kMillisecond; }
+
+}  // namespace
+
+uint16_t Fletcher16(std::span<const uint8_t> data) {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  for (uint8_t byte : data) {
+    a = (a + byte) % 255;
+    b = (b + a) % 255;
+  }
+  return static_cast<uint16_t>((b << 8) | a);
+}
+
+PageBuilder::PageBuilder(int page_size_bytes) : page_size_(page_size_bytes) {
+  PRESTO_CHECK(page_size_ > kPageHeaderBytes + 16);
+}
+
+std::vector<uint8_t> PageBuilder::EncodeRecord(SimTime t, double value) const {
+  ByteWriter w;
+  const SimTime base = count_ == 0 ? t : last_ts_;
+  w.WriteVarU64(static_cast<uint64_t>(ToDeltaMs(t, base)));
+  w.WriteF32(static_cast<float>(value));
+  return w.TakeBuffer();
+}
+
+bool PageBuilder::Fits(SimTime t, double value) const {
+  const std::vector<uint8_t> rec = EncodeRecord(t, value);
+  return static_cast<int>(records_.size() + rec.size()) <= page_size_ - kPageHeaderBytes;
+}
+
+void PageBuilder::Add(SimTime t, double value) {
+  PRESTO_CHECK_MSG(count_ == 0 || t >= last_ts_, "archive records must be time-ordered");
+  PRESTO_CHECK_MSG(Fits(t, value), "record does not fit in page");
+  const std::vector<uint8_t> rec = EncodeRecord(t, value);
+  if (count_ == 0) {
+    // Millisecond storage granularity: remember the rounded value so deltas line up.
+    first_ts_ = (t / kMillisecond) * kMillisecond;
+    last_ts_ = first_ts_;
+  } else {
+    last_ts_ += ToDeltaMs(t, last_ts_) * kMillisecond;
+  }
+  records_.insert(records_.end(), rec.begin(), rec.end());
+  ++count_;
+}
+
+std::vector<uint8_t> PageBuilder::Seal(uint32_t seq, Duration resolution) {
+  ByteWriter w;
+  w.WriteU16(kPageMagic);
+  w.WriteU32(seq);
+  w.WriteU16(static_cast<uint16_t>(records_.size()));
+  w.WriteU16(Fletcher16(records_));
+  w.WriteI64(first_ts_);
+  w.WriteI64(resolution);
+  std::vector<uint8_t> page = w.TakeBuffer();
+  PRESTO_CHECK(static_cast<int>(page.size()) == kPageHeaderBytes);
+  page.insert(page.end(), records_.begin(), records_.end());
+  page.resize(static_cast<size_t>(page_size_), 0xFF);
+
+  records_.clear();
+  count_ = 0;
+  first_ts_ = 0;
+  last_ts_ = 0;
+  return page;
+}
+
+Result<DecodedPage> DecodePage(std::span<const uint8_t> page) {
+  bool all_ff = true;
+  for (uint8_t byte : page) {
+    if (byte != 0xFF) {
+      all_ff = false;
+      break;
+    }
+  }
+  if (all_ff) {
+    return NotFoundError("page is blank");
+  }
+
+  ByteReader r(page);
+  auto magic = r.ReadU16();
+  if (!magic.ok() || *magic != kPageMagic) {
+    return DataLossError("bad page magic");
+  }
+  DecodedPage out;
+  auto seq = r.ReadU32();
+  auto used = r.ReadU16();
+  auto checksum = r.ReadU16();
+  auto first_ts = r.ReadI64();
+  auto resolution = r.ReadI64();
+  if (!seq.ok() || !used.ok() || !checksum.ok() || !first_ts.ok() || !resolution.ok()) {
+    return DataLossError("truncated page header");
+  }
+  out.header.seq = *seq;
+  out.header.used = *used;
+  out.header.checksum = *checksum;
+  out.header.first_ts = *first_ts;
+  out.header.resolution = *resolution;
+
+  if (kPageHeaderBytes + out.header.used > static_cast<int>(page.size())) {
+    return DataLossError("page used-length exceeds page size");
+  }
+  const std::span<const uint8_t> records =
+      page.subspan(kPageHeaderBytes, out.header.used);
+  if (Fletcher16(records) != out.header.checksum) {
+    return DataLossError("page checksum mismatch (torn write?)");
+  }
+
+  ByteReader rec(records);
+  SimTime t = out.header.first_ts;
+  bool first = true;
+  while (!rec.AtEnd()) {
+    auto delta = rec.ReadVarU64();
+    auto value = rec.ReadF32();
+    if (!delta.ok() || !value.ok()) {
+      return DataLossError("truncated record");
+    }
+    if (first) {
+      first = false;
+    } else {
+      t += static_cast<Duration>(*delta) * kMillisecond;
+    }
+    out.samples.push_back(Sample{t, static_cast<double>(*value)});
+  }
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,77 @@
+#include "src/index/temporal_merge.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace presto {
+
+std::vector<Detection> MergeByTime(const std::vector<std::vector<Detection>>& streams) {
+  struct Cursor {
+    const std::vector<Detection>* stream;
+    size_t pos;
+  };
+  struct Later {
+    bool operator()(const Cursor& a, const Cursor& b) const {
+      const Detection& da = (*a.stream)[a.pos];
+      const Detection& db = (*b.stream)[b.pos];
+      if (da.t != db.t) {
+        return da.t > db.t;
+      }
+      return da.source > db.source;  // stable tie-break
+    }
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, Later> heap;
+  size_t total = 0;
+  for (const auto& s : streams) {
+    if (!s.empty()) {
+      heap.push(Cursor{&s, 0});
+    }
+    total += s.size();
+  }
+  std::vector<Detection> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    out.push_back((*c.stream)[c.pos]);
+    if (++c.pos < c.stream->size()) {
+      heap.push(c);
+    }
+  }
+  return out;
+}
+
+double AdjacentOrderAccuracy(const std::vector<Detection>& merged) {
+  if (merged.size() < 2) {
+    return 1.0;
+  }
+  size_t ordered = 0;
+  for (size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i - 1].sequence <= merged[i].sequence) {
+      ++ordered;
+    }
+  }
+  return static_cast<double>(ordered) / static_cast<double>(merged.size() - 1);
+}
+
+double KendallTau(const std::vector<Detection>& merged) {
+  const size_t n = merged.size();
+  if (n < 2) {
+    return 1.0;
+  }
+  int64_t concordant = 0;
+  int64_t discordant = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (merged[i].sequence < merged[j].sequence) {
+        ++concordant;
+      } else if (merged[i].sequence > merged[j].sequence) {
+        ++discordant;
+      }
+    }
+  }
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(concordant - discordant) / pairs;
+}
+
+}  // namespace presto

@@ -1,0 +1,321 @@
+#include "src/models/ar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/models/linalg.h"
+#include "src/util/assert.h"
+
+namespace presto {
+
+// ---------- ArCore ----------
+
+Status ArCore::Fit(const std::vector<double>& values, SimTime last_sample_time, int order) {
+  PRESTO_CHECK(order >= 1);
+  if (static_cast<int>(values.size()) < std::max(8, 4 * order)) {
+    return FailedPreconditionError("AR fit: history too short");
+  }
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  const double n = static_cast<double>(values.size());
+  mean = sum / n;
+  marginal_std = std::sqrt(std::max(1e-12, sq / n - mean * mean));
+
+  const std::vector<double> autocov = Autocovariance(values, order);
+  auto yw = LevinsonDurbin(autocov);
+  if (!yw.ok()) {
+    return yw.status();
+  }
+  phi = yw->phi;
+  innovation_std = std::sqrt(std::max(yw->innovation_variance, 1e-12));
+
+  // State = last `order` values, newest last.
+  state.assign(values.end() - order, values.end());
+  state_time = last_sample_time;
+
+  // Round through the wire's float32 precision so the proxy's copy and the sensor's
+  // deserialized copy forecast bit-identically (lockstep contract in model.h).
+  auto f32 = [](double v) { return static_cast<double>(static_cast<float>(v)); };
+  mean = f32(mean);
+  marginal_std = f32(marginal_std);
+  innovation_std = f32(innovation_std);
+  for (double& p : phi) {
+    p = f32(p);
+  }
+  for (double& v : state) {
+    v = f32(v);
+  }
+  ComputeHorizonStd();
+  return OkStatus();
+}
+
+double ArCore::StepOnce(const std::vector<double>& window) const {
+  // window holds the last p values, newest last; phi[0] multiplies the newest.
+  double next = mean;
+  const size_t p = phi.size();
+  for (size_t i = 0; i < p; ++i) {
+    next += phi[i] * (window[window.size() - 1 - i] - mean);
+  }
+  return next;
+}
+
+void ArCore::ComputeHorizonStd() {
+  // psi-weight recursion: psi_0 = 1, psi_j = sum_{i<=min(j,p)} phi_i psi_{j-i}.
+  const int p = static_cast<int>(phi.size());
+  const int horizon = max_forecast_steps;
+  std::vector<double> psi(static_cast<size_t>(horizon) + 1, 0.0);
+  psi[0] = 1.0;
+  for (int j = 1; j <= horizon; ++j) {
+    double v = 0.0;
+    for (int i = 1; i <= std::min(j, p); ++i) {
+      v += phi[static_cast<size_t>(i - 1)] * psi[static_cast<size_t>(j - i)];
+    }
+    psi[static_cast<size_t>(j)] = v;
+  }
+  horizon_std.assign(static_cast<size_t>(horizon) + 1, 0.0);
+  double cum = 0.0;
+  const double var_cap = marginal_std * marginal_std;
+  for (int k = 1; k <= horizon; ++k) {
+    cum += psi[static_cast<size_t>(k - 1)] * psi[static_cast<size_t>(k - 1)];
+    const double var = std::min(innovation_std * innovation_std * cum, 1.5 * var_cap);
+    horizon_std[static_cast<size_t>(k)] = std::sqrt(var);
+  }
+}
+
+Prediction ArCore::Forecast(SimTime t) const {
+  PRESTO_DCHECK(!state.empty());
+  if (t <= state_time) {
+    // Backward extrapolation is out of AR scope; report the marginal distribution.
+    // (Past gaps are better served by the seasonal part / spatial conditioning.)
+    return Prediction{mean, marginal_std};
+  }
+  int64_t k = (t - state_time + sample_period / 2) / sample_period;
+  if (k <= 0) {
+    return Prediction{state.back(), std::max(innovation_std, 1e-9)};
+  }
+  if (k > max_forecast_steps) {
+    return Prediction{mean, marginal_std};
+  }
+  std::vector<double> window = state;
+  for (int64_t i = 0; i < k; ++i) {
+    const double next = StepOnce(window);
+    window.erase(window.begin());
+    window.push_back(next);
+  }
+  return Prediction{window.back(), std::max(horizon_std[static_cast<size_t>(k)], 1e-9)};
+}
+
+void ArCore::Anchor(const Sample& s) {
+  PRESTO_DCHECK(!state.empty());
+  if (s.t <= state_time) {
+    return;  // stale (e.g. a pull of archived data); state reflects newest knowledge
+  }
+  int64_t k = (s.t - state_time + sample_period / 2) / sample_period;
+  k = std::min<int64_t>(std::max<int64_t>(k, 1), max_forecast_steps);
+  for (int64_t i = 0; i < k; ++i) {
+    const double next = StepOnce(state);
+    state.erase(state.begin());
+    state.push_back(next);
+  }
+  // Attribute the innovation as a level shift across the whole lag window rather than
+  // pinning only the newest entry: a lone corrected value next to stale forecasts
+  // fabricates a trend, which inflates the push rate right after every anchor.
+  const double innovation = s.value - state.back();
+  for (double& v : state) {
+    v += innovation;
+  }
+  state_time += k * sample_period;
+}
+
+void ArCore::SerializeTo(ByteWriter* w) const {
+  w->WriteVarU64(static_cast<uint64_t>(sample_period));
+  w->WriteVarU64(phi.size());
+  for (double p : phi) {
+    w->WriteF32(static_cast<float>(p));
+  }
+  w->WriteF32(static_cast<float>(mean));
+  w->WriteF32(static_cast<float>(innovation_std));
+  w->WriteF32(static_cast<float>(marginal_std));
+  w->WriteI64(state_time);
+  for (double v : state) {
+    w->WriteF32(static_cast<float>(v));
+  }
+}
+
+Status ArCore::DeserializeFrom(ByteReader* r) {
+  auto period = r->ReadVarU64();
+  auto order = r->ReadVarU64();
+  if (!period.ok() || !order.ok() || *order == 0 || *order > 64) {
+    return InvalidArgumentError("AR params malformed");
+  }
+  sample_period = static_cast<Duration>(*period);
+  phi.clear();
+  for (uint64_t i = 0; i < *order; ++i) {
+    auto p = r->ReadF32();
+    if (!p.ok()) {
+      return InvalidArgumentError("AR params truncated");
+    }
+    phi.push_back(static_cast<double>(*p));
+  }
+  auto m = r->ReadF32();
+  auto inno = r->ReadF32();
+  auto marg = r->ReadF32();
+  auto st = r->ReadI64();
+  if (!m.ok() || !inno.ok() || !marg.ok() || !st.ok()) {
+    return InvalidArgumentError("AR params truncated");
+  }
+  mean = static_cast<double>(*m);
+  innovation_std = static_cast<double>(*inno);
+  marginal_std = static_cast<double>(*marg);
+  state_time = *st;
+  state.clear();
+  for (uint64_t i = 0; i < *order; ++i) {
+    auto v = r->ReadF32();
+    if (!v.ok()) {
+      return InvalidArgumentError("AR state truncated");
+    }
+    state.push_back(static_cast<double>(*v));
+  }
+  ComputeHorizonStd();
+  return OkStatus();
+}
+
+int64_t ArCore::ForecastCostOps(SimTime t) const {
+  const int64_t k =
+      t > state_time ? (t - state_time + sample_period / 2) / sample_period : 0;
+  return 4 + static_cast<int64_t>(phi.size()) *
+                 std::clamp<int64_t>(k, 1, max_forecast_steps);
+}
+
+// ---------- ArModel ----------
+
+ArModel::ArModel(const ModelConfig& config) : config_(config) {
+  core_.sample_period = config.sample_period;
+  core_.max_forecast_steps = config.max_forecast_steps;
+}
+
+Status ArModel::Fit(const std::vector<Sample>& history) {
+  if (history.empty()) {
+    return FailedPreconditionError("AR fit: empty history");
+  }
+  PRESTO_RETURN_IF_ERROR(
+      core_.Fit(ValuesOf(history), history.back().t, config_.ar_order));
+  fitted_ = true;
+  return OkStatus();
+}
+
+std::vector<uint8_t> ArModel::Serialize() const {
+  PRESTO_CHECK_MSG(fitted_, "serialize before fit");
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type()));
+  core_.SerializeTo(&w);
+  return w.TakeBuffer();
+}
+
+Status ArModel::Deserialize(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto tag = r.ReadU8();
+  if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
+    return InvalidArgumentError("not AR model params");
+  }
+  core_.max_forecast_steps = config_.max_forecast_steps;
+  PRESTO_RETURN_IF_ERROR(core_.DeserializeFrom(&r));
+  fitted_ = true;
+  return OkStatus();
+}
+
+Prediction ArModel::Predict(SimTime t) const {
+  PRESTO_CHECK_MSG(fitted_, "predict before fit");
+  return core_.Forecast(t);
+}
+
+void ArModel::OnAnchor(const Sample& sample) {
+  PRESTO_CHECK_MSG(fitted_, "anchor before fit");
+  core_.Anchor(sample);
+}
+
+int64_t ArModel::PredictCostOps() const {
+  // One-step check cost at the sensor (the common case: checking the next sample).
+  return 4 + static_cast<int64_t>(core_.phi.size());
+}
+
+int64_t ArModel::FitCostOps(size_t history_len) const {
+  const int64_t p = config_.ar_order;
+  return static_cast<int64_t>(history_len) * (p + 2) + p * p * p;
+}
+
+// ---------- SeasonalArModel ----------
+
+SeasonalArModel::SeasonalArModel(const ModelConfig& config) : config_(config) {
+  core_.sample_period = config.sample_period;
+  core_.max_forecast_steps = config.max_forecast_steps;
+}
+
+Status SeasonalArModel::Fit(const std::vector<Sample>& history) {
+  if (history.empty()) {
+    return FailedPreconditionError("seasonal-AR fit: empty history");
+  }
+  bins_.period = config_.seasonal_period;
+  PRESTO_RETURN_IF_ERROR(bins_.Fit(history, config_.seasonal_bins));
+  std::vector<double> residuals;
+  residuals.reserve(history.size());
+  for (const Sample& s : history) {
+    residuals.push_back(s.value - bins_.ValueAt(s.t));
+  }
+  PRESTO_RETURN_IF_ERROR(core_.Fit(residuals, history.back().t, config_.ar_order));
+  fitted_ = true;
+  return OkStatus();
+}
+
+std::vector<uint8_t> SeasonalArModel::Serialize() const {
+  PRESTO_CHECK_MSG(fitted_, "serialize before fit");
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type()));
+  bins_.SerializeTo(&w);
+  core_.SerializeTo(&w);
+  return w.TakeBuffer();
+}
+
+Status SeasonalArModel::Deserialize(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto tag = r.ReadU8();
+  if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
+    return InvalidArgumentError("not seasonal-AR model params");
+  }
+  PRESTO_RETURN_IF_ERROR(bins_.DeserializeFrom(&r));
+  core_.max_forecast_steps = config_.max_forecast_steps;
+  PRESTO_RETURN_IF_ERROR(core_.DeserializeFrom(&r));
+  fitted_ = true;
+  return OkStatus();
+}
+
+Prediction SeasonalArModel::Predict(SimTime t) const {
+  PRESTO_CHECK_MSG(fitted_, "predict before fit");
+  const Prediction residual = core_.Forecast(t);
+  double stddev = residual.stddev;
+  if (t <= core_.state_time) {
+    // Past gap: the climatology still applies; use the bin spread.
+    stddev = std::max(bins_.StddevAt(t) * 0.5, residual.stddev * 0.5);
+  }
+  return Prediction{bins_.ValueAt(t) + residual.value, stddev};
+}
+
+void SeasonalArModel::OnAnchor(const Sample& sample) {
+  PRESTO_CHECK_MSG(fitted_, "anchor before fit");
+  core_.Anchor(Sample{sample.t, sample.value - bins_.ValueAt(sample.t)});
+}
+
+int64_t SeasonalArModel::PredictCostOps() const {
+  return 12 + static_cast<int64_t>(core_.phi.size());
+}
+
+int64_t SeasonalArModel::FitCostOps(size_t history_len) const {
+  const int64_t p = config_.ar_order;
+  return static_cast<int64_t>(history_len) * (p + 6) + p * p * p;
+}
+
+}  // namespace presto

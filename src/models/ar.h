@@ -1,0 +1,109 @@
+// Autoregressive temporal models (paper §3: "simple regression techniques and
+// time-series analysis techniques may be used to model many temporal phenomena").
+//
+// ArCore is the shared engine: AR(p) coefficients fitted by Yule-Walker/Levinson-
+// Durbin, a rolling state of the last p grid values, multi-step forecasts with
+// psi-weight variance growth. ArModel applies it to raw values; SeasonalArModel applies
+// it to residuals around a seasonal-bin climatology (a SARIMA-flavoured combination,
+// the strongest model for diurnal data like temperature).
+
+#ifndef SRC_MODELS_AR_H_
+#define SRC_MODELS_AR_H_
+
+#include <vector>
+
+#include "src/models/model.h"
+#include "src/models/seasonal.h"
+#include "src/util/bytes.h"
+
+namespace presto {
+
+// AR(p) forecasting machinery on a fixed sampling grid.
+struct ArCore {
+  Duration sample_period = Seconds(31);
+  int max_forecast_steps = 4096;
+
+  std::vector<double> phi;     // AR coefficients, phi[0] multiplies the newest value
+  double mean = 0.0;           // level the AR process reverts to
+  double innovation_std = 0.0; // one-step noise sigma
+  double marginal_std = 0.0;   // series sigma (forecast-variance ceiling)
+
+  // Rolling state: the last p values on the grid (newest last) and the grid time of the
+  // newest entry. Mirrored at proxy and sensor through anchors.
+  std::vector<double> state;
+  SimTime state_time = 0;
+
+  // Cumulative forecast stddev by horizon (index k = k-step-ahead), from psi weights.
+  std::vector<double> horizon_std;
+
+  // Fits phi/mean/sigmas from a regular time-ordered series and initializes the state
+  // from its tail. `values[i]` is at `start + i * sample_period`.
+  Status Fit(const std::vector<double>& values, SimTime last_sample_time, int order);
+
+  // Forecast at absolute time t. Rolls a copy of the state forward (never mutates).
+  Prediction Forecast(SimTime t) const;
+
+  // Advances the state to `s.t` (predicting the gap) and pins the newest value to the
+  // observed one.
+  void Anchor(const Sample& s);
+
+  void SerializeTo(ByteWriter* w) const;
+  Status DeserializeFrom(ByteReader* r);
+
+  int64_t ForecastCostOps(SimTime t) const;
+
+ private:
+  double StepOnce(const std::vector<double>& window) const;
+  void ComputeHorizonStd();
+};
+
+// Plain AR(p) on the observed values.
+class ArModel : public PredictiveModel {
+ public:
+  explicit ArModel(const ModelConfig& config);
+
+  ModelType type() const override { return ModelType::kAr; }
+  Status Fit(const std::vector<Sample>& history) override;
+  std::vector<uint8_t> Serialize() const override;
+  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Prediction Predict(SimTime t) const override;
+  void OnAnchor(const Sample& sample) override;
+  int64_t PredictCostOps() const override;
+  int64_t FitCostOps(size_t history_len) const override;
+  std::unique_ptr<PredictiveModel> Clone() const override {
+    return std::make_unique<ArModel>(*this);
+  }
+
+ private:
+  ModelConfig config_;
+  ArCore core_;
+  bool fitted_ = false;
+};
+
+// Seasonal bins plus AR(p) on the de-seasonalized residual.
+class SeasonalArModel : public PredictiveModel {
+ public:
+  explicit SeasonalArModel(const ModelConfig& config);
+
+  ModelType type() const override { return ModelType::kSeasonalAr; }
+  Status Fit(const std::vector<Sample>& history) override;
+  std::vector<uint8_t> Serialize() const override;
+  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Prediction Predict(SimTime t) const override;
+  void OnAnchor(const Sample& sample) override;
+  int64_t PredictCostOps() const override;
+  int64_t FitCostOps(size_t history_len) const override;
+  std::unique_ptr<PredictiveModel> Clone() const override {
+    return std::make_unique<SeasonalArModel>(*this);
+  }
+
+ private:
+  ModelConfig config_;
+  SeasonalBins bins_;
+  ArCore core_;  // runs on residuals (value - seasonal)
+  bool fitted_ = false;
+};
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_AR_H_

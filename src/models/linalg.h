@@ -1,0 +1,67 @@
+// Small dense linear algebra for model fitting: just enough for Yule-Walker systems and
+// multivariate-Gaussian conditioning (tens of dimensions), implemented directly rather
+// than pulling in a BLAS.
+
+#ifndef SRC_MODELS_LINALG_H_
+#define SRC_MODELS_LINALG_H_
+
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace presto {
+
+// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  double& At(int r, int c);
+  double At(int r, int c) const;
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  static Matrix Identity(int n);
+  Matrix Transpose() const;
+  Matrix Multiply(const Matrix& other) const;
+  std::vector<double> MultiplyVec(const std::vector<double>& v) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Cholesky factorization A = L L^T of a symmetric positive-definite matrix. Fails with
+// kFailedPrecondition if A is not (numerically) positive definite.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+// Solves A x = b given the Cholesky factor L of A.
+std::vector<double> CholeskySolve(const Matrix& l, const std::vector<double>& b);
+
+// Solves the symmetric positive-definite system A x = b (factor + solve). Adds
+// `ridge` * I for numerical safety when requested.
+Result<std::vector<double>> SolveSpd(Matrix a, const std::vector<double>& b,
+                                     double ridge = 0.0);
+
+// Levinson-Durbin recursion: given autocovariances r[0..p], returns AR coefficients
+// phi[1..p] (as a p-vector) and the innovation variance. Fails if r[0] <= 0.
+struct YuleWalkerFit {
+  std::vector<double> phi;
+  double innovation_variance = 0.0;
+};
+Result<YuleWalkerFit> LevinsonDurbin(const std::vector<double>& autocov);
+
+// Sample autocovariances of `x` at lags 0..max_lag (biased estimator, standard for YW).
+std::vector<double> Autocovariance(const std::vector<double>& x, int max_lag);
+
+// Ordinary least squares for y ~ a + b*x. Returns {a, b}; fails with fewer than 2
+// distinct x values.
+Result<std::pair<double, double>> FitLine(const std::vector<double>& x,
+                                          const std::vector<double>& y);
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_LINALG_H_

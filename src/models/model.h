@@ -1,0 +1,92 @@
+// Predictive model interface (paper §3, "Prediction Engine").
+//
+// PRESTO's models are deliberately *asymmetric*: expensive to fit at the tethered
+// proxy, cheap to evaluate at the sensor. The same object runs at both ends:
+//
+//   proxy:   model->Fit(history)  -> params = model->Serialize()  --radio--> sensor
+//   sensor:  model->Deserialize(params); every sample: |v - model->Predict(t)| > delta?
+//            push : suppress.    On push, BOTH ends call OnAnchor(sample), keeping the
+//            two replicas' state identical (the proxy knows exactly what the sensor
+//            suppressed, so it can extrapolate the gaps).
+//
+// The mirrored-state contract is what makes model-driven push lossless in expectation:
+// any sample the sensor suppressed is one the proxy can reconstruct to within delta.
+
+#ifndef SRC_MODELS_MODEL_H_
+#define SRC_MODELS_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/sample.h"
+
+namespace presto {
+
+// A forecast with one-sigma uncertainty. Extrapolation answers a query only when
+// `stddev` is within the query's error tolerance (proxy/query logic).
+struct Prediction {
+  double value = 0.0;
+  double stddev = 0.0;
+};
+
+enum class ModelType : uint8_t {
+  kLastValue = 1,   // persistence: predict the last transmitted value
+  kSeasonal = 2,    // time-of-day bins (+ per-bin spread)
+  kAr = 3,          // AR(p) on the sensing grid, anchored at pushes
+  kSeasonalAr = 4,  // seasonal bins + AR(p) on the residual (SARIMA-lite)
+  kMarkov = 5,      // discretized-value Markov chain (activity-style data)
+};
+
+const char* ModelTypeName(ModelType type);
+
+// Tuning knobs shared by the factory. Fields irrelevant to a model type are ignored.
+struct ModelConfig {
+  Duration sample_period = Seconds(31);   // sensing grid the AR state rolls on
+  Duration seasonal_period = Hours(24);   // one diurnal cycle
+  int seasonal_bins = 24;                 // bins per seasonal period
+  int ar_order = 2;
+  int markov_states = 8;
+  int max_forecast_steps = 4096;          // psi-weight horizon for AR variance
+};
+
+class PredictiveModel {
+ public:
+  virtual ~PredictiveModel() = default;
+
+  virtual ModelType type() const = 0;
+  const char* Name() const { return ModelTypeName(type()); }
+
+  // Estimates parameters from a training window (proxy side). History must be
+  // time-ordered; models state their minimum length via the returned error.
+  virtual Status Fit(const std::vector<Sample>& history) = 0;
+
+  // Wire format of the fitted parameters (the bytes the proxy radios to the sensor —
+  // their size is a real communication cost). First byte is the ModelType.
+  virtual std::vector<uint8_t> Serialize() const = 0;
+
+  // Reconstructs a fitted model from Serialize() output (sensor side).
+  virtual Status Deserialize(std::span<const uint8_t> bytes) = 0;
+
+  // Forecast at absolute time `t`, given params + anchors so far. Must be callable for
+  // any `t` (queries extrapolate both forward and into unpushed past gaps).
+  virtual Prediction Predict(SimTime t) const = 0;
+
+  // State update when a sample crosses the radio (push or pull); called identically at
+  // the proxy and the sensor to keep replicas in lockstep.
+  virtual void OnAnchor(const Sample& sample) = 0;
+
+  // Abstract operation counts for CPU-energy accounting on the sensor. A "check" is
+  // Predict + compare; Fit cost is proxy-side (tethered, but reported by benches to
+  // demonstrate the asymmetry requirement from §3).
+  virtual int64_t PredictCostOps() const = 0;
+  virtual int64_t FitCostOps(size_t history_len) const = 0;
+
+  virtual std::unique_ptr<PredictiveModel> Clone() const = 0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_MODEL_H_

@@ -1,0 +1,23 @@
+// Model factory: creation by type and reconstruction from serialized parameters (the
+// sensor-side entry point when model parameters arrive over the radio).
+
+#ifndef SRC_MODELS_REGISTRY_H_
+#define SRC_MODELS_REGISTRY_H_
+
+#include <memory>
+#include <span>
+
+#include "src/models/model.h"
+
+namespace presto {
+
+// Fresh, unfitted model of the given type.
+std::unique_ptr<PredictiveModel> CreateModel(ModelType type, const ModelConfig& config);
+
+// Rebuilds a fitted model from Serialize() bytes (first byte = ModelType).
+Result<std::unique_ptr<PredictiveModel>> DeserializeModel(std::span<const uint8_t> bytes,
+                                                          const ModelConfig& config);
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_REGISTRY_H_

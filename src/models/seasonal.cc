@@ -1,0 +1,222 @@
+#include "src/models/seasonal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+// ---------- SeasonalBins ----------
+
+int SeasonalBins::BinOf(SimTime t) const {
+  PRESTO_DCHECK(!means.empty());
+  const Duration phase = ((t % period) + period) % period;
+  const int bin = static_cast<int>(phase * static_cast<Duration>(means.size()) / period);
+  return std::min(bin, static_cast<int>(means.size()) - 1);
+}
+
+double SeasonalBins::ValueAt(SimTime t) const {
+  PRESTO_DCHECK(!means.empty());
+  const int n = static_cast<int>(means.size());
+  const Duration bin_width = period / n;
+  const Duration phase = ((t % period) + period) % period;
+  // Interpolate between the centers of the two surrounding bins.
+  const double pos = (static_cast<double>(phase) / static_cast<double>(bin_width)) - 0.5;
+  const int lo = static_cast<int>(std::floor(pos));
+  const double frac = pos - std::floor(pos);
+  const int a = ((lo % n) + n) % n;
+  const int b = (a + 1) % n;
+  return means[static_cast<size_t>(a)] * (1.0 - frac) + means[static_cast<size_t>(b)] * frac;
+}
+
+double SeasonalBins::StddevAt(SimTime t) const {
+  return stddevs[static_cast<size_t>(BinOf(t))];
+}
+
+Status SeasonalBins::Fit(const std::vector<Sample>& history, int bins) {
+  PRESTO_CHECK(bins > 0);
+  std::vector<double> sums(static_cast<size_t>(bins), 0.0);
+  std::vector<double> sq(static_cast<size_t>(bins), 0.0);
+  std::vector<int64_t> counts(static_cast<size_t>(bins), 0);
+  means.assign(static_cast<size_t>(bins), 0.0);
+  stddevs.assign(static_cast<size_t>(bins), 0.0);
+  for (const Sample& s : history) {
+    const int b = BinOf(s.t);
+    sums[static_cast<size_t>(b)] += s.value;
+    sq[static_cast<size_t>(b)] += s.value * s.value;
+    ++counts[static_cast<size_t>(b)];
+  }
+  for (int b = 0; b < bins; ++b) {
+    if (counts[static_cast<size_t>(b)] == 0) {
+      return FailedPreconditionError("seasonal fit: a bin has no samples");
+    }
+    const double n = static_cast<double>(counts[static_cast<size_t>(b)]);
+    means[static_cast<size_t>(b)] = sums[static_cast<size_t>(b)] / n;
+    const double var =
+        std::max(0.0, sq[static_cast<size_t>(b)] / n -
+                          means[static_cast<size_t>(b)] * means[static_cast<size_t>(b)]);
+    stddevs[static_cast<size_t>(b)] = std::sqrt(var);
+    // Wire precision is float32; keep the in-RAM copy identical (lockstep contract).
+    means[static_cast<size_t>(b)] =
+        static_cast<double>(static_cast<float>(means[static_cast<size_t>(b)]));
+    stddevs[static_cast<size_t>(b)] =
+        static_cast<double>(static_cast<float>(stddevs[static_cast<size_t>(b)]));
+  }
+  return OkStatus();
+}
+
+void SeasonalBins::SerializeTo(ByteWriter* w) const {
+  w->WriteVarU64(static_cast<uint64_t>(period));
+  w->WriteVarU64(means.size());
+  for (size_t i = 0; i < means.size(); ++i) {
+    w->WriteF32(static_cast<float>(means[i]));
+    w->WriteF32(static_cast<float>(stddevs[i]));
+  }
+}
+
+Status SeasonalBins::DeserializeFrom(ByteReader* r) {
+  auto p = r->ReadVarU64();
+  if (!p.ok()) {
+    return p.status();
+  }
+  period = static_cast<Duration>(*p);
+  auto n = r->ReadVarU64();
+  if (!n.ok()) {
+    return n.status();
+  }
+  means.clear();
+  stddevs.clear();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto m = r->ReadF32();
+    auto s = r->ReadF32();
+    if (!m.ok() || !s.ok()) {
+      return InvalidArgumentError("seasonal params truncated");
+    }
+    means.push_back(static_cast<double>(*m));
+    stddevs.push_back(static_cast<double>(*s));
+  }
+  if (means.empty()) {
+    return InvalidArgumentError("seasonal params empty");
+  }
+  return OkStatus();
+}
+
+// ---------- SeasonalModel ----------
+
+Status SeasonalModel::Fit(const std::vector<Sample>& history) {
+  bins_.period = config_.seasonal_period;
+  PRESTO_RETURN_IF_ERROR(bins_.Fit(history, config_.seasonal_bins));
+  fitted_ = true;
+  return OkStatus();
+}
+
+std::vector<uint8_t> SeasonalModel::Serialize() const {
+  PRESTO_CHECK_MSG(fitted_, "serialize before fit");
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type()));
+  bins_.SerializeTo(&w);
+  return w.TakeBuffer();
+}
+
+Status SeasonalModel::Deserialize(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto tag = r.ReadU8();
+  if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
+    return InvalidArgumentError("not seasonal model params");
+  }
+  PRESTO_RETURN_IF_ERROR(bins_.DeserializeFrom(&r));
+  fitted_ = true;
+  return OkStatus();
+}
+
+Prediction SeasonalModel::Predict(SimTime t) const {
+  PRESTO_CHECK_MSG(fitted_, "predict before fit");
+  return Prediction{bins_.ValueAt(t), bins_.StddevAt(t)};
+}
+
+void SeasonalModel::OnAnchor(const Sample& sample) {
+  // Climatology ignores individual observations by design.
+  (void)sample;
+}
+
+// ---------- LastValueModel ----------
+
+Status LastValueModel::Fit(const std::vector<Sample>& history) {
+  if (history.size() < 8) {
+    return FailedPreconditionError("last-value fit needs >= 8 samples for stable sigmas");
+  }
+  double sum = 0.0;
+  double sq = 0.0;
+  for (const Sample& s : history) {
+    sum += s.value;
+    sq += s.value * s.value;
+  }
+  const double n = static_cast<double>(history.size());
+  mean_ = sum / n;
+  marginal_stddev_ = std::sqrt(std::max(0.0, sq / n - mean_ * mean_));
+
+  double dsq = 0.0;
+  for (size_t i = 1; i < history.size(); ++i) {
+    const double d = history[i].value - history[i - 1].value;
+    dsq += d * d;
+  }
+  step_stddev_ = std::sqrt(dsq / (n - 1.0));
+  fitted_ = true;
+  anchored_ = false;
+  return OkStatus();
+}
+
+std::vector<uint8_t> LastValueModel::Serialize() const {
+  PRESTO_CHECK_MSG(fitted_, "serialize before fit");
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type()));
+  w.WriteVarU64(static_cast<uint64_t>(config_.sample_period));
+  w.WriteF32(static_cast<float>(mean_));
+  w.WriteF32(static_cast<float>(marginal_stddev_));
+  w.WriteF32(static_cast<float>(step_stddev_));
+  return w.TakeBuffer();
+}
+
+Status LastValueModel::Deserialize(std::span<const uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto tag = r.ReadU8();
+  if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
+    return InvalidArgumentError("not last-value model params");
+  }
+  auto period = r.ReadVarU64();
+  auto mean = r.ReadF32();
+  auto marg = r.ReadF32();
+  auto step = r.ReadF32();
+  if (!period.ok() || !mean.ok() || !marg.ok() || !step.ok()) {
+    return InvalidArgumentError("last-value params truncated");
+  }
+  config_.sample_period = static_cast<Duration>(*period);
+  mean_ = static_cast<double>(*mean);
+  marginal_stddev_ = static_cast<double>(*marg);
+  step_stddev_ = static_cast<double>(*step);
+  fitted_ = true;
+  anchored_ = false;
+  return OkStatus();
+}
+
+Prediction LastValueModel::Predict(SimTime t) const {
+  PRESTO_CHECK_MSG(fitted_, "predict before fit");
+  if (!anchored_ || t < anchor_.t) {
+    return Prediction{mean_, std::max(marginal_stddev_, 1e-9)};
+  }
+  const double steps =
+      static_cast<double>(t - anchor_.t) / static_cast<double>(config_.sample_period);
+  const double grow = step_stddev_ * std::sqrt(std::max(steps, 0.0));
+  return Prediction{anchor_.value, std::min(std::max(grow, 1e-9), 2.0 * marginal_stddev_)};
+}
+
+void LastValueModel::OnAnchor(const Sample& sample) {
+  if (anchored_ && sample.t < anchor_.t) {
+    return;  // stale anchor (a pull of past data); persistence keeps the newest
+  }
+  anchor_ = sample;
+  anchored_ = true;
+}
+
+}  // namespace presto

@@ -1,0 +1,92 @@
+// Seasonal (time-of-day) models. The paper's canonical example: "only deviations from
+// the normal temperature for each hour of the day are reported."
+
+#ifndef SRC_MODELS_SEASONAL_H_
+#define SRC_MODELS_SEASONAL_H_
+
+#include <vector>
+
+#include "src/models/model.h"
+#include "src/util/bytes.h"
+
+namespace presto {
+
+// Shared bin machinery: per-bin mean/spread over a repeating period, with linear
+// interpolation between bin centers. Reused by SeasonalModel and SeasonalArModel.
+struct SeasonalBins {
+  Duration period = Hours(24);
+  std::vector<double> means;
+  std::vector<double> stddevs;
+
+  int BinOf(SimTime t) const;
+  // Interpolated seasonal expectation at t.
+  double ValueAt(SimTime t) const;
+  double StddevAt(SimTime t) const;
+
+  // Fits bins from samples; requires at least one sample per bin.
+  Status Fit(const std::vector<Sample>& history, int bins);
+
+  void SerializeTo(ByteWriter* w) const;
+  Status DeserializeFrom(ByteReader* r);
+};
+
+// Pure seasonal predictor: Predict(t) = bin mean. Stateless across anchors (an anchor
+// does not change the climatology), so sensor and proxy replicas agree trivially.
+class SeasonalModel : public PredictiveModel {
+ public:
+  explicit SeasonalModel(const ModelConfig& config) : config_(config) {}
+
+  ModelType type() const override { return ModelType::kSeasonal; }
+  Status Fit(const std::vector<Sample>& history) override;
+  std::vector<uint8_t> Serialize() const override;
+  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Prediction Predict(SimTime t) const override;
+  void OnAnchor(const Sample& sample) override;
+  int64_t PredictCostOps() const override { return 8; }
+  int64_t FitCostOps(size_t history_len) const override {
+    return static_cast<int64_t>(history_len) * 4;
+  }
+  std::unique_ptr<PredictiveModel> Clone() const override {
+    return std::make_unique<SeasonalModel>(*this);
+  }
+
+ private:
+  ModelConfig config_;
+  SeasonalBins bins_;
+  bool fitted_ = false;
+};
+
+// Persistence model: Predict(t) = last transmitted value, uncertainty growing with the
+// time since that anchor (random-walk error model). This is the model-driven analogue
+// of plain value-driven push and the weakest baseline in the model ablation.
+class LastValueModel : public PredictiveModel {
+ public:
+  explicit LastValueModel(const ModelConfig& config) : config_(config) {}
+
+  ModelType type() const override { return ModelType::kLastValue; }
+  Status Fit(const std::vector<Sample>& history) override;
+  std::vector<uint8_t> Serialize() const override;
+  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Prediction Predict(SimTime t) const override;
+  void OnAnchor(const Sample& sample) override;
+  int64_t PredictCostOps() const override { return 4; }
+  int64_t FitCostOps(size_t history_len) const override {
+    return static_cast<int64_t>(history_len) * 2;
+  }
+  std::unique_ptr<PredictiveModel> Clone() const override {
+    return std::make_unique<LastValueModel>(*this);
+  }
+
+ private:
+  ModelConfig config_;
+  double mean_ = 0.0;
+  double marginal_stddev_ = 0.0;
+  double step_stddev_ = 0.0;  // stddev of one-sample differences
+  bool fitted_ = false;
+  bool anchored_ = false;
+  Sample anchor_{};
+};
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_SEASONAL_H_

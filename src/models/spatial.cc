@@ -1,0 +1,111 @@
+#include "src/models/spatial.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+Status SpatialGaussianModel::Fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) {
+    return FailedPreconditionError("spatial fit: no rows");
+  }
+  const int d = static_cast<int>(rows[0].size());
+  if (d < 2) {
+    return FailedPreconditionError("spatial fit: need >= 2 sensors");
+  }
+  if (rows.size() < static_cast<size_t>(d) + 2) {
+    return FailedPreconditionError("spatial fit: need more snapshots than sensors");
+  }
+  for (const auto& row : rows) {
+    if (static_cast<int>(row.size()) != d) {
+      return InvalidArgumentError("spatial fit: ragged rows");
+    }
+  }
+  const double n = static_cast<double>(rows.size());
+  mean_.assign(static_cast<size_t>(d), 0.0);
+  for (const auto& row : rows) {
+    for (int i = 0; i < d; ++i) {
+      mean_[static_cast<size_t>(i)] += row[static_cast<size_t>(i)];
+    }
+  }
+  for (double& m : mean_) {
+    m /= n;
+  }
+  cov_ = Matrix(d, d);
+  for (const auto& row : rows) {
+    for (int i = 0; i < d; ++i) {
+      const double di = row[static_cast<size_t>(i)] - mean_[static_cast<size_t>(i)];
+      for (int j = i; j < d; ++j) {
+        const double dj = row[static_cast<size_t>(j)] - mean_[static_cast<size_t>(j)];
+        cov_.At(i, j) += di * dj;
+      }
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    for (int j = i; j < d; ++j) {
+      cov_.At(i, j) /= n;
+      cov_.At(j, i) = cov_.At(i, j);
+    }
+  }
+  fitted_ = true;
+  return OkStatus();
+}
+
+double SpatialGaussianModel::Correlation(int i, int j) const {
+  PRESTO_CHECK(fitted_);
+  const double denom = std::sqrt(cov_.At(i, i) * cov_.At(j, j));
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return cov_.At(i, j) / denom;
+}
+
+Result<Prediction> SpatialGaussianModel::Condition(
+    int target, const std::vector<std::pair<int, double>>& observed) const {
+  if (!fitted_) {
+    return FailedPreconditionError("spatial model not fitted");
+  }
+  if (target < 0 || target >= dims()) {
+    return InvalidArgumentError("spatial: bad target index");
+  }
+  const double marginal_var = cov_.At(target, target);
+  if (observed.empty()) {
+    return Prediction{mean_[static_cast<size_t>(target)],
+                      std::sqrt(std::max(marginal_var, 0.0))};
+  }
+  const int m = static_cast<int>(observed.size());
+  Matrix sigma_oo(m, m);
+  std::vector<double> delta(static_cast<size_t>(m));
+  std::vector<double> sigma_to(static_cast<size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    const auto& [ia, va] = observed[static_cast<size_t>(a)];
+    if (ia < 0 || ia >= dims() || ia == target) {
+      return InvalidArgumentError("spatial: bad observed index");
+    }
+    delta[static_cast<size_t>(a)] = va - mean_[static_cast<size_t>(ia)];
+    sigma_to[static_cast<size_t>(a)] = cov_.At(target, ia);
+    for (int b = 0; b < m; ++b) {
+      sigma_oo.At(a, b) = cov_.At(ia, observed[static_cast<size_t>(b)].first);
+    }
+  }
+  // Solve Sigma_oo x = delta and Sigma_oo y = Sigma_ot with a touch of ridge for
+  // near-singular neighbour sets (perfectly correlated sensors).
+  auto x = SolveSpd(sigma_oo, delta, /*ridge=*/1e-9 + 1e-6 * marginal_var);
+  if (!x.ok()) {
+    return x.status();
+  }
+  auto y = SolveSpd(sigma_oo, sigma_to, /*ridge=*/1e-9 + 1e-6 * marginal_var);
+  if (!y.ok()) {
+    return y.status();
+  }
+  double value = mean_[static_cast<size_t>(target)];
+  double var = marginal_var;
+  for (int a = 0; a < m; ++a) {
+    value += sigma_to[static_cast<size_t>(a)] * (*x)[static_cast<size_t>(a)];
+    var -= sigma_to[static_cast<size_t>(a)] * (*y)[static_cast<size_t>(a)];
+  }
+  return Prediction{value, std::sqrt(std::max(var, 0.0))};
+}
+
+}  // namespace presto

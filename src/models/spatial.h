@@ -1,0 +1,46 @@
+// Multivariate-Gaussian spatial model (paper §3: "cached data from other nearby sensors
+// ... can be used for such extrapolation", following the BBQ/TinyDB approach [5]).
+//
+// The proxy fits a joint Gaussian over the sensors it manages; when one sensor's data
+// is missing (suppressed, lost, or the sensor failed), the conditional distribution
+// given the neighbours' values yields an extrapolated value with an honest variance.
+
+#ifndef SRC_MODELS_SPATIAL_H_
+#define SRC_MODELS_SPATIAL_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/models/linalg.h"
+#include "src/models/model.h"
+
+namespace presto {
+
+class SpatialGaussianModel {
+ public:
+  // Fits mean vector and covariance from snapshots: `rows[t]` holds the values of all
+  // `dims` sensors at aligned time t. Needs more rows than dims for a usable estimate.
+  Status Fit(const std::vector<std::vector<double>>& rows);
+
+  int dims() const { return static_cast<int>(mean_.size()); }
+  bool fitted() const { return fitted_; }
+
+  const std::vector<double>& mean() const { return mean_; }
+  double Covariance(int i, int j) const { return cov_.At(i, j); }
+  // Pearson correlation between two sensors.
+  double Correlation(int i, int j) const;
+
+  // Conditional N(mu, sigma^2) of sensor `target` given observed {sensor index, value}
+  // pairs. An empty observation set returns the marginal.
+  Result<Prediction> Condition(int target,
+                               const std::vector<std::pair<int, double>>& observed) const;
+
+ private:
+  std::vector<double> mean_;
+  Matrix cov_;
+  bool fitted_ = false;
+};
+
+}  // namespace presto
+
+#endif  // SRC_MODELS_SPATIAL_H_

@@ -1,0 +1,59 @@
+#include "src/net/energy.h"
+
+#include <cstdio>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+const char* EnergyComponentName(EnergyComponent c) {
+  switch (c) {
+    case EnergyComponent::kRadioTx:
+      return "radio_tx";
+    case EnergyComponent::kRadioListen:
+      return "radio_listen";
+    case EnergyComponent::kRadioSleep:
+      return "radio_sleep";
+    case EnergyComponent::kCpu:
+      return "cpu";
+    case EnergyComponent::kSensing:
+      return "sensing";
+    case EnergyComponent::kFlashRead:
+      return "flash_read";
+    case EnergyComponent::kFlashWrite:
+      return "flash_write";
+    case EnergyComponent::kFlashErase:
+      return "flash_erase";
+  }
+  return "?";
+}
+
+void EnergyMeter::Charge(EnergyComponent component, double joules) {
+  PRESTO_DCHECK(joules >= 0.0);
+  totals_[static_cast<size_t>(component)] += joules;
+}
+
+double EnergyMeter::Total() const {
+  double sum = 0.0;
+  for (double t : totals_) {
+    sum += t;
+  }
+  return sum;
+}
+
+std::string EnergyMeter::Breakdown() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "total=%.3fJ", Total());
+  std::string out = buf;
+  for (int i = 0; i < kNumEnergyComponents; ++i) {
+    if (totals_[static_cast<size_t>(i)] > 0.0) {
+      std::snprintf(buf, sizeof(buf), " %s=%.3fJ",
+                    EnergyComponentName(static_cast<EnergyComponent>(i)),
+                    totals_[static_cast<size_t>(i)]);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace presto

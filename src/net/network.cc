@@ -1,0 +1,282 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/assert.h"
+#include "src/util/logging.h"
+
+namespace presto {
+namespace {
+
+std::pair<NodeId, NodeId> OrderedPair(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+}  // namespace
+
+Network::Network(Simulator* sim, NetworkParams params, uint64_t seed)
+    : sim_(sim), params_(params), rng_(seed, /*stream=*/0x4e4554) {
+  PRESTO_CHECK(sim_ != nullptr);
+  PRESTO_CHECK(params_.max_retries >= 0);
+}
+
+void Network::AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config,
+                         EnergyMeter* meter) {
+  PRESTO_CHECK(node != nullptr);
+  PRESTO_CHECK_MSG(nodes_.find(id) == nodes_.end(), "duplicate node id");
+  NodeState state;
+  state.handler = node;
+  state.config = config;
+  state.meter = meter;
+  state.idle_checkpoint = sim_->Now();
+  state.listen_charged_until = sim_->Now();
+  nodes_.emplace(id, std::move(state));
+}
+
+void Network::ConnectWired(NodeId a, NodeId b) { wired_[OrderedPair(a, b)] = true; }
+
+void Network::SetLinkLoss(NodeId a, NodeId b, double per_frame_loss) {
+  PRESTO_CHECK(per_frame_loss >= 0.0 && per_frame_loss < 1.0);
+  link_loss_[OrderedPair(a, b)] = per_frame_loss;
+}
+
+void Network::SetNodeDown(NodeId id, bool down) {
+  NodeState& node = GetNode(id);
+  if (!node.config.powered && !down && node.down) {
+    // A rebooting node restarts idle accounting from now.
+    node.idle_checkpoint = sim_->Now();
+  }
+  if (!node.config.powered && down) {
+    ChargeIdle(node);
+  }
+  node.down = down;
+}
+
+bool Network::IsNodeDown(NodeId id) const { return GetNode(id).down; }
+
+void Network::SetLplInterval(NodeId id, Duration interval) {
+  PRESTO_CHECK(interval > 0);
+  NodeState& node = GetNode(id);
+  ChargeIdle(node);  // settle at the old rate first
+  node.config.lpl_interval = interval;
+}
+
+Duration Network::LplInterval(NodeId id) const { return GetNode(id).config.lpl_interval; }
+
+Network::NodeState& Network::GetNode(NodeId id) {
+  auto it = nodes_.find(id);
+  PRESTO_CHECK_MSG(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+const Network::NodeState& Network::GetNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  PRESTO_CHECK_MSG(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+double Network::LinkLoss(NodeId a, NodeId b) const {
+  auto it = link_loss_.find(OrderedPair(a, b));
+  return it != link_loss_.end() ? it->second : params_.default_frame_loss;
+}
+
+const NodeNetStats& Network::node_stats(NodeId id) const { return GetNode(id).stats; }
+
+void Network::ChargeIdle(NodeState& node) {
+  const SimTime now = sim_->Now();
+  if (node.config.powered || node.meter == nullptr || node.down) {
+    node.idle_checkpoint = now;
+    return;
+  }
+  const Duration elapsed = now - node.idle_checkpoint;
+  if (elapsed <= 0) {
+    return;
+  }
+  // LPL channel sampling: one `lpl_sample` listen per `lpl_interval`.
+  const double sample_fraction = static_cast<double>(params_.radio.lpl_sample) /
+                                 static_cast<double>(node.config.lpl_interval);
+  node.meter->Charge(EnergyComponent::kRadioListen,
+                     ToSeconds(elapsed) * sample_fraction * params_.radio.listen_power_w);
+  node.meter->Charge(EnergyComponent::kRadioSleep,
+                     params_.radio.SleepEnergy(elapsed));
+  node.idle_checkpoint = now;
+}
+
+void Network::ChargeListenWindow(NodeState& node, SimTime from, SimTime until) {
+  if (node.config.powered || node.meter == nullptr) {
+    return;
+  }
+  const SimTime start = std::max(from, node.listen_charged_until);
+  if (until <= start) {
+    return;
+  }
+  node.meter->Charge(EnergyComponent::kRadioListen, params_.radio.ListenEnergy(until - start));
+  node.listen_charged_until = until;
+}
+
+void Network::SendWired(NodeState& src, NodeState& dst, Message message) {
+  const Duration serialization = static_cast<Duration>(
+      static_cast<double>(message.payload.size()) * 8.0 / params_.wired_bit_rate_bps *
+      static_cast<double>(kSecond));
+  const SimTime deliver_at = sim_->Now() + params_.wired_latency + serialization;
+  ++stats_.wired_messages;
+  ++stats_.messages_sent;
+  ++src.stats.messages_sent;
+  message.delivered_at = deliver_at;
+  NodeState* dst_ptr = &dst;
+  sim_->ScheduleAt(deliver_at, [this, dst_ptr, msg = std::move(message)]() mutable {
+    if (dst_ptr->down) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    ++dst_ptr->stats.messages_received;
+    dst_ptr->handler->OnMessage(msg);
+  });
+}
+
+void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint8_t> payload) {
+  NodeState& src = GetNode(src_id);
+  NodeState& dst = GetNode(dst_id);
+
+  Message message;
+  message.src = src_id;
+  message.dst = dst_id;
+  message.type = type;
+  message.payload = std::move(payload);
+  message.sent_at = sim_->Now();
+
+  if (src.down) {
+    // A dead node cannot transmit; silently drop (caller logic should not be reached).
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  if (wired_.count(OrderedPair(src_id, dst_id)) > 0) {
+    SendWired(src, dst, std::move(message));
+    return;
+  }
+
+  const RadioParams& radio = params_.radio;
+  const double loss = LinkLoss(src_id, dst_id);
+
+  ++stats_.messages_sent;
+  ++src.stats.messages_sent;
+  ++src.stats.bursts;
+
+  // Burst start: after any transmission already in progress from this sender.
+  SimTime t = std::max(sim_->Now(), src.busy_until);
+
+  // --- Rendezvous: how long a preamble must the first frame carry? ---
+  bool receiver_awake = dst.config.powered || (t < dst.listen_until);
+  Duration preamble;
+  Duration receiver_preamble_rx = 0;  // portion of the preamble the receiver listens to
+  if (receiver_awake) {
+    preamble = radio.TimeOnAir(radio.short_preamble_bytes);
+    receiver_preamble_rx = preamble;
+  } else {
+    // B-MAC: preamble spans the receiver's LPL check interval; the receiver's periodic
+    // channel sample catches it at a uniformly random point and stays on till the data.
+    preamble = dst.config.lpl_interval;
+    receiver_preamble_rx =
+        static_cast<Duration>(rng_.NextDouble() * static_cast<double>(preamble));
+  }
+
+  t += radio.turnaround;
+  double src_tx_s = ToSeconds(preamble);
+  double src_listen_s = 0.0;
+  double dst_listen_s = ToSeconds(receiver_preamble_rx);
+  double dst_tx_s = 0.0;
+  t += preamble;
+
+  // --- Frames ---
+  const int total_bytes = static_cast<int>(message.payload.size());
+  const int frames = radio.FramesFor(total_bytes);
+  const Duration ack_time = radio.TimeOnAir(radio.ack_bytes);
+  bool delivered = true;
+  for (int f = 0; f < frames && delivered; ++f) {
+    const int chunk = std::min(radio.max_payload_bytes,
+                               total_bytes - f * radio.max_payload_bytes);
+    const int frame_bytes = radio.frame_header_bytes + std::max(chunk, 0) +
+                            radio.frame_crc_bytes +
+                            (f > 0 ? radio.short_preamble_bytes : 0);
+    const Duration frame_time = radio.TimeOnAir(frame_bytes);
+
+    bool frame_acked = false;
+    for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
+      ++stats_.frames_sent;
+      ++src.stats.frames_sent;
+      src.stats.bytes_sent += static_cast<uint64_t>(frame_bytes);
+      if (attempt > 0) {
+        ++stats_.frame_retries;
+        ++src.stats.frame_retries;
+      }
+      t += frame_time;
+      src_tx_s += ToSeconds(frame_time);
+      dst_listen_s += ToSeconds(frame_time);
+
+      const bool frame_ok = !dst.down && !rng_.Bernoulli(loss);
+      // ACK exchange: receiver turns around and answers; ACKs are short, so give them a
+      // quarter of the frame loss probability.
+      t += radio.turnaround + ack_time;
+      src_listen_s += ToSeconds(ack_time);
+      dst_tx_s += ToSeconds(ack_time);
+      const bool ack_ok = frame_ok && !rng_.Bernoulli(loss / 4.0);
+      if (ack_ok) {
+        frame_acked = true;
+        break;
+      }
+    }
+    if (!frame_acked) {
+      delivered = false;
+    }
+  }
+
+  // --- Post-burst listen window (unpowered senders await proxy feedback) ---
+  const SimTime burst_end = t;
+  src.busy_until = burst_end;
+
+  if (src.meter != nullptr && !src.config.powered) {
+    src.meter->Charge(EnergyComponent::kRadioTx, src_tx_s * radio.tx_power_w);
+    src.meter->Charge(EnergyComponent::kRadioListen, src_listen_s * radio.listen_power_w);
+    src.listen_until = std::max(src.listen_until, burst_end + src.config.post_burst_listen);
+    ChargeListenWindow(src, burst_end, src.listen_until);
+  }
+  if (dst.meter != nullptr && !dst.config.powered && !dst.down) {
+    dst.meter->Charge(EnergyComponent::kRadioListen, dst_listen_s * radio.listen_power_w);
+    dst.meter->Charge(EnergyComponent::kRadioTx, dst_tx_s * radio.tx_power_w);
+    // A receiver that was woken stays awake for its own feedback window, making an
+    // immediate reply cheap (the "active interaction" in §2 of the paper).
+    dst.listen_until = std::max(dst.listen_until, burst_end + dst.config.post_burst_listen);
+    ChargeListenWindow(dst, burst_end, dst.listen_until);
+  }
+
+  if (!delivered) {
+    ++stats_.messages_dropped;
+    ++src.stats.messages_dropped;
+    PLOG_DEBUG("net: message %u->%u type=%u dropped after retries", src_id, dst_id, type);
+    return;
+  }
+
+  message.delivered_at = burst_end;
+  NodeState* dst_ptr = &dst;
+  sim_->ScheduleAt(burst_end, [this, dst_ptr, msg = std::move(message)]() mutable {
+    if (dst_ptr->down) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    ++dst_ptr->stats.messages_received;
+    dst_ptr->handler->OnMessage(msg);
+  });
+}
+
+void Network::SettleIdleEnergy() {
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    ChargeIdle(node);
+  }
+}
+
+}  // namespace presto

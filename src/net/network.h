@@ -1,0 +1,157 @@
+// Tiered sensor-network fabric: low-power wireless links between sensors and their
+// proxy, wired links between proxies.
+//
+// Wireless transfers follow a B-MAC-style low-power-listening (LPL) MAC:
+//  - Unpowered receivers sleep and sample the channel every `lpl_interval`; reaching one
+//    costs the sender a preamble spanning that interval, and delivery waits for it.
+//    This is the duty-cycling knob the PRESTO proxy tunes from query latency needs (§3).
+//  - Powered receivers (tethered proxies) listen continuously; senders use a short
+//    preamble.
+//  - A message larger than one frame is sent as a burst; only the first frame pays the
+//    rendezvous preamble, later frames ride the awake receiver. Fewer bursts and fewer
+//    frames are exactly the per-packet overheads (preamble/header/ACK) that the paper's
+//    Figure 2 attributes batching gains to.
+//  - After a burst, an unpowered sender keeps its radio in receive mode for
+//    `post_burst_listen`, giving the proxy a cheap rendezvous for feedback (model
+//    parameters, reconfiguration, queries) — the paper's "active interaction" pattern.
+//  - Frames are lost independently with a per-link probability; each frame is ACKed and
+//    retried up to `max_retries`, after which the whole message is dropped.
+//
+// All sender/receiver energy is charged to the nodes' EnergyMeters; idle costs (sleep +
+// LPL channel sampling) accrue per configured interval via SettleIdleEnergy().
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/net/energy.h"
+#include "src/net/radio.h"
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+
+namespace presto {
+
+using NodeId = uint32_t;
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  uint16_t type = 0;  // application-defined discriminator
+  std::vector<uint8_t> payload;
+  SimTime sent_at = 0;
+  SimTime delivered_at = 0;
+};
+
+// Implemented by anything attached to the network (sensors, proxies).
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+  virtual void OnMessage(const Message& message) = 0;
+};
+
+struct NodeRadioConfig {
+  bool powered = false;                     // tethered: always listening, energy unmetered
+  Duration lpl_interval = Seconds(1);       // LPL check period when unpowered
+  Duration post_burst_listen = Seconds(5);  // stay-awake window after sending a burst
+};
+
+struct NetworkParams {
+  RadioParams radio = Cc1000Radio();
+  int max_retries = 5;
+  double default_frame_loss = 0.0;  // per-frame loss probability unless SetLinkLoss overrides
+  Duration wired_latency = Millis(2);
+  double wired_bit_rate_bps = 1e6;
+};
+
+struct NodeNetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  uint64_t messages_dropped = 0;  // sent by this node, never delivered
+  uint64_t bursts = 0;
+  uint64_t frames_sent = 0;  // includes retransmissions
+  uint64_t frame_retries = 0;
+  uint64_t bytes_sent = 0;  // payload + per-frame overhead actually radiated
+};
+
+struct NetStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frame_retries = 0;
+  uint64_t wired_messages = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, NetworkParams params, uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a node. `meter` may be null (energy not tracked, e.g. powered proxies).
+  // `node` must outlive the network or be detached before destruction.
+  void AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config, EnergyMeter* meter);
+
+  // Declares a wired (tethered) pair; messages between them use the wired path.
+  void ConnectWired(NodeId a, NodeId b);
+
+  // Sets the symmetric per-frame loss probability between two nodes.
+  void SetLinkLoss(NodeId a, NodeId b, double per_frame_loss);
+
+  // Failure injection: a down node neither receives nor sends (sends are dropped after
+  // the sender pays for its futile retries).
+  void SetNodeDown(NodeId id, bool down);
+  bool IsNodeDown(NodeId id) const;
+
+  // Duty-cycle adaptation: changes a node's LPL check interval (charging idle energy
+  // accrued so far at the old rate).
+  void SetLplInterval(NodeId id, Duration interval);
+  Duration LplInterval(NodeId id) const;
+
+  // Sends `payload` from src to dst. Cost, loss, latency are simulated; on success
+  // dst->OnMessage fires at the computed delivery time.
+  void Send(NodeId src, NodeId dst, uint16_t type, std::vector<uint8_t> payload);
+
+  // Charges sleep + LPL sampling energy up to Now for all unpowered nodes. Call before
+  // reading meters at the end of a run (idempotent; may be called mid-run).
+  void SettleIdleEnergy();
+
+  const NetStats& stats() const { return stats_; }
+  const NodeNetStats& node_stats(NodeId id) const;
+  const NetworkParams& params() const { return params_; }
+
+ private:
+  struct NodeState {
+    NetNode* handler = nullptr;
+    NodeRadioConfig config;
+    EnergyMeter* meter = nullptr;  // null => unmetered
+    bool down = false;
+    SimTime busy_until = 0;           // sender-side serialization of bursts
+    SimTime listen_until = 0;         // end of current post-burst listen window
+    SimTime listen_charged_until = 0; // listen energy already charged up to here
+    SimTime idle_checkpoint = 0;      // idle energy settled up to here
+    NodeNetStats stats;
+  };
+
+  NodeState& GetNode(NodeId id);
+  const NodeState& GetNode(NodeId id) const;
+  double LinkLoss(NodeId a, NodeId b) const;
+  void ChargeIdle(NodeState& node);
+  void ChargeListenWindow(NodeState& node, SimTime from, SimTime until);
+  void SendWired(NodeState& src, NodeState& dst, Message message);
+
+  Simulator* sim_;
+  NetworkParams params_;
+  Pcg32 rng_;
+  std::map<NodeId, NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, double> link_loss_;
+  std::map<std::pair<NodeId, NodeId>, bool> wired_;
+  NetStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_NET_NETWORK_H_

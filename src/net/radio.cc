@@ -1,0 +1,37 @@
+#include "src/net/radio.h"
+
+namespace presto {
+
+RadioParams Cc1000Radio() {
+  RadioParams p;
+  p.bit_rate_bps = 19200.0;
+  p.tx_power_w = 60e-3;      // ~20 mA @ 3 V at 5 dBm
+  p.listen_power_w = 45e-3;  // ~15 mA @ 3 V receive/idle
+  p.sleep_power_w = 6e-6;
+  p.turnaround = Millis(2.5);
+  p.lpl_sample = Millis(2.5);
+  p.frame_header_bytes = 11;
+  p.frame_crc_bytes = 2;
+  p.max_payload_bytes = 64;
+  p.ack_bytes = 11;
+  p.short_preamble_bytes = 8;
+  return p;
+}
+
+RadioParams Cc2420Radio() {
+  RadioParams p;
+  p.bit_rate_bps = 250000.0;
+  p.tx_power_w = 52.2e-3;    // 17.4 mA @ 3 V at 0 dBm
+  p.listen_power_w = 56.4e-3;  // 18.8 mA @ 3 V
+  p.sleep_power_w = 3e-6;
+  p.turnaround = Micros(192 * 2);
+  p.lpl_sample = Millis(2.5);
+  p.frame_header_bytes = 11;
+  p.frame_crc_bytes = 2;
+  p.max_payload_bytes = 102;
+  p.ack_bytes = 11;
+  p.short_preamble_bytes = 4;
+  return p;
+}
+
+}  // namespace presto

@@ -1,0 +1,598 @@
+#include "src/proxy/proxy_node.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/logging.h"
+#include "src/wavelet/codec.h"
+
+namespace presto {
+
+const char* AnswerSourceName(AnswerSource source) {
+  switch (source) {
+    case AnswerSource::kCacheHit:
+      return "cache-hit";
+    case AnswerSource::kExtrapolated:
+      return "extrapolated";
+    case AnswerSource::kSensorPull:
+      return "sensor-pull";
+    case AnswerSource::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+ProxyNode::ProxyNode(Simulator* sim, Network* net, const ProxyNodeConfig& config)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      maintenance_timer_(sim, [this] { RunMaintenance(); }) {
+  PRESTO_CHECK(sim_ != nullptr);
+  PRESTO_CHECK(net_ != nullptr);
+  NodeRadioConfig radio;
+  radio.powered = true;
+  net_->AttachNode(config_.id, this, radio, /*meter=*/nullptr);
+}
+
+void ProxyNode::RegisterSensor(NodeId sensor_id, Duration sensing_period, bool replica) {
+  PRESTO_CHECK_MSG(sensors_.find(sensor_id) == sensors_.end(), "sensor already registered");
+  auto state = std::make_unique<SensorState>(sensor_id, sensing_period, config_.engine,
+                                             config_.matcher);
+  state->is_replica = replica;
+  sensors_.emplace(sensor_id, std::move(state));
+}
+
+void ProxyNode::Start() { maintenance_timer_.Start(config_.maintenance_period); }
+
+std::vector<NodeId> ProxyNode::sensors() const {
+  std::vector<NodeId> out;
+  out.reserve(sensors_.size());
+  for (const auto& [id, state] : sensors_) {
+    if (!state->is_replica) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+ProxyNode::SensorState& ProxyNode::GetSensor(NodeId sensor_id) {
+  auto it = sensors_.find(sensor_id);
+  PRESTO_CHECK_MSG(it != sensors_.end(), "unknown sensor");
+  return *it->second;
+}
+
+const ProxyNode::SensorState* ProxyNode::FindSensor(NodeId sensor_id) const {
+  auto it = sensors_.find(sensor_id);
+  return it == sensors_.end() ? nullptr : it->second.get();
+}
+
+const SummaryCache* ProxyNode::cache(NodeId sensor_id) const {
+  const SensorState* s = FindSensor(sensor_id);
+  return s == nullptr ? nullptr : &s->cache;
+}
+
+const PredictionEngine* ProxyNode::engine(NodeId sensor_id) const {
+  const SensorState* s = FindSensor(sensor_id);
+  return s == nullptr ? nullptr : &s->engine;
+}
+
+Result<double> ProxyNode::SyncResidualRms(NodeId sensor_id) const {
+  const SensorState* s = FindSensor(sensor_id);
+  if (s == nullptr) {
+    return NotFoundError("unknown sensor");
+  }
+  return s->sync.ResidualRms();
+}
+
+std::vector<Sample> ProxyNode::CachedRange(NodeId sensor_id, TimeInterval range) const {
+  const SensorState* s = FindSensor(sensor_id);
+  if (s == nullptr) {
+    return {};
+  }
+  return s->cache.Range(range);
+}
+
+std::vector<Sample> ProxyNode::CorrectTimestamps(SensorState& sensor,
+                                                 const std::vector<Sample>& local) const {
+  std::vector<Sample> out;
+  out.reserve(local.size());
+  const SimTime now = sim_->Now();
+  for (const Sample& s : local) {
+    auto corrected = sensor.sync.Correct(s.t);
+    SimTime t = corrected.ok() ? *corrected : s.t;  // identity until sync warms up
+    t = std::min(t, now);  // corrected stamps can never land in the observer's future
+    out.push_back(Sample{t, s.value});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.t < b.t; });
+  return out;
+}
+
+// ---------- inbound messages ----------
+
+void ProxyNode::OnMessage(const Message& message) {
+  switch (static_cast<MsgType>(message.type)) {
+    case MsgType::kDataPush:
+      HandleDataPush(message);
+      break;
+    case MsgType::kArchiveReply:
+      HandleArchiveReply(message);
+      break;
+    case MsgType::kReplicaUpdate:
+      HandleReplicaUpdate(message);
+      break;
+    case MsgType::kReplicaModel:
+      HandleReplicaModel(message);
+      break;
+    default:
+      PLOG_WARN("proxy %u: unexpected message type %u", config_.id, message.type);
+      break;
+  }
+}
+
+void ProxyNode::HandleDataPush(const Message& message) {
+  auto msg = DataPushMsg::Decode(message.payload);
+  if (!msg.ok()) {
+    PLOG_WARN("proxy %u: bad push from %u", config_.id, message.src);
+    return;
+  }
+  auto it = sensors_.find(message.src);
+  if (it == sensors_.end()) {
+    PLOG_WARN("proxy %u: push from unregistered sensor %u", config_.id, message.src);
+    return;
+  }
+  SensorState& sensor = *it->second;
+
+  // Every push doubles as a time-sync beacon: the sensor stamped its local clock at
+  // send time, and we know the reference arrival time.
+  sensor.sync.AddBeacon(msg->local_send_time, sim_->Now());
+
+  auto batch = DecodeBatch(msg->batch);
+  if (!batch.ok()) {
+    PLOG_WARN("proxy %u: undecodable batch from %u", config_.id, message.src);
+    return;
+  }
+  const std::vector<Sample> corrected = CorrectTimestamps(sensor, batch->samples);
+
+  ++stats_.pushes_received;
+  stats_.push_samples += corrected.size();
+  sensor.last_push = sim_->Now();
+  for (const Sample& s : corrected) {
+    sensor.cache.Insert(s.t, s.value, CacheSource::kPushed, sim_->Now());
+    sensor.engine.ObserveTraining(s);
+  }
+  if (msg->reason == PushReason::kModelDeviation && !corrected.empty()) {
+    sensor.engine.MirrorAnchor(corrected.back());
+    sensor.engine.NoteDeviationPush(sim_->Now());
+  }
+  Replicate(sensor.id, corrected);
+
+  if (config_.manage_models && config_.mode == ProxyMode::kPresto) {
+    // A sensor still in bootstrap after we sent a model means the update was lost.
+    const bool resend = msg->reason == PushReason::kBootstrap && sensor.model_sent &&
+                        sim_->Now() - sensor.last_model_send > Minutes(10);
+    if (!sensor.model_sent || resend) {
+      MaybeSendModel(sensor);
+    }
+  }
+}
+
+void ProxyNode::MaybeSendModel(SensorState& sensor) {
+  if (!sensor.engine.ReadyToFit()) {
+    return;
+  }
+  auto params = sensor.engine.FitAndSerialize();
+  if (!params.ok()) {
+    PLOG_WARN("proxy %u: model fit for sensor %u failed: %s", config_.id, sensor.id,
+              params.status().ToString().c_str());
+    return;
+  }
+  ModelUpdateMsg msg;
+  msg.model_seq = static_cast<uint32_t>(sensor.engine.fit_count());
+  msg.tolerance = config_.default_tolerance;
+  msg.model_params = *params;
+  net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kModelUpdate),
+             msg.Encode());
+  sensor.model_sent = true;
+  sensor.last_model_send = sim_->Now();
+  ++stats_.model_sends;
+
+  if (config_.enable_replication) {
+    ReplicaModelMsg rep;
+    rep.sensor_id = sensor.id;
+    rep.tolerance = msg.tolerance;
+    rep.model_params = msg.model_params;
+    net_->Send(config_.id, config_.replica_id,
+               static_cast<uint16_t>(MsgType::kReplicaModel), rep.Encode());
+  }
+  PLOG_DEBUG("proxy %u: sent %zu-byte model to sensor %u (fit #%llu)", config_.id,
+             msg.model_params.size(), sensor.id,
+             static_cast<unsigned long long>(sensor.engine.fit_count()));
+}
+
+void ProxyNode::RunMaintenance() {
+  const SimTime now = sim_->Now();
+  for (auto& [id, sensor] : sensors_) {
+    (void)id;
+    if (sensor->is_replica) {
+      continue;  // the owner manages models and configuration for its sensors
+    }
+    if (config_.mode == ProxyMode::kPresto && config_.manage_models &&
+        sensor->engine.ShouldRefit(now)) {
+      MaybeSendModel(*sensor);
+    }
+    // Query-sensor matching applies to any architecture that can reconfigure sensors.
+    if (config_.enable_matcher) {
+      auto update = sensor->matcher.Recommend(now);
+      if (update.has_value()) {
+        net_->Send(config_.id, sensor->id, static_cast<uint16_t>(MsgType::kConfigUpdate),
+                   update->Encode());
+        ++stats_.config_sends;
+      }
+    }
+  }
+}
+
+// ---------- queries ----------
+
+void ProxyNode::Answer(const QueryAnswer& answer, const QueryCallback& callback,
+                       bool is_now) {
+  if (answer.status.ok()) {
+    switch (answer.source) {
+      case AnswerSource::kCacheHit:
+        ++stats_.cache_hits;
+        break;
+      case AnswerSource::kExtrapolated:
+        ++stats_.extrapolations;
+        break;
+      case AnswerSource::kSensorPull:
+        break;  // counted at issue time
+      case AnswerSource::kFailed:
+        break;
+    }
+  } else {
+    ++stats_.failures;
+  }
+  SampleSet& lat = is_now ? stats_.now_latency_ms : stats_.past_latency_ms;
+  lat.Add(ToMillis(answer.Latency()));
+  callback(answer);
+}
+
+void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
+                         QueryCallback callback) {
+  ++stats_.queries;
+  const SimTime now = sim_->Now();
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    QueryAnswer answer;
+    answer.status = NotFoundError("proxy does not manage this sensor");
+    answer.issued_at = now;
+    answer.completed_at = now;
+    Answer(answer, callback, /*is_now=*/true);
+    return;
+  }
+  SensorState& sensor = *it->second;
+  sensor.matcher.NoteQuery(latency_bound, tolerance);
+
+  if (config_.mode != ProxyMode::kAlwaysPull) {
+    // 1) Fresh cached observation.
+    auto latest = sensor.cache.Latest();
+    const Duration fresh = static_cast<Duration>(
+        config_.freshness_periods * static_cast<double>(sensor.sensing_period));
+    if (latest.has_value() && now - latest->first <= fresh) {
+      QueryAnswer answer;
+      answer.status = OkStatus();
+      answer.source = AnswerSource::kCacheHit;
+      answer.samples = {Sample{latest->first, latest->second.value}};
+      answer.value = latest->second.value;
+      answer.error_estimate = 0.0;
+      answer.issued_at = now;
+      answer.completed_at = now;
+      Answer(answer, callback, /*is_now=*/true);
+      return;
+    }
+    // 2) Model extrapolation. With model-driven push the sensor guarantees that any
+    //    sample deviating more than the push tolerance would have been pushed, so the
+    //    prediction error at sensing instants is bounded by that tolerance.
+    if (config_.mode == ProxyMode::kPresto && sensor.engine.has_model()) {
+      auto prediction = sensor.engine.Predict(now);
+      if (prediction.ok()) {
+        const double bound =
+            std::max(config_.default_tolerance, prediction->stddev * 0.5);
+        if (bound <= tolerance) {
+          QueryAnswer answer;
+          answer.status = OkStatus();
+          answer.source = AnswerSource::kExtrapolated;
+          answer.samples = {Sample{now, prediction->value}};
+          answer.value = prediction->value;
+          answer.error_estimate = bound;
+          answer.issued_at = now;
+          answer.completed_at = now;
+          Answer(answer, callback, /*is_now=*/true);
+          return;
+        }
+      }
+    }
+    if (config_.mode == ProxyMode::kCacheOnly) {
+      // Stream-style proxies have nothing better than the cache.
+      QueryAnswer answer;
+      answer.issued_at = now;
+      answer.completed_at = now;
+      if (latest.has_value()) {
+        answer.status = OkStatus();
+        answer.source = AnswerSource::kCacheHit;
+        answer.samples = {Sample{latest->first, latest->second.value}};
+        answer.value = latest->second.value;
+        answer.error_estimate =
+            ToSeconds(now - latest->first) / ToSeconds(sensor.sensing_period);
+      } else {
+        answer.status = NotFoundError("nothing cached yet");
+      }
+      Answer(answer, callback, /*is_now=*/true);
+      return;
+    }
+  }
+  // 3) Cache-miss-triggered pull of the freshest archive data.
+  const TimeInterval range{now - 2 * sensor.sensing_period, now + sensor.sensing_period};
+  IssuePull(sensor, range, tolerance, /*is_now=*/true, now, std::move(callback));
+}
+
+void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
+                          QueryCallback callback) {
+  ++stats_.queries;
+  const SimTime now = sim_->Now();
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    QueryAnswer answer;
+    answer.status = NotFoundError("proxy does not manage this sensor");
+    answer.issued_at = now;
+    answer.completed_at = now;
+    Answer(answer, callback, /*is_now=*/false);
+    return;
+  }
+  SensorState& sensor = *it->second;
+  sensor.matcher.NoteQuery(config_.pull_timeout, tolerance);
+
+  if (config_.mode != ProxyMode::kAlwaysPull) {
+    const double coverage = sensor.cache.CoverageFraction(range, sensor.sensing_period);
+    // 1) The cache alone covers the range densely enough.
+    if (coverage >= config_.past_coverage_threshold) {
+      QueryAnswer answer;
+      answer.status = OkStatus();
+      answer.source = AnswerSource::kCacheHit;
+      answer.samples = sensor.cache.Range(range);
+      if (!answer.samples.empty()) {
+        answer.value = answer.samples.back().value;
+      }
+      answer.error_estimate = 0.0;
+      answer.issued_at = now;
+      answer.completed_at = now;
+      Answer(answer, callback, /*is_now=*/false);
+      return;
+    }
+    // 2) Fill the gaps by extrapolation if the model's uncertainty fits the tolerance.
+    if (config_.mode == ProxyMode::kPresto && sensor.engine.has_model()) {
+      std::vector<Sample> merged;
+      double worst = 0.0;
+      bool extrapolation_ok = true;
+      for (SimTime t = range.start; t < range.end; t += sensor.sensing_period) {
+        auto cached = sensor.cache.Nearest(t, sensor.sensing_period / 2);
+        if (cached.has_value()) {
+          merged.push_back(Sample{t, cached->second.value});
+          continue;
+        }
+        auto prediction = sensor.engine.Predict(t);
+        if (!prediction.ok() || prediction->stddev > tolerance) {
+          extrapolation_ok = false;
+          break;
+        }
+        worst = std::max(worst, prediction->stddev);
+        merged.push_back(Sample{t, prediction->value});
+      }
+      if (extrapolation_ok) {
+        QueryAnswer answer;
+        answer.status = OkStatus();
+        answer.source = AnswerSource::kExtrapolated;
+        answer.samples = std::move(merged);
+        if (!answer.samples.empty()) {
+          answer.value = answer.samples.back().value;
+        }
+        answer.error_estimate = worst;
+        answer.issued_at = now;
+        answer.completed_at = now;
+        Answer(answer, callback, /*is_now=*/false);
+        return;
+      }
+    }
+    if (config_.mode == ProxyMode::kCacheOnly) {
+      QueryAnswer answer;
+      answer.issued_at = now;
+      answer.completed_at = now;
+      answer.samples = sensor.cache.Range(range);
+      if (answer.samples.empty()) {
+        answer.status = NotFoundError("range not cached and this proxy cannot pull");
+      } else {
+        answer.status = OkStatus();
+        answer.source = AnswerSource::kCacheHit;
+        answer.value = answer.samples.back().value;
+        answer.error_estimate = 1.0 - coverage;
+      }
+      Answer(answer, callback, /*is_now=*/false);
+      return;
+    }
+  }
+  // 3) Pull the range from the sensor's archive.
+  IssuePull(sensor, range, tolerance, /*is_now=*/false, now, std::move(callback));
+}
+
+void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolerance,
+                          bool is_now, SimTime issued_at, QueryCallback callback) {
+  const uint32_t id = next_pull_id_++;
+  ArchiveQueryMsg msg;
+  msg.query_id = id;
+  auto local_start = sensor.sync.ToLocal(range.start);
+  auto local_end = sensor.sync.ToLocal(range.end);
+  msg.local_start = local_start.ok() ? *local_start : range.start;
+  msg.local_end = local_end.ok() ? *local_end : range.end;
+  msg.compress = true;
+
+  PendingPull pull;
+  pull.id = id;
+  pull.sensor_id = sensor.id;
+  pull.is_now = is_now;
+  pull.range = range;
+  pull.tolerance = tolerance;
+  pull.issued_at = issued_at;
+  pull.callback = std::move(callback);
+  pull.timeout = sim_->ScheduleIn(config_.pull_timeout, [this, id] {
+    auto it = pending_pulls_.find(id);
+    if (it == pending_pulls_.end()) {
+      return;
+    }
+    PendingPull timed_out = std::move(it->second);
+    pending_pulls_.erase(it);
+    ++stats_.pull_timeouts;
+    QueryAnswer answer;
+    answer.status = DeadlineExceededError("sensor did not answer the pull");
+    answer.issued_at = timed_out.issued_at;
+    answer.completed_at = sim_->Now();
+    Answer(answer, timed_out.callback, timed_out.is_now);
+  });
+  pending_pulls_.emplace(id, std::move(pull));
+  ++stats_.pulls;
+  net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
+             msg.Encode());
+}
+
+void ProxyNode::HandleArchiveReply(const Message& message) {
+  auto msg = ArchiveReplyMsg::Decode(message.payload);
+  if (!msg.ok()) {
+    PLOG_WARN("proxy %u: bad archive reply", config_.id);
+    return;
+  }
+  auto pending = pending_pulls_.find(msg->query_id);
+  if (pending == pending_pulls_.end()) {
+    return;  // late reply after timeout; the data was still archived, nothing to do
+  }
+  PendingPull pull = std::move(pending->second);
+  pending_pulls_.erase(pending);
+  pull.timeout.Cancel();
+
+  auto it = sensors_.find(pull.sensor_id);
+  PRESTO_CHECK(it != sensors_.end());
+  SensorState& sensor = *it->second;
+  sensor.sync.AddBeacon(msg->local_send_time, sim_->Now());
+
+  if (msg->status_code != static_cast<uint8_t>(StatusCode::kOk)) {
+    QueryAnswer answer;
+    answer.status = Status(static_cast<StatusCode>(msg->status_code), "archive pull failed");
+    answer.issued_at = pull.issued_at;
+    answer.completed_at = sim_->Now();
+    Answer(answer, pull.callback, pull.is_now);
+    return;
+  }
+  auto batch = DecodeBatch(msg->batch);
+  if (!batch.ok()) {
+    QueryAnswer answer;
+    answer.status = DataLossError("archive reply undecodable");
+    answer.issued_at = pull.issued_at;
+    answer.completed_at = sim_->Now();
+    Answer(answer, pull.callback, pull.is_now);
+    return;
+  }
+  const std::vector<Sample> corrected = CorrectTimestamps(sensor, batch->samples);
+  for (const Sample& s : corrected) {
+    // Progressive refinement: pulled archive data overrides anything weaker.
+    sensor.cache.Insert(s.t, s.value, CacheSource::kPulled, sim_->Now());
+    sensor.engine.ObserveTraining(s);
+  }
+  Replicate(sensor.id, corrected);
+
+  if (pull.is_now) {
+    CompleteNow(pull, corrected);
+  } else {
+    CompletePast(pull, sensor);
+  }
+}
+
+void ProxyNode::CompleteNow(const PendingPull& pull, const std::vector<Sample>& samples) {
+  QueryAnswer answer;
+  answer.issued_at = pull.issued_at;
+  answer.completed_at = sim_->Now();
+  if (samples.empty()) {
+    answer.status = NotFoundError("sensor archive had no recent data");
+  } else {
+    answer.status = OkStatus();
+    answer.source = AnswerSource::kSensorPull;
+    answer.samples = {samples.back()};
+    answer.value = samples.back().value;
+    answer.error_estimate = 0.0;
+  }
+  Answer(answer, pull.callback, /*is_now=*/true);
+}
+
+void ProxyNode::CompletePast(const PendingPull& pull, SensorState& sensor) {
+  QueryAnswer answer;
+  answer.issued_at = pull.issued_at;
+  answer.completed_at = sim_->Now();
+  answer.samples = sensor.cache.Range(pull.range);
+  if (answer.samples.empty()) {
+    answer.status = NotFoundError("no archived data in range (aged out?)");
+  } else {
+    answer.status = OkStatus();
+    answer.source = AnswerSource::kSensorPull;
+    answer.value = answer.samples.back().value;
+    answer.error_estimate = 0.0;
+  }
+  Answer(answer, pull.callback, /*is_now=*/false);
+}
+
+// ---------- replication ----------
+
+void ProxyNode::Replicate(NodeId sensor_id, const std::vector<Sample>& reference_samples) {
+  if (!config_.enable_replication || reference_samples.empty()) {
+    return;
+  }
+  ReplicaUpdateMsg msg;
+  msg.sensor_id = sensor_id;
+  msg.batch = EncodeIrregularBatch(reference_samples);
+  net_->Send(config_.id, config_.replica_id, static_cast<uint16_t>(MsgType::kReplicaUpdate),
+             msg.Encode());
+  ++stats_.replica_updates;
+}
+
+void ProxyNode::HandleReplicaUpdate(const Message& message) {
+  auto msg = ReplicaUpdateMsg::Decode(message.payload);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = sensors_.find(msg->sensor_id);
+  if (it == sensors_.end()) {
+    return;  // builder registers replicated sensors on both proxies
+  }
+  auto batch = DecodeBatch(msg->batch);
+  if (!batch.ok()) {
+    return;
+  }
+  for (const Sample& s : batch->samples) {
+    it->second->cache.Insert(s.t, s.value, CacheSource::kPushed, sim_->Now());
+  }
+}
+
+void ProxyNode::HandleReplicaModel(const Message& message) {
+  auto msg = ReplicaModelMsg::Decode(message.payload);
+  if (!msg.ok()) {
+    return;
+  }
+  auto it = sensors_.find(msg->sensor_id);
+  if (it == sensors_.end()) {
+    return;
+  }
+  const Status installed = it->second->engine.InstallSerialized(msg->model_params);
+  if (!installed.ok()) {
+    PLOG_WARN("proxy %u: replica model install failed: %s", config_.id,
+              installed.ToString().c_str());
+  }
+}
+
+}  // namespace presto

@@ -1,0 +1,202 @@
+// The PRESTO proxy (paper §3): the tethered middle tier that balances interactive
+// querying against sensor energy.
+//
+// Per managed sensor it maintains: a summary cache with provenance, a prediction
+// engine (model fitting + extrapolation + drift monitoring), a regression time sync
+// (drift-corrected timestamps), and a query-sensor matcher. Query answering follows
+// the paper's cascade:
+//
+//   cache hit  ->  model extrapolation within the query's error tolerance
+//              ->  cache-miss-triggered pull from the sensor's flash archive.
+//
+// Proxies can replicate caches and models to a peer over the wired tier (§5), so
+// queries survive a proxy failure with degraded (cache/extrapolation-only) service.
+//
+// ProxyMode selects the Table 1 baselines: kPresto (full cascade), kCacheOnly
+// (stream-style: answer only from what was pushed), kAlwaysPull (direct-query style:
+// every query goes to the sensor).
+
+#ifndef SRC_PROXY_PROXY_NODE_H_
+#define SRC_PROXY_PROXY_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/index/time_sync.h"
+#include "src/net/network.h"
+#include "src/proxy/prediction_engine.h"
+#include "src/proxy/query_matcher.h"
+#include "src/proxy/summary_cache.h"
+#include "src/sensor/protocol.h"
+#include "src/sim/timer.h"
+#include "src/util/stats.h"
+
+namespace presto {
+
+enum class ProxyMode : uint8_t {
+  kPresto = 0,
+  kCacheOnly = 1,   // streaming architectures: proxy answers only from pushed data
+  kAlwaysPull = 2,  // direct-query architectures: no cache use, always ask the sensor
+};
+
+enum class AnswerSource : uint8_t {
+  kCacheHit = 0,
+  kExtrapolated = 1,
+  kSensorPull = 2,
+  kFailed = 3,
+};
+
+const char* AnswerSourceName(AnswerSource source);
+
+struct QueryAnswer {
+  Status status;
+  AnswerSource source = AnswerSource::kFailed;
+  std::vector<Sample> samples;   // PAST: the range; NOW: one sample
+  double value = 0.0;            // NOW convenience (== samples.back().value)
+  double error_estimate = 0.0;   // one-sigma-style bound the proxy asserts
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+
+  Duration Latency() const { return completed_at - issued_at; }
+};
+
+using QueryCallback = std::function<void(const QueryAnswer&)>;
+
+struct ProxyNodeConfig {
+  NodeId id = 0;
+  ProxyMode mode = ProxyMode::kPresto;
+  PredictionEngineParams engine;
+  MatcherParams matcher;
+  double default_tolerance = 0.5;    // model-driven push threshold sent to sensors
+  Duration pull_timeout = Minutes(10);
+  Duration maintenance_period = Minutes(1);
+  // A NOW answer from cache counts as fresh within this many sensing periods.
+  double freshness_periods = 3.0;
+  // PAST coverage at/above which the cache alone answers.
+  double past_coverage_threshold = 0.75;
+  bool manage_models = true;    // fit & install models (off for baseline architectures)
+  bool enable_matcher = true;   // query-sensor matching reconfiguration
+  bool enable_replication = false;
+  NodeId replica_id = 0;
+  uint64_t seed = 1;
+};
+
+struct ProxyStats {
+  uint64_t pushes_received = 0;
+  uint64_t push_samples = 0;
+  uint64_t queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t extrapolations = 0;
+  uint64_t pulls = 0;
+  uint64_t pull_timeouts = 0;
+  uint64_t failures = 0;
+  uint64_t model_sends = 0;
+  uint64_t config_sends = 0;
+  uint64_t replica_updates = 0;
+  SampleSet now_latency_ms;
+  SampleSet past_latency_ms;
+};
+
+class ProxyNode : public NetNode {
+ public:
+  // Attaches itself to `net` as `config.id` (powered, always-listening).
+  ProxyNode(Simulator* sim, Network* net, const ProxyNodeConfig& config);
+
+  // Declares a sensor this proxy manages. `sensing_period` is the sensor's sampling
+  // grid (needed for freshness/coverage math). `replica = true` registers standby
+  // state for a sensor owned by a peer proxy: it accepts replicated cache/model
+  // updates and serves failover queries, but is not indexed as this proxy's own and
+  // is excluded from model management / matcher control traffic.
+  void RegisterSensor(NodeId sensor_id, Duration sensing_period, bool replica = false);
+
+  // Starts maintenance (model management, matcher) — call once after wiring.
+  void Start();
+
+  // --- query API (invoked by the unified store / examples / benches) ---
+  void QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
+                QueryCallback callback);
+  void QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
+                 QueryCallback callback);
+
+  void OnMessage(const Message& message) override;
+
+  // Introspection for benches and the unified store.
+  const ProxyStats& stats() const { return stats_; }
+  ProxyStats& stats_mut() { return stats_; }
+  const ProxyNodeConfig& config() const { return config_; }
+  // Sensors this proxy *owns* (excludes replica registrations).
+  std::vector<NodeId> sensors() const;
+  bool ManagesSensor(NodeId sensor_id) const { return sensors_.count(sensor_id) > 0; }
+  const SummaryCache* cache(NodeId sensor_id) const;
+  const PredictionEngine* engine(NodeId sensor_id) const;
+  Result<double> SyncResidualRms(NodeId sensor_id) const;
+
+  // Reference-time samples cached for `sensor` in `range` (replica-side reads).
+  std::vector<Sample> CachedRange(NodeId sensor_id, TimeInterval range) const;
+
+ private:
+  struct SensorState {
+    NodeId id = 0;
+    bool is_replica = false;
+    Duration sensing_period = Seconds(31);
+    SummaryCache cache;
+    PredictionEngine engine;
+    RegressionTimeSync sync;
+    QuerySensorMatcher matcher;
+    bool model_sent = false;
+    SimTime last_model_send = 0;
+    SimTime last_push = 0;
+
+    SensorState(NodeId sensor_id, Duration period, const PredictionEngineParams& engine_params,
+                const MatcherParams& matcher_params)
+        : id(sensor_id), sensing_period(period), engine(engine_params),
+          matcher(matcher_params) {}
+  };
+
+  struct PendingPull {
+    uint32_t id = 0;
+    NodeId sensor_id = 0;
+    bool is_now = false;
+    TimeInterval range{};  // reference timeline
+    double tolerance = 0.0;
+    SimTime issued_at = 0;
+    QueryCallback callback;
+    EventHandle timeout;
+  };
+
+  SensorState& GetSensor(NodeId sensor_id);
+  const SensorState* FindSensor(NodeId sensor_id) const;
+
+  void HandleDataPush(const Message& message);
+  void HandleArchiveReply(const Message& message);
+  void HandleReplicaUpdate(const Message& message);
+  void HandleReplicaModel(const Message& message);
+
+  void MaybeSendModel(SensorState& sensor);
+  void RunMaintenance();
+  void IssuePull(SensorState& sensor, TimeInterval range, double tolerance, bool is_now,
+                 SimTime issued_at, QueryCallback callback);
+  void CompleteNow(const PendingPull& pull, const std::vector<Sample>& samples);
+  void CompletePast(const PendingPull& pull, SensorState& sensor);
+  void Answer(const QueryAnswer& answer, const QueryCallback& callback, bool is_now);
+  void Replicate(NodeId sensor_id, const std::vector<Sample>& reference_samples);
+
+  // Converts a local-time batch to reference time using the sensor's sync state.
+  std::vector<Sample> CorrectTimestamps(SensorState& sensor,
+                                        const std::vector<Sample>& local) const;
+
+  Simulator* sim_;
+  Network* net_;
+  ProxyNodeConfig config_;
+  PeriodicTimer maintenance_timer_;
+  std::map<NodeId, std::unique_ptr<SensorState>> sensors_;
+  std::map<uint32_t, PendingPull> pending_pulls_;
+  uint32_t next_pull_id_ = 1;
+  ProxyStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_PROXY_PROXY_NODE_H_

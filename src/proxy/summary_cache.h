@@ -1,0 +1,88 @@
+// The proxy's per-sensor summary cache (paper §3).
+//
+// Not a memory or web cache: entries carry *provenance*. A value may be a real pushed
+// observation, a pulled archive record, or a model extrapolation; higher-authority
+// entries refine lower ones ("the summary data cache ... can be progressively refined
+// as more accurate data is obtained from the remote sensors"). Timestamps are on the
+// proxy's reference timeline (drift-corrected before insertion).
+
+#ifndef SRC_PROXY_SUMMARY_CACHE_H_
+#define SRC_PROXY_SUMMARY_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/util/sample.h"
+
+namespace presto {
+
+// Ascending authority: a kPulled record beats a kPushed one at the same instant, which
+// beats an extrapolation.
+enum class CacheSource : uint8_t {
+  kExtrapolated = 0,
+  kPushed = 1,
+  kPulled = 2,
+};
+
+const char* CacheSourceName(CacheSource source);
+
+struct CachedValue {
+  double value = 0.0;
+  CacheSource source = CacheSource::kPushed;
+  SimTime inserted_at = 0;  // when the proxy learned this value (arrival, not data time)
+};
+
+struct CacheStats {
+  uint64_t inserts = 0;
+  uint64_t refinements = 0;      // an existing entry upgraded in authority/value
+  uint64_t downgrades_rejected = 0;  // lower-authority duplicate ignored
+  uint64_t evictions = 0;
+};
+
+class SummaryCache {
+ public:
+  explicit SummaryCache(size_t max_entries = 1 << 20);
+
+  // `inserted_at` records when the proxy learned the value — event-detection and
+  // staleness logic distinguish data time from arrival time.
+  void Insert(SimTime t, double value, CacheSource source, SimTime inserted_at = 0);
+
+  // Entry closest to `t` within `max_gap` (either side).
+  std::optional<std::pair<SimTime, CachedValue>> Nearest(SimTime t, Duration max_gap) const;
+
+  // Most recent entry.
+  std::optional<std::pair<SimTime, CachedValue>> Latest() const;
+
+  // All entries with t in [range.start, range.end), in time order.
+  std::vector<Sample> Range(TimeInterval range) const;
+
+  // Range() with provenance, for consumers that must distinguish observed data from
+  // extrapolations (e.g. event-detection scoring).
+  struct Entry {
+    SimTime t = 0;
+    double value = 0.0;
+    CacheSource source = CacheSource::kPushed;
+    SimTime inserted_at = 0;
+  };
+  std::vector<Entry> RangeEntries(TimeInterval range) const;
+
+  // Fraction of the expected sample slots in `range` that have a cached entry, given
+  // the sensor's sampling period. >1 clamps to 1.
+  double CoverageFraction(TimeInterval range, Duration expected_period) const;
+
+  void EvictBefore(SimTime t);
+
+  size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  size_t max_entries_;
+  std::map<SimTime, CachedValue> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_PROXY_SUMMARY_CACHE_H_

@@ -1,0 +1,134 @@
+// The PRESTO sensor (paper §4): "simple, yet highly tunable, and completely controlled
+// by the proxy."
+//
+// Responsibilities:
+//  - sense on a fixed period (proxy-tunable), stamping samples with a drifting local
+//    clock;
+//  - archive every sample in the local flash store (energy-efficient archival
+//    file-system with a time index and wavelet multi-resolution aging);
+//  - run the currently configured push policy:
+//      * model-driven: check each sample against the proxy-installed model, push only
+//        deviations beyond the tolerance (the paper's headline mechanism);
+//      * value-driven / batched / every-sample: the Figure 2 and Table 1 baselines;
+//  - answer archive pulls (cache-miss-triggered PAST queries) from flash;
+//  - apply ModelUpdate/ConfigUpdate control traffic (adaptive runtime: duty cycle,
+//    batching, compression, sensing rate — the query-sensor matching knobs).
+//
+// Everything the node does is charged to its EnergyMeter: radio via the network MAC,
+// flash via the device model, CPU via per-operation costs of model checks and codecs.
+
+#ifndef SRC_SENSOR_SENSOR_NODE_H_
+#define SRC_SENSOR_SENSOR_NODE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/flash/archive_store.h"
+#include "src/flash/flash_device.h"
+#include "src/index/time_sync.h"
+#include "src/models/model.h"
+#include "src/net/network.h"
+#include "src/sensor/protocol.h"
+#include "src/sim/timer.h"
+#include "src/wavelet/codec.h"
+
+namespace presto {
+
+struct SensorNodeConfig {
+  NodeId id = 0;
+  NodeId proxy_id = 0;
+  Duration sensing_period = Seconds(31);
+
+  PushPolicy policy = PushPolicy::kModelDriven;
+  double value_delta = 1.0;      // value-driven threshold
+  double model_tolerance = 0.5;  // model-driven threshold (until proxy overrides)
+  Duration batch_interval = Minutes(16.5);
+  bool compress = false;
+  CodecParams codec;
+
+  // Local clock imperfection (corrected proxy-side; see index/time_sync.h).
+  Duration clock_offset = 0;
+  double drift_ppm = 0.0;
+  Duration clock_jitter = Millis(2);
+
+  bool archive_enabled = true;
+  FlashParams flash;
+  ArchiveParams archive;
+  ModelConfig model_config;
+
+  NodeRadioConfig radio;  // powered=false for real sensors
+  uint64_t seed = 1;
+};
+
+class SensorNode : public NetNode {
+ public:
+  // Reads the physical world at true simulation time (measurement noise included).
+  using MeasureFn = std::function<double(SimTime)>;
+
+  // Attaches itself to `net` as `config.id`. `sim` and `net` must outlive the node.
+  SensorNode(Simulator* sim, Network* net, const SensorNodeConfig& config,
+             MeasureFn measure);
+
+  // Begins the sensing loop (first sample after one sensing period).
+  void Start();
+  void Stop();
+
+  void OnMessage(const Message& message) override;
+
+  struct Stats {
+    uint64_t samples = 0;
+    uint64_t pushes = 0;           // push messages sent
+    uint64_t pushed_samples = 0;   // samples contained in those pushes
+    uint64_t suppressed = 0;       // samples the model/value filter held back
+    uint64_t model_checks = 0;
+    uint64_t model_updates = 0;
+    uint64_t config_updates = 0;
+    uint64_t archive_queries = 0;
+    uint64_t compressed_bytes = 0; // payload bytes after compression
+    uint64_t uncompressed_bytes = 0;  // what those payloads would cost raw
+  };
+
+  const Stats& stats() const { return stats_; }
+  const EnergyMeter& meter() const { return meter_; }
+  EnergyMeter* meter_mut() { return &meter_; }
+  const SensorNodeConfig& config() const { return config_; }
+  ArchiveStore& archive() { return archive_; }
+  const PredictiveModel* model() const { return model_.get(); }
+  DriftingClock& clock() { return clock_; }
+
+ private:
+  void OnSensingTick();
+  void FlushBatch();
+  void PushSamples(PushReason reason, const std::vector<Sample>& local_samples);
+  void HandleModelUpdate(const Message& message);
+  void HandleConfigUpdate(const Message& message);
+  void HandleArchiveQuery(const Message& message);
+  void ChargeCpu(int64_t ops);
+  std::vector<uint8_t> EncodeBatchPayload(const std::vector<Sample>& local_samples,
+                                          bool try_compress);
+
+  Simulator* sim_;
+  Network* net_;
+  SensorNodeConfig config_;
+  MeasureFn measure_;
+
+  EnergyMeter meter_;
+  FlashDevice flash_;
+  ArchiveStore archive_;
+  DriftingClock clock_;
+  PeriodicTimer sensing_timer_;
+  PeriodicTimer batch_timer_;
+
+  std::unique_ptr<PredictiveModel> model_;  // null until the proxy installs one
+  uint32_t model_seq_ = 0;
+  bool has_pushed_value_ = false;
+  double last_pushed_value_ = 0.0;
+  std::vector<Sample> batch_buffer_;  // local-time samples awaiting a batch flush
+
+  Stats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_SENSOR_SENSOR_NODE_H_

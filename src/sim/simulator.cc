@@ -1,0 +1,55 @@
+#include "src/sim/simulator.h"
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+void EventHandle::Cancel() {
+  if (cancelled_ != nullptr) {
+    *cancelled_ = true;
+  }
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  PRESTO_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Simulator::ScheduleIn(Duration delay, std::function<void()> fn) {
+  PRESTO_CHECK_MSG(delay >= 0, "negative delay");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move out via const_cast, standard pop-move idiom.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*event.cancelled) {
+      continue;
+    }
+    now_ = event.time;
+    ++events_executed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace presto

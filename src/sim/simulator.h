@@ -1,0 +1,95 @@
+// Single-threaded discrete-event simulator.
+//
+// This is the testbed substitute for the paper's mote/proxy hardware: every radio
+// transmission, flash operation, sensing tick, and query in PRESTO is an event on this
+// queue. Determinism contract: events at equal timestamps fire in scheduling order, and
+// all randomness is injected via seeded Pcg32 streams, so runs replay bit-identically.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace presto {
+
+// Handle to a scheduled event; allows cancellation (e.g. a retransmission timer being
+// serviced by an ACK). Copies share the underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Marks the event so the simulator skips it; safe to call multiple times or after the
+  // event has fired.
+  void Cancel();
+
+  bool valid() const { return cancelled_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulated time.
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (must be >= Now()). Returns a cancellable handle.
+  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (must be >= 0).
+  EventHandle ScheduleIn(Duration delay, std::function<void()> fn);
+
+  // Executes the next event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue is empty or `t` is reached; the clock finishes at exactly `t`
+  // if any events remain beyond it (they stay queued).
+  void RunUntil(SimTime t);
+
+  // Runs until the queue drains.
+  void RunAll();
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t events_pending() const { return queue_.size(); }
+
+  // Timestamp of the next queued event, or -1 when the queue is empty. Cancelled
+  // events may still occupy the queue, so this is a lower bound on the next real event.
+  SimTime NextEventTime() const { return queue_.empty() ? -1 : queue_.top().time; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,49 @@
+#include "src/sim/timer.h"
+
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+PeriodicTimer::PeriodicTimer(Simulator* sim, std::function<void()> callback)
+    : sim_(sim), callback_(std::move(callback)) {
+  PRESTO_CHECK(sim_ != nullptr);
+  PRESTO_CHECK(callback_ != nullptr);
+}
+
+void PeriodicTimer::Start(Duration period, Duration initial_delay) {
+  PRESTO_CHECK_MSG(period > 0, "timer period must be positive");
+  Stop();
+  period_ = period;
+  running_ = true;
+  ScheduleNext(initial_delay >= 0 ? initial_delay : period);
+}
+
+void PeriodicTimer::Stop() {
+  pending_.Cancel();
+  running_ = false;
+}
+
+void PeriodicTimer::SetPeriod(Duration period) {
+  PRESTO_CHECK_MSG(period > 0, "timer period must be positive");
+  period_ = period;
+  if (running_) {
+    pending_.Cancel();
+    ScheduleNext(period_);
+  }
+}
+
+void PeriodicTimer::Fire() {
+  if (!running_) {
+    return;
+  }
+  ScheduleNext(period_);
+  callback_();
+}
+
+void PeriodicTimer::ScheduleNext(Duration delay) {
+  pending_ = sim_->ScheduleIn(delay, [this] { Fire(); });
+}
+
+}  // namespace presto

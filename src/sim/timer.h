@@ -1,0 +1,50 @@
+// Periodic timer built on the simulator, used for sensing loops, LPL wakeups, model
+// refit schedules, and duty-cycle beacons. The period can be changed while running
+// (query-sensor matching retunes sensors this way).
+
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <functional>
+
+#include "src/sim/simulator.h"
+
+namespace presto {
+
+class PeriodicTimer {
+ public:
+  // Does not start; call Start(). `sim` must outlive the timer.
+  PeriodicTimer(Simulator* sim, std::function<void()> callback);
+  ~PeriodicTimer() { Stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Begins firing every `period`, first fire after `initial_delay` (defaults to one
+  // period). Restarting a running timer reschedules it.
+  void Start(Duration period, Duration initial_delay = -1);
+
+  // Cancels the pending fire; idempotent.
+  void Stop();
+
+  // Changes the period. Takes effect for the *next* fire; the currently pending fire is
+  // rescheduled relative to now.
+  void SetPeriod(Duration period);
+
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+
+ private:
+  void Fire();
+  void ScheduleNext(Duration delay);
+
+  Simulator* sim_;
+  std::function<void()> callback_;
+  EventHandle pending_;
+  Duration period_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace presto
+
+#endif  // SRC_SIM_TIMER_H_

@@ -1,0 +1,18 @@
+#include "src/util/assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace presto {
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  if (msg != nullptr && msg[0] != '\0') {
+    std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+  } else {
+    std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace presto

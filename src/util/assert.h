@@ -1,0 +1,44 @@
+// Fatal invariant checking for PRESTO.
+//
+// PRESTO is exception-free (Google/Fuchsia style); broken invariants abort the process
+// with a source location instead of unwinding. Expected, recoverable failures use
+// presto::Status / presto::Result<T> (see util/result.h) rather than these macros.
+
+#ifndef SRC_UTIL_ASSERT_H_
+#define SRC_UTIL_ASSERT_H_
+
+namespace presto {
+
+// Prints a diagnostic to stderr and aborts. Used by the PRESTO_CHECK family; callers
+// normally never invoke this directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace presto
+
+// Always-on invariant check. `expr` must be side-effect free in spirit (it is always
+// evaluated, but readers assume checks are removable).
+#define PRESTO_CHECK(expr)                                            \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::presto::CheckFailed(__FILE__, __LINE__, #expr, "");           \
+    }                                                                 \
+  } while (0)
+
+// Always-on invariant check with an explanatory message (a string literal).
+#define PRESTO_CHECK_MSG(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::presto::CheckFailed(__FILE__, __LINE__, #expr, (msg));        \
+    }                                                                 \
+  } while (0)
+
+// Debug-only check; compiled out under NDEBUG. Use for hot paths.
+#ifdef NDEBUG
+#define PRESTO_DCHECK(expr) \
+  do {                      \
+  } while (0)
+#else
+#define PRESTO_DCHECK(expr) PRESTO_CHECK(expr)
+#endif
+
+#endif  // SRC_UTIL_ASSERT_H_

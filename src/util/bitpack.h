@@ -1,0 +1,86 @@
+// Bit-granular packing, used by the wavelet codec to store quantized coefficients in
+// exactly the number of bits the quantizer chose. Header-only.
+
+#ifndef SRC_UTIL_BITPACK_H_
+#define SRC_UTIL_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+// Appends values LSB-first into a packed byte vector.
+class BitWriter {
+ public:
+  // Writes the low `bits` bits of `value`. bits in [0, 64].
+  void WriteBits(uint64_t value, int bits) {
+    PRESTO_DCHECK(bits >= 0 && bits <= 64);
+    for (int i = 0; i < bits; ++i) {
+      if (bit_pos_ == 0) {
+        bytes_.push_back(0);
+      }
+      if ((value >> i) & 1) {
+        bytes_.back() |= static_cast<uint8_t>(1u << bit_pos_);
+      }
+      bit_pos_ = (bit_pos_ + 1) & 7;
+    }
+  }
+
+  // Unary-coded non-negative integer (n ones then a zero); cheap for tiny values.
+  void WriteUnary(int n) {
+    PRESTO_DCHECK(n >= 0);
+    for (int i = 0; i < n; ++i) {
+      WriteBits(1, 1);
+    }
+    WriteBits(0, 1);
+  }
+
+  size_t bit_size() const { return bytes_.size() * 8 - (bit_pos_ == 0 ? 0 : 8 - bit_pos_); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int bit_pos_ = 0;  // next free bit within bytes_.back(); 0 means byte boundary
+};
+
+// Reads values written by BitWriter. Reading past the end returns zeros; callers track
+// logical length themselves (the codec stores counts in its header).
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  uint64_t ReadBits(int bits) {
+    PRESTO_DCHECK(bits >= 0 && bits <= 64);
+    uint64_t value = 0;
+    for (int i = 0; i < bits; ++i) {
+      const size_t byte = pos_ >> 3;
+      const int bit = static_cast<int>(pos_ & 7);
+      if (byte < bytes_.size() && ((bytes_[byte] >> bit) & 1)) {
+        value |= (1ULL << i);
+      }
+      ++pos_;
+    }
+    return value;
+  }
+
+  int ReadUnary() {
+    int n = 0;
+    while (ReadBits(1) == 1) {
+      ++n;
+    }
+    return n;
+  }
+
+  size_t bit_pos() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_BITPACK_H_

@@ -1,0 +1,51 @@
+// Minimal leveled logging. Benches and long simulations run at kWarn; examples turn on
+// kInfo to narrate system behaviour. printf-style because the call sites are simple and
+// we avoid iostream cost in hot paths.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace presto {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Sets the global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Core sink; prefer the PLOG_* macros which skip argument evaluation when disabled.
+void LogMessage(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace presto
+
+#define PLOG_DEBUG(...)                                               \
+  do {                                                                \
+    if (::presto::GetLogLevel() <= ::presto::LogLevel::kDebug) {      \
+      ::presto::LogMessage(::presto::LogLevel::kDebug, __VA_ARGS__);  \
+    }                                                                 \
+  } while (0)
+
+#define PLOG_INFO(...)                                                \
+  do {                                                                \
+    if (::presto::GetLogLevel() <= ::presto::LogLevel::kInfo) {       \
+      ::presto::LogMessage(::presto::LogLevel::kInfo, __VA_ARGS__);   \
+    }                                                                 \
+  } while (0)
+
+#define PLOG_WARN(...)                                                \
+  do {                                                                \
+    if (::presto::GetLogLevel() <= ::presto::LogLevel::kWarn) {       \
+      ::presto::LogMessage(::presto::LogLevel::kWarn, __VA_ARGS__);   \
+    }                                                                 \
+  } while (0)
+
+#define PLOG_ERROR(...)                                               \
+  do {                                                                \
+    if (::presto::GetLogLevel() <= ::presto::LogLevel::kError) {      \
+      ::presto::LogMessage(::presto::LogLevel::kError, __VA_ARGS__);  \
+    }                                                                 \
+  } while (0)
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,122 @@
+// Error handling primitives: Status and Result<T>.
+//
+// PRESTO never throws across API boundaries. Operations that can fail in expected ways
+// (a cache miss, an exhausted flash device, an unreachable sensor) return a Status or a
+// Result<T>; programming errors abort via PRESTO_CHECK.
+
+#ifndef SRC_UTIL_RESULT_H_
+#define SRC_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+// Canonical error space, modeled on absl::StatusCode. Keep the set small: a code should
+// tell the caller *what to do*, not describe the failure (the message does that).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,            // the requested datum does not exist (e.g. time range never archived)
+  kInvalidArgument,     // caller passed something malformed
+  kResourceExhausted,   // out of storage / queue space / energy budget
+  kUnavailable,         // transient: node asleep, link down, proxy failed over
+  kDeadlineExceeded,    // latency bound could not be met
+  kFailedPrecondition,  // object not in the right state (e.g. unmounted store)
+  kOutOfRange,          // index/time outside the valid domain
+  kDataLoss,            // archived data was aged out or corrupted beyond recovery
+  kInternal,            // invariant violation that was recoverable enough to report
+};
+
+// Human-readable name of a status code ("kOk" -> "OK", etc.).
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "kNotFound: no archive segment covers [t1,t2)".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, mirroring absl.
+Status OkStatus();
+Status NotFoundError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+
+// Result<T> carries either a value or a non-OK Status. Accessing the value of a failed
+// Result is a fatal error, so call sites either check ok() or propagate.
+template <typename T>
+class Result {
+ public:
+  // Implicit from value and from Status so `return value;` / `return NotFoundError(...)`
+  // both work, as with absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    PRESTO_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PRESTO_CHECK_MSG(ok(), "value() called on failed Result");
+    return *value_;
+  }
+  T& value() & {
+    PRESTO_CHECK_MSG(ok(), "value() called on failed Result");
+    return *value_;
+  }
+  T&& value() && {
+    PRESTO_CHECK_MSG(ok(), "value() called on failed Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when the operation failed.
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // kOk iff value_ present
+};
+
+}  // namespace presto
+
+// Propagates a non-OK status from an expression, absl-style.
+#define PRESTO_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::presto::Status status_macro_ = (expr);  \
+    if (!status_macro_.ok()) {                \
+      return status_macro_;                   \
+    }                                         \
+  } while (0)
+
+#endif  // SRC_UTIL_RESULT_H_

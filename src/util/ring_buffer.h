@@ -1,0 +1,71 @@
+// Fixed-capacity ring buffer. The PRESTO sensor keeps its recent-sample window (for
+// model checks and batching) in one of these so RAM use is bounded, mirroring a mote's
+// constraints. Header-only.
+
+#ifndef SRC_UTIL_RING_BUFFER_H_
+#define SRC_UTIL_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t capacity) : buffer_(capacity) {
+    PRESTO_CHECK(capacity > 0);
+  }
+
+  // Appends an element, overwriting the oldest when full.
+  void Push(const T& value) {
+    buffer_[(start_ + size_) % Capacity()] = value;
+    if (size_ == Capacity()) {
+      start_ = (start_ + 1) % Capacity();
+    } else {
+      ++size_;
+    }
+  }
+
+  // Element i, 0 = oldest retained.
+  const T& operator[](size_t i) const {
+    PRESTO_DCHECK(i < size_);
+    return buffer_[(start_ + i) % Capacity()];
+  }
+
+  const T& Back() const {
+    PRESTO_DCHECK(size_ > 0);
+    return (*this)[size_ - 1];
+  }
+
+  void Clear() {
+    start_ = 0;
+    size_ = 0;
+  }
+
+  size_t size() const { return size_; }
+  size_t Capacity() const { return buffer_.size(); }
+  bool Empty() const { return size_ == 0; }
+  bool Full() const { return size_ == Capacity(); }
+
+  // Copies contents oldest-first into a vector (for handing a batch to the codec).
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back((*this)[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  size_t start_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_RING_BUFFER_H_

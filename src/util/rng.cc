@@ -1,0 +1,112 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace presto {
+namespace {
+
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+
+}  // namespace
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Pcg32::NextU32() {
+  const uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  const uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Pcg32::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Pcg32::UniformInt(int64_t lo, int64_t hi) {
+  PRESTO_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t value = NextU64();
+  while (value >= limit) {
+    value = NextU64();
+  }
+  return lo + static_cast<int64_t>(value % range);
+}
+
+double Pcg32::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Pcg32::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Pcg32::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::Gaussian(double mean, double stddev) { return mean + stddev * Gaussian(); }
+
+double Pcg32::Exponential(double rate) {
+  PRESTO_DCHECK(rate > 0.0);
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+int64_t Pcg32::Poisson(double mean) {
+  PRESTO_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double threshold = std::exp(-mean);
+    int64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > threshold);
+    return k - 1;
+  }
+  // Gaussian approximation, clamped at zero.
+  const double value = Gaussian(mean, std::sqrt(mean));
+  return value < 0.0 ? 0 : static_cast<int64_t>(std::llround(value));
+}
+
+Pcg32 Pcg32::Split() {
+  return Pcg32(NextU64(), NextU64() >> 1);
+}
+
+}  // namespace presto

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in PRESTO (workload generators, link loss, clock jitter,
+// query arrivals) draws from an explicitly seeded Pcg32 stream so simulations replay
+// bit-identically. Never use std::rand or unseeded std::mt19937 in this codebase.
+
+#ifndef SRC_UTIL_RNG_H_
+#define SRC_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace presto {
+
+// PCG-XSH-RR 32-bit generator (O'Neill 2014): small state, good statistical quality,
+// trivially seedable into independent streams.
+class Pcg32 {
+ public:
+  // `stream` selects one of 2^63 independent sequences for the same seed; give each
+  // stochastic component its own stream id so adding a component never perturbs others.
+  explicit Pcg32(uint64_t seed, uint64_t stream = 0);
+
+  // Uniform 32-bit value.
+  uint32_t NextU32();
+
+  // Uniform 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive, unbiased via rejection). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller (one value cached).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  // Poisson with the given mean; Knuth's method below 30, Gaussian approximation above.
+  int64_t Poisson(double mean);
+
+  // A fresh generator carved from this one — convenient for handing each simulated node
+  // an independent stream.
+  Pcg32 Split();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_RNG_H_

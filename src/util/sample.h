@@ -1,0 +1,49 @@
+// The ubiquitous time-series value types. Kept in util because every layer — flash
+// archive, models, proxy cache, queries — speaks (timestamp, value) pairs.
+
+#ifndef SRC_UTIL_SAMPLE_H_
+#define SRC_UTIL_SAMPLE_H_
+
+#include <vector>
+
+#include "src/util/sim_time.h"
+
+namespace presto {
+
+// One scalar observation at a point in simulated time.
+struct Sample {
+  SimTime t = 0;
+  double value = 0.0;
+
+  friend bool operator==(const Sample& a, const Sample& b) {
+    return a.t == b.t && a.value == b.value;
+  }
+};
+
+// Half-open time interval [start, end).
+struct TimeInterval {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  Duration Length() const { return end - start; }
+  bool Contains(SimTime t) const { return t >= start && t < end; }
+  bool Overlaps(const TimeInterval& o) const { return start < o.end && o.start < end; }
+
+  friend bool operator==(const TimeInterval& a, const TimeInterval& b) {
+    return a.start == b.start && a.end == b.end;
+  }
+};
+
+// Extracts the value column (models and codecs operate on plain vectors).
+inline std::vector<double> ValuesOf(const std::vector<Sample>& samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const Sample& s : samples) {
+    out.push_back(s.value);
+  }
+  return out;
+}
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_SAMPLE_H_

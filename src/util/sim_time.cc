@@ -1,0 +1,44 @@
+#include "src/util/sim_time.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace presto {
+
+std::string FormatTime(SimTime t) {
+  const bool negative = t < 0;
+  if (negative) {
+    t = -t;
+  }
+  const int64_t days = t / kDay;
+  const int64_t hours = (t % kDay) / kHour;
+  const int64_t minutes = (t % kHour) / kMinute;
+  const int64_t seconds = (t % kMinute) / kSecond;
+  const int64_t millis = (t % kSecond) / kMillisecond;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                negative ? "-" : "", days, hours, minutes, seconds, millis);
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  const double abs = std::abs(static_cast<double>(d));
+  char buf[64];
+  if (abs < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "us", d);
+  } else if (abs < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", ToMillis(d));
+  } else if (abs < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.3gs", ToSeconds(d));
+  } else if (abs < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.3gmin", ToMinutes(d));
+  } else if (abs < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.3gh", ToHours(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3gd", ToDays(d));
+  }
+  return buf;
+}
+
+}  // namespace presto

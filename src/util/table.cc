@@ -1,0 +1,117 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+#include "src/util/logging.h"
+
+namespace presto {
+
+void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PRESTO_CHECK_MSG(header_.empty() || cells.size() == header_.size(),
+                   "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TextTable::ToString() const {
+  // Column widths from header and all rows.
+  std::vector<size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) {
+    widen(row);
+  }
+
+  auto render = [&widths](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        line += "  ";
+      }
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!line.empty() && line.back() == ' ') {
+      line.pop_back();
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render(header_);
+    size_t rule = 0;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out.append(rule, '-');
+    out += '\n';
+  }
+  for (const auto& row : rows_) {
+    out += render(row);
+  }
+  return out;
+}
+
+void TextTable::Print(std::FILE* out) const {
+  const std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string TextTable::ToCsv() const {
+  auto render = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) {
+        line += ',';
+      }
+      line += row[i];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out;
+  if (!header_.empty()) {
+    out += render(header_);
+  }
+  for (const auto& row : rows_) {
+    out += render(row);
+  }
+  return out;
+}
+
+void TextTable::WriteCsvFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    PLOG_WARN("TextTable: cannot write %s", path.c_str());
+    return;
+  }
+  const std::string s = ToCsv();
+  std::fwrite(s.data(), 1, s.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace presto

@@ -1,0 +1,42 @@
+// Aligned text tables and CSV output. Every bench prints its figure/table through this
+// so the regenerated paper artifacts are consistent and machine-parsable.
+
+#ifndef SRC_UTIL_TABLE_H_
+#define SRC_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+class TextTable {
+ public:
+  // Column headers; fixes the column count for subsequent rows.
+  void SetHeader(std::vector<std::string> header);
+
+  // Adds a row of preformatted cells. Must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Cell formatting helpers.
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(long long v);
+
+  // Renders with aligned columns and a rule under the header.
+  std::string ToString() const;
+  void Print(std::FILE* out = stdout) const;
+
+  // Comma-separated rendering (header + rows), for downstream plotting.
+  std::string ToCsv() const;
+
+  // Writes ToCsv() to `path`; best-effort (logs on failure).
+  void WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_TABLE_H_

@@ -1,0 +1,55 @@
+#include "src/wavelet/aging.h"
+
+#include <cmath>
+
+#include "src/util/assert.h"
+#include "src/wavelet/transform.h"
+
+namespace presto {
+
+std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples, int factor) {
+  if (samples.empty() || factor <= 1) {
+    return samples;
+  }
+  int levels = 0;
+  while ((1 << levels) < factor) {
+    ++levels;
+  }
+  const size_t window = static_cast<size_t>(1) << levels;
+
+  auto coeffs = ForwardDwt(ValuesOf(samples), WaveletKind::kHaar, levels);
+  PRESTO_CHECK(coeffs.ok());
+  const auto [begin, end] = coeffs->ApproxRange();
+  // Haar approximation at level L = window mean * 2^(L/2); undo the gain.
+  const double scale = std::pow(2.0, -static_cast<double>(levels) / 2.0);
+
+  std::vector<Sample> out;
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const size_t src = (i - begin) * window;
+    if (src >= samples.size()) {
+      break;  // padding windows beyond the real signal
+    }
+    out.push_back(Sample{samples[src].t, coeffs->data[i] * scale});
+  }
+  return out;
+}
+
+std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse, Duration grid_period,
+                                   SimTime start, size_t count) {
+  PRESTO_CHECK(grid_period > 0);
+  std::vector<Sample> out;
+  out.reserve(count);
+  size_t j = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const SimTime t = start + static_cast<Duration>(i) * grid_period;
+    while (j + 1 < coarse.size() && coarse[j + 1].t <= t) {
+      ++j;
+    }
+    const double v = coarse.empty() ? 0.0 : coarse[j].value;
+    out.push_back(Sample{t, v});
+  }
+  return out;
+}
+
+}  // namespace presto

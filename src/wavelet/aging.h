@@ -1,0 +1,27 @@
+// Wavelet-based multi-resolution aging (paper §4, following Ganesan et al. [10]):
+// when the sensor archive fills, old data is replaced by its wavelet approximation at a
+// coarser level — queries on aged ranges still succeed, at reduced fidelity.
+
+#ifndef SRC_WAVELET_AGING_H_
+#define SRC_WAVELET_AGING_H_
+
+#include <vector>
+
+#include "src/util/sample.h"
+
+namespace presto {
+
+// Reduces `samples` by `factor` (rounded up to a power of two) using the Haar
+// approximation band: each output sample is the normalized approximation coefficient
+// of one window, i.e. the window mean, timestamped at the window start. Signature
+// matches flash::AgingSummarizer so it can be plugged into ArchiveStore directly.
+std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples, int factor);
+
+// Reconstruction helper for analysis/benches: upsamples an aged (coarse) series back to
+// a target grid with step interpolation, for error-vs-age measurements.
+std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse, Duration grid_period,
+                                   SimTime start, size_t count);
+
+}  // namespace presto
+
+#endif  // SRC_WAVELET_AGING_H_

@@ -1,0 +1,66 @@
+#include "src/wavelet/denoise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+double EstimateNoiseSigma(const DwtCoeffs& coeffs) {
+  PRESTO_CHECK(coeffs.levels >= 1);
+  const auto [begin, end] = coeffs.DetailRange(1);
+  std::vector<double> mags;
+  mags.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    mags.push_back(std::abs(coeffs.data[i]));
+  }
+  if (mags.empty()) {
+    return 0.0;
+  }
+  const size_t mid = mags.size() / 2;
+  std::nth_element(mags.begin(), mags.begin() + static_cast<ptrdiff_t>(mid), mags.end());
+  const double mad = mags[mid];
+  return mad / 0.6745;
+}
+
+double UniversalThreshold(double sigma, size_t n) {
+  if (n < 2) {
+    return 0.0;
+  }
+  return sigma * std::sqrt(2.0 * std::log(static_cast<double>(n)));
+}
+
+size_t ThresholdDetails(DwtCoeffs* coeffs, double threshold, ThresholdMode mode) {
+  PRESTO_CHECK(coeffs != nullptr);
+  size_t zeroed = 0;
+  for (int level = 1; level <= coeffs->levels; ++level) {
+    const auto [begin, end] = coeffs->DetailRange(level);
+    for (size_t i = begin; i < end; ++i) {
+      double& c = coeffs->data[i];
+      if (std::abs(c) < threshold) {
+        c = 0.0;
+        ++zeroed;
+      } else if (mode == ThresholdMode::kSoft) {
+        c = c > 0.0 ? c - threshold : c + threshold;
+      }
+    }
+  }
+  return zeroed;
+}
+
+Result<std::vector<double>> Denoise(const std::vector<double>& signal, WaveletKind kind,
+                                    int levels, ThresholdMode mode,
+                                    double threshold_scale) {
+  auto coeffs = ForwardDwt(signal, kind, levels);
+  if (!coeffs.ok()) {
+    return coeffs.status();
+  }
+  const double sigma = EstimateNoiseSigma(*coeffs);
+  const double threshold =
+      UniversalThreshold(sigma, coeffs->PaddedLength()) * threshold_scale;
+  ThresholdDetails(&*coeffs, threshold, mode);
+  return InverseDwt(*coeffs);
+}
+
+}  // namespace presto

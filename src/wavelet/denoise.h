@@ -1,0 +1,40 @@
+// Wavelet denoising (VisuShrink-style): estimate the noise floor from the finest
+// detail band and threshold detail coefficients. Used by the batched-push pipeline —
+// "more batching results in better compression and data cleaning at the source"
+// (paper §3, Figure 2) — because both the sigma estimate and the threshold's
+// sqrt(2 ln n) term improve with batch length.
+
+#ifndef SRC_WAVELET_DENOISE_H_
+#define SRC_WAVELET_DENOISE_H_
+
+#include <vector>
+
+#include "src/wavelet/transform.h"
+
+namespace presto {
+
+enum class ThresholdMode : uint8_t {
+  kHard = 0,  // zero out |c| < t, keep the rest untouched
+  kSoft = 1,  // shrink all detail magnitudes by t
+};
+
+// Robust noise-sigma estimate from the finest-level detail coefficients:
+// MAD / 0.6745 (Donoho & Johnstone).
+double EstimateNoiseSigma(const DwtCoeffs& coeffs);
+
+// Universal threshold sigma * sqrt(2 ln n).
+double UniversalThreshold(double sigma, size_t n);
+
+// Applies the threshold to all detail bands in place; approximation is untouched.
+// Returns the number of coefficients zeroed.
+size_t ThresholdDetails(DwtCoeffs* coeffs, double threshold, ThresholdMode mode);
+
+// One-call denoiser: forward DWT, universal threshold scaled by `threshold_scale`,
+// inverse DWT. levels <= 0 selects the maximum decomposition depth.
+Result<std::vector<double>> Denoise(const std::vector<double>& signal, WaveletKind kind,
+                                    int levels, ThresholdMode mode,
+                                    double threshold_scale = 1.0);
+
+}  // namespace presto
+
+#endif  // SRC_WAVELET_DENOISE_H_

@@ -1,0 +1,164 @@
+#include "src/workload/activity.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace presto {
+namespace {
+
+// A typical day template: (start hour, state). Durations jittered per day.
+struct TemplateEntry {
+  double hour;
+  ActivityState state;
+};
+constexpr TemplateEntry kDayTemplate[] = {
+    {0.0, ActivityState::kSleep}, {7.0, ActivityState::kWake},
+    {7.5, ActivityState::kMeal},  {8.2, ActivityState::kWalk},
+    {9.0, ActivityState::kSit},   {12.0, ActivityState::kMeal},
+    {12.8, ActivityState::kSit},  {15.0, ActivityState::kOut},
+    {16.5, ActivityState::kSit},  {18.0, ActivityState::kMeal},
+    {18.8, ActivityState::kSit},  {21.0, ActivityState::kExercise},
+    {21.5, ActivityState::kSit},  {22.5, ActivityState::kSleep},
+};
+
+}  // namespace
+
+const char* ActivityStateName(ActivityState s) {
+  switch (s) {
+    case ActivityState::kSleep:
+      return "sleep";
+    case ActivityState::kWake:
+      return "wake";
+    case ActivityState::kMeal:
+      return "meal";
+    case ActivityState::kSit:
+      return "sit";
+    case ActivityState::kWalk:
+      return "walk";
+    case ActivityState::kOut:
+      return "out";
+    case ActivityState::kExercise:
+      return "exercise";
+  }
+  return "?";
+}
+
+double ActivityLevel(ActivityState s) {
+  switch (s) {
+    case ActivityState::kSleep:
+      return 0.2;
+    case ActivityState::kWake:
+      return 2.5;
+    case ActivityState::kMeal:
+      return 3.5;
+    case ActivityState::kSit:
+      return 1.0;
+    case ActivityState::kWalk:
+      return 5.0;
+    case ActivityState::kOut:
+      return 6.0;
+    case ActivityState::kExercise:
+      return 7.0;
+  }
+  return 0.0;
+}
+
+ActivitySignal::ActivitySignal(const ActivityParams& params)
+    : params_(params),
+      rng_(params.seed, /*stream=*/0x414354),
+      anomaly_rng_(params.seed, /*stream=*/0x414e4f) {}
+
+void ActivitySignal::ExtendSchedule(SimTime t) {
+  while (schedule_horizon_ <= t) {
+    const SimTime day_start = schedule_horizon_;
+    for (const TemplateEntry& e : kDayTemplate) {
+      const double jitter =
+          rng_.Gaussian(0.0, params_.schedule_jitter) * static_cast<double>(kHour);
+      SimTime start = day_start + Hours(e.hour) + static_cast<Duration>(jitter);
+      start = std::max(start, day_start);
+      if (!schedule_.empty()) {
+        start = std::max(start, schedule_.back().start);
+      }
+      schedule_.push_back(Segment{start, e.state});
+    }
+    schedule_horizon_ = day_start + kDay;
+  }
+}
+
+ActivityState ActivitySignal::StateAt(SimTime t) {
+  ExtendSchedule(t);
+  // Last segment with start <= t.
+  auto it = std::upper_bound(
+      schedule_.begin(), schedule_.end(), t,
+      [](SimTime value, const Segment& s) { return value < s.start; });
+  if (it == schedule_.begin()) {
+    return ActivityState::kSleep;
+  }
+  return std::prev(it)->state;
+}
+
+void ActivitySignal::ExtendAnomalies(SimTime t) {
+  if (params_.anomalies_per_week <= 0.0) {
+    anomaly_horizon_ = std::max(anomaly_horizon_, t + kDay);
+    return;
+  }
+  const double rate_per_us = params_.anomalies_per_week / static_cast<double>(7 * kDay);
+  while (anomaly_horizon_ <= t) {
+    anomaly_horizon_ += static_cast<Duration>(anomaly_rng_.Exponential(rate_per_us));
+    ActivityAnomaly a;
+    a.start = anomaly_horizon_;
+    if (anomaly_rng_.Bernoulli(0.5)) {
+      a.kind = ActivityAnomaly::Kind::kFall;
+      a.duration = Minutes(20 + 40 * anomaly_rng_.NextDouble());
+    } else {
+      // A missed meal only means something at a meal time: snap to the start of the
+      // next scheduled meal segment.
+      a.kind = ActivityAnomaly::Kind::kMissedMeal;
+      ExtendSchedule(a.start + 2 * kDay);
+      for (const Segment& seg : schedule_) {
+        if (seg.start >= a.start && seg.state == ActivityState::kMeal) {
+          a.start = seg.start;
+          break;
+        }
+      }
+      a.duration = Hours(1.0);
+    }
+    anomalies_.push_back(a);
+    anomaly_horizon_ = std::max(anomaly_horizon_, a.start);
+  }
+}
+
+std::vector<ActivityAnomaly> ActivitySignal::AnomaliesIn(TimeInterval interval) {
+  ExtendAnomalies(interval.end);
+  std::vector<ActivityAnomaly> out;
+  for (const ActivityAnomaly& a : anomalies_) {
+    if (a.start < interval.end && a.start + a.duration >= interval.start) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+double ActivitySignal::ValueAt(SimTime t) {
+  ExtendAnomalies(t);
+  double level = ActivityLevel(StateAt(t));
+  for (const ActivityAnomaly& a : anomalies_) {
+    if (a.start > t) {
+      break;
+    }
+    if (t >= a.start && t < a.start + a.duration) {
+      if (a.kind == ActivityAnomaly::Kind::kFall) {
+        // Impact spike plus the struggle to get up spans the better part of a minute
+        // (so even 30 s sampling sees it), then abnormal stillness.
+        level = (t - a.start) < Seconds(45) ? 9.0 : 0.05;
+      } else {
+        level = 0.5;  // missed meal: near-stillness where a meal peak should be
+      }
+    }
+  }
+  // Small deterministic wobble so the signal is not piecewise constant.
+  return level + 0.15 * HashGaussian(params_.seed, t / kMinute);
+}
+
+}  // namespace presto

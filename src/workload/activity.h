@@ -1,0 +1,78 @@
+// Daily-activity (ADL) workload for the elder-care scenario the paper motivates in §6:
+// "daily activity patterns tend to be mostly predictable, with occasional unpredictable
+// events." A semi-Markov day schedule emits an activity-intensity level; anomalies
+// (falls, missed meals) are the events PRESTO must push despite no model predicting
+// them.
+
+#ifndef SRC_WORKLOAD_ACTIVITY_H_
+#define SRC_WORKLOAD_ACTIVITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sample.h"
+#include "src/workload/signal.h"
+
+namespace presto {
+
+enum class ActivityState : uint8_t {
+  kSleep = 0,
+  kWake = 1,
+  kMeal = 2,
+  kSit = 3,
+  kWalk = 4,
+  kOut = 5,
+  kExercise = 6,
+};
+
+const char* ActivityStateName(ActivityState s);
+
+// Motion-sensor intensity associated with each state (the scalar PRESTO stores).
+double ActivityLevel(ActivityState s);
+
+struct ActivityAnomaly {
+  enum class Kind : uint8_t { kFall = 0, kMissedMeal = 1 };
+  Kind kind = Kind::kFall;
+  SimTime start = 0;
+  Duration duration = 0;
+};
+
+struct ActivityParams {
+  double schedule_jitter = 0.2;   // relative randomization of segment boundaries
+  double anomalies_per_week = 1.0;
+  uint64_t seed = 11;
+};
+
+class ActivitySignal : public Signal {
+ public:
+  explicit ActivitySignal(const ActivityParams& params);
+
+  // Motion intensity at `t` (anomalies included: a fall = spike then stillness).
+  double ValueAt(SimTime t) override;
+
+  ActivityState StateAt(SimTime t);
+  std::vector<ActivityAnomaly> AnomaliesIn(TimeInterval interval);
+
+ private:
+  struct Segment {
+    SimTime start = 0;
+    ActivityState state = ActivityState::kSleep;
+  };
+
+  void ExtendSchedule(SimTime t);
+  void ExtendAnomalies(SimTime t);
+
+  ActivityParams params_;
+  Pcg32 rng_;
+  Pcg32 anomaly_rng_;
+  std::vector<Segment> schedule_;  // start-ordered
+  SimTime schedule_horizon_ = 0;
+  std::vector<ActivityAnomaly> anomalies_;
+  SimTime anomaly_horizon_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_ACTIVITY_H_

@@ -1,0 +1,77 @@
+#include "src/workload/events.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+SurveillanceWorkload::SurveillanceWorkload(const SurveillanceParams& params)
+    : params_(params), rng_(params.seed, /*stream=*/0x535256) {
+  PRESTO_CHECK(params_.num_sensors >= 1);
+}
+
+void SurveillanceWorkload::Extend(SimTime t) {
+  if (params_.events_per_day <= 0.0) {
+    horizon_ = std::max(horizon_, t + kDay);
+    return;
+  }
+  const double rate_per_us = params_.events_per_day / static_cast<double>(kDay);
+  while (horizon_ <= t) {
+    horizon_ += static_cast<Duration>(rng_.Exponential(rate_per_us));
+    IntrusionEvent e;
+    e.id = next_id_++;
+    e.start = horizon_;
+    e.duration = params_.min_duration +
+                 static_cast<Duration>(rng_.NextDouble() *
+                                       static_cast<double>(params_.max_duration -
+                                                           params_.min_duration));
+    e.entry_sensor = static_cast<int>(rng_.UniformInt(0, params_.num_sensors - 1));
+    // The intruder walks to adjacent sensors.
+    int pos = e.entry_sensor;
+    e.path.push_back(pos);
+    const int moves = static_cast<int>(rng_.UniformInt(1, 4));
+    for (int m = 0; m < moves; ++m) {
+      pos = std::clamp(pos + (rng_.Bernoulli(0.5) ? 1 : -1), 0, params_.num_sensors - 1);
+      e.path.push_back(pos);
+    }
+    events_.push_back(e);
+  }
+}
+
+std::vector<IntrusionEvent> SurveillanceWorkload::EventsIn(TimeInterval interval) {
+  Extend(interval.end);
+  std::vector<IntrusionEvent> out;
+  for (const IntrusionEvent& e : events_) {
+    if (e.start < interval.end && e.start + e.duration >= interval.start) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+double SurveillanceWorkload::ReadingAt(int sensor, SimTime t) {
+  PRESTO_CHECK(sensor >= 0 && sensor < params_.num_sensors);
+  Extend(t);
+  double reading =
+      params_.background_level *
+      (0.7 + 0.3 * HashUniform(params_.seed ^ static_cast<uint64_t>(sensor), t / kMinute));
+  for (const IntrusionEvent& e : events_) {
+    if (e.start > t) {
+      break;
+    }
+    if (t < e.start || t >= e.start + e.duration) {
+      continue;
+    }
+    // Which leg of the path is the intruder on?
+    const Duration leg = e.duration / static_cast<Duration>(e.path.size());
+    const size_t idx = std::min(static_cast<size_t>((t - e.start) / std::max<Duration>(leg, 1)),
+                                e.path.size() - 1);
+    if (e.path[idx] == sensor) {
+      reading = params_.detection_level;
+    }
+  }
+  return reading;
+}
+
+}  // namespace presto

@@ -1,0 +1,58 @@
+// Surveillance workload (paper §1/§6): rare intruder events detected by motion/camera
+// sensors. These are the canonical "inherently unpredictable" occurrences: no model
+// forecasts them, so the model-driven push path must report them the moment the model
+// fails — and the archival store must retain the evidence for post-facto forensics.
+
+#ifndef SRC_WORKLOAD_EVENTS_H_
+#define SRC_WORKLOAD_EVENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sample.h"
+#include "src/workload/signal.h"
+
+namespace presto {
+
+struct IntrusionEvent {
+  uint64_t id = 0;
+  SimTime start = 0;
+  Duration duration = 0;
+  int entry_sensor = 0;      // where the intruder enters
+  std::vector<int> path;     // sensors visited, in order
+};
+
+struct SurveillanceParams {
+  int num_sensors = 8;
+  double events_per_day = 0.3;
+  Duration min_duration = Minutes(2);
+  Duration max_duration = Minutes(15);
+  double background_level = 0.3;   // ambient motion-sensor reading
+  double detection_level = 8.0;    // reading while the intruder is near a sensor
+  uint64_t seed = 17;
+};
+
+class SurveillanceWorkload {
+ public:
+  explicit SurveillanceWorkload(const SurveillanceParams& params);
+
+  // Intrusions starting in the interval (generated lazily, deterministic).
+  std::vector<IntrusionEvent> EventsIn(TimeInterval interval);
+
+  // Motion reading of `sensor` at `t` (background unless an intruder is near it).
+  double ReadingAt(int sensor, SimTime t);
+
+ private:
+  void Extend(SimTime t);
+
+  SurveillanceParams params_;
+  Pcg32 rng_;
+  std::vector<IntrusionEvent> events_;
+  SimTime horizon_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_EVENTS_H_

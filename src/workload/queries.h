@@ -1,0 +1,48 @@
+// Query workload generator: Poisson arrivals of NOW and PAST queries with configurable
+// precision/latency requirements. The proxy's query-sensor matching (§3) adapts sensor
+// settings to exactly these distributions, so benches sweep them.
+
+#ifndef SRC_WORKLOAD_QUERIES_H_
+#define SRC_WORKLOAD_QUERIES_H_
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sample.h"
+#include "src/util/sim_time.h"
+
+namespace presto {
+
+// A user query request, before being bound to the core query types (workload stays
+// below core in the layering).
+struct QueryRequest {
+  SimTime issue_at = 0;
+  int sensor = 0;              // target sensor index within the deployment
+  bool past = false;           // false: NOW query; true: PAST (archival) query
+  Duration age = 0;            // for PAST: how far back the window starts
+  Duration window = Minutes(10);  // for PAST: length of the requested range
+  double tolerance = 0.5;      // acceptable absolute error in value units
+  Duration latency_bound = Seconds(30);
+};
+
+struct QueryWorkloadParams {
+  double queries_per_hour = 30.0;
+  double past_fraction = 0.3;
+  Duration mean_past_age = Hours(12);  // exponential
+  Duration max_past_age = Days(7);
+  Duration past_window = Minutes(30);
+  double min_tolerance = 0.2;
+  double max_tolerance = 2.0;
+  Duration min_latency = Seconds(5);
+  Duration max_latency = Minutes(5);
+  int num_sensors = 1;
+  uint64_t seed = 23;
+};
+
+// All queries issued during `interval`, in time order.
+std::vector<QueryRequest> GenerateQueries(const QueryWorkloadParams& params,
+                                          TimeInterval interval);
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_QUERIES_H_

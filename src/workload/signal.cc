@@ -1,0 +1,30 @@
+#include "src/workload/signal.h"
+
+#include <cmath>
+
+namespace presto {
+namespace {
+
+// SplitMix64: excellent avalanche, cheap, and stateless.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double HashUniform(uint64_t seed, int64_t bucket) {
+  const uint64_t h = Mix(seed ^ Mix(static_cast<uint64_t>(bucket)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double HashGaussian(uint64_t seed, int64_t bucket) {
+  // Box-Muller from two decorrelated uniforms of the same (seed, bucket).
+  const double u1 = 1.0 - HashUniform(seed ^ 0xA5A5A5A5A5A5A5A5ULL, bucket);
+  const double u2 = HashUniform(seed ^ 0x5A5A5A5A5A5A5A5AULL, bucket);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace presto

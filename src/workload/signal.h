@@ -1,0 +1,34 @@
+// Ground-truth physical signals driving the simulated sensors.
+//
+// Signals are *deterministic functions of (seed, t)* — two calls with the same
+// arguments always agree — so a bench can replay the exact world while varying only
+// the system under test, and the proxy-side error metrics can compare against truth.
+
+#ifndef SRC_WORKLOAD_SIGNAL_H_
+#define SRC_WORKLOAD_SIGNAL_H_
+
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace presto {
+
+class Signal {
+ public:
+  virtual ~Signal() = default;
+
+  // Ground-truth value at time t. Implementations may extend lazily computed internal
+  // state (hence non-const) but must stay deterministic and support arbitrary t >= 0.
+  virtual double ValueAt(SimTime t) = 0;
+};
+
+// Deterministic white noise: a hash of (seed, bucket) -> N(0, 1), random-access in t.
+// Used for per-sample measurement noise without requiring sequential generation.
+double HashGaussian(uint64_t seed, int64_t bucket);
+
+// Uniform [0,1) variant of the same construction.
+double HashUniform(uint64_t seed, int64_t bucket);
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_SIGNAL_H_

@@ -1,0 +1,95 @@
+#include "src/workload/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+TrafficGenerator::TrafficGenerator(const TrafficParams& params)
+    : params_(params), rng_(params.seed, /*stream=*/0x545246) {}
+
+double TrafficGenerator::RatePerHour(SimTime t) const {
+  const double tod = static_cast<double>(t % kDay);
+  auto bump = [&](Duration peak) {
+    const double d = (tod - static_cast<double>(peak)) / static_cast<double>(params_.peak_width);
+    return std::exp(-0.5 * d * d);
+  };
+  return params_.base_rate_per_hour +
+         params_.rush_peak_per_hour * (bump(params_.morning_peak) + bump(params_.evening_peak));
+}
+
+std::vector<Vehicle> TrafficGenerator::GenerateVehicles(TimeInterval interval) {
+  // Thinning (Lewis & Shedler): dominate with the max rate, accept proportionally.
+  const double max_rate =
+      params_.base_rate_per_hour + 2.0 * params_.rush_peak_per_hour;
+  const double max_rate_per_us = max_rate / static_cast<double>(kHour);
+  std::vector<Vehicle> out;
+  SimTime t = interval.start;
+  while (true) {
+    t += static_cast<Duration>(rng_.Exponential(max_rate_per_us));
+    if (t >= interval.end) {
+      break;
+    }
+    if (!rng_.Bernoulli(RatePerHour(t) / max_rate)) {
+      continue;
+    }
+    Vehicle v;
+    v.id = next_id_++;
+    v.entry_time = t;
+    v.speed_m_s = std::max(3.0, rng_.Gaussian(params_.mean_speed_m_s, params_.speed_std_m_s));
+    const double klass = rng_.NextDouble();
+    if (klass < params_.bus_fraction) {
+      v.klass = VehicleClass::kBus;
+    } else if (klass < params_.bus_fraction + params_.truck_fraction) {
+      v.klass = VehicleClass::kTruck;
+    } else {
+      v.klass = VehicleClass::kCar;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::vector<VehicleDetection>> TrafficGenerator::DetectionsAt(
+    const std::vector<Vehicle>& vehicles, int num_detectors, double spacing_m) const {
+  PRESTO_CHECK(num_detectors >= 1);
+  std::vector<std::vector<VehicleDetection>> streams(static_cast<size_t>(num_detectors));
+  for (const Vehicle& v : vehicles) {
+    for (int d = 0; d < num_detectors; ++d) {
+      const double travel_s = spacing_m * d / v.speed_m_s;
+      VehicleDetection det;
+      det.vehicle_id = v.id;
+      det.detector = d;
+      det.t = v.entry_time + Seconds(travel_s);
+      det.klass = v.klass;
+      streams[static_cast<size_t>(d)].push_back(det);
+    }
+  }
+  for (auto& s : streams) {
+    std::sort(s.begin(), s.end(),
+              [](const VehicleDetection& a, const VehicleDetection& b) { return a.t < b.t; });
+  }
+  return streams;
+}
+
+std::vector<Sample> TrafficGenerator::CountSeries(const std::vector<Vehicle>& vehicles,
+                                                  TimeInterval interval, Duration bin) const {
+  PRESTO_CHECK(bin > 0);
+  const size_t bins = static_cast<size_t>((interval.Length() + bin - 1) / bin);
+  std::vector<Sample> out(bins);
+  for (size_t i = 0; i < bins; ++i) {
+    out[i] = Sample{interval.start + static_cast<Duration>(i) * bin, 0.0};
+  }
+  for (const Vehicle& v : vehicles) {
+    if (v.entry_time < interval.start || v.entry_time >= interval.end) {
+      continue;
+    }
+    const size_t i = static_cast<size_t>((v.entry_time - interval.start) / bin);
+    out[std::min(i, bins - 1)].value += 1.0;
+  }
+  return out;
+}
+
+}  // namespace presto

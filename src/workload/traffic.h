@@ -1,0 +1,74 @@
+// Vehicle-traffic workload (paper §1/§6: commuter-traffic querying). An inhomogeneous
+// Poisson arrival process with rush-hour peaks; each vehicle passes a line of detector
+// sensors in road order, producing the multi-proxy detection streams whose *order*
+// the skip-graph/temporal-merge layers must preserve, and a per-interval count series
+// that is highly predictable (what PRESTO's models exploit).
+
+#ifndef SRC_WORKLOAD_TRAFFIC_H_
+#define SRC_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/sample.h"
+
+namespace presto {
+
+enum class VehicleClass : uint8_t { kCar = 0, kTruck = 1, kBus = 2 };
+
+struct Vehicle {
+  uint64_t id = 0;
+  SimTime entry_time = 0;     // when it passes detector 0
+  double speed_m_s = 0.0;
+  VehicleClass klass = VehicleClass::kCar;
+};
+
+struct VehicleDetection {
+  uint64_t vehicle_id = 0;
+  int detector = 0;
+  SimTime t = 0;  // true detection time (sensor clocks distort this downstream)
+  VehicleClass klass = VehicleClass::kCar;
+};
+
+struct TrafficParams {
+  double base_rate_per_hour = 60.0;
+  double rush_peak_per_hour = 540.0;     // added on top of base at peak
+  Duration morning_peak = Hours(8);
+  Duration evening_peak = Hours(17.5);
+  Duration peak_width = Hours(1.2);      // Gaussian sigma of each rush hour
+  double truck_fraction = 0.12;
+  double bus_fraction = 0.04;
+  double mean_speed_m_s = 13.0;
+  double speed_std_m_s = 2.5;
+  uint64_t seed = 7;
+};
+
+class TrafficGenerator {
+ public:
+  explicit TrafficGenerator(const TrafficParams& params);
+
+  // Arrival intensity (vehicles/hour) at time-of-day of `t`.
+  double RatePerHour(SimTime t) const;
+
+  // All vehicles entering during [interval.start, interval.end), by thinning.
+  std::vector<Vehicle> GenerateVehicles(TimeInterval interval);
+
+  // Detections of `vehicles` at detectors placed every `spacing_m` along the road,
+  // ordered by time within each detector stream.
+  std::vector<std::vector<VehicleDetection>> DetectionsAt(
+      const std::vector<Vehicle>& vehicles, int num_detectors, double spacing_m) const;
+
+  // Vehicle counts per `bin` interval at detector 0 — the numeric series PRESTO models.
+  std::vector<Sample> CountSeries(const std::vector<Vehicle>& vehicles,
+                                  TimeInterval interval, Duration bin) const;
+
+ private:
+  TrafficParams params_;
+  Pcg32 rng_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_TRAFFIC_H_

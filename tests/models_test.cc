@@ -1,0 +1,338 @@
+// Tests for linear algebra, the predictive models (including the proxy/sensor
+// consistency contract that model-driven push depends on), and spatial conditioning.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "src/models/ar.h"
+#include "src/models/linalg.h"
+#include "src/models/markov.h"
+#include "src/models/registry.h"
+#include "src/models/seasonal.h"
+#include "src/models/spatial.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace presto {
+namespace {
+
+// ---------- linalg ----------
+
+TEST(LinalgTest, CholeskySolvesSpdSystem) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 4;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 2;
+  a.At(1, 1) = 3;
+  auto x = SolveSpd(a, {8, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.25, 1e-9);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-9);
+}
+
+TEST(LinalgTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 5;
+  a.At(1, 0) = 5;
+  a.At(1, 1) = 1;  // eigenvalues 6, -4
+  EXPECT_FALSE(CholeskyFactor(a).ok());
+}
+
+TEST(LinalgTest, MatrixMultiply) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      a.At(r, c) = v++;
+    }
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      b.At(r, c) = v++;
+    }
+  }
+  Matrix ab = a.Multiply(b);
+  EXPECT_EQ(ab.At(0, 0), 1 * 7 + 2 * 9 + 3 * 11);
+  EXPECT_EQ(ab.At(1, 1), 4 * 8 + 5 * 10 + 6 * 12);
+}
+
+TEST(LinalgTest, LevinsonDurbinRecoversAr2) {
+  // Simulate a long AR(2) series and check coefficient recovery.
+  const double phi1 = 0.6;
+  const double phi2 = -0.3;
+  Pcg32 rng(3);
+  std::vector<double> x(60000, 0.0);
+  for (size_t i = 2; i < x.size(); ++i) {
+    x[i] = phi1 * x[i - 1] + phi2 * x[i - 2] + rng.Gaussian();
+  }
+  auto fit = LevinsonDurbin(Autocovariance(x, 2));
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->phi[0], phi1, 0.03);
+  EXPECT_NEAR(fit->phi[1], phi2, 0.03);
+  EXPECT_NEAR(fit->innovation_variance, 1.0, 0.05);
+}
+
+TEST(LinalgTest, FitLineExact) {
+  auto line = FitLine({0, 1, 2, 3}, {5, 7, 9, 11});
+  ASSERT_TRUE(line.ok());
+  EXPECT_NEAR(line->first, 5.0, 1e-9);   // intercept
+  EXPECT_NEAR(line->second, 2.0, 1e-9);  // slope
+}
+
+TEST(LinalgTest, AutocovarianceLagZeroIsVariance) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const auto ac = Autocovariance(x, 0);
+  EXPECT_NEAR(ac[0], 2.0, 1e-12);
+}
+
+// ---------- shared fixtures ----------
+
+constexpr Duration kPeriod = Seconds(31);
+
+ModelConfig TestConfig() {
+  ModelConfig c;
+  c.sample_period = kPeriod;
+  c.seasonal_period = Hours(24);
+  c.seasonal_bins = 24;
+  c.ar_order = 2;
+  c.markov_states = 6;
+  return c;
+}
+
+// Two days of diurnal signal + AR(1) noise on the sensing grid.
+std::vector<Sample> DiurnalSeries(int days = 3, uint64_t seed = 5) {
+  Pcg32 rng(seed);
+  std::vector<Sample> out;
+  double ar = 0.0;
+  const int per_day = static_cast<int>(kDay / kPeriod);
+  for (int i = 0; i < days * per_day; ++i) {
+    const SimTime t = static_cast<SimTime>(i) * kPeriod;
+    ar = 0.97 * ar + rng.Gaussian(0.0, 0.08);
+    const double diurnal =
+        20.0 + 5.0 * std::sin(2.0 * M_PI * static_cast<double>(t % kDay) /
+                              static_cast<double>(kDay));
+    out.push_back(Sample{t, diurnal + ar});
+  }
+  return out;
+}
+
+// ---------- per-model property: proxy and sensor replicas stay in lockstep ----------
+
+class ModelConsistencyTest : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(ModelConsistencyTest, SerializeDeserializePredictIdentically) {
+  const ModelConfig config = TestConfig();
+  auto proxy_model = CreateModel(GetParam(), config);
+  const std::vector<Sample> history = DiurnalSeries();
+  ASSERT_TRUE(proxy_model->Fit(history).ok());
+
+  const std::vector<uint8_t> wire = proxy_model->Serialize();
+  EXPECT_FALSE(wire.empty());
+  auto sensor_model = DeserializeModel(wire, config);
+  ASSERT_TRUE(sensor_model.ok());
+  EXPECT_EQ((*sensor_model)->type(), GetParam());
+
+  const SimTime t0 = history.back().t;
+  // Predictions agree right after installation...
+  for (int k = 1; k <= 64; k *= 2) {
+    const SimTime t = t0 + k * kPeriod;
+    const Prediction a = proxy_model->Predict(t);
+    const Prediction b = (*sensor_model)->Predict(t);
+    EXPECT_NEAR(a.value, b.value, 1e-3) << "k=" << k;
+    EXPECT_NEAR(a.stddev, b.stddev, 1e-3) << "k=" << k;
+  }
+  // ...and remain in lockstep through a sequence of mirrored anchors.
+  Pcg32 rng(11);
+  SimTime t = t0;
+  for (int i = 0; i < 50; ++i) {
+    t += rng.UniformInt(1, 40) * kPeriod;
+    const Sample anchor{t, 20.0 + rng.Gaussian(0, 3)};
+    proxy_model->OnAnchor(anchor);
+    (*sensor_model)->OnAnchor(anchor);
+    const SimTime probe = t + rng.UniformInt(1, 20) * kPeriod;
+    EXPECT_NEAR(proxy_model->Predict(probe).value, (*sensor_model)->Predict(probe).value,
+                1e-3);
+  }
+}
+
+TEST_P(ModelConsistencyTest, CloneIsIndependent) {
+  const ModelConfig config = TestConfig();
+  auto model = CreateModel(GetParam(), config);
+  ASSERT_TRUE(model->Fit(DiurnalSeries()).ok());
+  auto clone = model->Clone();
+  const SimTime t = Days(3) + Hours(1);
+  EXPECT_EQ(model->Predict(t).value, clone->Predict(t).value);
+  clone->OnAnchor(Sample{Days(3) + Minutes(10), 35.0});
+  // Anchoring the clone must not disturb the original (except stateless models, where
+  // both simply ignore anchors).
+  if (GetParam() != ModelType::kSeasonal) {
+    EXPECT_NE(model->Predict(t).value, clone->Predict(t).value);
+  }
+}
+
+TEST_P(ModelConsistencyTest, PredictionHasPositiveUncertainty) {
+  auto model = CreateModel(GetParam(), TestConfig());
+  ASSERT_TRUE(model->Fit(DiurnalSeries()).ok());
+  for (SimTime t : {Hours(1), Days(3) + Hours(5), Days(10)}) {
+    EXPECT_GT(model->Predict(t).stddev, 0.0);
+  }
+}
+
+TEST_P(ModelConsistencyTest, FitFailsOnTinyHistory) {
+  auto model = CreateModel(GetParam(), TestConfig());
+  EXPECT_FALSE(model->Fit({Sample{0, 1.0}, Sample{kPeriod, 1.1}}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelConsistencyTest,
+                         ::testing::Values(ModelType::kLastValue, ModelType::kSeasonal,
+                                           ModelType::kAr, ModelType::kSeasonalAr,
+                                           ModelType::kMarkov),
+                         [](const auto& info) {
+                           std::string name = ModelTypeName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------- model quality ----------
+
+TEST(SeasonalModelTest, LearnsDiurnalShape) {
+  auto model = CreateModel(ModelType::kSeasonal, TestConfig());
+  ASSERT_TRUE(model->Fit(DiurnalSeries(4)).ok());
+  // Peak near 6h (sin peak at quarter day), trough near 18h.
+  const double peak = model->Predict(Days(5) + Hours(6)).value;
+  const double trough = model->Predict(Days(5) + Hours(18)).value;
+  EXPECT_GT(peak, 23.5);
+  EXPECT_LT(trough, 16.5);
+}
+
+TEST(SeasonalArModelTest, BeatsPureSeasonalNearTerm) {
+  const std::vector<Sample> history = DiurnalSeries(4, /*seed=*/21);
+  // Hold out the last 2 hours.
+  const size_t holdout = 2 * kHour / kPeriod;
+  std::vector<Sample> train(history.begin(), history.end() - holdout);
+
+  auto seasonal = CreateModel(ModelType::kSeasonal, TestConfig());
+  auto seasonal_ar = CreateModel(ModelType::kSeasonalAr, TestConfig());
+  ASSERT_TRUE(seasonal->Fit(train).ok());
+  ASSERT_TRUE(seasonal_ar->Fit(train).ok());
+
+  double se_seasonal = 0.0;
+  double se_sar = 0.0;
+  for (size_t i = history.size() - holdout; i < history.size(); ++i) {
+    const double truth = history[i].value;
+    const double e1 = seasonal->Predict(history[i].t).value - truth;
+    const double e2 = seasonal_ar->Predict(history[i].t).value - truth;
+    se_seasonal += e1 * e1;
+    se_sar += e2 * e2;
+  }
+  // The AR residual carries the current weather offset forward; pure climatology
+  // cannot.
+  EXPECT_LT(se_sar, se_seasonal);
+}
+
+TEST(ArModelTest, ForecastRevertsToMean) {
+  auto model = CreateModel(ModelType::kAr, TestConfig());
+  const std::vector<Sample> history = DiurnalSeries();
+  ASSERT_TRUE(model->Fit(history).ok());
+  const Prediction far = model->Predict(history.back().t + Days(30));
+  // Far beyond the forecast horizon: marginal distribution.
+  const Prediction near = model->Predict(history.back().t + kPeriod);
+  EXPECT_GT(far.stddev, near.stddev);
+}
+
+TEST(ArModelTest, UncertaintyGrowsWithHorizon) {
+  auto model = CreateModel(ModelType::kAr, TestConfig());
+  ASSERT_TRUE(model->Fit(DiurnalSeries()).ok());
+  const SimTime t0 = Days(3);
+  double prev = 0.0;
+  for (int k = 1; k <= 256; k *= 4) {
+    const double sd = model->Predict(t0 + k * kPeriod).stddev;
+    EXPECT_GE(sd, prev);
+    prev = sd;
+  }
+}
+
+TEST(MarkovModelTest, TracksRegimeSwitching) {
+  // Two-level square wave with sticky states.
+  std::vector<Sample> history;
+  Pcg32 rng(31);
+  double level = 1.0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.Bernoulli(0.01)) {
+      level = level > 3.0 ? 1.0 : 5.0;
+    }
+    history.push_back(Sample{static_cast<SimTime>(i) * kPeriod, level + rng.Gaussian(0, 0.1)});
+  }
+  ModelConfig config = TestConfig();
+  config.markov_states = 4;
+  auto model = CreateModel(ModelType::kMarkov, config);
+  ASSERT_TRUE(model->Fit(history).ok());
+  // Anchored in the high regime, the near-term forecast stays high (sticky chain).
+  model->OnAnchor(Sample{history.back().t + kPeriod, 5.0});
+  const double soon = model->Predict(history.back().t + 3 * kPeriod).value;
+  EXPECT_GT(soon, 3.5);
+  // The long-run forecast approaches the overall mixture mean.
+  const double far = model->Predict(history.back().t + Days(30)).value;
+  EXPECT_GT(far, 1.0);
+  EXPECT_LT(far, 5.0);
+}
+
+TEST(RegistryTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(DeserializeModel(std::vector<uint8_t>{}, TestConfig()).ok());
+  EXPECT_FALSE(DeserializeModel(std::vector<uint8_t>{0xEE, 1, 2}, TestConfig()).ok());
+}
+
+TEST(RegistryTest, ModelParamsAreCompact) {
+  // Wire size is sensor energy; keep the seasonal-AR params within a few frames.
+  auto model = CreateModel(ModelType::kSeasonalAr, TestConfig());
+  ASSERT_TRUE(model->Fit(DiurnalSeries()).ok());
+  EXPECT_LT(model->Serialize().size(), 300u);
+}
+
+// ---------- spatial ----------
+
+TEST(SpatialModelTest, ConditioningShrinksUncertainty) {
+  // Three sensors: 0 and 1 strongly correlated, 2 independent.
+  Pcg32 rng(41);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 4000; ++i) {
+    const double shared = rng.Gaussian(20, 2);
+    rows.push_back({shared + rng.Gaussian(0, 0.2), shared + rng.Gaussian(0, 0.2) + 1.0,
+                    rng.Gaussian(10, 1)});
+  }
+  SpatialGaussianModel model;
+  ASSERT_TRUE(model.Fit(rows).ok());
+  EXPECT_GT(model.Correlation(0, 1), 0.97);
+  EXPECT_LT(std::abs(model.Correlation(0, 2)), 0.1);
+
+  auto marginal = model.Condition(0, {});
+  auto conditioned = model.Condition(0, {{1, 24.0}});
+  ASSERT_TRUE(marginal.ok());
+  ASSERT_TRUE(conditioned.ok());
+  EXPECT_LT(conditioned->stddev, 0.4 * marginal->stddev);
+  // Sensor 1 at 24 -> shared ~ 23 -> sensor 0 ~ 23.
+  EXPECT_NEAR(conditioned->value, 23.0, 0.5);
+  // Conditioning on the independent sensor helps almost not at all.
+  auto useless = model.Condition(0, {{2, 10.0}});
+  ASSERT_TRUE(useless.ok());
+  EXPECT_GT(useless->stddev, 0.9 * marginal->stddev);
+}
+
+TEST(SpatialModelTest, RejectsBadInput) {
+  SpatialGaussianModel model;
+  EXPECT_FALSE(model.Fit({}).ok());
+  EXPECT_FALSE(model.Fit({{1.0}, {2.0}, {3.0}}).ok());  // single sensor
+  EXPECT_FALSE(model.Condition(0, {}).ok());            // not fitted
+}
+
+}  // namespace
+}  // namespace presto

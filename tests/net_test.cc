@@ -1,0 +1,217 @@
+// Tests for the LPL MAC / network fabric: delivery, rendezvous latency, energy
+// accounting, loss and retries, failure injection, duty-cycle adaptation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace presto {
+namespace {
+
+class Recorder : public NetNode {
+ public:
+  void OnMessage(const Message& message) override { messages.push_back(message); }
+  std::vector<Message> messages;
+};
+
+struct Harness {
+  Simulator sim;
+  NetworkParams params;
+  std::unique_ptr<Network> net;
+  Recorder proxy;
+  Recorder sensor;
+  EnergyMeter sensor_meter;
+
+  explicit Harness(double loss = 0.0, Duration lpl = Seconds(1)) {
+    params.default_frame_loss = loss;
+    net = std::make_unique<Network>(&sim, params, /*seed=*/99);
+    NodeRadioConfig powered;
+    powered.powered = true;
+    net->AttachNode(1, &proxy, powered, nullptr);
+    NodeRadioConfig unpowered;
+    unpowered.powered = false;
+    unpowered.lpl_interval = lpl;
+    unpowered.post_burst_listen = Seconds(5);
+    net->AttachNode(2, &sensor, unpowered, &sensor_meter);
+  }
+};
+
+TEST(NetworkTest, DeliversToPoweredReceiver) {
+  Harness h;
+  h.net->Send(2, 1, 7, {1, 2, 3});
+  h.sim.RunAll();
+  ASSERT_EQ(h.proxy.messages.size(), 1u);
+  EXPECT_EQ(h.proxy.messages[0].src, 2u);
+  EXPECT_EQ(h.proxy.messages[0].type, 7u);
+  EXPECT_EQ(h.proxy.messages[0].payload, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(h.net->stats().messages_delivered, 1u);
+}
+
+TEST(NetworkTest, UplinkToPoweredProxyIsFast) {
+  Harness h;
+  h.net->Send(2, 1, 0, std::vector<uint8_t>(10));
+  h.sim.RunAll();
+  ASSERT_EQ(h.proxy.messages.size(), 1u);
+  // Short preamble + one frame + ack at 19.2 kbps: well under 100 ms.
+  EXPECT_LT(h.proxy.messages[0].delivered_at, Millis(100));
+}
+
+TEST(NetworkTest, DownlinkWaitsForLplRendezvous) {
+  Harness h(/*loss=*/0.0, /*lpl=*/Seconds(2));
+  h.net->Send(1, 2, 0, std::vector<uint8_t>(10));
+  h.sim.RunAll();
+  ASSERT_EQ(h.sensor.messages.size(), 1u);
+  // The preamble must span the receiver's 2 s check interval.
+  EXPECT_GE(h.sensor.messages[0].delivered_at, Seconds(2));
+  EXPECT_LT(h.sensor.messages[0].delivered_at, Seconds(3));
+}
+
+TEST(NetworkTest, PostBurstListenWindowMakesReplyFast) {
+  Harness h(/*loss=*/0.0, /*lpl=*/Seconds(2));
+  // Sensor pushes; proxy replies within the sensor's 5 s listen window.
+  h.net->Send(2, 1, 0, std::vector<uint8_t>(4));
+  h.sim.RunAll();
+  const SimTime push_done = h.proxy.messages.at(0).delivered_at;
+  h.net->Send(1, 2, 0, std::vector<uint8_t>(4));
+  h.sim.RunAll();
+  ASSERT_EQ(h.sensor.messages.size(), 1u);
+  // No 2 s rendezvous needed: delivered shortly after the push.
+  EXPECT_LT(h.sensor.messages[0].delivered_at - push_done, Millis(200));
+}
+
+TEST(NetworkTest, SenderEnergyChargedPerBurst) {
+  Harness h;
+  h.net->Send(2, 1, 0, std::vector<uint8_t>(64));
+  h.sim.RunAll();
+  const double tx = h.sensor_meter.Component(EnergyComponent::kRadioTx);
+  const double listen = h.sensor_meter.Component(EnergyComponent::kRadioListen);
+  EXPECT_GT(tx, 0.0);
+  // Post-burst listen window (5 s at 45 mW) dominates listen cost.
+  EXPECT_NEAR(listen, 0.225, 0.05);
+}
+
+TEST(NetworkTest, IdleEnergyAccruesWithDutyCycle) {
+  Harness h(/*loss=*/0.0, /*lpl=*/Seconds(1));
+  h.sim.RunUntil(Hours(1));
+  h.net->SettleIdleEnergy();
+  const double listen = h.sensor_meter.Component(EnergyComponent::kRadioListen);
+  // 2.5 ms sample per 1 s at 45 mW = 112.5 uW -> ~0.405 J/h.
+  EXPECT_NEAR(listen, 0.405, 0.05);
+  EXPECT_GT(h.sensor_meter.Component(EnergyComponent::kRadioSleep), 0.0);
+}
+
+TEST(NetworkTest, LongerLplIntervalSavesIdleEnergy) {
+  Harness fast(/*loss=*/0.0, /*lpl=*/Millis(200));
+  Harness slow(/*loss=*/0.0, /*lpl=*/Seconds(4));
+  fast.sim.RunUntil(Hours(1));
+  slow.sim.RunUntil(Hours(1));
+  fast.net->SettleIdleEnergy();
+  slow.net->SettleIdleEnergy();
+  EXPECT_GT(fast.sensor_meter.Component(EnergyComponent::kRadioListen),
+            5.0 * slow.sensor_meter.Component(EnergyComponent::kRadioListen));
+}
+
+TEST(NetworkTest, SetLplIntervalSettlesAtOldRate) {
+  Harness h(/*loss=*/0.0, /*lpl=*/Seconds(1));
+  h.sim.RunUntil(Hours(1));
+  h.net->SetLplInterval(2, Seconds(10));
+  const double after_first_hour = h.sensor_meter.Component(EnergyComponent::kRadioListen);
+  h.sim.RunUntil(Hours(2));
+  h.net->SettleIdleEnergy();
+  const double second_hour =
+      h.sensor_meter.Component(EnergyComponent::kRadioListen) - after_first_hour;
+  EXPECT_LT(second_hour, after_first_hour / 5.0);
+  EXPECT_EQ(h.net->LplInterval(2), Seconds(10));
+}
+
+TEST(NetworkTest, LossCausesRetriesAndEventuallyDrops) {
+  Harness h(/*loss=*/0.65);
+  for (int i = 0; i < 50; ++i) {
+    h.net->Send(2, 1, 0, std::vector<uint8_t>(8));
+    h.sim.RunAll();
+  }
+  const NetStats& stats = h.net->stats();
+  EXPECT_GT(stats.frame_retries, 0u);
+  EXPECT_GT(stats.messages_dropped, 0u);
+  EXPECT_GT(stats.messages_delivered, 0u);
+  EXPECT_EQ(stats.messages_delivered + stats.messages_dropped, 50u);
+}
+
+TEST(NetworkTest, ZeroLossDeliversEverything) {
+  Harness h(/*loss=*/0.0);
+  for (int i = 0; i < 50; ++i) {
+    h.net->Send(2, 1, 0, std::vector<uint8_t>(8));
+  }
+  h.sim.RunAll();
+  EXPECT_EQ(h.net->stats().messages_delivered, 50u);
+  EXPECT_EQ(h.net->stats().frame_retries, 0u);
+}
+
+TEST(NetworkTest, LargePayloadFragmentsIntoFrames) {
+  Harness h;
+  h.net->Send(2, 1, 0, std::vector<uint8_t>(300));  // 64-byte frames -> 5 frames
+  h.sim.RunAll();
+  EXPECT_EQ(h.net->node_stats(2).frames_sent, 5u);
+  ASSERT_EQ(h.proxy.messages.size(), 1u);
+  EXPECT_EQ(h.proxy.messages[0].payload.size(), 300u);
+}
+
+TEST(NetworkTest, DownNodeNeitherSendsNorReceives) {
+  Harness h;
+  h.net->SetNodeDown(2, true);
+  h.net->Send(1, 2, 0, {1});
+  h.net->Send(2, 1, 0, {1});
+  h.sim.RunAll();
+  EXPECT_TRUE(h.sensor.messages.empty());
+  EXPECT_TRUE(h.proxy.messages.empty());
+  h.net->SetNodeDown(2, false);
+  h.net->Send(1, 2, 0, {1});
+  h.sim.RunAll();
+  EXPECT_EQ(h.sensor.messages.size(), 1u);
+}
+
+TEST(NetworkTest, WiredPathIsFastAndFree) {
+  Simulator sim;
+  Network net(&sim, NetworkParams{}, 1);
+  Recorder a;
+  Recorder b;
+  NodeRadioConfig powered;
+  powered.powered = true;
+  net.AttachNode(10, &a, powered, nullptr);
+  net.AttachNode(11, &b, powered, nullptr);
+  net.ConnectWired(10, 11);
+  net.Send(10, 11, 3, std::vector<uint8_t>(1000));
+  sim.RunAll();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_LT(b.messages[0].delivered_at, Millis(15));
+  EXPECT_EQ(net.stats().wired_messages, 1u);
+}
+
+TEST(NetworkTest, BurstsFromOneSenderSerialize) {
+  Harness h;
+  h.net->Send(2, 1, 0, std::vector<uint8_t>(64));
+  h.net->Send(2, 1, 1, std::vector<uint8_t>(64));
+  h.sim.RunAll();
+  ASSERT_EQ(h.proxy.messages.size(), 2u);
+  EXPECT_EQ(h.proxy.messages[0].type, 0u);
+  EXPECT_EQ(h.proxy.messages[1].type, 1u);
+  EXPECT_GT(h.proxy.messages[1].delivered_at, h.proxy.messages[0].delivered_at);
+}
+
+TEST(NetworkTest, PerLinkLossOverride) {
+  Harness h(/*loss=*/0.0);
+  h.net->SetLinkLoss(1, 2, 0.99);
+  int delivered = 0;
+  for (int i = 0; i < 30; ++i) {
+    h.net->Send(2, 1, 0, {1});
+    h.sim.RunAll();
+    delivered = static_cast<int>(h.net->stats().messages_delivered);
+  }
+  EXPECT_LT(delivered, 30);
+}
+
+}  // namespace
+}  // namespace presto

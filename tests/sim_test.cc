@@ -1,0 +1,134 @@
+// Tests for the discrete-event simulator: ordering, cancellation, timers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace presto {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.ScheduleIn(Seconds(1), [&] { fired = true; });
+  handle.Cancel();
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutOvershooting) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.ScheduleAt(Seconds(10), [&] { late_fired = true; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), Seconds(5));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.RunUntil(Seconds(10));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleIn(Seconds(1), recurse);
+    }
+  };
+  sim.ScheduleIn(Seconds(1), recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(SimulatorTest, NextEventTime) {
+  Simulator sim;
+  EXPECT_EQ(sim.NextEventTime(), -1);
+  sim.ScheduleAt(Seconds(4), [] {});
+  EXPECT_EQ(sim.NextEventTime(), Seconds(4));
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(&sim, [&] { fires.push_back(sim.Now()); });
+  timer.Start(Seconds(10));
+  sim.RunUntil(Seconds(35));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Seconds(10), Seconds(20), Seconds(30)}));
+}
+
+TEST(PeriodicTimerTest, InitialDelayOverride) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(&sim, [&] { fires.push_back(sim.Now()); });
+  timer.Start(Seconds(10), Seconds(1));
+  sim.RunUntil(Seconds(12));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Seconds(1), Seconds(11)}));
+}
+
+TEST(PeriodicTimerTest, SetPeriodTakesEffect) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(&sim, [&] { fires.push_back(sim.Now()); });
+  timer.Start(Seconds(10));
+  sim.RunUntil(Seconds(10));  // one fire at 10
+  timer.SetPeriod(Seconds(2));
+  sim.RunUntil(Seconds(15));
+  // After the change at t=10, fires at 12 and 14.
+  EXPECT_EQ(fires, (std::vector<SimTime>{Seconds(10), Seconds(12), Seconds(14)}));
+}
+
+TEST(PeriodicTimerTest, StopIsIdempotentAndFinal) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTimer timer(&sim, [&] { ++fires; });
+  timer.Start(Seconds(1));
+  sim.RunUntil(Seconds(2));
+  timer.Stop();
+  timer.Stop();
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(fires, 2);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(PeriodicTimerTest, RestartReschedules) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTimer timer(&sim, [&] { fires.push_back(sim.Now()); });
+  timer.Start(Seconds(10));
+  timer.Start(Seconds(3));  // restart replaces the pending fire
+  sim.RunUntil(Seconds(7));
+  EXPECT_EQ(fires, (std::vector<SimTime>{Seconds(3), Seconds(6)}));
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,306 @@
+// Tests for the DWT, denoising, the batch codec (including compression-ratio-vs-batch
+// behaviour that drives Figure 2), and multi-resolution aging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/wavelet/aging.h"
+#include "src/wavelet/codec.h"
+#include "src/wavelet/denoise.h"
+#include "src/wavelet/transform.h"
+
+namespace presto {
+namespace {
+
+std::vector<double> RandomSignal(size_t n, uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<double> out(n);
+  double walk = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    walk += rng.Gaussian(0, 0.5);
+    out[i] = walk;
+  }
+  return out;
+}
+
+// ---------- transform ----------
+
+class DwtReconstructionTest
+    : public ::testing::TestWithParam<std::tuple<WaveletKind, size_t, uint64_t>> {};
+
+TEST_P(DwtReconstructionTest, PerfectReconstruction) {
+  const auto [kind, n, seed] = GetParam();
+  const std::vector<double> signal = RandomSignal(n, seed);
+  auto coeffs = ForwardDwt(signal, kind, /*levels=*/0);
+  ASSERT_TRUE(coeffs.ok());
+  const std::vector<double> back = InverseDwt(*coeffs);
+  ASSERT_EQ(back.size(), signal.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], signal[i], 1e-9) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndLengths, DwtReconstructionTest,
+    ::testing::Combine(::testing::Values(WaveletKind::kHaar, WaveletKind::kDaubechies4),
+                       ::testing::Values<size_t>(1, 2, 3, 7, 16, 33, 100, 256, 1000),
+                       ::testing::Values<uint64_t>(1, 2)));
+
+TEST(DwtTest, HaarOfConstantHasZeroDetails) {
+  const std::vector<double> constant(64, 5.0);
+  auto coeffs = ForwardDwt(constant, WaveletKind::kHaar, 0);
+  ASSERT_TRUE(coeffs.ok());
+  for (int level = 1; level <= coeffs->levels; ++level) {
+    const auto [begin, end] = coeffs->DetailRange(level);
+    for (size_t i = begin; i < end; ++i) {
+      EXPECT_NEAR(coeffs->data[i], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(DwtTest, EnergyPreserved) {
+  // Orthonormal transform: sum of squares is invariant (Parseval).
+  const std::vector<double> signal = RandomSignal(128, 9);
+  auto coeffs = ForwardDwt(signal, WaveletKind::kDaubechies4, 0);
+  ASSERT_TRUE(coeffs.ok());
+  double in_energy = 0.0;
+  for (double v : signal) {
+    in_energy += v * v;
+  }
+  // Padding replicates the last value, so compare on the padded signal.
+  std::vector<double> padded = signal;
+  padded.resize(coeffs->PaddedLength(), signal.back());
+  in_energy = 0.0;
+  for (double v : padded) {
+    in_energy += v * v;
+  }
+  double out_energy = 0.0;
+  for (double v : coeffs->data) {
+    out_energy += v * v;
+  }
+  EXPECT_NEAR(out_energy, in_energy, in_energy * 1e-9);
+}
+
+TEST(DwtTest, EmptySignalRejected) {
+  EXPECT_FALSE(ForwardDwt({}, WaveletKind::kHaar, 0).ok());
+}
+
+TEST(DwtTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+// ---------- denoise ----------
+
+TEST(DenoiseTest, RemovesWhiteNoiseFromSmoothSignal) {
+  Pcg32 rng(17);
+  const size_t n = 512;
+  std::vector<double> clean(n);
+  std::vector<double> noisy(n);
+  for (size_t i = 0; i < n; ++i) {
+    clean[i] = 10.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 128.0);
+    noisy[i] = clean[i] + rng.Gaussian(0, 0.8);
+  }
+  auto denoised = Denoise(noisy, WaveletKind::kDaubechies4, 0, ThresholdMode::kHard);
+  ASSERT_TRUE(denoised.ok());
+  EXPECT_LT(Rmse(*denoised, clean), 0.8 * Rmse(noisy, clean));
+  // Soft thresholding trades bias for variance: it may not beat the noisy input in
+  // RMSE on strong signals, but it must produce a *smoother* series (adjacent-sample
+  // differences dominated by signal, not noise).
+  auto soft = Denoise(noisy, WaveletKind::kDaubechies4, 0, ThresholdMode::kSoft);
+  ASSERT_TRUE(soft.ok());
+  auto roughness = [](const std::vector<double>& x) {
+    double sum = 0.0;
+    for (size_t i = 1; i < x.size(); ++i) {
+      sum += (x[i] - x[i - 1]) * (x[i] - x[i - 1]);
+    }
+    return sum;
+  };
+  EXPECT_LT(roughness(*soft), 0.5 * roughness(noisy));
+}
+
+TEST(DenoiseTest, SigmaEstimateTracksTrueNoise) {
+  Pcg32 rng(19);
+  std::vector<double> noise(4096);
+  for (double& v : noise) {
+    v = rng.Gaussian(0, 1.5);
+  }
+  auto coeffs = ForwardDwt(noise, WaveletKind::kHaar, 0);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_NEAR(EstimateNoiseSigma(*coeffs), 1.5, 0.15);
+}
+
+TEST(DenoiseTest, ThresholdZeroKeepsSignal) {
+  const std::vector<double> signal = RandomSignal(64, 23);
+  auto coeffs = ForwardDwt(signal, WaveletKind::kHaar, 0);
+  ASSERT_TRUE(coeffs.ok());
+  EXPECT_EQ(ThresholdDetails(&*coeffs, 0.0, ThresholdMode::kHard), 0u);
+}
+
+// ---------- codec ----------
+
+TEST(CodecTest, RawRoundTripIsFloat32Exact) {
+  const std::vector<double> values = RandomSignal(100, 29);
+  const auto bytes = EncodeRawBatch(Hours(1), Seconds(31), values);
+  auto decoded = DecodeBatch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->format, BatchFormat::kRaw);
+  ASSERT_EQ(decoded->samples.size(), values.size());
+  EXPECT_EQ(decoded->samples[0].t, Hours(1));
+  EXPECT_EQ(decoded->samples[1].t, Hours(1) + Seconds(31));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(decoded->samples[i].value, values[i], std::abs(values[i]) * 1e-6 + 1e-5);
+  }
+}
+
+TEST(CodecTest, WaveletRoundTripBoundedByQuantStep) {
+  const std::vector<double> values = RandomSignal(256, 31);
+  CodecParams params;
+  params.denoise = false;  // isolate quantization error
+  params.quant_step = 0.01;
+  auto bytes = EncodeWaveletBatch(0, Seconds(31), values, params);
+  ASSERT_TRUE(bytes.ok());
+  auto decoded = DecodeBatch(*bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->samples.size(), values.size());
+  // Each of the ~n coefficients errs by <= step/2; the orthonormal inverse spreads the
+  // error, keeping pointwise error within a few steps in practice.
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(decoded->samples[i].value, values[i], 0.15);
+  }
+}
+
+TEST(CodecTest, CompressionBeatsRawOnSmoothData) {
+  std::vector<double> smooth(512);
+  for (size_t i = 0; i < smooth.size(); ++i) {
+    smooth[i] = 20.0 + 3.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 256.0);
+  }
+  CodecParams params;
+  params.quant_step = 0.02;
+  auto compressed = EncodeWaveletBatch(0, Seconds(31), smooth, params);
+  ASSERT_TRUE(compressed.ok());
+  const auto raw = EncodeRawBatch(0, Seconds(31), smooth);
+  EXPECT_LT(compressed->size(), raw.size() / 4);
+}
+
+TEST(CodecTest, CompressionRatioImprovesWithBatchSize) {
+  // The Figure 2 mechanism: larger batches compress better per sample.
+  Pcg32 rng(37);
+  auto ratio_for = [&rng](size_t n) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = 20.0 + 4.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 2048.0) +
+                  rng.Gaussian(0, 0.12);
+    }
+    CodecParams params;
+    params.quant_step = 0.05;
+    auto compressed = EncodeWaveletBatch(0, Seconds(31), values, params);
+    EXPECT_TRUE(compressed.ok());
+    return static_cast<double>(EncodeRawBatch(0, Seconds(31), values).size()) /
+           static_cast<double>(compressed->size());
+  };
+  const double small = ratio_for(32);
+  const double large = ratio_for(4096);
+  EXPECT_GT(large, small);
+}
+
+TEST(CodecTest, DenoisingReducesPayload) {
+  Pcg32 rng(41);
+  std::vector<double> noisy(1024);
+  for (size_t i = 0; i < noisy.size(); ++i) {
+    noisy[i] = 20.0 + 4.0 * std::sin(2.0 * M_PI * static_cast<double>(i) / 512.0) +
+               rng.Gaussian(0, 0.2);
+  }
+  CodecParams with;
+  with.denoise = true;
+  with.quant_step = 0.02;
+  CodecParams without = with;
+  without.denoise = false;
+  auto a = EncodeWaveletBatch(0, Seconds(31), noisy, with);
+  auto b = EncodeWaveletBatch(0, Seconds(31), noisy, without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->size(), b->size());
+}
+
+TEST(CodecTest, IrregularRoundTripExactTimestamps) {
+  Pcg32 rng(43);
+  std::vector<Sample> samples;
+  SimTime t = Hours(3);
+  for (int i = 0; i < 200; ++i) {
+    t += rng.UniformInt(1, 600) * kMillisecond * 100;
+    samples.push_back(Sample{t, rng.Gaussian(20, 5)});
+  }
+  const auto bytes = EncodeIrregularBatch(samples);
+  auto decoded = DecodeBatch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->format, BatchFormat::kIrregular);
+  ASSERT_EQ(decoded->samples.size(), samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(decoded->samples[i].t, samples[i].t);
+    EXPECT_NEAR(decoded->samples[i].value, samples[i].value, 1e-3);
+  }
+}
+
+TEST(CodecTest, GarbageRejected) {
+  EXPECT_FALSE(DecodeBatch(std::vector<uint8_t>{}).ok());
+  EXPECT_FALSE(DecodeBatch(std::vector<uint8_t>{99, 1, 2, 3}).ok());
+}
+
+// ---------- aging ----------
+
+TEST(AgingTest, SummarizeProducesWindowMeans) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 64; ++i) {
+    samples.push_back(Sample{i * Seconds(31), static_cast<double>(i)});
+  }
+  const auto coarse = WaveletAgingSummarize(samples, 4);
+  ASSERT_EQ(coarse.size(), 16u);
+  for (size_t i = 0; i < coarse.size(); ++i) {
+    // Mean of {4i, 4i+1, 4i+2, 4i+3} = 4i + 1.5.
+    EXPECT_NEAR(coarse[i].value, 4.0 * static_cast<double>(i) + 1.5, 1e-9);
+    EXPECT_EQ(coarse[i].t, samples[i * 4].t);
+  }
+}
+
+TEST(AgingTest, FactorOneIsIdentity) {
+  const std::vector<Sample> samples = {{0, 1.0}, {10, 2.0}};
+  EXPECT_EQ(WaveletAgingSummarize(samples, 1), samples);
+}
+
+TEST(AgingTest, UpsampleStepInterpolates) {
+  const std::vector<Sample> coarse = {{0, 1.0}, {Seconds(100), 2.0}};
+  const auto fine = UpsampleToGrid(coarse, Seconds(50), 0, 4);
+  ASSERT_EQ(fine.size(), 4u);
+  EXPECT_EQ(fine[0].value, 1.0);
+  EXPECT_EQ(fine[1].value, 1.0);
+  EXPECT_EQ(fine[2].value, 2.0);  // t=100 picks the second coarse sample
+  EXPECT_EQ(fine[3].value, 2.0);
+}
+
+TEST(AgingTest, RepeatedAgingDegradesGracefully) {
+  // Summarize twice (4x then 4x = 16x): RMSE vs window means stays bounded for a
+  // smooth signal.
+  std::vector<Sample> samples;
+  for (int i = 0; i < 1024; ++i) {
+    samples.push_back(Sample{i * Seconds(31),
+                             20.0 + 5.0 * std::sin(2.0 * M_PI * i / 512.0)});
+  }
+  const auto once = WaveletAgingSummarize(samples, 4);
+  const auto twice = WaveletAgingSummarize(once, 4);
+  ASSERT_EQ(twice.size(), 64u);
+  for (size_t i = 0; i < twice.size(); ++i) {
+    const double truth = samples[i * 16 + 8].value;  // mid-window reference
+    EXPECT_NEAR(twice[i].value, truth, 0.6);
+  }
+}
+
+}  // namespace
+}  // namespace presto
