@@ -1,0 +1,196 @@
+// Scale bench for the sharded multi-proxy deployment engine: sweeps proxy count ×
+// sensor population × shard policy, reporting query latency, energy (J/sensor/day),
+// shard balance, batching efficiency, and failover behaviour. Mid-run, proxy 0 is
+// killed: with replication its shard must stay answerable (degraded, via the ring
+// replica) while every other shard is untouched; without replication the shard goes
+// dark. The whole sweep is deterministic — same seed, bit-identical output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/deployment.h"
+#include "src/core/shard_map.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+using namespace presto;
+
+namespace {
+
+constexpr uint64_t kSeed = 20260731;
+
+struct CellResult {
+  double now_latency_ms_mean = 0.0;
+  double now_latency_ms_p95 = 0.0;
+  double success = 0.0;
+  double energy_j_per_sensor_day = 0.0;
+  double batched_share = 0.0;       // app messages that rode a coalesced flush
+  // Failover phase (proxy 0 killed).
+  double killed_shard_success = 0.0;
+  double other_shard_success = 0.0;
+  double degraded_share = 0.0;      // killed-shard answers served from replicated state
+  double recovery_ms = -1.0;        // kill -> first successful killed-shard answer
+  uint64_t fingerprint = 0;
+};
+
+QuerySpec NowQuery(const Deployment& deployment, int global, double tolerance) {
+  QuerySpec spec;
+  spec.type = QueryType::kNow;
+  spec.sensor_id = deployment.GlobalSensorId(global);
+  spec.tolerance = tolerance;
+  return spec;
+}
+
+CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
+                   bool replication, Duration batch_epoch) {
+  DeploymentConfig config;
+  config.num_proxies = num_proxies;
+  config.sensors_per_proxy = total_sensors / num_proxies;
+  config.shard_policy = policy;
+  config.enable_replication = replication;
+  config.net.batch_epoch = batch_epoch;
+  config.seed = kSeed;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(20));
+
+  Pcg32 rng(kSeed ^ 0xbe4c);
+  CellResult out;
+
+  // Healthy phase: a spread of NOW queries across the whole population.
+  SampleSet latency_ms;
+  const int healthy_queries = std::min(total_sensors, 192);
+  int ok = 0;
+  for (int i = 0; i < healthy_queries; ++i) {
+    const int g = static_cast<int>(rng.UniformInt(0, total_sensors - 1));
+    UnifiedQueryResult result = deployment.QueryAndWait(NowQuery(deployment, g, 1.5));
+    if (result.answer.status.ok()) {
+      ++ok;
+      latency_ms.Add(ToMillis(result.Latency()));
+    }
+    deployment.RunUntil(deployment.sim().Now() + Seconds(20));
+  }
+  out.now_latency_ms_mean = latency_ms.mean();
+  out.now_latency_ms_p95 = latency_ms.Quantile(0.95);
+  out.success = static_cast<double>(ok) / healthy_queries;
+
+  // Failover phase: kill proxy 0 mid-run and probe every shard.
+  const SimTime killed_at = deployment.sim().Now();
+  deployment.KillProxy(0);
+  const std::vector<int>& killed_shard = deployment.shard().SensorsOf(0);
+  int killed_ok = 0;
+  int killed_degraded = 0;
+  for (size_t i = 0; i < killed_shard.size() && i < 32; ++i) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowQuery(deployment, killed_shard[i], 3.0));
+    if (result.answer.status.ok()) {
+      ++killed_ok;
+      if (result.used_replica) {
+        ++killed_degraded;
+      }
+      if (out.recovery_ms < 0.0) {
+        out.recovery_ms = ToMillis(result.completed_at - killed_at);
+      }
+    }
+    deployment.RunUntil(deployment.sim().Now() + Seconds(5));
+  }
+  const size_t killed_probes = std::min<size_t>(killed_shard.size(), 32);
+  out.killed_shard_success =
+      killed_probes > 0 ? static_cast<double>(killed_ok) / killed_probes : 0.0;
+  out.degraded_share =
+      killed_ok > 0 ? static_cast<double>(killed_degraded) / killed_ok : 0.0;
+
+  int other_ok = 0;
+  int other_probes = 0;
+  for (int p = 1; p < num_proxies && other_probes < 32; ++p) {
+    for (int g : deployment.shard().SensorsOf(p)) {
+      if (other_probes >= 32) {
+        break;
+      }
+      ++other_probes;
+      UnifiedQueryResult result = deployment.QueryAndWait(NowQuery(deployment, g, 3.0));
+      if (result.answer.status.ok()) {
+        ++other_ok;
+      }
+    }
+  }
+  out.other_shard_success =
+      other_probes > 0 ? static_cast<double>(other_ok) / other_probes : 1.0;
+  deployment.ReviveProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Hours(1));
+
+  const double days = ToSeconds(deployment.sim().Now()) / 86400.0;
+  out.energy_j_per_sensor_day = deployment.MeanSensorEnergy() / days;
+  const NetStats& net = deployment.net().stats();
+  // messages_sent counts radio transactions (each coalesced frame once); the app
+  // message total replaces each frame with its batched_messages constituents.
+  const uint64_t app_messages = net.messages_sent - net.batch_flushes + net.batched_messages;
+  out.batched_share =
+      app_messages > 0 ? static_cast<double>(net.batched_messages) / app_messages : 0.0;
+  out.fingerprint = deployment.sim().fingerprint();
+  return out;
+}
+
+std::string FmtRecovery(double ms) {
+  if (ms < 0.0) {
+    return "never";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("PRESTO scale bench: sharded multi-proxy deployments.\n");
+  std::printf("Proxy 0 is killed mid-run; 'killed ok' is its shard's availability,\n");
+  std::printf("'other ok' every other shard's (isolation check). Deterministic seed %llu.\n\n",
+              static_cast<unsigned long long>(kSeed));
+
+  struct Cell {
+    int proxies;
+    int sensors;
+    ShardPolicy policy;
+    bool replication;
+    Duration batch_epoch;
+  };
+  std::vector<Cell> cells = {
+      {1, 64, ShardPolicy::kGeographic, false, 0},
+      {2, 64, ShardPolicy::kGeographic, true, 0},
+      {4, 256, ShardPolicy::kGeographic, true, 0},
+      {4, 256, ShardPolicy::kHash, true, 0},
+      {4, 256, ShardPolicy::kHash, false, 0},
+      {8, 512, ShardPolicy::kHash, true, Seconds(2)},
+      {16, 1024, ShardPolicy::kGeographic, true, Seconds(2)},
+      {16, 1024, ShardPolicy::kHash, true, Seconds(2)},
+  };
+
+  TextTable table;
+  table.SetHeader({"proxies", "sensors", "policy", "repl", "lat ms", "p95 ms", "ok",
+                   "J/sens/day", "batched", "killed ok", "degraded", "other ok",
+                   "recovery ms"});
+  for (const Cell& cell : cells) {
+    const CellResult r = RunCell(cell.proxies, cell.sensors, cell.policy,
+                                 cell.replication, cell.batch_epoch);
+    table.AddRow({TextTable::Int(cell.proxies), TextTable::Int(cell.sensors),
+                  ShardPolicyName(cell.policy), cell.replication ? "yes" : "no",
+                  TextTable::Num(r.now_latency_ms_mean, 1),
+                  TextTable::Num(r.now_latency_ms_p95, 1), TextTable::Num(r.success, 2),
+                  TextTable::Num(r.energy_j_per_sensor_day, 1),
+                  TextTable::Num(r.batched_share, 3),
+                  TextTable::Num(r.killed_shard_success, 2),
+                  TextTable::Num(r.degraded_share, 2),
+                  TextTable::Num(r.other_shard_success, 2), FmtRecovery(r.recovery_ms)});
+    std::printf("  done: %2d proxies x %4d sensors (%s, repl=%s) fingerprint=%016llx\n",
+                cell.proxies, cell.sensors, ShardPolicyName(cell.policy),
+                cell.replication ? "yes" : "no",
+                static_cast<unsigned long long>(r.fingerprint));
+  }
+  std::printf("\n");
+  table.Print();
+  table.WriteCsvFile("scale_sharding.csv");
+  return 0;
+}

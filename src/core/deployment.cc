@@ -21,6 +21,8 @@ void Deployment::Build(MeasureFactory measure_factory) {
   PRESTO_CHECK(config_.sensors_per_proxy >= 1);
   PRESTO_CHECK(measure_factory != nullptr);
 
+  shard_map_ = std::make_unique<ShardMap>(config_.num_proxies, total_sensors(),
+                                          config_.shard_policy);
   net_ = std::make_unique<Network>(&sim_, config_.net, config_.seed ^ 0x6e6574);
   TemperatureParams field_params = config_.field;
   field_params.seed = config_.seed ^ 0x6669656c64;
@@ -43,7 +45,7 @@ void Deployment::Build(MeasureFactory measure_factory) {
     pc.manage_models = config_.manage_models;
     pc.enable_matcher = config_.enable_matcher;
     pc.enable_replication = config_.enable_replication && config_.num_proxies > 1;
-    pc.replica_id = ProxyId((p + 1) % config_.num_proxies);
+    pc.replica_id = ProxyId(shard_map_->ReplicaOf(p));
     pc.seed = config_.seed ^ (0x5050 + static_cast<uint64_t>(p));
     proxies_.push_back(std::make_unique<ProxyNode>(&sim_, net_.get(), pc));
   }
@@ -54,44 +56,45 @@ void Deployment::Build(MeasureFactory measure_factory) {
     }
   }
 
-  for (int p = 0; p < config_.num_proxies; ++p) {
-    for (int s = 0; s < config_.sensors_per_proxy; ++s) {
-      SensorNodeConfig sc;
-      sc.id = SensorId(p, s);
-      sc.proxy_id = ProxyId(p);
-      sc.sensing_period = config_.sensing_period;
-      sc.policy = config_.policy;
-      sc.model_tolerance = config_.model_tolerance;
-      sc.value_delta = config_.value_delta;
-      sc.batch_interval = config_.batch_interval;
-      sc.compress = config_.compress;
-      sc.codec = config_.codec;
-      sc.flash = config_.flash;
-      sc.archive = config_.archive;
-      sc.archive.nominal_sample_period = config_.sensing_period;
-      sc.model_config = config_.model_config;
-      sc.model_config.sample_period = config_.sensing_period;
-      sc.radio = config_.sensor_radio;
-      sc.drift_ppm = rng.Uniform(-config_.max_drift_ppm, config_.max_drift_ppm);
-      sc.clock_offset = static_cast<Duration>(
-          rng.Uniform(0.0, static_cast<double>(config_.max_clock_offset)));
-      sc.seed = config_.seed ^ (0x5353 + static_cast<uint64_t>(GlobalSensorIndex(p, s)));
+  // Sensors are created in naming-grid (global index) order so seeded draws replay
+  // identically regardless of shard policy; ownership comes from the shard map.
+  for (int g = 0; g < total_sensors(); ++g) {
+    const int owner = shard_map_->OwnerOf(g);
+    SensorNodeConfig sc;
+    sc.id = GlobalSensorId(g);
+    sc.proxy_id = ProxyId(owner);
+    sc.sensing_period = config_.sensing_period;
+    sc.policy = config_.policy;
+    sc.model_tolerance = config_.model_tolerance;
+    sc.value_delta = config_.value_delta;
+    sc.batch_interval = config_.batch_interval;
+    sc.compress = config_.compress;
+    sc.codec = config_.codec;
+    sc.flash = config_.flash;
+    sc.archive = config_.archive;
+    sc.archive.nominal_sample_period = config_.sensing_period;
+    sc.model_config = config_.model_config;
+    sc.model_config.sample_period = config_.sensing_period;
+    sc.radio = config_.sensor_radio;
+    sc.drift_ppm = rng.Uniform(-config_.max_drift_ppm, config_.max_drift_ppm);
+    sc.clock_offset = static_cast<Duration>(
+        rng.Uniform(0.0, static_cast<double>(config_.max_clock_offset)));
+    sc.seed = config_.seed ^ (0x5353 + static_cast<uint64_t>(g));
 
-      sensors_.push_back(std::make_unique<SensorNode>(
-          &sim_, net_.get(), sc, measure_factory(GlobalSensorIndex(p, s))));
-      proxies_[static_cast<size_t>(p)]->RegisterSensor(sc.id, config_.sensing_period);
-      // The replica must know the sensor to accept replicated state and serve failover.
-      if (config_.enable_replication && config_.num_proxies > 1) {
-        proxies_[static_cast<size_t>((p + 1) % config_.num_proxies)]->RegisterSensor(
-            sc.id, config_.sensing_period, /*replica=*/true);
-      }
+    sensors_.push_back(
+        std::make_unique<SensorNode>(&sim_, net_.get(), sc, measure_factory(g)));
+    proxies_[static_cast<size_t>(owner)]->RegisterSensor(sc.id, config_.sensing_period);
+    // The replica must know the sensor to accept replicated state and serve failover.
+    if (config_.enable_replication && config_.num_proxies > 1) {
+      proxies_[static_cast<size_t>(shard_map_->ReplicaOf(owner))]->RegisterSensor(
+          sc.id, config_.sensing_period, /*replica=*/true);
     }
   }
 
   for (int p = 0; p < config_.num_proxies; ++p) {
     store_->AddProxy(proxies_[static_cast<size_t>(p)].get());
     if (config_.enable_replication && config_.num_proxies > 1) {
-      store_->SetReplicaOf(ProxyId(p), ProxyId((p + 1) % config_.num_proxies));
+      store_->SetReplicaOf(ProxyId(p), ProxyId(shard_map_->ReplicaOf(p)));
     }
   }
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/shard_map.h"
 #include "src/core/types.h"
 #include "src/core/unified_store.h"
 #include "src/net/network.h"
@@ -24,6 +25,10 @@ namespace presto {
 struct DeploymentConfig {
   int num_proxies = 2;
   int sensors_per_proxy = 8;
+  // How the global sensor population is sharded across proxies. kGeographic keeps the
+  // (proxy, sensor) naming grid and ownership aligned (the seed behaviour); kHash
+  // spreads sensors across proxies by index hash for load balance.
+  ShardPolicy shard_policy = ShardPolicy::kGeographic;
 
   // Sensor behaviour.
   Duration sensing_period = Seconds(31);
@@ -69,6 +74,9 @@ class Deployment {
   void Start();
 
   // --- topology accessors ---
+  // (proxy_index, sensor_index) is the deployment's *naming grid*: it fixes sensor ids
+  // and global indices independent of sharding. Under kGeographic the named proxy also
+  // owns the sensor; under kHash ownership comes from the shard map.
   static NodeId ProxyId(int proxy_index) { return static_cast<NodeId>(1 + proxy_index); }
   static NodeId SensorId(int proxy_index, int sensor_index) {
     return static_cast<NodeId>(1000 * (proxy_index + 1) + sensor_index);
@@ -76,7 +84,23 @@ class Deployment {
   int GlobalSensorIndex(int proxy_index, int sensor_index) const {
     return proxy_index * config_.sensors_per_proxy + sensor_index;
   }
+  NodeId GlobalSensorId(int global_index) const {
+    return SensorId(global_index / config_.sensors_per_proxy,
+                    global_index % config_.sensors_per_proxy);
+  }
   int total_sensors() const { return config_.num_proxies * config_.sensors_per_proxy; }
+
+  const ShardMap& shard() const { return *shard_map_; }
+  // The proxy that owns (serves queries for) the (p, s)-named sensor.
+  int OwnerProxyIndex(int proxy_index, int sensor_index) const {
+    return shard_map_->OwnerOf(GlobalSensorIndex(proxy_index, sensor_index));
+  }
+
+  // Failure injection at deployment granularity: a killed proxy neither receives
+  // pushes nor answers queries; with replication enabled its shard stays answerable
+  // (degraded) at the ring-successor replica.
+  void KillProxy(int proxy_index) { net_->SetNodeDown(ProxyId(proxy_index), true); }
+  void ReviveProxy(int proxy_index) { net_->SetNodeDown(ProxyId(proxy_index), false); }
 
   Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
@@ -100,6 +124,7 @@ class Deployment {
 
   DeploymentConfig config_;
   Simulator sim_;
+  std::unique_ptr<ShardMap> shard_map_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<TemperatureField> field_;
   std::unique_ptr<UnifiedStore> store_;

@@ -1,0 +1,86 @@
+#include "src/core/shard_map.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace presto {
+namespace {
+
+// SplitMix64 finalizer: cheap, stateless, and well-mixed — a sensor's shard never
+// depends on deployment size history, only (index, proxy count).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* ShardPolicyName(ShardPolicy policy) {
+  switch (policy) {
+    case ShardPolicy::kGeographic:
+      return "geographic";
+    case ShardPolicy::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy)
+    : num_proxies_(num_proxies), total_sensors_(total_sensors), policy_(policy) {
+  PRESTO_CHECK(num_proxies >= 1);
+  PRESTO_CHECK(total_sensors >= 1);
+  owner_.resize(static_cast<size_t>(total_sensors));
+  by_proxy_.resize(static_cast<size_t>(num_proxies));
+  const int block = (total_sensors + num_proxies - 1) / num_proxies;
+  for (int g = 0; g < total_sensors; ++g) {
+    int p;
+    switch (policy) {
+      case ShardPolicy::kHash:
+        p = static_cast<int>(Mix64(static_cast<uint64_t>(g)) %
+                             static_cast<uint64_t>(num_proxies));
+        break;
+      case ShardPolicy::kGeographic:
+      default:
+        p = g / block;
+        break;
+    }
+    owner_[static_cast<size_t>(g)] = p;
+    by_proxy_[static_cast<size_t>(p)].push_back(g);
+  }
+}
+
+int ShardMap::OwnerOf(int global_sensor_index) const {
+  PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
+  return owner_[static_cast<size_t>(global_sensor_index)];
+}
+
+int ShardMap::ReplicaOf(int proxy_index) const {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
+  return (proxy_index + 1) % num_proxies_;
+}
+
+const std::vector<int>& ShardMap::SensorsOf(int proxy_index) const {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
+  return by_proxy_[static_cast<size_t>(proxy_index)];
+}
+
+int ShardMap::MinShardSize() const {
+  size_t min = by_proxy_[0].size();
+  for (const auto& shard : by_proxy_) {
+    min = std::min(min, shard.size());
+  }
+  return static_cast<int>(min);
+}
+
+int ShardMap::MaxShardSize() const {
+  size_t max = 0;
+  for (const auto& shard : by_proxy_) {
+    max = std::max(max, shard.size());
+  }
+  return static_cast<int>(max);
+}
+
+}  // namespace presto

@@ -1,0 +1,60 @@
+// Sensor→proxy shard map (paper §5): the assignment policy that turns one logical
+// deployment into N proxy shards.
+//
+// Two policies:
+//  - kGeographic: contiguous blocks of the global sensor index. Sensor indices are the
+//    spatial layout (the workload correlates nearby indices), so a block shard keeps a
+//    proxy's sensors spatially close — one radio neighbourhood per proxy, and spatial
+//    model sharing stays intra-proxy.
+//  - kHash: stateless integer hash of the global index. Spreads hot spatial regions
+//    across proxies so query load balances even when user interest is localised.
+//
+// Replica placement is a ring: proxy p replicates its sensors' caches and models to
+// proxy (p+1) % N over the wired tier, so any single proxy failure leaves every shard
+// answerable (degraded, cache/extrapolation-only) at its ring successor.
+
+#ifndef SRC_CORE_SHARD_MAP_H_
+#define SRC_CORE_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace presto {
+
+enum class ShardPolicy : uint8_t {
+  kGeographic = 0,  // contiguous index blocks (spatially local shards)
+  kHash = 1,        // hashed spread (load-balanced shards)
+};
+
+const char* ShardPolicyName(ShardPolicy policy);
+
+class ShardMap {
+ public:
+  ShardMap(int num_proxies, int total_sensors, ShardPolicy policy);
+
+  int OwnerOf(int global_sensor_index) const;
+  // Ring successor that holds the standby replica of `proxy_index`'s shard. With a
+  // single proxy there is nowhere to replicate; returns `proxy_index` itself.
+  int ReplicaOf(int proxy_index) const;
+  // Global sensor indices owned by `proxy_index`, ascending.
+  const std::vector<int>& SensorsOf(int proxy_index) const;
+
+  int num_proxies() const { return num_proxies_; }
+  int total_sensors() const { return total_sensors_; }
+  ShardPolicy policy() const { return policy_; }
+
+  // Shard balance introspection (benches report the spread).
+  int MinShardSize() const;
+  int MaxShardSize() const;
+
+ private:
+  int num_proxies_;
+  int total_sensors_;
+  ShardPolicy policy_;
+  std::vector<int> owner_;                    // global index -> proxy index
+  std::vector<std::vector<int>> by_proxy_;    // proxy index -> owned global indices
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_SHARD_MAP_H_

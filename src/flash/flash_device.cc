@@ -23,7 +23,7 @@ void FlashDevice::Charge(EnergyComponent c, double joules, Duration latency) {
   stats_.busy_time += latency;
 }
 
-Status FlashDevice::ReadPage(int page, std::span<uint8_t> out) {
+Status FlashDevice::ReadPage(int page, span<uint8_t> out) {
   if (!ValidPage(page)) {
     return OutOfRangeError("flash: page out of range");
   }
@@ -38,7 +38,7 @@ Status FlashDevice::ReadPage(int page, std::span<uint8_t> out) {
   return OkStatus();
 }
 
-Status FlashDevice::WritePage(int page, std::span<const uint8_t> data) {
+Status FlashDevice::WritePage(int page, span<const uint8_t> data) {
   if (!ValidPage(page)) {
     return OutOfRangeError("flash: page out of range");
   }

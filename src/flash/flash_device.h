@@ -10,12 +10,12 @@
 #define SRC_FLASH_FLASH_DEVICE_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "src/net/energy.h"
 #include "src/util/result.h"
 #include "src/util/sim_time.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -51,11 +51,11 @@ class FlashDevice {
   FlashDevice(const FlashParams& params, EnergyMeter* meter);
 
   // Reads one page into `out` (must be exactly page_size_bytes).
-  Status ReadPage(int page, std::span<uint8_t> out);
+  Status ReadPage(int page, span<uint8_t> out);
 
   // Programs one erased page from `data` (must be exactly page_size_bytes).
   // Fails with kFailedPrecondition if the page has not been erased.
-  Status WritePage(int page, std::span<const uint8_t> data);
+  Status WritePage(int page, span<const uint8_t> data);
 
   // Erases a whole block, incrementing its wear count.
   Status EraseBlock(int block);

@@ -11,7 +11,7 @@ int64_t ToDeltaMs(SimTime later, SimTime earlier) { return (later - earlier) / k
 
 }  // namespace
 
-uint16_t Fletcher16(std::span<const uint8_t> data) {
+uint16_t Fletcher16(span<const uint8_t> data) {
   uint32_t a = 0;
   uint32_t b = 0;
   for (uint8_t byte : data) {
@@ -73,7 +73,7 @@ std::vector<uint8_t> PageBuilder::Seal(uint32_t seq, Duration resolution) {
   return page;
 }
 
-Result<DecodedPage> DecodePage(std::span<const uint8_t> page) {
+Result<DecodedPage> DecodePage(span<const uint8_t> page) {
   bool all_ff = true;
   for (uint8_t byte : page) {
     if (byte != 0xFF) {
@@ -108,7 +108,7 @@ Result<DecodedPage> DecodePage(std::span<const uint8_t> page) {
   if (kPageHeaderBytes + out.header.used > static_cast<int>(page.size())) {
     return DataLossError("page used-length exceeds page size");
   }
-  const std::span<const uint8_t> records =
+  const span<const uint8_t> records =
       page.subspan(kPageHeaderBytes, out.header.used);
   if (Fletcher16(records) != out.header.checksum) {
     return DataLossError("page checksum mismatch (torn write?)");

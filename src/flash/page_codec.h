@@ -13,11 +13,11 @@
 #define SRC_FLASH_PAGE_CODEC_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "src/util/result.h"
 #include "src/util/sample.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -33,7 +33,7 @@ struct PageHeader {
 };
 
 // Fletcher-16 checksum used to detect torn page programs.
-uint16_t Fletcher16(std::span<const uint8_t> data);
+uint16_t Fletcher16(span<const uint8_t> data);
 
 // Incrementally packs records into one page worth of bytes.
 class PageBuilder {
@@ -72,7 +72,7 @@ struct DecodedPage {
 
 // Parses and validates a page image. Unwritten (all-0xFF) pages yield kNotFound; corrupt
 // pages (bad magic or checksum) yield kDataLoss.
-Result<DecodedPage> DecodePage(std::span<const uint8_t> page);
+Result<DecodedPage> DecodePage(span<const uint8_t> page);
 
 }  // namespace presto
 

@@ -216,7 +216,7 @@ std::vector<uint8_t> ArModel::Serialize() const {
   return w.TakeBuffer();
 }
 
-Status ArModel::Deserialize(std::span<const uint8_t> bytes) {
+Status ArModel::Deserialize(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto tag = r.ReadU8();
   if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
@@ -280,7 +280,7 @@ std::vector<uint8_t> SeasonalArModel::Serialize() const {
   return w.TakeBuffer();
 }
 
-Status SeasonalArModel::Deserialize(std::span<const uint8_t> bytes) {
+Status SeasonalArModel::Deserialize(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto tag = r.ReadU8();
   if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {

@@ -241,7 +241,7 @@ std::vector<uint8_t> MarkovModel::Serialize() const {
   return w.TakeBuffer();
 }
 
-Status MarkovModel::Deserialize(std::span<const uint8_t> bytes) {
+Status MarkovModel::Deserialize(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto tag = r.ReadU8();
   if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {

@@ -17,7 +17,7 @@ class MarkovModel : public PredictiveModel {
   ModelType type() const override { return ModelType::kMarkov; }
   Status Fit(const std::vector<Sample>& history) override;
   std::vector<uint8_t> Serialize() const override;
-  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Status Deserialize(span<const uint8_t> bytes) override;
   Prediction Predict(SimTime t) const override;
   void OnAnchor(const Sample& sample) override;
   int64_t PredictCostOps() const override;

@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <vector>
 
 #include "src/util/result.h"
 #include "src/util/sample.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -68,7 +68,7 @@ class PredictiveModel {
   virtual std::vector<uint8_t> Serialize() const = 0;
 
   // Reconstructs a fitted model from Serialize() output (sensor side).
-  virtual Status Deserialize(std::span<const uint8_t> bytes) = 0;
+  virtual Status Deserialize(span<const uint8_t> bytes) = 0;
 
   // Forecast at absolute time `t`, given params + anchors so far. Must be callable for
   // any `t` (queries extrapolate both forward and into unpushed past gaps).

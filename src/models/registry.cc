@@ -40,7 +40,7 @@ std::unique_ptr<PredictiveModel> CreateModel(ModelType type, const ModelConfig& 
   return nullptr;
 }
 
-Result<std::unique_ptr<PredictiveModel>> DeserializeModel(std::span<const uint8_t> bytes,
+Result<std::unique_ptr<PredictiveModel>> DeserializeModel(span<const uint8_t> bytes,
                                                           const ModelConfig& config) {
   if (bytes.empty()) {
     return InvalidArgumentError("empty model params");

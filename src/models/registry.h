@@ -5,9 +5,9 @@
 #define SRC_MODELS_REGISTRY_H_
 
 #include <memory>
-#include <span>
 
 #include "src/models/model.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -15,7 +15,7 @@ namespace presto {
 std::unique_ptr<PredictiveModel> CreateModel(ModelType type, const ModelConfig& config);
 
 // Rebuilds a fitted model from Serialize() bytes (first byte = ModelType).
-Result<std::unique_ptr<PredictiveModel>> DeserializeModel(std::span<const uint8_t> bytes,
+Result<std::unique_ptr<PredictiveModel>> DeserializeModel(span<const uint8_t> bytes,
                                                           const ModelConfig& config);
 
 }  // namespace presto

@@ -119,7 +119,7 @@ std::vector<uint8_t> SeasonalModel::Serialize() const {
   return w.TakeBuffer();
 }
 
-Status SeasonalModel::Deserialize(std::span<const uint8_t> bytes) {
+Status SeasonalModel::Deserialize(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto tag = r.ReadU8();
   if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {
@@ -178,7 +178,7 @@ std::vector<uint8_t> LastValueModel::Serialize() const {
   return w.TakeBuffer();
 }
 
-Status LastValueModel::Deserialize(std::span<const uint8_t> bytes) {
+Status LastValueModel::Deserialize(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto tag = r.ReadU8();
   if (!tag.ok() || *tag != static_cast<uint8_t>(type())) {

@@ -39,7 +39,7 @@ class SeasonalModel : public PredictiveModel {
   ModelType type() const override { return ModelType::kSeasonal; }
   Status Fit(const std::vector<Sample>& history) override;
   std::vector<uint8_t> Serialize() const override;
-  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Status Deserialize(span<const uint8_t> bytes) override;
   Prediction Predict(SimTime t) const override;
   void OnAnchor(const Sample& sample) override;
   int64_t PredictCostOps() const override { return 8; }
@@ -66,7 +66,7 @@ class LastValueModel : public PredictiveModel {
   ModelType type() const override { return ModelType::kLastValue; }
   Status Fit(const std::vector<Sample>& history) override;
   std::vector<uint8_t> Serialize() const override;
-  Status Deserialize(std::span<const uint8_t> bytes) override;
+  Status Deserialize(span<const uint8_t> bytes) override;
   Prediction Predict(SimTime t) const override;
   void OnAnchor(const Sample& sample) override;
   int64_t PredictCostOps() const override { return 4; }

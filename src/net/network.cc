@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/util/assert.h"
+#include "src/util/bytes.h"
 #include "src/util/logging.h"
 
 namespace presto {
@@ -132,8 +133,79 @@ void Network::SendWired(NodeState& src, NodeState& dst, Message message) {
     }
     ++stats_.messages_delivered;
     ++dst_ptr->stats.messages_received;
-    dst_ptr->handler->OnMessage(msg);
+    Deliver(*dst_ptr, msg);
   });
+}
+
+void Network::Deliver(NodeState& dst, const Message& message) {
+  if (message.type != kBatchFrameType) {
+    dst.handler->OnMessage(message);
+    return;
+  }
+  ByteReader reader(message.payload);
+  auto count = reader.ReadVarU64();
+  if (!count.ok()) {
+    PLOG_WARN("net: undecodable batch frame from %u", message.src);
+    return;
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto type = reader.ReadU16();
+    auto queue_delay = reader.ReadVarU64();
+    auto payload = reader.ReadBytes();
+    if (!type.ok() || !queue_delay.ok() || !payload.ok()) {
+      PLOG_WARN("net: truncated batch frame from %u", message.src);
+      return;
+    }
+    Message sub;
+    sub.src = message.src;
+    sub.dst = message.dst;
+    sub.type = *type;
+    sub.payload = std::move(*payload);
+    // The sender handed this message over before the flush; surface that original
+    // instant so receivers (e.g. time-sync beacons) don't see queue delay as latency.
+    sub.sent_at = message.sent_at - static_cast<Duration>(*queue_delay);
+    sub.delivered_at = message.delivered_at;
+    dst.handler->OnMessage(sub);
+  }
+}
+
+void Network::SendBatched(NodeId src_id, NodeId dst_id, uint16_t type,
+                          std::vector<uint8_t> payload) {
+  if (params_.batch_epoch <= 0) {
+    Send(src_id, dst_id, type, std::move(payload));
+    return;
+  }
+  PendingBatch& batch = pending_batches_[{src_id, dst_id}];
+  batch.queued.push_back(QueuedMessage{type, std::move(payload), sim_->Now()});
+  if (batch.queued.size() == 1) {
+    // The epoch opens at the first enqueue; later arrivals ride the same flush.
+    batch.flush = sim_->ScheduleIn(params_.batch_epoch,
+                                   [this, src_id, dst_id] { FlushBatch(src_id, dst_id); });
+  }
+}
+
+void Network::FlushBatch(NodeId src_id, NodeId dst_id) {
+  auto it = pending_batches_.find({src_id, dst_id});
+  if (it == pending_batches_.end() || it->second.queued.empty()) {
+    return;
+  }
+  auto queued = std::move(it->second.queued);
+  it->second.flush.Cancel();
+  pending_batches_.erase(it);
+  if (queued.size() == 1) {
+    Send(src_id, dst_id, queued[0].type, std::move(queued[0].payload));
+    return;
+  }
+  ByteWriter writer;
+  writer.WriteVarU64(queued.size());
+  for (QueuedMessage& sub : queued) {
+    writer.WriteU16(sub.type);
+    writer.WriteVarU64(static_cast<uint64_t>(sim_->Now() - sub.enqueued_at));
+    writer.WriteBytes(sub.payload);
+  }
+  ++stats_.batch_flushes;
+  stats_.batched_messages += queued.size();
+  Send(src_id, dst_id, kBatchFrameType, writer.TakeBuffer());
 }
 
 void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint8_t> payload) {
@@ -268,7 +340,7 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint
     }
     ++stats_.messages_delivered;
     ++dst_ptr->stats.messages_received;
-    dst_ptr->handler->OnMessage(msg);
+    Deliver(*dst_ptr, msg);
   });
 }
 

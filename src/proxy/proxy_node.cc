@@ -143,9 +143,10 @@ void ProxyNode::HandleDataPush(const Message& message) {
   }
   SensorState& sensor = *it->second;
 
-  // Every push doubles as a time-sync beacon: the sensor stamped its local clock at
-  // send time, and we know the reference arrival time.
-  sensor.sync.AddBeacon(msg->local_send_time, sim_->Now());
+  // Every push doubles as a time-sync beacon: the sensor stamped its local clock when
+  // it handed the message to the radio, and message.sent_at is that same instant on
+  // the reference clock (batching queue delay excluded).
+  sensor.sync.AddBeacon(msg->local_send_time, message.sent_at);
 
   auto batch = DecodeBatch(msg->batch);
   if (!batch.ok()) {
@@ -191,8 +192,8 @@ void ProxyNode::MaybeSendModel(SensorState& sensor) {
   msg.model_seq = static_cast<uint32_t>(sensor.engine.fit_count());
   msg.tolerance = config_.default_tolerance;
   msg.model_params = *params;
-  net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kModelUpdate),
-             msg.Encode());
+  net_->SendBatched(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kModelUpdate),
+                    msg.Encode());
   sensor.model_sent = true;
   sensor.last_model_send = sim_->Now();
   ++stats_.model_sends;
@@ -202,8 +203,8 @@ void ProxyNode::MaybeSendModel(SensorState& sensor) {
     rep.sensor_id = sensor.id;
     rep.tolerance = msg.tolerance;
     rep.model_params = msg.model_params;
-    net_->Send(config_.id, config_.replica_id,
-               static_cast<uint16_t>(MsgType::kReplicaModel), rep.Encode());
+    net_->SendBatched(config_.id, config_.replica_id,
+                      static_cast<uint16_t>(MsgType::kReplicaModel), rep.Encode());
   }
   PLOG_DEBUG("proxy %u: sent %zu-byte model to sensor %u (fit #%llu)", config_.id,
              msg.model_params.size(), sensor.id,
@@ -225,8 +226,8 @@ void ProxyNode::RunMaintenance() {
     if (config_.enable_matcher) {
       auto update = sensor->matcher.Recommend(now);
       if (update.has_value()) {
-        net_->Send(config_.id, sensor->id, static_cast<uint16_t>(MsgType::kConfigUpdate),
-                   update->Encode());
+        net_->SendBatched(config_.id, sensor->id,
+                          static_cast<uint16_t>(MsgType::kConfigUpdate), update->Encode());
         ++stats_.config_sends;
       }
     }
@@ -273,6 +274,9 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
   }
   SensorState& sensor = *it->second;
   sensor.matcher.NoteQuery(latency_bound, tolerance);
+  if (sensor.is_replica) {
+    ++stats_.degraded_answers;  // owner is down; we serve from replicated state
+  }
 
   if (config_.mode != ProxyMode::kAlwaysPull) {
     // 1) Fresh cached observation.
@@ -332,9 +336,45 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
       return;
     }
   }
+  // A replica cannot pull: the sensor reports to its (down) owner. Serve degraded.
+  if (sensor.is_replica) {
+    AnswerDegradedNow(sensor, now, std::move(callback));
+    return;
+  }
   // 3) Cache-miss-triggered pull of the freshest archive data.
   const TimeInterval range{now - 2 * sensor.sensing_period, now + sensor.sensing_period};
   IssuePull(sensor, range, tolerance, /*is_now=*/true, now, std::move(callback));
+}
+
+void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now, QueryCallback callback) {
+  QueryAnswer answer;
+  answer.issued_at = now;
+  answer.completed_at = now;
+  if (sensor.engine.has_model()) {
+    auto prediction = sensor.engine.Predict(now);
+    if (prediction.ok()) {
+      answer.status = OkStatus();
+      answer.source = AnswerSource::kExtrapolated;
+      answer.samples = {Sample{now, prediction->value}};
+      answer.value = prediction->value;
+      answer.error_estimate = std::max(config_.default_tolerance, prediction->stddev);
+      Answer(answer, callback, /*is_now=*/true);
+      return;
+    }
+  }
+  auto latest = sensor.cache.Latest();
+  if (latest.has_value()) {
+    answer.status = OkStatus();
+    answer.source = AnswerSource::kCacheHit;
+    answer.samples = {Sample{latest->first, latest->second.value}};
+    answer.value = latest->second.value;
+    answer.error_estimate =
+        ToSeconds(now - latest->first) / ToSeconds(sensor.sensing_period);
+    Answer(answer, callback, /*is_now=*/true);
+    return;
+  }
+  answer.status = UnavailableError("replica holds no state for this sensor yet");
+  Answer(answer, callback, /*is_now=*/true);
 }
 
 void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
@@ -352,6 +392,9 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
   }
   SensorState& sensor = *it->second;
   sensor.matcher.NoteQuery(config_.pull_timeout, tolerance);
+  if (sensor.is_replica) {
+    ++stats_.degraded_answers;
+  }
 
   if (config_.mode != ProxyMode::kAlwaysPull) {
     const double coverage = sensor.cache.CoverageFraction(range, sensor.sensing_period);
@@ -421,12 +464,45 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
       return;
     }
   }
+  if (sensor.is_replica) {
+    AnswerDegradedPast(sensor, range, now, std::move(callback));
+    return;
+  }
   // 3) Pull the range from the sensor's archive.
   IssuePull(sensor, range, tolerance, /*is_now=*/false, now, std::move(callback));
 }
 
+void ProxyNode::AnswerDegradedPast(SensorState& sensor, TimeInterval range, SimTime now,
+                                   QueryCallback callback) {
+  QueryAnswer answer;
+  answer.issued_at = now;
+  answer.completed_at = now;
+  answer.samples = sensor.cache.Range(range);
+  if (answer.samples.empty()) {
+    answer.status = UnavailableError("replica has no replicated data in range");
+  } else {
+    answer.status = OkStatus();
+    answer.source = AnswerSource::kCacheHit;
+    answer.value = answer.samples.back().value;
+    answer.error_estimate =
+        1.0 - sensor.cache.CoverageFraction(range, sensor.sensing_period);
+  }
+  Answer(answer, callback, /*is_now=*/false);
+}
+
 void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolerance,
                           bool is_now, SimTime issued_at, QueryCallback callback) {
+  // Batched query pipeline: if a pull to this sensor already covers the range, ride it
+  // instead of paying for a second radio transaction.
+  for (auto& [pull_id, pull] : pending_pulls_) {
+    (void)pull_id;
+    if (pull.sensor_id == sensor.id && pull.range.start <= range.start &&
+        range.end <= pull.range.end) {
+      ++stats_.coalesced_pulls;
+      pull.riders.push_back(PullRider{is_now, range, issued_at, std::move(callback)});
+      return;
+    }
+  }
   const uint32_t id = next_pull_id_++;
   ArchiveQueryMsg msg;
   msg.query_id = id;
@@ -452,16 +528,55 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
     PendingPull timed_out = std::move(it->second);
     pending_pulls_.erase(it);
     ++stats_.pull_timeouts;
-    QueryAnswer answer;
-    answer.status = DeadlineExceededError("sensor did not answer the pull");
-    answer.issued_at = timed_out.issued_at;
-    answer.completed_at = sim_->Now();
-    Answer(answer, timed_out.callback, timed_out.is_now);
+    FailPull(timed_out, DeadlineExceededError("sensor did not answer the pull"));
   });
   pending_pulls_.emplace(id, std::move(pull));
   ++stats_.pulls;
-  net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
-             msg.Encode());
+  net_->SendBatched(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
+                    msg.Encode());
+}
+
+void ProxyNode::FailPull(const PendingPull& pull, const Status& status) {
+  QueryAnswer answer;
+  answer.status = status;
+  answer.issued_at = pull.issued_at;
+  answer.completed_at = sim_->Now();
+  Answer(answer, pull.callback, pull.is_now);
+  for (const PullRider& rider : pull.riders) {
+    QueryAnswer rider_answer = answer;
+    rider_answer.issued_at = rider.issued_at;
+    Answer(rider_answer, rider.callback, rider.is_now);
+  }
+}
+
+void ProxyNode::CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
+                                  const QueryCallback& callback, SensorState& sensor,
+                                  const std::vector<Sample>& pulled) {
+  QueryAnswer answer;
+  answer.issued_at = issued_at;
+  answer.completed_at = sim_->Now();
+  if (is_now) {
+    if (pulled.empty()) {
+      answer.status = NotFoundError("sensor archive had no recent data");
+    } else {
+      answer.status = OkStatus();
+      answer.source = AnswerSource::kSensorPull;
+      answer.samples = {pulled.back()};
+      answer.value = pulled.back().value;
+      answer.error_estimate = 0.0;
+    }
+  } else {
+    answer.samples = sensor.cache.Range(range);
+    if (answer.samples.empty()) {
+      answer.status = NotFoundError("no archived data in range (aged out?)");
+    } else {
+      answer.status = OkStatus();
+      answer.source = AnswerSource::kSensorPull;
+      answer.value = answer.samples.back().value;
+      answer.error_estimate = 0.0;
+    }
+  }
+  Answer(answer, callback, is_now);
 }
 
 void ProxyNode::HandleArchiveReply(const Message& message) {
@@ -481,23 +596,15 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
   auto it = sensors_.find(pull.sensor_id);
   PRESTO_CHECK(it != sensors_.end());
   SensorState& sensor = *it->second;
-  sensor.sync.AddBeacon(msg->local_send_time, sim_->Now());
+  sensor.sync.AddBeacon(msg->local_send_time, message.sent_at);
 
   if (msg->status_code != static_cast<uint8_t>(StatusCode::kOk)) {
-    QueryAnswer answer;
-    answer.status = Status(static_cast<StatusCode>(msg->status_code), "archive pull failed");
-    answer.issued_at = pull.issued_at;
-    answer.completed_at = sim_->Now();
-    Answer(answer, pull.callback, pull.is_now);
+    FailPull(pull, Status(static_cast<StatusCode>(msg->status_code), "archive pull failed"));
     return;
   }
   auto batch = DecodeBatch(msg->batch);
   if (!batch.ok()) {
-    QueryAnswer answer;
-    answer.status = DataLossError("archive reply undecodable");
-    answer.issued_at = pull.issued_at;
-    answer.completed_at = sim_->Now();
-    Answer(answer, pull.callback, pull.is_now);
+    FailPull(pull, DataLossError("archive reply undecodable"));
     return;
   }
   const std::vector<Sample> corrected = CorrectTimestamps(sensor, batch->samples);
@@ -508,43 +615,12 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
   }
   Replicate(sensor.id, corrected);
 
-  if (pull.is_now) {
-    CompleteNow(pull, corrected);
-  } else {
-    CompletePast(pull, sensor);
+  CompletePullQuery(pull.is_now, pull.range, pull.issued_at, pull.callback, sensor,
+                    corrected);
+  for (const PullRider& rider : pull.riders) {
+    CompletePullQuery(rider.is_now, rider.range, rider.issued_at, rider.callback, sensor,
+                      corrected);
   }
-}
-
-void ProxyNode::CompleteNow(const PendingPull& pull, const std::vector<Sample>& samples) {
-  QueryAnswer answer;
-  answer.issued_at = pull.issued_at;
-  answer.completed_at = sim_->Now();
-  if (samples.empty()) {
-    answer.status = NotFoundError("sensor archive had no recent data");
-  } else {
-    answer.status = OkStatus();
-    answer.source = AnswerSource::kSensorPull;
-    answer.samples = {samples.back()};
-    answer.value = samples.back().value;
-    answer.error_estimate = 0.0;
-  }
-  Answer(answer, pull.callback, /*is_now=*/true);
-}
-
-void ProxyNode::CompletePast(const PendingPull& pull, SensorState& sensor) {
-  QueryAnswer answer;
-  answer.issued_at = pull.issued_at;
-  answer.completed_at = sim_->Now();
-  answer.samples = sensor.cache.Range(pull.range);
-  if (answer.samples.empty()) {
-    answer.status = NotFoundError("no archived data in range (aged out?)");
-  } else {
-    answer.status = OkStatus();
-    answer.source = AnswerSource::kSensorPull;
-    answer.value = answer.samples.back().value;
-    answer.error_estimate = 0.0;
-  }
-  Answer(answer, pull.callback, /*is_now=*/false);
 }
 
 // ---------- replication ----------
@@ -556,8 +632,8 @@ void ProxyNode::Replicate(NodeId sensor_id, const std::vector<Sample>& reference
   ReplicaUpdateMsg msg;
   msg.sensor_id = sensor_id;
   msg.batch = EncodeIrregularBatch(reference_samples);
-  net_->Send(config_.id, config_.replica_id, static_cast<uint16_t>(MsgType::kReplicaUpdate),
-             msg.Encode());
+  net_->SendBatched(config_.id, config_.replica_id,
+                    static_cast<uint16_t>(MsgType::kReplicaUpdate), msg.Encode());
   ++stats_.replica_updates;
 }
 

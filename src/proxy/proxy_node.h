@@ -90,8 +90,10 @@ struct ProxyStats {
   uint64_t cache_hits = 0;
   uint64_t extrapolations = 0;
   uint64_t pulls = 0;
+  uint64_t coalesced_pulls = 0;  // queries that rode an already-in-flight pull
   uint64_t pull_timeouts = 0;
   uint64_t failures = 0;
+  uint64_t degraded_answers = 0;  // queries served from replicated state (§5 degraded)
   uint64_t model_sends = 0;
   uint64_t config_sends = 0;
   uint64_t replica_updates = 0;
@@ -155,6 +157,15 @@ class ProxyNode : public NetNode {
           matcher(matcher_params) {}
   };
 
+  // A query that attached itself to an already-in-flight pull covering its range
+  // (the batched query pipeline: one radio transaction answers them all).
+  struct PullRider {
+    bool is_now = false;
+    TimeInterval range{};
+    SimTime issued_at = 0;
+    QueryCallback callback;
+  };
+
   struct PendingPull {
     uint32_t id = 0;
     NodeId sensor_id = 0;
@@ -164,6 +175,7 @@ class ProxyNode : public NetNode {
     SimTime issued_at = 0;
     QueryCallback callback;
     EventHandle timeout;
+    std::vector<PullRider> riders;
   };
 
   SensorState& GetSensor(NodeId sensor_id);
@@ -176,10 +188,20 @@ class ProxyNode : public NetNode {
 
   void MaybeSendModel(SensorState& sensor);
   void RunMaintenance();
+  // Best-effort answer when this proxy only holds replicated state for the sensor:
+  // cache/extrapolation only, never a pull (the owner is down; paper §5's degraded
+  // service). The error estimate is honest rather than tolerance-gated.
+  void AnswerDegradedNow(SensorState& sensor, SimTime now, QueryCallback callback);
+  void AnswerDegradedPast(SensorState& sensor, TimeInterval range, SimTime now,
+                          QueryCallback callback);
   void IssuePull(SensorState& sensor, TimeInterval range, double tolerance, bool is_now,
                  SimTime issued_at, QueryCallback callback);
-  void CompleteNow(const PendingPull& pull, const std::vector<Sample>& samples);
-  void CompletePast(const PendingPull& pull, SensorState& sensor);
+  // Answers one query (the pull's originator or a rider) from freshly pulled data.
+  void CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
+                         const QueryCallback& callback, SensorState& sensor,
+                         const std::vector<Sample>& pulled);
+  // Fails the pull's originator and every rider with `status`.
+  void FailPull(const PendingPull& pull, const Status& status);
   void Answer(const QueryAnswer& answer, const QueryCallback& callback, bool is_now);
   void Replicate(NodeId sensor_id, const std::vector<Sample>& reference_samples);
 

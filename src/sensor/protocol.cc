@@ -42,7 +42,7 @@ std::vector<uint8_t> DataPushMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<DataPushMsg> DataPushMsg::Decode(std::span<const uint8_t> bytes) {
+Result<DataPushMsg> DataPushMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto reason = r.ReadU8();
   auto ts = r.ReadI64();
@@ -65,7 +65,7 @@ std::vector<uint8_t> ModelUpdateMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ModelUpdateMsg> ModelUpdateMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ModelUpdateMsg> ModelUpdateMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto seq = r.ReadU32();
   auto tol = r.ReadF32();
@@ -105,7 +105,7 @@ std::vector<uint8_t> ConfigUpdateMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ConfigUpdateMsg> ConfigUpdateMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ConfigUpdateMsg> ConfigUpdateMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto fields = r.ReadU16();
   if (!fields.ok()) {
@@ -187,7 +187,7 @@ std::vector<uint8_t> ArchiveQueryMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ArchiveQueryMsg> ArchiveQueryMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ArchiveQueryMsg> ArchiveQueryMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto id = r.ReadU32();
   auto t1 = r.ReadI64();
@@ -220,7 +220,7 @@ std::vector<uint8_t> ArchiveReplyMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ArchiveReplyMsg> ArchiveReplyMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ArchiveReplyMsg> ArchiveReplyMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto id = r.ReadU32();
   auto code = r.ReadU8();
@@ -244,7 +244,7 @@ std::vector<uint8_t> ReplicaUpdateMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ReplicaUpdateMsg> ReplicaUpdateMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ReplicaUpdateMsg> ReplicaUpdateMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto id = r.ReadU32();
   auto batch = r.ReadBytes();
@@ -265,7 +265,7 @@ std::vector<uint8_t> ReplicaModelMsg::Encode() const {
   return w.TakeBuffer();
 }
 
-Result<ReplicaModelMsg> ReplicaModelMsg::Decode(std::span<const uint8_t> bytes) {
+Result<ReplicaModelMsg> ReplicaModelMsg::Decode(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto id = r.ReadU32();
   auto tol = r.ReadF32();

@@ -16,12 +16,12 @@
 #define SRC_SENSOR_PROTOCOL_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "src/util/bytes.h"
 #include "src/util/result.h"
 #include "src/util/sim_time.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -63,7 +63,7 @@ struct DataPushMsg {
   std::vector<uint8_t> batch;   // wavelet/raw batch blob (timestamps in sensor-local time)
 
   std::vector<uint8_t> Encode() const;
-  static Result<DataPushMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<DataPushMsg> Decode(span<const uint8_t> bytes);
 };
 
 struct ModelUpdateMsg {
@@ -72,7 +72,7 @@ struct ModelUpdateMsg {
   std::vector<uint8_t> model_params; // PredictiveModel::Serialize output
 
   std::vector<uint8_t> Encode() const;
-  static Result<ModelUpdateMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ModelUpdateMsg> Decode(span<const uint8_t> bytes);
 };
 
 // Field mask bits for ConfigUpdateMsg.
@@ -94,7 +94,7 @@ struct ConfigUpdateMsg {
   Duration lpl_interval = 0;
 
   std::vector<uint8_t> Encode() const;
-  static Result<ConfigUpdateMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ConfigUpdateMsg> Decode(span<const uint8_t> bytes);
 };
 
 // Sensor-side aggregation (paper §3: "The operation can be transmitted as a parameter
@@ -119,7 +119,7 @@ struct ArchiveQueryMsg {
   AggregateOp aggregate = AggregateOp::kNone;
 
   std::vector<uint8_t> Encode() const;
-  static Result<ArchiveQueryMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ArchiveQueryMsg> Decode(span<const uint8_t> bytes);
 };
 
 struct ArchiveReplyMsg {
@@ -129,7 +129,7 @@ struct ArchiveReplyMsg {
   std::vector<uint8_t> batch;  // empty on error
 
   std::vector<uint8_t> Encode() const;
-  static Result<ArchiveReplyMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ArchiveReplyMsg> Decode(span<const uint8_t> bytes);
 };
 
 struct ReplicaUpdateMsg {
@@ -137,7 +137,7 @@ struct ReplicaUpdateMsg {
   std::vector<uint8_t> batch;  // reference-timeline batch blob
 
   std::vector<uint8_t> Encode() const;
-  static Result<ReplicaUpdateMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ReplicaUpdateMsg> Decode(span<const uint8_t> bytes);
 };
 
 struct ReplicaModelMsg {
@@ -146,7 +146,7 @@ struct ReplicaModelMsg {
   std::vector<uint8_t> model_params;
 
   std::vector<uint8_t> Encode() const;
-  static Result<ReplicaModelMsg> Decode(std::span<const uint8_t> bytes);
+  static Result<ReplicaModelMsg> Decode(span<const uint8_t> bytes);
 };
 
 }  // namespace presto

@@ -144,7 +144,7 @@ void SensorNode::PushSamples(PushReason reason, const std::vector<Sample>& local
   msg.batch = EncodeBatchPayload(local_samples, config_.compress);
   ++stats_.pushes;
   stats_.pushed_samples += local_samples.size();
-  net_->Send(config_.id, config_.proxy_id, static_cast<uint16_t>(MsgType::kDataPush),
+  net_->SendBatched(config_.id, config_.proxy_id, static_cast<uint16_t>(MsgType::kDataPush),
              msg.Encode());
 }
 
@@ -301,7 +301,8 @@ void SensorNode::HandleArchiveQuery(const Message& message) {
     reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
   }
   reply.local_send_time = clock_.LocalTime(sim_->Now());
-  net_->Send(config_.id, config_.proxy_id, static_cast<uint16_t>(MsgType::kArchiveReply),
+  net_->SendBatched(config_.id, config_.proxy_id,
+                    static_cast<uint16_t>(MsgType::kArchiveReply),
              reply.Encode());
 }
 

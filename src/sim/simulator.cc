@@ -32,6 +32,13 @@ bool Simulator::Step() {
     }
     now_ = event.time;
     ++events_executed_;
+    auto mix = [this](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        fingerprint_ = (fingerprint_ ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+      }
+    };
+    mix(static_cast<uint64_t>(event.time));
+    mix(event.seq);
     event.fn();
     return true;
   }

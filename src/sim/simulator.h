@@ -64,6 +64,11 @@ class Simulator {
   uint64_t events_executed() const { return events_executed_; }
   size_t events_pending() const { return queue_.size(); }
 
+  // Rolling FNV-1a hash of every executed event's (time, seq). Two runs interleaving
+  // events identically — the determinism contract multi-proxy replay relies on —
+  // produce equal fingerprints; any divergence in event order changes it.
+  uint64_t fingerprint() const { return fingerprint_; }
+
   // Timestamp of the next queued event, or -1 when the queue is empty. Cancelled
   // events may still occupy the queue, so this is a lower bound on the next real event.
   SimTime NextEventTime() const { return queue_.empty() ? -1 : queue_.top().time; }
@@ -87,6 +92,7 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  uint64_t fingerprint_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

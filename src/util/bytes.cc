@@ -44,13 +44,13 @@ void ByteWriter::WriteVarI64(int64_t v) {
   WriteVarU64(zigzag);
 }
 
-void ByteWriter::WriteBytes(std::span<const uint8_t> bytes) {
+void ByteWriter::WriteBytes(span<const uint8_t> bytes) {
   WriteVarU64(bytes.size());
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
 void ByteWriter::WriteString(const std::string& s) {
-  WriteBytes(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  WriteBytes(span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
 }
 
 Result<uint8_t> ByteReader::ReadU8() {

@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <cstring>
-#include <span>
 #include <string>
 #include <vector>
 
 #include "src/util/result.h"
+#include "src/util/span.h"
 
 namespace presto {
 
@@ -34,7 +34,7 @@ class ByteWriter {
   void WriteVarI64(int64_t v);
 
   // Length-prefixed (varint) raw bytes / string.
-  void WriteBytes(std::span<const uint8_t> bytes);
+  void WriteBytes(span<const uint8_t> bytes);
   void WriteString(const std::string& s);
 
   size_t size() const { return buffer_.size(); }
@@ -49,7 +49,7 @@ class ByteWriter {
 // an error, never undefined behaviour. The span must outlive the reader.
 class ByteReader {
  public:
-  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+  explicit ByteReader(span<const uint8_t> data) : data_(data) {}
 
   Result<uint8_t> ReadU8();
   Result<uint16_t> ReadU16();
@@ -69,7 +69,7 @@ class ByteReader {
  private:
   bool Need(size_t n) const { return remaining() >= n; }
 
-  std::span<const uint8_t> data_;
+  span<const uint8_t> data_;
   size_t pos_ = 0;
 };
 

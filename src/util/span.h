@@ -1,0 +1,62 @@
+// Minimal C++17 stand-in for span (the repo builds as C++17): a non-owning
+// view over a contiguous sequence. Covers the subset PRESTO uses — construction
+// from pointer+size / vector / array, element access, iteration, and subspan.
+
+#ifndef SRC_UTIL_SPAN_H_
+#define SRC_UTIL_SPAN_H_
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace presto {
+
+template <typename T>
+class span {
+ public:
+  using element_type = T;
+  using value_type = std::remove_cv_t<T>;
+  using iterator = T*;
+
+  constexpr span() noexcept = default;
+  constexpr span(T* data, size_t size) noexcept : data_(data), size_(size) {}
+  template <size_t N>
+  constexpr span(T (&arr)[N]) noexcept : data_(arr), size_(N) {}
+  template <size_t N>
+  constexpr span(std::array<value_type, N>& arr) noexcept : data_(arr.data()), size_(N) {}
+  template <size_t N>
+  constexpr span(const std::array<value_type, N>& arr) noexcept
+      : data_(arr.data()), size_(N) {}
+  span(std::vector<value_type>& v) noexcept : data_(v.data()), size_(v.size()) {}
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  span(const std::vector<value_type>& v) noexcept : data_(v.data()), size_(v.size()) {}
+  // const-view of a mutable span.
+  template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+  constexpr span(span<value_type> other) noexcept
+      : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+
+  constexpr span subspan(size_t offset) const { return span(data_ + offset, size_ - offset); }
+  constexpr span subspan(size_t offset, size_t count) const {
+    return span(data_ + offset, count);
+  }
+  constexpr span first(size_t count) const { return span(data_, count); }
+  constexpr span last(size_t count) const { return span(data_ + size_ - count, count); }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_SPAN_H_

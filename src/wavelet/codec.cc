@@ -123,7 +123,7 @@ std::vector<uint8_t> EncodeIrregularBatch(const std::vector<Sample>& samples) {
   return w.TakeBuffer();
 }
 
-Result<DecodedBatch> DecodeBatch(std::span<const uint8_t> bytes) {
+Result<DecodedBatch> DecodeBatch(span<const uint8_t> bytes) {
   ByteReader r(bytes);
   auto format = r.ReadU8();
   if (!format.ok()) {

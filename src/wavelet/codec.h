@@ -7,11 +7,11 @@
 #define SRC_WAVELET_CODEC_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "src/util/result.h"
 #include "src/util/sample.h"
+#include "src/util/span.h"
 #include "src/wavelet/transform.h"
 
 namespace presto {
@@ -56,7 +56,7 @@ Result<std::vector<uint8_t>> EncodeWaveletBatch(SimTime start, Duration period,
 std::vector<uint8_t> EncodeIrregularBatch(const std::vector<Sample>& samples);
 
 // Decodes any format (dispatching on the leading format byte).
-Result<DecodedBatch> DecodeBatch(std::span<const uint8_t> bytes);
+Result<DecodedBatch> DecodeBatch(span<const uint8_t> bytes);
 
 // Abstract op count for compressing a batch of `n` (CPU energy accounting).
 int64_t CompressCostOps(size_t n, const CodecParams& params);

@@ -1,0 +1,294 @@
+// Sharded multi-proxy deployment engine tests: shard-map assignment policies,
+// failover re-routing to replicas (degraded service), batched message pipelines,
+// pull coalescing, and deterministic replay of a multi-proxy run.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/core/deployment.h"
+#include "src/core/shard_map.h"
+
+namespace presto {
+namespace {
+
+// ---------- shard map ----------
+
+TEST(ShardMapTest, GeographicPolicyAssignsContiguousBlocks) {
+  ShardMap map(4, 32, ShardPolicy::kGeographic);
+  for (int g = 0; g < 32; ++g) {
+    EXPECT_EQ(map.OwnerOf(g), g / 8);
+  }
+  EXPECT_EQ(map.MinShardSize(), 8);
+  EXPECT_EQ(map.MaxShardSize(), 8);
+}
+
+TEST(ShardMapTest, HashPolicyCoversEveryProxyAndStaysBalanced) {
+  ShardMap map(8, 256, ShardPolicy::kHash);
+  std::set<int> owners;
+  int total = 0;
+  for (int p = 0; p < 8; ++p) {
+    total += static_cast<int>(map.SensorsOf(p).size());
+    if (!map.SensorsOf(p).empty()) {
+      owners.insert(p);
+    }
+  }
+  EXPECT_EQ(total, 256);
+  EXPECT_EQ(owners.size(), 8u) << "hash policy left a proxy empty";
+  // A hashed spread of 256 over 8 shards should stay within a loose balance band.
+  EXPECT_GE(map.MinShardSize(), 16);
+  EXPECT_LE(map.MaxShardSize(), 64);
+}
+
+TEST(ShardMapTest, HashAssignmentIsStableAcrossInstances) {
+  ShardMap a(4, 64, ShardPolicy::kHash);
+  ShardMap b(4, 64, ShardPolicy::kHash);
+  for (int g = 0; g < 64; ++g) {
+    EXPECT_EQ(a.OwnerOf(g), b.OwnerOf(g));
+  }
+}
+
+TEST(ShardMapTest, ReplicaRingWrapsAround) {
+  ShardMap map(3, 9, ShardPolicy::kGeographic);
+  EXPECT_EQ(map.ReplicaOf(0), 1);
+  EXPECT_EQ(map.ReplicaOf(2), 0);
+  ShardMap solo(1, 4, ShardPolicy::kGeographic);
+  EXPECT_EQ(solo.ReplicaOf(0), 0);  // nowhere else to go
+}
+
+// ---------- sharded deployment ----------
+
+TEST(ShardedDeploymentTest, ProxyOwnershipMatchesShardMap) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 8;
+  config.shard_policy = ShardPolicy::kHash;
+  config.seed = 301;
+  Deployment deployment(config);
+
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    const int owner = deployment.shard().OwnerOf(g);
+    EXPECT_TRUE(deployment.proxy(owner).ManagesSensor(deployment.GlobalSensorId(g)));
+  }
+  int indexed = 0;
+  for (int p = 0; p < 4; ++p) {
+    indexed += static_cast<int>(deployment.proxy(p).sensors().size());
+  }
+  EXPECT_EQ(indexed, 32);
+}
+
+TEST(ShardedDeploymentTest, HashShardedQueriesRouteToOwner) {
+  DeploymentConfig config;
+  config.num_proxies = 3;
+  config.sensors_per_proxy = 4;
+  config.shard_policy = ShardPolicy::kHash;
+  config.seed = 302;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    QuerySpec spec;
+    spec.type = QueryType::kNow;
+    spec.sensor_id = deployment.GlobalSensorId(g);
+    spec.tolerance = 2.0;
+    UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+    EXPECT_EQ(result.served_by, Deployment::ProxyId(deployment.shard().OwnerOf(g)));
+  }
+  EXPECT_EQ(deployment.store().stats().unroutable, 0u);
+}
+
+// ---------- failover re-routing ----------
+
+TEST(ShardedDeploymentTest, KilledProxyFailsOverOnlyItsShard) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.seed = 303;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(2));
+
+  deployment.KillProxy(0);
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    const int owner = deployment.shard().OwnerOf(g);
+    QuerySpec spec;
+    spec.type = QueryType::kNow;
+    spec.sensor_id = deployment.GlobalSensorId(g);
+    spec.tolerance = 3.0;
+    UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    ASSERT_TRUE(result.answer.status.ok())
+        << "sensor " << g << ": " << result.answer.status.ToString();
+    if (owner == 0) {
+      // Re-routed to the ring successor, served from replicated state.
+      EXPECT_TRUE(result.used_replica);
+      EXPECT_EQ(result.served_by, Deployment::ProxyId(deployment.shard().ReplicaOf(0)));
+      EXPECT_NE(result.answer.source, AnswerSource::kSensorPull)
+          << "replica must serve degraded (cache/extrapolation only)";
+    } else {
+      EXPECT_FALSE(result.used_replica) << "other shards must be unaffected";
+      EXPECT_EQ(result.served_by, Deployment::ProxyId(owner));
+    }
+  }
+  EXPECT_GT(deployment.proxy(deployment.shard().ReplicaOf(0)).stats().degraded_answers,
+            0u);
+
+  // Revival restores primary service.
+  deployment.ReviveProxy(0);
+  QuerySpec spec;
+  spec.type = QueryType::kNow;
+  spec.sensor_id = deployment.GlobalSensorId(deployment.shard().SensorsOf(0).front());
+  spec.tolerance = 3.0;
+  UnifiedQueryResult result = deployment.QueryAndWait(spec);
+  ASSERT_TRUE(result.answer.status.ok());
+  EXPECT_FALSE(result.used_replica);
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(0));
+}
+
+TEST(ShardedDeploymentTest, WithoutReplicationKilledShardIsUnavailable) {
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = false;
+  config.seed = 304;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(6));
+
+  deployment.KillProxy(0);
+  QuerySpec spec;
+  spec.sensor_id = Deployment::SensorId(0, 0);
+  UnifiedQueryResult result = deployment.QueryAndWait(spec);
+  EXPECT_EQ(result.answer.status.code(), StatusCode::kUnavailable);
+}
+
+// ---------- batched pipelines ----------
+
+TEST(BatchingTest, SameDestinationMessagesCoalesceIntoOneTransaction) {
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.net.batch_epoch = Seconds(2);
+  config.seed = 305;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  const NetStats& net = deployment.net().stats();
+  EXPECT_GT(net.batch_flushes, 0u) << "no same-destination coalescing happened";
+  EXPECT_GE(net.batched_messages, 2 * net.batch_flushes);
+
+  // The batched fabric still answers queries correctly.
+  QuerySpec spec;
+  spec.type = QueryType::kNow;
+  spec.sensor_id = Deployment::SensorId(1, 2);
+  spec.tolerance = 2.0;
+  UnifiedQueryResult result = deployment.QueryAndWait(spec);
+  EXPECT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+}
+
+TEST(BatchingTest, ConcurrentQueriesShareOnePull) {
+  DeploymentConfig config;
+  config.num_proxies = 1;
+  config.sensors_per_proxy = 1;
+  config.proxy_mode = ProxyMode::kAlwaysPull;  // every query needs the sensor
+  config.seed = 306;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(3));
+
+  const NodeId sensor = Deployment::SensorId(0, 0);
+  int answered = 0;
+  QueryAnswer first_answer;
+  auto on_answer = [&](const QueryAnswer& answer) {
+    ++answered;
+    if (answered == 1) {
+      first_answer = answer;
+    } else {
+      EXPECT_EQ(answer.value, first_answer.value) << "riders must see the pulled data";
+    }
+  };
+  deployment.proxy(0).QueryNow(sensor, 1.0, Seconds(30), on_answer);
+  deployment.proxy(0).QueryNow(sensor, 1.0, Seconds(30), on_answer);
+  deployment.proxy(0).QueryNow(sensor, 1.0, Seconds(30), on_answer);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(15));
+
+  EXPECT_EQ(answered, 3);
+  ASSERT_TRUE(first_answer.status.ok()) << first_answer.status.ToString();
+  EXPECT_EQ(deployment.proxy(0).stats().pulls, 1u) << "one radio transaction expected";
+  EXPECT_EQ(deployment.proxy(0).stats().coalesced_pulls, 2u);
+}
+
+// ---------- deterministic replay ----------
+
+// Runs a 4-proxy deployment through warmup, a query mix, and a failover, returning
+// everything that should be bit-identical across replays of the same seed.
+struct ReplayDigest {
+  uint64_t fingerprint = 0;
+  uint64_t events = 0;
+  double energy = 0.0;
+  uint64_t messages_sent = 0;
+  std::vector<double> answers;
+
+  bool operator==(const ReplayDigest& other) const {
+    return fingerprint == other.fingerprint && events == other.events &&
+           energy == other.energy && messages_sent == other.messages_sent &&
+           answers == other.answers;
+  }
+};
+
+ReplayDigest RunReplay(uint64_t seed) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 4;
+  config.shard_policy = ShardPolicy::kHash;
+  config.enable_replication = true;
+  config.net.batch_epoch = Seconds(1);
+  config.seed = seed;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  ReplayDigest digest;
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    QuerySpec spec;
+    spec.type = QueryType::kNow;
+    spec.sensor_id = deployment.GlobalSensorId(g);
+    spec.tolerance = 2.0;
+    UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    digest.answers.push_back(result.answer.status.ok() ? result.answer.value : -1e9);
+  }
+  deployment.KillProxy(2);
+  for (int g : deployment.shard().SensorsOf(2)) {
+    QuerySpec spec;
+    spec.type = QueryType::kNow;
+    spec.sensor_id = deployment.GlobalSensorId(g);
+    spec.tolerance = 3.0;
+    UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    digest.answers.push_back(result.answer.status.ok() ? result.answer.value : -1e9);
+  }
+  deployment.RunUntil(deployment.sim().Now() + Hours(1));
+
+  digest.fingerprint = deployment.sim().fingerprint();
+  digest.events = deployment.sim().events_executed();
+  digest.energy = deployment.MeanSensorEnergy();
+  digest.messages_sent = deployment.net().stats().messages_sent;
+  return digest;
+}
+
+TEST(ReplayTest, FourProxyRunReplaysBitIdentically) {
+  const ReplayDigest a = RunReplay(307);
+  const ReplayDigest b = RunReplay(307);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_TRUE(a == b) << "same seed must give bit-identical metrics";
+
+  const ReplayDigest c = RunReplay(308);
+  EXPECT_NE(a.fingerprint, c.fingerprint) << "different seed should diverge";
+}
+
+}  // namespace
+}  // namespace presto
