@@ -94,8 +94,9 @@ int main() {
           retained.ok() ? ToDays(retained->start) : -1.0;
 
       table.AddRow({TextTable::Int(kib), aging ? "on" : "off",
-                    TextTable::Num(100.0 * static_cast<double>(appended) /
-                                       (Days(kDays) / kPeriod), 1),
+                    TextTable::Num(
+                        100.0 * static_cast<double>(appended) / (Days(kDays) / kPeriod),
+                        1),
                     TextTable::Int(static_cast<long long>(store.stats().aging_passes)),
                     TextTable::Num(oldest, 1), res1,
                     rmse1 < 0 ? "-" : TextTable::Num(rmse1, 2), res27,
@@ -106,7 +107,9 @@ int main() {
   std::printf("=== A5: storage budget sweep (appends_ok in %%) ===\n");
   table.Print();
   std::printf("\nClaim check: with aging on, every append succeeds and day-1 data stays\n"
-              "queryable at coarser resolution/higher error as flash shrinks; with aging\n"
-              "off the store fills and rejects new data (or day-1 data would be gone).\n");
+              "queryable at coarser resolution/higher error as flash shrinks; "
+              "with aging\n"
+              "off the store fills and rejects new data (or day-1 data would "
+              "be gone).\n");
   return 0;
 }

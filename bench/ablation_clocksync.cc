@@ -49,11 +49,13 @@ int main() {
            t += Seconds(20)) {
         const SimTime stamped = clock.LocalTime(t);
         raw_err.Add(std::abs(ToMillis(stamped - t)));
-        raw_streams[sensor].push_back(Detection{stamped, static_cast<uint32_t>(sensor), seq});
+        raw_streams[sensor].push_back(Detection{stamped, static_cast<uint32_t>(sensor),
+                                                seq});
         auto fixed = sync.Correct(stamped);
         const SimTime ct = fixed.ok() ? *fixed : stamped;
         corrected_err.Add(std::abs(ToMillis(ct - t)));
-        fixed_streams[sensor].push_back(Detection{ct, static_cast<uint32_t>(sensor), seq});
+        fixed_streams[sensor].push_back(Detection{ct, static_cast<uint32_t>(sensor),
+                                                  seq});
         seq += 2;  // global ground-truth order: sensor0, sensor1, sensor0, ...
       }
     }
@@ -72,8 +74,10 @@ int main() {
 
   std::printf("=== A7: residual timestamp error and event ordering ===\n");
   table.Print();
-  std::printf("\nClaim check: uncorrected stamps drift to multi-second error and scramble\n"
-              "cross-sensor order; regression sync holds p95 error to beacon-jitter scale\n"
+  std::printf("\nClaim check: uncorrected stamps drift to multi-second error "
+              "and scramble\n"
+              "cross-sensor order; regression sync holds p95 error to "
+              "beacon-jitter scale\n"
               "even at hour-scale resync intervals.\n");
   return 0;
 }

@@ -16,9 +16,11 @@ using namespace presto;
 
 int main() {
   std::printf("Ablation A3: latency requirement -> duty cycle -> energy\n");
-  std::printf("(single sensor; every query is a tight-tolerance NOW query forcing a pull)\n\n");
+  std::printf(
+      "(single sensor; every query is a tight-tolerance NOW query forcing a pull)\n\n");
 
-  const Duration bounds[] = {Seconds(2), Seconds(10), Seconds(60), Minutes(5), Minutes(10),
+  const Duration bounds[] = {Seconds(2), Seconds(10), Seconds(60), Minutes(5),
+                             Minutes(10),
                              Minutes(30)};
   TextTable table;
   table.SetHeader({"latency_bound", "lpl_interval", "pull_lat_mean_s", "pull_lat_p95_s",

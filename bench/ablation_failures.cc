@@ -30,7 +30,8 @@ QueryStatsOut IssueQueries(Deployment& deployment, int count, double tolerance,
   SampleSet latency;
   for (int i = 0; i < count; ++i) {
     QuerySpec spec;
-    const int p = static_cast<int>(rng.UniformInt(0, deployment.config().num_proxies - 1));
+    const int p = static_cast<int>(rng.UniformInt(0,
+                                                  deployment.config().num_proxies - 1));
     const int s =
         static_cast<int>(rng.UniformInt(0, deployment.config().sensors_per_proxy - 1));
     spec.sensor_id = Deployment::SensorId(p, s);
@@ -122,7 +123,8 @@ int main() {
   }
   std::printf("\n=== A8b: proxy failure and replica failover ===\n");
   failover_table.Print();
-  std::printf("\nClaim check: retries absorb moderate loss (success stays high, retries and\n"
+  std::printf("\nClaim check: retries absorb moderate loss (success stays "
+              "high, retries and\n"
               "energy climb); without replication a proxy failure takes its sensors'\n"
               "queries down, with replication the peer keeps answering from replicated\n"
               "cache + models.\n");

@@ -71,7 +71,8 @@ ModelResult RunModel(ModelType type) {
 
 int main() {
   std::printf("Ablation A4: model family vs push rate and extrapolation accuracy\n");
-  std::printf("(14 days, model-driven push, tolerance 0.5 C, identical diurnal world)\n\n");
+  std::printf(
+      "(14 days, model-driven push, tolerance 0.5 C, identical diurnal world)\n\n");
 
   TextTable table;
   table.SetHeader({"model", "pushes_per_day", "suppression", "J_per_day",
@@ -87,9 +88,12 @@ int main() {
   }
   std::printf("\n=== A4: model comparison ===\n");
   table.Print();
-  std::printf("\nClaim check: pure climatology (seasonal) cannot track weather fronts and\n"
-              "floods the channel; AR-anchored models match persistence's push rate, and\n"
-              "adding the seasonal component (seasonal-ar) halves proxy-side extrapolation\n"
+  std::printf("\nClaim check: pure climatology (seasonal) cannot track "
+              "weather fronts and\n"
+              "floods the channel; AR-anchored models match persistence's "
+              "push rate, and\n"
+              "adding the seasonal component (seasonal-ar) halves proxy-side "
+              "extrapolation\n"
               "error at the lowest push rate. Parameter blobs stay radio-cheap.\n");
   return 0;
 }

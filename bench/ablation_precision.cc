@@ -88,8 +88,10 @@ int main() {
 
   std::printf("=== A2: answer source vs tolerance ===\n");
   table.Print();
-  std::printf("\nClaim check: tight tolerances force radio pulls (slow, costly); once the\n"
-              "tolerance clears the push threshold (0.5 C), extrapolation answers almost\n"
+  std::printf("\nClaim check: tight tolerances force radio pulls (slow, "
+              "costly); once the\n"
+              "tolerance clears the push threshold (0.5 C), extrapolation "
+              "answers almost\n"
               "everything at millisecond latency.\n");
   return 0;
 }

@@ -123,12 +123,15 @@ int main() {
     const PolicyResult r = RunPolicy(row.policy, row.mode, row.models);
     table.AddRow({row.name, TextTable::Num(r.energy_j_day, 1),
                   TextTable::Num(r.push_fraction, 3), TextTable::Num(r.cache_rmse, 2),
-                  TextTable::Num(r.event_detect, 2), TextTable::Num(r.event_latency_s, 1)});
+                  TextTable::Num(r.event_detect, 2), TextTable::Num(r.event_latency_s,
+                                                                    1)});
   }
   std::printf("\n=== A1: push policy frontier ===\n");
   table.Print();
-  std::printf("\nClaim check: pull-only detects ~no events; model-driven detects them at\n"
-              "stream-class latency for a small fraction of streaming's energy, and pushes\n"
+  std::printf("\nClaim check: pull-only detects ~no events; model-driven "
+              "detects them at\n"
+              "stream-class latency for a small fraction of streaming's "
+              "energy, and pushes\n"
               "fewer samples than value-driven at equal threshold.\n");
   return 0;
 }

@@ -52,7 +52,8 @@ int main() {
 
   std::printf("=== A6: skip-graph hop scaling ===\n");
   table.Print();
-  std::printf("\nClaim check: hops grow ~logarithmically (hops / log2 n roughly flat), so\n"
+  std::printf("\nClaim check: hops grow ~logarithmically (hops / log2 n "
+              "roughly flat), so\n"
               "the unified store's routing stays cheap at hundreds of proxies.\n");
   return 0;
 }

@@ -93,14 +93,17 @@ int main() {
       return std::sqrt(s.mean() * s.mean() + s.variance());
     };
     table.AddRow({TextTable::Num(rho, 2), TextTable::Num(rms(marginal_err), 2),
-                  TextTable::Num(rms(temporal_err), 2), TextTable::Num(rms(spatial_err), 2),
+                  TextTable::Num(rms(temporal_err), 2),
+                  TextTable::Num(rms(spatial_err), 2),
                   TextTable::Num(claimed_sigma.mean(), 2)});
   }
 
   std::printf("=== A9: silent-sensor estimation error ===\n");
   table.Print();
   std::printf("\nClaim check: with strong spatial correlation, conditioning on live\n"
-              "neighbours beats the sensor's own (aging) temporal forecast; the advantage\n"
-              "fades as correlation drops — and the model's claimed sigma tracks that.\n");
+              "neighbours beats the sensor's own (aging) temporal forecast; "
+              "the advantage\n"
+              "fades as correlation drops — and the model's claimed sigma "
+              "tracks that.\n");
   return 0;
 }

@@ -116,7 +116,8 @@ RunResult RunPolicy(PushPolicy policy, Duration batch_interval, bool compress,
 
 int main() {
   std::printf("PRESTO Figure 2 reproduction: total energy vs batching interval\n");
-  std::printf("trace: %d samples at 31 s (%.1f days), Mica2-class radio\n\n", kTotalSamples,
+  std::printf("trace: %d samples at 31 s (%.1f days), Mica2-class radio\n\n",
+              kTotalSamples,
               ToDays(kRunTime));
 
   // Value-driven push ignores the batching interval: one run per delta.
@@ -158,7 +159,8 @@ int main() {
   table.Print();
   std::printf("\n=== detail ===\n");
   detail.Print();
-  std::printf("\nPaper shape check: batched curves fall with the interval; denoised <= raw;\n"
+  std::printf("\nPaper shape check: batched curves fall with the interval; "
+              "denoised <= raw;\n"
               "value-driven lines flat with d=1 above d=2; crossover mid-range.\n");
   return 0;
 }

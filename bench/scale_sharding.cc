@@ -1,9 +1,20 @@
 // Scale bench for the sharded multi-proxy deployment engine: sweeps proxy count ×
 // sensor population × shard policy, reporting query latency, energy (J/sensor/day),
-// shard balance, batching efficiency, and failover behaviour. Mid-run, proxy 0 is
-// killed: with replication its shard must stay answerable (degraded, via the ring
-// replica) while every other shard is untouched; without replication the shard goes
-// dark. The whole sweep is deterministic — same seed, bit-identical output.
+// shard balance, batching efficiency, and failover behaviour.
+//
+// Failover phase: *two* distinct proxies are killed mid-run (one on small clusters).
+// With K-way replication (replication_factor = 2) every affected shard must keep
+// answering — degraded through the replica chain immediately, then first-class once
+// the replica is promoted to full owner — with zero failed queries; the table reports
+// both the first-answer recovery time and the promotion lag.
+//
+// Rebalance phase: a skewed interactive workload hammers one shard; the load-aware
+// rebalancer must migrate hot sensors until the max/min per-proxy load ratio drops
+// to <= the configured bound (1.5).
+//
+// The whole sweep is deterministic — representative cells are run twice and their
+// Simulator::fingerprint()s compared. The process exits non-zero if any availability,
+// balance, or determinism requirement is violated.
 
 #include <cstdio>
 #include <string>
@@ -27,11 +38,15 @@ struct CellResult {
   double success = 0.0;
   double energy_j_per_sensor_day = 0.0;
   double batched_share = 0.0;       // app messages that rode a coalesced flush
-  // Failover phase (proxy 0 killed).
-  double killed_shard_success = 0.0;
-  double other_shard_success = 0.0;
-  double degraded_share = 0.0;      // killed-shard answers served from replicated state
+  // Failover phase.
+  int kills = 0;
+  int killed_probes = 0;
+  int killed_failures = 0;          // must be 0 with replication
+  double degraded_share = 0.0;      // pre-promotion answers served from replicas
   double recovery_ms = -1.0;        // kill -> first successful killed-shard answer
+  double promotion_ms = -1.0;       // kill -> last replica promoted to full owner
+  double other_shard_success = 0.0;
+  uint64_t promotions = 0;
   uint64_t fingerprint = 0;
 };
 
@@ -50,6 +65,8 @@ CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
   config.sensors_per_proxy = total_sensors / num_proxies;
   config.shard_policy = policy;
   config.enable_replication = replication;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(10);
   config.net.batch_epoch = batch_epoch;
   config.seed = kSeed;
   Deployment deployment(config);
@@ -76,35 +93,74 @@ CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
   out.now_latency_ms_p95 = latency_ms.Quantile(0.95);
   out.success = static_cast<double>(ok) / healthy_queries;
 
-  // Failover phase: kill proxy 0 mid-run and probe every shard.
+  // Failover phase: kill two distinct proxies (their shards fail over to disjoint
+  // ring successors when the cluster is big enough; one kill on 2-proxy cells).
+  std::vector<int> kills = {0};
+  if (num_proxies >= 4) {
+    kills.push_back(num_proxies / 2);
+  }
   const SimTime killed_at = deployment.sim().Now();
-  deployment.KillProxy(0);
-  const std::vector<int>& killed_shard = deployment.shard().SensorsOf(0);
+  for (int k : kills) {
+    deployment.KillProxy(k);
+  }
+  out.kills = static_cast<int>(kills.size());
+
+  // Degraded window: probe each killed shard before the promotion fires.
   int killed_ok = 0;
   int killed_degraded = 0;
-  for (size_t i = 0; i < killed_shard.size() && i < 32; ++i) {
-    UnifiedQueryResult result =
-        deployment.QueryAndWait(NowQuery(deployment, killed_shard[i], 3.0));
-    if (result.answer.status.ok()) {
-      ++killed_ok;
-      if (result.used_replica) {
-        ++killed_degraded;
-      }
-      if (out.recovery_ms < 0.0) {
-        out.recovery_ms = ToMillis(result.completed_at - killed_at);
+  for (int k : kills) {
+    const std::vector<int>& shard = deployment.shard().SensorsOf(k);
+    for (size_t i = 0; i < shard.size() && i < 8; ++i) {
+      ++out.killed_probes;
+      UnifiedQueryResult result =
+          deployment.QueryAndWait(NowQuery(deployment, shard[i], 3.0));
+      if (result.answer.status.ok()) {
+        ++killed_ok;
+        if (result.used_replica) {
+          ++killed_degraded;
+        }
+        if (out.recovery_ms < 0.0) {
+          out.recovery_ms = ToMillis(result.completed_at - killed_at);
+        }
+      } else {
+        ++out.killed_failures;
       }
     }
-    deployment.RunUntil(deployment.sim().Now() + Seconds(5));
   }
-  const size_t killed_probes = std::min<size_t>(killed_shard.size(), 32);
-  out.killed_shard_success =
-      killed_probes > 0 ? static_cast<double>(killed_ok) / killed_probes : 0.0;
   out.degraded_share =
       killed_ok > 0 ? static_cast<double>(killed_degraded) / killed_ok : 0.0;
 
+  // Promoted window: past the promotion delay every affected shard must be back to
+  // first-class service (the promoted owner pulls, manages models, owns the index).
+  deployment.RunUntil(killed_at + Seconds(30));
+  if (replication && deployment.shard_stats().last_promotion_at >= 0) {
+    out.promotion_ms = ToMillis(deployment.shard_stats().last_promotion_at - killed_at);
+  }
+  out.promotions = deployment.shard_stats().promotions;
+  for (int k : kills) {
+    const std::vector<int>& shard = deployment.shard().SensorsOf(k);
+    for (size_t i = 0; i < shard.size() && i < 24; ++i) {
+      ++out.killed_probes;
+      UnifiedQueryResult result =
+          deployment.QueryAndWait(NowQuery(deployment, shard[i], 3.0));
+      if (result.answer.status.ok()) {
+        if (out.recovery_ms < 0.0) {
+          out.recovery_ms = ToMillis(result.completed_at - killed_at);
+        }
+      } else {
+        ++out.killed_failures;
+      }
+      deployment.RunUntil(deployment.sim().Now() + Seconds(5));
+    }
+  }
+
+  // Isolation: every untouched shard keeps answering as if nothing happened.
   int other_ok = 0;
   int other_probes = 0;
-  for (int p = 1; p < num_proxies && other_probes < 32; ++p) {
+  for (int p = 0; p < num_proxies && other_probes < 32; ++p) {
+    if (std::find(kills.begin(), kills.end(), p) != kills.end()) {
+      continue;
+    }
     for (int g : deployment.shard().SensorsOf(p)) {
       if (other_probes >= 32) {
         break;
@@ -118,7 +174,9 @@ CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
   }
   out.other_shard_success =
       other_probes > 0 ? static_cast<double>(other_ok) / other_probes : 1.0;
-  deployment.ReviveProxy(0);
+  for (int k : kills) {
+    deployment.ReviveProxy(k);
+  }
   deployment.RunUntil(deployment.sim().Now() + Hours(1));
 
   const double days = ToSeconds(deployment.sim().Now()) / 86400.0;
@@ -126,14 +184,96 @@ CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
   const NetStats& net = deployment.net().stats();
   // messages_sent counts radio transactions (each coalesced frame once); the app
   // message total replaces each frame with its batched_messages constituents.
-  const uint64_t app_messages = net.messages_sent - net.batch_flushes + net.batched_messages;
+  const uint64_t app_messages =
+      net.messages_sent - net.batch_flushes + net.batched_messages;
   out.batched_share =
       app_messages > 0 ? static_cast<double>(net.batched_messages) / app_messages : 0.0;
   out.fingerprint = deployment.sim().fingerprint();
   return out;
 }
 
-std::string FmtRecovery(double ms) {
+struct RebalanceResult {
+  double ratio_before = 0.0;   // max/min per-proxy load under the skew, no rebalancer
+  double ratio_after = 0.0;    // same workload after the rebalancer has swept
+  uint64_t migrations = 0;
+  uint64_t sweeps = 0;
+  int hot_shard_size_before = 0;
+  int hot_shard_size_after = 0;
+  double success = 0.0;
+  uint64_t fingerprint = 0;
+};
+
+double LoadRatio(const Deployment& deployment) {
+  uint64_t max_load = 0;
+  uint64_t min_load = ~0ull;
+  for (int p = 0; p < deployment.config().num_proxies; ++p) {
+    const uint64_t load = deployment.ProxyWindowLoad(p);
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  return static_cast<double>(max_load) /
+         static_cast<double>(std::max<uint64_t>(min_load, 1));
+}
+
+// Skewed interactive workload: 80% of queries hit the (initially co-located) hot
+// sensor set, the rest spread uniformly. The rebalancer must pull the per-proxy load
+// ratio under the bound by migrating hot sensors off the overloaded proxy.
+RebalanceResult RunRebalanceCell(int num_proxies, int total_sensors) {
+  DeploymentConfig config;
+  config.num_proxies = num_proxies;
+  config.sensors_per_proxy = total_sensors / num_proxies;
+  config.shard_policy = ShardPolicy::kGeographic;
+  config.enable_replication = true;
+  config.enable_rebalancing = true;
+  config.rebalance_period = Minutes(10);
+  config.rebalance_max_moves = 4;
+  config.seed = kSeed;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(20));
+
+  RebalanceResult out;
+  const std::vector<int> hot = deployment.shard().SensorsOf(0);  // snapshot: moves later
+  out.hot_shard_size_before = static_cast<int>(hot.size());
+
+  Pcg32 rng(kSeed ^ 0x5eb5);
+  int ok = 0;
+  int total_queries = 0;
+  const int queries_per_round = 160;
+  const int rounds = 8;
+  for (int round = 0; round <= rounds; ++round) {
+    for (int q = 0; q < queries_per_round; ++q) {
+      int g;
+      if (rng.NextDouble() < 0.8) {
+        g = hot[static_cast<size_t>(rng.UniformInt(0, static_cast<int>(hot.size()) - 1))];
+      } else {
+        g = static_cast<int>(rng.UniformInt(0, total_sensors - 1));
+      }
+      UnifiedQueryResult result = deployment.QueryAndWait(NowQuery(deployment, g, 3.0));
+      ++total_queries;
+      if (result.answer.status.ok()) {
+        ++ok;
+      }
+    }
+    if (round == 0) {
+      out.ratio_before = LoadRatio(deployment);  // before any sweep saw this skew
+    }
+    if (round < rounds) {
+      // Let one rebalance period elapse (the sweep closes the load window).
+      deployment.RunUntil(deployment.sim().Now() + Minutes(11));
+    }
+  }
+  // The final round's window has not been swept yet: measure the steady-state skew.
+  out.ratio_after = LoadRatio(deployment);
+  out.migrations = deployment.shard_stats().migrations;
+  out.sweeps = deployment.shard_stats().rebalance_sweeps;
+  out.hot_shard_size_after = static_cast<int>(deployment.shard().SensorsOf(0).size());
+  out.success = static_cast<double>(ok) / total_queries;
+  out.fingerprint = deployment.sim().fingerprint();
+  return out;
+}
+
+std::string FmtMs(double ms) {
   if (ms < 0.0) {
     return "never";
   }
@@ -145,9 +285,10 @@ std::string FmtRecovery(double ms) {
 }  // namespace
 
 int main() {
-  std::printf("PRESTO scale bench: sharded multi-proxy deployments.\n");
-  std::printf("Proxy 0 is killed mid-run; 'killed ok' is its shard's availability,\n");
-  std::printf("'other ok' every other shard's (isolation check). Deterministic seed %llu.\n\n",
+  std::printf("PRESTO scale bench: sharded multi-proxy deployments with dynamic\n");
+  std::printf("shard management (K-way replication, promotion, rebalancing).\n");
+  std::printf("Two proxies are killed mid-run (one on 2-proxy cells); 'killed fail'\n");
+  std::printf("must be 0 with replication. Deterministic seed %llu.\n\n",
               static_cast<unsigned long long>(kSeed));
 
   struct Cell {
@@ -168,29 +309,84 @@ int main() {
       {16, 1024, ShardPolicy::kHash, true, Seconds(2)},
   };
 
+  int violations = 0;
+
   TextTable table;
   table.SetHeader({"proxies", "sensors", "policy", "repl", "lat ms", "p95 ms", "ok",
-                   "J/sens/day", "batched", "killed ok", "degraded", "other ok",
-                   "recovery ms"});
+                   "J/sens/day", "batched", "kills", "killed fail", "degraded",
+                   "other ok", "recovery ms", "promo ms"});
+  std::vector<CellResult> results;
   for (const Cell& cell : cells) {
     const CellResult r = RunCell(cell.proxies, cell.sensors, cell.policy,
                                  cell.replication, cell.batch_epoch);
+    results.push_back(r);
     table.AddRow({TextTable::Int(cell.proxies), TextTable::Int(cell.sensors),
                   ShardPolicyName(cell.policy), cell.replication ? "yes" : "no",
                   TextTable::Num(r.now_latency_ms_mean, 1),
                   TextTable::Num(r.now_latency_ms_p95, 1), TextTable::Num(r.success, 2),
                   TextTable::Num(r.energy_j_per_sensor_day, 1),
-                  TextTable::Num(r.batched_share, 3),
-                  TextTable::Num(r.killed_shard_success, 2),
-                  TextTable::Num(r.degraded_share, 2),
-                  TextTable::Num(r.other_shard_success, 2), FmtRecovery(r.recovery_ms)});
+                  TextTable::Num(r.batched_share, 3), TextTable::Int(r.kills),
+                  TextTable::Int(r.killed_failures), TextTable::Num(r.degraded_share, 2),
+                  TextTable::Num(r.other_shard_success, 2), FmtMs(r.recovery_ms),
+                  FmtMs(r.promotion_ms)});
     std::printf("  done: %2d proxies x %4d sensors (%s, repl=%s) fingerprint=%016llx\n",
                 cell.proxies, cell.sensors, ShardPolicyName(cell.policy),
                 cell.replication ? "yes" : "no",
                 static_cast<unsigned long long>(r.fingerprint));
+    if (cell.replication && r.killed_failures > 0) {
+      std::printf("  VIOLATION: %d failed queries on killed shards with replication\n",
+                  r.killed_failures);
+      ++violations;
+    }
+    if (cell.replication && r.promotions == 0) {
+      std::printf("  VIOLATION: no replica promotions recorded\n");
+      ++violations;
+    }
   }
   std::printf("\n");
   table.Print();
   table.WriteCsvFile("scale_sharding.csv");
+
+  // --- rebalancing under a skewed workload ---
+  std::printf("\nRebalancing sweep (4 proxies, skewed 80/20 workload, bound 1.5):\n");
+  const RebalanceResult reb = RunRebalanceCell(4, 64);
+  std::printf("  load ratio before %.2f -> after %.2f | migrations %llu | sweeps %llu |"
+              " hot shard %d -> %d sensors | ok %.2f\n",
+              reb.ratio_before, reb.ratio_after,
+              static_cast<unsigned long long>(reb.migrations),
+              static_cast<unsigned long long>(reb.sweeps), reb.hot_shard_size_before,
+              reb.hot_shard_size_after, reb.success);
+  if (reb.ratio_after > 1.5) {
+    std::printf("  VIOLATION: rebalanced load ratio %.2f > 1.5\n", reb.ratio_after);
+    ++violations;
+  }
+  if (reb.migrations == 0) {
+    std::printf("  VIOLATION: rebalancer never migrated a sensor\n");
+    ++violations;
+  }
+
+  // --- determinism: same seed, bit-identical replay ---
+  std::printf("\nDeterminism check (same seed, re-run):\n");
+  const CellResult again = RunCell(4, 256, ShardPolicy::kGeographic, true, 0);
+  const bool cell_ok = again.fingerprint == results[2].fingerprint;
+  std::printf("  failover cell fingerprint %016llx vs %016llx: %s\n",
+              static_cast<unsigned long long>(results[2].fingerprint),
+              static_cast<unsigned long long>(again.fingerprint),
+              cell_ok ? "MATCH" : "MISMATCH");
+  const RebalanceResult reb2 = RunRebalanceCell(4, 64);
+  const bool reb_ok = reb2.fingerprint == reb.fingerprint;
+  std::printf("  rebalance cell fingerprint %016llx vs %016llx: %s\n",
+              static_cast<unsigned long long>(reb.fingerprint),
+              static_cast<unsigned long long>(reb2.fingerprint),
+              reb_ok ? "MATCH" : "MISMATCH");
+  if (!cell_ok || !reb_ok) {
+    ++violations;
+  }
+
+  if (violations > 0) {
+    std::printf("\n%d violation(s) — see above.\n", violations);
+    return 1;
+  }
+  std::printf("\nAll availability, balance, and determinism requirements hold.\n");
   return 0;
 }

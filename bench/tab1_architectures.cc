@@ -40,12 +40,14 @@ int main() {
                    "past_rmse_C", "extrap_share", "hit_share", "pull_share",
                    "J_per_day", "msgs_per_day", "event_detect", "event_lat_s"});
 
-  for (ArchitectureKind kind : {ArchitectureKind::kDirectQuery,
-                                ArchitectureKind::kStreaming, ArchitectureKind::kPresto}) {
+  for (ArchitectureKind kind :
+       {ArchitectureKind::kDirectQuery, ArchitectureKind::kStreaming,
+        ArchitectureKind::kPresto}) {
     std::printf("running %s...\n", ArchitectureName(kind));
     const ArchitectureMetrics m = RunArchitectureBench(kind, config);
     table.AddRow({m.name, TextTable::Num(m.now_latency_ms_mean, 1),
-                  TextTable::Num(m.now_latency_ms_p95, 1), TextTable::Num(m.now_success, 2),
+                  TextTable::Num(m.now_latency_ms_p95, 1),
+                  TextTable::Num(m.now_success, 2),
                   TextTable::Num(m.past_success, 2), TextTable::Num(m.past_rmse, 2),
                   TextTable::Num(m.extrapolated_share, 2),
                   TextTable::Num(m.cache_hit_share, 2), TextTable::Num(m.pull_share, 2),

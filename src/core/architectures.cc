@@ -97,7 +97,8 @@ ArchitectureMetrics RunArchitectureBench(ArchitectureKind kind,
     outcomes[i].global_sensor = request.sensor;
     deployment.sim().ScheduleAt(request.issue_at, [&deployment, &outcomes, &completed, i,
                                                    spec] {
-      deployment.store().Query(spec, [&outcomes, &completed, i](const UnifiedQueryResult& r) {
+      deployment.store().Query(spec, [&outcomes, &completed,
+                                      i](const UnifiedQueryResult& r) {
         outcomes[i].result = r;
         ++completed;
       });
@@ -195,7 +196,8 @@ ArchitectureMetrics RunArchitectureBench(ArchitectureKind kind,
           global, TimeInterval{config.warmup, query_end});
       const SummaryCache* cache = deployment.proxy(p).cache(sensor_id);
       for (const TransientEvent& event : node_events) {
-        if (std::abs(event.magnitude) < 2.0 || event.start >= query_end - kDetectionWindow) {
+        if (std::abs(event.magnitude) < 2.0 ||
+            event.start >= query_end - kDetectionWindow) {
           continue;
         }
         ++events;

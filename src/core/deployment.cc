@@ -1,5 +1,8 @@
 #include "src/core/deployment.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/util/assert.h"
 #include "src/util/rng.h"
 
@@ -19,10 +22,17 @@ Deployment::Deployment(const DeploymentConfig& config, MeasureFactory measure_fa
 void Deployment::Build(MeasureFactory measure_factory) {
   PRESTO_CHECK(config_.num_proxies >= 1);
   PRESTO_CHECK(config_.sensors_per_proxy >= 1);
+  PRESTO_CHECK(config_.replication_factor >= 1);
   PRESTO_CHECK(measure_factory != nullptr);
 
   shard_map_ = std::make_unique<ShardMap>(config_.num_proxies, total_sensors(),
-                                          config_.shard_policy);
+                                          config_.shard_policy,
+                                          config_.replication_factor);
+  proxy_down_.assign(static_cast<size_t>(config_.num_proxies), 0);
+  pending_promotions_.resize(static_cast<size_t>(config_.num_proxies));
+  promotion_pending_.assign(static_cast<size_t>(config_.num_proxies), 0);
+  rebalance_timer_ =
+      std::make_unique<PeriodicTimer>(&sim_, [this] { RebalanceSweep(); });
   net_ = std::make_unique<Network>(&sim_, config_.net, config_.seed ^ 0x6e6574);
   TemperatureParams field_params = config_.field;
   field_params.seed = config_.seed ^ 0x6669656c64;
@@ -44,8 +54,7 @@ void Deployment::Build(MeasureFactory measure_factory) {
     pc.pull_timeout = config_.pull_timeout;
     pc.manage_models = config_.manage_models;
     pc.enable_matcher = config_.enable_matcher;
-    pc.enable_replication = config_.enable_replication && config_.num_proxies > 1;
-    pc.replica_id = ProxyId(shard_map_->ReplicaOf(p));
+    pc.enable_replication = ReplicationEnabled();
     pc.seed = config_.seed ^ (0x5050 + static_cast<uint64_t>(p));
     proxies_.push_back(std::make_unique<ProxyNode>(&sim_, net_.get(), pc));
   }
@@ -84,17 +93,29 @@ void Deployment::Build(MeasureFactory measure_factory) {
     sensors_.push_back(
         std::make_unique<SensorNode>(&sim_, net_.get(), sc, measure_factory(g)));
     proxies_[static_cast<size_t>(owner)]->RegisterSensor(sc.id, config_.sensing_period);
-    // The replica must know the sensor to accept replicated state and serve failover.
-    if (config_.enable_replication && config_.num_proxies > 1) {
-      proxies_[static_cast<size_t>(shard_map_->ReplicaOf(owner))]->RegisterSensor(
-          sc.id, config_.sensing_period, /*replica=*/true);
+    // Every member of the owner's K-way replica set must know the sensor to accept
+    // replicated state and serve failover; the owner mirrors its state to all of them.
+    if (ReplicationEnabled()) {
+      std::vector<NodeId> targets;
+      for (int r : shard_map_->ReplicaSetOf(owner)) {
+        proxies_[static_cast<size_t>(r)]->RegisterSensor(sc.id, config_.sensing_period,
+                                                         /*replica=*/true);
+        targets.push_back(ProxyId(r));
+      }
+      proxies_[static_cast<size_t>(owner)]->SetReplicaTargets(sc.id, std::move(targets));
     }
   }
 
   for (int p = 0; p < config_.num_proxies; ++p) {
     store_->AddProxy(proxies_[static_cast<size_t>(p)].get());
-    if (config_.enable_replication && config_.num_proxies > 1) {
-      store_->SetReplicaOf(ProxyId(p), ProxyId(shard_map_->ReplicaOf(p)));
+  }
+  if (ReplicationEnabled()) {
+    for (int p = 0; p < config_.num_proxies; ++p) {
+      std::vector<NodeId> chain;
+      for (int r : shard_map_->ReplicaSetOf(p)) {
+        chain.push_back(ProxyId(r));
+      }
+      store_->SetReplicaChain(ProxyId(p), std::move(chain));
     }
   }
 }
@@ -111,6 +132,356 @@ void Deployment::Start() {
   }
   for (auto& sensor : sensors_) {
     sensor->Start();
+  }
+  if (config_.enable_rebalancing && config_.num_proxies > 1) {
+    rebalance_timer_->Start(config_.rebalance_period);
+  }
+}
+
+// ---------- dynamic shard management ----------
+
+bool Deployment::IsProxyDown(int proxy_index) const {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < config_.num_proxies);
+  return proxy_down_[static_cast<size_t>(proxy_index)] != 0;
+}
+
+int Deployment::ActingOwner(int global_index) const {
+  auto it = acting_owner_.find(global_index);
+  return it != acting_owner_.end() ? it->second : shard_map_->OwnerOf(global_index);
+}
+
+uint64_t Deployment::ProxyWindowLoad(int proxy_index) const {
+  // Acting-owner view, not shard-map view: a promoted proxy carries (and must be
+  // credited for) the load of the shards it took over, or the rebalancer would pile
+  // more sensors onto an already-overloaded acting owner it believes is idle.
+  const ProxyNode& proxy = *proxies_[static_cast<size_t>(proxy_index)];
+  uint64_t load = 0;
+  for (int g = 0; g < total_sensors(); ++g) {
+    if (ActingOwner(g) == proxy_index) {
+      load += proxy.SensorWindowLoad(GlobalSensorId(g));
+    }
+  }
+  return load;
+}
+
+std::vector<NodeId> Deployment::LiveReplicaTargets(int owner, int exclude) const {
+  std::vector<NodeId> targets;
+  for (int r : shard_map_->ReplicaSetOf(owner)) {
+    if (r != exclude && !proxy_down_[static_cast<size_t>(r)]) {
+      targets.push_back(ProxyId(r));
+    }
+  }
+  return targets;
+}
+
+void Deployment::KillProxy(int proxy_index) {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < config_.num_proxies);
+  if (proxy_down_[static_cast<size_t>(proxy_index)]) {
+    return;
+  }
+  net_->SetNodeDown(ProxyId(proxy_index), true);
+  proxy_down_[static_cast<size_t>(proxy_index)] = 1;
+  if (ReplicationEnabled()) {
+    // Failure detection + takeover lag: the replica set serves degraded through the
+    // unified store's failover chain until this event promotes a full owner.
+    promotion_pending_[static_cast<size_t>(proxy_index)] = 1;
+    pending_promotions_[static_cast<size_t>(proxy_index)] = sim_.ScheduleIn(
+        config_.promotion_delay, [this, proxy_index] { PromoteShardsOf(proxy_index); });
+  }
+}
+
+void Deployment::ReviveProxy(int proxy_index) {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < config_.num_proxies);
+  if (!proxy_down_[static_cast<size_t>(proxy_index)]) {
+    return;
+  }
+  net_->SetNodeDown(ProxyId(proxy_index), false);
+  proxy_down_[static_cast<size_t>(proxy_index)] = 0;
+  // A revival before the promotion fired simply cancels the takeover.
+  pending_promotions_[static_cast<size_t>(proxy_index)].Cancel();
+  promotion_pending_[static_cast<size_t>(proxy_index)] = 0;
+  if (ReplicationEnabled()) {
+    sim_.ScheduleIn(0, [this, proxy_index] { HandBackShardsOf(proxy_index); });
+  }
+}
+
+void Deployment::PromoteShardsOf(int proxy_index) {
+  // Whether fired on schedule or invoked by a revive-time rescue, the
+  // failure-detection window for this proxy is now over.
+  promotion_pending_[static_cast<size_t>(proxy_index)] = 0;
+  if (!proxy_down_[static_cast<size_t>(proxy_index)] || !ReplicationEnabled()) {
+    return;
+  }
+  for (int g = 0; g < total_sensors(); ++g) {
+    if (ActingOwner(g) != proxy_index) {
+      continue;
+    }
+    const NodeId id = GlobalSensorId(g);
+    const int home = shard_map_->OwnerOf(g);
+    // First live member of the home replica set already holding standby state.
+    int target = -1;
+    for (int r : shard_map_->ReplicaSetOf(home)) {
+      if (!proxy_down_[static_cast<size_t>(r)] &&
+          proxies_[static_cast<size_t>(r)]->ManagesSensor(id)) {
+        target = r;
+        break;
+      }
+    }
+    if (target < 0) {
+      continue;  // every replica is down too; the shard stays dark until a revive
+    }
+    ProxyNode& promoted = *proxies_[static_cast<size_t>(target)];
+    promoted.PromoteSensor(id);
+    promoted.SetReplicaTargets(id, LiveReplicaTargets(home, /*exclude=*/target));
+    store_->ReassignSensor(id, ProxyId(target));
+    sensors_[static_cast<size_t>(g)]->SetProxy(ProxyId(target));
+    // Replica sets never contain the owner, so the target is always a foreign proxy.
+    acting_owner_[g] = target;
+    ++shard_stats_.promotions;
+    shard_stats_.last_promotion_at = sim_.Now();
+  }
+}
+
+void Deployment::HandBackShardsOf(int proxy_index) {
+  if (proxy_down_[static_cast<size_t>(proxy_index)]) {
+    return;
+  }
+  for (auto it = acting_owner_.begin(); it != acting_owner_.end();) {
+    const int g = it->first;
+    const int acting = it->second;
+    if (shard_map_->OwnerOf(g) != proxy_index) {
+      ++it;
+      continue;
+    }
+    const NodeId id = GlobalSensorId(g);
+    ProxyNode& home = *proxies_[static_cast<size_t>(proxy_index)];
+    if (!proxy_down_[static_cast<size_t>(acting)]) {
+      // The acting owner ships what the revived proxy missed, then steps back down.
+      ProxyNode& from = *proxies_[static_cast<size_t>(acting)];
+      from.SendStateSnapshot(id, ProxyId(proxy_index), config_.handoff_history);
+      from.DemoteSensor(id);
+    }
+    // The home proxy kept its owner registration while down; re-arm replication to
+    // the full set (revived members catch up from live traffic).
+    std::vector<NodeId> targets;
+    for (int r : shard_map_->ReplicaSetOf(proxy_index)) {
+      targets.push_back(ProxyId(r));
+    }
+    home.SetReplicaTargets(id, std::move(targets));
+    store_->ReassignSensor(id, ProxyId(proxy_index));
+    sensors_[static_cast<size_t>(g)]->SetProxy(ProxyId(proxy_index));
+    ++shard_stats_.handbacks;
+    it = acting_owner_.erase(it);
+  }
+
+  // Reconcile stale ownership: this proxy may still believe it fully owns sensors it
+  // only ever stood in for — it was down when that shard was handed back (or
+  // re-promoted), so the demotion could not reach it. Left alone, two proxies would
+  // manage models and send control traffic to the same sensor forever.
+  ProxyNode& revived = *proxies_[static_cast<size_t>(proxy_index)];
+  for (int g = 0; g < total_sensors(); ++g) {
+    const NodeId id = GlobalSensorId(g);
+    if (ActingOwner(g) != proxy_index && revived.ManagesSensor(id) &&
+        !revived.IsReplicaFor(id)) {
+      revived.DemoteSensor(id);
+    }
+  }
+
+  // Rescue stranded shards: a promotion skipped because every replica was down can
+  // succeed now that this proxy is back. Without this, a shard whose owner and
+  // replicas all died would stay degraded (and its sensors would push to a dead
+  // proxy) even after replicas revive. Proxies still inside their failure-detection
+  // window are left to their scheduled promotion event — rescuing them early would
+  // erase the modeled promotion_delay.
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    if (proxy_down_[static_cast<size_t>(p)] &&
+        !promotion_pending_[static_cast<size_t>(p)]) {
+      PromoteShardsOf(p);
+    }
+  }
+
+  // Standby refresh: acting owners re-arm their replica targets against the live set
+  // (a target dropped while this proxy was down comes back here) and ship this proxy
+  // a catch-up snapshot for every sensor it stands by — otherwise a revived standby
+  // would silently serve state frozen at its kill if promoted later.
+  if (ReplicationEnabled()) {
+    for (int g = 0; g < total_sensors(); ++g) {
+      const int acting = ActingOwner(g);
+      if (proxy_down_[static_cast<size_t>(acting)]) {
+        continue;
+      }
+      const int home = shard_map_->OwnerOf(g);
+      const NodeId id = GlobalSensorId(g);
+      ProxyNode& owner = *proxies_[static_cast<size_t>(acting)];
+      if (!owner.ManagesSensor(id) || owner.IsReplicaFor(id)) {
+        continue;
+      }
+      if (acting == home) {
+        std::vector<NodeId> targets;
+        for (int r : shard_map_->ReplicaSetOf(home)) {
+          targets.push_back(ProxyId(r));
+        }
+        owner.SetReplicaTargets(id, std::move(targets));
+      } else {
+        owner.SetReplicaTargets(id, LiveReplicaTargets(home, /*exclude=*/acting));
+      }
+      if (acting != proxy_index &&
+          proxies_[static_cast<size_t>(proxy_index)]->ManagesSensor(id) &&
+          proxies_[static_cast<size_t>(proxy_index)]->IsReplicaFor(id)) {
+        owner.SendStateSnapshot(id, ProxyId(proxy_index), config_.handoff_history);
+      }
+    }
+  }
+}
+
+void Deployment::MigrateSensor(int global_index, int new_owner) {
+  PRESTO_CHECK(global_index >= 0 && global_index < total_sensors());
+  PRESTO_CHECK(new_owner >= 0 && new_owner < config_.num_proxies);
+  sim_.ScheduleIn(0, [this, global_index, new_owner] {
+    ExecuteMigration(global_index, new_owner);
+  });
+}
+
+void Deployment::ExecuteMigration(int global_index, int new_owner) {
+  const int home = shard_map_->OwnerOf(global_index);
+  if (home == new_owner || acting_owner_.count(global_index) > 0 ||
+      proxy_down_[static_cast<size_t>(home)] ||
+      proxy_down_[static_cast<size_t>(new_owner)]) {
+    return;  // shards in failover (or dead endpoints) don't migrate
+  }
+  const NodeId id = GlobalSensorId(global_index);
+  ProxyNode& src = *proxies_[static_cast<size_t>(home)];
+  ProxyNode& dst = *proxies_[static_cast<size_t>(new_owner)];
+
+  // State transfer over the wired mesh; ownership flips now, the snapshot fills the
+  // new owner's cache a few (simulated) milliseconds later. The new owner can pull
+  // meanwhile — it is a full owner, not a degraded replica.
+  src.SendStateSnapshot(id, ProxyId(new_owner), config_.handoff_history);
+  if (dst.ManagesSensor(id)) {
+    dst.PromoteSensor(id);
+  } else {
+    dst.RegisterSensor(id, config_.sensing_period, /*replica=*/false);
+  }
+
+  const std::vector<int>& old_set = shard_map_->ReplicaSetOf(home);
+  shard_map_->MigrateSensor(global_index, new_owner);
+  const std::vector<int>& new_set = shard_map_->ReplicaSetOf(new_owner);
+
+  if (ReplicationEnabled()) {
+    std::vector<NodeId> targets;
+    for (int r : new_set) {
+      ProxyNode& replica = *proxies_[static_cast<size_t>(r)];
+      const bool had_state = replica.ManagesSensor(id);
+      if (!had_state) {
+        replica.RegisterSensor(id, config_.sensing_period, /*replica=*/true);
+        if (!proxy_down_[static_cast<size_t>(r)]) {
+          // Seed the fresh standby so failover isn't cold.
+          src.SendStateSnapshot(id, ProxyId(r), config_.handoff_history);
+        }
+      }
+      targets.push_back(ProxyId(r));
+    }
+    dst.SetReplicaTargets(id, std::move(targets));
+
+    // The old owner stays on as a standby only if the new replica set includes it.
+    const bool home_is_replica =
+        std::find(new_set.begin(), new_set.end(), home) != new_set.end();
+    if (home_is_replica) {
+      src.DemoteSensor(id);
+    } else {
+      src.UnregisterSensor(id);
+    }
+    // Stale standbys outside the new topology drop their state.
+    for (int r : old_set) {
+      if (r == new_owner || r == home) {
+        continue;
+      }
+      const bool still_replica =
+          std::find(new_set.begin(), new_set.end(), r) != new_set.end();
+      ProxyNode& replica = *proxies_[static_cast<size_t>(r)];
+      if (!still_replica && replica.ManagesSensor(id)) {
+        replica.UnregisterSensor(id);
+      }
+    }
+  } else {
+    src.UnregisterSensor(id);
+  }
+
+  store_->ReassignSensor(id, ProxyId(new_owner));
+  sensors_[static_cast<size_t>(global_index)]->SetProxy(ProxyId(new_owner));
+  ++shard_stats_.migrations;
+}
+
+void Deployment::RebalanceSweep() {
+  ++shard_stats_.rebalance_sweeps;
+  // Window loads per live proxy (ordered scan: deterministic tie-breaks).
+  int busiest = -1;
+  int calmest = -1;
+  uint64_t busiest_load = 0;
+  uint64_t calmest_load = 0;
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    if (proxy_down_[static_cast<size_t>(p)]) {
+      continue;
+    }
+    const uint64_t load = ProxyWindowLoad(p);
+    if (busiest < 0 || load > busiest_load) {
+      busiest = p;
+      busiest_load = load;
+    }
+    if (calmest < 0 || load < calmest_load) {
+      calmest = p;
+      calmest_load = load;
+    }
+  }
+  // Every sweep closes its observation window, acted upon or not.
+  struct WindowReset {
+    Deployment* self;
+    ~WindowReset() {
+      for (auto& proxy : self->proxies_) {
+        proxy->ResetLoadWindow();
+      }
+    }
+  } reset{this};
+  if (busiest < 0 || calmest < 0 || busiest == calmest ||
+      busiest_load < config_.rebalance_min_load) {
+    return;  // idle or near-idle window: nothing worth migrating
+  }
+  // Hottest sensors first; only move a sensor when it actually narrows the gap.
+  std::vector<std::pair<uint64_t, int>> candidates;
+  const ProxyNode& hot_proxy = *proxies_[static_cast<size_t>(busiest)];
+  for (int g : shard_map_->SensorsOf(busiest)) {
+    if (acting_owner_.count(g) > 0) {
+      continue;
+    }
+    candidates.emplace_back(hot_proxy.SensorWindowLoad(GlobalSensorId(g)), g);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const std::pair<uint64_t, int>& a, const std::pair<uint64_t, int>& b) {
+              return a.first != b.first ? a.first > b.first : a.second < b.second;
+            });
+  int moves = 0;
+  for (const auto& [load, g] : candidates) {
+    if (moves >= config_.rebalance_max_moves ||
+        static_cast<int>(shard_map_->SensorsOf(busiest).size()) <= 1) {
+      break;
+    }
+    if (busiest_load <=
+        static_cast<uint64_t>(config_.rebalance_max_ratio *
+                              static_cast<double>(std::max<uint64_t>(calmest_load, 1)))) {
+      break;  // balanced enough
+    }
+    const uint64_t gap_before = busiest_load - calmest_load;
+    const uint64_t new_busiest = busiest_load - load;
+    const uint64_t new_calmest = calmest_load + load;
+    const uint64_t gap_after =
+        new_busiest > new_calmest ? new_busiest - new_calmest : new_calmest - new_busiest;
+    if (gap_after >= gap_before) {
+      continue;  // this sensor alone carries the hotspot; moving it just relocates it
+    }
+    ExecuteMigration(g, calmest);
+    busiest_load = new_busiest;
+    calmest_load = new_calmest;
+    ++moves;
   }
 }
 

@@ -1,13 +1,29 @@
-// Deployment builder: wires a complete PRESTO system — simulator, tiered network,
-// proxies (with caches/engines/matchers), sensors (with flash archives and push
-// policies), spatially correlated workload, skip-graph-routed unified store, optional
-// proxy replication — from one config struct. This is the entry point examples,
-// benches, and integration tests share.
+// Deployment builder and dynamic shard manager: wires a complete PRESTO system —
+// simulator, tiered network, proxies (with caches/engines/matchers), sensors (with
+// flash archives and push policies), spatially correlated workload, skip-graph-routed
+// unified store, K-way proxy replication — from one config struct, then keeps the
+// shard layout *live*:
+//
+//  - KillProxy schedules replica promotion after `promotion_delay`: the first live
+//    member of the dead proxy's replica set becomes the full owner of each stranded
+//    sensor (takes over pulls, model management, and the unified-store index entry)
+//    instead of serving cache/extrapolation-only forever.
+//  - ReviveProxy hands ownership back, with a cache+model state transfer from the
+//    acting owner over the wired mesh.
+//  - MigrateSensor moves one sensor between live proxies (rebalancing primitive).
+//  - An optional load-aware rebalancer sweeps per-shard query+push counters every
+//    `rebalance_period` and migrates sensors off overloaded proxies.
+//
+// Every mutation executes as a deterministic simulator event, so same-seed replays
+// (Simulator::fingerprint()) stay bit-identical.
+//
+// This is the entry point examples, benches, and integration tests share.
 
 #ifndef SRC_CORE_DEPLOYMENT_H_
 #define SRC_CORE_DEPLOYMENT_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -18,6 +34,7 @@
 #include "src/proxy/proxy_node.h"
 #include "src/sensor/sensor_node.h"
 #include "src/sim/simulator.h"
+#include "src/sim/timer.h"
 #include "src/workload/temperature.h"
 
 namespace presto {
@@ -52,7 +69,26 @@ struct DeploymentConfig {
   bool manage_models = true;
   bool enable_matcher = false;  // opt-in: benches sweep this explicitly
   bool enable_replication = false;
+  // Total copies per shard including the owner (K-way). 2 = the PR-1 single-standby
+  // behaviour; clamped to the proxy count. Only meaningful with enable_replication.
+  int replication_factor = 2;
+  // KillProxy -> replica promotion lag (failure detection + takeover). Queries in the
+  // window are served degraded through the unified store's failover chain.
+  Duration promotion_delay = Seconds(30);
+  // Cache depth shipped when state is handed over (migration / revive hand-back).
+  Duration handoff_history = Hours(4);
   Duration pull_timeout = Minutes(10);
+
+  // Load-aware rebalancing (opt-in): every rebalance_period, compare per-proxy
+  // query+push loads and migrate the hottest sensors off the most loaded proxy until
+  // max/min <= rebalance_max_ratio (at most rebalance_max_moves migrations a sweep).
+  bool enable_rebalancing = false;
+  Duration rebalance_period = Minutes(30);
+  double rebalance_max_ratio = 1.5;
+  int rebalance_max_moves = 4;
+  // A sweep only acts when the busiest proxy saw at least this many window events:
+  // background push noise is not a signal worth migrating (anti-thrash floor).
+  uint64_t rebalance_min_load = 16;
 
   // World.
   TemperatureParams field;
@@ -97,16 +133,44 @@ class Deployment {
   }
 
   // Failure injection at deployment granularity: a killed proxy neither receives
-  // pushes nor answers queries; with replication enabled its shard stays answerable
-  // (degraded) at the ring-successor replica.
-  void KillProxy(int proxy_index) { net_->SetNodeDown(ProxyId(proxy_index), true); }
-  void ReviveProxy(int proxy_index) { net_->SetNodeDown(ProxyId(proxy_index), false); }
+  // pushes nor answers queries. With replication its shard is served degraded from the
+  // replica set immediately, and after `promotion_delay` the first live replica is
+  // promoted to full owner (pulls, models, index entry — full service).
+  void KillProxy(int proxy_index);
+  // Brings the proxy back and hands its shard back from the acting owners, with a
+  // cache/model state transfer over the wired mesh.
+  void ReviveProxy(int proxy_index);
+  bool IsProxyDown(int proxy_index) const;
+
+  // Schedules a live migration of one sensor to `new_owner` as a simulator event:
+  // state snapshot over the wired mesh, ownership + replica-set re-registration,
+  // index re-point, and push re-targeting. No-op if either side is down or the
+  // sensor's shard is currently in failover.
+  void MigrateSensor(int global_index, int new_owner);
+
+  // The proxy currently serving the sensor (the shard-map owner, or the promoted
+  // replica while the owner is down).
+  int ActingOwner(int global_index) const;
+
+  // Sum of the current-window load counters over the sensors `proxy_index` serves.
+  uint64_t ProxyWindowLoad(int proxy_index) const;
+
+  struct ShardMgmtStats {
+    uint64_t promotions = 0;       // sensors taken over by a replica
+    uint64_t handbacks = 0;        // sensors returned to a revived owner
+    uint64_t migrations = 0;       // live migrations executed (manual + rebalancer)
+    uint64_t rebalance_sweeps = 0;
+    SimTime last_promotion_at = -1;  // recovery-time reporting
+  };
+  const ShardMgmtStats& shard_stats() const { return shard_stats_; }
 
   Simulator& sim() { return sim_; }
   Network& net() { return *net_; }
   UnifiedStore& store() { return *store_; }
   TemperatureField& field() { return *field_; }
-  ProxyNode& proxy(int proxy_index) { return *proxies_[static_cast<size_t>(proxy_index)]; }
+  ProxyNode& proxy(int proxy_index) {
+    return *proxies_[static_cast<size_t>(proxy_index)];
+  }
   SensorNode& sensor(int proxy_index, int sensor_index);
   const DeploymentConfig& config() const { return config_; }
 
@@ -122,6 +186,21 @@ class Deployment {
  private:
   void Build(MeasureFactory measure_factory);
 
+  bool ReplicationEnabled() const {
+    return config_.enable_replication && config_.num_proxies > 1;
+  }
+  // Live members of `owner`'s replica set as proxy ids, minus `exclude` and any proxy
+  // currently down.
+  std::vector<NodeId> LiveReplicaTargets(int owner, int exclude) const;
+  // Promotes every sensor currently served by the (down) proxy to its first live
+  // replica. Fired `promotion_delay` after KillProxy.
+  void PromoteShardsOf(int proxy_index);
+  // Returns ownership of `proxy_index`'s home shard from the acting owners.
+  void HandBackShardsOf(int proxy_index);
+  // Executes one migration immediately (callers run inside simulator events).
+  void ExecuteMigration(int global_index, int new_owner);
+  void RebalanceSweep();
+
   DeploymentConfig config_;
   Simulator sim_;
   std::unique_ptr<ShardMap> shard_map_;
@@ -130,6 +209,17 @@ class Deployment {
   std::unique_ptr<UnifiedStore> store_;
   std::vector<std::unique_ptr<ProxyNode>> proxies_;
   std::vector<std::unique_ptr<SensorNode>> sensors_;  // proxy-major order
+
+  // --- dynamic shard management state ---
+  std::vector<char> proxy_down_;
+  std::vector<EventHandle> pending_promotions_;  // per proxy, armed by KillProxy
+  // True between KillProxy and its promotion event firing (or being cancelled): the
+  // failure-detection window during which a revive-time rescue must NOT pre-empt the
+  // scheduled promotion.
+  std::vector<char> promotion_pending_;
+  std::map<int, int> acting_owner_;  // global index -> promoted proxy (owner down)
+  std::unique_ptr<PeriodicTimer> rebalance_timer_;
+  ShardMgmtStats shard_stats_;
 };
 
 }  // namespace presto

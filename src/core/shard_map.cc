@@ -1,6 +1,7 @@
 #include "src/core/shard_map.h"
 
 #include <algorithm>
+#include <set>
 
 #include "src/util/assert.h"
 
@@ -16,6 +17,20 @@ uint64_t Mix64(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Balanced contiguous blocks: the first `total % proxies` shards take one extra
+// sensor, so sizes differ by at most one and no shard is ever empty. The old
+// ceil-block split (g / ceil(total/proxies)) left trailing proxies with nothing
+// whenever the population didn't divide evenly.
+int GeographicOwner(int g, int total_sensors, int num_proxies) {
+  const int base = total_sensors / num_proxies;
+  const int remainder = total_sensors % num_proxies;
+  const int big_span = remainder * (base + 1);  // sensors living in the larger shards
+  if (g < big_span) {
+    return g / (base + 1);
+  }
+  return remainder + (g - big_span) / base;
+}
+
 }  // namespace
 
 const char* ShardPolicyName(ShardPolicy policy) {
@@ -28,13 +43,17 @@ const char* ShardPolicyName(ShardPolicy policy) {
   return "?";
 }
 
-ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy)
-    : num_proxies_(num_proxies), total_sensors_(total_sensors), policy_(policy) {
+ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy,
+                   int replication_factor)
+    : num_proxies_(num_proxies),
+      total_sensors_(total_sensors),
+      policy_(policy),
+      replication_factor_(replication_factor) {
   PRESTO_CHECK(num_proxies >= 1);
   PRESTO_CHECK(total_sensors >= 1);
+  PRESTO_CHECK(replication_factor >= 1);
   owner_.resize(static_cast<size_t>(total_sensors));
   by_proxy_.resize(static_cast<size_t>(num_proxies));
-  const int block = (total_sensors + num_proxies - 1) / num_proxies;
   for (int g = 0; g < total_sensors; ++g) {
     int p;
     switch (policy) {
@@ -44,11 +63,26 @@ ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy)
         break;
       case ShardPolicy::kGeographic:
       default:
-        p = g / block;
+        p = GeographicOwner(g, total_sensors, num_proxies);
         break;
     }
     owner_[static_cast<size_t>(g)] = p;
     by_proxy_[static_cast<size_t>(p)].push_back(g);
+  }
+
+  // K-way replica sets: the next replication_factor - 1 distinct ring successors.
+  const int standbys = std::min(replication_factor - 1, num_proxies - 1);
+  replica_set_.resize(static_cast<size_t>(num_proxies));
+  for (int p = 0; p < num_proxies; ++p) {
+    std::vector<int>& set = replica_set_[static_cast<size_t>(p)];
+    for (int k = 1; k <= standbys; ++k) {
+      set.push_back((p + k) % num_proxies);
+    }
+    // Invariant (regression for the PR-1 self-replica hazard): a replica set never
+    // contains its owner and never a duplicate entry.
+    std::set<int> unique(set.begin(), set.end());
+    PRESTO_CHECK_MSG(unique.size() == set.size(), "replica set contains duplicates");
+    PRESTO_CHECK_MSG(unique.count(p) == 0, "replica set contains the owner");
   }
 }
 
@@ -57,14 +91,36 @@ int ShardMap::OwnerOf(int global_sensor_index) const {
   return owner_[static_cast<size_t>(global_sensor_index)];
 }
 
-int ShardMap::ReplicaOf(int proxy_index) const {
+const std::vector<int>& ShardMap::ReplicaSetOf(int proxy_index) const {
   PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
-  return (proxy_index + 1) % num_proxies_;
+  return replica_set_[static_cast<size_t>(proxy_index)];
+}
+
+int ShardMap::ReplicaOf(int proxy_index) const {
+  const std::vector<int>& set = ReplicaSetOf(proxy_index);
+  return set.empty() ? proxy_index : set.front();
 }
 
 const std::vector<int>& ShardMap::SensorsOf(int proxy_index) const {
   PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
   return by_proxy_[static_cast<size_t>(proxy_index)];
+}
+
+bool ShardMap::MigrateSensor(int global_sensor_index, int new_owner) {
+  PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
+  PRESTO_CHECK(new_owner >= 0 && new_owner < num_proxies_);
+  const int old_owner = owner_[static_cast<size_t>(global_sensor_index)];
+  if (old_owner == new_owner) {
+    return false;
+  }
+  std::vector<int>& from = by_proxy_[static_cast<size_t>(old_owner)];
+  from.erase(std::find(from.begin(), from.end(), global_sensor_index));
+  std::vector<int>& to = by_proxy_[static_cast<size_t>(new_owner)];
+  to.insert(std::upper_bound(to.begin(), to.end(), global_sensor_index),
+            global_sensor_index);
+  owner_[static_cast<size_t>(global_sensor_index)] = new_owner;
+  ++version_;
+  return true;
 }
 
 int ShardMap::MinShardSize() const {

@@ -1,17 +1,23 @@
-// Sensor→proxy shard map (paper §5): the assignment policy that turns one logical
-// deployment into N proxy shards.
+// Sensor→proxy shard map (paper §5): the mutable, versioned ownership table that turns
+// one logical deployment into N proxy shards.
 //
-// Two policies:
+// Two placement policies seed the initial assignment:
 //  - kGeographic: contiguous blocks of the global sensor index. Sensor indices are the
 //    spatial layout (the workload correlates nearby indices), so a block shard keeps a
 //    proxy's sensors spatially close — one radio neighbourhood per proxy, and spatial
-//    model sharing stays intra-proxy.
+//    model sharing stays intra-proxy. Non-divisible populations spread the remainder so
+//    shard sizes differ by at most one (no proxy is ever left with an empty shard).
 //  - kHash: stateless integer hash of the global index. Spreads hot spatial regions
 //    across proxies so query load balances even when user interest is localised.
 //
-// Replica placement is a ring: proxy p replicates its sensors' caches and models to
-// proxy (p+1) % N over the wired tier, so any single proxy failure leaves every shard
-// answerable (degraded, cache/extrapolation-only) at its ring successor.
+// After construction the table is *live*: MigrateSensor reassigns one sensor to a new
+// owner (the deployment's rebalancer and failover paths drive this), and every mutation
+// bumps version() so downstream caches can detect staleness.
+//
+// Replication is K-way: each proxy's shard is replicated to the next
+// `replication_factor - 1` distinct ring successors (ReplicaSetOf). Replica sets never
+// contain the owner and never contain duplicates — with a single proxy the set is
+// empty. ReplicaOf keeps the PR-1 single-successor view (the head of the set).
 
 #ifndef SRC_CORE_SHARD_MAP_H_
 #define SRC_CORE_SHARD_MAP_H_
@@ -30,18 +36,36 @@ const char* ShardPolicyName(ShardPolicy policy);
 
 class ShardMap {
  public:
-  ShardMap(int num_proxies, int total_sensors, ShardPolicy policy);
+  // `replication_factor` is the total copy count including the owner (K-way); the
+  // effective standby count is min(replication_factor - 1, num_proxies - 1).
+  ShardMap(int num_proxies, int total_sensors, ShardPolicy policy,
+           int replication_factor = 2);
 
   int OwnerOf(int global_sensor_index) const;
-  // Ring successor that holds the standby replica of `proxy_index`'s shard. With a
-  // single proxy there is nowhere to replicate; returns `proxy_index` itself.
+
+  // Ordered standby successors holding replicas of `proxy_index`'s shard: the next
+  // replication_factor - 1 distinct proxies on the ring. Excludes the owner, deduped;
+  // empty when there is nowhere to replicate (single proxy).
+  const std::vector<int>& ReplicaSetOf(int proxy_index) const;
+
+  // First standby replica (PR-1 compatibility view of the set). With a single proxy
+  // there is nowhere to replicate; returns `proxy_index` itself.
   int ReplicaOf(int proxy_index) const;
+
   // Global sensor indices owned by `proxy_index`, ascending.
   const std::vector<int>& SensorsOf(int proxy_index) const;
+
+  // Reassigns one sensor to `new_owner` and bumps version(). Returns false (no
+  // version bump) when `new_owner` already owns the sensor.
+  bool MigrateSensor(int global_sensor_index, int new_owner);
+
+  // Monotone mutation counter: 0 at construction, +1 per successful MigrateSensor.
+  uint64_t version() const { return version_; }
 
   int num_proxies() const { return num_proxies_; }
   int total_sensors() const { return total_sensors_; }
   ShardPolicy policy() const { return policy_; }
+  int replication_factor() const { return replication_factor_; }
 
   // Shard balance introspection (benches report the spread).
   int MinShardSize() const;
@@ -51,8 +75,11 @@ class ShardMap {
   int num_proxies_;
   int total_sensors_;
   ShardPolicy policy_;
-  std::vector<int> owner_;                    // global index -> proxy index
-  std::vector<std::vector<int>> by_proxy_;    // proxy index -> owned global indices
+  int replication_factor_;
+  uint64_t version_ = 0;
+  std::vector<int> owner_;                     // global index -> proxy index
+  std::vector<std::vector<int>> by_proxy_;     // proxy index -> owned global indices
+  std::vector<std::vector<int>> replica_set_;  // proxy index -> standby successors
 };
 
 }  // namespace presto

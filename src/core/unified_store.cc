@@ -20,8 +20,14 @@ void UnifiedStore::AddProxy(ProxyNode* proxy) {
   }
 }
 
-void UnifiedStore::SetReplicaOf(NodeId primary, NodeId replica) {
-  replica_of_[primary] = replica;
+void UnifiedStore::SetReplicaChain(NodeId primary, std::vector<NodeId> chain) {
+  replicas_of_[primary] = std::move(chain);
+}
+
+void UnifiedStore::ReassignSensor(NodeId sensor_id, NodeId new_proxy) {
+  PRESTO_CHECK_MSG(FindProxy(new_proxy) != nullptr, "reassigning to an unknown proxy");
+  index_.Insert(sensor_id, new_proxy);  // overwrites the previous registration
+  ++stats_.reassignments;
 }
 
 ProxyNode* UnifiedStore::FindProxy(NodeId proxy_id) const {
@@ -53,13 +59,27 @@ void UnifiedStore::Query(const QuerySpec& spec,
   NodeId proxy_id = static_cast<NodeId>(search.value);
   bool used_replica = false;
   if (net_->IsNodeDown(proxy_id)) {
-    auto replica = replica_of_.find(proxy_id);
-    if (replica != replica_of_.end() && !net_->IsNodeDown(replica->second)) {
-      proxy_id = replica->second;
+    // Walk the owner's failover chain to the first live proxy holding the sensor.
+    NodeId fallback = 0;
+    auto chain = replicas_of_.find(proxy_id);
+    if (chain != replicas_of_.end()) {
+      for (NodeId candidate : chain->second) {
+        if (net_->IsNodeDown(candidate)) {
+          continue;
+        }
+        ProxyNode* proxy = FindProxy(candidate);
+        if (proxy != nullptr && proxy->ManagesSensor(spec.sensor_id)) {
+          fallback = candidate;
+          break;
+        }
+      }
+    }
+    if (fallback != 0) {
+      proxy_id = fallback;
       used_replica = true;
       ++stats_.failovers;
     } else {
-      result.answer.status = UnavailableError("owning proxy (and replica) down");
+      result.answer.status = UnavailableError("owning proxy (and all replicas) down");
       result.completed_at = sim_->Now();
       callback(result);
       return;
@@ -82,13 +102,15 @@ void UnifiedStore::Query(const QuerySpec& spec,
   auto on_answer = [this, result, callback = std::move(callback),
                     route_delay](const QueryAnswer& answer) mutable {
     result.answer = answer;
-    sim_->ScheduleIn(route_delay, [this, result, callback = std::move(callback)]() mutable {
+    sim_->ScheduleIn(route_delay, [this, result,
+                                   callback = std::move(callback)]() mutable {
       result.completed_at = sim_->Now();
       callback(result);
     });
   };
 
-  sim_->ScheduleIn(route_delay, [proxy, spec, on_answer = std::move(on_answer)]() mutable {
+  sim_->ScheduleIn(route_delay, [proxy, spec,
+                                 on_answer = std::move(on_answer)]() mutable {
     if (spec.type == QueryType::kNow) {
       proxy->QueryNow(spec.sensor_id, spec.tolerance, spec.latency_bound,
                       std::move(on_answer));

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/core/types.h"
 #include "src/index/skip_graph.h"
@@ -24,6 +25,7 @@ struct UnifiedStoreStats {
   uint64_t failovers = 0;
   uint64_t unroutable = 0;
   uint64_t total_index_hops = 0;
+  uint64_t reassignments = 0;  // index re-points (promotion / migration / hand-back)
 };
 
 class UnifiedStore {
@@ -36,11 +38,17 @@ class UnifiedStore {
   // Indexes every sensor the proxy manages. Call after RegisterSensor on the proxy.
   void AddProxy(ProxyNode* proxy);
 
-  // Declares `replica` as the failover target for `primary`'s sensors.
-  void SetReplicaOf(NodeId primary, NodeId replica);
+  // Declares the ordered failover chain for `primary`'s sensors: when the owner is
+  // down, queries fall through to the first live chain member that holds the sensor.
+  void SetReplicaChain(NodeId primary, std::vector<NodeId> chain);
+
+  // Re-points the distributed index entry for one sensor at `new_proxy` — the
+  // index-registration half of a replica promotion, live migration, or hand-back.
+  void ReassignSensor(NodeId sensor_id, NodeId new_proxy);
 
   // Routes and executes a query; the callback fires when the answer is complete.
-  void Query(const QuerySpec& spec, std::function<void(const UnifiedQueryResult&)> callback);
+  void Query(const QuerySpec& spec,
+             std::function<void(const UnifiedQueryResult&)> callback);
 
   const UnifiedStoreStats& stats() const { return stats_; }
   int IndexSize() const { return static_cast<int>(index_.size()); }
@@ -53,7 +61,7 @@ class UnifiedStore {
   Duration per_hop_latency_;
   SkipGraph index_;  // sensor id -> owning proxy id
   std::map<NodeId, ProxyNode*> proxies_;
-  std::map<NodeId, NodeId> replica_of_;  // primary -> replica
+  std::map<NodeId, std::vector<NodeId>> replicas_of_;  // primary -> failover chain
   UnifiedStoreStats stats_;
 };
 

@@ -247,7 +247,8 @@ Status ArchiveStore::RunAgingPass() {
   return OkStatus();
 }
 
-Result<std::vector<Sample>> ArchiveStore::ReadSegment(const Segment& seg, TimeInterval range) {
+Result<std::vector<Sample>> ArchiveStore::ReadSegment(const Segment& seg,
+                                                      TimeInterval range) {
   std::vector<Sample> out;
   std::vector<uint8_t> page(static_cast<size_t>(device_->params().page_size_bytes));
   for (int p = 0; p < seg.pages_used; ++p) {

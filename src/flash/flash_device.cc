@@ -34,7 +34,8 @@ Status FlashDevice::ReadPage(int page, span<uint8_t> out) {
   std::copy_n(data_.begin() + static_cast<ptrdiff_t>(offset), params_.page_size_bytes,
               out.begin());
   ++stats_.page_reads;
-  Charge(EnergyComponent::kFlashRead, params_.read_page_energy_j, params_.read_page_latency);
+  Charge(EnergyComponent::kFlashRead, params_.read_page_energy_j,
+         params_.read_page_latency);
   return OkStatus();
 }
 
@@ -52,7 +53,8 @@ Status FlashDevice::WritePage(int page, span<const uint8_t> data) {
   std::copy(data.begin(), data.end(), data_.begin() + static_cast<ptrdiff_t>(offset));
   written_[static_cast<size_t>(page)] = true;
   ++stats_.page_writes;
-  Charge(EnergyComponent::kFlashWrite, params_.write_page_energy_j, params_.write_page_latency);
+  Charge(EnergyComponent::kFlashWrite, params_.write_page_energy_j,
+         params_.write_page_latency);
   return OkStatus();
 }
 
@@ -65,7 +67,8 @@ Status FlashDevice::EraseBlock(int block) {
     written_[static_cast<size_t>(p)] = false;
   }
   const size_t offset = static_cast<size_t>(first) * params_.page_size_bytes;
-  const size_t len = static_cast<size_t>(params_.pages_per_block) * params_.page_size_bytes;
+  const size_t len =
+      static_cast<size_t>(params_.pages_per_block) * params_.page_size_bytes;
   std::fill_n(data_.begin() + static_cast<ptrdiff_t>(offset), len, 0xFF);
   ++wear_[static_cast<size_t>(block)];
   ++stats_.block_erases;

@@ -7,7 +7,9 @@ namespace presto {
 namespace {
 
 // Millisecond-granularity delta encoding for archived timestamps.
-int64_t ToDeltaMs(SimTime later, SimTime earlier) { return (later - earlier) / kMillisecond; }
+int64_t ToDeltaMs(SimTime later, SimTime earlier) {
+  return (later - earlier) / kMillisecond;
+}
 
 }  // namespace
 

@@ -7,7 +7,8 @@
 
 namespace presto {
 
-DriftingClock::DriftingClock(Duration initial_offset, double drift_ppm, Duration jitter_std,
+DriftingClock::DriftingClock(Duration initial_offset, double drift_ppm,
+                             Duration jitter_std,
                              uint64_t seed)
     : offset_(initial_offset),
       drift_ppm_(drift_ppm),

@@ -10,7 +10,8 @@ namespace presto {
 
 // ---------- ArCore ----------
 
-Status ArCore::Fit(const std::vector<double>& values, SimTime last_sample_time, int order) {
+Status ArCore::Fit(const std::vector<double>& values, SimTime last_sample_time,
+                   int order) {
   PRESTO_CHECK(order >= 1);
   if (static_cast<int>(values.size()) < std::max(8, 4 * order)) {
     return FailedPreconditionError("AR fit: history too short");

@@ -116,7 +116,8 @@ std::vector<double> CholeskySolve(const Matrix& l, const std::vector<double>& b)
   return x;
 }
 
-Result<std::vector<double>> SolveSpd(Matrix a, const std::vector<double>& b, double ridge) {
+Result<std::vector<double>> SolveSpd(Matrix a, const std::vector<double>& b,
+                                     double ridge) {
   if (ridge > 0.0) {
     for (int i = 0; i < a.rows(); ++i) {
       a.At(i, i) += ridge;
@@ -148,7 +149,8 @@ Result<YuleWalkerFit> LevinsonDurbin(const std::vector<double>& autocov) {
     fit.phi[static_cast<size_t>(k - 1)] = reflection;
     for (int j = 1; j < k; ++j) {
       fit.phi[static_cast<size_t>(j - 1)] =
-          prev[static_cast<size_t>(j - 1)] - reflection * prev[static_cast<size_t>(k - j - 1)];
+          prev[static_cast<size_t>(j - 1)] -
+          reflection * prev[static_cast<size_t>(k - j - 1)];
     }
     error *= (1.0 - reflection * reflection);
     if (error <= 0.0) {
@@ -175,7 +177,8 @@ std::vector<double> Autocovariance(const std::vector<double>& x, int max_lag) {
   for (int lag = 0; lag <= max_lag && lag < n; ++lag) {
     double sum = 0.0;
     for (int i = 0; i + lag < n; ++i) {
-      sum += (x[static_cast<size_t>(i)] - mean) * (x[static_cast<size_t>(i + lag)] - mean);
+      sum += (x[static_cast<size_t>(i)] - mean) *
+             (x[static_cast<size_t>(i + lag)] - mean);
     }
     out[static_cast<size_t>(lag)] = sum / n;  // biased, guarantees a PSD sequence
   }

@@ -85,7 +85,8 @@ Status MarkovModel::Fit(const std::vector<Sample>& history) {
 
   // Transition counts with Laplace smoothing; empirical marginal.
   std::vector<std::vector<double>> counts(static_cast<size_t>(k),
-                                          std::vector<double>(static_cast<size_t>(k), 0.5));
+                                          std::vector<double>(static_cast<size_t>(k),
+                                                              0.5));
   marginal_.assign(static_cast<size_t>(k), 1e-6);
   int prev = StateOf(history[0].value);
   marginal_[static_cast<size_t>(prev)] += 1.0;

@@ -27,7 +27,8 @@ double SeasonalBins::ValueAt(SimTime t) const {
   const double frac = pos - std::floor(pos);
   const int a = ((lo % n) + n) % n;
   const int b = (a + 1) % n;
-  return means[static_cast<size_t>(a)] * (1.0 - frac) + means[static_cast<size_t>(b)] * frac;
+  return means[static_cast<size_t>(a)] * (1.0 - frac) +
+         means[static_cast<size_t>(b)] * frac;
 }
 
 double SeasonalBins::StddevAt(SimTime t) const {
@@ -208,7 +209,8 @@ Prediction LastValueModel::Predict(SimTime t) const {
   const double steps =
       static_cast<double>(t - anchor_.t) / static_cast<double>(config_.sample_period);
   const double grow = step_stddev_ * std::sqrt(std::max(steps, 0.0));
-  return Prediction{anchor_.value, std::min(std::max(grow, 1e-9), 2.0 * marginal_stddev_)};
+  return Prediction{anchor_.value, std::min(std::max(grow, 1e-9),
+                                            2.0 * marginal_stddev_)};
 }
 
 void LastValueModel::OnAnchor(const Sample& sample) {

@@ -38,7 +38,8 @@ class EnergyMeter {
     return totals_[static_cast<size_t>(c)];
   }
   double RadioTotal() const {
-    return Component(EnergyComponent::kRadioTx) + Component(EnergyComponent::kRadioListen) +
+    return Component(EnergyComponent::kRadioTx) +
+           Component(EnergyComponent::kRadioListen) +
            Component(EnergyComponent::kRadioSleep);
   }
 

@@ -52,6 +52,20 @@ void Network::SetNodeDown(NodeId id, bool down) {
     ChargeIdle(node);
   }
   node.down = down;
+  if (down) {
+    // Abandon coalescing batches this node is an endpoint of: a dead node's queued
+    // epoch traffic must not fire its flush later (inflating messages_dropped and the
+    // event fingerprint) — it never reached the radio in the first place.
+    for (auto it = pending_batches_.begin(); it != pending_batches_.end();) {
+      if (it->first.first == id || it->first.second == id) {
+        it->second.flush.Cancel();
+        ++stats_.batches_abandoned;
+        it = pending_batches_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 bool Network::IsNodeDown(NodeId id) const { return GetNode(id).down; }
@@ -112,7 +126,8 @@ void Network::ChargeListenWindow(NodeState& node, SimTime from, SimTime until) {
   if (until <= start) {
     return;
   }
-  node.meter->Charge(EnergyComponent::kRadioListen, params_.radio.ListenEnergy(until - start));
+  node.meter->Charge(EnergyComponent::kRadioListen,
+                     params_.radio.ListenEnergy(until - start));
   node.listen_charged_until = until;
 }
 
@@ -179,8 +194,8 @@ void Network::SendBatched(NodeId src_id, NodeId dst_id, uint16_t type,
   batch.queued.push_back(QueuedMessage{type, std::move(payload), sim_->Now()});
   if (batch.queued.size() == 1) {
     // The epoch opens at the first enqueue; later arrivals ride the same flush.
-    batch.flush = sim_->ScheduleIn(params_.batch_epoch,
-                                   [this, src_id, dst_id] { FlushBatch(src_id, dst_id); });
+    batch.flush = sim_->ScheduleIn(
+        params_.batch_epoch, [this, src_id, dst_id] { FlushBatch(src_id, dst_id); });
   }
 }
 
@@ -208,7 +223,8 @@ void Network::FlushBatch(NodeId src_id, NodeId dst_id) {
   Send(src_id, dst_id, kBatchFrameType, writer.TakeBuffer());
 }
 
-void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint8_t> payload) {
+void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
+                   std::vector<uint8_t> payload) {
   NodeState& src = GetNode(src_id);
   NodeState& dst = GetNode(dst_id);
 
@@ -312,7 +328,8 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint
   if (src.meter != nullptr && !src.config.powered) {
     src.meter->Charge(EnergyComponent::kRadioTx, src_tx_s * radio.tx_power_w);
     src.meter->Charge(EnergyComponent::kRadioListen, src_listen_s * radio.listen_power_w);
-    src.listen_until = std::max(src.listen_until, burst_end + src.config.post_burst_listen);
+    src.listen_until = std::max(src.listen_until,
+                                burst_end + src.config.post_burst_listen);
     ChargeListenWindow(src, burst_end, src.listen_until);
   }
   if (dst.meter != nullptr && !dst.config.powered && !dst.down) {
@@ -320,7 +337,8 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type, std::vector<uint
     dst.meter->Charge(EnergyComponent::kRadioTx, dst_tx_s * radio.tx_power_w);
     // A receiver that was woken stays awake for its own feedback window, making an
     // immediate reply cheap (the "active interaction" in §2 of the paper).
-    dst.listen_until = std::max(dst.listen_until, burst_end + dst.config.post_burst_listen);
+    dst.listen_until = std::max(dst.listen_until,
+                                burst_end + dst.config.post_burst_listen);
     ChargeListenWindow(dst, burst_end, dst.listen_until);
   }
 

@@ -53,7 +53,8 @@ class NetNode {
 };
 
 struct NodeRadioConfig {
-  bool powered = false;                     // tethered: always listening, energy unmetered
+  // Tethered: always listening, energy unmetered.
+  bool powered = false;
   Duration lpl_interval = Seconds(1);       // LPL check period when unpowered
   Duration post_burst_listen = Seconds(5);  // stay-awake window after sending a burst
 };
@@ -61,7 +62,8 @@ struct NodeRadioConfig {
 struct NetworkParams {
   RadioParams radio = Cc1000Radio();
   int max_retries = 5;
-  double default_frame_loss = 0.0;  // per-frame loss probability unless SetLinkLoss overrides
+  // Per-frame loss probability unless SetLinkLoss overrides.
+  double default_frame_loss = 0.0;
   Duration wired_latency = Millis(2);
   double wired_bit_rate_bps = 1e6;
   // SendBatched coalescing window: same-destination messages enqueued within this
@@ -89,6 +91,7 @@ struct NetStats {
   uint64_t wired_messages = 0;
   uint64_t batch_flushes = 0;      // coalesced transactions actually radiated
   uint64_t batched_messages = 0;   // application messages that rode a shared flush
+  uint64_t batches_abandoned = 0;  // pending batches dropped because an endpoint died
 };
 
 class Network {
@@ -99,7 +102,8 @@ class Network {
 
   // Registers a node. `meter` may be null (energy not tracked, e.g. powered proxies).
   // `node` must outlive the network or be detached before destruction.
-  void AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config, EnergyMeter* meter);
+  void AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config,
+                  EnergyMeter* meter);
 
   // Declares a wired (tethered) pair; messages between them use the wired path.
   void ConnectWired(NodeId a, NodeId b);
@@ -108,7 +112,10 @@ class Network {
   void SetLinkLoss(NodeId a, NodeId b, double per_frame_loss);
 
   // Failure injection: a down node neither receives nor sends (sends are dropped after
-  // the sender pays for its futile retries).
+  // the sender pays for its futile retries). Marking a node down abandons any pending
+  // coalescing batches it is an endpoint of — their flush timers are cancelled so a
+  // dead proxy's queued epoch traffic neither fires nor skews drop/fingerprint counts;
+  // the batches are tallied under stats().batches_abandoned instead.
   void SetNodeDown(NodeId id, bool down);
   bool IsNodeDown(NodeId id) const;
 

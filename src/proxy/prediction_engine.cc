@@ -8,7 +8,8 @@
 
 namespace presto {
 
-PredictionEngine::PredictionEngine(const PredictionEngineParams& params) : params_(params) {
+PredictionEngine::PredictionEngine(const PredictionEngineParams& params)
+    : params_(params) {
   PRESTO_CHECK(params_.min_training_samples >= 16);
   PRESTO_CHECK(params_.min_training_span > 0);
 }
@@ -50,9 +51,10 @@ std::vector<Sample> PredictionEngine::ResampleHistory() const {
     if (j + 1 < history_.size() && history_[j].t <= t) {
       const Sample& a = history_[j];
       const Sample& b = history_[j + 1];
-      const double frac = b.t == a.t
-                              ? 0.0
-                              : static_cast<double>(t - a.t) / static_cast<double>(b.t - a.t);
+      const double frac =
+          b.t == a.t
+              ? 0.0
+              : static_cast<double>(t - a.t) / static_cast<double>(b.t - a.t);
       v = a.value * (1.0 - frac) + b.value * frac;
     } else {
       v = history_[j].value;

@@ -35,11 +35,100 @@ ProxyNode::ProxyNode(Simulator* sim, Network* net, const ProxyNodeConfig& config
 }
 
 void ProxyNode::RegisterSensor(NodeId sensor_id, Duration sensing_period, bool replica) {
-  PRESTO_CHECK_MSG(sensors_.find(sensor_id) == sensors_.end(), "sensor already registered");
+  PRESTO_CHECK_MSG(sensors_.find(sensor_id) == sensors_.end(),
+                   "sensor already registered");
   auto state = std::make_unique<SensorState>(sensor_id, sensing_period, config_.engine,
                                              config_.matcher);
   state->is_replica = replica;
   sensors_.emplace(sensor_id, std::move(state));
+}
+
+void ProxyNode::UnregisterSensor(NodeId sensor_id) {
+  auto it = sensors_.find(sensor_id);
+  PRESTO_CHECK_MSG(it != sensors_.end(), "unregistering unknown sensor");
+  AbortPullsFor(sensor_id, UnavailableError("sensor migrated away from this proxy"));
+  sensors_.erase(it);
+}
+
+void ProxyNode::PromoteSensor(NodeId sensor_id) {
+  SensorState& sensor = GetSensor(sensor_id);
+  if (!sensor.is_replica) {
+    return;
+  }
+  sensor.is_replica = false;
+  // The new owner decides afresh when to (re)send a model to the sensor.
+  sensor.model_sent = false;
+  ++stats_.promotions;
+}
+
+void ProxyNode::DemoteSensor(NodeId sensor_id) {
+  SensorState& sensor = GetSensor(sensor_id);
+  if (sensor.is_replica) {
+    return;
+  }
+  AbortPullsFor(sensor_id, UnavailableError("ownership handed back during the pull"));
+  sensor.is_replica = true;
+  sensor.replica_targets.clear();
+  ++stats_.demotions;
+}
+
+void ProxyNode::SetReplicaTargets(NodeId sensor_id, std::vector<NodeId> targets) {
+  GetSensor(sensor_id).replica_targets = std::move(targets);
+}
+
+void ProxyNode::SendStateSnapshot(NodeId sensor_id, NodeId to_proxy, Duration history) {
+  SensorState& sensor = GetSensor(sensor_id);
+  const SimTime now = sim_->Now();
+  const std::vector<Sample> recent =
+      sensor.cache.Range(TimeInterval{now - history, now + 1});
+  if (!recent.empty()) {
+    ReplicaUpdateMsg msg;
+    msg.sensor_id = sensor_id;
+    msg.batch = EncodeIrregularBatch(recent);
+    net_->SendBatched(config_.id, to_proxy,
+                      static_cast<uint16_t>(MsgType::kReplicaUpdate),
+                      msg.Encode());
+  }
+  if (sensor.engine.has_model()) {
+    ReplicaModelMsg rep;
+    rep.sensor_id = sensor_id;
+    rep.tolerance = config_.default_tolerance;
+    rep.model_params = sensor.engine.model()->Serialize();
+    net_->SendBatched(config_.id, to_proxy, static_cast<uint16_t>(MsgType::kReplicaModel),
+                      rep.Encode());
+  }
+  ++stats_.snapshots_sent;
+}
+
+bool ProxyNode::IsReplicaFor(NodeId sensor_id) const {
+  const SensorState* s = FindSensor(sensor_id);
+  return s != nullptr && s->is_replica;
+}
+
+uint64_t ProxyNode::SensorWindowLoad(NodeId sensor_id) const {
+  const SensorState* s = FindSensor(sensor_id);
+  return s == nullptr ? 0 : s->window_queries + s->window_pushes;
+}
+
+void ProxyNode::ResetLoadWindow() {
+  for (auto& [id, sensor] : sensors_) {
+    (void)id;
+    sensor->window_queries = 0;
+    sensor->window_pushes = 0;
+  }
+}
+
+void ProxyNode::AbortPullsFor(NodeId sensor_id, const Status& status) {
+  for (auto it = pending_pulls_.begin(); it != pending_pulls_.end();) {
+    if (it->second.sensor_id != sensor_id) {
+      ++it;
+      continue;
+    }
+    PendingPull aborted = std::move(it->second);
+    it = pending_pulls_.erase(it);
+    aborted.timeout.Cancel();
+    FailPull(aborted, status);
+  }
 }
 
 void ProxyNode::Start() { maintenance_timer_.Start(config_.maintenance_period); }
@@ -157,6 +246,7 @@ void ProxyNode::HandleDataPush(const Message& message) {
 
   ++stats_.pushes_received;
   stats_.push_samples += corrected.size();
+  ++sensor.window_pushes;
   sensor.last_push = sim_->Now();
   for (const Sample& s : corrected) {
     sensor.cache.Insert(s.t, s.value, CacheSource::kPushed, sim_->Now());
@@ -166,7 +256,7 @@ void ProxyNode::HandleDataPush(const Message& message) {
     sensor.engine.MirrorAnchor(corrected.back());
     sensor.engine.NoteDeviationPush(sim_->Now());
   }
-  Replicate(sensor.id, corrected);
+  Replicate(sensor, corrected);
 
   if (config_.manage_models && config_.mode == ProxyMode::kPresto) {
     // A sensor still in bootstrap after we sent a model means the update was lost.
@@ -198,13 +288,17 @@ void ProxyNode::MaybeSendModel(SensorState& sensor) {
   sensor.last_model_send = sim_->Now();
   ++stats_.model_sends;
 
-  if (config_.enable_replication) {
+  if (config_.enable_replication && !sensor.replica_targets.empty()) {
+    // One encode; every replica gets the identical payload.
     ReplicaModelMsg rep;
     rep.sensor_id = sensor.id;
     rep.tolerance = msg.tolerance;
     rep.model_params = msg.model_params;
-    net_->SendBatched(config_.id, config_.replica_id,
-                      static_cast<uint16_t>(MsgType::kReplicaModel), rep.Encode());
+    const std::vector<uint8_t> encoded = rep.Encode();
+    for (NodeId target : sensor.replica_targets) {
+      net_->SendBatched(config_.id, target,
+                        static_cast<uint16_t>(MsgType::kReplicaModel), encoded);
+    }
   }
   PLOG_DEBUG("proxy %u: sent %zu-byte model to sensor %u (fit #%llu)", config_.id,
              msg.model_params.size(), sensor.id,
@@ -227,7 +321,8 @@ void ProxyNode::RunMaintenance() {
       auto update = sensor->matcher.Recommend(now);
       if (update.has_value()) {
         net_->SendBatched(config_.id, sensor->id,
-                          static_cast<uint16_t>(MsgType::kConfigUpdate), update->Encode());
+                          static_cast<uint16_t>(MsgType::kConfigUpdate),
+                          update->Encode());
         ++stats_.config_sends;
       }
     }
@@ -274,6 +369,7 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
   }
   SensorState& sensor = *it->second;
   sensor.matcher.NoteQuery(latency_bound, tolerance);
+  ++sensor.window_queries;
   if (sensor.is_replica) {
     ++stats_.degraded_answers;  // owner is down; we serve from replicated state
   }
@@ -346,7 +442,8 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
   IssuePull(sensor, range, tolerance, /*is_now=*/true, now, std::move(callback));
 }
 
-void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now, QueryCallback callback) {
+void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now,
+                                  QueryCallback callback) {
   QueryAnswer answer;
   answer.issued_at = now;
   answer.completed_at = now;
@@ -392,6 +489,7 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
   }
   SensorState& sensor = *it->second;
   sensor.matcher.NoteQuery(config_.pull_timeout, tolerance);
+  ++sensor.window_queries;
   if (sensor.is_replica) {
     ++stats_.degraded_answers;
   }
@@ -599,7 +697,8 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
   sensor.sync.AddBeacon(msg->local_send_time, message.sent_at);
 
   if (msg->status_code != static_cast<uint8_t>(StatusCode::kOk)) {
-    FailPull(pull, Status(static_cast<StatusCode>(msg->status_code), "archive pull failed"));
+    FailPull(pull, Status(static_cast<StatusCode>(msg->status_code),
+                          "archive pull failed"));
     return;
   }
   auto batch = DecodeBatch(msg->batch);
@@ -613,7 +712,7 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
     sensor.cache.Insert(s.t, s.value, CacheSource::kPulled, sim_->Now());
     sensor.engine.ObserveTraining(s);
   }
-  Replicate(sensor.id, corrected);
+  Replicate(sensor, corrected);
 
   CompletePullQuery(pull.is_now, pull.range, pull.issued_at, pull.callback, sensor,
                     corrected);
@@ -625,15 +724,21 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
 
 // ---------- replication ----------
 
-void ProxyNode::Replicate(NodeId sensor_id, const std::vector<Sample>& reference_samples) {
-  if (!config_.enable_replication || reference_samples.empty()) {
+void ProxyNode::Replicate(SensorState& sensor,
+                          const std::vector<Sample>& reference_samples) {
+  if (!config_.enable_replication || reference_samples.empty() ||
+      sensor.replica_targets.empty()) {
     return;
   }
+  // One encode; every target gets the identical payload.
   ReplicaUpdateMsg msg;
-  msg.sensor_id = sensor_id;
+  msg.sensor_id = sensor.id;
   msg.batch = EncodeIrregularBatch(reference_samples);
-  net_->SendBatched(config_.id, config_.replica_id,
-                    static_cast<uint16_t>(MsgType::kReplicaUpdate), msg.Encode());
+  const std::vector<uint8_t> encoded = msg.Encode();
+  for (NodeId target : sensor.replica_targets) {
+    net_->SendBatched(config_.id, target,
+                      static_cast<uint16_t>(MsgType::kReplicaUpdate), encoded);
+  }
   ++stats_.replica_updates;
 }
 

@@ -78,8 +78,8 @@ struct ProxyNodeConfig {
   double past_coverage_threshold = 0.75;
   bool manage_models = true;    // fit & install models (off for baseline architectures)
   bool enable_matcher = true;   // query-sensor matching reconfiguration
+  // Replicate owned-sensor state to the per-sensor replica targets (SetReplicaTargets).
   bool enable_replication = false;
-  NodeId replica_id = 0;
   uint64_t seed = 1;
 };
 
@@ -97,6 +97,9 @@ struct ProxyStats {
   uint64_t model_sends = 0;
   uint64_t config_sends = 0;
   uint64_t replica_updates = 0;
+  uint64_t promotions = 0;      // replica slots elevated to full ownership
+  uint64_t demotions = 0;       // ownerships handed back to replica duty
+  uint64_t snapshots_sent = 0;  // cache+model state transfers (migration / hand-back)
   SampleSet now_latency_ms;
   SampleSet past_latency_ms;
 };
@@ -112,6 +115,27 @@ class ProxyNode : public NetNode {
   // updates and serves failover queries, but is not indexed as this proxy's own and
   // is excluded from model management / matcher control traffic.
   void RegisterSensor(NodeId sensor_id, Duration sensing_period, bool replica = false);
+
+  // Drops a sensor's state entirely (its shard moved away and this proxy is no longer
+  // owner or replica). In-flight pulls for the sensor fail with kUnavailable.
+  void UnregisterSensor(NodeId sensor_id);
+
+  // Replica -> full owner: the sensor's state is kept and this proxy takes over pulls,
+  // model management, and matcher control (failover promotion / migration landing).
+  void PromoteSensor(NodeId sensor_id);
+
+  // Full owner -> replica: keeps state as standby, stops pulling and managing. Any
+  // in-flight pulls for the sensor are failed (the new owner re-pulls on demand).
+  void DemoteSensor(NodeId sensor_id);
+
+  // Declares where this proxy replicates `sensor_id`'s pushed/pulled state and models
+  // (K-way replica set of the sensor's shard; empty disables replication for it).
+  void SetReplicaTargets(NodeId sensor_id, std::vector<NodeId> targets);
+
+  // Ships a cache snapshot (last `history` of reference samples) plus the current
+  // model to `to_proxy` over the wired mesh — the state-transfer half of a migration
+  // or a revive hand-back.
+  void SendStateSnapshot(NodeId sensor_id, NodeId to_proxy, Duration history);
 
   // Starts maintenance (model management, matcher) — call once after wiring.
   void Start();
@@ -131,6 +155,12 @@ class ProxyNode : public NetNode {
   // Sensors this proxy *owns* (excludes replica registrations).
   std::vector<NodeId> sensors() const;
   bool ManagesSensor(NodeId sensor_id) const { return sensors_.count(sensor_id) > 0; }
+  // True when this proxy holds only standby (replica) state for the sensor.
+  bool IsReplicaFor(NodeId sensor_id) const;
+  // Queries + pushes seen for this sensor since the last ResetLoadWindow() — the
+  // per-shard counters the deployment's rebalancer weighs migrations with.
+  uint64_t SensorWindowLoad(NodeId sensor_id) const;
+  void ResetLoadWindow();
   const SummaryCache* cache(NodeId sensor_id) const;
   const PredictionEngine* engine(NodeId sensor_id) const;
   Result<double> SyncResidualRms(NodeId sensor_id) const;
@@ -150,8 +180,12 @@ class ProxyNode : public NetNode {
     bool model_sent = false;
     SimTime last_model_send = 0;
     SimTime last_push = 0;
+    std::vector<NodeId> replica_targets;  // where the owner mirrors state/models
+    uint64_t window_queries = 0;          // load counters since last ResetLoadWindow
+    uint64_t window_pushes = 0;
 
-    SensorState(NodeId sensor_id, Duration period, const PredictionEngineParams& engine_params,
+    SensorState(NodeId sensor_id, Duration period,
+                const PredictionEngineParams& engine_params,
                 const MatcherParams& matcher_params)
         : id(sensor_id), sensing_period(period), engine(engine_params),
           matcher(matcher_params) {}
@@ -203,7 +237,9 @@ class ProxyNode : public NetNode {
   // Fails the pull's originator and every rider with `status`.
   void FailPull(const PendingPull& pull, const Status& status);
   void Answer(const QueryAnswer& answer, const QueryCallback& callback, bool is_now);
-  void Replicate(NodeId sensor_id, const std::vector<Sample>& reference_samples);
+  void Replicate(SensorState& sensor, const std::vector<Sample>& reference_samples);
+  // Fails and removes every pending pull addressed to `sensor_id`.
+  void AbortPullsFor(NodeId sensor_id, const Status& status);
 
   // Converts a local-time batch to reference time using the sensor's sync state.
   std::vector<Sample> CorrectTimestamps(SensorState& sensor,

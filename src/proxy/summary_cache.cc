@@ -42,8 +42,8 @@ void SummaryCache::Insert(SimTime t, double value, CacheSource source,
   }
 }
 
-std::optional<std::pair<SimTime, CachedValue>> SummaryCache::Nearest(SimTime t,
-                                                                     Duration max_gap) const {
+std::optional<std::pair<SimTime, CachedValue>> SummaryCache::Nearest(
+    SimTime t, Duration max_gap) const {
   if (entries_.empty()) {
     return std::nullopt;
   }
@@ -89,7 +89,8 @@ std::vector<SummaryCache::Entry> SummaryCache::RangeEntries(TimeInterval range) 
   return out;
 }
 
-double SummaryCache::CoverageFraction(TimeInterval range, Duration expected_period) const {
+double SummaryCache::CoverageFraction(TimeInterval range,
+                                      Duration expected_period) const {
   PRESTO_CHECK(expected_period > 0);
   const int64_t expected = std::max<int64_t>(1, range.Length() / expected_period);
   int64_t have = 0;

@@ -50,7 +50,8 @@ class SummaryCache {
   void Insert(SimTime t, double value, CacheSource source, SimTime inserted_at = 0);
 
   // Entry closest to `t` within `max_gap` (either side).
-  std::optional<std::pair<SimTime, CachedValue>> Nearest(SimTime t, Duration max_gap) const;
+  std::optional<std::pair<SimTime, CachedValue>> Nearest(SimTime t,
+                                                         Duration max_gap) const;
 
   // Most recent entry.
   std::optional<std::pair<SimTime, CachedValue>> Latest() const;

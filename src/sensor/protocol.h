@@ -60,7 +60,8 @@ const char* PushPolicyName(PushPolicy policy);
 struct DataPushMsg {
   PushReason reason = PushReason::kBootstrap;
   SimTime local_send_time = 0;  // sensor clock at send; doubles as a sync beacon
-  std::vector<uint8_t> batch;   // wavelet/raw batch blob (timestamps in sensor-local time)
+  // Wavelet/raw batch blob (timestamps in sensor-local time).
+  std::vector<uint8_t> batch;
 
   std::vector<uint8_t> Encode() const;
   static Result<DataPushMsg> Decode(span<const uint8_t> bytes);

@@ -54,7 +54,8 @@ void SensorNode::OnSensingTick() {
   if (config_.archive_enabled) {
     const Status st = archive_.Append(sample);
     if (!st.ok()) {
-      PLOG_WARN("sensor %u: archive append failed: %s", config_.id, st.ToString().c_str());
+      PLOG_WARN("sensor %u: archive append failed: %s", config_.id,
+                st.ToString().c_str());
     }
   }
 
@@ -66,7 +67,8 @@ void SensorNode::OnSensingTick() {
       break;
     case PushPolicy::kValueDriven: {
       ChargeCpu(4);
-      if (!has_pushed_value_ || std::abs(value - last_pushed_value_) > config_.value_delta) {
+      if (!has_pushed_value_ ||
+          std::abs(value - last_pushed_value_) > config_.value_delta) {
         last_pushed_value_ = value;
         has_pushed_value_ = true;
         PushSamples(PushReason::kValueDelta, {sample});
@@ -116,8 +118,8 @@ void SensorNode::FlushBatch() {
   PushSamples(PushReason::kBatch, batch);
 }
 
-std::vector<uint8_t> SensorNode::EncodeBatchPayload(const std::vector<Sample>& local_samples,
-                                                    bool try_compress) {
+std::vector<uint8_t> SensorNode::EncodeBatchPayload(
+    const std::vector<Sample>& local_samples, bool try_compress) {
   PRESTO_CHECK(!local_samples.empty());
   const SimTime start = local_samples.front().t;
   const std::vector<double> values = ValuesOf(local_samples);
@@ -125,7 +127,8 @@ std::vector<uint8_t> SensorNode::EncodeBatchPayload(const std::vector<Sample>& l
   // Wavelet compression pays off only with enough samples to decompose.
   if (try_compress && local_samples.size() >= 16) {
     ChargeCpu(CompressCostOps(values.size(), config_.codec));
-    auto compressed = EncodeWaveletBatch(start, config_.sensing_period, values, config_.codec);
+    auto compressed = EncodeWaveletBatch(start, config_.sensing_period, values,
+                                         config_.codec);
     if (compressed.ok() && compressed->size() < raw.size()) {
       stats_.compressed_bytes += compressed->size();
       stats_.uncompressed_bytes += raw.size();
@@ -137,15 +140,16 @@ std::vector<uint8_t> SensorNode::EncodeBatchPayload(const std::vector<Sample>& l
   return raw;
 }
 
-void SensorNode::PushSamples(PushReason reason, const std::vector<Sample>& local_samples) {
+void SensorNode::PushSamples(PushReason reason,
+                             const std::vector<Sample>& local_samples) {
   DataPushMsg msg;
   msg.reason = reason;
   msg.local_send_time = clock_.LocalTime(sim_->Now());
   msg.batch = EncodeBatchPayload(local_samples, config_.compress);
   ++stats_.pushes;
   stats_.pushed_samples += local_samples.size();
-  net_->SendBatched(config_.id, config_.proxy_id, static_cast<uint16_t>(MsgType::kDataPush),
-             msg.Encode());
+  net_->SendBatched(config_.id, config_.proxy_id,
+                    static_cast<uint16_t>(MsgType::kDataPush), msg.Encode());
 }
 
 void SensorNode::OnMessage(const Message& message) {
@@ -302,8 +306,7 @@ void SensorNode::HandleArchiveQuery(const Message& message) {
   }
   reply.local_send_time = clock_.LocalTime(sim_->Now());
   net_->SendBatched(config_.id, config_.proxy_id,
-                    static_cast<uint16_t>(MsgType::kArchiveReply),
-             reply.Encode());
+                    static_cast<uint16_t>(MsgType::kArchiveReply), reply.Encode());
 }
 
 }  // namespace presto

@@ -76,6 +76,10 @@ class SensorNode : public NetNode {
 
   void OnMessage(const Message& message) override;
 
+  // Re-points pushes/replies at a new proxy (ownership migration or failover
+  // promotion: the acting owner takes over this sensor's reporting).
+  void SetProxy(NodeId proxy_id) { config_.proxy_id = proxy_id; }
+
   struct Stats {
     uint64_t samples = 0;
     uint64_t pushes = 0;           // push messages sent

@@ -7,7 +7,8 @@ namespace presto {
 
 void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
   if (msg != nullptr && msg[0] != '\0') {
-    std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s (%s)\n", file, line, expr, msg);
+    std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s (%s)\n", file, line, expr,
+                 msg);
   } else {
     std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s\n", file, line, expr);
   }

@@ -11,7 +11,8 @@ namespace presto {
 
 // Prints a diagnostic to stderr and aborts. Used by the PRESTO_CHECK family; callers
 // normally never invoke this directly.
-[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* msg);
 
 }  // namespace presto
 

@@ -37,7 +37,9 @@ class BitWriter {
     WriteBits(0, 1);
   }
 
-  size_t bit_size() const { return bytes_.size() * 8 - (bit_pos_ == 0 ? 0 : 8 - bit_pos_); }
+  size_t bit_size() const {
+    return bytes_.size() * 8 - (bit_pos_ == 0 ? 0 : 8 - bit_pos_);
+  }
   const std::vector<uint8_t>& bytes() const { return bytes_; }
   std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
 

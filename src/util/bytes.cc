@@ -40,7 +40,8 @@ void ByteWriter::WriteVarU64(uint64_t v) {
 }
 
 void ByteWriter::WriteVarI64(int64_t v) {
-  const uint64_t zigzag = (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
   WriteVarU64(zigzag);
 }
 

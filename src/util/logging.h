@@ -16,7 +16,8 @@ void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 // Core sink; prefer the PLOG_* macros which skip argument evaluation when disabled.
-void LogMessage(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void LogMessage(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2,
+                                                                            3)));
 
 }  // namespace presto
 

@@ -19,7 +19,8 @@ namespace presto {
 // tell the caller *what to do*, not describe the failure (the message does that).
 enum class StatusCode {
   kOk = 0,
-  kNotFound,            // the requested datum does not exist (e.g. time range never archived)
+  // The requested datum does not exist (e.g. a time range never archived).
+  kNotFound,
   kInvalidArgument,     // caller passed something malformed
   kResourceExhausted,   // out of storage / queue space / energy budget
   kUnavailable,         // transient: node asleep, link down, proxy failed over
@@ -37,7 +38,8 @@ const char* StatusCodeName(StatusCode code);
 class Status {
  public:
   Status() : code_(StatusCode::kOk) {}
-  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
 
   static Status Ok() { return Status(); }
 
@@ -74,8 +76,10 @@ class Result {
  public:
   // Implicit from value and from Status so `return value;` / `return NotFoundError(...)`
   // both work, as with absl::StatusOr.
-  Result(T value) : value_(std::move(value)) {}             // NOLINT(google-explicit-constructor)
-  Result(Status status) : status_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
     PRESTO_CHECK_MSG(!status_.ok(), "Result constructed from OK status without a value");
   }
 

@@ -17,7 +17,8 @@ std::string FormatTime(SimTime t) {
   const int64_t seconds = (t % kMinute) / kSecond;
   const int64_t millis = (t % kSecond) / kMillisecond;
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+  std::snprintf(buf, sizeof(buf),
+                "%s%" PRId64 "d %02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
                 negative ? "-" : "", days, hours, minutes, seconds, millis);
   return buf;
 }

@@ -12,7 +12,8 @@
 
 namespace presto {
 
-// Absolute simulated time in microseconds. 2^63 us ~ 292k years; overflow is not a concern.
+// Absolute simulated time in microseconds. 2^63 us ~ 292k years; overflow is not
+// a concern.
 using SimTime = int64_t;
 
 // A span of simulated time in microseconds.

@@ -45,7 +45,9 @@ class span {
   constexpr T* begin() const noexcept { return data_; }
   constexpr T* end() const noexcept { return data_ + size_; }
 
-  constexpr span subspan(size_t offset) const { return span(data_ + offset, size_ - offset); }
+  constexpr span subspan(size_t offset) const {
+    return span(data_ + offset, size_ - offset);
+  }
   constexpr span subspan(size_t offset, size_t count) const {
     return span(data_ + offset, count);
   }

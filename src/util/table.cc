@@ -7,7 +7,9 @@
 
 namespace presto {
 
-void TextTable::SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
 
 void TextTable::AddRow(std::vector<std::string> cells) {
   PRESTO_CHECK_MSG(header_.empty() || cells.size() == header_.size(),

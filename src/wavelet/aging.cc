@@ -7,7 +7,8 @@
 
 namespace presto {
 
-std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples, int factor) {
+std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples,
+                                          int factor) {
   if (samples.empty() || factor <= 1) {
     return samples;
   }
@@ -35,7 +36,8 @@ std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples, in
   return out;
 }
 
-std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse, Duration grid_period,
+std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse,
+                                   Duration grid_period,
                                    SimTime start, size_t count) {
   PRESTO_CHECK(grid_period > 0);
   std::vector<Sample> out;

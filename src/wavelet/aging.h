@@ -19,7 +19,8 @@ std::vector<Sample> WaveletAgingSummarize(const std::vector<Sample>& samples, in
 
 // Reconstruction helper for analysis/benches: upsamples an aged (coarse) series back to
 // a target grid with step interpolation, for error-vs-age measurements.
-std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse, Duration grid_period,
+std::vector<Sample> UpsampleToGrid(const std::vector<Sample>& coarse,
+                                   Duration grid_period,
                                    SimTime start, size_t count);
 
 }  // namespace presto

@@ -55,7 +55,8 @@ double SurveillanceWorkload::ReadingAt(int sensor, SimTime t) {
   Extend(t);
   double reading =
       params_.background_level *
-      (0.7 + 0.3 * HashUniform(params_.seed ^ static_cast<uint64_t>(sensor), t / kMinute));
+      (0.7 + 0.3 * HashUniform(params_.seed ^ static_cast<uint64_t>(sensor),
+                               t / kMinute));
   for (const IntrusionEvent& e : events_) {
     if (e.start > t) {
       break;
@@ -65,8 +66,9 @@ double SurveillanceWorkload::ReadingAt(int sensor, SimTime t) {
     }
     // Which leg of the path is the intruder on?
     const Duration leg = e.duration / static_cast<Duration>(e.path.size());
-    const size_t idx = std::min(static_cast<size_t>((t - e.start) / std::max<Duration>(leg, 1)),
-                                e.path.size() - 1);
+    const size_t idx =
+        std::min(static_cast<size_t>((t - e.start) / std::max<Duration>(leg, 1)),
+                 e.path.size() - 1);
     if (e.path[idx] == sensor) {
       reading = params_.detection_level;
     }

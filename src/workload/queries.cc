@@ -35,8 +35,9 @@ std::vector<QueryRequest> GenerateQueries(const QueryWorkloadParams& params,
     q.tolerance = rng.Uniform(params.min_tolerance, params.max_tolerance);
     q.latency_bound =
         params.min_latency +
-        static_cast<Duration>(rng.NextDouble() *
-                              static_cast<double>(params.max_latency - params.min_latency));
+        static_cast<Duration>(
+            rng.NextDouble() *
+            static_cast<double>(params.max_latency - params.min_latency));
     out.push_back(q);
   }
   return out;

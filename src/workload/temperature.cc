@@ -155,7 +155,8 @@ double TemperatureField::TruthAt(int node, SimTime t) {
   const double shared = shared_->ValueAt(t);
   const double indep = n.independent->ValueAt(t);
   const double events = n.own_events->ValueAt(t);
-  return shared + n.offset + std::sqrt(1.0 - correlation_ * correlation_) * indep + events;
+  return shared + n.offset + std::sqrt(1.0 - correlation_ * correlation_) * indep +
+         events;
 }
 
 double TemperatureField::MeasureAt(int node, SimTime t) {

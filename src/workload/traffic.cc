@@ -13,11 +13,13 @@ TrafficGenerator::TrafficGenerator(const TrafficParams& params)
 double TrafficGenerator::RatePerHour(SimTime t) const {
   const double tod = static_cast<double>(t % kDay);
   auto bump = [&](Duration peak) {
-    const double d = (tod - static_cast<double>(peak)) / static_cast<double>(params_.peak_width);
+    const double d =
+        (tod - static_cast<double>(peak)) / static_cast<double>(params_.peak_width);
     return std::exp(-0.5 * d * d);
   };
   return params_.base_rate_per_hour +
-         params_.rush_peak_per_hour * (bump(params_.morning_peak) + bump(params_.evening_peak));
+         params_.rush_peak_per_hour *
+             (bump(params_.morning_peak) + bump(params_.evening_peak));
 }
 
 std::vector<Vehicle> TrafficGenerator::GenerateVehicles(TimeInterval interval) {
@@ -38,7 +40,8 @@ std::vector<Vehicle> TrafficGenerator::GenerateVehicles(TimeInterval interval) {
     Vehicle v;
     v.id = next_id_++;
     v.entry_time = t;
-    v.speed_m_s = std::max(3.0, rng_.Gaussian(params_.mean_speed_m_s, params_.speed_std_m_s));
+    v.speed_m_s = std::max(3.0, rng_.Gaussian(params_.mean_speed_m_s,
+                                              params_.speed_std_m_s));
     const double klass = rng_.NextDouble();
     if (klass < params_.bus_fraction) {
       v.klass = VehicleClass::kBus;
@@ -69,13 +72,14 @@ std::vector<std::vector<VehicleDetection>> TrafficGenerator::DetectionsAt(
   }
   for (auto& s : streams) {
     std::sort(s.begin(), s.end(),
-              [](const VehicleDetection& a, const VehicleDetection& b) { return a.t < b.t; });
+              [](const VehicleDetection& a,
+                 const VehicleDetection& b) { return a.t < b.t; });
   }
   return streams;
 }
 
-std::vector<Sample> TrafficGenerator::CountSeries(const std::vector<Vehicle>& vehicles,
-                                                  TimeInterval interval, Duration bin) const {
+std::vector<Sample> TrafficGenerator::CountSeries(
+    const std::vector<Vehicle>& vehicles, TimeInterval interval, Duration bin) const {
   PRESTO_CHECK(bin > 0);
   const size_t bins = static_cast<size_t>((interval.Length() + bin - 1) / bin);
   std::vector<Sample> out(bins);

@@ -1,9 +1,11 @@
 // Sharded multi-proxy deployment engine tests: shard-map assignment policies,
-// failover re-routing to replicas (degraded service), batched message pipelines,
-// pull coalescing, and deterministic replay of a multi-proxy run.
+// K-way replica sets, failover re-routing with replica promotion, live sensor
+// migration and load-aware rebalancing, batched message pipelines, pull coalescing,
+// and deterministic replay of a multi-proxy run.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <vector>
 
@@ -55,6 +57,60 @@ TEST(ShardMapTest, ReplicaRingWrapsAround) {
   EXPECT_EQ(map.ReplicaOf(2), 0);
   ShardMap solo(1, 4, ShardPolicy::kGeographic);
   EXPECT_EQ(solo.ReplicaOf(0), 0);  // nowhere else to go
+}
+
+TEST(ShardMapTest, GeographicRemainderLeavesNoEmptyShards) {
+  // Regression: the old ceil-block split (g / ceil(6/4) = g / 2) gave proxy 3
+  // nothing at 6 sensors x 4 proxies. Balanced blocks differ by at most one.
+  ShardMap map(4, 6, ShardPolicy::kGeographic);
+  EXPECT_EQ(map.MinShardSize(), 1);
+  EXPECT_EQ(map.MaxShardSize(), 2);
+  EXPECT_EQ(map.OwnerOf(0), 0);
+  EXPECT_EQ(map.OwnerOf(1), 0);
+  EXPECT_EQ(map.OwnerOf(2), 1);
+  EXPECT_EQ(map.OwnerOf(3), 1);
+  EXPECT_EQ(map.OwnerOf(4), 2);
+  EXPECT_EQ(map.OwnerOf(5), 3);
+
+  ShardMap big(7, 30, ShardPolicy::kGeographic);  // 30 = 7*4 + 2
+  EXPECT_EQ(big.MinShardSize(), 4);
+  EXPECT_EQ(big.MaxShardSize(), 5);
+  for (int g = 1; g < 30; ++g) {
+    EXPECT_GE(big.OwnerOf(g), big.OwnerOf(g - 1)) << "blocks must stay contiguous";
+  }
+}
+
+TEST(ShardMapTest, ReplicaSetsExcludeOwnerAndDedupe) {
+  ShardMap map(4, 8, ShardPolicy::kGeographic, /*replication_factor=*/3);
+  for (int p = 0; p < 4; ++p) {
+    const std::vector<int>& set = map.ReplicaSetOf(p);
+    ASSERT_EQ(set.size(), 2u);
+    std::set<int> unique(set.begin(), set.end());
+    EXPECT_EQ(unique.size(), set.size()) << "replica set has duplicates";
+    EXPECT_EQ(unique.count(p), 0u) << "replica set contains its owner";
+  }
+  EXPECT_EQ(map.ReplicaOf(3), 0);  // head of the set still wraps the ring
+
+  // Regression: a replication factor larger than the cluster clamps instead of
+  // wrapping the ring back onto the owner (the PR-1 self-replica hazard).
+  ShardMap clamped(2, 4, ShardPolicy::kGeographic, /*replication_factor=*/5);
+  EXPECT_EQ(clamped.ReplicaSetOf(0), std::vector<int>({1}));
+  EXPECT_EQ(clamped.ReplicaSetOf(1), std::vector<int>({0}));
+  ShardMap solo(1, 4, ShardPolicy::kGeographic, /*replication_factor=*/3);
+  EXPECT_TRUE(solo.ReplicaSetOf(0).empty());
+}
+
+TEST(ShardMapTest, MigrateSensorMovesOwnershipAndBumpsVersion) {
+  ShardMap map(2, 8, ShardPolicy::kGeographic);
+  EXPECT_EQ(map.version(), 0u);
+  EXPECT_TRUE(map.MigrateSensor(0, 1));
+  EXPECT_EQ(map.OwnerOf(0), 1);
+  EXPECT_EQ(map.version(), 1u);
+  EXPECT_EQ(map.SensorsOf(0).size(), 3u);
+  EXPECT_EQ(map.SensorsOf(1).size(), 5u);
+  EXPECT_TRUE(std::is_sorted(map.SensorsOf(1).begin(), map.SensorsOf(1).end()));
+  EXPECT_FALSE(map.MigrateSensor(0, 1)) << "no-op migration must not bump version";
+  EXPECT_EQ(map.version(), 1u);
 }
 
 // ---------- sharded deployment ----------
@@ -163,6 +219,306 @@ TEST(ShardedDeploymentTest, WithoutReplicationKilledShardIsUnavailable) {
   spec.sensor_id = Deployment::SensorId(0, 0);
   UnifiedQueryResult result = deployment.QueryAndWait(spec);
   EXPECT_EQ(result.answer.status.code(), StatusCode::kUnavailable);
+}
+
+// ---------- dynamic shard management ----------
+
+QuerySpec NowSpec(NodeId sensor_id, double tolerance) {
+  QuerySpec spec;
+  spec.type = QueryType::kNow;
+  spec.sensor_id = sensor_id;
+  spec.tolerance = tolerance;
+  return spec;
+}
+
+TEST(DynamicShardTest, LiveMigrationReroutesQueriesAndTransfersState) {
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.seed = 310;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  const int g = 1;  // geographic: owned by proxy 0
+  ASSERT_EQ(deployment.shard().OwnerOf(g), 0);
+  const NodeId id = deployment.GlobalSensorId(g);
+
+  deployment.MigrateSensor(g, 1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+
+  EXPECT_EQ(deployment.shard().OwnerOf(g), 1);
+  EXPECT_EQ(deployment.shard().version(), 1u);
+  EXPECT_EQ(deployment.shard_stats().migrations, 1u);
+  EXPECT_TRUE(deployment.proxy(1).ManagesSensor(id));
+  EXPECT_FALSE(deployment.proxy(1).IsReplicaFor(id)) << "new owner is not a standby";
+  // With K=2 the old owner stays on as the new owner's ring replica.
+  EXPECT_TRUE(deployment.proxy(0).IsReplicaFor(id));
+  EXPECT_GE(deployment.proxy(0).stats().snapshots_sent, 1u) << "state must transfer";
+
+  UnifiedQueryResult result = deployment.QueryAndWait(NowSpec(id, 2.0));
+  ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(1));
+  EXPECT_FALSE(result.used_replica);
+
+  // Pushes re-target the new owner: its per-sensor load counter starts moving.
+  const uint64_t before = deployment.proxy(1).SensorWindowLoad(id);
+  deployment.RunUntil(deployment.sim().Now() + Hours(6));
+  EXPECT_GT(deployment.proxy(1).SensorWindowLoad(id), before);
+}
+
+TEST(DynamicShardTest, DoubleProxyKillWithKTwoPromotesAndStaysAnswerable) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(5);
+  config.seed = 311;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(2));
+
+  // Kill two proxies whose shards fail over to disjoint replicas (0 -> 1, 2 -> 3).
+  deployment.KillProxy(0);
+  deployment.KillProxy(2);
+
+  // Degraded window: the replica chain serves immediately, before promotion.
+  {
+    const int g = deployment.shard().SensorsOf(0).front();
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+    EXPECT_TRUE(result.used_replica);
+    EXPECT_NE(result.answer.source, AnswerSource::kSensorPull);
+  }
+
+  // Past the promotion delay both orphaned shards have full owners again.
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_EQ(deployment.shard_stats().promotions, 4u);
+  EXPECT_GE(deployment.proxy(1).stats().promotions, 2u);
+  EXPECT_GE(deployment.proxy(3).stats().promotions, 2u);
+
+  int failures = 0;
+  for (int killed : {0, 2}) {
+    for (int g : deployment.shard().SensorsOf(killed)) {
+      EXPECT_EQ(deployment.ActingOwner(g), killed + 1);
+      UnifiedQueryResult result =
+          deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+      if (!result.answer.status.ok()) {
+        ++failures;
+        continue;
+      }
+      EXPECT_EQ(result.served_by, Deployment::ProxyId(killed + 1));
+      EXPECT_FALSE(result.used_replica) << "promoted owner serves first-class";
+    }
+  }
+  EXPECT_EQ(failures, 0) << "no failed queries on shards with a live replica";
+
+  // Unaffected shards never noticed.
+  for (int g : deployment.shard().SensorsOf(1)) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    ASSERT_TRUE(result.answer.status.ok());
+    EXPECT_EQ(result.served_by, Deployment::ProxyId(1));
+  }
+}
+
+TEST(DynamicShardTest, ReviveHandsOwnershipBackWithStateTransfer) {
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.promotion_delay = Seconds(5);
+  config.seed = 312;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  deployment.KillProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  const int g = deployment.shard().SensorsOf(0).front();
+  const NodeId id = deployment.GlobalSensorId(g);
+  EXPECT_EQ(deployment.ActingOwner(g), 1);
+  EXPECT_EQ(deployment.shard_stats().promotions, 2u);
+
+  const uint64_t snapshots_before = deployment.proxy(1).stats().snapshots_sent;
+  deployment.ReviveProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+
+  EXPECT_EQ(deployment.ActingOwner(g), 0);
+  EXPECT_EQ(deployment.shard_stats().handbacks, 2u);
+  EXPECT_GE(deployment.proxy(1).stats().snapshots_sent, snapshots_before + 2)
+      << "hand-back must ship cache/model state to the revived owner";
+  EXPECT_GE(deployment.proxy(1).stats().demotions, 2u);
+  EXPECT_TRUE(deployment.proxy(1).IsReplicaFor(id)) << "back to standby duty";
+
+  UnifiedQueryResult result = deployment.QueryAndWait(NowSpec(id, 3.0));
+  ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(0));
+  EXPECT_FALSE(result.used_replica);
+}
+
+TEST(DynamicShardTest, ActingOwnerFailureAndRevivalsReconcileOwnership) {
+  // Regression for two failover-sequence bugs: (a) an acting owner that is down when
+  // the shard is handed back kept phantom full ownership forever (two proxies
+  // managing the same sensor), and (b) a shard whose owner and replicas all died was
+  // never re-promoted when a replica revived.
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.promotion_delay = Seconds(5);
+  config.seed = 314;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  const int g0 = deployment.shard().SensorsOf(0).front();
+  const int g1 = deployment.shard().SensorsOf(1).front();
+
+  // Owner dies; the replica takes over shard 0.
+  deployment.KillProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  ASSERT_EQ(deployment.ActingOwner(g0), 1);
+
+  // The acting owner dies too: every copy of both shards is now dark.
+  deployment.KillProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+
+  // Reviving proxy 0 takes shard 0 home AND rescues stranded shard 1 by promotion.
+  deployment.ReviveProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_EQ(deployment.ActingOwner(g0), 0);
+  EXPECT_EQ(deployment.ActingOwner(g1), 0)
+      << "a revival must re-promote shards stranded with every replica down";
+  UnifiedQueryResult rescued = deployment.QueryAndWait(
+      NowSpec(deployment.GlobalSensorId(g1), 3.0));
+  ASSERT_TRUE(rescued.answer.status.ok()) << rescued.answer.status.ToString();
+  EXPECT_EQ(rescued.served_by, Deployment::ProxyId(0));
+
+  // Reviving proxy 1 hands shard 1 back and demotes its stale shard-0 ownership.
+  deployment.ReviveProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_EQ(deployment.ActingOwner(g1), 1);
+  EXPECT_TRUE(deployment.proxy(1).IsReplicaFor(deployment.GlobalSensorId(g0)))
+      << "phantom full ownership from the old promotion must be demoted";
+  UnifiedQueryResult home0 = deployment.QueryAndWait(
+      NowSpec(deployment.GlobalSensorId(g0), 3.0));
+  ASSERT_TRUE(home0.answer.status.ok());
+  EXPECT_EQ(home0.served_by, Deployment::ProxyId(0));
+  UnifiedQueryResult home1 = deployment.QueryAndWait(
+      NowSpec(deployment.GlobalSensorId(g1), 3.0));
+  ASSERT_TRUE(home1.answer.status.ok());
+  EXPECT_EQ(home1.served_by, Deployment::ProxyId(1));
+}
+
+TEST(DynamicShardTest, RevivedStandbyIsReArmedAndCaughtUp) {
+  // Regression: a replica that was down at promotion time was dropped from the
+  // acting owner's replica targets and never re-added on revival, so a later
+  // promotion would serve state frozen at its kill.
+  DeploymentConfig config;
+  config.num_proxies = 3;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.replication_factor = 3;  // shard 0 stands by on proxies 1 and 2
+  config.promotion_delay = Seconds(5);
+  config.seed = 315;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  const int g0 = deployment.shard().SensorsOf(0).front();
+  deployment.KillProxy(0);
+  deployment.KillProxy(2);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  ASSERT_EQ(deployment.ActingOwner(g0), 1) << "only live replica takes over";
+
+  // Standby 2 revives: the acting owner must re-arm it as a target and ship a
+  // catch-up snapshot for every sensor it stands by.
+  const uint64_t snapshots_before = deployment.proxy(1).stats().snapshots_sent;
+  deployment.ReviveProxy(2);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_GT(deployment.proxy(1).stats().snapshots_sent, snapshots_before)
+      << "revived standby must receive a catch-up snapshot";
+
+  // The refreshed standby can now carry the shard when the acting owner dies.
+  deployment.KillProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_EQ(deployment.ActingOwner(g0), 2);
+  UnifiedQueryResult result = deployment.QueryAndWait(
+      NowSpec(deployment.GlobalSensorId(g0), 3.0));
+  ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(2));
+}
+
+TEST(DynamicShardTest, ReviveRescueDoesNotPreemptPromotionWindow) {
+  // Regression: a revival elsewhere in the cluster used to rescue-promote every down
+  // proxy's shards immediately, erasing the modeled failure-detection delay.
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.promotion_delay = Minutes(2);
+  config.seed = 316;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  deployment.KillProxy(3);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(3));  // promoted to proxy 0
+  const int g1 = deployment.shard().SensorsOf(1).front();
+  deployment.KillProxy(1);  // detection window opens
+  deployment.ReviveProxy(3);
+  deployment.RunUntil(deployment.sim().Now() + Seconds(10));
+  EXPECT_EQ(deployment.ActingOwner(g1), 1)
+      << "rescue must not pre-empt an open promotion window";
+  deployment.RunUntil(deployment.sim().Now() + Minutes(3));
+  EXPECT_EQ(deployment.ActingOwner(g1), 2) << "scheduled promotion still fires";
+}
+
+TEST(DynamicShardTest, RebalancerDrainsOverloadedShard) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.enable_rebalancing = true;
+  config.rebalance_period = Minutes(10);
+  config.rebalance_max_moves = 2;
+  config.seed = 313;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  // Skewed interactive load: hammer shard 0's sensors across several rebalance
+  // windows; the sweep should migrate hot sensors off proxy 0.
+  for (int round = 0; round < 6; ++round) {
+    for (int rep = 0; rep < 8; ++rep) {
+      for (int g = 0; g < 4; ++g) {  // geographic: initial shard 0
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+      }
+    }
+    deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(14), 3.0));
+    deployment.RunUntil(deployment.sim().Now() + Minutes(11));
+  }
+
+  EXPECT_GT(deployment.shard_stats().rebalance_sweeps, 0u);
+  EXPECT_GT(deployment.shard_stats().migrations, 0u);
+  EXPECT_LT(deployment.shard().SensorsOf(0).size(), 4u)
+      << "hot sensors should have moved off the overloaded proxy";
+  EXPECT_GE(deployment.shard().MinShardSize(), 1);
+
+  // Every sensor still answers, wherever it landed.
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    EXPECT_TRUE(result.answer.status.ok())
+        << "sensor " << g << ": " << result.answer.status.ToString();
+    EXPECT_EQ(result.served_by,
+              Deployment::ProxyId(deployment.shard().OwnerOf(g)));
+  }
+  EXPECT_EQ(deployment.store().stats().unroutable, 0u);
 }
 
 // ---------- batched pipelines ----------
@@ -278,6 +634,54 @@ ReplayDigest RunReplay(uint64_t seed) {
   digest.energy = deployment.MeanSensorEnergy();
   digest.messages_sent = deployment.net().stats().messages_sent;
   return digest;
+}
+
+// Migration determinism: mid-run migrations, a kill/promotion cycle, a revive
+// hand-back, and a rebalancer sweep must all execute as simulator events, so the
+// same seed replays to the same fingerprint.
+ReplayDigest RunMigrationReplay(uint64_t seed) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 4;
+  config.shard_policy = ShardPolicy::kHash;
+  config.enable_replication = true;
+  config.replication_factor = 3;
+  config.promotion_delay = Seconds(10);
+  config.enable_rebalancing = true;
+  config.rebalance_period = Hours(2);
+  config.net.batch_epoch = Seconds(1);
+  config.seed = seed;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  deployment.MigrateSensor(0, deployment.shard().OwnerOf(0) == 3 ? 1 : 3);
+  deployment.MigrateSensor(5, deployment.shard().OwnerOf(5) == 2 ? 0 : 2);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(5));
+
+  ReplayDigest digest;
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 2.0));
+    digest.answers.push_back(result.answer.status.ok() ? result.answer.value : -1e9);
+  }
+  deployment.KillProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));  // past promotion
+  deployment.ReviveProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Hours(3));    // hand-back + a sweep
+
+  digest.fingerprint = deployment.sim().fingerprint();
+  digest.events = deployment.sim().events_executed();
+  digest.energy = deployment.MeanSensorEnergy();
+  digest.messages_sent = deployment.net().stats().messages_sent;
+  return digest;
+}
+
+TEST(ReplayTest, MidRunMigrationsReplayBitIdentically) {
+  const ReplayDigest a = RunMigrationReplay(309);
+  const ReplayDigest b = RunMigrationReplay(309);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_TRUE(a == b) << "same seed + same migrations must be bit-identical";
 }
 
 TEST(ReplayTest, FourProxyRunReplaysBitIdentically) {

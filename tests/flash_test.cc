@@ -340,7 +340,8 @@ TEST(ArchiveStoreTest, EmptyQueriesAndRanges) {
   FlashDevice dev(SmallFlash(), nullptr);
   ArchiveStore store(&dev, TestArchiveParams());
   EXPECT_EQ(store.RetainedRange().status().code(), StatusCode::kNotFound);
-  EXPECT_EQ(store.Query(TimeInterval{10, 5}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Query(TimeInterval{10, 5}).status().code(),
+            StatusCode::kInvalidArgument);
   auto empty = store.Query(TimeInterval{0, 100});
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->empty());

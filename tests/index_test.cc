@@ -151,7 +151,8 @@ TEST(TimeSyncTest, DriftingClockModel) {
 }
 
 TEST(TimeSyncTest, RegressionRecoversDriftAndOffset) {
-  DriftingClock clock(Seconds(3), /*drift_ppm=*/60.0, /*jitter_std=*/Millis(3), /*seed=*/2);
+  DriftingClock clock(Seconds(3), /*drift_ppm=*/60.0, /*jitter_std=*/Millis(3),
+                      /*seed=*/2);
   RegressionTimeSync sync;
   EXPECT_FALSE(sync.Ready());
   EXPECT_FALSE(sync.Correct(0).ok());

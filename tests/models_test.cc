@@ -270,7 +270,8 @@ TEST(MarkovModelTest, TracksRegimeSwitching) {
     if (rng.Bernoulli(0.01)) {
       level = level > 3.0 ? 1.0 : 5.0;
     }
-    history.push_back(Sample{static_cast<SimTime>(i) * kPeriod, level + rng.Gaussian(0, 0.1)});
+    history.push_back(
+        Sample{static_cast<SimTime>(i) * kPeriod, level + rng.Gaussian(0, 0.1)});
   }
   ModelConfig config = TestConfig();
   config.markov_states = 4;

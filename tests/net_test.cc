@@ -201,6 +201,46 @@ TEST(NetworkTest, BurstsFromOneSenderSerialize) {
   EXPECT_GT(h.proxy.messages[1].delivered_at, h.proxy.messages[0].delivered_at);
 }
 
+TEST(NetworkTest, NodeDownAbandonsItsPendingBatches) {
+  // Regression: queued epoch traffic of a killed node must not fire its flush timer
+  // later — that silently inflated messages_dropped and the event fingerprint.
+  Harness h;
+  h.params.batch_epoch = Seconds(2);
+  h.net = std::make_unique<Network>(&h.sim, h.params, /*seed=*/99);
+  NodeRadioConfig powered;
+  powered.powered = true;
+  h.net->AttachNode(1, &h.proxy, powered, nullptr);
+  NodeRadioConfig unpowered;
+  h.net->AttachNode(2, &h.sensor, unpowered, &h.sensor_meter);
+
+  h.net->SendBatched(2, 1, 7, {1});
+  h.net->SendBatched(2, 1, 7, {2});  // same epoch: one pending batch 2 -> 1
+  h.net->SetNodeDown(2, true);
+  h.sim.RunAll();
+
+  EXPECT_TRUE(h.proxy.messages.empty());
+  EXPECT_EQ(h.net->stats().batches_abandoned, 1u);
+  EXPECT_EQ(h.net->stats().messages_dropped, 0u)
+      << "abandoned batches never reached the radio, so they are not drops";
+  EXPECT_EQ(h.net->stats().batch_flushes, 0u);
+
+  // Batches where the dead node is the *destination* are abandoned too.
+  h.net->SetNodeDown(2, false);
+  h.net->SendBatched(1, 2, 7, {3});
+  h.net->SetNodeDown(2, true);
+  h.sim.RunAll();
+  EXPECT_EQ(h.net->stats().batches_abandoned, 2u);
+  EXPECT_TRUE(h.sensor.messages.empty());
+
+  // A revived node's fresh traffic batches normally again.
+  h.net->SetNodeDown(2, false);
+  h.net->SendBatched(2, 1, 7, {4});
+  h.net->SendBatched(2, 1, 7, {5});
+  h.sim.RunAll();
+  EXPECT_EQ(h.proxy.messages.size(), 2u);
+  EXPECT_EQ(h.net->stats().batch_flushes, 1u);
+}
+
 TEST(NetworkTest, PerLinkLossOverride) {
   Harness h(/*loss=*/0.0);
   h.net->SetLinkLoss(1, 2, 0.99);

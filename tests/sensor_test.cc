@@ -215,7 +215,8 @@ TEST(SensorNodeTest, ArchiveQueryOutsideDataIsNotFound) {
   rig.net->Send(1, 100, static_cast<uint16_t>(MsgType::kArchiveQuery), query.Encode());
   rig.sim.RunAll();
   ASSERT_EQ(rig.proxy.replies.size(), 1u);
-  EXPECT_EQ(rig.proxy.replies[0].status_code, static_cast<uint8_t>(StatusCode::kNotFound));
+  EXPECT_EQ(rig.proxy.replies[0].status_code,
+            static_cast<uint8_t>(StatusCode::kNotFound));
 }
 
 TEST(SensorNodeTest, ConfigUpdateRetunesSensing) {
@@ -264,7 +265,8 @@ TEST(SensorNodeTest, CompressionShrinksBatchPayloads) {
   update.compress = true;
   update.quant_step = 0.02;
   update.batch_interval = Hours(1);
-  comp_rig.net->Send(1, 100, static_cast<uint16_t>(MsgType::kConfigUpdate), update.Encode());
+  comp_rig.net->Send(1, 100, static_cast<uint16_t>(MsgType::kConfigUpdate),
+                     update.Encode());
   ConfigUpdateMsg raw_update;
   raw_update.fields = kCfgBatchInterval;
   raw_update.batch_interval = Hours(1);
