@@ -8,6 +8,12 @@
 // the replica is promoted to full owner — with zero failed queries; the table reports
 // both the first-answer recovery time and the promotion lag.
 //
+// Double-kill phase: the home proxy dies, its replica is promoted to acting owner,
+// then the acting owner dies too. Probes run both *inside* the second promotion
+// window (per-sensor chains must fall through to the recruited standby — the PR-2
+// known bug left this window unroutable) and after the second promotion; zero failed
+// queries are required at K=2.
+//
 // Rebalance phase: a skewed interactive workload hammers one shard; the load-aware
 // rebalancer must migrate hot sensors until the max/min per-proxy load ratio drops
 // to <= the configured bound (1.5).
@@ -15,6 +21,9 @@
 // The whole sweep is deterministic — representative cells are run twice and their
 // Simulator::fingerprint()s compared. The process exits non-zero if any availability,
 // balance, or determinism requirement is violated.
+//
+// `--smoke` runs a reduced grid (small cells, no 8/16-proxy rows) with the same
+// violation checks — the CI bench-smoke job's entry point.
 
 #include <cstdio>
 #include <string>
@@ -273,6 +282,79 @@ RebalanceResult RunRebalanceCell(int num_proxies, int total_sensors) {
   return out;
 }
 
+// ---------- double-kill: home proxy, then the acting owner ----------
+
+struct DoubleKillResult {
+  int probes = 0;
+  int failures_inside = 0;   // probes while the acting owner's promotion is pending
+  int failures_outside = 0;  // probes after the second promotion completed
+  int chain_answers = 0;     // inside-window answers served via the sensor chain
+  uint64_t promotions = 0;
+  uint64_t fingerprint = 0;
+};
+
+// Kills the home proxy, waits past its promotion, then kills the acting owner and
+// probes the orphaned shards inside *and* outside the second promotion window. With
+// per-sensor failover chains (and promotion-time standby recruiting) every probe
+// must answer at K=2.
+DoubleKillResult RunDoubleKillCell(int num_proxies, int total_sensors) {
+  DeploymentConfig config;
+  config.num_proxies = num_proxies;
+  config.sensors_per_proxy = total_sensors / num_proxies;
+  config.shard_policy = ShardPolicy::kGeographic;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(10);
+  config.seed = kSeed;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(20));
+
+  DoubleKillResult out;
+  deployment.KillProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Seconds(30));  // first promotion done
+  const int acting = deployment.ActingOwner(deployment.shard().SensorsOf(0).front());
+  deployment.KillProxy(acting);
+  const SimTime second_kill = deployment.sim().Now();
+
+  // Inside the acting owner's promotion window: shard 0 (twice orphaned) and the
+  // acting owner's own home shard must both ride their per-sensor chains.
+  for (int killed : {0, acting}) {
+    const std::vector<int>& shard = deployment.shard().SensorsOf(killed);
+    for (size_t i = 0; i < shard.size() && i < 8; ++i) {
+      ++out.probes;
+      UnifiedQueryResult result =
+          deployment.QueryAndWait(NowQuery(deployment, shard[i], 3.0));
+      if (!result.answer.status.ok()) {
+        ++out.failures_inside;
+      } else if (result.used_replica) {
+        ++out.chain_answers;
+      }
+    }
+  }
+
+  // Past the second promotion: first-class service from the re-promoted owner.
+  deployment.RunUntil(second_kill + Seconds(30));
+  for (int killed : {0, acting}) {
+    const std::vector<int>& shard = deployment.shard().SensorsOf(killed);
+    for (size_t i = 0; i < shard.size() && i < 16; ++i) {
+      ++out.probes;
+      UnifiedQueryResult result =
+          deployment.QueryAndWait(NowQuery(deployment, shard[i], 3.0));
+      if (!result.answer.status.ok()) {
+        ++out.failures_outside;
+      }
+      deployment.RunUntil(deployment.sim().Now() + Seconds(2));
+    }
+  }
+  out.promotions = deployment.shard_stats().promotions;
+  deployment.ReviveProxy(0);
+  deployment.ReviveProxy(acting);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(30));
+  out.fingerprint = deployment.sim().fingerprint();
+  return out;
+}
+
 std::string FmtMs(double ms) {
   if (ms < 0.0) {
     return "never";
@@ -284,12 +366,14 @@ std::string FmtMs(double ms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
   std::printf("PRESTO scale bench: sharded multi-proxy deployments with dynamic\n");
   std::printf("shard management (K-way replication, promotion, rebalancing).\n");
   std::printf("Two proxies are killed mid-run (one on 2-proxy cells); 'killed fail'\n");
-  std::printf("must be 0 with replication. Deterministic seed %llu.\n\n",
-              static_cast<unsigned long long>(kSeed));
+  std::printf("must be 0 with replication. Deterministic seed %llu.%s\n\n",
+              static_cast<unsigned long long>(kSeed),
+              smoke ? " [--smoke: reduced grid]" : "");
 
   struct Cell {
     int proxies;
@@ -298,16 +382,24 @@ int main() {
     bool replication;
     Duration batch_epoch;
   };
+  // The {4, 256, geographic, replicated} cell must stay at index 2 in both grids:
+  // the determinism check re-runs it by position.
   std::vector<Cell> cells = {
       {1, 64, ShardPolicy::kGeographic, false, 0},
       {2, 64, ShardPolicy::kGeographic, true, 0},
       {4, 256, ShardPolicy::kGeographic, true, 0},
-      {4, 256, ShardPolicy::kHash, true, 0},
-      {4, 256, ShardPolicy::kHash, false, 0},
-      {8, 512, ShardPolicy::kHash, true, Seconds(2)},
-      {16, 1024, ShardPolicy::kGeographic, true, Seconds(2)},
-      {16, 1024, ShardPolicy::kHash, true, Seconds(2)},
   };
+  if (!smoke) {
+    cells.push_back({4, 256, ShardPolicy::kHash, true, 0});
+    cells.push_back({4, 256, ShardPolicy::kHash, false, 0});
+    cells.push_back({8, 512, ShardPolicy::kHash, true, Seconds(2)});
+    cells.push_back({16, 1024, ShardPolicy::kGeographic, true, Seconds(2)});
+    cells.push_back({16, 1024, ShardPolicy::kHash, true, Seconds(2)});
+    // Promotion cost is O(shard) via the served-by index: a 16 x 4096 cell (256
+    // sensors per shard) runs its kill/promotion cycle without any full-population
+    // rescan on the kill path.
+    cells.push_back({16, 4096, ShardPolicy::kHash, true, Seconds(2)});
+  }
 
   int violations = 0;
 
@@ -346,6 +438,34 @@ int main() {
   std::printf("\n");
   table.Print();
   table.WriteCsvFile("scale_sharding.csv");
+
+  // --- double kill: home proxy, then its promoted acting owner ---
+  const int dk_proxies = smoke ? 4 : 8;
+  const int dk_sensors = smoke ? 64 : 256;
+  std::printf("\nDouble kill (%d proxies x %d sensors, K=2): home proxy, then the\n",
+              dk_proxies, dk_sensors);
+  std::printf("acting owner; probes inside and outside the promotion window:\n");
+  const DoubleKillResult dk = RunDoubleKillCell(dk_proxies, dk_sensors);
+  std::printf("  probes %d | failed inside window %d | failed after promotion %d |"
+              " chain answers %d | promotions %llu | fingerprint=%016llx\n",
+              dk.probes, dk.failures_inside, dk.failures_outside, dk.chain_answers,
+              static_cast<unsigned long long>(dk.promotions),
+              static_cast<unsigned long long>(dk.fingerprint));
+  if (dk.failures_inside > 0) {
+    std::printf("  VIOLATION: %d queries failed inside the acting owner's promotion"
+                " window (per-sensor chain did not fall through)\n",
+                dk.failures_inside);
+    ++violations;
+  }
+  if (dk.failures_outside > 0) {
+    std::printf("  VIOLATION: %d queries failed after the second promotion\n",
+                dk.failures_outside);
+    ++violations;
+  }
+  if (dk.chain_answers == 0) {
+    std::printf("  VIOLATION: no inside-window answer rode the failover chain\n");
+    ++violations;
+  }
 
   // --- rebalancing under a skewed workload ---
   std::printf("\nRebalancing sweep (4 proxies, skewed 80/20 workload, bound 1.5):\n");

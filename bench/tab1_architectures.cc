@@ -1,5 +1,5 @@
-// Reproduces Table 1 of the paper — the comparison of sensor-data architectures — as a
-// *measured* table: the same simulated world and query stream run under each
+// Reproduces Table 1 of the paper — the comparison of sensor-data architectures —
+// as a *measured* table: the same simulated world and query stream run under each
 // architecture row, with each qualitative column replaced by the metric it implies.
 //
 //   Diffusion/Cougar row  -> direct-query  (queries travel to sensors; no prediction)

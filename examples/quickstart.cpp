@@ -25,8 +25,10 @@ void PrintResult(const char* label, const UnifiedQueryResult& result) {
     std::printf("%-28s FAILED: %s\n", label, answer.status.ToString().c_str());
     return;
   }
-  std::printf("%-28s value=%6.2fC  source=%-12s  err<=%.2fC  latency=%s  via proxy %u%s\n",
-              label, answer.value, AnswerSourceName(answer.source), answer.error_estimate,
+  std::printf("%-28s value=%6.2fC  source=%-12s  err<=%.2fC  latency=%s  via proxy"
+              " %u%s\n",
+              label, answer.value, AnswerSourceName(answer.source),
+              answer.error_estimate,
               FormatDuration(result.Latency()).c_str(), result.served_by,
               result.used_replica ? " (replica)" : "");
 }
@@ -92,8 +94,8 @@ int main() {
               static_cast<unsigned long long>(s00.archive().stats().records_appended));
 
   const ProxyStats& proxy_stats = deployment.proxy(0).stats();
-  std::printf("proxy 1: %llu pushes received, %llu queries (%llu hits, %llu extrapolated, "
-              "%llu pulls), %llu model sends\n",
+  std::printf("proxy 1: %llu pushes received, %llu queries (%llu hits, "
+              "%llu extrapolated, %llu pulls), %llu model sends\n",
               static_cast<unsigned long long>(proxy_stats.pushes_received),
               static_cast<unsigned long long>(proxy_stats.queries),
               static_cast<unsigned long long>(proxy_stats.cache_hits),

@@ -48,7 +48,8 @@ int main() {
   });
   deployment.Start();
 
-  std::printf("== Surveillance: 8 motion sensors, model-driven push, flash forensics ==\n\n");
+  std::printf(
+      "== Surveillance: 8 motion sensors, model-driven push, flash forensics ==\n\n");
   deployment.RunUntil(Days(4));
 
   // --- 1. Did the intrusions reach the proxies as they happened? ---

@@ -24,7 +24,8 @@ using namespace presto;
 
 int main() {
   SetLogLevel(LogLevel::kWarn);
-  std::printf("== Traffic monitoring: rush-hour counts + ordered vehicle detections ==\n\n");
+  std::printf(
+      "== Traffic monitoring: rush-hour counts + ordered vehicle detections ==\n\n");
 
   // --- the vehicle world ---
   TrafficParams world;
@@ -103,10 +104,11 @@ int main() {
         continue;  // a one-hour window is plenty for the demo
       }
       const SimTime stamped = clock.LocalTime(det.t);
-      uncorrected[d].push_back(Detection{stamped, static_cast<uint32_t>(d), det.vehicle_id});
+      uncorrected[d].push_back(
+          Detection{stamped, static_cast<uint32_t>(d), det.vehicle_id});
       const auto fixed = sync.Correct(stamped);
-      corrected[d].push_back(
-          Detection{fixed.ok() ? *fixed : stamped, static_cast<uint32_t>(d), det.vehicle_id});
+      corrected[d].push_back(Detection{fixed.ok() ? *fixed : stamped,
+                                       static_cast<uint32_t>(d), det.vehicle_id});
     }
   }
   // Ground-truth order = detection order on detector 0..5 interleaved by true time; use
@@ -120,7 +122,8 @@ int main() {
         if (det.t >= Days(1) || det.t < Hours(23)) {
           continue;
         }
-        truth.emplace_back(det.t, std::make_pair(static_cast<uint32_t>(d), det.vehicle_id));
+        truth.emplace_back(det.t,
+                           std::make_pair(static_cast<uint32_t>(d), det.vehicle_id));
       }
     }
     std::sort(truth.begin(), truth.end());

@@ -22,6 +22,11 @@ Deployment::Deployment(const DeploymentConfig& config, MeasureFactory measure_fa
 void Deployment::Build(MeasureFactory measure_factory) {
   PRESTO_CHECK(config_.num_proxies >= 1);
   PRESTO_CHECK(config_.sensors_per_proxy >= 1);
+  // The (proxy, sensor) naming grid packs ids as 1000*(proxy+1)+sensor, and the
+  // failover paths decode them through GlobalIndexOfId — a shard of 1000+ would
+  // silently alias into the next proxy's id range. Scale by adding proxies.
+  PRESTO_CHECK_MSG(config_.sensors_per_proxy < 1000,
+                   "naming grid caps sensors_per_proxy at 999");
   PRESTO_CHECK(config_.replication_factor >= 1);
   PRESTO_CHECK(measure_factory != nullptr);
 
@@ -109,14 +114,23 @@ void Deployment::Build(MeasureFactory measure_factory) {
   for (int p = 0; p < config_.num_proxies; ++p) {
     store_->AddProxy(proxies_[static_cast<size_t>(p)].get());
   }
-  if (ReplicationEnabled()) {
-    for (int p = 0; p < config_.num_proxies; ++p) {
-      std::vector<NodeId> chain;
-      for (int r : shard_map_->ReplicaSetOf(p)) {
-        chain.push_back(ProxyId(r));
+  // Seed every sensor's holder chain: home owner first, then its K-way standbys in
+  // failover priority order. Each subsequent ownership mutation re-derives the chain.
+  sensor_chain_.assign(static_cast<size_t>(total_sensors()), {});
+  sensor_load_ema_.assign(static_cast<size_t>(total_sensors()), 0.0);
+  for (int g = 0; g < total_sensors(); ++g) {
+    std::vector<int>& chain = sensor_chain_[static_cast<size_t>(g)];
+    chain.push_back(shard_map_->OwnerOf(g));
+    if (ReplicationEnabled()) {
+      for (int r : shard_map_->ReplicaSetOf(chain.front())) {
+        chain.push_back(r);
       }
-      store_->SetReplicaChain(ProxyId(p), std::move(chain));
     }
+    std::vector<NodeId> ids;
+    for (int c : chain) {
+      ids.push_back(ProxyId(c));
+    }
+    store_->SetSensorChain(GlobalSensorId(g), std::move(ids));
   }
 }
 
@@ -146,32 +160,105 @@ bool Deployment::IsProxyDown(int proxy_index) const {
 }
 
 int Deployment::ActingOwner(int global_index) const {
-  auto it = acting_owner_.find(global_index);
-  return it != acting_owner_.end() ? it->second : shard_map_->OwnerOf(global_index);
+  return shard_map_->ActingOwnerOf(global_index);
 }
 
 uint64_t Deployment::ProxyWindowLoad(int proxy_index) const {
-  // Acting-owner view, not shard-map view: a promoted proxy carries (and must be
+  // Acting-owner view, not home-shard view: a promoted proxy carries (and must be
   // credited for) the load of the shards it took over, or the rebalancer would pile
-  // more sensors onto an already-overloaded acting owner it believes is idle.
+  // more sensors onto an already-overloaded acting owner it believes is idle. The
+  // shard map's served-by index makes this O(shard), not O(total).
   const ProxyNode& proxy = *proxies_[static_cast<size_t>(proxy_index)];
   uint64_t load = 0;
-  for (int g = 0; g < total_sensors(); ++g) {
-    if (ActingOwner(g) == proxy_index) {
-      load += proxy.SensorWindowLoad(GlobalSensorId(g));
-    }
+  for (int g : shard_map_->ServedBy(proxy_index)) {
+    load += proxy.SensorWindowLoad(GlobalSensorId(g));
   }
   return load;
 }
 
-std::vector<NodeId> Deployment::LiveReplicaTargets(int owner, int exclude) const {
-  std::vector<NodeId> targets;
-  for (int r : shard_map_->ReplicaSetOf(owner)) {
-    if (r != exclude && !proxy_down_[static_cast<size_t>(r)]) {
-      targets.push_back(ProxyId(r));
-    }
+int Deployment::LiveProxyCount() const {
+  int live = 0;
+  for (char down : proxy_down_) {
+    live += down ? 0 : 1;
   }
-  return targets;
+  return live;
+}
+
+std::vector<int> Deployment::DeriveChain(int global_index, int acting) {
+  const NodeId id = GlobalSensorId(global_index);
+  const int home = shard_map_->OwnerOf(global_index);
+  std::vector<int> chain{acting};
+  auto holds = [&](int p) {
+    return proxies_[static_cast<size_t>(p)]->ManagesSensor(id);
+  };
+  auto in_chain = [&](int p) {
+    return std::find(chain.begin(), chain.end(), p) != chain.end();
+  };
+  auto add_holder = [&](int p) {
+    if (!in_chain(p) && holds(p)) {
+      chain.push_back(p);
+    }
+  };
+  // Existing holders in failover priority order: home (its registration survives a
+  // kill, and keeping it chained preserves revive-time rescue), then the home replica
+  // set, then recruits surviving from the previous chain.
+  add_holder(home);
+  for (int r : shard_map_->ReplicaSetOf(home)) {
+    add_holder(r);
+  }
+  for (int c : sensor_chain_[static_cast<size_t>(global_index)]) {
+    add_holder(c);
+  }
+  if (!ReplicationEnabled()) {
+    return chain;
+  }
+  // Top the chain back up to K *live* copies: walk the ring from the acting owner and
+  // recruit standbys (register + state snapshot) until the replication factor holds
+  // again. This is what keeps a shard routable through cascaded owner failures.
+  int live = 0;
+  for (int c : chain) {
+    live += proxy_down_[static_cast<size_t>(c)] ? 0 : 1;
+  }
+  const int want = std::min(config_.replication_factor, LiveProxyCount());
+  for (int k = 1; k < config_.num_proxies && live < want; ++k) {
+    const int r = (acting + k) % config_.num_proxies;
+    if (proxy_down_[static_cast<size_t>(r)] || in_chain(r)) {
+      continue;
+    }
+    if (!holds(r)) {
+      proxies_[static_cast<size_t>(r)]->RegisterSensor(id, config_.sensing_period,
+                                                       /*replica=*/true);
+      proxies_[static_cast<size_t>(acting)]->SendStateSnapshot(id, ProxyId(r),
+                                                              config_.handoff_history);
+    }
+    chain.push_back(r);
+    ++live;
+  }
+  return chain;
+}
+
+void Deployment::ApplyChain(int global_index, std::vector<int> chain) {
+  PRESTO_CHECK(!chain.empty());
+  const NodeId id = GlobalSensorId(global_index);
+  const int acting = chain.front();
+  if (ReplicationEnabled()) {
+    std::vector<NodeId> targets;
+    for (size_t i = 1; i < chain.size(); ++i) {
+      if (!proxy_down_[static_cast<size_t>(chain[i])]) {
+        targets.push_back(ProxyId(chain[i]));
+      }
+    }
+    proxies_[static_cast<size_t>(acting)]->SetReplicaTargets(id, std::move(targets));
+  }
+  std::vector<NodeId> ids;
+  for (int c : chain) {
+    ids.push_back(ProxyId(c));
+  }
+  store_->SetSensorChain(id, std::move(ids));
+  store_->ReassignSensor(id, ProxyId(acting));
+  sensors_[static_cast<size_t>(global_index)]->SetProxy(ProxyId(acting));
+  shard_map_->SetActingOwner(global_index, acting);
+  sensor_chain_[static_cast<size_t>(global_index)] = std::move(chain);
 }
 
 void Deployment::KillProxy(int proxy_index) {
@@ -212,31 +299,26 @@ void Deployment::PromoteShardsOf(int proxy_index) {
   if (!proxy_down_[static_cast<size_t>(proxy_index)] || !ReplicationEnabled()) {
     return;
   }
-  for (int g = 0; g < total_sensors(); ++g) {
-    if (ActingOwner(g) != proxy_index) {
-      continue;
-    }
+  // Only the sensors this proxy was actually serving — O(shard) via the served-by
+  // index, never a full-population rescan. Copy: promotions mutate the index.
+  const std::vector<int> served = shard_map_->ServedBy(proxy_index);
+  for (int g : served) {
     const NodeId id = GlobalSensorId(g);
-    const int home = shard_map_->OwnerOf(g);
-    // First live member of the home replica set already holding standby state.
+    // First live holder on the sensor's own chain (survives cascaded promotions:
+    // recruits count, not just the home replica set).
     int target = -1;
-    for (int r : shard_map_->ReplicaSetOf(home)) {
-      if (!proxy_down_[static_cast<size_t>(r)] &&
-          proxies_[static_cast<size_t>(r)]->ManagesSensor(id)) {
-        target = r;
+    for (int c : sensor_chain_[static_cast<size_t>(g)]) {
+      if (!proxy_down_[static_cast<size_t>(c)] &&
+          proxies_[static_cast<size_t>(c)]->ManagesSensor(id)) {
+        target = c;
         break;
       }
     }
     if (target < 0) {
-      continue;  // every replica is down too; the shard stays dark until a revive
+      continue;  // every holder is down too; the shard stays dark until a revive
     }
-    ProxyNode& promoted = *proxies_[static_cast<size_t>(target)];
-    promoted.PromoteSensor(id);
-    promoted.SetReplicaTargets(id, LiveReplicaTargets(home, /*exclude=*/target));
-    store_->ReassignSensor(id, ProxyId(target));
-    sensors_[static_cast<size_t>(g)]->SetProxy(ProxyId(target));
-    // Replica sets never contain the owner, so the target is always a foreign proxy.
-    acting_owner_[g] = target;
+    proxies_[static_cast<size_t>(target)]->PromoteSensor(id);
+    ApplyChain(g, DeriveChain(g, target));
     ++shard_stats_.promotions;
     shard_stats_.last_promotion_at = sim_.Now();
   }
@@ -246,48 +328,52 @@ void Deployment::HandBackShardsOf(int proxy_index) {
   if (proxy_down_[static_cast<size_t>(proxy_index)]) {
     return;
   }
-  for (auto it = acting_owner_.begin(); it != acting_owner_.end();) {
-    const int g = it->first;
-    const int acting = it->second;
-    if (shard_map_->OwnerOf(g) != proxy_index) {
-      ++it;
+  // Take home every sensor of this proxy's shard currently in failover — O(shard)
+  // over the home shard, never a full-population rescan.
+  const std::vector<int> shard = shard_map_->SensorsOf(proxy_index);
+  for (int g : shard) {
+    if (!shard_map_->InFailover(g)) {
       continue;
     }
+    const int acting = shard_map_->ActingOwnerOf(g);
     const NodeId id = GlobalSensorId(g);
-    ProxyNode& home = *proxies_[static_cast<size_t>(proxy_index)];
     if (!proxy_down_[static_cast<size_t>(acting)]) {
       // The acting owner ships what the revived proxy missed, then steps back down.
       ProxyNode& from = *proxies_[static_cast<size_t>(acting)];
       from.SendStateSnapshot(id, ProxyId(proxy_index), config_.handoff_history);
       from.DemoteSensor(id);
     }
-    // The home proxy kept its owner registration while down; re-arm replication to
-    // the full set (revived members catch up from live traffic).
-    std::vector<NodeId> targets;
-    for (int r : shard_map_->ReplicaSetOf(proxy_index)) {
-      targets.push_back(ProxyId(r));
+    // Restore the home chain (the home proxy kept its owner registration while
+    // down; revived standbys catch up from live traffic). Recruits picked up during
+    // failover that survive into the re-derived chain stay on; the rest drop their
+    // now-redundant state.
+    const std::vector<int> old_chain =
+        std::move(sensor_chain_[static_cast<size_t>(g)]);
+    sensor_chain_[static_cast<size_t>(g)].clear();
+    std::vector<int> chain = DeriveChain(g, proxy_index);
+    for (int c : old_chain) {
+      if (std::find(chain.begin(), chain.end(), c) == chain.end() &&
+          proxies_[static_cast<size_t>(c)]->ManagesSensor(id)) {
+        proxies_[static_cast<size_t>(c)]->UnregisterSensor(id);
+      }
     }
-    home.SetReplicaTargets(id, std::move(targets));
-    store_->ReassignSensor(id, ProxyId(proxy_index));
-    sensors_[static_cast<size_t>(g)]->SetProxy(ProxyId(proxy_index));
+    ApplyChain(g, std::move(chain));
     ++shard_stats_.handbacks;
-    it = acting_owner_.erase(it);
   }
 
   // Reconcile stale ownership: this proxy may still believe it fully owns sensors it
   // only ever stood in for — it was down when that shard was handed back (or
   // re-promoted), so the demotion could not reach it. Left alone, two proxies would
-  // manage models and send control traffic to the same sensor forever.
+  // manage models and send control traffic to the same sensor forever. The proxy's
+  // own registration table bounds the scan.
   ProxyNode& revived = *proxies_[static_cast<size_t>(proxy_index)];
-  for (int g = 0; g < total_sensors(); ++g) {
-    const NodeId id = GlobalSensorId(g);
-    if (ActingOwner(g) != proxy_index && revived.ManagesSensor(id) &&
-        !revived.IsReplicaFor(id)) {
+  for (NodeId id : revived.sensors()) {
+    if (shard_map_->ActingOwnerOf(GlobalIndexOfId(id)) != proxy_index) {
       revived.DemoteSensor(id);
     }
   }
 
-  // Rescue stranded shards: a promotion skipped because every replica was down can
+  // Rescue stranded shards: a promotion skipped because every holder was down can
   // succeed now that this proxy is back. Without this, a shard whose owner and
   // replicas all died would stay degraded (and its sensors would push to a dead
   // proxy) even after replicas revive. Proxies still inside their failure-detection
@@ -300,36 +386,24 @@ void Deployment::HandBackShardsOf(int proxy_index) {
     }
   }
 
-  // Standby refresh: acting owners re-arm their replica targets against the live set
-  // (a target dropped while this proxy was down comes back here) and ship this proxy
-  // a catch-up snapshot for every sensor it stands by — otherwise a revived standby
-  // would silently serve state frozen at its kill if promoted later.
+  // Standby refresh: for every sensor this proxy stands by, the (live) acting owner
+  // re-derives the chain — the revived standby rejoins the replica targets it was
+  // dropped from at promotion time — and ships a catch-up snapshot, otherwise a later
+  // promotion would serve state frozen at this proxy's kill. The proxy's replica
+  // registrations bound the scan.
   if (ReplicationEnabled()) {
-    for (int g = 0; g < total_sensors(); ++g) {
-      const int acting = ActingOwner(g);
+    for (NodeId id : revived.replica_sensors()) {
+      const int g = GlobalIndexOfId(id);
+      const int acting = shard_map_->ActingOwnerOf(g);
       if (proxy_down_[static_cast<size_t>(acting)]) {
         continue;
       }
-      const int home = shard_map_->OwnerOf(g);
-      const NodeId id = GlobalSensorId(g);
       ProxyNode& owner = *proxies_[static_cast<size_t>(acting)];
       if (!owner.ManagesSensor(id) || owner.IsReplicaFor(id)) {
         continue;
       }
-      if (acting == home) {
-        std::vector<NodeId> targets;
-        for (int r : shard_map_->ReplicaSetOf(home)) {
-          targets.push_back(ProxyId(r));
-        }
-        owner.SetReplicaTargets(id, std::move(targets));
-      } else {
-        owner.SetReplicaTargets(id, LiveReplicaTargets(home, /*exclude=*/acting));
-      }
-      if (acting != proxy_index &&
-          proxies_[static_cast<size_t>(proxy_index)]->ManagesSensor(id) &&
-          proxies_[static_cast<size_t>(proxy_index)]->IsReplicaFor(id)) {
-        owner.SendStateSnapshot(id, ProxyId(proxy_index), config_.handoff_history);
-      }
+      ApplyChain(g, DeriveChain(g, acting));
+      owner.SendStateSnapshot(id, ProxyId(proxy_index), config_.handoff_history);
     }
   }
 }
@@ -344,7 +418,7 @@ void Deployment::MigrateSensor(int global_index, int new_owner) {
 
 void Deployment::ExecuteMigration(int global_index, int new_owner) {
   const int home = shard_map_->OwnerOf(global_index);
-  if (home == new_owner || acting_owner_.count(global_index) > 0 ||
+  if (home == new_owner || shard_map_->InFailover(global_index) ||
       proxy_down_[static_cast<size_t>(home)] ||
       proxy_down_[static_cast<size_t>(new_owner)]) {
     return;  // shards in failover (or dead endpoints) don't migrate
@@ -368,20 +442,16 @@ void Deployment::ExecuteMigration(int global_index, int new_owner) {
   const std::vector<int>& new_set = shard_map_->ReplicaSetOf(new_owner);
 
   if (ReplicationEnabled()) {
-    std::vector<NodeId> targets;
     for (int r : new_set) {
       ProxyNode& replica = *proxies_[static_cast<size_t>(r)];
-      const bool had_state = replica.ManagesSensor(id);
-      if (!had_state) {
+      if (!replica.ManagesSensor(id)) {
         replica.RegisterSensor(id, config_.sensing_period, /*replica=*/true);
         if (!proxy_down_[static_cast<size_t>(r)]) {
           // Seed the fresh standby so failover isn't cold.
           src.SendStateSnapshot(id, ProxyId(r), config_.handoff_history);
         }
       }
-      targets.push_back(ProxyId(r));
     }
-    dst.SetReplicaTargets(id, std::move(targets));
 
     // The old owner stays on as a standby only if the new replica set includes it.
     const bool home_is_replica =
@@ -407,32 +477,15 @@ void Deployment::ExecuteMigration(int global_index, int new_owner) {
     src.UnregisterSensor(id);
   }
 
-  store_->ReassignSensor(id, ProxyId(new_owner));
-  sensors_[static_cast<size_t>(global_index)]->SetProxy(ProxyId(new_owner));
+  // Re-derive the holder chain around the new home (also re-arms the new owner's
+  // replica targets, re-points the index, and re-targets the sensor's pushes).
+  sensor_chain_[static_cast<size_t>(global_index)].clear();
+  ApplyChain(global_index, DeriveChain(global_index, new_owner));
   ++shard_stats_.migrations;
 }
 
 void Deployment::RebalanceSweep() {
   ++shard_stats_.rebalance_sweeps;
-  // Window loads per live proxy (ordered scan: deterministic tie-breaks).
-  int busiest = -1;
-  int calmest = -1;
-  uint64_t busiest_load = 0;
-  uint64_t calmest_load = 0;
-  for (int p = 0; p < config_.num_proxies; ++p) {
-    if (proxy_down_[static_cast<size_t>(p)]) {
-      continue;
-    }
-    const uint64_t load = ProxyWindowLoad(p);
-    if (busiest < 0 || load > busiest_load) {
-      busiest = p;
-      busiest_load = load;
-    }
-    if (calmest < 0 || load < calmest_load) {
-      calmest = p;
-      calmest_load = load;
-    }
-  }
   // Every sweep closes its observation window, acted upon or not.
   struct WindowReset {
     Deployment* self;
@@ -442,46 +495,105 @@ void Deployment::RebalanceSweep() {
       }
     }
   } reset{this};
-  if (busiest < 0 || calmest < 0 || busiest == calmest ||
-      busiest_load < config_.rebalance_min_load) {
-    return;  // idle or near-idle window: nothing worth migrating
-  }
-  // Hottest sensors first; only move a sensor when it actually narrows the gap.
-  std::vector<std::pair<uint64_t, int>> candidates;
-  const ProxyNode& hot_proxy = *proxies_[static_cast<size_t>(busiest)];
-  for (int g : shard_map_->SensorsOf(busiest)) {
-    if (acting_owner_.count(g) > 0) {
+
+  // Smooth each sensor's load across sweep windows (EMA, deterministic double math):
+  // a single window of the query mix is a noisy sample, and re-packing against it
+  // churns a converged layout sweep after sweep. The smoothed signal tracks the
+  // workload, not one window's random draw. Sensors in failover are pinned to their
+  // acting owner — ExecuteMigration refuses them — so their load counts as immovable
+  // base load in that proxy's bin.
+  constexpr double kEmaAlpha = 0.5;
+  struct Item {
+    double load;
+    int global_index;
+    int home;
+  };
+  std::vector<Item> items;
+  std::vector<int> bins;  // live proxies, ascending
+  std::vector<double> bin_load(static_cast<size_t>(config_.num_proxies), 0.0);
+  double busiest_load = 0.0;
+  double calmest_load = 0.0;
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    if (proxy_down_[static_cast<size_t>(p)]) {
       continue;
     }
-    candidates.emplace_back(hot_proxy.SensorWindowLoad(GlobalSensorId(g)), g);
+    bins.push_back(p);
+    const ProxyNode& proxy = *proxies_[static_cast<size_t>(p)];
+    double total = 0.0;
+    for (int g : shard_map_->ServedBy(p)) {
+      double& ema = sensor_load_ema_[static_cast<size_t>(g)];
+      const double sample =
+          static_cast<double>(proxy.SensorWindowLoad(GlobalSensorId(g)));
+      ema += kEmaAlpha * (sample - ema);
+      total += ema;
+      if (shard_map_->InFailover(g)) {
+        bin_load[static_cast<size_t>(p)] += ema;  // pinned
+      } else if (ema > 0.0) {
+        items.push_back({ema, g, p});  // movable; idle sensors stay put
+      }
+    }
+    busiest_load = std::max(busiest_load, total);
+    calmest_load = bins.size() == 1 ? total : std::min(calmest_load, total);
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const std::pair<uint64_t, int>& a, const std::pair<uint64_t, int>& b) {
-              return a.first != b.first ? a.first > b.first : a.second < b.second;
-            });
-  int moves = 0;
-  for (const auto& [load, g] : candidates) {
-    if (moves >= config_.rebalance_max_moves ||
-        static_cast<int>(shard_map_->SensorsOf(busiest).size()) <= 1) {
+  if (bins.size() < 2 || busiest_load < static_cast<double>(config_.rebalance_min_load)) {
+    return;  // idle or near-idle window: background noise is not worth migrating
+  }
+  const auto balanced = [&](double max_load, double min_load) {
+    return max_load <= config_.rebalance_max_ratio * std::max(min_load, 1.0);
+  };
+  if (balanced(busiest_load, calmest_load)) {
+    return;  // balanced enough: re-packing would be pure churn
+  }
+
+  // Sticky global LPT (longest-processing-time) assignment: place every loaded
+  // sensor, in descending load order, onto the currently lightest bin — but keep a
+  // sensor home unless its home bin is already heavier than the lightest bin would
+  // be *with* the sensor. A balanced layout re-derives itself move-free (no churn,
+  // and partial progress from a capped sweep is preserved by the next one), while a
+  // hot shard's surplus spreads across every underloaded bin in one sweep — skew on
+  // three shards converges in a single pass where the old busiest/calmest pairing
+  // needed a sweep per pair.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    return a.load != b.load ? a.load > b.load : a.global_index < b.global_index;
+  });
+  struct Move {
+    double load;
+    int global_index;
+    int to;
+  };
+  std::vector<Move> moves;
+  auto load_of = [&](int p) { return bin_load[static_cast<size_t>(p)]; };
+  for (const Item& item : items) {
+    int best = -1;
+    for (int p : bins) {
+      if (best < 0 || load_of(p) < load_of(best)) {
+        best = p;
+      }
+    }
+    if (load_of(item.home) < load_of(best) + item.load) {
+      best = item.home;  // sticky: moving would not leave home lighter than the move
+    }
+    bin_load[static_cast<size_t>(best)] += item.load;
+    if (best != item.home) {
+      moves.push_back({item.load, item.global_index, best});
+    }
+  }
+
+  // Execute the plan hottest-relocation-first, capped per sweep. Once a sweep
+  // commits to acting it drives all the way to LPT's packed optimum — stopping at
+  // the ratio bound would park the layout right on the edge, where window noise
+  // re-trips the gate forever. The smoothed entry gate above is what prevents churn
+  // on an already-converged layout. A shard is never drained to zero sensors.
+  int executed = 0;
+  for (const Move& move : moves) {
+    if (executed >= config_.rebalance_max_moves) {
       break;
     }
-    if (busiest_load <=
-        static_cast<uint64_t>(config_.rebalance_max_ratio *
-                              static_cast<double>(std::max<uint64_t>(calmest_load, 1)))) {
-      break;  // balanced enough
+    if (shard_map_->SensorsOf(shard_map_->OwnerOf(move.global_index)).size() <= 1) {
+      continue;
     }
-    const uint64_t gap_before = busiest_load - calmest_load;
-    const uint64_t new_busiest = busiest_load - load;
-    const uint64_t new_calmest = calmest_load + load;
-    const uint64_t gap_after =
-        new_busiest > new_calmest ? new_busiest - new_calmest : new_calmest - new_busiest;
-    if (gap_after >= gap_before) {
-      continue;  // this sensor alone carries the hotspot; moving it just relocates it
-    }
-    ExecuteMigration(g, calmest);
-    busiest_load = new_busiest;
-    calmest_load = new_calmest;
-    ++moves;
+    ExecuteMigration(move.global_index, move.to);
+    ++executed;
   }
 }
 

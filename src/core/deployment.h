@@ -4,15 +4,24 @@
 // unified store, K-way proxy replication — from one config struct, then keeps the
 // shard layout *live*:
 //
+//  - Routing follows *sensors*, not proxies: every sensor carries an ordered chain of
+//    the proxies holding its state (acting owner first), re-derived on each mutation
+//    and mirrored into the unified store. Queries fall through to the first live
+//    holder, so even a second failure of a promoted acting owner never strands a
+//    shard. Promotion tops the chain back up to `replication_factor` live copies by
+//    recruiting ring successors of the new owner (registration + state snapshot).
 //  - KillProxy schedules replica promotion after `promotion_delay`: the first live
-//    member of the dead proxy's replica set becomes the full owner of each stranded
-//    sensor (takes over pulls, model management, and the unified-store index entry)
-//    instead of serving cache/extrapolation-only forever.
+//    holder on each stranded sensor's chain becomes the full owner (takes over pulls,
+//    model management, and the unified-store index entry) instead of serving
+//    cache/extrapolation-only forever. Promotion and hand-back walk the shard map's
+//    incremental served-by index — O(shard), never a full-population rescan.
 //  - ReviveProxy hands ownership back, with a cache+model state transfer from the
-//    acting owner over the wired mesh.
+//    acting owner over the wired mesh, and restores the home holder chain.
 //  - MigrateSensor moves one sensor between live proxies (rebalancing primitive).
 //  - An optional load-aware rebalancer sweeps per-shard query+push counters every
-//    `rebalance_period` and migrates sensors off overloaded proxies.
+//    `rebalance_period` and re-packs hot sensors across all live proxies with a
+//    global LPT (longest-processing-time) assignment — multi-shard skew converges in
+//    one sweep instead of one busiest/calmest pair at a time.
 //
 // Every mutation executes as a deterministic simulator event, so same-seed replays
 // (Simulator::fingerprint()) stay bit-identical.
@@ -23,7 +32,6 @@
 #define SRC_CORE_DEPLOYMENT_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -79,9 +87,15 @@ struct DeploymentConfig {
   Duration handoff_history = Hours(4);
   Duration pull_timeout = Minutes(10);
 
-  // Load-aware rebalancing (opt-in): every rebalance_period, compare per-proxy
-  // query+push loads and migrate the hottest sensors off the most loaded proxy until
-  // max/min <= rebalance_max_ratio (at most rebalance_max_moves migrations a sweep).
+  // Load-aware rebalancing (opt-in): every rebalance_period, per-sensor query+push
+  // window counters feed an EMA (one window is a noisy sample of the workload); if
+  // the smoothed per-proxy load ratio exceeds rebalance_max_ratio, the sweep
+  // re-packs loaded sensors across all live proxies with a sticky global LPT
+  // assignment and executes the migrations it implies (hottest differences first,
+  // at most rebalance_max_moves a sweep). A sweep that acts drives to the packed
+  // optimum — comfortably inside the bound, not parked on its edge — so the next
+  // windows' noise does not re-trip the gate; an already-balanced layout re-derives
+  // itself move-free.
   bool enable_rebalancing = false;
   Duration rebalance_period = Minutes(30);
   double rebalance_max_ratio = 1.5;
@@ -189,11 +203,25 @@ class Deployment {
   bool ReplicationEnabled() const {
     return config_.enable_replication && config_.num_proxies > 1;
   }
-  // Live members of `owner`'s replica set as proxy ids, minus `exclude` and any proxy
-  // currently down.
-  std::vector<NodeId> LiveReplicaTargets(int owner, int exclude) const;
-  // Promotes every sensor currently served by the (down) proxy to its first live
-  // replica. Fired `promotion_delay` after KillProxy.
+  int LiveProxyCount() const;
+  // Inverse of the naming grid: the global index of a SensorId().
+  int GlobalIndexOfId(NodeId sensor_id) const {
+    const int named_proxy = static_cast<int>(sensor_id) / 1000 - 1;
+    const int sensor = static_cast<int>(sensor_id) % 1000;
+    return named_proxy * config_.sensors_per_proxy + sensor;
+  }
+  // Re-derives sensor `g`'s ordered holder chain with `acting` at the head: current
+  // state holders first (home, then the home replica set, then surviving recruits),
+  // then — with replication — newly recruited live ring successors of `acting`
+  // (registered and snapshot-seeded here) until the chain holds `replication_factor`
+  // live copies.
+  std::vector<int> DeriveChain(int global_index, int acting);
+  // Installs a derived chain: re-arms the acting owner's replica targets (live
+  // standbys), mirrors the chain + index entry into the unified store, re-targets the
+  // sensor's pushes, and updates the shard map's acting-owner index.
+  void ApplyChain(int global_index, std::vector<int> chain);
+  // Promotes every sensor currently served by the (down) proxy to the first live
+  // holder on its chain. Fired `promotion_delay` after KillProxy.
   void PromoteShardsOf(int proxy_index);
   // Returns ownership of `proxy_index`'s home shard from the acting owners.
   void HandBackShardsOf(int proxy_index);
@@ -217,7 +245,13 @@ class Deployment {
   // failure-detection window during which a revive-time rescue must NOT pre-empt the
   // scheduled promotion.
   std::vector<char> promotion_pending_;
-  std::map<int, int> acting_owner_;  // global index -> promoted proxy (owner down)
+  // Per-sensor ordered holder chains (acting owner first), mirrored into the unified
+  // store on every mutation. The acting-owner indirection itself lives in the shard
+  // map's incremental served-by index.
+  std::vector<std::vector<int>> sensor_chain_;
+  // Smoothed per-sensor window loads (global index; follows the sensor across
+  // migrations) — the rebalancer's signal.
+  std::vector<double> sensor_load_ema_;
   std::unique_ptr<PeriodicTimer> rebalance_timer_;
   ShardMgmtStats shard_stats_;
 };

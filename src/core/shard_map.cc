@@ -53,6 +53,7 @@ ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy,
   PRESTO_CHECK(total_sensors >= 1);
   PRESTO_CHECK(replication_factor >= 1);
   owner_.resize(static_cast<size_t>(total_sensors));
+  acting_.assign(static_cast<size_t>(total_sensors), -1);
   by_proxy_.resize(static_cast<size_t>(num_proxies));
   for (int g = 0; g < total_sensors; ++g) {
     int p;
@@ -69,6 +70,7 @@ ShardMap::ShardMap(int num_proxies, int total_sensors, ShardPolicy policy,
     owner_[static_cast<size_t>(g)] = p;
     by_proxy_[static_cast<size_t>(p)].push_back(g);
   }
+  served_by_ = by_proxy_;  // no failover at construction: served == owned
 
   // K-way replica sets: the next replication_factor - 1 distinct ring successors.
   const int standbys = std::min(replication_factor - 1, num_proxies - 1);
@@ -106,21 +108,63 @@ const std::vector<int>& ShardMap::SensorsOf(int proxy_index) const {
   return by_proxy_[static_cast<size_t>(proxy_index)];
 }
 
+namespace {
+
+void MoveBetween(std::vector<int>& from, std::vector<int>& to, int g) {
+  from.erase(std::find(from.begin(), from.end(), g));
+  to.insert(std::upper_bound(to.begin(), to.end(), g), g);
+}
+
+}  // namespace
+
 bool ShardMap::MigrateSensor(int global_sensor_index, int new_owner) {
   PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
   PRESTO_CHECK(new_owner >= 0 && new_owner < num_proxies_);
+  PRESTO_CHECK_MSG(!InFailover(global_sensor_index),
+                   "hand the sensor back before migrating it");
   const int old_owner = owner_[static_cast<size_t>(global_sensor_index)];
   if (old_owner == new_owner) {
     return false;
   }
-  std::vector<int>& from = by_proxy_[static_cast<size_t>(old_owner)];
-  from.erase(std::find(from.begin(), from.end(), global_sensor_index));
-  std::vector<int>& to = by_proxy_[static_cast<size_t>(new_owner)];
-  to.insert(std::upper_bound(to.begin(), to.end(), global_sensor_index),
-            global_sensor_index);
+  MoveBetween(by_proxy_[static_cast<size_t>(old_owner)],
+              by_proxy_[static_cast<size_t>(new_owner)], global_sensor_index);
+  MoveBetween(served_by_[static_cast<size_t>(old_owner)],
+              served_by_[static_cast<size_t>(new_owner)], global_sensor_index);
   owner_[static_cast<size_t>(global_sensor_index)] = new_owner;
   ++version_;
   return true;
+}
+
+int ShardMap::ActingOwnerOf(int global_sensor_index) const {
+  PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
+  const int acting = acting_[static_cast<size_t>(global_sensor_index)];
+  return acting >= 0 ? acting : owner_[static_cast<size_t>(global_sensor_index)];
+}
+
+bool ShardMap::InFailover(int global_sensor_index) const {
+  PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
+  return acting_[static_cast<size_t>(global_sensor_index)] >= 0;
+}
+
+bool ShardMap::SetActingOwner(int global_sensor_index, int proxy_index) {
+  PRESTO_CHECK(global_sensor_index >= 0 && global_sensor_index < total_sensors_);
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
+  const int current = ActingOwnerOf(global_sensor_index);
+  if (current == proxy_index) {
+    return false;
+  }
+  MoveBetween(served_by_[static_cast<size_t>(current)],
+              served_by_[static_cast<size_t>(proxy_index)], global_sensor_index);
+  const int home = owner_[static_cast<size_t>(global_sensor_index)];
+  acting_[static_cast<size_t>(global_sensor_index)] =
+      proxy_index == home ? -1 : proxy_index;
+  ++version_;
+  return true;
+}
+
+const std::vector<int>& ShardMap::ServedBy(int proxy_index) const {
+  PRESTO_CHECK(proxy_index >= 0 && proxy_index < num_proxies_);
+  return served_by_[static_cast<size_t>(proxy_index)];
 }
 
 int ShardMap::MinShardSize() const {

@@ -14,6 +14,12 @@
 // owner (the deployment's rebalancer and failover paths drive this), and every mutation
 // bumps version() so downstream caches can detect staleness.
 //
+// On top of home ownership the map tracks a per-sensor *acting owner* overlay: while a
+// home proxy is down its sensors are served by a promoted replica, and SetActingOwner
+// records that indirection. ServedBy(p) is the incrementally maintained inverse index
+// (proxy -> sensors it currently serves), which is what keeps the deployment's
+// promotion, hand-back, and load-accounting paths O(shard) instead of O(total).
+//
 // Replication is K-way: each proxy's shard is replicated to the next
 // `replication_factor - 1` distinct ring successors (ReplicaSetOf). Replica sets never
 // contain the owner and never contain duplicates — with a single proxy the set is
@@ -56,10 +62,27 @@ class ShardMap {
   const std::vector<int>& SensorsOf(int proxy_index) const;
 
   // Reassigns one sensor to `new_owner` and bumps version(). Returns false (no
-  // version bump) when `new_owner` already owns the sensor.
+  // version bump) when `new_owner` already owns the sensor. Sensors currently in
+  // failover (acting owner != home) must be handed back before migrating.
   bool MigrateSensor(int global_sensor_index, int new_owner);
 
-  // Monotone mutation counter: 0 at construction, +1 per successful MigrateSensor.
+  // --- acting-owner overlay (failover indirection) ---
+  // The proxy currently serving the sensor: the home owner, or the promoted replica
+  // recorded by SetActingOwner while the home proxy is down.
+  int ActingOwnerOf(int global_sensor_index) const;
+  // True while a promoted replica (not the home owner) serves the sensor.
+  bool InFailover(int global_sensor_index) const;
+  // Records `proxy_index` as the sensor's acting owner; passing the home owner clears
+  // the overlay (hand-back). Updates ServedBy incrementally and bumps version() on
+  // change. Returns false when `proxy_index` already serves the sensor.
+  bool SetActingOwner(int global_sensor_index, int proxy_index);
+  // Global sensor indices currently *served* by `proxy_index` (acting-owner view:
+  // home sensors not promoted away, plus foreign sensors it was promoted for),
+  // ascending.
+  const std::vector<int>& ServedBy(int proxy_index) const;
+
+  // Monotone mutation counter: 0 at construction, +1 per successful MigrateSensor or
+  // acting-owner change.
   uint64_t version() const { return version_; }
 
   int num_proxies() const { return num_proxies_; }
@@ -77,8 +100,10 @@ class ShardMap {
   ShardPolicy policy_;
   int replication_factor_;
   uint64_t version_ = 0;
-  std::vector<int> owner_;                     // global index -> proxy index
+  std::vector<int> owner_;                     // global index -> home proxy index
+  std::vector<int> acting_;                    // global index -> acting proxy (-1 = home)
   std::vector<std::vector<int>> by_proxy_;     // proxy index -> owned global indices
+  std::vector<std::vector<int>> served_by_;    // proxy index -> served global indices
   std::vector<std::vector<int>> replica_set_;  // proxy index -> standby successors
 };
 

@@ -20,8 +20,8 @@ void UnifiedStore::AddProxy(ProxyNode* proxy) {
   }
 }
 
-void UnifiedStore::SetReplicaChain(NodeId primary, std::vector<NodeId> chain) {
-  replicas_of_[primary] = std::move(chain);
+void UnifiedStore::SetSensorChain(NodeId sensor_id, std::vector<NodeId> chain) {
+  chain_of_[sensor_id] = std::move(chain);
 }
 
 void UnifiedStore::ReassignSensor(NodeId sensor_id, NodeId new_proxy) {
@@ -59,12 +59,15 @@ void UnifiedStore::Query(const QuerySpec& spec,
   NodeId proxy_id = static_cast<NodeId>(search.value);
   bool used_replica = false;
   if (net_->IsNodeDown(proxy_id)) {
-    // Walk the owner's failover chain to the first live proxy holding the sensor.
+    // Walk the sensor's own holder chain to the first live proxy with its state. The
+    // chain is per-sensor (not per-primary), so it stays correct across cascaded
+    // promotions: killing an acting owner falls through to the next holder even
+    // before that proxy's own promotion event fires.
     NodeId fallback = 0;
-    auto chain = replicas_of_.find(proxy_id);
-    if (chain != replicas_of_.end()) {
+    auto chain = chain_of_.find(spec.sensor_id);
+    if (chain != chain_of_.end()) {
       for (NodeId candidate : chain->second) {
-        if (net_->IsNodeDown(candidate)) {
+        if (candidate == proxy_id || net_->IsNodeDown(candidate)) {
           continue;
         }
         ProxyNode* proxy = FindProxy(candidate);

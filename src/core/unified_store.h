@@ -1,8 +1,15 @@
 // The unified logical store (paper §5): one query interface over many proxies and
 // thousands of sensors. A skip graph keyed by sensor id maps each sensor to its owning
 // proxy; queries route through the index (hop-accounted, with per-hop wired latency),
-// fail over to the owner's replica when the owner is down, and return
-// provenance-annotated answers.
+// fail over along the sensor's own ordered holder chain when the owner is down, and
+// return provenance-annotated answers.
+//
+// Failover routing follows *sensors*, not proxies: each sensor carries an ordered
+// chain of the proxies currently holding its state (acting owner first), re-derived by
+// the deployment on every ownership mutation. A second failure of a promoted acting
+// owner therefore falls through to the next live holder immediately — there is no
+// window in which a shard is unroutable while waiting for the dead proxy's own
+// promotion event.
 
 #ifndef SRC_CORE_UNIFIED_STORE_H_
 #define SRC_CORE_UNIFIED_STORE_H_
@@ -38,9 +45,10 @@ class UnifiedStore {
   // Indexes every sensor the proxy manages. Call after RegisterSensor on the proxy.
   void AddProxy(ProxyNode* proxy);
 
-  // Declares the ordered failover chain for `primary`'s sensors: when the owner is
-  // down, queries fall through to the first live chain member that holds the sensor.
-  void SetReplicaChain(NodeId primary, std::vector<NodeId> chain);
+  // Declares the ordered holder chain for one sensor (acting owner first, standbys in
+  // failover priority order): when the index-resolved proxy is down, queries fall
+  // through to the first live chain member that holds the sensor.
+  void SetSensorChain(NodeId sensor_id, std::vector<NodeId> chain);
 
   // Re-points the distributed index entry for one sensor at `new_proxy` — the
   // index-registration half of a replica promotion, live migration, or hand-back.
@@ -61,7 +69,7 @@ class UnifiedStore {
   Duration per_hop_latency_;
   SkipGraph index_;  // sensor id -> owning proxy id
   std::map<NodeId, ProxyNode*> proxies_;
-  std::map<NodeId, std::vector<NodeId>> replicas_of_;  // primary -> failover chain
+  std::map<NodeId, std::vector<NodeId>> chain_of_;  // sensor -> ordered holder chain
   UnifiedStoreStats stats_;
 };
 

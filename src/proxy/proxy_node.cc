@@ -144,6 +144,16 @@ std::vector<NodeId> ProxyNode::sensors() const {
   return out;
 }
 
+std::vector<NodeId> ProxyNode::replica_sensors() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, state] : sensors_) {
+    if (state->is_replica) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
 ProxyNode::SensorState& ProxyNode::GetSensor(NodeId sensor_id) {
   auto it = sensors_.find(sensor_id);
   PRESTO_CHECK_MSG(it != sensors_.end(), "unknown sensor");

@@ -154,6 +154,8 @@ class ProxyNode : public NetNode {
   const ProxyNodeConfig& config() const { return config_; }
   // Sensors this proxy *owns* (excludes replica registrations).
   std::vector<NodeId> sensors() const;
+  // Sensors this proxy holds only standby (replica) state for.
+  std::vector<NodeId> replica_sensors() const;
   bool ManagesSensor(NodeId sensor_id) const { return sensors_.count(sensor_id) > 0; }
   // True when this proxy holds only standby (replica) state for the sensor.
   bool IsReplicaFor(NodeId sensor_id) const;

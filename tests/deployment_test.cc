@@ -100,6 +100,31 @@ TEST(ShardMapTest, ReplicaSetsExcludeOwnerAndDedupe) {
   EXPECT_TRUE(solo.ReplicaSetOf(0).empty());
 }
 
+TEST(ShardMapTest, ActingOwnerOverlayMaintainsServedByIndex) {
+  ShardMap map(3, 9, ShardPolicy::kGeographic);  // contiguous shards of three
+  EXPECT_EQ(map.ActingOwnerOf(0), 0);
+  EXPECT_FALSE(map.InFailover(0));
+  EXPECT_EQ(map.ServedBy(0), map.SensorsOf(0));
+
+  const uint64_t before = map.version();
+  EXPECT_TRUE(map.SetActingOwner(0, 1));
+  EXPECT_EQ(map.ActingOwnerOf(0), 1);
+  EXPECT_TRUE(map.InFailover(0));
+  EXPECT_GT(map.version(), before);
+  EXPECT_EQ(map.ServedBy(0), std::vector<int>({1, 2}));
+  EXPECT_EQ(map.ServedBy(1), std::vector<int>({0, 3, 4, 5}))
+      << "served-by index must stay sorted across overlay moves";
+  EXPECT_EQ(map.OwnerOf(0), 0) << "home ownership is untouched by the overlay";
+  EXPECT_EQ(map.SensorsOf(0).size(), 3u);
+  EXPECT_FALSE(map.SetActingOwner(0, 1)) << "no-op overlay set must not bump version";
+
+  // Passing the home owner clears the overlay (hand-back).
+  EXPECT_TRUE(map.SetActingOwner(0, 0));
+  EXPECT_FALSE(map.InFailover(0));
+  EXPECT_EQ(map.ServedBy(0), map.SensorsOf(0));
+  EXPECT_EQ(map.ServedBy(1), map.SensorsOf(1));
+}
+
 TEST(ShardMapTest, MigrateSensorMovesOwnershipAndBumpsVersion) {
   ShardMap map(2, 8, ShardPolicy::kGeographic);
   EXPECT_EQ(map.version(), 0u);
@@ -478,6 +503,109 @@ TEST(DynamicShardTest, ReviveRescueDoesNotPreemptPromotionWindow) {
   EXPECT_EQ(deployment.ActingOwner(g1), 2) << "scheduled promotion still fires";
 }
 
+TEST(DynamicShardTest, SecondFailureOfActingOwnerServesThroughPromotionWindow) {
+  // Regression for the PR-2 known bug: failover chains were keyed by the *home*
+  // proxy, so once a replica had been promoted to acting owner, killing *it* left
+  // the adopted sensors unroutable until its own promotion event fired. Per-sensor
+  // chains (plus promotion-time standby recruiting back up to K live copies) must
+  // serve every query straight through that window.
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Minutes(2);
+  config.seed = 317;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(2));
+
+  deployment.KillProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(3));  // promotion fired
+  const int g = deployment.shard().SensorsOf(0).front();
+  const NodeId id = deployment.GlobalSensorId(g);
+  ASSERT_EQ(deployment.ActingOwner(g), 1);
+  // Promotion topped the chain back up to K=2 live copies: proxy 2 was recruited.
+  EXPECT_TRUE(deployment.proxy(2).IsReplicaFor(id))
+      << "promotion must recruit a fresh standby for the adopted shard";
+
+  // Second failure: the acting owner dies. Inside ITS promotion window, queries on
+  // the adopted shard must fall through the per-sensor chain to the recruit.
+  deployment.KillProxy(1);
+  for (int s : deployment.shard().SensorsOf(0)) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(s), 3.0));
+    ASSERT_TRUE(result.answer.status.ok())
+        << "promotion-window query failed: " << result.answer.status.ToString();
+    EXPECT_TRUE(result.used_replica) << "window service is degraded, not dead";
+    EXPECT_EQ(result.served_by, Deployment::ProxyId(2));
+    EXPECT_NE(result.answer.source, AnswerSource::kSensorPull);
+  }
+  // The dead acting owner's own home shard rides its build-time standby meanwhile.
+  for (int s : deployment.shard().SensorsOf(1)) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(s), 3.0));
+    ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+    EXPECT_EQ(result.served_by, Deployment::ProxyId(2));
+  }
+
+  // Past the window, the recruit is promoted to first-class owner.
+  deployment.RunUntil(deployment.sim().Now() + Minutes(3));
+  EXPECT_EQ(deployment.ActingOwner(g), 2);
+  UnifiedQueryResult result = deployment.QueryAndWait(NowSpec(id, 3.0));
+  ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(2));
+  EXPECT_FALSE(result.used_replica);
+}
+
+TEST(DynamicShardTest, ReviveRestoresHomeChainSoImmediateReKillFailsOver) {
+  // Hand-back re-chaining: ReviveProxy must rebuild the per-sensor chains (home
+  // first, home standbys behind it), not just the index entry, so a kill right
+  // after the revive still fails over. Recruits outside the home replica topology
+  // drop their stale state at hand-back.
+  DeploymentConfig config;
+  config.num_proxies = 3;
+  config.sensors_per_proxy = 2;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(5);
+  config.seed = 318;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  const int g = deployment.shard().SensorsOf(0).front();
+  const NodeId id = deployment.GlobalSensorId(g);
+  deployment.KillProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  ASSERT_EQ(deployment.ActingOwner(g), 1);
+  EXPECT_TRUE(deployment.proxy(2).IsReplicaFor(id)) << "promotion recruited proxy 2";
+
+  deployment.ReviveProxy(0);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  ASSERT_EQ(deployment.ActingOwner(g), 0);
+  EXPECT_TRUE(deployment.proxy(1).IsReplicaFor(id)) << "home standby restored";
+  EXPECT_FALSE(deployment.proxy(2).ManagesSensor(id))
+      << "recruit outside the home replica set must drop its state at hand-back";
+
+  // Immediate re-kill: inside the fresh promotion window the restored chain serves.
+  deployment.KillProxy(0);
+  for (int s : deployment.shard().SensorsOf(0)) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(s), 3.0));
+    ASSERT_TRUE(result.answer.status.ok())
+        << "kill-after-revive query failed: " << result.answer.status.ToString();
+    EXPECT_TRUE(result.used_replica);
+    EXPECT_EQ(result.served_by, Deployment::ProxyId(1));
+  }
+  deployment.RunUntil(deployment.sim().Now() + Minutes(1));
+  EXPECT_EQ(deployment.ActingOwner(g), 1) << "scheduled promotion still fires";
+  UnifiedQueryResult result = deployment.QueryAndWait(NowSpec(id, 3.0));
+  ASSERT_TRUE(result.answer.status.ok());
+  EXPECT_EQ(result.served_by, Deployment::ProxyId(1));
+  EXPECT_FALSE(result.used_replica);
+}
+
 TEST(DynamicShardTest, RebalancerDrainsOverloadedShard) {
   DeploymentConfig config;
   config.num_proxies = 4;
@@ -519,6 +647,98 @@ TEST(DynamicShardTest, RebalancerDrainsOverloadedShard) {
               Deployment::ProxyId(deployment.shard().OwnerOf(g)));
   }
   EXPECT_EQ(deployment.store().stats().unroutable, 0u);
+}
+
+TEST(DynamicShardTest, LptSweepConvergesMultiShardSkewInOneSweep) {
+  // Three hot shards at once: the global LPT assignment must spread all of them
+  // across every live proxy in a single sweep — the old busiest/calmest pairing
+  // needed one sweep per pair.
+  DeploymentConfig config;
+  config.num_proxies = 6;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.enable_rebalancing = true;
+  config.rebalance_period = Minutes(30);
+  config.rebalance_max_moves = 24;  // let one sweep carry the whole plan
+  config.seed = 319;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  // Run to just past a sweep boundary so each phase below sits in a fresh window.
+  auto align = [&] {
+    const SimTime next =
+        (deployment.sim().Now() / config.rebalance_period + 1) *
+        config.rebalance_period;
+    deployment.RunUntil(next + Minutes(1));
+  };
+  // Hammer every sensor of (geographic) shards 0-2: g 0..11 are the hot set.
+  auto hammer = [&] {
+    for (int rep = 0; rep < 12; ++rep) {
+      for (int g = 0; g < 12; ++g) {
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+      }
+    }
+  };
+
+  align();
+  const uint64_t migrations_before = deployment.shard_stats().migrations;
+  hammer();
+  const uint64_t sweeps_before = deployment.shard_stats().rebalance_sweeps;
+  align();  // exactly the one sweep that saw the skewed window fires here
+  EXPECT_EQ(deployment.shard_stats().rebalance_sweeps, sweeps_before + 1);
+  EXPECT_GT(deployment.shard_stats().migrations, migrations_before)
+      << "the sweep must act on a three-shard skew";
+
+  // A fresh window under the same skew measures the re-packed layout.
+  hammer();
+  uint64_t max_load = 0;
+  uint64_t min_load = ~0ull;
+  for (int p = 0; p < config.num_proxies; ++p) {
+    const uint64_t load = deployment.ProxyWindowLoad(p);
+    max_load = std::max(max_load, load);
+    min_load = std::min(min_load, load);
+  }
+  EXPECT_LE(static_cast<double>(max_load),
+            2.0 * static_cast<double>(std::max<uint64_t>(min_load, 1)))
+      << "one LPT sweep must spread three hot shards across all proxies";
+  EXPECT_EQ(deployment.shard_stats().rebalance_sweeps, sweeps_before + 1)
+      << "measurement window must not have been swept mid-flight";
+
+  // Every sensor still answers, wherever the re-pack landed it.
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    EXPECT_TRUE(result.answer.status.ok())
+        << "sensor " << g << ": " << result.answer.status.ToString();
+  }
+  EXPECT_EQ(deployment.store().stats().unroutable, 0u);
+}
+
+TEST(DynamicShardTest, RebalancerRespectsAntiThrashFloor) {
+  // The LPT sweep still honours rebalance_min_load: below the floor, even a
+  // grossly skewed window moves nothing.
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.enable_rebalancing = true;
+  config.rebalance_period = Minutes(30);
+  config.rebalance_min_load = 1u << 20;  // unreachable floor
+  config.seed = 320;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  for (int rep = 0; rep < 8; ++rep) {
+    for (int g = 0; g < 4; ++g) {  // geographic: shard 0 is the hot set
+      deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    }
+  }
+  deployment.RunUntil(deployment.sim().Now() + Minutes(31));
+  EXPECT_GT(deployment.shard_stats().rebalance_sweeps, 0u);
+  EXPECT_EQ(deployment.shard_stats().migrations, 0u)
+      << "below the anti-thrash floor the sweep must not migrate";
 }
 
 // ---------- batched pipelines ----------
