@@ -19,13 +19,23 @@
 // Absolute joules depend on the radio calibration (see EXPERIMENTS.md): we model a
 // Mica2-class CC1000 radio with a 15 s post-burst feedback window.
 
+// A second phase sweeps the *link-coalescing* epoch (`net.batch_epoch`) on a small
+// replicated multi-proxy deployment: same-destination messages enqueued within the
+// epoch (replica updates fanning into one wired link, proxy control + pull traffic
+// sharing a sensor rendezvous) ride one transaction. The table reports sensor energy,
+// interactive NOW latency, and the share of messages that coalesced — the operating
+// point picked from it is the DeploymentConfig default (see README).
+
 #include <cstdio>
 #include <memory>
 #include <vector>
 
+#include "src/core/deployment.h"
 #include "src/net/network.h"
 #include "src/sensor/sensor_node.h"
 #include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/workload/temperature.h"
 
@@ -112,6 +122,61 @@ RunResult RunPolicy(PushPolicy policy, Duration batch_interval, bool compress,
   return result;
 }
 
+// ---------- link-coalescing epoch sweep (net.batch_epoch) ----------
+
+struct EpochResult {
+  double j_per_sensor_day = 0.0;
+  double now_ms_mean = 0.0;
+  double now_ms_p95 = 0.0;
+  double success = 0.0;
+  double batched_share = 0.0;
+  uint64_t wired_tx = 0;  // wired transactions actually sent (fan-in coalesces here)
+};
+
+EpochResult RunEpochCell(Duration batch_epoch) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 16;
+  config.enable_replication = true;
+  config.net.batch_epoch = batch_epoch;
+  config.seed = kWorldSeed ^ 0xe90c4;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(20));
+
+  Pcg32 rng(kWorldSeed ^ 0x51eeb);
+  SampleSet latency_ms;
+  int ok = 0;
+  const int queries = 96;
+  for (int i = 0; i < queries; ++i) {
+    QuerySpec spec;
+    spec.type = QueryType::kNow;
+    spec.sensor_id = deployment.GlobalSensorId(
+        static_cast<int>(rng.UniformInt(0, deployment.total_sensors() - 1)));
+    spec.tolerance = 1.5;
+    const UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    if (result.answer.status.ok()) {
+      ++ok;
+      latency_ms.Add(ToMillis(result.Latency()));
+    }
+    deployment.RunUntil(deployment.sim().Now() + Seconds(30));
+  }
+
+  EpochResult out;
+  const double days = ToSeconds(deployment.sim().Now()) / 86400.0;
+  out.j_per_sensor_day = deployment.MeanSensorEnergy() / days;
+  out.now_ms_mean = latency_ms.mean();
+  out.now_ms_p95 = latency_ms.Quantile(0.95);
+  out.success = static_cast<double>(ok) / queries;
+  const NetStats& net = deployment.net().stats();
+  const uint64_t app_messages =
+      net.messages_sent - net.batch_flushes + net.batched_messages;
+  out.batched_share =
+      app_messages > 0 ? static_cast<double>(net.batched_messages) / app_messages : 0.0;
+  out.wired_tx = net.wired_messages;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -162,5 +227,28 @@ int main() {
   std::printf("\nPaper shape check: batched curves fall with the interval; "
               "denoised <= raw;\n"
               "value-driven lines flat with d=1 above d=2; crossover mid-range.\n");
+
+  // --- link-coalescing epoch (net.batch_epoch) on a replicated deployment ---
+  std::printf("\n=== net.batch_epoch sweep: 4 proxies x 64 sensors, K=2 ===\n");
+  const double epochs_s[] = {0.0, 0.25, 1.0, 2.0, 5.0, 15.0};
+  TextTable epoch_table;
+  epoch_table.SetHeader({"batch_epoch_s", "J/sensor/day", "now_ms", "now_p95_ms", "ok",
+                         "batched_share", "wired_tx"});
+  for (double epoch_s : epochs_s) {
+    std::printf("running net.batch_epoch = %.2f s...\n", epoch_s);
+    const EpochResult r =
+        RunEpochCell(static_cast<Duration>(epoch_s * static_cast<double>(kSecond)));
+    epoch_table.AddRow({TextTable::Num(epoch_s, 2), TextTable::Num(r.j_per_sensor_day, 2),
+                        TextTable::Num(r.now_ms_mean, 1), TextTable::Num(r.now_ms_p95, 1),
+                        TextTable::Num(r.success, 2), TextTable::Num(r.batched_share, 3),
+                        TextTable::Int(static_cast<long long>(r.wired_tx))});
+  }
+  std::printf("\n");
+  epoch_table.Print();
+  std::printf("\nOperating point: pulls and archive replies bypass the window, so "
+              "interactive\nlatency stays at the epoch-0 level for any epoch; replica "
+              "fan-in coalesces on\nthe wired tier from 0.25 s up. The DeploymentConfig "
+              "default is 1 s (recorded in\nREADME): comfortably inside the flat "
+              "latency region, with the wired transaction\nsavings already saturated.\n");
   return 0;
 }

@@ -25,8 +25,17 @@
 // `--smoke` runs a reduced grid (small cells, no 8/16-proxy rows) with the same
 // violation checks — the CI bench-smoke job's entry point.
 
+// Engine phase: the same deployment engine on the parallel shard-lane simulator
+// (lane = shard, epoch barriers, typed pooled events). Every engine cell runs at
+// several worker counts and the fingerprints must be bit-identical — a divergence is
+// a violation (non-zero exit). The 16 x 4096 cell must clear >= 2x events/sec at 8
+// workers over 1 (checked when the host has >= 8 hardware threads), and a
+// ~100k-sensor cell must finish inside a fixed wall-clock budget.
+
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/deployment.h"
@@ -355,6 +364,63 @@ DoubleKillResult RunDoubleKillCell(int num_proxies, int total_sensors) {
   return out;
 }
 
+// ---------- parallel shard-lane engine ----------
+
+struct EngineResult {
+  uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  uint64_t fingerprint = 0;
+  int failed_queries = 0;
+};
+
+// One lane-engine run: warm shard-local traffic, a mid-run kill and revive (barrier
+// mutations + cross-lane failover traffic), then a routability probe. Wall clock
+// covers the simulation only; the probe runs untimed.
+EngineResult RunEngineCell(int num_proxies, int total_sensors, int threads,
+                           Duration span, Duration sim_epoch, bool tiny_flash) {
+  DeploymentConfig config;
+  config.num_proxies = num_proxies;
+  config.sensors_per_proxy = total_sensors / num_proxies;
+  config.shard_policy = ShardPolicy::kGeographic;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(10);
+  config.lane_engine = true;
+  config.sim_threads = threads;
+  config.sim_epoch = sim_epoch;
+  config.seed = kSeed;
+  if (tiny_flash) {
+    // ~100k sensors: a 16 KiB archive per sensor keeps the cell inside laptop RAM
+    // while still exercising the flash path on every sample.
+    config.flash.num_blocks = 4;
+  }
+  Deployment deployment(config);
+  deployment.Start();
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  deployment.RunUntil(span / 3);
+  deployment.KillProxy(num_proxies / 2);
+  deployment.RunUntil(2 * span / 3);
+  deployment.ReviveProxy(num_proxies / 2);
+  deployment.RunUntil(span);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  EngineResult out;
+  out.events = deployment.sim().events_executed();
+  out.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  out.events_per_sec = static_cast<double>(out.events) / std::max(out.wall_s, 1e-9);
+  for (int i = 0; i < 8; ++i) {
+    const int g = (i * total_sensors) / 8;
+    UnifiedQueryResult result = deployment.QueryAndWait(NowQuery(deployment, g, 3.0));
+    if (!result.answer.status.ok()) {
+      ++out.failed_queries;
+    }
+  }
+  out.fingerprint = deployment.sim().fingerprint();
+  return out;
+}
+
 std::string FmtMs(double ms) {
   if (ms < 0.0) {
     return "never";
@@ -483,6 +549,103 @@ int main(int argc, char** argv) {
   if (reb.migrations == 0) {
     std::printf("  VIOLATION: rebalancer never migrated a sensor\n");
     ++violations;
+  }
+
+  // --- parallel shard-lane engine: threads sweep + scale cells ---
+  {
+    struct EngineCell {
+      int proxies;
+      int sensors;
+      Duration span;
+      Duration sim_epoch;
+    };
+    std::vector<EngineCell> engine_cells;
+    std::vector<int> thread_counts;
+    if (smoke) {
+      engine_cells.push_back({4, 256, Hours(1), Seconds(1)});
+      thread_counts = {1, 2};
+    } else {
+      engine_cells.push_back({4, 256, Hours(1), Seconds(1)});
+      engine_cells.push_back({16, 1024, Hours(1), Seconds(1)});
+      engine_cells.push_back({16, 4096, Hours(2), Seconds(1)});
+      thread_counts = {1, 2, 8};
+    }
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    std::printf("\nShard-lane engine (lane = shard, epoch barriers; %u hardware "
+                "threads):\n", hw_threads);
+    TextTable engine_table;
+    engine_table.SetHeader({"proxies", "sensors", "threads", "events", "wall s",
+                            "events/s", "vs 1thr", "fingerprint"});
+    for (const EngineCell& cell : engine_cells) {
+      double base_eps = 0.0;
+      double best_speedup = 0.0;
+      uint64_t base_fp = 0;
+      for (int threads : thread_counts) {
+        const EngineResult r = RunEngineCell(cell.proxies, cell.sensors, threads,
+                                             cell.span, cell.sim_epoch,
+                                             /*tiny_flash=*/false);
+        if (threads == 1) {
+          base_eps = r.events_per_sec;
+          base_fp = r.fingerprint;
+        }
+        const double speedup = base_eps > 0.0 ? r.events_per_sec / base_eps : 0.0;
+        best_speedup = std::max(best_speedup, speedup);
+        char fp_buf[32];
+        std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
+                      static_cast<unsigned long long>(r.fingerprint));
+        engine_table.AddRow({TextTable::Int(cell.proxies), TextTable::Int(cell.sensors),
+                             TextTable::Int(threads),
+                             TextTable::Int(static_cast<long long>(r.events)),
+                             TextTable::Num(r.wall_s, 2),
+                             TextTable::Num(r.events_per_sec / 1e6, 2),
+                             TextTable::Num(speedup, 2), fp_buf});
+        if (r.fingerprint != base_fp) {
+          std::printf("  VIOLATION: %dx%d fingerprint diverges at threads=%d\n",
+                      cell.proxies, cell.sensors, threads);
+          ++violations;
+        }
+        if (r.failed_queries > 0) {
+          std::printf("  VIOLATION: %d failed probes on the lane engine (%dx%d, "
+                      "threads=%d)\n", r.failed_queries, cell.proxies, cell.sensors,
+                      threads);
+          ++violations;
+        }
+      }
+      const bool speedup_cell = cell.sensors >= 4096;
+      if (speedup_cell && hw_threads >= 8 && best_speedup < 2.0) {
+        std::printf("  VIOLATION: %dx%d best speedup %.2fx < 2x at 8 threads\n",
+                    cell.proxies, cell.sensors, best_speedup);
+        ++violations;
+      }
+    }
+    engine_table.Print();
+
+    if (!smoke) {
+      // ~100k sensors: the cell the single-queue engine could not touch. Budgeted:
+      // blowing the wall clock is a violation, not a shrug.
+      constexpr double kWallBudgetS = 300.0;
+      const int big_proxies = 128;
+      const int big_sensors = 128 * 781;  // 99,968
+      std::printf("\n100k-sensor cell (%d proxies x %d sensors, threads=8, 1 h "
+                  "simulated):\n", big_proxies, big_sensors);
+      const EngineResult big = RunEngineCell(big_proxies, big_sensors, /*threads=*/8,
+                                             Hours(1), Seconds(2), /*tiny_flash=*/true);
+      std::printf("  %llu events in %.1f s wall (%.2fM events/s) | failed probes %d |"
+                  " fingerprint=%016llx\n",
+                  static_cast<unsigned long long>(big.events), big.wall_s,
+                  big.events_per_sec / 1e6, big.failed_queries,
+                  static_cast<unsigned long long>(big.fingerprint));
+      if (big.wall_s > kWallBudgetS) {
+        std::printf("  VIOLATION: 100k cell took %.1f s (> %.0f s budget)\n",
+                    big.wall_s, kWallBudgetS);
+        ++violations;
+      }
+      if (big.failed_queries > 0) {
+        std::printf("  VIOLATION: %d failed probes on the 100k cell\n",
+                    big.failed_queries);
+        ++violations;
+      }
+    }
   }
 
   // --- determinism: same seed, bit-identical replay ---

@@ -95,14 +95,21 @@ ArchitectureMetrics RunArchitectureBench(ArchitectureKind kind,
     }
     outcomes[i].past = request.past;
     outcomes[i].global_sensor = request.sensor;
-    deployment.sim().ScheduleAt(request.issue_at, [&deployment, &outcomes, &completed, i,
-                                                   spec] {
-      deployment.store().Query(spec, [&outcomes, &completed,
-                                      i](const UnifiedQueryResult& r) {
-        outcomes[i].result = r;
-        ++completed;
-      });
-    });
+    // Query issue is pinned to the control lane: UnifiedStore routing walks
+    // cross-shard state (index, chains, proxy registries), which only the
+    // barrier-serial context may touch. Note this bench is still legacy-engine only
+    // (a no-op placement today): the completion callbacks below share `completed`
+    // and would themselves need control-lane routing before enabling lane_engine.
+    deployment.sim().ScheduleAt(
+        request.issue_at,
+        [&deployment, &outcomes, &completed, i, spec] {
+          deployment.store().Query(spec, [&outcomes, &completed,
+                                          i](const UnifiedQueryResult& r) {
+            outcomes[i].result = r;
+            ++completed;
+          });
+        },
+        Simulator::kLaneControl);
   }
   // Slack so trailing pulls can finish.
   deployment.RunUntil(query_end + Hours(1));

@@ -7,6 +7,14 @@
 #include "src/util/rng.h"
 
 namespace presto {
+namespace {
+
+// kMutation payload.a op codes (payload.b carries the packed arguments).
+constexpr uint64_t kOpPromote = 1;   // b = proxy index
+constexpr uint64_t kOpHandBack = 2;  // b = proxy index
+constexpr uint64_t kOpMigrate = 3;   // b = global index | (new owner << 32)
+
+}  // namespace
 
 Deployment::Deployment(const DeploymentConfig& config) : config_(config) {
   Build([this](int global_index) {
@@ -30,6 +38,13 @@ void Deployment::Build(MeasureFactory measure_factory) {
   PRESTO_CHECK(config_.replication_factor >= 1);
   PRESTO_CHECK(measure_factory != nullptr);
 
+  // Lane engine: one lane per proxy shard, configured before anything schedules.
+  // Sensors ride their home shard's lane for the whole run (failover and migration
+  // traffic simply crosses lanes), so radio neighbourhoods execute together.
+  if (config_.lane_engine) {
+    sim_.ConfigureLanes(config_.num_proxies, config_.sim_threads, config_.sim_epoch);
+  }
+
   shard_map_ = std::make_unique<ShardMap>(config_.num_proxies, total_sensors(),
                                           config_.shard_policy,
                                           config_.replication_factor);
@@ -43,6 +58,11 @@ void Deployment::Build(MeasureFactory measure_factory) {
   field_params.seed = config_.seed ^ 0x6669656c64;
   field_ = std::make_unique<TemperatureField>(total_sensors(), field_params,
                                               config_.spatial_correlation);
+  if (sim_.num_lanes() > 0) {
+    // The shared component of the temperature field is built lazily on read; extend
+    // it at each barrier so concurrent lane measurements are pure reads.
+    sim_.SetBarrierHook([this](SimTime epoch_end) { field_->PrepareThrough(epoch_end); });
+  }
   store_ = std::make_unique<UnifiedStore>(&sim_, net_.get(), config_.seed ^ 0x696478);
 
   Pcg32 rng(config_.seed, /*stream=*/0x4450);
@@ -62,6 +82,10 @@ void Deployment::Build(MeasureFactory measure_factory) {
     pc.enable_replication = ReplicationEnabled();
     pc.seed = config_.seed ^ (0x5050 + static_cast<uint64_t>(p));
     proxies_.push_back(std::make_unique<ProxyNode>(&sim_, net_.get(), pc));
+    if (sim_.num_lanes() > 0) {
+      net_->SetNodeLane(pc.id, p);
+      proxies_.back()->BindLane(p);
+    }
   }
   // Wired mesh between proxies (replication + query forwarding).
   for (int a = 0; a < config_.num_proxies; ++a) {
@@ -97,6 +121,10 @@ void Deployment::Build(MeasureFactory measure_factory) {
 
     sensors_.push_back(
         std::make_unique<SensorNode>(&sim_, net_.get(), sc, measure_factory(g)));
+    if (sim_.num_lanes() > 0) {
+      net_->SetNodeLane(sc.id, owner);
+      sensors_.back()->BindLane(owner);
+    }
     proxies_[static_cast<size_t>(owner)]->RegisterSensor(sc.id, config_.sensing_period);
     // Every member of the owner's K-way replica set must know the sensor to accept
     // replicated state and serve failover; the owner mirrors its state to all of them.
@@ -270,10 +298,15 @@ void Deployment::KillProxy(int proxy_index) {
   proxy_down_[static_cast<size_t>(proxy_index)] = 1;
   if (ReplicationEnabled()) {
     // Failure detection + takeover lag: the replica set serves degraded through the
-    // unified store's failover chain until this event promotes a full owner.
+    // unified store's failover chain until this event promotes a full owner. The
+    // promotion is a typed barrier event: it rewrites chains across every shard.
     promotion_pending_[static_cast<size_t>(proxy_index)] = 1;
-    pending_promotions_[static_cast<size_t>(proxy_index)] = sim_.ScheduleIn(
-        config_.promotion_delay, [this, proxy_index] { PromoteShardsOf(proxy_index); });
+    EventPayload promote;
+    promote.a = kOpPromote;
+    promote.b = static_cast<uint64_t>(proxy_index);
+    pending_promotions_[static_cast<size_t>(proxy_index)] = sim_.ScheduleEventAt(
+        sim_.Now() + config_.promotion_delay, EventKind::kMutation, this,
+        std::move(promote), Simulator::kLaneControl);
   }
 }
 
@@ -288,7 +321,29 @@ void Deployment::ReviveProxy(int proxy_index) {
   pending_promotions_[static_cast<size_t>(proxy_index)].Cancel();
   promotion_pending_[static_cast<size_t>(proxy_index)] = 0;
   if (ReplicationEnabled()) {
-    sim_.ScheduleIn(0, [this, proxy_index] { HandBackShardsOf(proxy_index); });
+    EventPayload handback;
+    handback.a = kOpHandBack;
+    handback.b = static_cast<uint64_t>(proxy_index);
+    sim_.ScheduleEventAt(sim_.Now(), EventKind::kMutation, this, std::move(handback),
+                         Simulator::kLaneControl);
+  }
+}
+
+void Deployment::OnSimEvent(EventKind kind, EventPayload& payload) {
+  PRESTO_CHECK(kind == EventKind::kMutation);
+  switch (payload.a) {
+    case kOpPromote:
+      PromoteShardsOf(static_cast<int>(payload.b));
+      break;
+    case kOpHandBack:
+      HandBackShardsOf(static_cast<int>(payload.b));
+      break;
+    case kOpMigrate:
+      ExecuteMigration(static_cast<int>(payload.b & 0xffffffff),
+                       static_cast<int>(payload.b >> 32));
+      break;
+    default:
+      PRESTO_CHECK_MSG(false, "unknown mutation op");
   }
 }
 
@@ -319,6 +374,13 @@ void Deployment::PromoteShardsOf(int proxy_index) {
     }
     proxies_[static_cast<size_t>(target)]->PromoteSensor(id);
     ApplyChain(g, DeriveChain(g, target));
+    if (config_.promotion_backfill) {
+      // The promoted owner's replicated state may be shallow (recruit snapshots ship
+      // handoff_history at recruit time) or holed (its own outage window): repair the
+      // promoted serving window from the sensor's flash archive in the background.
+      proxies_[static_cast<size_t>(target)]->BackfillFromArchive(
+          id, config_.handoff_history);
+    }
     ++shard_stats_.promotions;
     shard_stats_.last_promotion_at = sim_.Now();
   }
@@ -411,9 +473,12 @@ void Deployment::HandBackShardsOf(int proxy_index) {
 void Deployment::MigrateSensor(int global_index, int new_owner) {
   PRESTO_CHECK(global_index >= 0 && global_index < total_sensors());
   PRESTO_CHECK(new_owner >= 0 && new_owner < config_.num_proxies);
-  sim_.ScheduleIn(0, [this, global_index, new_owner] {
-    ExecuteMigration(global_index, new_owner);
-  });
+  EventPayload migrate;
+  migrate.a = kOpMigrate;
+  migrate.b = static_cast<uint64_t>(static_cast<uint32_t>(global_index)) |
+              (static_cast<uint64_t>(static_cast<uint32_t>(new_owner)) << 32);
+  sim_.ScheduleEventAt(sim_.Now(), EventKind::kMutation, this, std::move(migrate),
+                       Simulator::kLaneControl);
 }
 
 void Deployment::ExecuteMigration(int global_index, int new_owner) {
@@ -502,7 +567,7 @@ void Deployment::RebalanceSweep() {
   // workload, not one window's random draw. Sensors in failover are pinned to their
   // acting owner — ExecuteMigration refuses them — so their load counts as immovable
   // base load in that proxy's bin.
-  constexpr double kEmaAlpha = 0.5;
+  const double ema_alpha = config_.rebalance_ema_alpha;
   struct Item {
     double load;
     int global_index;
@@ -524,7 +589,7 @@ void Deployment::RebalanceSweep() {
       double& ema = sensor_load_ema_[static_cast<size_t>(g)];
       const double sample =
           static_cast<double>(proxy.SensorWindowLoad(GlobalSensorId(g)));
-      ema += kEmaAlpha * (sample - ema);
+      ema += ema_alpha * (sample - ema);
       total += ema;
       if (shard_map_->InFailover(g)) {
         bin_load[static_cast<size_t>(p)] += ema;  // pinned
@@ -570,7 +635,7 @@ void Deployment::RebalanceSweep() {
         best = p;
       }
     }
-    if (load_of(item.home) < load_of(best) + item.load) {
+    if (config_.rebalance_sticky && load_of(item.home) < load_of(best) + item.load) {
       best = item.home;  // sticky: moving would not leave home lighter than the move
     }
     bin_load[static_cast<size_t>(best)] += item.load;

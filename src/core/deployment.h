@@ -47,6 +47,18 @@
 
 namespace presto {
 
+// Deployment-level network defaults. The link-coalescing epoch ships non-zero here
+// (unlike the raw NetworkParams default of 0): bench/fig2_batching's sweep shows
+// interactive latency stays at the epoch-0 level for any epoch — pulls and archive
+// replies bypass the window — while replica fan-in onto the wired tier coalesces
+// from 0.25 s up. 1 s sits comfortably inside the flat region (operating point
+// recorded in README).
+inline NetworkParams DefaultDeploymentNet() {
+  NetworkParams net;
+  net.batch_epoch = Seconds(1);
+  return net;
+}
+
 struct DeploymentConfig {
   int num_proxies = 2;
   int sensors_per_proxy = 8;
@@ -85,7 +97,22 @@ struct DeploymentConfig {
   Duration promotion_delay = Seconds(30);
   // Cache depth shipped when state is handed over (migration / revive hand-back).
   Duration handoff_history = Hours(4);
+  // Archive-backed backfill at failover promotion: the promoted proxy scans its cache
+  // over the last handoff_history for holes (shallow recruit snapshots, standby
+  // outage windows) and repairs them with one background pull from the sensor's flash
+  // archive, so the promoted window serves from cache instead of degrading.
+  bool promotion_backfill = true;
   Duration pull_timeout = Minutes(10);
+
+  // --- parallel shard-lane engine (opt-in) ---
+  // lane_engine splits the simulator into one lane per proxy shard (sensors ride
+  // their home shard's lane) executed under an epoch-barrier schedule; mutations
+  // (kill / revive / promote / migrate / rebalance) run at barriers. sim_threads
+  // workers execute the lanes — fingerprints are identical for 1 and N workers.
+  // False keeps the seed's legacy single-queue engine (and its fingerprint path).
+  bool lane_engine = false;
+  int sim_threads = 1;
+  Duration sim_epoch = Millis(500);  // cross-lane delivery granularity
 
   // Load-aware rebalancing (opt-in): every rebalance_period, per-sensor query+push
   // window counters feed an EMA (one window is a noisy sample of the workload); if
@@ -100,6 +127,13 @@ struct DeploymentConfig {
   Duration rebalance_period = Minutes(30);
   double rebalance_max_ratio = 1.5;
   int rebalance_max_moves = 4;
+  // EMA smoothing constant for the per-sensor window loads the sweep packs against:
+  // higher tracks a shifting workload faster, lower rides out bursty windows.
+  double rebalance_ema_alpha = 0.5;
+  // Keep a sensor on its home proxy unless moving it leaves home lighter than the
+  // destination becomes — a converged layout then re-derives itself move-free. Off:
+  // pure LPT packing (tightest balance, but re-packs freely).
+  bool rebalance_sticky = true;
   // A sweep only acts when the busiest proxy saw at least this many window events:
   // background push noise is not a signal worth migrating (anti-thrash floor).
   uint64_t rebalance_min_load = 16;
@@ -108,11 +142,11 @@ struct DeploymentConfig {
   TemperatureParams field;
   double spatial_correlation = 0.85;
 
-  NetworkParams net;
+  NetworkParams net = DefaultDeploymentNet();
   uint64_t seed = 42;
 };
 
-class Deployment {
+class Deployment : public EventSink {
  public:
   // Reads the world for one sensor; the default reads the temperature field.
   using MeasureFactory = std::function<SensorNode::MeasureFn(int global_sensor_index)>;
@@ -196,6 +230,11 @@ class Deployment {
 
   // Runs the simulator forward to `t` (no-op if already past).
   void RunUntil(SimTime t) { sim_.RunUntil(t); }
+
+  // Topology mutations (promotion, hand-back, migration) arrive as typed kMutation
+  // events on the control lane: they touch every layer, so they only ever execute at
+  // epoch barriers (or inline in legacy mode).
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
  private:
   void Build(MeasureFactory measure_factory);

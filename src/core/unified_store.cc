@@ -100,27 +100,72 @@ void UnifiedStore::Query(const QuerySpec& spec,
   result.served_by = proxy_id;
   result.used_replica = used_replica;
 
-  // Forwarding the query across `hops` proxies costs wired latency each way.
+  // Forwarding the query across `hops` proxies costs wired latency each way. The
+  // execute + complete stages run as typed events in the serving proxy's lane.
   const Duration route_delay = per_hop_latency_ * (search.hops + 1);
-  auto on_answer = [this, result, callback = std::move(callback),
-                    route_delay](const QueryAnswer& answer) mutable {
-    result.answer = answer;
-    sim_->ScheduleIn(route_delay, [this, result,
-                                   callback = std::move(callback)]() mutable {
-      result.completed_at = sim_->Now();
-      callback(result);
-    });
-  };
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(pending_m_);
+    id = next_query_id_++;
+    PendingQuery& pending = pending_[id];
+    pending.spec = spec;
+    pending.result = result;
+    pending.callback = std::move(callback);
+    pending.route_delay = route_delay;
+  }
+  EventPayload payload;
+  payload.a = id;
+  payload.b = 0;  // stage: execute on the proxy
+  sim_->ScheduleEventAt(sim_->Now() + route_delay, EventKind::kQuery, this,
+                        std::move(payload), net_->NodeLane(proxy_id));
+}
 
-  sim_->ScheduleIn(route_delay, [proxy, spec,
-                                 on_answer = std::move(on_answer)]() mutable {
+UnifiedStore::PendingQuery* UnifiedStore::FindPending(uint64_t id) {
+  std::lock_guard<std::mutex> lock(pending_m_);
+  auto it = pending_.find(id);
+  return it == pending_.end() ? nullptr : &it->second;
+}
+
+void UnifiedStore::OnSimEvent(EventKind kind, EventPayload& payload) {
+  PRESTO_CHECK(kind == EventKind::kQuery);
+  const uint64_t id = payload.a;
+  if (payload.b == 0) {
+    // Execute stage, running in the serving proxy's lane. The entry outlives the
+    // lock: map nodes are stable and only this query's events touch it.
+    PendingQuery* pending = FindPending(id);
+    PRESTO_CHECK(pending != nullptr);
+    ProxyNode* proxy = FindProxy(pending->result.served_by);
+    PRESTO_CHECK(proxy != nullptr);
+    auto on_answer = [this, id](const QueryAnswer& answer) {
+      PendingQuery* done = FindPending(id);
+      PRESTO_CHECK(done != nullptr);
+      done->result.answer = answer;
+      EventPayload complete;
+      complete.a = id;
+      complete.b = 1;  // stage: return hop + callback
+      sim_->ScheduleEventAt(sim_->Now() + done->route_delay, EventKind::kQuery, this,
+                            std::move(complete));
+    };
+    const QuerySpec& spec = pending->spec;
     if (spec.type == QueryType::kNow) {
       proxy->QueryNow(spec.sensor_id, spec.tolerance, spec.latency_bound,
                       std::move(on_answer));
     } else {
-      proxy->QueryPast(spec.sensor_id, spec.range, spec.tolerance, std::move(on_answer));
+      proxy->QueryPast(spec.sensor_id, spec.range, spec.tolerance,
+                       std::move(on_answer));
     }
-  });
+    return;
+  }
+  PendingQuery done;
+  {
+    std::lock_guard<std::mutex> lock(pending_m_);
+    auto it = pending_.find(id);
+    PRESTO_CHECK(it != pending_.end());
+    done = std::move(it->second);
+    pending_.erase(it);
+  }
+  done.result.completed_at = sim_->Now();
+  done.callback(done.result);
 }
 
 }  // namespace presto

@@ -16,6 +16,7 @@
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/core/types.h"
@@ -35,7 +36,13 @@ struct UnifiedStoreStats {
   uint64_t reassignments = 0;  // index re-points (promotion / migration / hand-back)
 };
 
-class UnifiedStore {
+// Routing (index search, chain walk, stats) runs in the calling context — queries are
+// issued from control context (between epochs / at barriers) in lane mode. Query
+// *execution* is a pair of typed kQuery events pinned to the serving proxy's lane, so
+// the cache/model/pull work runs with that shard's other events; the completion
+// callback therefore also fires in the serving proxy's lane, synchronized with the
+// control thread by the epoch barrier.
+class UnifiedStore : public EventSink {
  public:
   // Per-hop latency models proxy-to-proxy forwarding on the wired tier while resolving
   // the distributed index.
@@ -61,8 +68,23 @@ class UnifiedStore {
   const UnifiedStoreStats& stats() const { return stats_; }
   int IndexSize() const { return static_cast<int>(index_.size()); }
 
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
+
  private:
+  // One routed query in flight: spec + provenance-annotated result under
+  // construction, plus the callback to fire at completion. Stage 0 (kQuery, b=0)
+  // executes the query on the serving proxy; stage 1 (b=1) models the return hop and
+  // invokes the callback. Entries for different proxies complete concurrently, so the
+  // map itself is mutex-guarded; each entry is only ever touched by its own lane.
+  struct PendingQuery {
+    QuerySpec spec;
+    UnifiedQueryResult result;
+    std::function<void(const UnifiedQueryResult&)> callback;
+    Duration route_delay = 0;
+  };
+
   ProxyNode* FindProxy(NodeId proxy_id) const;
+  PendingQuery* FindPending(uint64_t id);
 
   Simulator* sim_;
   Network* net_;
@@ -71,6 +93,9 @@ class UnifiedStore {
   std::map<NodeId, ProxyNode*> proxies_;
   std::map<NodeId, std::vector<NodeId>> chain_of_;  // sensor -> ordered holder chain
   UnifiedStoreStats stats_;
+  std::mutex pending_m_;
+  std::map<uint64_t, PendingQuery> pending_;
+  uint64_t next_query_id_ = 1;
 };
 
 }  // namespace presto

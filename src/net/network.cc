@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "src/util/assert.h"
@@ -14,12 +15,44 @@ std::pair<NodeId, NodeId> OrderedPair(NodeId a, NodeId b) {
   return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
 }
 
+uint64_t PackIds(NodeId src, NodeId dst) {
+  return static_cast<uint64_t>(src) | (static_cast<uint64_t>(dst) << 32);
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// kFrame payload.b flag bits (above the 16-bit message type).
+constexpr uint64_t kFrameDeliver = 1ull << 16;  // hand the message to the receiver
+constexpr uint64_t kFrameCharge = 1ull << 17;   // apply deferred receiver radio costs
+
 }  // namespace
 
 Network::Network(Simulator* sim, NetworkParams params, uint64_t seed)
-    : sim_(sim), params_(params), rng_(seed, /*stream=*/0x4e4554) {
+    : sim_(sim), params_(params) {
   PRESTO_CHECK(sim_ != nullptr);
   PRESTO_CHECK(params_.max_retries >= 0);
+  // ctx_[0] keeps the seed deployment's stream so legacy runs replay unchanged; each
+  // worker lane draws from its own stream, fixed by lane index (not worker count).
+  ctx_.emplace_back(Pcg32(seed, /*stream=*/0x4e4554));
+  for (int lane = 0; lane < sim_->num_lanes(); ++lane) {
+    ctx_.emplace_back(
+        Pcg32(seed, /*stream=*/0x4e4554 + 0x100 + static_cast<uint64_t>(lane)));
+  }
+}
+
+Network::LaneCtx& Network::Ctx() {
+  const int lane = sim_->CurrentLane();
+  return ctx_[lane == Simulator::kLaneControl ? 0 : static_cast<size_t>(1 + lane)];
 }
 
 void Network::AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config,
@@ -34,6 +67,14 @@ void Network::AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config
   state.listen_charged_until = sim_->Now();
   nodes_.emplace(id, std::move(state));
 }
+
+void Network::SetNodeLane(NodeId id, int lane) {
+  PRESTO_CHECK(lane == Simulator::kLaneControl ||
+               (lane >= 0 && lane < sim_->num_lanes()));
+  GetNode(id).lane = lane;
+}
+
+int Network::NodeLane(NodeId id) const { return GetNode(id).lane; }
 
 void Network::ConnectWired(NodeId a, NodeId b) { wired_[OrderedPair(a, b)] = true; }
 
@@ -53,16 +94,19 @@ void Network::SetNodeDown(NodeId id, bool down) {
   }
   node.down = down;
   if (down) {
-    // Abandon coalescing batches this node is an endpoint of: a dead node's queued
-    // epoch traffic must not fire its flush later (inflating messages_dropped and the
-    // event fingerprint) — it never reached the radio in the first place.
-    for (auto it = pending_batches_.begin(); it != pending_batches_.end();) {
-      if (it->first.first == id || it->first.second == id) {
-        it->second.flush.Cancel();
-        ++stats_.batches_abandoned;
-        it = pending_batches_.erase(it);
-      } else {
-        ++it;
+    // Abandon coalescing batches this node is an endpoint of, in every lane context:
+    // a dead node's queued epoch traffic must not fire its flush later (inflating
+    // messages_dropped and the event fingerprint) — it never reached the radio in the
+    // first place. Runs at barriers, so cancelling other lanes' flush events is safe.
+    for (LaneCtx& ctx : ctx_) {
+      for (auto it = ctx.batches.begin(); it != ctx.batches.end();) {
+        if (it->first.first == id || it->first.second == id) {
+          it->second.flush.Cancel();
+          ++ctx.stats.batches_abandoned;
+          it = ctx.batches.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
   }
@@ -94,6 +138,22 @@ const Network::NodeState& Network::GetNode(NodeId id) const {
 double Network::LinkLoss(NodeId a, NodeId b) const {
   auto it = link_loss_.find(OrderedPair(a, b));
   return it != link_loss_.end() ? it->second : params_.default_frame_loss;
+}
+
+const NetStats& Network::stats() const {
+  stats_agg_ = NetStats{};
+  for (const LaneCtx& ctx : ctx_) {
+    stats_agg_.messages_sent += ctx.stats.messages_sent;
+    stats_agg_.messages_delivered += ctx.stats.messages_delivered;
+    stats_agg_.messages_dropped += ctx.stats.messages_dropped;
+    stats_agg_.frames_sent += ctx.stats.frames_sent;
+    stats_agg_.frame_retries += ctx.stats.frame_retries;
+    stats_agg_.wired_messages += ctx.stats.wired_messages;
+    stats_agg_.batch_flushes += ctx.stats.batch_flushes;
+    stats_agg_.batched_messages += ctx.stats.batched_messages;
+    stats_agg_.batches_abandoned += ctx.stats.batches_abandoned;
+  }
+  return stats_agg_;
 }
 
 const NodeNetStats& Network::node_stats(NodeId id) const { return GetNode(id).stats; }
@@ -131,25 +191,73 @@ void Network::ChargeListenWindow(NodeState& node, SimTime from, SimTime until) {
   node.listen_charged_until = until;
 }
 
+void Network::ScheduleFrame(NodeState& dst, Message message, SimTime at, bool deliver,
+                            bool charge, double listen_s, double tx_s) {
+  EventPayload payload;
+  payload.a = PackIds(message.src, message.dst);
+  payload.b = static_cast<uint64_t>(message.type) | (deliver ? kFrameDeliver : 0) |
+              (charge ? kFrameCharge : 0);
+  payload.c = static_cast<uint64_t>(message.sent_at);
+  payload.d = static_cast<uint64_t>(message.delivered_at);
+  payload.e = DoubleBits(listen_s);
+  payload.f = DoubleBits(tx_s);
+  payload.bytes = std::move(message.payload);
+  sim_->ScheduleEventAt(at, EventKind::kFrame, this, std::move(payload), dst.lane);
+}
+
+void Network::OnSimEvent(EventKind kind, EventPayload& payload) {
+  if (kind == EventKind::kBatchFlush) {
+    FlushBatch(static_cast<NodeId>(payload.a & 0xffffffff),
+               static_cast<NodeId>(payload.a >> 32));
+    return;
+  }
+  PRESTO_CHECK(kind == EventKind::kFrame);
+  NodeState& dst = GetNode(static_cast<NodeId>(payload.a >> 32));
+  const SimTime burst_end = static_cast<SimTime>(payload.d);
+  if ((payload.b & kFrameCharge) != 0 && dst.meter != nullptr &&
+      !dst.config.powered && !dst.down) {
+    // Receiver-side effects of a cross-lane burst, applied in the receiver's lane at
+    // the burst's end: preamble/frame listen time, ACK transmissions, and the
+    // post-burst stay-awake window.
+    dst.meter->Charge(EnergyComponent::kRadioListen,
+                      BitsDouble(payload.e) * params_.radio.listen_power_w);
+    dst.meter->Charge(EnergyComponent::kRadioTx,
+                      BitsDouble(payload.f) * params_.radio.tx_power_w);
+    dst.listen_until =
+        std::max(dst.listen_until, burst_end + dst.config.post_burst_listen);
+    ChargeListenWindow(dst, burst_end, dst.listen_until);
+  }
+  if ((payload.b & kFrameDeliver) == 0) {
+    return;
+  }
+  if (dst.down) {
+    ++Ctx().stats.messages_dropped;
+    return;
+  }
+  ++Ctx().stats.messages_delivered;
+  ++dst.stats.messages_received;
+  Message message;
+  message.src = static_cast<NodeId>(payload.a & 0xffffffff);
+  message.dst = static_cast<NodeId>(payload.a >> 32);
+  message.type = static_cast<uint16_t>(payload.b & 0xffff);
+  message.payload = std::move(payload.bytes);
+  message.sent_at = static_cast<SimTime>(payload.c);
+  message.delivered_at = burst_end;
+  Deliver(dst, message);
+}
+
 void Network::SendWired(NodeState& src, NodeState& dst, Message message) {
   const Duration serialization = static_cast<Duration>(
       static_cast<double>(message.payload.size()) * 8.0 / params_.wired_bit_rate_bps *
       static_cast<double>(kSecond));
   const SimTime deliver_at = sim_->Now() + params_.wired_latency + serialization;
-  ++stats_.wired_messages;
-  ++stats_.messages_sent;
+  LaneCtx& ctx = Ctx();
+  ++ctx.stats.wired_messages;
+  ++ctx.stats.messages_sent;
   ++src.stats.messages_sent;
   message.delivered_at = deliver_at;
-  NodeState* dst_ptr = &dst;
-  sim_->ScheduleAt(deliver_at, [this, dst_ptr, msg = std::move(message)]() mutable {
-    if (dst_ptr->down) {
-      ++stats_.messages_dropped;
-      return;
-    }
-    ++stats_.messages_delivered;
-    ++dst_ptr->stats.messages_received;
-    Deliver(*dst_ptr, msg);
-  });
+  ScheduleFrame(dst, std::move(message), deliver_at, /*deliver=*/true,
+                /*charge=*/false, 0.0, 0.0);
 }
 
 void Network::Deliver(NodeState& dst, const Message& message) {
@@ -190,23 +298,27 @@ void Network::SendBatched(NodeId src_id, NodeId dst_id, uint16_t type,
     Send(src_id, dst_id, type, std::move(payload));
     return;
   }
-  PendingBatch& batch = pending_batches_[{src_id, dst_id}];
+  PendingBatch& batch = Ctx().batches[{src_id, dst_id}];
   batch.queued.push_back(QueuedMessage{type, std::move(payload), sim_->Now()});
   if (batch.queued.size() == 1) {
-    // The epoch opens at the first enqueue; later arrivals ride the same flush.
-    batch.flush = sim_->ScheduleIn(
-        params_.batch_epoch, [this, src_id, dst_id] { FlushBatch(src_id, dst_id); });
+    // The epoch opens at the first enqueue; later arrivals ride the same flush. The
+    // flush fires in the scheduling lane, where this context's batch map lives.
+    EventPayload flush;
+    flush.a = PackIds(src_id, dst_id);
+    batch.flush = sim_->ScheduleEventAt(sim_->Now() + params_.batch_epoch,
+                                        EventKind::kBatchFlush, this, std::move(flush));
   }
 }
 
 void Network::FlushBatch(NodeId src_id, NodeId dst_id) {
-  auto it = pending_batches_.find({src_id, dst_id});
-  if (it == pending_batches_.end() || it->second.queued.empty()) {
+  LaneCtx& ctx = Ctx();
+  auto it = ctx.batches.find({src_id, dst_id});
+  if (it == ctx.batches.end() || it->second.queued.empty()) {
     return;
   }
   auto queued = std::move(it->second.queued);
   it->second.flush.Cancel();
-  pending_batches_.erase(it);
+  ctx.batches.erase(it);
   if (queued.size() == 1) {
     Send(src_id, dst_id, queued[0].type, std::move(queued[0].payload));
     return;
@@ -218,8 +330,8 @@ void Network::FlushBatch(NodeId src_id, NodeId dst_id) {
     writer.WriteVarU64(static_cast<uint64_t>(sim_->Now() - sub.enqueued_at));
     writer.WriteBytes(sub.payload);
   }
-  ++stats_.batch_flushes;
-  stats_.batched_messages += queued.size();
+  ++ctx.stats.batch_flushes;
+  ctx.stats.batched_messages += queued.size();
   Send(src_id, dst_id, kBatchFrameType, writer.TakeBuffer());
 }
 
@@ -227,6 +339,7 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
                    std::vector<uint8_t> payload) {
   NodeState& src = GetNode(src_id);
   NodeState& dst = GetNode(dst_id);
+  LaneCtx& ctx = Ctx();
 
   Message message;
   message.src = src_id;
@@ -237,7 +350,7 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
 
   if (src.down) {
     // A dead node cannot transmit; silently drop (caller logic should not be reached).
-    ++stats_.messages_dropped;
+    ++ctx.stats.messages_dropped;
     return;
   }
 
@@ -248,8 +361,14 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
 
   const RadioParams& radio = params_.radio;
   const double loss = LinkLoss(src_id, dst_id);
+  // A send executing inside a worker lane may only touch the receiver's state if the
+  // receiver lives in the same lane; otherwise receiver-side effects defer to the
+  // kFrame event and the rendezvous is computed without reading the live receiver.
+  const int current_lane = sim_->CurrentLane();
+  const bool cross_lane =
+      current_lane != Simulator::kLaneControl && dst.lane != current_lane;
 
-  ++stats_.messages_sent;
+  ++ctx.stats.messages_sent;
   ++src.stats.messages_sent;
   ++src.stats.bursts;
 
@@ -257,7 +376,10 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
   SimTime t = std::max(sim_->Now(), src.busy_until);
 
   // --- Rendezvous: how long a preamble must the first frame carry? ---
-  bool receiver_awake = dst.config.powered || (t < dst.listen_until);
+  // Cross-lane sends to an unpowered receiver conservatively assume it is asleep: its
+  // live post-burst listen window belongs to another lane mid-epoch.
+  bool receiver_awake =
+      dst.config.powered || (!cross_lane && t < dst.listen_until);
   Duration preamble;
   Duration receiver_preamble_rx = 0;  // portion of the preamble the receiver listens to
   if (receiver_awake) {
@@ -268,7 +390,7 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
     // channel sample catches it at a uniformly random point and stays on till the data.
     preamble = dst.config.lpl_interval;
     receiver_preamble_rx =
-        static_cast<Duration>(rng_.NextDouble() * static_cast<double>(preamble));
+        static_cast<Duration>(ctx.rng.NextDouble() * static_cast<double>(preamble));
   }
 
   t += radio.turnaround;
@@ -293,24 +415,24 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
 
     bool frame_acked = false;
     for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
-      ++stats_.frames_sent;
+      ++ctx.stats.frames_sent;
       ++src.stats.frames_sent;
       src.stats.bytes_sent += static_cast<uint64_t>(frame_bytes);
       if (attempt > 0) {
-        ++stats_.frame_retries;
+        ++ctx.stats.frame_retries;
         ++src.stats.frame_retries;
       }
       t += frame_time;
       src_tx_s += ToSeconds(frame_time);
       dst_listen_s += ToSeconds(frame_time);
 
-      const bool frame_ok = !dst.down && !rng_.Bernoulli(loss);
+      const bool frame_ok = !dst.down && !ctx.rng.Bernoulli(loss);
       // ACK exchange: receiver turns around and answers; ACKs are short, so give them a
       // quarter of the frame loss probability.
       t += radio.turnaround + ack_time;
       src_listen_s += ToSeconds(ack_time);
       dst_tx_s += ToSeconds(ack_time);
-      const bool ack_ok = frame_ok && !rng_.Bernoulli(loss / 4.0);
+      const bool ack_ok = frame_ok && !ctx.rng.Bernoulli(loss / 4.0);
       if (ack_ok) {
         frame_acked = true;
         break;
@@ -332,7 +454,8 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
                                 burst_end + src.config.post_burst_listen);
     ChargeListenWindow(src, burst_end, src.listen_until);
   }
-  if (dst.meter != nullptr && !dst.config.powered && !dst.down) {
+  const bool dst_metered = dst.meter != nullptr && !dst.config.powered;
+  if (!cross_lane && dst_metered && !dst.down) {
     dst.meter->Charge(EnergyComponent::kRadioListen, dst_listen_s * radio.listen_power_w);
     dst.meter->Charge(EnergyComponent::kRadioTx, dst_tx_s * radio.tx_power_w);
     // A receiver that was woken stays awake for its own feedback window, making an
@@ -343,23 +466,24 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
   }
 
   if (!delivered) {
-    ++stats_.messages_dropped;
+    ++ctx.stats.messages_dropped;
     ++src.stats.messages_dropped;
     PLOG_DEBUG("net: message %u->%u type=%u dropped after retries", src_id, dst_id, type);
+    if (cross_lane && dst_metered) {
+      // The receiver still listened to the failed burst; charge it in its own lane.
+      Message charge_only;
+      charge_only.src = src_id;
+      charge_only.dst = dst_id;
+      charge_only.delivered_at = burst_end;
+      ScheduleFrame(dst, std::move(charge_only), burst_end, /*deliver=*/false,
+                    /*charge=*/true, dst_listen_s, dst_tx_s);
+    }
     return;
   }
 
   message.delivered_at = burst_end;
-  NodeState* dst_ptr = &dst;
-  sim_->ScheduleAt(burst_end, [this, dst_ptr, msg = std::move(message)]() mutable {
-    if (dst_ptr->down) {
-      ++stats_.messages_dropped;
-      return;
-    }
-    ++stats_.messages_delivered;
-    ++dst_ptr->stats.messages_received;
-    Deliver(*dst_ptr, msg);
-  });
+  ScheduleFrame(dst, std::move(message), burst_end, /*deliver=*/true,
+                /*charge=*/cross_lane && dst_metered, dst_listen_s, dst_tx_s);
 }
 
 void Network::SettleIdleEnergy() {

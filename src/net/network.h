@@ -19,6 +19,19 @@
 //
 // All sender/receiver energy is charged to the nodes' EnergyMeters; idle costs (sleep +
 // LPL channel sampling) accrue per configured interval via SettleIdleEnergy().
+//
+// Shard-lane routing: when the simulator runs in lane mode, every node carries a lane
+// (SetNodeLane; the deployment pins it to the node's home shard). Sends execute in the
+// caller's lane and touch only sender-side state plus barrier-stable reads of the
+// receiver (powered flag, LPL config, down flag); delivery executes as a typed kFrame
+// event in the *receiver's* lane (via the simulator mailbox when lanes differ).
+// Receiver-side radio effects of a cross-lane burst — listen/ACK energy and the
+// post-burst listen window — ride the kFrame event instead of being applied at send
+// time, and a cross-lane sender conservatively assumes an unpowered receiver is asleep
+// (full-preamble rendezvous) rather than reading its live listen window. Loss draws,
+// aggregate stats, and per-link coalescing state are all per-lane (independent seeded
+// streams), so lane execution shares no mutable state and replays are bit-identical
+// regardless of worker count.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -94,8 +107,9 @@ struct NetStats {
   uint64_t batches_abandoned = 0;  // pending batches dropped because an endpoint died
 };
 
-class Network {
+class Network : public EventSink {
  public:
+  // Lane contexts are sized off `sim`: configure lanes before constructing.
   Network(Simulator* sim, NetworkParams params, uint64_t seed);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -104,6 +118,12 @@ class Network {
   // `node` must outlive the network or be detached before destruction.
   void AttachNode(NodeId id, NetNode* node, const NodeRadioConfig& config,
                   EnergyMeter* meter);
+
+  // Pins the node's events (deliveries, receive-side radio effects) to a simulator
+  // lane. Fixed for the run: the deployment assigns lane = home shard at build time
+  // and failover/migration traffic simply crosses lanes. Call from control context.
+  void SetNodeLane(NodeId id, int lane);
+  int NodeLane(NodeId id) const;
 
   // Declares a wired (tethered) pair; messages between them use the wired path.
   void ConnectWired(NodeId a, NodeId b);
@@ -115,7 +135,8 @@ class Network {
   // the sender pays for its futile retries). Marking a node down abandons any pending
   // coalescing batches it is an endpoint of — their flush timers are cancelled so a
   // dead proxy's queued epoch traffic neither fires nor skews drop/fingerprint counts;
-  // the batches are tallied under stats().batches_abandoned instead.
+  // the batches are tallied under stats().batches_abandoned instead. Control/barrier
+  // context only (mutations execute with every lane idle).
   void SetNodeDown(NodeId id, bool down);
   bool IsNodeDown(NodeId id) const;
 
@@ -125,7 +146,7 @@ class Network {
   Duration LplInterval(NodeId id) const;
 
   // Sends `payload` from src to dst. Cost, loss, latency are simulated; on success
-  // dst->OnMessage fires at the computed delivery time.
+  // dst->OnMessage fires at the computed delivery time, in dst's lane.
   void Send(NodeId src, NodeId dst, uint16_t type, std::vector<uint8_t> payload);
 
   // Like Send, but same-(src,dst) messages enqueued within `params.batch_epoch` of the
@@ -133,15 +154,21 @@ class Network {
   // burst, one wired frame — exactly the per-transaction overheads the paper's Figure 2
   // attributes batching gains to. Delivery still invokes dst->OnMessage once per
   // application message, in enqueue order. With batch_epoch == 0 this is Send.
+  // Coalescing state is per-lane: a link whose sends come from both a lane and the
+  // control context (barrier-time snapshots) keeps independent windows per context.
   void SendBatched(NodeId src, NodeId dst, uint16_t type, std::vector<uint8_t> payload);
 
   // Charges sleep + LPL sampling energy up to Now for all unpowered nodes. Call before
-  // reading meters at the end of a run (idempotent; may be called mid-run).
+  // reading meters at the end of a run (idempotent; may be called mid-run). Control
+  // context only.
   void SettleIdleEnergy();
 
-  const NetStats& stats() const { return stats_; }
+  // Aggregated over all lane contexts. Control context only.
+  const NetStats& stats() const;
   const NodeNetStats& node_stats(NodeId id) const;
   const NetworkParams& params() const { return params_; }
+
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
  private:
   struct NodeState {
@@ -149,6 +176,7 @@ class Network {
     NodeRadioConfig config;
     EnergyMeter* meter = nullptr;  // null => unmetered
     bool down = false;
+    int lane = Simulator::kLaneControl;
     SimTime busy_until = 0;           // sender-side serialization of bursts
     SimTime listen_until = 0;         // end of current post-burst listen window
     SimTime listen_charged_until = 0; // listen energy already charged up to here
@@ -168,26 +196,39 @@ class Network {
     std::vector<QueuedMessage> queued;
     EventHandle flush;
   };
+  // Everything a concurrently executing lane mutates, sharded per lane so parallel
+  // execution shares nothing: loss/rendezvous draws, aggregate counters, coalescing
+  // windows. Index 0 is the control context (and the whole network in legacy mode).
+  struct LaneCtx {
+    Pcg32 rng;
+    NetStats stats;
+    std::map<std::pair<NodeId, NodeId>, PendingBatch> batches;
+    explicit LaneCtx(Pcg32 r) : rng(r) {}
+  };
 
   NodeState& GetNode(NodeId id);
   const NodeState& GetNode(NodeId id) const;
+  LaneCtx& Ctx();
   double LinkLoss(NodeId a, NodeId b) const;
   void ChargeIdle(NodeState& node);
   void ChargeListenWindow(NodeState& node, SimTime from, SimTime until);
   void SendWired(NodeState& src, NodeState& dst, Message message);
   void FlushBatch(NodeId src, NodeId dst);
+  // Schedules the typed kFrame event that delivers `message` (and/or applies deferred
+  // receiver-side radio effects) in dst's lane at `at`.
+  void ScheduleFrame(NodeState& dst, Message message, SimTime at, bool deliver,
+                     bool charge, double listen_s, double tx_s);
   // Hands a delivered message to the node, unpacking coalesced batch frames into their
   // constituent application messages (delivered in enqueue order).
   void Deliver(NodeState& dst, const Message& message);
 
   Simulator* sim_;
   NetworkParams params_;
-  Pcg32 rng_;
+  std::vector<LaneCtx> ctx_;  // [0] control/legacy, [1 + lane] per worker lane
   std::map<NodeId, NodeState> nodes_;
   std::map<std::pair<NodeId, NodeId>, double> link_loss_;
   std::map<std::pair<NodeId, NodeId>, bool> wired_;
-  std::map<std::pair<NodeId, NodeId>, PendingBatch> pending_batches_;
-  NetStats stats_;
+  mutable NetStats stats_agg_;  // materialized by stats()
 };
 
 // Reserved message type for coalesced batch frames (application types stay below it).

@@ -100,6 +100,46 @@ void ProxyNode::SendStateSnapshot(NodeId sensor_id, NodeId to_proxy, Duration hi
   ++stats_.snapshots_sent;
 }
 
+void ProxyNode::BackfillFromArchive(NodeId sensor_id, Duration horizon) {
+  SensorState& sensor = GetSensor(sensor_id);
+  if (sensor.is_replica) {
+    return;  // replicas cannot pull: the sensor reports to its owner
+  }
+  const SimTime now = sim_->Now();
+  const TimeInterval window{std::max<SimTime>(0, now - horizon), now};
+  // A hole is a stretch the expected sampling grid left uncovered. Four sensing
+  // periods of slack tolerate short model-driven suppression runs (answered by
+  // extrapolation); what we repair is longer voids (snapshot depth limits, outage
+  // windows, sustained suppression).
+  const Duration min_hole = 4 * sensor.sensing_period;
+  const std::vector<Sample> cached = sensor.cache.Range(window);
+  SimTime hole_start = -1;
+  SimTime hole_end = -1;
+  SimTime cursor = window.start;
+  auto note_gap = [&](SimTime from, SimTime to) {
+    if (to - from < min_hole) {
+      return;
+    }
+    if (hole_start < 0) {
+      hole_start = from;
+    }
+    hole_end = to;
+  };
+  for (const Sample& s : cached) {
+    note_gap(cursor, s.t);
+    cursor = std::max(cursor, s.t);
+  }
+  note_gap(cursor, window.end);
+  if (hole_start < 0) {
+    return;  // the replicated state already covers the promoted window
+  }
+  // One archive transaction spanning first to last hole: the reply's samples land in
+  // the cache through the normal pull path, closing every gap in between too.
+  ++stats_.backfill_pulls;
+  IssuePull(sensor, TimeInterval{hole_start, hole_end}, /*tolerance=*/0.0,
+            /*is_now=*/false, now, [](const QueryAnswer&) {});
+}
+
 bool ProxyNode::IsReplicaFor(NodeId sensor_id) const {
   const SensorState* s = FindSensor(sensor_id);
   return s != nullptr && s->is_replica;
@@ -628,20 +668,35 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
   pull.tolerance = tolerance;
   pull.issued_at = issued_at;
   pull.callback = std::move(callback);
-  pull.timeout = sim_->ScheduleIn(config_.pull_timeout, [this, id] {
-    auto it = pending_pulls_.find(id);
-    if (it == pending_pulls_.end()) {
-      return;
-    }
-    PendingPull timed_out = std::move(it->second);
-    pending_pulls_.erase(it);
-    ++stats_.pull_timeouts;
-    FailPull(timed_out, DeadlineExceededError("sensor did not answer the pull"));
-  });
+  EventPayload timeout;
+  timeout.a = id;
+  // Pinned to this proxy's own lane: a pull may be issued from the control lane
+  // (promotion-time backfill runs at barriers), but the archive reply — and the
+  // Cancel it triggers — arrives in this lane, and Cancel must never cross lanes.
+  pull.timeout = sim_->ScheduleEventAt(sim_->Now() + config_.pull_timeout,
+                                       EventKind::kQuery, this, std::move(timeout),
+                                       lane_);
   pending_pulls_.emplace(id, std::move(pull));
   ++stats_.pulls;
-  net_->SendBatched(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
-                    msg.Encode());
+  // Pulls are interactive (a query is blocked on the answer): they bypass the link's
+  // coalescing window — the fig2 epoch sweep shows parking them there just adds two
+  // epochs to every cache-miss query. Bulk traffic (pushes, replica updates, model
+  // sends) keeps coalescing.
+  net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
+             msg.Encode());
+}
+
+void ProxyNode::OnSimEvent(EventKind kind, EventPayload& payload) {
+  // The only typed event a proxy schedules for itself: a pull timeout (kQuery).
+  PRESTO_CHECK(kind == EventKind::kQuery);
+  auto it = pending_pulls_.find(static_cast<uint32_t>(payload.a));
+  if (it == pending_pulls_.end()) {
+    return;
+  }
+  PendingPull timed_out = std::move(it->second);
+  pending_pulls_.erase(it);
+  ++stats_.pull_timeouts;
+  FailPull(timed_out, DeadlineExceededError("sensor did not answer the pull"));
 }
 
 void ProxyNode::FailPull(const PendingPull& pull, const Status& status) {

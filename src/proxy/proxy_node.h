@@ -100,14 +100,22 @@ struct ProxyStats {
   uint64_t promotions = 0;      // replica slots elevated to full ownership
   uint64_t demotions = 0;       // ownerships handed back to replica duty
   uint64_t snapshots_sent = 0;  // cache+model state transfers (migration / hand-back)
+  uint64_t backfill_pulls = 0;  // archive pulls issued to fill promotion-time gaps
   SampleSet now_latency_ms;
   SampleSet past_latency_ms;
 };
 
-class ProxyNode : public NetNode {
+class ProxyNode : public NetNode, public EventSink {
  public:
   // Attaches itself to `net` as `config.id` (powered, always-listening).
   ProxyNode(Simulator* sim, Network* net, const ProxyNodeConfig& config);
+
+  // Pins this proxy's self-scheduled events (maintenance timer, pull timeouts) to a
+  // simulator lane; the deployment binds lane = shard index. Call before Start().
+  void BindLane(int lane) {
+    lane_ = lane;
+    maintenance_timer_.BindLane(lane);
+  }
 
   // Declares a sensor this proxy manages. `sensing_period` is the sensor's sampling
   // grid (needed for freshness/coverage math). `replica = true` registers standby
@@ -137,6 +145,13 @@ class ProxyNode : public NetNode {
   // or a revive hand-back.
   void SendStateSnapshot(NodeId sensor_id, NodeId to_proxy, Duration history);
 
+  // Promotion-time gap repair: scans the cache over [now - horizon, now] for holes
+  // (a recruit's snapshot reaches only `handoff_history` deep at its recruit time, and
+  // a standby that was down missed its outage window entirely) and issues one
+  // background archive pull spanning them, so the freshly promoted owner serves that
+  // window from cache instead of degrading. No-op for replicas and hole-free caches.
+  void BackfillFromArchive(NodeId sensor_id, Duration horizon);
+
   // Starts maintenance (model management, matcher) — call once after wiring.
   void Start();
 
@@ -147,6 +162,7 @@ class ProxyNode : public NetNode {
                  QueryCallback callback);
 
   void OnMessage(const Message& message) override;
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;  // pull timeouts
 
   // Introspection for benches and the unified store.
   const ProxyStats& stats() const { return stats_; }
@@ -250,6 +266,7 @@ class ProxyNode : public NetNode {
   Simulator* sim_;
   Network* net_;
   ProxyNodeConfig config_;
+  int lane_ = Simulator::kLaneCurrent;  // set by BindLane in lane mode
   PeriodicTimer maintenance_timer_;
   std::map<NodeId, std::unique_ptr<SensorState>> sensors_;
   std::map<uint32_t, PendingPull> pending_pulls_;

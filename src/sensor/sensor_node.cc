@@ -305,8 +305,10 @@ void SensorNode::HandleArchiveQuery(const Message& message) {
     reply.status_code = static_cast<uint8_t>(StatusCode::kOk);
   }
   reply.local_send_time = clock_.LocalTime(sim_->Now());
-  net_->SendBatched(config_.id, config_.proxy_id,
-                    static_cast<uint16_t>(MsgType::kArchiveReply), reply.Encode());
+  // A blocked query is waiting on this reply: skip the link's coalescing window
+  // (pushes and other bulk traffic still ride it).
+  net_->Send(config_.id, config_.proxy_id,
+             static_cast<uint16_t>(MsgType::kArchiveReply), reply.Encode());
 }
 
 }  // namespace presto

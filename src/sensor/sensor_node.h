@@ -74,6 +74,13 @@ class SensorNode : public NetNode {
   void Start();
   void Stop();
 
+  // Pins this sensor's self-scheduled events (sensing + batch timers) to a simulator
+  // lane; the deployment binds lane = the home shard's lane. Call before Start().
+  void BindLane(int lane) {
+    sensing_timer_.BindLane(lane);
+    batch_timer_.BindLane(lane);
+  }
+
   void OnMessage(const Message& message) override;
 
   // Re-points pushes/replies at a new proxy (ownership migration or failover

@@ -1,62 +1,432 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/util/assert.h"
 
 namespace presto {
+namespace {
+
+// Which lane (of which simulator) the calling thread is currently executing. Control
+// contexts (the main thread between epochs, barrier-time execution, legacy mode)
+// leave this unset.
+struct ThreadLaneContext {
+  const Simulator* sim = nullptr;
+  int lane = 0;  // external worker lane index
+};
+thread_local ThreadLaneContext tl_lane_ctx;
+
+}  // namespace
 
 void EventHandle::Cancel() {
-  if (cancelled_ != nullptr) {
-    *cancelled_ = true;
+  if (sim_ != nullptr) {
+    sim_->CancelEvent(lane_, slot_, gen_);
   }
 }
 
-EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  PRESTO_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(std::move(cancelled));
+Simulator::~Simulator() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_m_);
+      pool_quit_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
 }
 
-EventHandle Simulator::ScheduleIn(Duration delay, std::function<void()> fn) {
+void Simulator::ConfigureLanes(int num_lanes, int threads, Duration epoch) {
+  PRESTO_CHECK_MSG(!any_scheduled_, "ConfigureLanes must precede all scheduling");
+  PRESTO_CHECK_MSG(!lane_mode_, "lanes already configured");
+  if (num_lanes <= 1) {
+    return;  // legacy single-queue engine
+  }
+  PRESTO_CHECK_MSG(epoch > 0, "lane epoch must be positive");
+  lane_mode_ = true;
+  epoch_ = epoch;
+  threads_ = std::max(1, std::min(threads, num_lanes));
+  lanes_.assign(static_cast<size_t>(num_lanes) + 1, Lane{});
+  for (Lane& lane : lanes_) {
+    lane.inbox.resize(static_cast<size_t>(num_lanes));
+  }
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int Simulator::CurrentLane() const {
+  if (tl_lane_ctx.sim == this) {
+    return tl_lane_ctx.lane;
+  }
+  return kLaneControl;
+}
+
+SimTime Simulator::Now() const {
+  if (!lane_mode_) {
+    return lanes_[0].now;
+  }
+  if (tl_lane_ctx.sim == this) {
+    return lanes_[static_cast<size_t>(tl_lane_ctx.lane)].now;
+  }
+  return global_now_;
+}
+
+int Simulator::ResolveLane(int lane) const {
+  if (!lane_mode_) {
+    return 0;
+  }
+  if (lane == kLaneCurrent) {
+    lane = CurrentLane();
+  }
+  if (lane == kLaneControl) {
+    return ControlIndex();
+  }
+  PRESTO_CHECK_MSG(lane >= 0 && lane < num_lanes(), "bad lane index");
+  return lane;
+}
+
+EventHandle Simulator::ScheduleAt(SimTime t, std::function<void()> fn, int lane) {
+  PRESTO_CHECK_MSG(t >= Now(), "cannot schedule into the past");
+  return Push(ResolveLane(lane), t, EventKind::kCallback, nullptr, EventPayload{},
+              std::move(fn));
+}
+
+EventHandle Simulator::ScheduleIn(Duration delay, std::function<void()> fn, int lane) {
   PRESTO_CHECK_MSG(delay >= 0, "negative delay");
-  return ScheduleAt(now_ + delay, std::move(fn));
+  return ScheduleAt(Now() + delay, std::move(fn), lane);
+}
+
+EventHandle Simulator::ScheduleEventAt(SimTime t, EventKind kind, EventSink* sink,
+                                       EventPayload payload, int lane) {
+  PRESTO_CHECK_MSG(t >= Now(), "cannot schedule into the past");
+  PRESTO_CHECK(sink != nullptr && kind != EventKind::kCallback);
+  return Push(ResolveLane(lane), t, kind, sink, std::move(payload), nullptr);
+}
+
+EventHandle Simulator::Push(int internal_lane, SimTime t, EventKind kind,
+                            EventSink* sink, EventPayload&& payload,
+                            std::function<void()>&& fn) {
+  const int current = CurrentLane();
+  if (current == Simulator::kLaneControl) {
+    // Only control-context schedules can be "the first ever" (a lane cannot execute
+    // before something was scheduled into it), so the ConfigureLanes ordering guard
+    // needs no cross-thread write.
+    any_scheduled_ = true;
+  }
+  if (lane_mode_ && current != kLaneControl && internal_lane != current) {
+    // Cross-lane post from a running worker: mailbox, drained (single-writer FIFO,
+    // deterministic source order) at the next barrier. Not cancellable.
+    Lane& target = lanes_[static_cast<size_t>(internal_lane)];
+    target.inbox[static_cast<size_t>(current)].push_back(
+        Mail{t, kind, sink, std::move(payload), std::move(fn)});
+    return EventHandle();
+  }
+  Lane& lane = lanes_[static_cast<size_t>(internal_lane)];
+  const uint32_t slot = Enqueue(lane, t, kind, sink, std::move(payload), std::move(fn));
+  return EventHandle(this, internal_lane, slot, lane.pool[slot].gen);
+}
+
+uint32_t Simulator::Enqueue(Lane& lane, SimTime t, EventKind kind, EventSink* sink,
+                            EventPayload&& payload, std::function<void()>&& fn) {
+  uint32_t slot;
+  if (!lane.free_slots.empty()) {
+    slot = lane.free_slots.back();
+    lane.free_slots.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(lane.pool.size());
+    lane.pool.emplace_back();
+  }
+  Event& event = lane.pool[slot];
+  event.kind = kind;
+  event.sink = sink;
+  event.payload = std::move(payload);
+  event.fn = std::move(fn);
+  lane.queue.push(QueueEntry{t, lane.next_seq++, slot, event.gen});
+  return slot;
+}
+
+void Simulator::CancelEvent(int internal_lane, uint32_t slot, uint32_t gen) {
+  Lane& lane = lanes_[static_cast<size_t>(internal_lane)];
+  if (slot >= lane.pool.size() || lane.pool[slot].gen != gen) {
+    return;  // already fired, cancelled, or the slot moved on to a new generation
+  }
+  ReleaseSlot(lane, slot);
+}
+
+void Simulator::ReleaseSlot(Lane& lane, uint32_t slot) {
+  Event& event = lane.pool[slot];
+  ++event.gen;  // invalidates queue entries and handles of the old generation
+  event.sink = nullptr;
+  event.fn = nullptr;
+  // Release the payload buffer: the next occupant move-assigns its own vector over
+  // this one, so retained capacity would only pin the last frame's allocation.
+  event.payload.bytes = std::vector<uint8_t>();
+  lane.free_slots.push_back(slot);
+}
+
+void Simulator::MixFp(uint64_t& fp, uint64_t v) const {
+  for (int i = 0; i < 8; ++i) {
+    fp = (fp ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+  }
+}
+
+bool Simulator::ExecuteOne(Lane& lane) {
+  const QueueEntry entry = lane.queue.top();
+  lane.queue.pop();
+  Event& event = lane.pool[entry.slot];
+  if (event.gen != entry.gen) {
+    return false;  // cancelled (slot already released)
+  }
+  lane.now = entry.time;
+  ++lane.executed;
+  MixFp(lane.fp, static_cast<uint64_t>(entry.time));
+  MixFp(lane.fp, entry.seq);
+  // Move the event out before dispatch: the handler may schedule into this lane and
+  // reallocate the pool (and may legitimately reuse this very slot).
+  const EventKind kind = event.kind;
+  EventSink* sink = event.sink;
+  EventPayload payload = std::move(event.payload);
+  std::function<void()> fn = std::move(event.fn);
+  ReleaseSlot(lane, entry.slot);
+  if (kind == EventKind::kCallback) {
+    fn();
+  } else {
+    sink->OnSimEvent(kind, payload);
+  }
+  return true;
+}
+
+void Simulator::RunLaneTo(int internal_lane, SimTime end, bool inclusive) {
+  Lane& lane = lanes_[static_cast<size_t>(internal_lane)];
+  const ThreadLaneContext saved = tl_lane_ctx;
+  const bool is_control = internal_lane == ControlIndex();
+  if (lane_mode_ && !is_control) {
+    tl_lane_ctx = ThreadLaneContext{this, internal_lane};
+  }
+  while (!lane.queue.empty()) {
+    const SimTime top = lane.queue.top().time;
+    if (inclusive ? top > end : top >= end) {
+      break;
+    }
+    ExecuteOne(lane);
+  }
+  tl_lane_ctx = saved;
+}
+
+void Simulator::WorkerLoop() {
+  uint64_t seen_gen = 0;
+  while (true) {
+    SimTime end;
+    bool inclusive;
+    {
+      std::unique_lock<std::mutex> lock(pool_m_);
+      pool_cv_.wait(lock, [&] { return pool_quit_ || pool_gen_ != seen_gen; });
+      if (pool_quit_) {
+        return;
+      }
+      seen_gen = pool_gen_;
+      end = pool_end_;
+      inclusive = pool_inclusive_;
+    }
+    ClaimLanes(end, inclusive);
+    {
+      std::lock_guard<std::mutex> lock(pool_m_);
+      ++pool_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void Simulator::ClaimLanes(SimTime end, bool inclusive) {
+  const int total = num_lanes();
+  int lane;
+  while ((lane = next_lane_.fetch_add(1, std::memory_order_relaxed)) < total) {
+    RunLaneTo(lane, end, inclusive);
+  }
+}
+
+void Simulator::RunLanesParallel(SimTime end, bool inclusive) {
+  {
+    std::lock_guard<std::mutex> lock(pool_m_);
+    pool_end_ = end;
+    pool_inclusive_ = inclusive;
+    pool_done_ = 0;
+    next_lane_.store(0, std::memory_order_relaxed);
+    ++pool_gen_;
+  }
+  pool_cv_.notify_all();
+  ClaimLanes(end, inclusive);  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(pool_m_);
+  done_cv_.wait(lock, [&] { return pool_done_ == static_cast<int>(workers_.size()); });
+}
+
+void Simulator::RunEpoch(SimTime end, bool inclusive) {
+  const SimTime start = global_now_;
+  // 1) Drain mailboxes: for each target lane, source lanes in index order, FIFO
+  //    within a source. Arrival times clamp to the barrier (cross-lane granularity).
+  uint64_t drained = 0;
+  for (Lane& target : lanes_) {
+    for (std::vector<Mail>& box : target.inbox) {
+      for (Mail& mail : box) {
+        Enqueue(target, std::max(mail.time, start), mail.kind, mail.sink,
+                std::move(mail.payload), std::move(mail.fn));
+        ++drained;
+      }
+      box.clear();
+    }
+  }
+  if (drained > 0) {
+    // Barrier-sequence hash: which barrier took delivery of how much cross-lane
+    // traffic is part of the replay contract.
+    MixFp(barrier_hash_, static_cast<uint64_t>(start));
+    MixFp(barrier_hash_, drained);
+  }
+  // 2) Pre-extend shared lazily-built world state so lanes only read it.
+  if (barrier_hook_) {
+    barrier_hook_(end);
+  }
+  // 3) Worker lanes.
+  if (threads_ <= 1) {
+    for (int lane = 0; lane < num_lanes(); ++lane) {
+      RunLaneTo(lane, end, inclusive);
+    }
+  } else {
+    RunLanesParallel(end, inclusive);
+  }
+  // 4) Control lane: mutations and other serial work run at the closing barrier,
+  //    with every worker idle and the global clock at `end`. An event scheduled for
+  //    time T executes at the first barrier at-or-after T (never before it), and
+  //    observes Now() == that barrier.
+  global_now_ = end;
+  RunLaneTo(ControlIndex(), end, /*inclusive=*/true);
+}
+
+void Simulator::SetBarrierHook(std::function<void(SimTime)> hook) {
+  barrier_hook_ = std::move(hook);
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; move out via const_cast, standard pop-move idiom.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (*event.cancelled) {
-      continue;
-    }
-    now_ = event.time;
-    ++events_executed_;
-    auto mix = [this](uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        fingerprint_ = (fingerprint_ ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+  if (!lane_mode_) {
+    Lane& lane = lanes_[0];
+    while (!lane.queue.empty()) {
+      if (ExecuteOne(lane)) {
+        return true;
       }
-    };
-    mix(static_cast<uint64_t>(event.time));
-    mix(event.seq);
-    event.fn();
-    return true;
+    }
+    return false;
   }
-  return false;
+  const SimTime next = NextEventTime();
+  if (next < 0) {
+    return false;
+  }
+  const SimTime target = std::max(next, global_now_);
+  RunEpoch(GridEnd(target), /*inclusive=*/false);
+  return true;
 }
 
 void Simulator::RunUntil(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Step();
+  if (!lane_mode_) {
+    Lane& lane = lanes_[0];
+    while (!lane.queue.empty() && lane.queue.top().time <= t) {
+      Step();
+    }
+    if (lane.now < t) {
+      lane.now = t;
+    }
+    return;
   }
-  if (now_ < t) {
-    now_ = t;
+  while (global_now_ <= t) {
+    SimTime next = NextEventTime();
+    if (next < 0) {
+      global_now_ = t;
+      return;
+    }
+    next = std::max(next, global_now_);
+    if (next > t) {
+      global_now_ = t;
+      return;
+    }
+    // Skip empty grid cells: barriers only run where work (or mail) is waiting.
+    const SimTime end = std::min(GridEnd(next), t);
+    RunEpoch(end, /*inclusive=*/end == t);
+    if (end == t) {
+      return;
+    }
   }
 }
 
 void Simulator::RunAll() {
   while (Step()) {
   }
+}
+
+uint64_t Simulator::events_executed() const {
+  uint64_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.executed;
+  }
+  return total;
+}
+
+size_t Simulator::events_pending() const {
+  size_t total = 0;
+  for (const Lane& lane : lanes_) {
+    total += lane.queue.size();
+    for (const std::vector<Mail>& box : lane.inbox) {
+      total += box.size();
+    }
+  }
+  return total;
+}
+
+uint64_t Simulator::fingerprint() const {
+  if (!lane_mode_) {
+    return lanes_[0].fp;
+  }
+  // Order-independent fold: lanes execute concurrently, so the combined fingerprint
+  // must not encode an inter-lane *ordering* — but each stream is bound to its lane
+  // identity before summing, so swapping two lanes' entire event streams (a lane
+  // misrouting bug) still changes the result. The barrier hash pins the cross-lane
+  // delivery schedule.
+  uint64_t total = barrier_hash_;
+  uint64_t index = 0;
+  for (const Lane& lane : lanes_) {
+    uint64_t term = lane.fp;
+    MixFp(term, index++);
+    total += term * 0x9e3779b97f4a7c15ull;
+  }
+  return total;
+}
+
+SimTime Simulator::NextEventTime() const {
+  SimTime best = -1;
+  for (const Lane& lane : lanes_) {
+    if (!lane.queue.empty()) {
+      const SimTime t = lane.queue.top().time;
+      if (best < 0 || t < best) {
+        best = t;
+      }
+    }
+    for (const std::vector<Mail>& box : lane.inbox) {
+      for (const Mail& mail : box) {
+        if (best < 0 || mail.time < best) {
+          best = mail.time;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+size_t Simulator::PoolSlotsForTest(int lane) const {
+  return lanes_[static_cast<size_t>(ResolveLane(lane))].pool.size();
+}
+
+size_t Simulator::FreeSlotsForTest(int lane) const {
+  return lanes_[static_cast<size_t>(ResolveLane(lane))].free_slots.size();
 }
 
 }  // namespace presto

@@ -1,100 +1,278 @@
-// Single-threaded discrete-event simulator.
+// Discrete-event simulator with a parallel shard-lane execution engine.
 //
 // This is the testbed substitute for the paper's mote/proxy hardware: every radio
-// transmission, flash operation, sensing tick, and query in PRESTO is an event on this
-// queue. Determinism contract: events at equal timestamps fire in scheduling order, and
-// all randomness is injected via seeded Pcg32 streams, so runs replay bit-identically.
+// transmission, flash operation, sensing tick, and query in PRESTO is an event here.
+//
+// Two execution modes share one event representation:
+//
+//  - Legacy (default): a single global queue executed inline, exactly the seed
+//    behaviour. Events at equal timestamps fire in scheduling order, all randomness is
+//    injected via seeded Pcg32 streams, and fingerprint() is the original global
+//    rolling FNV-1a over every executed event's (time, seq) — replays bit-identically.
+//
+//  - Shard lanes (ConfigureLanes): the queue splits into `num_lanes` per-lane queues
+//    (the deployment maps lane = home shard) executed by a worker pool under an
+//    epoch-barrier schedule. Within an epoch [T, T+E) every lane runs its own events
+//    independently; an event that schedules into *another* lane posts to a per-lane
+//    mailbox instead, and mailboxes are drained serially at the next barrier (the
+//    cross-lane delivery granularity is therefore the epoch). A serial *control lane*
+//    runs at barriers with no workers active — deployment mutations (kill / revive /
+//    promote / migrate / rebalance) execute there so they may touch any lane's state.
+//
+//    Determinism contract in lane mode: each lane keeps its own clock, sequence
+//    counter, and rolling FNV fingerprint; mailboxes are single-writer FIFOs drained
+//    in (source-lane, FIFO) order on a fixed absolute epoch grid, so per-lane event
+//    streams do not depend on the worker count. fingerprint() folds the per-lane
+//    fingerprints order-independently (commutative sum of mixed lane hashes) together
+//    with a barrier-sequence hash over (epoch start, mail count) of every draining
+//    barrier. threads=1 and threads=N produce identical fingerprints; a simulator
+//    that never configured lanes keeps the legacy global fingerprint path.
+//
+// Events are a typed, pool-allocated union instead of heap-allocated std::function
+// closures: timer fires, radio frame deliveries, batch flushes, query stages, and
+// topology mutations dispatch through an EventSink with a small POD payload (bulk
+// frame bytes ride in the event itself), so typed events allocate no closure state.
+// Cancellation is generation-based: a handle names (lane, slot, generation) and a
+// stale generation makes both Cancel() and queue pops no-ops.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <memory>
+#include <mutex>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "src/util/sim_time.h"
 
 namespace presto {
 
+class Simulator;
+
+// Typed event classes. kCallback is the escape hatch (tests, benches, one-off
+// orchestration); the named kinds dispatch through EventSink without allocating.
+enum class EventKind : uint8_t {
+  kCallback = 0,   // std::function<void()>
+  kTimer = 1,      // PeriodicTimer fire
+  kFrame = 2,      // Network frame delivery (message payload rides in the event)
+  kBatchFlush = 3, // Network per-link coalescing flush
+  kQuery = 4,      // query routing/completion stages, pull timeouts
+  kMutation = 5,   // deployment topology mutation (control lane only)
+};
+
+// Small POD argument block for typed events. Meaning of a..f is sink-defined;
+// `bytes` carries bulk payloads (radio frames) and its capacity is pooled.
+struct EventPayload {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  uint64_t d = 0;
+  uint64_t e = 0;
+  uint64_t f = 0;
+  std::vector<uint8_t> bytes;
+};
+
+// Receiver of typed events. Implemented by Network, UnifiedStore, ProxyNode,
+// Deployment, and PeriodicTimer.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnSimEvent(EventKind kind, EventPayload& payload) = 0;
+};
+
 // Handle to a scheduled event; allows cancellation (e.g. a retransmission timer being
-// serviced by an ACK). Copies share the underlying event.
+// serviced by an ACK). Generation-based: cancelling after the event fired (or was
+// cancelled, or its slot was reused) is a safe no-op. Cancel() must run either in the
+// event's own lane, or from control context (barriers / between runs) — never from a
+// concurrently executing other lane. Cross-lane (mailbox) schedules return an invalid
+// handle: they cannot be cancelled once posted.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  // Marks the event so the simulator skips it; safe to call multiple times or after the
-  // event has fired.
+  // Marks the event so the simulator skips it; safe to call multiple times or after
+  // the event has fired.
   void Cancel();
 
-  bool valid() const { return cancelled_ != nullptr; }
+  bool valid() const { return sim_ != nullptr; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(Simulator* sim, int lane, uint32_t slot, uint32_t gen)
+      : sim_(sim), lane_(lane), slot_(slot), gen_(gen) {}
+  Simulator* sim_ = nullptr;
+  int lane_ = 0;  // internal lane index
+  uint32_t slot_ = 0;
+  uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  // Lane designators for the `lane` parameter of the Schedule* calls.
+  static constexpr int kLaneCurrent = -2;  // the scheduling context's own lane
+  static constexpr int kLaneControl = -1;  // serial barrier lane
+
+  Simulator() { lanes_.resize(1); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
-  // Current simulated time.
-  SimTime Now() const { return now_; }
+  // Splits execution into `num_lanes` parallel lanes plus the serial control lane,
+  // run by `threads` workers (clamped to [1, num_lanes]; the calling thread is one of
+  // them) on an absolute epoch grid of length `epoch`. Must be called once, before
+  // any event is scheduled. num_lanes <= 1 keeps the legacy single-queue engine.
+  void ConfigureLanes(int num_lanes, int threads, Duration epoch);
 
-  // Schedules `fn` at absolute time `t` (must be >= Now()). Returns a cancellable handle.
-  EventHandle ScheduleAt(SimTime t, std::function<void()> fn);
+  // Worker lanes configured (0 in legacy mode).
+  int num_lanes() const { return lane_mode_ ? static_cast<int>(lanes_.size()) - 1 : 0; }
+  int threads() const { return threads_; }
+
+  // The lane the calling context executes in: a worker lane index during lane event
+  // execution, else kLaneControl (also always kLaneControl in legacy mode).
+  int CurrentLane() const;
+
+  // Current simulated time: the executing lane's clock during event execution, the
+  // global barrier clock otherwise.
+  SimTime Now() const;
+
+  // Schedules `fn` at absolute time `t` (must be >= Now()) in `lane` (default: the
+  // scheduling context's lane). Returns a cancellable handle, except for cross-lane
+  // posts from a running lane (mailbox; invalid handle).
+  EventHandle ScheduleAt(SimTime t, std::function<void()> fn, int lane = kLaneCurrent);
 
   // Schedules `fn` after `delay` (must be >= 0).
-  EventHandle ScheduleIn(Duration delay, std::function<void()> fn);
+  EventHandle ScheduleIn(Duration delay, std::function<void()> fn,
+                         int lane = kLaneCurrent);
 
-  // Executes the next event. Returns false when the queue is empty.
+  // Schedules a typed event dispatched as sink->OnSimEvent(kind, payload).
+  EventHandle ScheduleEventAt(SimTime t, EventKind kind, EventSink* sink,
+                              EventPayload payload, int lane = kLaneCurrent);
+
+  // Runs a barrier-time hook before each epoch's workers launch (lane mode only):
+  // the deployment pre-extends shared lazily-built world state (e.g. the temperature
+  // field's weather fronts) through `epoch_end` so lane execution only reads it.
+  void SetBarrierHook(std::function<void(SimTime epoch_end)> hook);
+
+  // Legacy: executes the next event, returns false when the queue is empty.
+  // Lane mode: advances one epoch covering the next pending event (or returns false
+  // when nothing is pending anywhere).
   bool Step();
 
-  // Runs until the queue is empty or `t` is reached; the clock finishes at exactly `t`
-  // if any events remain beyond it (they stay queued).
+  // Runs until pending work is exhausted or `t` is reached; the clock finishes at
+  // exactly `t` if any events remain beyond it (they stay queued). Events scheduled
+  // at exactly `t` execute, matching the legacy inclusive bound.
   void RunUntil(SimTime t);
 
-  // Runs until the queue drains.
+  // Runs until every queue and mailbox drains.
   void RunAll();
 
-  uint64_t events_executed() const { return events_executed_; }
-  size_t events_pending() const { return queue_.size(); }
+  uint64_t events_executed() const;
+  size_t events_pending() const;
 
-  // Rolling FNV-1a hash of every executed event's (time, seq). Two runs interleaving
-  // events identically — the determinism contract multi-proxy replay relies on —
-  // produce equal fingerprints; any divergence in event order changes it.
-  uint64_t fingerprint() const { return fingerprint_; }
+  // Replay fingerprint. Legacy: the global rolling FNV-1a over executed (time, seq).
+  // Lane mode: order-independent fold of the per-lane rolling hashes plus the
+  // barrier-sequence hash (see file header). Equal across reruns and worker counts.
+  uint64_t fingerprint() const;
 
-  // Timestamp of the next queued event, or -1 when the queue is empty. Cancelled
-  // events may still occupy the queue, so this is a lower bound on the next real event.
-  SimTime NextEventTime() const { return queue_.empty() ? -1 : queue_.top().time; }
+  // Timestamp of the next queued event (in any lane or mailbox), or -1 when idle.
+  // Cancelled events may still occupy queues, so this is a lower bound.
+  SimTime NextEventTime() const;
+
+  // Introspection for tests: live + free slot counts of one lane's event pool.
+  size_t PoolSlotsForTest(int lane) const;
+  size_t FreeSlotsForTest(int lane) const;
 
  private:
-  struct Event {
+  struct QueueEntry {
     SimTime time;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    uint64_t seq;  // tie-break: FIFO among same-time events within a lane
+    uint32_t slot;
+    uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
       if (a.time != b.time) {
         return a.time > b.time;
       }
       return a.seq > b.seq;
     }
   };
+  struct Event {
+    EventKind kind = EventKind::kCallback;
+    uint32_t gen = 0;
+    EventSink* sink = nullptr;
+    EventPayload payload;
+    std::function<void()> fn;
+  };
+  // A cross-lane schedule awaiting the next barrier. Lives in the *target* lane's
+  // per-source FIFO, written only by the source lane's worker.
+  struct Mail {
+    SimTime time;
+    EventKind kind;
+    EventSink* sink;
+    EventPayload payload;
+    std::function<void()> fn;
+  };
+  struct Lane {
+    SimTime now = 0;
+    uint64_t next_seq = 0;
+    uint64_t executed = 0;
+    uint64_t fp = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+    std::vector<Event> pool;
+    std::vector<uint32_t> free_slots;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue;
+    std::vector<std::vector<Mail>> inbox;  // [source worker lane] -> FIFO
+  };
 
-  SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_executed_ = 0;
-  uint64_t fingerprint_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  friend class EventHandle;
+
+  int ControlIndex() const {
+    return lane_mode_ ? static_cast<int>(lanes_.size()) - 1 : 0;
+  }
+  int ResolveLane(int lane) const;
+  EventHandle Push(int internal_lane, SimTime t, EventKind kind, EventSink* sink,
+                   EventPayload&& payload, std::function<void()>&& fn);
+  uint32_t Enqueue(Lane& lane, SimTime t, EventKind kind, EventSink* sink,
+                   EventPayload&& payload, std::function<void()>&& fn);
+  void CancelEvent(int internal_lane, uint32_t slot, uint32_t gen);
+  void ReleaseSlot(Lane& lane, uint32_t slot);
+  // Executes queued events of `lane` with time < end (<= end when `inclusive`).
+  void RunLaneTo(int internal_lane, SimTime end, bool inclusive);
+  bool ExecuteOne(Lane& lane);
+  // One barrier + one epoch [global_now_, end): drain mailboxes and run the hook,
+  // execute the worker lanes through the epoch, then run due control-lane events at
+  // the closing barrier (with the global clock at `end` and every worker idle).
+  void RunEpoch(SimTime end, bool inclusive);
+  void RunLanesParallel(SimTime end, bool inclusive);
+  void WorkerLoop();
+  void ClaimLanes(SimTime end, bool inclusive);
+  void MixFp(uint64_t& fp, uint64_t v) const;
+  SimTime GridEnd(SimTime t) const { return (t / epoch_ + 1) * epoch_; }
+
+  bool lane_mode_ = false;
+  int threads_ = 1;
+  Duration epoch_ = 0;
+  SimTime global_now_ = 0;
+  uint64_t barrier_hash_ = 0xcbf29ce484222325ull;
+  bool any_scheduled_ = false;
+  std::vector<Lane> lanes_;  // legacy: [0]; lane mode: [0..L-1] workers, [L] control
+  std::function<void(SimTime)> barrier_hook_;
+
+  // Worker pool (lane mode, threads_ > 1).
+  std::vector<std::thread> workers_;
+  std::mutex pool_m_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  uint64_t pool_gen_ = 0;
+  SimTime pool_end_ = 0;
+  bool pool_inclusive_ = false;
+  bool pool_quit_ = false;
+  int pool_done_ = 0;
+  std::atomic<int> next_lane_{0};
 };
 
 }  // namespace presto

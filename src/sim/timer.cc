@@ -34,6 +34,12 @@ void PeriodicTimer::SetPeriod(Duration period) {
   }
 }
 
+void PeriodicTimer::OnSimEvent(EventKind kind, EventPayload& payload) {
+  (void)kind;
+  (void)payload;
+  Fire();
+}
+
 void PeriodicTimer::Fire() {
   if (!running_) {
     return;
@@ -43,7 +49,8 @@ void PeriodicTimer::Fire() {
 }
 
 void PeriodicTimer::ScheduleNext(Duration delay) {
-  pending_ = sim_->ScheduleIn(delay, [this] { Fire(); });
+  pending_ = sim_->ScheduleEventAt(sim_->Now() + delay, EventKind::kTimer, this,
+                                   EventPayload{}, lane_);
 }
 
 }  // namespace presto

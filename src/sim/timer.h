@@ -1,6 +1,11 @@
 // Periodic timer built on the simulator, used for sensing loops, LPL wakeups, model
 // refit schedules, and duty-cycle beacons. The period can be changed while running
 // (query-sensor matching retunes sensors this way).
+//
+// Fires as a typed, pool-allocated kTimer event (no per-fire allocation). In lane
+// mode the timer is bound to its owner's lane with BindLane() so that fires execute
+// with the owner's other events; by default it fires in whatever lane Start() was
+// called from (the control lane when started from outside the simulator).
 
 #ifndef SRC_SIM_TIMER_H_
 #define SRC_SIM_TIMER_H_
@@ -11,14 +16,18 @@
 
 namespace presto {
 
-class PeriodicTimer {
+class PeriodicTimer : public EventSink {
  public:
   // Does not start; call Start(). `sim` must outlive the timer.
   PeriodicTimer(Simulator* sim, std::function<void()> callback);
-  ~PeriodicTimer() { Stop(); }
+  ~PeriodicTimer() override { Stop(); }
 
   PeriodicTimer(const PeriodicTimer&) = delete;
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Pins fires to `lane` (a worker lane index, or Simulator::kLaneControl). Call
+  // before Start(); the deployment binds node timers to their shard's lane.
+  void BindLane(int lane) { lane_ = lane; }
 
   // Begins firing every `period`, first fire after `initial_delay` (defaults to one
   // period). Restarting a running timer reschedules it.
@@ -27,12 +36,14 @@ class PeriodicTimer {
   // Cancels the pending fire; idempotent.
   void Stop();
 
-  // Changes the period. Takes effect for the *next* fire; the currently pending fire is
-  // rescheduled relative to now.
+  // Changes the period. Takes effect for the *next* fire; the currently pending fire
+  // is rescheduled relative to now.
   void SetPeriod(Duration period);
 
   bool running() const { return running_; }
   Duration period() const { return period_; }
+
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
  private:
   void Fire();
@@ -42,6 +53,7 @@ class PeriodicTimer {
   std::function<void()> callback_;
   EventHandle pending_;
   Duration period_ = 0;
+  int lane_ = Simulator::kLaneCurrent;
   bool running_ = false;
 };
 

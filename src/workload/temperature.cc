@@ -66,6 +66,9 @@ double TemperatureSignal::FrontAt(SimTime t) {
 }
 
 void TemperatureSignal::ExtendEvents(SimTime t) {
+  if (events_horizon_ > t) {
+    return;  // already extended past t: read-only fast path (lane-parallel reads)
+  }
   if (params_.events_per_day <= 0.0) {
     events_horizon_ = std::max(events_horizon_, t + kDay);
     return;
@@ -95,6 +98,11 @@ std::vector<TransientEvent> TemperatureSignal::EventsIn(TimeInterval interval) {
     }
   }
   return out;
+}
+
+void TemperatureSignal::PrepareThrough(SimTime t) {
+  ExtendFronts(t);
+  ExtendEvents(t);
 }
 
 double TemperatureSignal::ValueAt(SimTime t) {
@@ -165,6 +173,8 @@ double TemperatureField::MeasureAt(int node, SimTime t) {
       HashGaussian(noise_seed_ ^ static_cast<uint64_t>(node), t);
   return TruthAt(node, t) + noise;
 }
+
+void TemperatureField::PrepareThrough(SimTime t) { shared_->PrepareThrough(t); }
 
 std::vector<TransientEvent> TemperatureField::EventsIn(int node, TimeInterval interval) {
   PRESTO_CHECK(node >= 0 && node < num_nodes());

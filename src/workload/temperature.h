@@ -61,6 +61,11 @@ class TemperatureSignal : public Signal {
 
   double ValueAt(SimTime t) override;
 
+  // Extends the lazily built front grid and event list through `t`, so that later
+  // ValueAt(t' <= t) calls are pure reads. The parallel deployment engine calls this
+  // at epoch barriers for signals shared across lanes.
+  void PrepareThrough(SimTime t);
+
   // The noiseless, eventless component (for decomposition-aware tests).
   double BaseAt(SimTime t);
 
@@ -94,6 +99,12 @@ class TemperatureField {
 
   // TruthAt plus white measurement noise — what the node's ADC reads.
   double MeasureAt(int node, SimTime t);
+
+  // Pre-extends the *shared* field component through `t`. Per-node components are
+  // only read by their own node's lane, but the shared signal is read by every lane:
+  // the deployment pre-extends it at each epoch barrier so MeasureAt never mutates
+  // cross-lane state. (Noise is a stateless hash; no preparation needed.)
+  void PrepareThrough(SimTime t);
 
   // Per-node events (for rare-event detection scoring).
   std::vector<TransientEvent> EventsIn(int node, TimeInterval interval);

@@ -914,5 +914,171 @@ TEST(ReplayTest, FourProxyRunReplaysBitIdentically) {
   EXPECT_NE(a.fingerprint, c.fingerprint) << "different seed should diverge";
 }
 
+// ---------- parallel shard-lane engine ----------
+
+// A full deployment scenario on the lane engine: warmup, population-wide queries, a
+// kill (degraded + promoted probes), a revive hand-back, and a live migration. The
+// digest must be bit-identical for any worker count — that is the engine's contract.
+ReplayDigest RunLaneEngineScenario(int threads) {
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 8;
+  config.enable_replication = true;
+  config.replication_factor = 2;
+  config.promotion_delay = Seconds(10);
+  config.lane_engine = true;
+  config.sim_threads = threads;
+  config.sim_epoch = Seconds(2);
+  config.net.batch_epoch = Seconds(1);  // exercise per-lane coalescing windows
+  config.seed = 331;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(8));
+
+  ReplayDigest digest;
+  auto probe = [&](int g) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    digest.answers.push_back(result.answer.status.ok() ? result.answer.value : -1e9);
+  };
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    probe(g);
+  }
+  deployment.KillProxy(1);
+  for (int g : deployment.shard().SensorsOf(1)) {
+    probe(g);  // degraded window: served through the failover chain
+  }
+  deployment.RunUntil(deployment.sim().Now() + Seconds(30));  // past promotion
+  for (int g : deployment.shard().SensorsOf(1)) {
+    probe(g);
+  }
+  deployment.ReviveProxy(1);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(10));
+  deployment.MigrateSensor(0, deployment.shard().OwnerOf(0) == 3 ? 2 : 3);
+  deployment.RunUntil(deployment.sim().Now() + Minutes(5));
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    probe(g);
+  }
+
+  digest.fingerprint = deployment.sim().fingerprint();
+  digest.events = deployment.sim().events_executed();
+  digest.energy = deployment.MeanSensorEnergy();
+  digest.messages_sent = deployment.net().stats().messages_sent;
+  return digest;
+}
+
+TEST(LaneEngineDeploymentTest, DigestIdenticalAcrossWorkerCounts) {
+  const ReplayDigest one = RunLaneEngineScenario(1);
+  const ReplayDigest two = RunLaneEngineScenario(2);
+  const ReplayDigest eight = RunLaneEngineScenario(8);
+  EXPECT_EQ(one.fingerprint, two.fingerprint);
+  EXPECT_EQ(one.fingerprint, eight.fingerprint);
+  EXPECT_TRUE(one == two) << "worker count must not change any observable";
+  EXPECT_TRUE(one == eight) << "worker count must not change any observable";
+  // And the threaded run replays bit-identically against itself.
+  const ReplayDigest again = RunLaneEngineScenario(8);
+  EXPECT_EQ(eight.fingerprint, again.fingerprint);
+  EXPECT_TRUE(eight == again);
+}
+
+// ---------- archive-backed backfill on promotion ----------
+
+TEST(BackfillTest, PromotionBackfillsArchiveGapsIntoCache) {
+  // Model-driven push keeps the replicated cache sparse (suppressed samples never
+  // leave the sensor), so a freshly promoted standby holds holes across its serving
+  // window. With backfill on, promotion repairs the window from the sensor's flash
+  // archive in the background: a PAST query then answers from cache; without it, the
+  // same query has to pull on demand.
+  auto run = [](bool backfill, AnswerSource* source, uint64_t* backfill_pulls) {
+    DeploymentConfig config;
+    config.num_proxies = 2;
+    config.sensors_per_proxy = 2;
+    config.enable_replication = true;
+    config.replication_factor = 2;
+    config.promotion_delay = Seconds(10);
+    config.model_tolerance = 2.0;  // sparse pushes → real cache holes
+    config.promotion_backfill = backfill;
+    config.seed = 337;
+    Deployment deployment(config);
+    deployment.Start();
+    deployment.RunUntil(Hours(10));
+
+    deployment.KillProxy(0);
+    // Promotion fires at +10 s; give the background archive pull time to complete.
+    deployment.RunUntil(deployment.sim().Now() + Minutes(3));
+    EXPECT_EQ(deployment.ActingOwner(0), 1);
+    *backfill_pulls = deployment.proxy(1).stats().backfill_pulls;
+
+    // A range well inside the backfill horizon (handoff_history = 4 h). The tiny
+    // tolerance defeats model extrapolation, so the answer provenance exposes
+    // whether the cache was repaired.
+    const SimTime now = deployment.sim().Now();
+    QuerySpec spec;
+    spec.type = QueryType::kPast;
+    spec.sensor_id = deployment.GlobalSensorId(0);
+    spec.range = TimeInterval{now - Hours(3), now - Hours(2)};
+    spec.tolerance = 0.01;
+    UnifiedQueryResult result = deployment.QueryAndWait(spec);
+    ASSERT_TRUE(result.answer.status.ok()) << result.answer.status.ToString();
+    EXPECT_FALSE(result.answer.samples.empty());
+    *source = result.answer.source;
+  };
+
+  AnswerSource with_backfill = AnswerSource::kFailed;
+  AnswerSource without_backfill = AnswerSource::kFailed;
+  uint64_t pulls_on = 0;
+  uint64_t pulls_off = 0;
+  run(true, &with_backfill, &pulls_on);
+  run(false, &without_backfill, &pulls_off);
+  EXPECT_GE(pulls_on, 1u) << "promotion must issue a background archive pull";
+  EXPECT_EQ(pulls_off, 0u);
+  EXPECT_EQ(with_backfill, AnswerSource::kCacheHit)
+      << "backfilled window must serve from cache";
+  EXPECT_EQ(without_backfill, AnswerSource::kSensorPull)
+      << "without backfill the promoted owner still degrades to per-query pulls";
+}
+
+// ---------- rebalancer knobs ----------
+
+TEST(DynamicShardTest, RebalanceKnobsStillConverge) {
+  // alpha = 1 (no smoothing) with the sticky rule off is the most trigger-happy
+  // setting: a pure LPT re-pack against each raw window. It must still drain the hot
+  // shard, never empty a shard, and keep every sensor answerable.
+  DeploymentConfig config;
+  config.num_proxies = 4;
+  config.sensors_per_proxy = 4;
+  config.enable_replication = true;
+  config.enable_rebalancing = true;
+  config.rebalance_period = Minutes(10);
+  config.rebalance_max_moves = 2;
+  config.rebalance_ema_alpha = 1.0;
+  config.rebalance_sticky = false;
+  config.seed = 341;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Days(1));
+
+  for (int round = 0; round < 6; ++round) {
+    for (int rep = 0; rep < 8; ++rep) {
+      for (int g = 0; g < 4; ++g) {  // geographic: initial shard 0
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+      }
+    }
+    deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(14), 3.0));
+    deployment.RunUntil(deployment.sim().Now() + Minutes(11));
+  }
+
+  EXPECT_GT(deployment.shard_stats().migrations, 0u);
+  EXPECT_LT(deployment.shard().SensorsOf(0).size(), 4u);
+  EXPECT_GE(deployment.shard().MinShardSize(), 1);
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    UnifiedQueryResult result =
+        deployment.QueryAndWait(NowSpec(deployment.GlobalSensorId(g), 3.0));
+    EXPECT_TRUE(result.answer.status.ok())
+        << "sensor " << g << ": " << result.answer.status.ToString();
+  }
+  EXPECT_EQ(deployment.store().stats().unroutable, 0u);
+}
+
 }  // namespace
 }  // namespace presto
