@@ -1,0 +1,350 @@
+// Federation scale bench: many proxy cells under one global sensor namespace, with
+// the open-loop *in-sim* query driver carrying the interactive workload — every
+// query is issued as a control-lane event inside the simulation, so a cell grid of
+// thousands of sensors runs its whole query stream with zero host round-trips.
+//
+// Each cell of the sweep (cells × proxies/cell × sensors/cell) runs three phases
+// with one driver per gateway cell targeting the whole federation namespace:
+//
+//   healthy   — every query must answer (zero failures; cross-cell share tracks
+//               1 - 1/cells for uniform targeting).
+//   cell kill — one whole cell is killed. Queries into its namespace block fail
+//               *fast* at the serving store (no replica survives a whole-cell
+//               kill); everything else keeps answering. The failed share must stay
+//               near the killed block's share of the namespace — and an in-cell
+//               single-proxy kill is also probed (replication keeps that at zero).
+//   revive    — the cell returns; failures must stop.
+//
+// Self-checks (non-zero exit on violation):
+//   - the acceptance cell (>= 4 cells x 8 proxies x 4096 sensors/cell) sustains
+//     >= 100 queries/sim-minute federation-wide,
+//   - healthy-phase failures are zero; kill-phase failures stay inside the killed
+//     cell's namespace share band; revive-phase failures are zero,
+//   - the acceptance cell re-runs at sim_threads in {1, 8} with a bit-identical
+//     federation fingerprint and bit-identical driver latency histograms.
+//
+// `--smoke` runs a reduced grid with the same checks (the CI entry point).
+// `--csv` writes the summary table to federation_scale.csv (never by default:
+// bench dumps do not belong in the tree).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/federation.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+#include "src/workload/query_driver.h"
+
+using namespace presto;
+
+namespace {
+
+constexpr uint64_t kSeed = 20260731;
+
+struct PhaseWindow {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cross_cell = 0;
+};
+
+struct FedCellResult {
+  double sim_minutes_driven = 0.0;
+  double queries_per_min = 0.0;
+  double cross_share = 0.0;
+  double now_latency_ms_mean = 0.0;
+  double now_latency_ms_p95 = 0.0;
+  PhaseWindow healthy;
+  PhaseWindow killed;
+  PhaseWindow revived;
+  uint64_t trunk_messages = 0;
+  uint64_t trunk_bytes = 0;
+  uint64_t fingerprint = 0;
+  uint64_t histogram = 0;
+  double wall_s = 0.0;
+};
+
+struct DriverSnapshot {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cross_cell = 0;
+};
+
+DriverSnapshot Snapshot(const std::vector<QueryDriver*>& drivers) {
+  DriverSnapshot snap;
+  for (const QueryDriver* driver : drivers) {
+    snap.issued += driver->stats().issued;
+    snap.completed += driver->stats().completed;
+    snap.failed += driver->stats().failed;
+    snap.cross_cell += driver->stats().cross_cell;
+  }
+  return snap;
+}
+
+PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
+  PhaseWindow window;
+  window.issued = after.issued - before.issued;
+  window.completed = after.completed - before.completed;
+  window.failed = after.failed - before.failed;
+  window.cross_cell = after.cross_cell - before.cross_cell;
+  return window;
+}
+
+FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell,
+                                int sim_threads, double rate_per_cell_per_hour,
+                                Duration warmup, Duration phase) {
+  FederationConfig config;
+  config.num_cells = num_cells;
+  config.cell.num_proxies = proxies;
+  config.cell.sensors_per_proxy = sensors_per_cell / proxies;
+  config.cell.enable_replication = true;
+  config.cell.replication_factor = 2;
+  config.cell.promotion_delay = Seconds(10);
+  // Interactive operating point — and the phase accounting depends on it: a pull
+  // in flight when its cell is killed fails by timeout, so the timeout must expire
+  // inside the kill window, not leak a stale failure into the revived window.
+  config.cell.pull_timeout = Seconds(30);
+  // 256 KiB archive per sensor keeps the 16k-sensor acceptance cell inside laptop
+  // RAM (default 1 MiB x 16384 sensors is 16 GiB) while exercising the flash path
+  // on every sample.
+  config.cell.flash.num_blocks = 64;
+  config.cell.lane_engine = true;
+  config.cell.sim_threads = sim_threads;
+  config.cell.sim_epoch = Seconds(1);
+  config.epoch = Seconds(1);
+  config.seed = kSeed;
+
+  Federation fed(config);
+  fed.Start();
+
+  std::vector<QueryDriver*> drivers;
+  for (int c = 0; c < num_cells; ++c) {
+    QueryDriverParams params;
+    params.mix.queries_per_hour = rate_per_cell_per_hour;
+    params.mix.num_sensors = 0;  // whole federation namespace
+    params.mix.past_fraction = 0.2;
+    params.mix.mean_past_age = Minutes(30);
+    params.mix.max_past_age = Hours(1);
+    params.mix.min_tolerance = 1.5;
+    params.mix.max_tolerance = 3.0;
+    params.mix.seed = kSeed ^ (0xd1e5 + static_cast<uint64_t>(c));
+    drivers.push_back(&fed.AttachQueryDriver(c, params));
+  }
+
+  // Queries routed just before a topology change complete a couple of federation
+  // epochs later (trunk hop + barrier clamps): a short grace window after each
+  // transition attributes those stragglers to the phase that issued them.
+  const Duration grace = Seconds(15);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  fed.RunUntil(warmup);
+  for (QueryDriver* driver : drivers) {
+    driver->Start(3 * phase + grace);
+  }
+
+  FedCellResult out;
+  // Healthy phase.
+  const DriverSnapshot at_start = Snapshot(drivers);
+  fed.RunUntil(fed.Now() + phase);
+  const DriverSnapshot at_kill = Snapshot(drivers);
+  out.healthy = Delta(at_start, at_kill);
+
+  // Kill phase: one whole cell goes dark; a proxy inside a *surviving* cell dies
+  // too (in-cell replication must absorb that one without a single failed query —
+  // it is accounted inside the same window).
+  const int victim_cell = num_cells / 2;
+  fed.KillCell(victim_cell);
+  fed.cell((victim_cell + 1) % num_cells).KillProxy(0);
+  fed.RunUntil(fed.Now() + phase);
+
+  // Revive, then let kill-window stragglers drain before judging the new window.
+  fed.ReviveCell(victim_cell);
+  fed.cell((victim_cell + 1) % num_cells).ReviveProxy(0);
+  fed.RunUntil(fed.Now() + grace);
+  const DriverSnapshot at_revive = Snapshot(drivers);
+  out.killed = Delta(at_kill, at_revive);
+
+  fed.RunUntil(fed.Now() + phase + Minutes(2));  // trailing settle drains in-flight
+  const DriverSnapshot at_end = Snapshot(drivers);
+  out.revived = Delta(at_revive, at_end);
+  const auto wall_end = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+
+  out.sim_minutes_driven = ToMinutes(3 * phase + grace);
+  out.queries_per_min = static_cast<double>(at_end.issued) / out.sim_minutes_driven;
+  out.cross_share = at_end.issued > 0
+                        ? static_cast<double>(at_end.cross_cell) /
+                              static_cast<double>(at_end.issued)
+                        : 0.0;
+
+  SampleSet latency_ms;
+  LatencyHistogram merged;
+  for (const QueryDriver* driver : drivers) {
+    merged.Merge(driver->stats().latency);
+    for (double ms : driver->stats().latency_ms.samples()) {
+      latency_ms.Add(ms);
+    }
+  }
+  out.now_latency_ms_mean = latency_ms.mean();
+  out.now_latency_ms_p95 = latency_ms.Quantile(0.95);
+  out.histogram = merged.Hash();
+  for (int s = 0; s < num_cells; ++s) {
+    for (int d = 0; d < num_cells; ++d) {
+      if (s == d) {
+        continue;
+      }
+      out.trunk_messages += fed.link(s, d).stats().messages;
+      out.trunk_bytes += fed.link(s, d).stats().bytes;
+    }
+  }
+  out.fingerprint = fed.fingerprint();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool write_csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--csv") {
+      write_csv = true;
+    }
+  }
+  std::printf("PRESTO federation bench: multi-cell deployments under one global\n");
+  std::printf("namespace, queries driven from inside the simulation (open-loop\n");
+  std::printf("control-lane arrivals), one whole cell killed and revived mid-run.\n");
+  std::printf("Deterministic seed %llu.%s\n\n",
+              static_cast<unsigned long long>(kSeed),
+              smoke ? " [--smoke: reduced grid]" : "");
+
+  struct Cell {
+    int cells;
+    int proxies;
+    int sensors_per_cell;
+    double rate_per_cell_per_hour;
+    Duration warmup;
+    Duration phase;
+    bool acceptance;  // the >= 100 queries/sim-minute + threads determinism cell
+  };
+  std::vector<Cell> grid;
+  std::vector<int> thread_counts;
+  if (smoke) {
+    grid.push_back({2, 2, 32, 1200.0, Minutes(30), Minutes(4), false});
+    grid.push_back({4, 4, 64, 1800.0, Minutes(30), Minutes(4), true});
+    thread_counts = {1, 2};
+  } else {
+    grid.push_back({2, 4, 256, 1800.0, Hours(1), Minutes(8), false});
+    grid.push_back({4, 8, 1024, 1800.0, Hours(1), Minutes(8), false});
+    // Acceptance: 4 cells x 8 proxies x 4096 sensors/cell = 16384 sensors, four
+    // gateways at 30 q/min each -> 120 queries/sim-minute federation-wide.
+    grid.push_back({4, 8, 4096, 1800.0, Hours(1), Minutes(8), true});
+    thread_counts = {1, 8};
+  }
+
+  int violations = 0;
+  TextTable table;
+  table.SetHeader({"cells", "proxies", "sensors", "threads", "q/min", "cross",
+                   "lat ms", "p95 ms", "healthy fail", "killed fail", "fail share",
+                   "revived fail", "trunk msgs", "wall s", "fingerprint"});
+
+  for (const Cell& cell : grid) {
+    uint64_t base_fp = 0;
+    uint64_t base_hist = 0;
+    const std::vector<int> threads_list =
+        cell.acceptance ? thread_counts : std::vector<int>{thread_counts.front()};
+    for (int threads : threads_list) {
+      const FedCellResult r = RunFederationCell(
+          cell.cells, cell.proxies, cell.sensors_per_cell, threads,
+          cell.rate_per_cell_per_hour, cell.warmup, cell.phase);
+      char fp_buf[32];
+      std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
+                    static_cast<unsigned long long>(r.fingerprint));
+      const double fail_share =
+          r.killed.completed > 0 ? static_cast<double>(r.killed.failed) /
+                                       static_cast<double>(r.killed.completed)
+                                 : 0.0;
+      table.AddRow({TextTable::Int(cell.cells), TextTable::Int(cell.proxies),
+                    TextTable::Int(cell.cells * cell.sensors_per_cell),
+                    TextTable::Int(threads), TextTable::Num(r.queries_per_min, 1),
+                    TextTable::Num(r.cross_share, 2),
+                    TextTable::Num(r.now_latency_ms_mean, 1),
+                    TextTable::Num(r.now_latency_ms_p95, 1),
+                    TextTable::Int(static_cast<long long>(r.healthy.failed)),
+                    TextTable::Int(static_cast<long long>(r.killed.failed)),
+                    TextTable::Num(fail_share, 2),
+                    TextTable::Int(static_cast<long long>(r.revived.failed)),
+                    TextTable::Int(static_cast<long long>(r.trunk_messages)),
+                    TextTable::Num(r.wall_s, 1), fp_buf});
+      std::printf("  done: %d cells x %d proxies x %d sensors, threads=%d "
+                  "(%.1f q/min, %.1f s wall) fingerprint=%016llx\n",
+                  cell.cells, cell.proxies, cell.cells * cell.sensors_per_cell,
+                  threads, r.queries_per_min, r.wall_s,
+                  static_cast<unsigned long long>(r.fingerprint));
+
+      if (r.healthy.failed > 0) {
+        std::printf("  VIOLATION: %llu failed queries in the healthy phase\n",
+                    static_cast<unsigned long long>(r.healthy.failed));
+        ++violations;
+      }
+      if (r.revived.failed > 0) {
+        std::printf("  VIOLATION: %llu failed queries after the cell revived\n",
+                    static_cast<unsigned long long>(r.revived.failed));
+        ++violations;
+      }
+      // A dead cell's namespace block is 1/cells of a uniform target draw; the
+      // kill-phase failed share must stay inside a generous band around it. Too
+      // high means healthy cells failed too; zero means the kill never bit.
+      const double expected = 1.0 / cell.cells;
+      if (r.killed.failed == 0 || fail_share > 1.8 * expected) {
+        std::printf("  VIOLATION: kill-phase failed share %.2f outside (0, %.2f]\n",
+                    fail_share, 1.8 * expected);
+        ++violations;
+      }
+      if (r.cross_share <= 0.0) {
+        std::printf("  VIOLATION: no cross-cell queries in a multi-cell run\n");
+        ++violations;
+      }
+      if (cell.acceptance && r.queries_per_min < 100.0) {
+        std::printf("  VIOLATION: %.1f queries/sim-minute < 100 on the acceptance "
+                    "cell\n", r.queries_per_min);
+        ++violations;
+      }
+      if (threads == threads_list.front()) {
+        base_fp = r.fingerprint;
+        base_hist = r.histogram;
+      } else {
+        if (r.fingerprint != base_fp) {
+          std::printf("  VIOLATION: federation fingerprint diverges at threads=%d\n",
+                      threads);
+          ++violations;
+        }
+        if (r.histogram != base_hist) {
+          std::printf("  VIOLATION: latency histogram diverges at threads=%d\n",
+                      threads);
+          ++violations;
+        }
+      }
+    }
+  }
+
+  std::printf("\n");
+  table.Print();
+  if (write_csv) {
+    table.WriteCsvFile("federation_scale.csv");
+  }
+
+  if (violations > 0) {
+    std::printf("\n%d violation(s) — see above.\n", violations);
+    return 1;
+  }
+  std::printf("\nAll federation availability, throughput, and determinism "
+              "requirements hold.\n");
+  return 0;
+}

@@ -23,7 +23,8 @@
 // balance, or determinism requirement is violated.
 //
 // `--smoke` runs a reduced grid (small cells, no 8/16-proxy rows) with the same
-// violation checks — the CI bench-smoke job's entry point.
+// violation checks — the CI bench-smoke job's entry point. `--csv` writes the
+// summary table to scale_sharding.csv (never by default: dumps stay out of the tree).
 
 // Engine phase: the same deployment engine on the parallel shard-lane simulator
 // (lane = shard, epoch barriers, typed pooled events). Every engine cell runs at
@@ -433,7 +434,16 @@ std::string FmtMs(double ms) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  bool smoke = false;
+  bool write_csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--csv") {
+      write_csv = true;
+    }
+  }
   std::printf("PRESTO scale bench: sharded multi-proxy deployments with dynamic\n");
   std::printf("shard management (K-way replication, promotion, rebalancing).\n");
   std::printf("Two proxies are killed mid-run (one on 2-proxy cells); 'killed fail'\n");
@@ -503,7 +513,11 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   table.Print();
-  table.WriteCsvFile("scale_sharding.csv");
+  if (write_csv) {
+    // Opt-in only: bench dumps do not belong in the tree (and .gitignore backstops
+    // the ones a local run leaves behind).
+    table.WriteCsvFile("scale_sharding.csv");
+  }
 
   // --- double kill: home proxy, then its promoted acting owner ---
   const int dk_proxies = smoke ? 4 : 8;

@@ -1,6 +1,7 @@
 #include "src/core/deployment.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "src/util/assert.h"
@@ -330,6 +331,20 @@ void Deployment::ReviveProxy(int proxy_index) {
 }
 
 void Deployment::OnSimEvent(EventKind kind, EventPayload& payload) {
+  if (kind == EventKind::kQuery) {
+    // A QueryAsync completion marshalled onto the control lane: pop the entry and
+    // hand the result to the caller in control context.
+    ExternalQuery done;
+    {
+      std::lock_guard<std::mutex> lock(external_m_);
+      auto it = external_.find(payload.a);
+      PRESTO_CHECK(it != external_.end());
+      done = std::move(it->second);
+      external_.erase(it);
+    }
+    done.on_done(done.result);
+    return;
+  }
   PRESTO_CHECK(kind == EventKind::kMutation);
   switch (payload.a) {
     case kOpPromote:
@@ -671,23 +686,85 @@ double Deployment::MeanSensorEnergy() {
   return total / static_cast<double>(sensors_.size());
 }
 
+Deployment::ExternalQuery* Deployment::FindExternal(uint64_t id) {
+  std::lock_guard<std::mutex> lock(external_m_);
+  auto it = external_.find(id);
+  return it == external_.end() ? nullptr : &it->second;
+}
+
+void Deployment::QueryAsync(const QuerySpec& spec,
+                            std::function<void(const UnifiedQueryResult&)> on_done) {
+  PRESTO_CHECK(on_done != nullptr);
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(external_m_);
+    id = next_external_id_++;
+    external_[id].on_done = std::move(on_done);
+  }
+  // The store callback fires in the serving proxy's lane (or inline on routing
+  // errors): park the result in the entry and bounce a typed event to the control
+  // lane, where OnSimEvent invokes the caller.
+  store_->Query(spec, [this, id](const UnifiedQueryResult& r) {
+    ExternalQuery* pending = FindExternal(id);
+    PRESTO_CHECK(pending != nullptr);
+    pending->result = r;
+    EventPayload done;
+    done.a = id;
+    sim_.ScheduleEventAt(sim_.Now(), EventKind::kQuery, this, std::move(done),
+                         Simulator::kLaneControl);
+  });
+}
+
+QueryDriver& Deployment::AttachQueryDriver(const QueryDriverParams& params) {
+  QueryDriverParams p = params;
+  if (p.mix.num_sensors <= 0) {
+    p.mix.num_sensors = total_sensors();
+  }
+  PRESTO_CHECK_MSG(p.mix.num_sensors <= total_sensors(),
+                   "driver namespace exceeds the sensor population");
+  auto issue = [this](const QueryRequest& request, QueryDriver::CompletionFn done) {
+    QuerySpec spec;
+    spec.sensor_id = GlobalSensorId(request.sensor);
+    spec.tolerance = request.tolerance;
+    spec.latency_bound = request.latency_bound;
+    if (request.past) {
+      spec.type = QueryType::kPast;
+      spec.range = PastRangeOf(request, sim_.Now());
+    }
+    QueryAsync(spec, [done = std::move(done)](const UnifiedQueryResult& r) {
+      done(OutcomeFromResult(r));
+    });
+  };
+  drivers_.push_back(std::make_unique<QueryDriver>(&sim_, p, std::move(issue)));
+  return *drivers_.back();
+}
+
 UnifiedQueryResult Deployment::QueryAndWait(const QuerySpec& spec, Duration max_wait) {
-  bool done = false;
-  UnifiedQueryResult result;
-  store_->Query(spec, [&done, &result](const UnifiedQueryResult& r) {
-    result = r;
-    done = true;
+  // Shared (not stack-referencing) wait state: on a timeout the store still holds
+  // the completion callback, and a late completion (e.g. a pull outliving
+  // max_wait) must write into state that is still alive, not a popped stack.
+  struct WaitState {
+    bool done = false;
+    UnifiedQueryResult result;
+  };
+  auto state = std::make_shared<WaitState>();
+  store_->Query(spec, [state](const UnifiedQueryResult& r) {
+    state->result = r;
+    state->done = true;
   });
   const SimTime deadline = sim_.Now() + max_wait;
-  while (!done && sim_.NextEventTime() >= 0 && sim_.NextEventTime() <= deadline) {
+  while (!state->done && sim_.NextEventTime() >= 0 &&
+         sim_.NextEventTime() <= deadline) {
     sim_.Step();
   }
-  if (!done) {
+  if (!state->done) {
+    UnifiedQueryResult result;
     result.answer.status = DeadlineExceededError("query did not complete in max_wait");
     result.issued_at = sim_.Now();
     result.completed_at = sim_.Now();
+    return result;
   }
-  return result;
+  return state->result;
 }
 
 }  // namespace presto

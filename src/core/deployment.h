@@ -32,7 +32,9 @@
 #define SRC_CORE_DEPLOYMENT_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/core/shard_map.h"
@@ -43,6 +45,7 @@
 #include "src/sensor/sensor_node.h"
 #include "src/sim/simulator.h"
 #include "src/sim/timer.h"
+#include "src/workload/query_driver.h"
 #include "src/workload/temperature.h"
 
 namespace presto {
@@ -228,12 +231,27 @@ class Deployment : public EventSink {
   // Issues a query and runs the simulator until it completes (or `max_wait` passes).
   UnifiedQueryResult QueryAndWait(const QuerySpec& spec, Duration max_wait = Minutes(30));
 
+  // External query entry without a host-loop round-trip: routing runs now (control
+  // context only), execution rides the store's typed kQuery events in the serving
+  // proxy's lane, and `on_done` fires as a typed event on the *control lane* — so
+  // callers (federation routing, in-sim query drivers) never observe worker-lane
+  // context. The deployment must outlive the completion (it owns the simulator).
+  void QueryAsync(const QuerySpec& spec,
+                  std::function<void(const UnifiedQueryResult&)> on_done);
+
+  // Attaches an open-loop in-sim query driver targeting this deployment's sensors
+  // (QueryRequest.sensor = global index; mix.num_sensors <= 0 defaults to the whole
+  // population). The driver issues through QueryAsync, so a single RunUntil carries
+  // the entire workload. Caller starts it: AttachQueryDriver(p).Start(duration).
+  QueryDriver& AttachQueryDriver(const QueryDriverParams& params);
+
   // Runs the simulator forward to `t` (no-op if already past).
   void RunUntil(SimTime t) { sim_.RunUntil(t); }
 
   // Topology mutations (promotion, hand-back, migration) arrive as typed kMutation
   // events on the control lane: they touch every layer, so they only ever execute at
-  // epoch barriers (or inline in legacy mode).
+  // epoch barriers (or inline in legacy mode). kQuery events are QueryAsync
+  // completions marshalled from the serving proxy's lane back to control context.
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
  private:
@@ -293,6 +311,21 @@ class Deployment : public EventSink {
   std::vector<double> sensor_load_ema_;
   std::unique_ptr<PeriodicTimer> rebalance_timer_;
   ShardMgmtStats shard_stats_;
+
+  // --- external query entry ---
+  // In-flight QueryAsync queries. The map is mutex-guarded because completion
+  // callbacks run in serving-proxy lanes (concurrently for different proxies); each
+  // entry is only ever touched by its own query's events — the UnifiedStore pattern.
+  struct ExternalQuery {
+    UnifiedQueryResult result;
+    std::function<void(const UnifiedQueryResult&)> on_done;
+  };
+  ExternalQuery* FindExternal(uint64_t id);
+  std::mutex external_m_;
+  std::map<uint64_t, ExternalQuery> external_;
+  uint64_t next_external_id_ = 1;
+  // Declared after sim_ so drivers (which hold pending arrival events) die first.
+  std::vector<std::unique_ptr<QueryDriver>> drivers_;
 };
 
 }  // namespace presto

@@ -1,0 +1,327 @@
+#include "src/core/federation.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "src/util/assert.h"
+#include "src/util/hash.h"
+
+namespace presto {
+namespace {
+
+// Federation kQuery payload.a op codes (payload.b carries the query id).
+constexpr uint64_t kFedOpExecute = 1;   // request landed at the target cell
+constexpr uint64_t kFedOpComplete = 2;  // response landed back at the origin
+
+}  // namespace
+
+CellDirectory::CellDirectory(int num_cells, int sensors_per_cell)
+    : num_cells_(num_cells), sensors_per_cell_(sensors_per_cell) {
+  PRESTO_CHECK(num_cells_ >= 1);
+  PRESTO_CHECK(sensors_per_cell_ >= 1);
+}
+
+int CellDirectory::CellOf(int fed_index) const {
+  PRESTO_CHECK(fed_index >= 0 && fed_index < total_sensors());
+  return fed_index / sensors_per_cell_;
+}
+
+int CellDirectory::LocalOf(int fed_index) const {
+  PRESTO_CHECK(fed_index >= 0 && fed_index < total_sensors());
+  return fed_index % sensors_per_cell_;
+}
+
+int CellDirectory::FedIndexOf(int cell, int local) const {
+  PRESTO_CHECK(cell >= 0 && cell < num_cells_);
+  PRESTO_CHECK(local >= 0 && local < sensors_per_cell_);
+  return cell * sensors_per_cell_ + local;
+}
+
+Federation::Federation(const FederationConfig& config)
+    : config_(config),
+      directory_(config.num_cells,
+                 config.cell.num_proxies * config.cell.sensors_per_proxy) {
+  PRESTO_CHECK(config_.num_cells >= 1);
+  PRESTO_CHECK_MSG(config_.epoch > 0, "federation epoch must be positive");
+  for (int c = 0; c < config_.num_cells; ++c) {
+    DeploymentConfig cell_config = config_.cell;
+    // Distinct per-cell seeds off one federation seed: cells are statistically
+    // independent but the whole federation replays from `seed`.
+    cell_config.seed =
+        config_.seed ^ (0xfedc0de + 0x9e3779b9ull * static_cast<uint64_t>(c));
+    cells_.push_back(std::make_unique<Deployment>(cell_config));
+    // A trunk cannot deliver finer than its endpoints step: clamping inter-cell
+    // mail to federation barriers below the cells' own barrier grid would schedule
+    // into epochs the cells never open.
+    PRESTO_CHECK_MSG(config_.epoch >= cells_.back()->sim().epoch(),
+                     "federation epoch must cover the cell lane epoch");
+  }
+  links_.reserve(static_cast<size_t>(config_.num_cells) *
+                 static_cast<size_t>(config_.num_cells));
+  for (int s = 0; s < config_.num_cells; ++s) {
+    for (int d = 0; d < config_.num_cells; ++d) {
+      links_.push_back(s == d ? nullptr : std::make_unique<CellLink>(config_.link));
+    }
+  }
+  outbox_.resize(static_cast<size_t>(config_.num_cells));
+}
+
+void Federation::Start() {
+  for (auto& cell : cells_) {
+    cell->Start();
+  }
+}
+
+CellLink& Federation::LinkBetween(int src, int dst) {
+  PRESTO_CHECK(src != dst);
+  return *links_[static_cast<size_t>(src) * static_cast<size_t>(config_.num_cells) +
+                 static_cast<size_t>(dst)];
+}
+
+const CellLink& Federation::link(int src, int dst) const {
+  PRESTO_CHECK(src >= 0 && src < config_.num_cells);
+  PRESTO_CHECK(dst >= 0 && dst < config_.num_cells && src != dst);
+  return *links_[static_cast<size_t>(src) * static_cast<size_t>(config_.num_cells) +
+                 static_cast<size_t>(dst)];
+}
+
+void Federation::RunUntil(SimTime t) {
+  PRESTO_CHECK_MSG(t >= now_, "cannot run the federation backwards");
+  while (now_ < t) {
+    const SimTime end = std::min((now_ / config_.epoch + 1) * config_.epoch, t);
+    // Mail drains only on the absolute epoch grid. A RunUntil that stopped
+    // off-grid resumes with a partial iteration whose start is *not* a barrier —
+    // draining there would make delivery times (and the barrier hash) depend on
+    // how the host happened to slice its RunUntil calls.
+    if (now_ % config_.epoch == 0) {
+      DrainMail();
+    }
+    // Cells step one at a time (each internally parallel across its shard lanes):
+    // federation state is only touched from cell control lanes, so this order makes
+    // the whole layer single-threaded — and the fixed order makes it deterministic.
+    for (auto& cell : cells_) {
+      cell->RunUntil(end);
+    }
+    now_ = end;
+  }
+}
+
+void Federation::DrainMail() {
+  uint64_t drained = 0;
+  for (auto& box : outbox_) {
+    for (Mail& mail : box) {
+      EventPayload payload;
+      payload.a = mail.op;
+      payload.b = mail.qid;
+      // Delivery clamps to this barrier: inter-cell granularity is the federation
+      // epoch (trunk latency below it is only faithful modulo the clamp).
+      cells_[static_cast<size_t>(mail.target_cell)]->sim().ScheduleEventAt(
+          std::max(mail.time, now_), EventKind::kQuery, this, std::move(payload),
+          Simulator::kLaneControl);
+      ++drained;
+    }
+    box.clear();
+  }
+  ++stats_.barriers;
+  if (drained > 0) {
+    stats_.mail_drained += drained;
+    // Which barrier took delivery of how much inter-cell traffic is part of the
+    // federation replay contract (mirrors the simulator's barrier-sequence hash).
+    FnvMix(barrier_hash_, static_cast<uint64_t>(now_));
+    FnvMix(barrier_hash_, drained);
+  }
+}
+
+void Federation::IssueFromCell(
+    int origin_cell, const FederationQuerySpec& spec,
+    std::function<void(const FederationQueryResult&)> callback) {
+  PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
+  const int target = directory_.CellOf(spec.fed_sensor);
+  const int local = directory_.LocalOf(spec.fed_sensor);
+  ++stats_.queries;
+
+  const uint64_t qid = next_query_id_++;
+  PendingFedQuery& q = pending_[qid];
+  q.spec.type = spec.type;
+  q.spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
+  q.spec.range = spec.range;
+  q.spec.tolerance = spec.tolerance;
+  q.spec.latency_bound = spec.latency_bound;
+  q.result.origin_cell = origin_cell;
+  q.result.target_cell = target;
+  q.result.cross_cell = target != origin_cell;
+  q.result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
+  q.callback = std::move(callback);
+
+  if (target == origin_cell) {
+    ++stats_.local;
+    ExecuteAtTarget(qid);  // no trunk hop: straight into the local store
+    return;
+  }
+  ++stats_.forwarded;
+  const SimTime at = LinkBetween(origin_cell, target)
+                         .Deliver(q.result.issued_at, config_.query_bytes);
+  outbox_[static_cast<size_t>(origin_cell)].push_back(
+      Mail{target, at, kFedOpExecute, qid});
+}
+
+void Federation::ExecuteAtTarget(uint64_t qid) {
+  auto it = pending_.find(qid);
+  PRESTO_CHECK(it != pending_.end());
+  PendingFedQuery& q = it->second;  // map nodes are stable across inserts
+  cells_[static_cast<size_t>(q.result.target_cell)]->QueryAsync(
+      q.spec,
+      [this, qid](const UnifiedQueryResult& r) { OnCellAnswered(qid, r); });
+}
+
+void Federation::OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r) {
+  // Runs on the target cell's control lane (QueryAsync marshals completions there).
+  auto it = pending_.find(qid);
+  PRESTO_CHECK(it != pending_.end());
+  PendingFedQuery& q = it->second;
+  q.result.cell = r;
+  if (!q.result.cross_cell) {
+    Finalize(qid);
+    return;
+  }
+  const int target = q.result.target_cell;
+  const int origin = q.result.origin_cell;
+  const size_t bytes =
+      config_.response_base_bytes +
+      r.answer.samples.size() * static_cast<size_t>(config_.response_sample_bytes);
+  const SimTime at =
+      LinkBetween(target, origin)
+          .Deliver(cells_[static_cast<size_t>(target)]->sim().Now(), bytes);
+  outbox_[static_cast<size_t>(target)].push_back(
+      Mail{origin, at, kFedOpComplete, qid});
+}
+
+void Federation::Finalize(uint64_t qid) {
+  auto it = pending_.find(qid);
+  PRESTO_CHECK(it != pending_.end());
+  PendingFedQuery q = std::move(it->second);
+  pending_.erase(it);
+  q.result.completed_at =
+      cells_[static_cast<size_t>(q.result.origin_cell)]->sim().Now();
+  if (!q.result.cell.answer.status.ok()) {
+    ++stats_.failed;
+  }
+  if (q.callback) {
+    q.callback(q.result);
+  }
+}
+
+void Federation::OnSimEvent(EventKind kind, EventPayload& payload) {
+  PRESTO_CHECK(kind == EventKind::kQuery);
+  switch (payload.a) {
+    case kFedOpExecute:
+      ExecuteAtTarget(payload.b);
+      break;
+    case kFedOpComplete:
+      Finalize(payload.b);
+      break;
+    default:
+      PRESTO_CHECK_MSG(false, "unknown federation op");
+  }
+}
+
+FederationQueryResult Federation::QueryAndWait(int origin_cell,
+                                               const FederationQuerySpec& spec,
+                                               Duration max_wait) {
+  // Shared (not stack-referencing) wait state: on a timeout the pending entry —
+  // and its callback — outlive this frame, and a late completion must write into
+  // state that is still alive, not a popped stack.
+  struct WaitState {
+    bool done = false;
+    FederationQueryResult out;
+  };
+  auto state = std::make_shared<WaitState>();
+  IssueFromCell(origin_cell, spec, [state](const FederationQueryResult& r) {
+    state->out = r;
+    state->done = true;
+  });
+  const SimTime deadline = now_ + max_wait;
+  while (!state->done && now_ < deadline) {
+    RunUntil(std::min(now_ + config_.epoch, deadline));
+  }
+  if (!state->done) {
+    FederationQueryResult out;
+    out.cell.answer.status =
+        DeadlineExceededError("federated query did not complete in max_wait");
+    out.origin_cell = origin_cell;
+    out.issued_at = now_;
+    out.completed_at = now_;
+    return out;
+  }
+  return state->out;
+}
+
+QueryDriver& Federation::AttachQueryDriver(int origin_cell,
+                                           const QueryDriverParams& params) {
+  PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
+  QueryDriverParams p = params;
+  if (p.mix.num_sensors <= 0) {
+    p.mix.num_sensors = directory_.total_sensors();
+  }
+  PRESTO_CHECK_MSG(p.mix.num_sensors <= directory_.total_sensors(),
+                   "driver namespace exceeds the federation population");
+  Deployment& origin = *cells_[static_cast<size_t>(origin_cell)];
+  auto issue = [this, origin_cell](const QueryRequest& request,
+                                   QueryDriver::CompletionFn done) {
+    FederationQuerySpec fspec;
+    fspec.fed_sensor = request.sensor;
+    fspec.tolerance = request.tolerance;
+    fspec.latency_bound = request.latency_bound;
+    if (request.past) {
+      fspec.type = QueryType::kPast;
+      fspec.range = PastRangeOf(
+          request, cells_[static_cast<size_t>(origin_cell)]->sim().Now());
+    }
+    IssueFromCell(origin_cell, fspec,
+                  [done = std::move(done)](const FederationQueryResult& r) {
+                    // The gateway's clock, not the serving cell's: federation
+                    // latency spans both trunk hops.
+                    QueryOutcome outcome = OutcomeFromResult(r.cell);
+                    outcome.issued_at = r.issued_at;
+                    outcome.completed_at = r.completed_at;
+                    outcome.cross_cell = r.cross_cell;
+                    done(outcome);
+                  });
+  };
+  drivers_.push_back(
+      std::make_unique<QueryDriver>(&origin.sim(), p, std::move(issue)));
+  return *drivers_.back();
+}
+
+void Federation::KillCell(int cell_index) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  Deployment& cell = *cells_[static_cast<size_t>(cell_index)];
+  for (int p = 0; p < cell.config().num_proxies; ++p) {
+    cell.KillProxy(p);
+  }
+}
+
+void Federation::ReviveCell(int cell_index) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  Deployment& cell = *cells_[static_cast<size_t>(cell_index)];
+  for (int p = 0; p < cell.config().num_proxies; ++p) {
+    cell.ReviveProxy(p);
+  }
+}
+
+uint64_t Federation::fingerprint() const {
+  uint64_t total = barrier_hash_;
+  uint64_t index = 0;
+  for (const auto& cell : cells_) {
+    // Bind each stream to its cell identity before the commutative sum, so swapping
+    // two cells' entire histories (a directory misrouting bug) still changes the
+    // fold — the same shape as the simulator's per-lane fingerprint.
+    uint64_t term = cell->sim().fingerprint();
+    FnvMix(term, index++);
+    total += term * 0x9e3779b97f4a7c15ull;
+  }
+  return total;
+}
+
+}  // namespace presto

@@ -1,0 +1,211 @@
+// Multi-cell federation: the first layer *above* Deployment.
+//
+// A Federation owns N proxy cells (each a complete Deployment: simulator, tiered
+// network, proxies, sensors, unified store) under one global sensor namespace, and
+// routes queries between them:
+//
+//  - CellDirectory maps the federation-wide sensor index onto (cell, local index):
+//    contiguous per-cell blocks, so a gateway resolves any sensor to its home cell
+//    in O(1). Queries may enter at any cell; a query whose target lives elsewhere is
+//    forwarded over an inter-cell trunk (CellLink: FIFO serialization at the
+//    configured bandwidth plus propagation latency) and its answer rides the reverse
+//    trunk home — both hops typed simulator events, never a host round-trip.
+//
+//  - All cells advance under one shared epoch-barrier schedule (FederationConfig::
+//    epoch): Federation::RunUntil steps every cell through the same absolute grid,
+//    in cell-index order. Inter-cell traffic generated inside an epoch lands in
+//    per-source-cell FIFO outboxes and is drained at the next federation barrier —
+//    delivery times clamp to the barrier, exactly the rule the intra-cell lane
+//    mailboxes follow, so inter-cell delivery granularity is the federation epoch.
+//
+//  - Determinism: federation-level state (directory, pending queries, outboxes,
+//    trunks, stats) is only ever touched from cell control lanes and the federation
+//    barrier loop — cells execute their epochs one at a time (each internally
+//    parallel across its shard lanes), so this layer is single-threaded by
+//    construction and needs no locks. fingerprint() folds each cell's
+//    worker-count-independent fingerprint (bound to its cell index) with a barrier-
+//    sequence hash over drained mail, making the federation fingerprint bit-
+//    identical across `sim_threads` worker counts and reruns.
+//
+// Query lifecycle (cross-cell): driver/host issues at origin O -> directory lookup
+// at O's gateway -> request serialized onto the O->T trunk -> drained at a
+// federation barrier -> executes in T via Deployment::QueryAsync (typed kQuery
+// stages in the serving proxy's lane, completion on T's control lane) -> response
+// serialized onto the T->O trunk -> drained at a federation barrier -> finalized on
+// O's control lane (latency measured on O's clock end to end).
+
+#ifndef SRC_CORE_FEDERATION_H_
+#define SRC_CORE_FEDERATION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/deployment.h"
+#include "src/core/types.h"
+#include "src/net/cell_link.h"
+#include "src/sim/simulator.h"
+#include "src/workload/query_driver.h"
+
+namespace presto {
+
+// Global sensor namespace: federation index = cell * sensors_per_cell + local
+// (contiguous per-cell blocks — the geographic analogue one layer up).
+class CellDirectory {
+ public:
+  CellDirectory(int num_cells, int sensors_per_cell);
+
+  int num_cells() const { return num_cells_; }
+  int sensors_per_cell() const { return sensors_per_cell_; }
+  int total_sensors() const { return num_cells_ * sensors_per_cell_; }
+
+  int CellOf(int fed_index) const;
+  int LocalOf(int fed_index) const;
+  int FedIndexOf(int cell, int local) const;
+
+ private:
+  int num_cells_;
+  int sensors_per_cell_;
+};
+
+struct FederationConfig {
+  int num_cells = 2;
+  // Per-cell template (proxies, sensors, replication, lane engine, ...). Each cell
+  // gets a distinct seed derived from `seed`, so cells are statistically independent
+  // but the whole federation replays from one number.
+  DeploymentConfig cell;
+  // Federation barrier grid: inter-cell delivery granularity. Must cover the cells'
+  // lane epoch (checked) — a trunk cannot deliver *finer* than its endpoints step.
+  Duration epoch = Seconds(1);
+  // Inter-cell trunk model (one directed CellLink per cell pair).
+  CellLinkParams link;
+  // Message sizes on the trunk: a query request, a response envelope, and each
+  // returned sample (PAST answers pay for their payload).
+  uint32_t query_bytes = 64;
+  uint32_t response_base_bytes = 64;
+  uint32_t response_sample_bytes = 16;
+  uint64_t seed = 42;
+};
+
+// A query against the federation's global namespace, entering at some origin cell.
+struct FederationQuerySpec {
+  QueryType type = QueryType::kNow;
+  int fed_sensor = 0;  // federation-wide sensor index (CellDirectory namespace)
+  TimeInterval range{};
+  double tolerance = 0.5;
+  Duration latency_bound = Seconds(30);
+};
+
+struct FederationQueryResult {
+  UnifiedQueryResult cell;  // the serving cell's provenance-annotated answer
+  int origin_cell = 0;
+  int target_cell = 0;
+  bool cross_cell = false;
+  SimTime issued_at = 0;     // at the origin gateway
+  SimTime completed_at = 0;  // response landed back at the origin
+
+  Duration Latency() const { return completed_at - issued_at; }
+};
+
+struct FederationStats {
+  uint64_t queries = 0;
+  uint64_t local = 0;      // target cell == origin cell (no trunk hop)
+  uint64_t forwarded = 0;  // routed over an inter-cell trunk
+  uint64_t failed = 0;
+  uint64_t barriers = 0;
+  uint64_t mail_drained = 0;  // inter-cell messages delivered at barriers
+};
+
+class Federation : public EventSink {
+ public:
+  explicit Federation(const FederationConfig& config);
+
+  // Starts every cell. Call once, then RunUntil.
+  void Start();
+
+  // Advances every cell through the shared barrier grid to `t`.
+  void RunUntil(SimTime t);
+
+  SimTime Now() const { return now_; }
+  int num_cells() const { return config_.num_cells; }
+  Deployment& cell(int index) { return *cells_[static_cast<size_t>(index)]; }
+  const CellDirectory& directory() const { return directory_; }
+  const FederationConfig& config() const { return config_; }
+
+  // Issues a query into the global namespace from `origin_cell`'s gateway. Callable
+  // from host control context (between RunUntil calls) or from the origin cell's
+  // control lane (the query driver's arrival events). `callback` fires on the
+  // origin cell's control lane when the answer lands back at the gateway.
+  void IssueFromCell(int origin_cell, const FederationQuerySpec& spec,
+                     std::function<void(const FederationQueryResult&)> callback);
+
+  // Issues and runs the federation until the answer arrives (or `max_wait` passes).
+  FederationQueryResult QueryAndWait(int origin_cell, const FederationQuerySpec& spec,
+                                     Duration max_wait = Minutes(30));
+
+  // Attaches an open-loop in-sim query driver whose queries enter at `origin_cell`
+  // and target the whole federation namespace (mix.num_sensors <= 0 defaults to
+  // directory().total_sensors()). Caller starts it. One driver per gateway cell is
+  // the usual shape; give each a distinct mix.seed.
+  QueryDriver& AttachQueryDriver(int origin_cell, const QueryDriverParams& params);
+
+  // Failure injection at cell granularity: kills (revives) every proxy in the cell.
+  // With in-cell replication a single KillProxy inside a cell fails over as usual;
+  // killing the *whole* cell makes its block of the namespace unavailable until
+  // revival — queries to it fail fast at the serving store, not by timeout.
+  void KillCell(int cell_index);
+  void ReviveCell(int cell_index);
+
+  // The directed inter-cell trunk src -> dst (src != dst).
+  const CellLink& link(int src, int dst) const;
+
+  const FederationStats& stats() const { return stats_; }
+
+  // Order-independent fold of the per-cell fingerprints (each bound to its cell
+  // index) plus the federation barrier-sequence hash. Equal across reruns and
+  // worker counts — the federation-level replay contract.
+  uint64_t fingerprint() const;
+
+  // Inter-cell deliveries (kFedOpExecute at the target, kFedOpComplete back at the
+  // origin) arrive as typed kQuery events on cell control lanes.
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
+
+ private:
+  struct PendingFedQuery {
+    QuerySpec spec;  // target-cell-local spec
+    FederationQueryResult result;
+    std::function<void(const FederationQueryResult&)> callback;
+  };
+  // An inter-cell message awaiting the next federation barrier. Lives in the
+  // *source* cell's FIFO, written only from that cell's serial control lane.
+  struct Mail {
+    int target_cell;
+    SimTime time;  // trunk delivery time (clamped to the draining barrier)
+    uint64_t op;
+    uint64_t qid;
+  };
+
+  CellLink& LinkBetween(int src, int dst);
+  void DrainMail();
+  void ExecuteAtTarget(uint64_t qid);
+  void OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r);
+  void Finalize(uint64_t qid);
+
+  FederationConfig config_;
+  CellDirectory directory_;
+  std::vector<std::unique_ptr<Deployment>> cells_;
+  std::vector<std::unique_ptr<CellLink>> links_;  // [src * num_cells + dst]
+  std::vector<std::vector<Mail>> outbox_;         // [source cell] FIFO
+  std::map<uint64_t, PendingFedQuery> pending_;
+  uint64_t next_query_id_ = 1;
+  SimTime now_ = 0;
+  uint64_t barrier_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  FederationStats stats_;
+  // Declared after cells_ so drivers (holding pending arrival events) die first.
+  std::vector<std::unique_ptr<QueryDriver>> drivers_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_FEDERATION_H_

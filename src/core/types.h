@@ -6,6 +6,7 @@
 #include "src/net/network.h"
 #include "src/proxy/proxy_node.h"
 #include "src/util/sample.h"
+#include "src/workload/query_driver.h"
 
 namespace presto {
 
@@ -33,6 +34,17 @@ struct UnifiedQueryResult {
 
   Duration Latency() const { return completed_at - issued_at; }
 };
+
+// QueryOutcome view of a store result — the driver-glue half both Deployment and
+// Federation report through (the federation additionally stamps `cross_cell`).
+inline QueryOutcome OutcomeFromResult(const UnifiedQueryResult& result) {
+  QueryOutcome outcome;
+  outcome.issued_at = result.issued_at;
+  outcome.completed_at = result.completed_at;
+  outcome.ok = result.answer.status.ok();
+  outcome.source = static_cast<uint8_t>(result.answer.source);
+  return outcome;
+}
 
 }  // namespace presto
 

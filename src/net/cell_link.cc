@@ -1,0 +1,32 @@
+#include "src/net/cell_link.h"
+
+#include <algorithm>
+
+#include "src/util/assert.h"
+
+namespace presto {
+
+CellLink::CellLink(const CellLinkParams& params) : params_(params) {
+  PRESTO_CHECK_MSG(params_.latency >= 0, "negative trunk latency");
+  PRESTO_CHECK_MSG(params_.bandwidth_bps > 0.0, "trunk bandwidth must be positive");
+}
+
+Duration CellLink::TransferTime(size_t bytes) const {
+  return static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                               params_.bandwidth_bps * static_cast<double>(kSecond));
+}
+
+SimTime CellLink::Deliver(SimTime send_time, size_t bytes) {
+  const SimTime depart = std::max(send_time, clear_at_);
+  if (depart > send_time) {
+    ++stats_.queued;
+  }
+  const Duration transfer = TransferTime(bytes);
+  clear_at_ = depart + transfer;
+  ++stats_.messages;
+  stats_.bytes += static_cast<uint64_t>(bytes);
+  stats_.busy += transfer;
+  return clear_at_ + params_.latency;
+}
+
+}  // namespace presto

@@ -1,0 +1,63 @@
+// Inter-cell wired trunk: the long-haul link between two proxy cells of a
+// federation (metro fiber / backhaul), as opposed to the intra-cell wired mesh the
+// Network models between co-located proxies.
+//
+// Each directed cell pair owns one CellLink. The model is a FIFO serial trunk:
+// a message of B bytes entering at time t departs behind any earlier traffic still
+// on the wire (clear_at), occupies the trunk for B / bandwidth, and lands at the far
+// end one propagation latency later. Determinism relies on a usage contract rather
+// than locks: a directed link is only ever driven by its source cell's serial
+// control lane (federation query routing runs at cell barriers), so send times are
+// monotone non-decreasing and no two contexts race on clear_at.
+//
+// Delivery at the receiving cell is a typed simulator event scheduled by the
+// federation; cross-cell delivery granularity is the federation epoch (see
+// src/core/federation.h), so latencies below the epoch are only faithful modulo
+// barrier clamping — the same caveat the intra-sim lane mailboxes carry.
+
+#ifndef SRC_NET_CELL_LINK_H_
+#define SRC_NET_CELL_LINK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/util/sim_time.h"
+
+namespace presto {
+
+struct CellLinkParams {
+  Duration latency = Millis(5);    // one-way propagation delay
+  double bandwidth_bps = 1e8;      // trunk serialization rate
+};
+
+struct CellLinkStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t queued = 0;   // messages that had to wait behind earlier traffic
+  Duration busy = 0;     // total serialization time spent on the wire
+};
+
+class CellLink {
+ public:
+  explicit CellLink(const CellLinkParams& params);
+
+  // Serializes a `bytes`-sized message entering the trunk at `send_time` and returns
+  // its delivery time at the far end. Send times must be monotone non-decreasing
+  // (single serial sender — the source cell's control lane).
+  SimTime Deliver(SimTime send_time, size_t bytes);
+
+  // Serialization time for `bytes` at the configured bandwidth.
+  Duration TransferTime(size_t bytes) const;
+
+  const CellLinkStats& stats() const { return stats_; }
+  const CellLinkParams& params() const { return params_; }
+
+ private:
+  CellLinkParams params_;
+  SimTime clear_at_ = 0;  // when the trunk finishes serializing queued traffic
+  CellLinkStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_NET_CELL_LINK_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/util/assert.h"
+#include "src/util/hash.h"
 
 namespace presto {
 namespace {
@@ -167,11 +168,7 @@ void Simulator::ReleaseSlot(Lane& lane, uint32_t slot) {
   lane.free_slots.push_back(slot);
 }
 
-void Simulator::MixFp(uint64_t& fp, uint64_t v) const {
-  for (int i = 0; i < 8; ++i) {
-    fp = (fp ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
-  }
-}
+void Simulator::MixFp(uint64_t& fp, uint64_t v) const { FnvMix(fp, v); }
 
 bool Simulator::ExecuteOne(Lane& lane) {
   const QueueEntry entry = lane.queue.top();

@@ -130,6 +130,9 @@ class Simulator {
   // Worker lanes configured (0 in legacy mode).
   int num_lanes() const { return lane_mode_ ? static_cast<int>(lanes_.size()) - 1 : 0; }
   int threads() const { return threads_; }
+  // The epoch-barrier grid length (0 in legacy mode). Layers that stack their own
+  // barrier schedule on top (the federation) validate their grid against this.
+  Duration epoch() const { return lane_mode_ ? epoch_ : 0; }
 
   // The lane the calling context executes in: a worker lane index during lane event
   // execution, else kLaneControl (also always kLaneControl in legacy mode).

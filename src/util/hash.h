@@ -1,0 +1,25 @@
+// The byte-wise FNV-1a fold every replay digest in the tree uses: the simulator's
+// per-lane fingerprints, the federation's barrier hash, and the query driver's
+// latency-histogram digest. One definition, so the replay-hash scheme can never
+// silently fork between layers.
+
+#ifndef SRC_UTIL_HASH_H_
+#define SRC_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace presto {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+// Folds the eight bytes of `v` (little-endian order) into the rolling hash `fp`.
+inline void FnvMix(uint64_t& fp, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    fp = (fp ^ ((v >> (8 * i)) & 0xff)) * kFnvPrime;
+  }
+}
+
+}  // namespace presto
+
+#endif  // SRC_UTIL_HASH_H_

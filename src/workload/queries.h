@@ -39,6 +39,16 @@ struct QueryWorkloadParams {
   uint64_t seed = 23;
 };
 
+// Draws one query's fields (target, NOW/PAST shape, tolerance, latency bound) for a
+// query issued at `t`. Shared by the batch generator below and the in-sim
+// QueryDriver so both produce the same distributions from the same draws.
+QueryRequest DrawQueryRequest(Pcg32& rng, const QueryWorkloadParams& params, SimTime t);
+
+// The concrete time range a PAST request asks for when issued at `now`: [age ago,
+// age ago + window], clamped inside the lived past. One definition, so every
+// binding of the workload (deployment-local, federated) asks for identical ranges.
+TimeInterval PastRangeOf(const QueryRequest& request, SimTime now);
+
 // All queries issued during `interval`, in time order.
 std::vector<QueryRequest> GenerateQueries(const QueryWorkloadParams& params,
                                           TimeInterval interval);

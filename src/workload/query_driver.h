@@ -1,0 +1,152 @@
+// Open-loop query driver that lives *inside* the simulation.
+//
+// QueryAndWait's host loop steps the simulator once per query — fine for probes,
+// hopeless for a high-QPS interactive workload on the lane engine, where every
+// round-trip advances whole epochs. The driver instead schedules its arrival
+// process as typed control-lane events: each fire draws one QueryRequest (the same
+// distributions as GenerateQueries), hands it to an injected IssueFn, and schedules
+// the next arrival — open-loop, so arrivals never wait on completions. One
+// `RunUntil(end)` then carries the entire workload with zero host round-trips.
+//
+// Layering: the driver knows simulators and QueryRequests, not proxies or stores.
+// The binding to a concrete query path is the IssueFn — Deployment::AttachQueryDriver
+// issues into its unified store, Federation::AttachQueryDriver into the cross-cell
+// router. The glue must invoke the completion callback from control context (both
+// bindings marshal completions onto the control lane), so recording is serial and
+// needs no locks.
+//
+// Determinism: arrivals draw from a seeded Pcg32 stream and execute as simulator
+// events, so issue times, targets, and the recorded outcomes are part of the replay
+// fingerprint; outcome timestamps are event times, making the latency histogram
+// bit-identical across worker counts.
+
+#ifndef SRC_WORKLOAD_QUERY_DRIVER_H_
+#define SRC_WORKLOAD_QUERY_DRIVER_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/simulator.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/queries.h"
+
+namespace presto {
+
+enum class ArrivalProcess : uint8_t {
+  kPoisson = 0,    // exponential interarrivals at mix.queries_per_hour
+  kFixedRate = 1,  // constant interarrival of 1 / mix.queries_per_hour
+};
+
+struct QueryDriverParams {
+  // Arrival rate (queries_per_hour), NOW/PAST mix, tolerance and latency-bound
+  // distributions, target namespace size (num_sensors), and the driver's seed.
+  QueryWorkloadParams mix;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+};
+
+// What the glue reports back when a query finishes. Timestamps are simulator event
+// times (not wall clock), so latencies replay bit-identically.
+struct QueryOutcome {
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  bool ok = false;
+  uint8_t source = 0;       // sink-defined answer-source tag (deployment: AnswerSource)
+  bool cross_cell = false;  // federation glue: the query left its origin cell
+
+  Duration Latency() const { return completed_at - issued_at; }
+};
+
+// Power-of-two latency buckets over microseconds: bucket i counts latencies in
+// [2^i us, 2^(i+1) us). Integer math only — equal runs produce equal histograms, so
+// tests and benches compare them directly (the query-path half of the determinism
+// contract, alongside the simulator fingerprint).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;  // 2^39 us ~ 6.4 days: plenty
+
+  void Record(Duration latency);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t TotalCount() const;
+  uint64_t BucketCount(int i) const { return counts_[static_cast<size_t>(i)]; }
+
+  // FNV digest over the bucket vector — the self-check benches print and compare.
+  uint64_t Hash() const;
+
+  // "[1ms,2ms):12" style non-empty buckets, for bench dumps.
+  std::string ToString() const;
+
+  friend bool operator==(const LatencyHistogram& a, const LatencyHistogram& b) {
+    return a.counts_ == b.counts_;
+  }
+  friend bool operator!=(const LatencyHistogram& a, const LatencyHistogram& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+};
+
+struct QueryDriverStats {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cross_cell = 0;
+  std::array<uint64_t, 4> by_source{};  // indexed by QueryOutcome::source & 3
+  SampleSet latency_ms;                 // completed queries (mean / quantiles)
+  LatencyHistogram latency;             // completed queries (determinism digest)
+};
+
+class QueryDriver : public EventSink {
+ public:
+  using CompletionFn = std::function<void(const QueryOutcome&)>;
+  // Issues one request into the system under test. `done` must be invoked from
+  // control context exactly once when the query completes (or fails).
+  using IssueFn = std::function<void(const QueryRequest& request, CompletionFn done)>;
+
+  // `sim` must outlive the driver. The driver must outlive every in-flight query
+  // (its owner destroys it before the simulator).
+  QueryDriver(Simulator* sim, const QueryDriverParams& params, IssueFn issue_fn);
+  ~QueryDriver() override { Stop(); }
+
+  QueryDriver(const QueryDriver&) = delete;
+  QueryDriver& operator=(const QueryDriver&) = delete;
+
+  // Begins the arrival process (first arrival one draw from now). `duration` > 0
+  // stops issuing at Now() + duration; 0 keeps issuing until Stop(). Control
+  // context only.
+  void Start(Duration duration = 0);
+
+  // Cancels the pending arrival; in-flight queries still complete. Idempotent.
+  void Stop();
+
+  const QueryDriverParams& params() const { return params_; }
+  const QueryDriverStats& stats() const { return stats_; }
+
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;  // arrivals
+
+ private:
+  Duration NextGap();
+  void Record(const QueryOutcome& outcome);
+
+  Simulator* sim_;
+  QueryDriverParams params_;
+  IssueFn issue_fn_;
+  Pcg32 rng_;
+  EventHandle pending_;
+  // The arrival process chains off intended arrival times, not observed Now(): in
+  // lane mode control events observe the *barrier* clock, and chaining off it would
+  // stretch every interarrival by up to an epoch, silently eroding the configured
+  // rate. Arrivals that fall behind the barrier clamp forward and catch up in-batch.
+  SimTime next_at_ = 0;
+  SimTime until_ = -1;  // no arrivals at/after this time; -1 = unbounded
+  bool running_ = false;
+  QueryDriverStats stats_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_WORKLOAD_QUERY_DRIVER_H_

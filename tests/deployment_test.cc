@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "src/core/deployment.h"
@@ -1078,6 +1079,75 @@ TEST(DynamicShardTest, RebalanceKnobsStillConverge) {
         << "sensor " << g << ": " << result.answer.status.ToString();
   }
   EXPECT_EQ(deployment.store().stats().unroutable, 0u);
+}
+
+// ---------- external query entry (QueryAsync + in-sim driver) ----------
+
+TEST(ExternalQueryTest, QueryAsyncCompletesOnControlContextWithoutHostStepping) {
+  DeploymentConfig config;
+  config.num_proxies = 2;
+  config.sensors_per_proxy = 4;
+  config.seed = 351;
+  Deployment deployment(config);
+  deployment.Start();
+  deployment.RunUntil(Hours(2));
+
+  // A batch of async queries issued up front, then one plain RunUntil: no per-query
+  // host loop. Every completion must arrive in control context.
+  int completed = 0;
+  int ok = 0;
+  for (int g = 0; g < deployment.total_sensors(); ++g) {
+    deployment.QueryAsync(
+        NowSpec(deployment.GlobalSensorId(g), 3.0),
+        [&deployment, &completed, &ok](const UnifiedQueryResult& result) {
+          EXPECT_EQ(deployment.sim().CurrentLane(), Simulator::kLaneControl);
+          ++completed;
+          ok += result.answer.status.ok() ? 1 : 0;
+          EXPECT_GE(result.completed_at, result.issued_at);
+        });
+  }
+  deployment.RunUntil(deployment.sim().Now() + Minutes(5));
+  EXPECT_EQ(completed, deployment.total_sensors());
+  EXPECT_EQ(ok, deployment.total_sensors());
+}
+
+TEST(ExternalQueryTest, AttachedDriverCarriesAWorkloadInOneRunUntil) {
+  auto run = [](int threads) {
+    DeploymentConfig config;
+    config.num_proxies = 4;
+    config.sensors_per_proxy = 4;
+    config.lane_engine = true;
+    config.sim_threads = threads;
+    config.sim_epoch = Millis(500);
+    config.seed = 353;
+    Deployment deployment(config);
+    deployment.Start();
+    deployment.RunUntil(Hours(1));
+
+    QueryDriverParams params;
+    params.mix.queries_per_hour = 720.0;  // one every 5 s
+    params.mix.num_sensors = 0;           // whole population
+    params.mix.past_fraction = 0.25;
+    params.mix.mean_past_age = Minutes(15);
+    params.mix.max_past_age = Minutes(30);
+    params.mix.min_tolerance = 2.0;
+    params.mix.max_tolerance = 3.0;
+    params.mix.seed = 354;
+    QueryDriver& driver = deployment.AttachQueryDriver(params);
+    driver.Start(Minutes(20));
+    deployment.RunUntil(deployment.sim().Now() + Minutes(30));
+    return std::make_tuple(driver.stats().issued, driver.stats().failed,
+                           driver.stats().latency.Hash(),
+                           deployment.sim().fingerprint());
+  };
+  const auto one = run(1);
+  EXPECT_GT(std::get<0>(one), 200u);
+  EXPECT_EQ(std::get<1>(one), 0u) << "healthy deployment must answer every query";
+  const auto four = run(4);
+  EXPECT_EQ(std::get<2>(one), std::get<2>(four))
+      << "driver histogram must not depend on the worker count";
+  EXPECT_EQ(std::get<3>(one), std::get<3>(four))
+      << "fingerprint must not depend on the worker count";
 }
 
 }  // namespace

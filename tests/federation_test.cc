@@ -1,0 +1,307 @@
+// Federation-layer tests: the cell directory's global namespace, cross-cell query
+// routing over inter-cell trunks, the in-sim open-loop query driver, failover of a
+// cross-cell target's proxy mid-stream, whole-cell kill/revive, and the federation
+// determinism contract — same seed => identical federation fingerprint *and*
+// identical latency histogram across sim_threads worker counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/federation.h"
+#include "src/workload/query_driver.h"
+
+namespace presto {
+namespace {
+
+// ---------- cell directory ----------
+
+TEST(CellDirectoryTest, RoundTripsTheGlobalNamespace) {
+  CellDirectory dir(3, 8);
+  EXPECT_EQ(dir.total_sensors(), 24);
+  for (int fed = 0; fed < dir.total_sensors(); ++fed) {
+    const int cell = dir.CellOf(fed);
+    const int local = dir.LocalOf(fed);
+    EXPECT_GE(cell, 0);
+    EXPECT_LT(cell, 3);
+    EXPECT_GE(local, 0);
+    EXPECT_LT(local, 8);
+    EXPECT_EQ(dir.FedIndexOf(cell, local), fed);
+  }
+  EXPECT_EQ(dir.CellOf(0), 0);
+  EXPECT_EQ(dir.CellOf(8), 1);
+  EXPECT_EQ(dir.CellOf(23), 2);
+}
+
+// ---------- query driver (standalone, synthetic issue function) ----------
+
+TEST(QueryDriverTest, FixedRateIssuesOpenLoop) {
+  Simulator sim;
+  QueryDriverParams params;
+  params.arrivals = ArrivalProcess::kFixedRate;
+  params.mix.queries_per_hour = 60.0;  // one a minute
+  params.mix.num_sensors = 4;
+  params.mix.past_fraction = 0.0;
+  // Completions never arrive — an open-loop driver must keep issuing regardless.
+  QueryDriver driver(&sim, params, [](const QueryRequest&, QueryDriver::CompletionFn) {});
+  driver.Start(Hours(1));
+  sim.RunUntil(Hours(2));
+  EXPECT_EQ(driver.stats().issued, 59u);  // arrivals at 1..59 min; 60 min hits until_
+  EXPECT_EQ(driver.stats().completed, 0u);
+}
+
+TEST(QueryDriverTest, RecordsOutcomesAndHistogramDeterministically) {
+  auto run = [] {
+    Simulator sim;
+    QueryDriverParams params;
+    params.mix.queries_per_hour = 360.0;
+    params.mix.num_sensors = 16;
+    params.mix.seed = 77;
+    QueryDriver* raw = nullptr;
+    // Synthetic sink: complete every query 250 ms after issue, failing every 3rd.
+    int n = 0;
+    QueryDriver driver(
+        &sim, params,
+        [&sim, &raw, &n](const QueryRequest& request, QueryDriver::CompletionFn done) {
+          const SimTime issued = sim.Now();
+          const bool ok = (++n % 3) != 0;
+          sim.ScheduleIn(Millis(250), [issued, ok, done, &sim] {
+            QueryOutcome outcome;
+            outcome.issued_at = issued;
+            outcome.completed_at = sim.Now();
+            outcome.ok = ok;
+            outcome.source = ok ? 0 : 3;
+            done(outcome);
+          });
+          (void)request;
+          (void)raw;
+        });
+    driver.Start(Hours(1));
+    sim.RunAll();
+    return std::make_pair(driver.stats().latency.Hash(), driver.stats().completed);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_GT(a.second, 100u);
+  EXPECT_EQ(a.first, b.first) << "same seed must reproduce the histogram";
+}
+
+TEST(LatencyHistogramTest, BucketsMergeAndCompare) {
+  LatencyHistogram a;
+  a.Record(Millis(1));   // [1024us, 2048us)
+  a.Record(Millis(1.5));
+  a.Record(Millis(100));
+  LatencyHistogram b;
+  b.Record(Millis(1));
+  EXPECT_NE(a, b);
+  b.Record(Millis(1.2));
+  b.Record(Millis(100));
+  EXPECT_EQ(a, b) << "same buckets must compare equal even for different values";
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a.TotalCount(), 3u);
+  LatencyHistogram merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.TotalCount(), 6u);
+}
+
+// ---------- federation scenarios ----------
+
+FederationConfig SmallFederation(int num_cells, int proxies, int sensors_per_proxy) {
+  FederationConfig config;
+  config.num_cells = num_cells;
+  config.cell.num_proxies = proxies;
+  config.cell.sensors_per_proxy = sensors_per_proxy;
+  config.cell.enable_replication = true;
+  config.cell.replication_factor = 2;
+  config.cell.promotion_delay = Seconds(10);
+  config.epoch = Seconds(1);
+  config.seed = 90125;
+  return config;
+}
+
+TEST(FederationTest, LocalAndCrossCellQueriesRouteThroughTheDirectory) {
+  Federation fed(SmallFederation(2, 2, 4));
+  fed.Start();
+  fed.RunUntil(Hours(2));
+
+  // Local: a sensor in the origin cell never touches a trunk.
+  FederationQuerySpec local;
+  local.fed_sensor = 1;
+  local.tolerance = 3.0;
+  const FederationQueryResult local_result = fed.QueryAndWait(0, local);
+  ASSERT_TRUE(local_result.cell.answer.status.ok());
+  EXPECT_FALSE(local_result.cross_cell);
+  EXPECT_EQ(local_result.target_cell, 0);
+  EXPECT_EQ(fed.stats().forwarded, 0u);
+
+  // Cross-cell: a sensor in cell 1 queried from cell 0 rides both trunks and pays
+  // at least two propagation latencies (clamped up to federation barriers).
+  FederationQuerySpec remote;
+  remote.fed_sensor = fed.directory().FedIndexOf(1, 3);
+  remote.tolerance = 3.0;
+  const FederationQueryResult remote_result = fed.QueryAndWait(0, remote);
+  ASSERT_TRUE(remote_result.cell.answer.status.ok());
+  EXPECT_TRUE(remote_result.cross_cell);
+  EXPECT_EQ(remote_result.target_cell, 1);
+  EXPECT_GE(remote_result.Latency(), 2 * fed.config().link.latency);
+  EXPECT_EQ(fed.stats().forwarded, 1u);
+  EXPECT_GE(fed.link(0, 1).stats().messages, 1u);
+  EXPECT_GE(fed.link(1, 0).stats().messages, 1u);
+  EXPECT_EQ(fed.stats().failed, 0u);
+}
+
+TEST(FederationTest, CrossCellQueriesSurviveTargetProxyKillMidStream) {
+  Federation fed(SmallFederation(2, 4, 4));
+  fed.Start();
+  fed.RunUntil(Hours(2));
+
+  // Open-loop driver entering at cell 0, targeting the whole namespace (so a steady
+  // share of its queries crosses into cell 1), running through the kill below.
+  QueryDriverParams params;
+  params.mix.queries_per_hour = 1800.0;  // one every 2 s
+  params.mix.num_sensors = 0;            // whole federation namespace
+  params.mix.past_fraction = 0.0;
+  params.mix.min_tolerance = 2.0;
+  params.mix.max_tolerance = 3.0;
+  params.mix.seed = 4242;
+  QueryDriver& driver = fed.AttachQueryDriver(0, params);
+  driver.Start(Minutes(10));
+
+  fed.RunUntil(fed.Now() + Minutes(2));
+  // Kill one of cell 1's proxies mid-stream: its shard must keep answering through
+  // the in-cell replica chain, then first-class again after promotion.
+  fed.cell(1).KillProxy(0);
+  fed.RunUntil(fed.Now() + Minutes(4));
+  fed.cell(1).ReviveProxy(0);
+  fed.RunUntil(fed.Now() + Minutes(6));
+
+  EXPECT_GT(driver.stats().issued, 250u);
+  EXPECT_EQ(driver.stats().completed, driver.stats().issued);
+  EXPECT_GT(driver.stats().cross_cell, 50u);
+  EXPECT_EQ(driver.stats().failed, 0u)
+      << "in-cell failover must keep every cross-cell query answerable";
+  EXPECT_GT(fed.cell(1).shard_stats().promotions, 0u);
+
+  // And a direct probe into the killed proxy's shard while it is down again, from
+  // the other cell, rides the replica chain.
+  fed.cell(1).KillProxy(0);
+  const int victim_sensor =
+      fed.directory().FedIndexOf(1, fed.cell(1).shard().SensorsOf(0).front());
+  FederationQuerySpec probe;
+  probe.fed_sensor = victim_sensor;
+  probe.tolerance = 3.0;
+  const FederationQueryResult probed = fed.QueryAndWait(0, probe);
+  ASSERT_TRUE(probed.cell.answer.status.ok());
+  EXPECT_TRUE(probed.cross_cell);
+  EXPECT_TRUE(probed.cell.used_replica);
+}
+
+TEST(FederationTest, KilledCellFailsFastAndRevives) {
+  Federation fed(SmallFederation(2, 2, 2));
+  fed.Start();
+  fed.RunUntil(Hours(1));
+
+  fed.KillCell(1);
+  FederationQuerySpec spec;
+  spec.fed_sensor = fed.directory().FedIndexOf(1, 0);
+  spec.tolerance = 3.0;
+  const FederationQueryResult dark = fed.QueryAndWait(0, spec);
+  EXPECT_FALSE(dark.cell.answer.status.ok())
+      << "a fully killed cell's namespace block must fail, not hang";
+  EXPECT_EQ(fed.stats().failed, 1u);
+
+  // The other cell is untouched.
+  FederationQuerySpec alive;
+  alive.fed_sensor = 0;
+  alive.tolerance = 3.0;
+  EXPECT_TRUE(fed.QueryAndWait(0, alive).cell.answer.status.ok());
+
+  fed.ReviveCell(1);
+  fed.RunUntil(fed.Now() + Minutes(10));
+  const FederationQueryResult back = fed.QueryAndWait(0, spec);
+  EXPECT_TRUE(back.cell.answer.status.ok()) << back.cell.answer.status.message();
+}
+
+// ---------- determinism across worker counts ----------
+
+struct FedDigest {
+  uint64_t fingerprint = 0;
+  uint64_t histogram = 0;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t cross_cell = 0;
+};
+
+// A full scenario on lane-engine cells: two gateways driving, a mid-stream proxy
+// kill + revive in each cell, and cross-cell traffic throughout.
+FedDigest RunLaneFederation(int sim_threads) {
+  FederationConfig config = SmallFederation(2, 8, 2);
+  config.cell.lane_engine = true;
+  config.cell.sim_threads = sim_threads;
+  config.cell.sim_epoch = Millis(500);
+  Federation fed(config);
+  fed.Start();
+
+  QueryDriverParams params;
+  params.mix.queries_per_hour = 1200.0;
+  params.mix.num_sensors = 0;  // whole federation namespace
+  params.mix.past_fraction = 0.2;
+  params.mix.mean_past_age = Minutes(20);
+  params.mix.max_past_age = Minutes(40);
+  params.mix.min_tolerance = 2.0;
+  params.mix.max_tolerance = 3.0;
+  std::vector<QueryDriver*> drivers;
+  for (int c = 0; c < fed.num_cells(); ++c) {
+    QueryDriverParams p = params;
+    p.mix.seed = 5150 + static_cast<uint64_t>(c);
+    drivers.push_back(&fed.AttachQueryDriver(c, p));
+  }
+  fed.RunUntil(Hours(1));
+  for (QueryDriver* driver : drivers) {
+    driver->Start(Minutes(12));
+  }
+  fed.RunUntil(fed.Now() + Minutes(3));
+  fed.cell(0).KillProxy(2);
+  fed.cell(1).KillProxy(5);
+  fed.RunUntil(fed.Now() + Minutes(4));
+  fed.cell(0).ReviveProxy(2);
+  fed.cell(1).ReviveProxy(5);
+  fed.RunUntil(fed.Now() + Minutes(8));
+
+  FedDigest digest;
+  digest.fingerprint = fed.fingerprint();
+  LatencyHistogram merged;
+  for (QueryDriver* driver : drivers) {
+    merged.Merge(driver->stats().latency);
+    digest.issued += driver->stats().issued;
+    digest.completed += driver->stats().completed;
+    digest.failed += driver->stats().failed;
+    digest.cross_cell += driver->stats().cross_cell;
+  }
+  digest.histogram = merged.Hash();
+  return digest;
+}
+
+TEST(FederationDeterminismTest, FingerprintAndHistogramIdenticalAcrossWorkerCounts) {
+  const FedDigest one = RunLaneFederation(1);
+  EXPECT_GT(one.issued, 200u);
+  EXPECT_EQ(one.completed, one.issued);
+  EXPECT_EQ(one.failed, 0u);
+  EXPECT_GT(one.cross_cell, 50u);
+  const FedDigest rerun = RunLaneFederation(1);
+  EXPECT_EQ(one.fingerprint, rerun.fingerprint) << "same seed must replay";
+  EXPECT_EQ(one.histogram, rerun.histogram);
+  const FedDigest eight = RunLaneFederation(8);
+  EXPECT_EQ(one.fingerprint, eight.fingerprint)
+      << "federation fingerprint must not depend on the worker count";
+  EXPECT_EQ(one.histogram, eight.histogram)
+      << "latency histogram must not depend on the worker count";
+  EXPECT_EQ(one.issued, eight.issued);
+  EXPECT_EQ(one.completed, eight.completed);
+  EXPECT_EQ(one.failed, eight.failed);
+  EXPECT_EQ(one.cross_cell, eight.cross_cell);
+}
+
+}  // namespace
+}  // namespace presto

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/net/cell_link.h"
 #include "src/net/network.h"
 #include "src/sim/simulator.h"
 
@@ -251,6 +252,36 @@ TEST(NetworkTest, PerLinkLossOverride) {
     delivered = static_cast<int>(h.net->stats().messages_delivered);
   }
   EXPECT_LT(delivered, 30);
+}
+
+// ---------- inter-cell trunk (CellLink) ----------
+
+TEST(CellLinkTest, AddsTransferAndPropagationDelay) {
+  CellLinkParams params;
+  params.latency = Millis(10);
+  params.bandwidth_bps = 8e6;  // 1 byte/us
+  CellLink link(params);
+  // 1000 bytes at 1 byte/us = 1 ms on the wire, plus 10 ms of propagation.
+  EXPECT_EQ(link.TransferTime(1000), Millis(1));
+  EXPECT_EQ(link.Deliver(Seconds(1), 1000), Seconds(1) + Millis(11));
+  EXPECT_EQ(link.stats().messages, 1u);
+  EXPECT_EQ(link.stats().bytes, 1000u);
+  EXPECT_EQ(link.stats().queued, 0u);
+}
+
+TEST(CellLinkTest, SerializesFifoBehindEarlierTraffic) {
+  CellLinkParams params;
+  params.latency = 0;
+  params.bandwidth_bps = 8e6;  // 1 byte/us
+  CellLink link(params);
+  // Two back-to-back megabyte transfers: the second queues behind the first.
+  const SimTime first = link.Deliver(0, 1000000);
+  EXPECT_EQ(first, Seconds(1));
+  const SimTime second = link.Deliver(Millis(1), 1000000);
+  EXPECT_EQ(second, Seconds(2)) << "second message must depart after the first clears";
+  EXPECT_EQ(link.stats().queued, 1u);
+  // Once the trunk is idle again, delivery is send time + transfer.
+  EXPECT_EQ(link.Deliver(Seconds(10), 1000), Seconds(10) + Millis(1));
 }
 
 }  // namespace

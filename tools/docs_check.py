@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Repo documentation checks (the CI `docs-check` job).
+
+1. Knob-table coverage: every field of the config structs listed in STRUCTS must be
+   mentioned (as `field`) in README.md — the knob reference table cannot silently
+   fall behind a struct change.
+2. Markdown links: intra-repo links in every tracked *.md file must resolve.
+   External schemes, pure anchors, and paths that escape the repo (e.g. the GitHub
+   badge's ../../actions/... trick) are skipped — they cannot be validated locally.
+
+Exits non-zero with one line per problem.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# (header path, struct name) pairs whose fields the README knob tables must cover.
+STRUCTS = [
+    ("src/core/deployment.h", "DeploymentConfig"),
+    ("src/core/federation.h", "FederationConfig"),
+    ("src/net/cell_link.h", "CellLinkParams"),
+]
+
+MEMBER_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:]*(?:<[^;=]*>)?[\s&*]+)+([A-Za-z_]\w*)\s*(?:=[^;]*)?;\s*(?://.*)?$"
+)
+LINK_RE = re.compile(r"\[[^\]^]*\]\(([^)\s]+)\)")
+
+
+def struct_fields(path, name):
+    """Field names of `struct name { ... };` in `path` (top-level members only)."""
+    with open(os.path.join(REPO, path), encoding="utf-8") as f:
+        text = f.read()
+    match = re.search(r"struct\s+%s\s*\{" % re.escape(name), text)
+    if not match:
+        raise SystemExit(f"docs_check: struct {name} not found in {path}")
+    depth = 1
+    body = []
+    for line in text[match.end():].splitlines():
+        stripped = line.split("//", 1)[0]
+        if depth == 1:
+            body.append(line)
+        depth += stripped.count("{") - stripped.count("}")
+        if depth <= 0:
+            break
+    fields = []
+    for line in body:
+        m = MEMBER_RE.match(line)
+        if m and not line.lstrip().startswith("//"):
+            fields.append(m.group(1))
+    if not fields:
+        raise SystemExit(f"docs_check: no fields parsed for {name} in {path}")
+    return fields
+
+
+def check_knob_tables(problems):
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as f:
+        readme = f.read()
+    for path, name in STRUCTS:
+        for field in struct_fields(path, name):
+            if f"`{field}`" not in readme:
+                problems.append(
+                    f"README.md: {name}::{field} ({path}) missing from the knob table"
+                )
+
+
+def markdown_files():
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [
+            d for d in dirs
+            if not d.startswith(".") and not d.startswith("build")
+        ]
+        for f in files:
+            if f.endswith(".md"):
+                yield os.path.join(root, f)
+
+
+def check_markdown_links(problems):
+    for md in markdown_files():
+        with open(md, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK_RE.findall(text):
+            if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:  # pure anchor
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), target_path))
+            if not resolved.startswith(REPO + os.sep):
+                continue  # escapes the repo (badge URLs): not validatable locally
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(md, REPO)}: broken link -> {target}"
+                )
+
+
+def main():
+    problems = []
+    check_knob_tables(problems)
+    check_markdown_links(problems)
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"docs_check: {len(problems)} problem(s)")
+        return 1
+    print("docs_check: knob tables complete, markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
