@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_report.h"
 #include "src/flash/archive_store.h"
 #include "src/util/table.h"
 #include "src/wavelet/aging.h"
@@ -32,7 +33,8 @@ FlashParams FlashOfSize(int kib) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A5: multi-resolution aging under storage pressure\n");
   std::printf("(28-day temperature trace, 31 s sampling = %d records ~ %.0f KiB raw)\n\n",
               kDays * 2786, kDays * 2786 * 7.2 / 1024.0);
@@ -111,5 +113,7 @@ int main() {
               "with aging\n"
               "off the store fills and rejects new data (or day-1 data would "
               "be gone).\n");
-  return 0;
+  BenchReport report("ablation_aging");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/index/temporal_merge.h"
 #include "src/index/time_sync.h"
 #include "src/util/rng.h"
@@ -16,7 +17,8 @@
 
 using namespace presto;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A7: clock drift correction vs resync interval\n");
   std::printf("(drift +/-80 ppm, 2 s initial offset, 3 ms beacon jitter, 24 h run)\n\n");
 
@@ -79,5 +81,7 @@ int main() {
               "cross-sensor order; regression sync holds p95 error to "
               "beacon-jitter scale\n"
               "even at hour-scale resync intervals.\n");
-  return 0;
+  BenchReport report("ablation_clocksync");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

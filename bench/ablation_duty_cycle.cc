@@ -8,13 +8,15 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 
 using namespace presto;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A3: latency requirement -> duty cycle -> energy\n");
   std::printf(
       "(single sensor; every query is a tight-tolerance NOW query forcing a pull)\n\n");
@@ -82,5 +84,7 @@ int main() {
   table.Print();
   std::printf("\nClaim check: looser latency bounds let the matcher lengthen the LPL\n"
               "interval, cutting idle listening energy while still meeting the bound.\n");
-  return 0;
+  BenchReport report("ablation_duty_cycle");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

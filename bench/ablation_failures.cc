@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -61,7 +62,8 @@ QueryStatsOut IssueQueries(Deployment& deployment, int count, double tolerance,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A8: failure injection\n\n");
 
   // --- Part 1: frame loss sweep ---
@@ -128,5 +130,8 @@ int main() {
               "energy climb); without replication a proxy failure takes its sensors'\n"
               "queries down, with replication the peer keeps answering from replicated\n"
               "cache + models.\n");
-  return 0;
+  BenchReport report("ablation_failures");
+  report.AddTable(loss_table, "loss/");
+  report.AddTable(failover_table, "failover/");
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/util/table.h"
 
@@ -69,7 +70,8 @@ ModelResult RunModel(ModelType type) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A4: model family vs push rate and extrapolation accuracy\n");
   std::printf(
       "(14 days, model-driven push, tolerance 0.5 C, identical diurnal world)\n\n");
@@ -95,5 +97,7 @@ int main() {
               "adding the seasonal component (seasonal-ar) halves proxy-side "
               "extrapolation\n"
               "error at the lowest push rate. Parameter blobs stay radio-cheap.\n");
-  return 0;
+  BenchReport report("ablation_models");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -13,7 +14,8 @@
 
 using namespace presto;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A2: query tolerance vs answer source and latency\n");
   std::printf("(2 proxies x 4 sensors, model-driven push at 0.5 C, 2-day warmup)\n\n");
 
@@ -93,5 +95,7 @@ int main() {
               "tolerance clears the push threshold (0.5 C), extrapolation "
               "answers almost\n"
               "everything at millisecond latency.\n");
-  return 0;
+  BenchReport report("ablation_precision");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/util/table.h"
 
@@ -99,7 +100,8 @@ PolicyResult RunPolicy(PushPolicy policy, ProxyMode mode, bool manage_models) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A1: reporting policies on an identical 7-day world\n"
               "(4 sensors, 1 C-scale transients ~1/day/sensor, threshold 0.5 C)\n\n");
   TextTable table;
@@ -133,5 +135,7 @@ int main() {
               "stream-class latency for a small fraction of streaming's "
               "energy, and pushes\n"
               "fewer samples than value-driven at equal threshold.\n");
-  return 0;
+  BenchReport report("ablation_push_policies");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/index/skip_graph.h"
 #include "src/util/rng.h"
 #include "src/util/stats.h"
@@ -12,7 +13,8 @@
 
 using namespace presto;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A6: skip-graph scaling (hops per operation vs index size)\n\n");
 
   TextTable table;
@@ -55,5 +57,7 @@ int main() {
   std::printf("\nClaim check: hops grow ~logarithmically (hops / log2 n "
               "roughly flat), so\n"
               "the unified store's routing stays cheap at hundreds of proxies.\n");
-  return 0;
+  BenchReport report("ablation_skipgraph");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/models/ar.h"
 #include "src/models/spatial.h"
 #include "src/util/stats.h"
@@ -26,7 +27,8 @@ constexpr int kTarget = 5;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   std::printf("Ablation A9: spatial extrapolation for a silent sensor\n");
   std::printf("(16-sensor field, sensor %d silenced after day 3, estimates vs truth)\n\n",
               kTarget);
@@ -105,5 +107,7 @@ int main() {
               "the advantage\n"
               "fades as correlation drops — and the model's claimed sigma "
               "tracks that.\n");
-  return 0;
+  BenchReport report("ablation_spatial");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

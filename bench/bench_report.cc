@@ -1,0 +1,219 @@
+#include "bench/bench_report.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace presto {
+namespace {
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) {
+    return "null";  // JSON has no inf/nan; null keeps the row parseable
+  }
+  char buf[32];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+std::string JsonHex(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+void AppendSection(std::string& out, const char* name,
+                   const std::vector<BenchReport::Entry>& entries, bool& first) {
+  if (entries.empty()) {
+    return;
+  }
+  if (!first) {
+    out += ", ";
+  }
+  first = false;
+  out += JsonString(name);
+  out += ": {";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += JsonString(entries[i].key);
+    out += ": ";
+    out += entries[i].rendered;
+  }
+  out += '}';
+}
+
+bool ParsesAsNumber(const std::string& cell, double* value) {
+  if (cell.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *value = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size() && std::isfinite(*value);
+}
+
+}  // namespace
+
+BenchReport::Row& BenchReport::Row::Config(const std::string& key, double value) {
+  config_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Config(const std::string& key,
+                                           const std::string& value) {
+  config_.push_back({key, JsonString(value)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Metric(const std::string& key, double value) {
+  metrics_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::LatencyMs(const std::string& key, double value) {
+  latency_ms_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Energy(const std::string& key, double value) {
+  energy_.push_back({key, JsonNumber(value)});
+  return *this;
+}
+
+BenchReport::Row& BenchReport::Row::Fingerprint(const std::string& key,
+                                                uint64_t value) {
+  fingerprints_.push_back({key, JsonHex(value)});
+  return *this;
+}
+
+void BenchReport::Config(const std::string& key, double value) {
+  config_.push_back({key, JsonNumber(value)});
+}
+
+void BenchReport::Config(const std::string& key, const std::string& value) {
+  config_.push_back({key, JsonString(value)});
+}
+
+BenchReport::Row& BenchReport::AddRow(const std::string& key) {
+  rows_.emplace_back(key);
+  return rows_.back();
+}
+
+void BenchReport::AddTable(const TextTable& table, const std::string& key_prefix) {
+  const std::vector<std::string>& header = table.header();
+  for (const std::vector<std::string>& cells : table.rows()) {
+    Row& row = AddRow(key_prefix + (cells.empty() ? "" : cells[0]));
+    for (size_t i = 1; i < cells.size() && i < header.size(); ++i) {
+      double value = 0.0;
+      if (ParsesAsNumber(cells[i], &value)) {
+        row.Metric(header[i], value);
+      } else {
+        row.metrics_.push_back({header[i], JsonString(cells[i])});
+      }
+    }
+  }
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out = "{";
+  out += "\"schema_version\": " + JsonNumber(kBenchReportSchemaVersion);
+  out += ", \"bench\": " + JsonString(bench_);
+  out += ", \"grid\": " + JsonString(grid_);
+  bool first = false;  // top-level always has the three fields above
+  AppendSection(out, "config", config_, first);
+  out += ", \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    if (r > 0) {
+      out += ", ";
+    }
+    out += "{\"key\": " + JsonString(row.key_);
+    bool row_first = false;
+    AppendSection(out, "config", row.config_, row_first);
+    AppendSection(out, "metrics", row.metrics_, row_first);
+    AppendSection(out, "latency_ms", row.latency_ms_, row_first);
+    AppendSection(out, "energy", row.energy_, row_first);
+    AppendSection(out, "fingerprints", row.fingerprints_, row_first);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool BenchReport::WriteJson(const std::string& path) const {
+  if (path.empty()) {
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_report: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) {
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  } else {
+    std::fprintf(stderr, "bench_report: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return path;
+}
+
+}  // namespace presto

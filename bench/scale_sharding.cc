@@ -39,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "src/core/deployment.h"
 #include "src/core/shard_map.h"
 #include "src/util/rng.h"
@@ -434,6 +435,7 @@ std::string FmtMs(double ms) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   bool smoke = false;
   bool write_csv = false;
   for (int i = 1; i < argc; ++i) {
@@ -444,6 +446,9 @@ int main(int argc, char** argv) {
       write_csv = true;
     }
   }
+  BenchReport report("scale_sharding");
+  report.set_grid(smoke ? "smoke" : "full");
+  report.Config("seed", static_cast<double>(kSeed));
   std::printf("PRESTO scale bench: sharded multi-proxy deployments with dynamic\n");
   std::printf("shard management (K-way replication, promotion, rebalancing).\n");
   std::printf("Two proxies are killed mid-run (one on 2-proxy cells); 'killed fail'\n");
@@ -501,6 +506,28 @@ int main(int argc, char** argv) {
                 cell.proxies, cell.sensors, ShardPolicyName(cell.policy),
                 cell.replication ? "yes" : "no",
                 static_cast<unsigned long long>(r.fingerprint));
+    char key_buf[96];
+    std::snprintf(key_buf, sizeof(key_buf), "failover/p%dxs%d/%s/repl%d",
+                  cell.proxies, cell.sensors, ShardPolicyName(cell.policy),
+                  cell.replication ? 1 : 0);
+    BenchReport::Row& row = report.AddRow(key_buf);
+    row.Config("proxies", cell.proxies)
+        .Config("sensors", cell.sensors)
+        .Config("policy", ShardPolicyName(cell.policy))
+        .Config("replication", cell.replication ? 1 : 0)
+        .Config("batch_epoch_s", ToSeconds(cell.batch_epoch));
+    row.Metric("success", r.success)
+        .Metric("batched_share", r.batched_share)
+        .Metric("kills", r.kills)
+        .Metric("killed_failures", r.killed_failures)
+        .Metric("degraded_share", r.degraded_share)
+        .Metric("other_shard_success", r.other_shard_success)
+        .Metric("recovery_ms", r.recovery_ms)
+        .Metric("promotion_ms", r.promotion_ms)
+        .Metric("promotions", static_cast<double>(r.promotions));
+    row.LatencyMs("mean", r.now_latency_ms_mean).LatencyMs("p95", r.now_latency_ms_p95);
+    row.Energy("j_per_sensor_day", r.energy_j_per_sensor_day);
+    row.Fingerprint("simulator", r.fingerprint);
     if (cell.replication && r.killed_failures > 0) {
       std::printf("  VIOLATION: %d failed queries on killed shards with replication\n",
                   r.killed_failures);
@@ -546,6 +573,15 @@ int main(int argc, char** argv) {
     std::printf("  VIOLATION: no inside-window answer rode the failover chain\n");
     ++violations;
   }
+  report.AddRow("double_kill")
+      .Config("proxies", dk_proxies)
+      .Config("sensors", dk_sensors)
+      .Metric("probes", dk.probes)
+      .Metric("failures_inside", dk.failures_inside)
+      .Metric("failures_outside", dk.failures_outside)
+      .Metric("chain_answers", dk.chain_answers)
+      .Metric("promotions", static_cast<double>(dk.promotions))
+      .Fingerprint("simulator", dk.fingerprint);
 
   // --- rebalancing under a skewed workload ---
   std::printf("\nRebalancing sweep (4 proxies, skewed 80/20 workload, bound 1.5):\n");
@@ -564,6 +600,15 @@ int main(int argc, char** argv) {
     std::printf("  VIOLATION: rebalancer never migrated a sensor\n");
     ++violations;
   }
+  report.AddRow("rebalance")
+      .Config("proxies", 4)
+      .Config("sensors", 64)
+      .Metric("ratio_before", reb.ratio_before)
+      .Metric("ratio_after", reb.ratio_after)
+      .Metric("migrations", static_cast<double>(reb.migrations))
+      .Metric("sweeps", static_cast<double>(reb.sweeps))
+      .Metric("success", reb.success)
+      .Fingerprint("simulator", reb.fingerprint);
 
   // --- parallel shard-lane engine: threads sweep + scale cells ---
   {
@@ -613,6 +658,18 @@ int main(int argc, char** argv) {
                              TextTable::Num(r.wall_s, 2),
                              TextTable::Num(r.events_per_sec / 1e6, 2),
                              TextTable::Num(speedup, 2), fp_buf});
+        char key_buf[96];
+        std::snprintf(key_buf, sizeof(key_buf), "engine/p%dxs%d/threads%d",
+                      cell.proxies, cell.sensors, threads);
+        report.AddRow(key_buf)
+            .Config("proxies", cell.proxies)
+            .Config("sensors", cell.sensors)
+            .Config("threads", threads)
+            .Metric("events", static_cast<double>(r.events))
+            .Metric("events_per_s", r.events_per_sec)
+            .Metric("speedup_vs_1thr", speedup)
+            .Metric("wall_s", r.wall_s)
+            .Fingerprint("simulator", r.fingerprint);
         if (r.fingerprint != base_fp) {
           std::printf("  VIOLATION: %dx%d fingerprint diverges at threads=%d\n",
                       cell.proxies, cell.sensors, threads);
@@ -659,6 +716,14 @@ int main(int argc, char** argv) {
                     big.failed_queries);
         ++violations;
       }
+      report.AddRow("engine/p128xs99968/threads8")
+          .Config("proxies", big_proxies)
+          .Config("sensors", big_sensors)
+          .Config("threads", 8)
+          .Metric("events", static_cast<double>(big.events))
+          .Metric("events_per_s", big.events_per_sec)
+          .Metric("wall_s", big.wall_s)
+          .Fingerprint("simulator", big.fingerprint);
     }
   }
 
@@ -680,6 +745,9 @@ int main(int argc, char** argv) {
     ++violations;
   }
 
+  if (!report.WriteJson(json_path)) {
+    ++violations;
+  }
   if (violations > 0) {
     std::printf("\n%d violation(s) — see above.\n", violations);
     return 1;

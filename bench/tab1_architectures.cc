@@ -13,12 +13,14 @@
 
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "src/core/architectures.h"
 #include "src/util/table.h"
 
 using namespace presto;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   ArchitectureBenchConfig config;
   config.warmup = Days(2);
   config.query_window = Days(2);
@@ -65,5 +67,7 @@ int main() {
       "  streaming:    interactive but burns energy pushing every sample\n"
       "  presto:       streaming-class latency at near-direct energy, only row with\n"
       "                prediction (extrapolated answers) and sensor-archival PAST\n");
-  return 0;
+  BenchReport report("tab1_architectures");
+  report.AddTable(table);
+  return report.WriteJson(json_path) ? 0 : 1;
 }

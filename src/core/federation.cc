@@ -65,6 +65,24 @@ Federation::Federation(const FederationConfig& config)
     }
   }
   outbox_.resize(static_cast<size_t>(config_.num_cells));
+  counters_.resize(static_cast<size_t>(config_.num_cells));
+  cell_threads_ = std::max(1, std::min(config_.cell_threads, config_.num_cells));
+  for (int w = 1; w < cell_threads_; ++w) {
+    cell_workers_.emplace_back([this] { CellWorkerLoop(); });
+  }
+}
+
+Federation::~Federation() {
+  if (!cell_workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_m_);
+      pool_quit_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& worker : cell_workers_) {
+      worker.join();
+    }
+  }
 }
 
 void Federation::Start() {
@@ -97,13 +115,63 @@ void Federation::RunUntil(SimTime t) {
     if (now_ % config_.epoch == 0) {
       DrainMail();
     }
-    // Cells step one at a time (each internally parallel across its shard lanes):
-    // federation state is only touched from cell control lanes, so this order makes
-    // the whole layer single-threaded — and the fixed order makes it deterministic.
-    for (auto& cell : cells_) {
-      cell->RunUntil(end);
+    // Cells step through the epoch — concurrently when cell_threads_ > 1. Cells
+    // only interact through outboxes drained at the (serial) barrier above, so
+    // which host thread steps a cell is unobservable: fingerprints and driver
+    // histograms are identical for sequential and parallel stepping.
+    if (cell_threads_ <= 1) {
+      for (auto& cell : cells_) {
+        cell->RunUntil(end);
+      }
+    } else {
+      StepCells(end);
     }
     now_ = end;
+  }
+}
+
+void Federation::StepCells(SimTime end) {
+  {
+    std::lock_guard<std::mutex> lock(pool_m_);
+    pool_end_ = end;
+    pool_done_ = 0;
+    next_cell_.store(0, std::memory_order_relaxed);
+    ++pool_gen_;
+  }
+  pool_cv_.notify_all();
+  ClaimCells(end);  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(pool_m_);
+  done_cv_.wait(lock,
+                [&] { return pool_done_ == static_cast<int>(cell_workers_.size()); });
+}
+
+void Federation::CellWorkerLoop() {
+  uint64_t seen_gen = 0;
+  while (true) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(pool_m_);
+      pool_cv_.wait(lock, [&] { return pool_quit_ || pool_gen_ != seen_gen; });
+      if (pool_quit_) {
+        return;
+      }
+      seen_gen = pool_gen_;
+      end = pool_end_;
+    }
+    ClaimCells(end);
+    {
+      std::lock_guard<std::mutex> lock(pool_m_);
+      ++pool_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void Federation::ClaimCells(SimTime end) {
+  const int total = config_.num_cells;
+  int cell;
+  while ((cell = next_cell_.fetch_add(1, std::memory_order_relaxed)) < total) {
+    cells_[static_cast<size_t>(cell)]->RunUntil(end);
   }
 }
 
@@ -123,9 +191,9 @@ void Federation::DrainMail() {
     }
     box.clear();
   }
-  ++stats_.barriers;
+  ++serial_stats_.barriers;
   if (drained > 0) {
-    stats_.mail_drained += drained;
+    serial_stats_.mail_drained += drained;
     // Which barrier took delivery of how much inter-cell traffic is part of the
     // federation replay contract (mirrors the simulator's barrier-sequence hash).
     FnvMix(barrier_hash_, static_cast<uint64_t>(now_));
@@ -139,57 +207,81 @@ void Federation::IssueFromCell(
   PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
   const int target = directory_.CellOf(spec.fed_sensor);
   const int local = directory_.LocalOf(spec.fed_sensor);
-  ++stats_.queries;
-
-  const uint64_t qid = next_query_id_++;
-  PendingFedQuery& q = pending_[qid];
-  q.spec.type = spec.type;
-  q.spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
-  q.spec.range = spec.range;
-  q.spec.tolerance = spec.tolerance;
-  q.spec.latency_bound = spec.latency_bound;
-  q.result.origin_cell = origin_cell;
-  q.result.target_cell = target;
-  q.result.cross_cell = target != origin_cell;
-  q.result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
-  q.callback = std::move(callback);
+  // Runs on the origin cell's control lane (driver arrivals) or host control
+  // context: the origin's counter block is single-writer either way, so qid
+  // allocation (qid ≡ origin_cell mod num_cells) needs no cross-cell coordination
+  // — and is deterministic, unlike a shared atomic counter under cell-parallel
+  // stepping.
+  CellCounters& ctr = counters_[static_cast<size_t>(origin_cell)];
+  ++ctr.queries;
+  const uint64_t qid = ++ctr.next_qid * static_cast<uint64_t>(config_.num_cells) +
+                       static_cast<uint64_t>(origin_cell);
+  PendingShard& shard = PendingShardOf(qid);
+  PendingFedQuery* q;
+  {
+    std::lock_guard<std::mutex> lock(shard.m);
+    q = &shard.map[qid];  // references survive rehash; only this qid's owner fills
+  }
+  q->spec.type = spec.type;
+  q->spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
+  q->spec.range = spec.range;
+  q->spec.tolerance = spec.tolerance;
+  q->spec.latency_bound = spec.latency_bound;
+  q->result.origin_cell = origin_cell;
+  q->result.target_cell = target;
+  q->result.cross_cell = target != origin_cell;
+  q->result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
+  q->callback = std::move(callback);
 
   if (target == origin_cell) {
-    ++stats_.local;
+    ++ctr.local;
     ExecuteAtTarget(qid);  // no trunk hop: straight into the local store
     return;
   }
-  ++stats_.forwarded;
+  ++ctr.forwarded;
+  // The origin→target trunk is driven only by this (origin) control lane, so its
+  // serialization clock stays single-writer and monotone under parallel stepping.
   const SimTime at = LinkBetween(origin_cell, target)
-                         .Deliver(q.result.issued_at, config_.query_bytes);
+                         .Deliver(q->result.issued_at, config_.query_bytes);
   outbox_[static_cast<size_t>(origin_cell)].push_back(
       Mail{target, at, kFedOpExecute, qid});
 }
 
 void Federation::ExecuteAtTarget(uint64_t qid) {
-  auto it = pending_.find(qid);
-  PRESTO_CHECK(it != pending_.end());
-  PendingFedQuery& q = it->second;  // map nodes are stable across inserts
-  cells_[static_cast<size_t>(q.result.target_cell)]->QueryAsync(
-      q.spec,
+  PendingShard& shard = PendingShardOf(qid);
+  PendingFedQuery* q;
+  {
+    std::lock_guard<std::mutex> lock(shard.m);
+    auto it = shard.map.find(qid);
+    PRESTO_CHECK(it != shard.map.end());
+    q = &it->second;
+  }
+  cells_[static_cast<size_t>(q->result.target_cell)]->QueryAsync(
+      q->spec,
       [this, qid](const UnifiedQueryResult& r) { OnCellAnswered(qid, r); });
 }
 
 void Federation::OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r) {
   // Runs on the target cell's control lane (QueryAsync marshals completions there).
-  auto it = pending_.find(qid);
-  PRESTO_CHECK(it != pending_.end());
-  PendingFedQuery& q = it->second;
-  q.result.cell = r;
-  if (!q.result.cross_cell) {
+  PendingShard& shard = PendingShardOf(qid);
+  PendingFedQuery* q;
+  {
+    std::lock_guard<std::mutex> lock(shard.m);
+    auto it = shard.map.find(qid);
+    PRESTO_CHECK(it != shard.map.end());
+    q = &it->second;
+  }
+  q->result.cell = r;
+  if (!q->result.cross_cell) {
     Finalize(qid);
     return;
   }
-  const int target = q.result.target_cell;
-  const int origin = q.result.origin_cell;
+  const int target = q->result.target_cell;
+  const int origin = q->result.origin_cell;
   const size_t bytes =
       config_.response_base_bytes +
       r.answer.samples.size() * static_cast<size_t>(config_.response_sample_bytes);
+  // The target→origin trunk is driven only by this (target) control lane.
   const SimTime at =
       LinkBetween(target, origin)
           .Deliver(cells_[static_cast<size_t>(target)]->sim().Now(), bytes);
@@ -198,15 +290,24 @@ void Federation::OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r) {
 }
 
 void Federation::Finalize(uint64_t qid) {
-  auto it = pending_.find(qid);
-  PRESTO_CHECK(it != pending_.end());
-  PendingFedQuery q = std::move(it->second);
-  pending_.erase(it);
+  PendingShard& shard = PendingShardOf(qid);
+  PendingFedQuery q;
+  {
+    std::lock_guard<std::mutex> lock(shard.m);
+    auto it = shard.map.find(qid);
+    PRESTO_CHECK(it != shard.map.end());
+    q = std::move(it->second);
+    shard.map.erase(it);
+  }
   q.result.completed_at =
       cells_[static_cast<size_t>(q.result.origin_cell)]->sim().Now();
   if (!q.result.cell.answer.status.ok()) {
-    ++stats_.failed;
+    // Failures are charged to the origin's counter block: Finalize always runs on
+    // the origin cell's control lane (or host context for probe queries).
+    ++counters_[static_cast<size_t>(q.result.origin_cell)].failed;
   }
+  // The callback (driver Record, QueryAndWait latch) runs outside the shard lock:
+  // it may issue follow-up queries that take the same lock.
   if (q.callback) {
     q.callback(q.result);
   }
@@ -308,6 +409,17 @@ void Federation::ReviveCell(int cell_index) {
   for (int p = 0; p < cell.config().num_proxies; ++p) {
     cell.ReviveProxy(p);
   }
+}
+
+FederationStats Federation::stats() const {
+  FederationStats total = serial_stats_;
+  for (const CellCounters& ctr : counters_) {
+    total.queries += ctr.queries;
+    total.local += ctr.local;
+    total.forwarded += ctr.forwarded;
+    total.failed += ctr.failed;
+  }
+  return total;
 }
 
 uint64_t Federation::fingerprint() const {

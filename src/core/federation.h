@@ -12,20 +12,34 @@
 //    trunk home — both hops typed simulator events, never a host round-trip.
 //
 //  - All cells advance under one shared epoch-barrier schedule (FederationConfig::
-//    epoch): Federation::RunUntil steps every cell through the same absolute grid,
-//    in cell-index order. Inter-cell traffic generated inside an epoch lands in
-//    per-source-cell FIFO outboxes and is drained at the next federation barrier —
-//    delivery times clamp to the barrier, exactly the rule the intra-cell lane
-//    mailboxes follow, so inter-cell delivery granularity is the federation epoch.
+//    epoch): Federation::RunUntil steps every cell through the same absolute grid.
+//    Inter-cell traffic generated inside an epoch lands in per-source-cell FIFO
+//    outboxes and is drained at the next federation barrier — delivery times clamp
+//    to the barrier, exactly the rule the intra-cell lane mailboxes follow, so
+//    inter-cell delivery granularity is the federation epoch.
 //
-//  - Determinism: federation-level state (directory, pending queries, outboxes,
-//    trunks, stats) is only ever touched from cell control lanes and the federation
-//    barrier loop — cells execute their epochs one at a time (each internally
-//    parallel across its shard lanes), so this layer is single-threaded by
-//    construction and needs no locks. fingerprint() folds each cell's
-//    worker-count-independent fingerprint (bound to its cell index) with a barrier-
-//    sequence hash over drained mail, making the federation fingerprint bit-
-//    identical across `sim_threads` worker counts and reruns.
+//  - Cell-parallel stepping (FederationConfig::cell_threads > 1): within each
+//    federation epoch the cells themselves run concurrently, claimed off a shared
+//    counter by a persistent pool of host threads (each cell still internally
+//    parallel across its shard lanes). What makes this safe without changing any
+//    observable: every per-source-cell outbox and every directed trunk is written
+//    only by its source cell's serial control lane; query ids are allocated from
+//    per-origin-cell counters (qid ≡ origin mod num_cells), so allocation needs no
+//    cross-cell coordination; per-query state lives in a sharded, mutex-protected
+//    pending table whose entries are only ever touched by one cell at a time
+//    (issue/finalize on the origin's control lane, execute/answer on the target's,
+//    strictly separated by federation barriers); and cross-cell counters are
+//    per-origin-cell, folded on demand. Mail drain, driver starts, and
+//    topology mutations (KillCell / KillProxy / ...) stay on the serial control
+//    step between epochs — the barrier loop never overlaps cell execution.
+//
+//  - Determinism: cells only interact through outboxes drained serially at
+//    barriers, so per-cell event streams are independent of which host thread (or
+//    how many) steps them. fingerprint() folds each cell's worker-count-independent
+//    fingerprint (bound to its cell index) with a barrier-sequence hash over
+//    drained mail, making the federation fingerprint bit-identical across
+//    `sim_threads` worker counts, `cell_threads` counts (including sequential
+//    stepping), and reruns — the bench and federation_test self-check all three.
 //
 // Query lifecycle (cross-cell): driver/host issues at origin O -> directory lookup
 // at O's gateway -> request serialized onto the O->T trunk -> drained at a
@@ -37,9 +51,14 @@
 #ifndef SRC_CORE_FEDERATION_H_
 #define SRC_CORE_FEDERATION_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/deployment.h"
@@ -78,6 +97,11 @@ struct FederationConfig {
   // Federation barrier grid: inter-cell delivery granularity. Must cover the cells'
   // lane epoch (checked) — a trunk cannot deliver *finer* than its endpoints step.
   Duration epoch = Seconds(1);
+  // Host threads stepping cells concurrently within each federation epoch, clamped
+  // to [1, num_cells]. 1 (the default) keeps sequential cell-index-order stepping.
+  // Fingerprints and driver latency histograms are identical at every value — the
+  // cell-parallel half of the federation determinism contract (see file header).
+  int cell_threads = 1;
   // Inter-cell trunk model (one directed CellLink per cell pair).
   CellLinkParams link;
   // Message sizes on the trunk: a query request, a response envelope, and each
@@ -120,12 +144,18 @@ struct FederationStats {
 class Federation : public EventSink {
  public:
   explicit Federation(const FederationConfig& config);
+  ~Federation() override;
 
   // Starts every cell. Call once, then RunUntil.
   void Start();
 
-  // Advances every cell through the shared barrier grid to `t`.
+  // Advances every cell through the shared barrier grid to `t`. With
+  // `cell_threads > 1` the cells of each epoch run concurrently; mail drain and
+  // everything else at the barrier stays serial.
   void RunUntil(SimTime t);
+
+  // Effective cell-stepping parallelism (config clamped to the cell count).
+  int cell_threads() const { return cell_threads_; }
 
   SimTime Now() const { return now_; }
   int num_cells() const { return config_.num_cells; }
@@ -160,7 +190,9 @@ class Federation : public EventSink {
   // The directed inter-cell trunk src -> dst (src != dst).
   const CellLink& link(int src, int dst) const;
 
-  const FederationStats& stats() const { return stats_; }
+  // Aggregated over the per-origin-cell counter blocks plus the serial barrier
+  // counters; call from host control context (between RunUntil calls).
+  FederationStats stats() const;
 
   // Order-independent fold of the per-cell fingerprints (each bound to its cell
   // index) plus the federation barrier-sequence hash. Equal across reruns and
@@ -177,6 +209,28 @@ class Federation : public EventSink {
     FederationQueryResult result;
     std::function<void(const FederationQueryResult&)> callback;
   };
+  // One shard of the pending cross-cell query table. The mutex guards only the map
+  // *structure* (concurrent inserts/finds/erases of different qids from different
+  // cell control lanes); entries themselves are single-owner at any instant —
+  // issue/finalize touch a qid on the origin's control lane, execute/answer on the
+  // target's, and the two sides are separated by federation barriers, never
+  // concurrent. unordered_map keeps references stable across rehash, so an entry
+  // pointer taken under the lock stays valid outside it.
+  struct PendingShard {
+    std::mutex m;
+    std::unordered_map<uint64_t, PendingFedQuery> map;
+  };
+  static constexpr int kPendingShards = 16;
+  // Per-origin-cell bookkeeping, written only from that cell's serial control lane
+  // (or host control context). Padded so neighbouring cells' control lanes do not
+  // share a cache line under cell-parallel stepping.
+  struct alignas(64) CellCounters {
+    uint64_t next_qid = 0;
+    uint64_t queries = 0;
+    uint64_t local = 0;
+    uint64_t forwarded = 0;
+    uint64_t failed = 0;
+  };
   // An inter-cell message awaiting the next federation barrier. Lives in the
   // *source* cell's FIFO, written only from that cell's serial control lane.
   struct Mail {
@@ -187,7 +241,15 @@ class Federation : public EventSink {
   };
 
   CellLink& LinkBetween(int src, int dst);
+  PendingShard& PendingShardOf(uint64_t qid) {
+    // splitmix-style spread: per-origin qids are arithmetic sequences (stride
+    // num_cells), which a bare modulus would pile onto few shards.
+    return pending_[(qid * 0x9e3779b97f4a7c15ull) >> 60];
+  }
   void DrainMail();
+  void StepCells(SimTime end);
+  void CellWorkerLoop();
+  void ClaimCells(SimTime end);
   void ExecuteAtTarget(uint64_t qid);
   void OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r);
   void Finalize(uint64_t qid);
@@ -197,11 +259,25 @@ class Federation : public EventSink {
   std::vector<std::unique_ptr<Deployment>> cells_;
   std::vector<std::unique_ptr<CellLink>> links_;  // [src * num_cells + dst]
   std::vector<std::vector<Mail>> outbox_;         // [source cell] FIFO
-  std::map<uint64_t, PendingFedQuery> pending_;
-  uint64_t next_query_id_ = 1;
+  std::array<PendingShard, kPendingShards> pending_;
+  std::vector<CellCounters> counters_;  // [origin cell]
   SimTime now_ = 0;
   uint64_t barrier_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
-  FederationStats stats_;
+  FederationStats serial_stats_;                   // barriers / mail_drained only
+
+  // Cell-stepping pool (cell_threads_ > 1): the simulator's lane pool one level
+  // up. Workers claim cells off next_cell_ and run each through [now_, pool_end_].
+  int cell_threads_ = 1;
+  std::vector<std::thread> cell_workers_;
+  std::mutex pool_m_;
+  std::condition_variable pool_cv_;
+  std::condition_variable done_cv_;
+  uint64_t pool_gen_ = 0;
+  SimTime pool_end_ = 0;
+  bool pool_quit_ = false;
+  int pool_done_ = 0;
+  std::atomic<int> next_cell_{0};
+
   // Declared after cells_ so drivers (holding pending arrival events) die first.
   std::vector<std::unique_ptr<QueryDriver>> drivers_;
 };

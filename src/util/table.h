@@ -32,6 +32,10 @@ class TextTable {
   // Writes ToCsv() to `path`; best-effort (logs on failure).
   void WriteCsvFile(const std::string& path) const;
 
+  // Read access for downstream emitters (bench JSON reports).
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -234,12 +234,15 @@ struct FedDigest {
 };
 
 // A full scenario on lane-engine cells: two gateways driving, a mid-stream proxy
-// kill + revive in each cell, and cross-cell traffic throughout.
-FedDigest RunLaneFederation(int sim_threads) {
+// kill + revive in each cell, and cross-cell traffic throughout. cell_threads = 1
+// is sequential cell stepping; > 1 steps the cells concurrently on the federation
+// pool inside each epoch.
+FedDigest RunLaneFederation(int sim_threads, int cell_threads = 1) {
   FederationConfig config = SmallFederation(2, 8, 2);
   config.cell.lane_engine = true;
   config.cell.sim_threads = sim_threads;
   config.cell.sim_epoch = Millis(500);
+  config.cell_threads = cell_threads;
   Federation fed(config);
   fed.Start();
 
@@ -301,6 +304,103 @@ TEST(FederationDeterminismTest, FingerprintAndHistogramIdenticalAcrossWorkerCoun
   EXPECT_EQ(one.completed, eight.completed);
   EXPECT_EQ(one.failed, eight.failed);
   EXPECT_EQ(one.cross_cell, eight.cross_cell);
+}
+
+TEST(FederationDeterminismTest, CellParallelSteppingMatchesSequential) {
+  // The same driven kill/revive scenario, sequential vs cell-parallel stepping
+  // across {1, 2, 8} host threads (2 cells clamp 8 down to 2 — the over-provisioned
+  // pool must behave identically), with the lane engine threaded underneath too.
+  const FedDigest sequential = RunLaneFederation(/*sim_threads=*/2,
+                                                 /*cell_threads=*/1);
+  EXPECT_GT(sequential.issued, 200u);
+  EXPECT_EQ(sequential.completed, sequential.issued);
+  for (int cell_threads : {2, 8}) {
+    const FedDigest parallel = RunLaneFederation(/*sim_threads=*/2, cell_threads);
+    EXPECT_EQ(sequential.fingerprint, parallel.fingerprint)
+        << "fingerprint diverged at cell_threads=" << cell_threads;
+    EXPECT_EQ(sequential.histogram, parallel.histogram)
+        << "latency histogram diverged at cell_threads=" << cell_threads;
+    EXPECT_EQ(sequential.issued, parallel.issued);
+    EXPECT_EQ(sequential.completed, parallel.completed);
+    EXPECT_EQ(sequential.failed, parallel.failed);
+    EXPECT_EQ(sequential.cross_cell, parallel.cross_cell);
+  }
+}
+
+// ---------- pending-query-table contention ----------
+
+TEST(FederationTest, PendingTableSurvivesCrossCellContentionThroughOneGateway) {
+  // One gateway floods the whole namespace of a 4-cell federation while the cells
+  // step concurrently: issue/finalize run on cell 0's control lane while execute/
+  // answer ops for earlier queries run on cells 1..3 — many in-flight qids hitting
+  // the sharded pending table from four threads at once. Arrivals ride the control
+  // step, so a single driver is clamped to the barrier cadence no matter its rate;
+  // eight drivers on the same gateway flood several concurrent qids per epoch.
+  // Every query must complete exactly once (an entry lost or double-finalized trips
+  // the driver accounting or a PRESTO_CHECK), and the outcome must be bit-identical
+  // to sequential stepping.
+  auto run = [](int cell_threads) {
+    FederationConfig config = SmallFederation(4, 2, 4);
+    config.cell.lane_engine = true;
+    config.cell.sim_threads = 2;
+    config.cell.sim_epoch = Millis(500);
+    config.cell_threads = cell_threads;
+    Federation fed(config);
+    fed.Start();
+    fed.RunUntil(Hours(1));
+
+    QueryDriverParams params;
+    params.mix.queries_per_hour = 72000.0;  // saturate every control step
+    params.mix.num_sensors = 0;             // whole namespace: ~3/4 cross-cell
+    params.mix.past_fraction = 0.1;
+    params.mix.mean_past_age = Minutes(10);
+    params.mix.max_past_age = Minutes(30);
+    params.mix.min_tolerance = 2.0;
+    params.mix.max_tolerance = 3.0;
+    std::vector<QueryDriver*> drivers;
+    for (int d = 0; d < 8; ++d) {
+      QueryDriverParams p = params;
+      p.mix.seed = 777 + static_cast<uint64_t>(d);
+      drivers.push_back(&fed.AttachQueryDriver(0, p));
+    }
+    for (QueryDriver* driver : drivers) {
+      driver->Start(Minutes(3));
+    }
+    fed.RunUntil(fed.Now() + Minutes(5));
+
+    struct Out {
+      uint64_t issued = 0, completed = 0, failed = 0, cross_cell = 0;
+      uint64_t histogram = 0, fingerprint = 0;
+      FederationStats stats;
+    };
+    Out out;
+    LatencyHistogram merged;
+    for (QueryDriver* driver : drivers) {
+      out.issued += driver->stats().issued;
+      out.completed += driver->stats().completed;
+      out.failed += driver->stats().failed;
+      out.cross_cell += driver->stats().cross_cell;
+      merged.Merge(driver->stats().latency);
+    }
+    out.histogram = merged.Hash();
+    out.fingerprint = fed.fingerprint();
+    out.stats = fed.stats();
+    return out;
+  };
+  const auto parallel = run(4);
+  EXPECT_GT(parallel.issued, 3000u);
+  EXPECT_EQ(parallel.completed, parallel.issued)
+      << "every flooded query must finalize exactly once";
+  EXPECT_EQ(parallel.failed, 0u);
+  EXPECT_GT(parallel.cross_cell, parallel.issued / 2);
+  EXPECT_EQ(parallel.stats.queries, parallel.issued);
+  EXPECT_EQ(parallel.stats.forwarded, parallel.cross_cell);
+
+  const auto sequential = run(1);
+  EXPECT_EQ(sequential.fingerprint, parallel.fingerprint);
+  EXPECT_EQ(sequential.histogram, parallel.histogram);
+  EXPECT_EQ(sequential.issued, parallel.issued);
+  EXPECT_EQ(sequential.failed, parallel.failed);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Non-blocking bench trajectory check: fresh BENCH_*.json vs the checked-in baseline.
+
+Usage: tools/bench_compare.py <baseline.json> <new.json> [--threshold 0.2]
+
+Rows are matched by their "key"; for every throughput metric present in both rows
+(higher is better) a drop beyond the threshold prints a WARNING line. The exit code
+is always 0 — machine speed differences between CI runners and the baseline host
+make throughput warnings advisory, not gating. Pass --fail-on-regression to gate
+anyway (local A/B runs on one machine).
+"""
+
+import json
+import sys
+
+# Higher-is-better rates; absolute counters and latencies are not compared.
+THROUGHPUT_METRICS = ("events_per_s", "queries_per_s", "queries_per_min")
+
+
+def load_rows(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc, {row["key"]: row for row in doc.get("rows", [])}
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.2
+    fail_on_regression = "--fail-on-regression" in argv
+    for i, arg in enumerate(argv):
+        if arg == "--threshold" and i + 1 < len(argv):
+            threshold = float(argv[i + 1])
+            args = [a for a in args if a != argv[i + 1]]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    baseline_doc, baseline = load_rows(args[0])
+    new_doc, new = load_rows(args[1])
+    if baseline_doc.get("bench") != new_doc.get("bench"):
+        print(f"bench_compare: comparing different benches "
+              f"({baseline_doc.get('bench')} vs {new_doc.get('bench')})")
+
+    warnings = 0
+    compared = 0
+    for key, base_row in sorted(baseline.items()):
+        new_row = new.get(key)
+        if new_row is None:
+            print(f"note: row '{key}' in baseline but not in the new run "
+                  f"(grid {baseline_doc.get('grid')} vs {new_doc.get('grid')})")
+            continue
+        for metric in THROUGHPUT_METRICS:
+            base_value = base_row.get("metrics", {}).get(metric)
+            new_value = new_row.get("metrics", {}).get(metric)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            if not isinstance(new_value, (int, float)):
+                continue
+            compared += 1
+            drop = 1.0 - new_value / base_value
+            if drop > threshold:
+                print(f"WARNING: {key}: {metric} {base_value:.3g} -> "
+                      f"{new_value:.3g} ({100 * drop:.0f}% drop > "
+                      f"{100 * threshold:.0f}% threshold)")
+                warnings += 1
+    print(f"bench_compare: {compared} throughput metric(s) compared, "
+          f"{warnings} regression warning(s)")
+    return 1 if (warnings and fail_on_regression) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,6 +7,11 @@
 2. Markdown links: intra-repo links in every tracked *.md file must resolve.
    External schemes, pure anchors, and paths that escape the repo (e.g. the GitHub
    badge's ../../actions/... trick) are skipped — they cannot be validated locally.
+3. Bench catalog: docs/BENCHMARKS.md must mention every bench binary built from
+   bench/*.cc (as `bench_<name>`) — a new bench cannot land undocumented.
+4. Bench JSON schema: the schema keys documented in docs/BENCHMARKS.md (the
+   backticked first column of its schema table) must equal kBenchReportSchemaKeys
+   in bench/bench_report.h — the schema doc and the emitter cannot drift apart.
 
 Exits non-zero with one line per problem.
 """
@@ -97,10 +102,80 @@ def check_markdown_links(problems):
                 )
 
 
+# Shared bench helpers, not binaries: excluded from the catalog requirement.
+BENCH_HELPERS = {"bench_report", "micro_main"}
+
+# Rows of the BENCHMARKS.md schema table look like "| `key` | top level | ...".
+# Parsed only inside the schema section (other catalog tables also backtick their
+# first column).
+SCHEMA_ROW_RE = re.compile(r"^\|\s*`(\w+)`\s*\|", re.MULTILINE)
+SCHEMA_HEADING_RE = re.compile(r"^##[^\n]*schema[^\n]*$", re.IGNORECASE | re.MULTILINE)
+
+
+def bench_targets():
+    bench_dir = os.path.join(REPO, "bench")
+    return sorted(
+        os.path.splitext(f)[0]
+        for f in os.listdir(bench_dir)
+        if f.endswith(".cc") and os.path.splitext(f)[0] not in BENCH_HELPERS
+    )
+
+
+def schema_keys():
+    with open(os.path.join(REPO, "bench", "bench_report.h"), encoding="utf-8") as f:
+        text = f.read()
+    match = re.search(r"kBenchReportSchemaKeys\[\]\s*=\s*\{(.*?)\};", text, re.DOTALL)
+    if not match:
+        raise SystemExit("docs_check: kBenchReportSchemaKeys not found in "
+                         "bench/bench_report.h")
+    keys = re.findall(r'"([^"]+)"', match.group(1))
+    if not keys:
+        raise SystemExit("docs_check: kBenchReportSchemaKeys parsed empty")
+    return keys
+
+
+def check_benchmarks_doc(problems):
+    path = os.path.join(REPO, "docs", "BENCHMARKS.md")
+    if not os.path.exists(path):
+        problems.append("docs/BENCHMARKS.md: missing (bench catalog required)")
+        return
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    for target in bench_targets():
+        if f"`bench_{target}`" not in text:
+            problems.append(
+                f"docs/BENCHMARKS.md: bench_{target} (bench/{target}.cc) missing "
+                "from the catalog"
+            )
+    heading = SCHEMA_HEADING_RE.search(text)
+    if not heading:
+        problems.append(
+            "docs/BENCHMARKS.md: no '## ... schema ...' section (schema table required)"
+        )
+        return
+    section = text[heading.end():]
+    next_heading = re.search(r"^## ", section, re.MULTILINE)
+    if next_heading:
+        section = section[:next_heading.start()]
+    documented = set(SCHEMA_ROW_RE.findall(section))
+    declared = set(schema_keys())
+    for key in sorted(declared - documented):
+        problems.append(
+            f"docs/BENCHMARKS.md: schema key `{key}` (bench/bench_report.h) not "
+            "documented in the schema table"
+        )
+    for key in sorted(documented - declared):
+        problems.append(
+            f"docs/BENCHMARKS.md: schema table documents `{key}` which is not in "
+            "bench/bench_report.h kBenchReportSchemaKeys"
+        )
+
+
 def main():
     problems = []
     check_knob_tables(problems)
     check_markdown_links(problems)
+    check_benchmarks_doc(problems)
     for p in problems:
         print(p)
     if problems:
