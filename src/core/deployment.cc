@@ -40,11 +40,14 @@ void Deployment::Build(MeasureFactory measure_factory) {
   PRESTO_CHECK(measure_factory != nullptr);
 
   // Lane engine: one lane per proxy shard, configured before anything schedules.
-  // Sensors ride their home shard's lane for the whole run (failover and migration
-  // traffic simply crosses lanes), so radio neighbourhoods execute together.
+  // Sensors start on their home shard's lane so radio neighbourhoods execute
+  // together; with lane_rebind a long-lived ownership change moves them at a
+  // barrier, otherwise failover and migration traffic simply crosses lanes.
   if (config_.lane_engine) {
     sim_.ConfigureLanes(config_.num_proxies, config_.sim_threads, config_.sim_epoch);
   }
+  PRESTO_CHECK_MSG(!config_.auto_epoch || sim_.num_lanes() > 0,
+                   "auto_epoch requires the lane engine");
 
   shard_map_ = std::make_unique<ShardMap>(config_.num_proxies, total_sensors(),
                                           config_.shard_policy,
@@ -161,6 +164,11 @@ void Deployment::Build(MeasureFactory measure_factory) {
     }
     store_->SetSensorChain(GlobalSensorId(g), std::move(ids));
   }
+
+  // Conservative lookahead: derive the epoch from the topology the wiring above just
+  // declared (min cross-lane wired latency), instead of trusting sim_epoch to be
+  // below it. Mutations re-derive as the live link set changes.
+  RetuneEpoch();
 }
 
 SensorNode& Deployment::sensor(int proxy_index, int sensor_index) {
@@ -288,6 +296,34 @@ void Deployment::ApplyChain(int global_index, std::vector<int> chain) {
   sensors_[static_cast<size_t>(global_index)]->SetProxy(ProxyId(acting));
   shard_map_->SetActingOwner(global_index, acting);
   sensor_chain_[static_cast<size_t>(global_index)] = std::move(chain);
+  // Every acting-ownership change funnels through here, always in control context —
+  // the single choke point where lane membership may change (at a barrier).
+  RebindSensorLane(global_index, acting);
+}
+
+void Deployment::RebindSensorLane(int global_index, int acting) {
+  if (!config_.lane_rebind || sim_.num_lanes() == 0) {
+    return;
+  }
+  const NodeId id = GlobalSensorId(global_index);
+  if (net_->NodeLane(id) == acting) {
+    return;
+  }
+  // Hand over pending deliveries + coalescing batches, then the sensor's own timers
+  // (it holds their handles, so the generic move must not touch kTimer events).
+  net_->RebindNodeLane(id, acting);
+  sensors_[static_cast<size_t>(global_index)]->RebindLane(acting);
+  // The cross-lane link set changed shape; a derived epoch may be able to relax.
+  RetuneEpoch();
+}
+
+void Deployment::RetuneEpoch() {
+  if (!config_.auto_epoch || sim_.num_lanes() == 0) {
+    return;
+  }
+  const Duration min_wired = net_->MinCrossLaneWiredLatency();
+  // No cross-lane wired link (single live proxy): no bound, the cap rules.
+  sim_.SetLookahead(min_wired >= 0 ? min_wired : 0);
 }
 
 void Deployment::KillProxy(int proxy_index) {
@@ -297,6 +333,7 @@ void Deployment::KillProxy(int proxy_index) {
   }
   net_->SetNodeDown(ProxyId(proxy_index), true);
   proxy_down_[static_cast<size_t>(proxy_index)] = 1;
+  RetuneEpoch();  // the dead proxy's wired links leave the cross-lane set
   if (ReplicationEnabled()) {
     // Failure detection + takeover lag: the replica set serves degraded through the
     // unified store's failover chain until this event promotes a full owner. The
@@ -318,6 +355,7 @@ void Deployment::ReviveProxy(int proxy_index) {
   }
   net_->SetNodeDown(ProxyId(proxy_index), false);
   proxy_down_[static_cast<size_t>(proxy_index)] = 0;
+  RetuneEpoch();  // revived wired links re-enter the cross-lane set
   // A revival before the promotion fired simply cancels the takeover.
   pending_promotions_[static_cast<size_t>(proxy_index)].Cancel();
   promotion_pending_[static_cast<size_t>(proxy_index)] = 0;
@@ -731,8 +769,11 @@ QueryDriver& Deployment::AttachQueryDriver(const QueryDriverParams& params) {
       spec.type = QueryType::kPast;
       spec.range = PastRangeOf(request, sim_.Now());
     }
-    QueryAsync(spec, [done = std::move(done)](const UnifiedQueryResult& r) {
-      done(OutcomeFromResult(r));
+    QueryAsync(spec, [done = std::move(done),
+                      past = request.past](const UnifiedQueryResult& r) {
+      QueryOutcome outcome = OutcomeFromResult(r);
+      outcome.past = past;
+      done(outcome);
     });
   };
   drivers_.push_back(std::make_unique<QueryDriver>(&sim_, p, std::move(issue)));

@@ -115,7 +115,22 @@ struct DeploymentConfig {
   // False keeps the seed's legacy single-queue engine (and its fingerprint path).
   bool lane_engine = false;
   int sim_threads = 1;
-  Duration sim_epoch = Millis(500);  // cross-lane delivery granularity
+  Duration sim_epoch = Millis(500);  // epoch cap / cross-lane delivery granularity
+  // Conservative-lookahead epochs (opt-in; lane_engine only): derive the epoch from
+  // the topology instead of hard-coding it. The engine runs at
+  // epoch = min(sim_epoch, minimum cross-lane wired latency), so a cross-lane wired
+  // send always has a barrier between send and delivery and its sub-epoch latency is
+  // delivered faithfully (the mailbox clamp never binds). Re-derived at mutation
+  // barriers — kills, revives, and lane re-binds change the cross-lane link set.
+  bool auto_epoch = false;
+  // Barrier-time lane re-binding (lane_engine only): when a mutation gives a sensor
+  // a new acting owner (migration, promotion, hand-back), move the sensor's lane to
+  // the owner's at that barrier — timers re-bind cooperatively, pending deliveries
+  // and coalescing batches hand over with times preserved — so a long-lived
+  // ownership change stops paying the conservative cross-lane radio tax after one
+  // epoch. Off: the PR-4 behaviour (lane fixed at build, migrations cross lanes
+  // forever).
+  bool lane_rebind = true;
 
   // Load-aware rebalancing (opt-in): every rebalance_period, per-sensor query+push
   // window counters feed an EMA (one window is a noisy sample of the workload); if
@@ -285,6 +300,11 @@ class Deployment : public EventSink {
   // Executes one migration immediately (callers run inside simulator events).
   void ExecuteMigration(int global_index, int new_owner);
   void RebalanceSweep();
+  // Moves sensor `g`'s lane to its acting owner's at the current barrier (control
+  // context): timers re-bind cooperatively, pending network events hand over.
+  void RebindSensorLane(int global_index, int acting);
+  // Re-derives the lookahead bound from the live topology (auto_epoch only).
+  void RetuneEpoch();
 
   DeploymentConfig config_;
   Simulator sim_;

@@ -51,11 +51,6 @@ Federation::Federation(const FederationConfig& config)
     cell_config.seed =
         config_.seed ^ (0xfedc0de + 0x9e3779b9ull * static_cast<uint64_t>(c));
     cells_.push_back(std::make_unique<Deployment>(cell_config));
-    // A trunk cannot deliver finer than its endpoints step: clamping inter-cell
-    // mail to federation barriers below the cells' own barrier grid would schedule
-    // into epochs the cells never open.
-    PRESTO_CHECK_MSG(config_.epoch >= cells_.back()->sim().epoch(),
-                     "federation epoch must cover the cell lane epoch");
   }
   links_.reserve(static_cast<size_t>(config_.num_cells) *
                  static_cast<size_t>(config_.num_cells));
@@ -63,6 +58,26 @@ Federation::Federation(const FederationConfig& config)
     for (int d = 0; d < config_.num_cells; ++d) {
       links_.push_back(s == d ? nullptr : std::make_unique<CellLink>(config_.link));
     }
+  }
+  if (config_.auto_epoch) {
+    config_.epoch = DeriveEpoch();
+  }
+  for (const auto& cell : cells_) {
+    const Duration cap = cell->sim().epoch_cap();
+    if (cap == Simulator::kNoEpochGrid) {
+      // Legacy single-queue cells have no barrier grid, hence no constraint: their
+      // events execute at exact times regardless of when mail is injected. The
+      // sentinel is deliberate — epoch_cap() == 0 means "no grid", never "a grid of
+      // length zero" (ConfigureLanes rejects non-positive epochs).
+      continue;
+    }
+    // A trunk cannot deliver finer than its endpoints step: clamping inter-cell
+    // mail to federation barriers below the cells' own barrier grid would schedule
+    // into epochs the cells never open. Validated against the configured cap, not
+    // the current effective epoch — lookahead may shrink the latter mid-run, but
+    // it can also grow back to the cap.
+    PRESTO_CHECK_MSG(config_.epoch >= cap,
+                     "federation epoch must cover the cell lane epoch cap");
   }
   outbox_.resize(static_cast<size_t>(config_.num_cells));
   counters_.resize(static_cast<size_t>(config_.num_cells));
@@ -89,6 +104,35 @@ void Federation::Start() {
   for (auto& cell : cells_) {
     cell->Start();
   }
+}
+
+Duration Federation::DeriveEpoch() const {
+  // Topology-derived conservative bound: the fastest directed trunk is the soonest
+  // any cell can affect another, so stepping no coarser than it keeps barrier
+  // clamping from distorting cross-cell delivery times. All trunks currently share
+  // config_.link, but deriving from the instantiated links keeps this correct if
+  // per-pair trunks ever diverge.
+  Duration min_trunk = -1;
+  for (const auto& link : links_) {
+    if (link == nullptr) {
+      continue;
+    }
+    const Duration latency = link->params().latency;
+    if (min_trunk < 0 || latency < min_trunk) {
+      min_trunk = latency;
+    }
+  }
+  Duration floor = 0;
+  for (const auto& cell : cells_) {
+    floor = std::max(floor, cell->sim().epoch_cap());  // kNoEpochGrid = 0: no floor
+  }
+  Duration derived = config_.epoch;
+  if (min_trunk >= 0) {
+    derived = std::min(derived, min_trunk);
+  }
+  derived = std::max(derived, floor);
+  PRESTO_CHECK_MSG(derived > 0, "derived federation epoch must be positive");
+  return derived;
 }
 
 CellLink& Federation::LinkBetween(int src, int dst) {
@@ -380,13 +424,18 @@ QueryDriver& Federation::AttachQueryDriver(int origin_cell,
           request, cells_[static_cast<size_t>(origin_cell)]->sim().Now());
     }
     IssueFromCell(origin_cell, fspec,
-                  [done = std::move(done)](const FederationQueryResult& r) {
+                  [done = std::move(done),
+                   past = request.past](const FederationQueryResult& r) {
                     // The gateway's clock, not the serving cell's: federation
                     // latency spans both trunk hops.
                     QueryOutcome outcome = OutcomeFromResult(r.cell);
                     outcome.issued_at = r.issued_at;
                     outcome.completed_at = r.completed_at;
                     outcome.cross_cell = r.cross_cell;
+                    outcome.past = past;
+                    // The cell whose sensors paid the pull energy, for J/query
+                    // attribution by source cell.
+                    outcome.source_cell = r.target_cell;
                     done(outcome);
                   });
   };

@@ -95,8 +95,17 @@ struct FederationConfig {
   // but the whole federation replays from one number.
   DeploymentConfig cell;
   // Federation barrier grid: inter-cell delivery granularity. Must cover the cells'
-  // lane epoch (checked) — a trunk cannot deliver *finer* than its endpoints step.
+  // configured lane epoch cap (checked) — a trunk cannot deliver *finer* than its
+  // endpoints step. Cells without a lane grid (legacy single-queue engine) report
+  // Simulator::kNoEpochGrid and impose no constraint.
   Duration epoch = Seconds(1);
+  // Derive the federation epoch from the topology instead of trusting `epoch`
+  // verbatim: epoch = clamp(min trunk latency, [max cell epoch cap, epoch]).
+  // Stepping no coarser than the fastest trunk keeps DrainMail's barrier clamp from
+  // ever binding, so cross-cell completion times are faithful to trunk latency
+  // rather than quantized to federation barrier multiples. `epoch` stays the
+  // ceiling; the cells' configured lane grid stays the floor.
+  bool auto_epoch = false;
   // Host threads stepping cells concurrently within each federation epoch, clamped
   // to [1, num_cells]. 1 (the default) keeps sequential cell-index-order stepping.
   // Fingerprints and driver latency histograms are identical at every value — the
@@ -241,6 +250,7 @@ class Federation : public EventSink {
   };
 
   CellLink& LinkBetween(int src, int dst);
+  Duration DeriveEpoch() const;
   PendingShard& PendingShardOf(uint64_t qid) {
     // splitmix-style spread: per-origin qids are arithmetic sequences (stride
     // num_cells), which a bare modulus would pile onto few shards.

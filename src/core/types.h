@@ -43,6 +43,7 @@ inline QueryOutcome OutcomeFromResult(const UnifiedQueryResult& result) {
   outcome.completed_at = result.completed_at;
   outcome.ok = result.answer.status.ok();
   outcome.source = static_cast<uint8_t>(result.answer.source);
+  outcome.energy_j = result.answer.energy_j;
   return outcome;
 }
 

@@ -60,8 +60,14 @@ Status RegressionTimeSync::Refit() {
   // local - loc0 = a + b (ref - ref0)  =>  local = (loc0 + a - b*ref0) + b*ref.
   slope_ = line->second;
   intercept_ = loc0 + line->first - slope_ * ref0;
-  if (std::abs(slope_) < 1e-6) {
-    return FailedPreconditionError("time sync: degenerate slope");
+  // A mote oscillator is a crystal within a few hundred ppm of nominal. A fitted
+  // slope outside ±1% of 1.0 cannot be clock drift — it means the beacon baseline
+  // is shorter than the timestamp jitter (e.g. the first two beacons after a
+  // failover promotion land seconds apart), and extrapolating that line maps
+  // queries wildly off the sensor's timeline. The identity fallback is strictly
+  // better until the baseline grows.
+  if (std::abs(slope_ - 1.0) > 0.01) {
+    return FailedPreconditionError("time sync: slope outside oscillator tolerance");
   }
   return OkStatus();
 }

@@ -50,7 +50,9 @@ class RegressionTimeSync {
   void AddBeacon(SimTime local, SimTime reference);
 
   size_t beacon_count() const { return locals_.size(); }
-  bool Ready() const { return locals_.size() >= 2; }
+  // A usable fit exists: >= 2 beacons whose least-squares slope is physically
+  // plausible (see Refit). Correct/ToLocal fail until this holds.
+  bool Ready() const { return fit_valid_; }
 
   // Maps a sensor-local timestamp onto the reference timeline. Falls back to identity
   // (kFailedPrecondition) until two beacons are seen.

@@ -72,11 +72,88 @@ void Network::SetNodeLane(NodeId id, int lane) {
   PRESTO_CHECK(lane == Simulator::kLaneControl ||
                (lane >= 0 && lane < sim_->num_lanes()));
   GetNode(id).lane = lane;
+  min_wired_dirty_ = true;
 }
 
 int Network::NodeLane(NodeId id) const { return GetNode(id).lane; }
 
-void Network::ConnectWired(NodeId a, NodeId b) { wired_[OrderedPair(a, b)] = true; }
+void Network::RebindNodeLane(NodeId id, int new_lane) {
+  PRESTO_CHECK_MSG(sim_->CurrentLane() == Simulator::kLaneControl,
+                   "lane re-binding only from control context");
+  PRESTO_CHECK(new_lane == Simulator::kLaneControl ||
+               (new_lane >= 0 && new_lane < sim_->num_lanes()));
+  NodeState& node = GetNode(id);
+  const int old_lane = node.lane;
+  if (old_lane == new_lane) {
+    return;
+  }
+  node.lane = new_lane;
+  min_wired_dirty_ = true;
+  if (old_lane < 0 || new_lane < 0) {
+    return;  // control-lane nodes have no per-lane pending state to hand over
+  }
+  // Pending deliveries for this node all live in its old lane (scheduled there or
+  // waiting in its undrained mailboxes): move them, preserving delivery times.
+  sim_->RebindMatchingEvents(
+      old_lane, new_lane,
+      [this, id](EventKind kind, const EventSink* sink, const EventPayload& payload) {
+        return kind == EventKind::kFrame && sink == this &&
+               static_cast<NodeId>(payload.a >> 32) == id;
+      });
+  // Coalescing batches the node opened from its old lane migrate contexts so their
+  // flushes execute (and their queues live) where the sender now runs. The flush
+  // event is re-scheduled at its original absolute time in the new lane.
+  LaneCtx& old_ctx = ctx_[static_cast<size_t>(1 + old_lane)];
+  LaneCtx& new_ctx = ctx_[static_cast<size_t>(1 + new_lane)];
+  for (auto it = old_ctx.batches.begin(); it != old_ctx.batches.end();) {
+    if (it->first.first != id) {
+      ++it;
+      continue;
+    }
+    PendingBatch batch = std::move(it->second);
+    batch.flush.Cancel();
+    batch.flush_at = std::max(batch.flush_at, sim_->Now());
+    EventPayload flush;
+    flush.a = PackIds(it->first.first, it->first.second);
+    batch.flush = sim_->ScheduleEventAt(batch.flush_at, EventKind::kBatchFlush, this,
+                                        std::move(flush), new_lane);
+    const bool inserted =
+        new_ctx.batches.emplace(it->first, std::move(batch)).second;
+    PRESTO_CHECK_MSG(inserted, "batch already open in the re-bind target lane");
+    it = old_ctx.batches.erase(it);
+  }
+}
+
+void Network::ConnectWired(NodeId a, NodeId b, Duration latency) {
+  wired_[OrderedPair(a, b)] = latency >= 0 ? latency : params_.wired_latency;
+  min_wired_dirty_ = true;
+}
+
+Duration Network::MinCrossLaneWiredLatency() const {
+  if (!min_wired_dirty_) {
+    return min_cross_lane_wired_;
+  }
+  Duration best = -1;
+  for (const auto& [pair, latency] : wired_) {
+    const auto a = nodes_.find(pair.first);
+    const auto b = nodes_.find(pair.second);
+    if (a == nodes_.end() || b == nodes_.end()) {
+      continue;  // link declared before both endpoints attached
+    }
+    if (a->second.down || b->second.down) {
+      continue;
+    }
+    if (a->second.lane == b->second.lane) {
+      continue;
+    }
+    if (best < 0 || latency < best) {
+      best = latency;
+    }
+  }
+  min_cross_lane_wired_ = best;
+  min_wired_dirty_ = false;
+  return best;
+}
 
 void Network::SetLinkLoss(NodeId a, NodeId b, double per_frame_loss) {
   PRESTO_CHECK(per_frame_loss >= 0.0 && per_frame_loss < 1.0);
@@ -93,6 +170,7 @@ void Network::SetNodeDown(NodeId id, bool down) {
     ChargeIdle(node);
   }
   node.down = down;
+  min_wired_dirty_ = true;
   if (down) {
     // Abandon coalescing batches this node is an endpoint of, in every lane context:
     // a dead node's queued epoch traffic must not fire its flush later (inflating
@@ -152,6 +230,7 @@ const NetStats& Network::stats() const {
     stats_agg_.batch_flushes += ctx.stats.batch_flushes;
     stats_agg_.batched_messages += ctx.stats.batched_messages;
     stats_agg_.batches_abandoned += ctx.stats.batches_abandoned;
+    stats_agg_.cross_lane_sends += ctx.stats.cross_lane_sends;
   }
   return stats_agg_;
 }
@@ -246,11 +325,12 @@ void Network::OnSimEvent(EventKind kind, EventPayload& payload) {
   Deliver(dst, message);
 }
 
-void Network::SendWired(NodeState& src, NodeState& dst, Message message) {
+void Network::SendWired(NodeState& src, NodeState& dst, Message message,
+                        Duration latency) {
   const Duration serialization = static_cast<Duration>(
       static_cast<double>(message.payload.size()) * 8.0 / params_.wired_bit_rate_bps *
       static_cast<double>(kSecond));
-  const SimTime deliver_at = sim_->Now() + params_.wired_latency + serialization;
+  const SimTime deliver_at = sim_->Now() + latency + serialization;
   LaneCtx& ctx = Ctx();
   ++ctx.stats.wired_messages;
   ++ctx.stats.messages_sent;
@@ -305,8 +385,9 @@ void Network::SendBatched(NodeId src_id, NodeId dst_id, uint16_t type,
     // flush fires in the scheduling lane, where this context's batch map lives.
     EventPayload flush;
     flush.a = PackIds(src_id, dst_id);
-    batch.flush = sim_->ScheduleEventAt(sim_->Now() + params_.batch_epoch,
-                                        EventKind::kBatchFlush, this, std::move(flush));
+    batch.flush_at = sim_->Now() + params_.batch_epoch;
+    batch.flush = sim_->ScheduleEventAt(batch.flush_at, EventKind::kBatchFlush, this,
+                                        std::move(flush));
   }
 }
 
@@ -354,8 +435,9 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
     return;
   }
 
-  if (wired_.count(OrderedPair(src_id, dst_id)) > 0) {
-    SendWired(src, dst, std::move(message));
+  const auto wired_it = wired_.find(OrderedPair(src_id, dst_id));
+  if (wired_it != wired_.end()) {
+    SendWired(src, dst, std::move(message), wired_it->second);
     return;
   }
 
@@ -371,6 +453,12 @@ void Network::Send(NodeId src_id, NodeId dst_id, uint16_t type,
   ++ctx.stats.messages_sent;
   ++src.stats.messages_sent;
   ++src.stats.bursts;
+  if (cross_lane) {
+    // The observable the re-binder drives to ~zero: a migrated sensor that has been
+    // re-bound stops paying the conservative cross-lane rendezvous.
+    ++ctx.stats.cross_lane_sends;
+    ++src.stats.cross_lane_sends;
+  }
 
   // Burst start: after any transmission already in progress from this sender.
   SimTime t = std::max(sim_->Now(), src.busy_until);
@@ -491,6 +579,48 @@ void Network::SettleIdleEnergy() {
     (void)id;
     ChargeIdle(node);
   }
+}
+
+double Network::EstimatePullEnergyJ(NodeId sensor_id, size_t request_bytes,
+                                    size_t reply_bytes) const {
+  const NodeState& sensor = GetNode(sensor_id);
+  if (sensor.config.powered) {
+    return 0.0;  // tethered endpoints are unmetered
+  }
+  const RadioParams& radio = params_.radio;
+  // Airtime of a loss-free burst carrying `bytes` of payload: per-frame header/CRC
+  // overhead plus the continuation preamble on follow-up frames, and one ACK each.
+  const auto burst = [&radio](size_t bytes, Duration& frames_time, Duration& acks_time) {
+    const int total = static_cast<int>(bytes);
+    const int frames = radio.FramesFor(total);
+    frames_time = 0;
+    for (int f = 0; f < frames; ++f) {
+      const int chunk =
+          std::min(radio.max_payload_bytes, total - f * radio.max_payload_bytes);
+      frames_time += radio.TimeOnAir(radio.frame_header_bytes + std::max(chunk, 0) +
+                                     radio.frame_crc_bytes +
+                                     (f > 0 ? radio.short_preamble_bytes : 0));
+    }
+    acks_time = static_cast<Duration>(frames) * radio.TimeOnAir(radio.ack_bytes);
+  };
+  Duration request_frames = 0;
+  Duration request_acks = 0;
+  burst(request_bytes, request_frames, request_acks);
+  Duration reply_frames = 0;
+  Duration reply_acks = 0;
+  burst(reply_bytes, reply_frames, reply_acks);
+  // Request leg (proxy -> sleeping sensor): the sensor's channel sample catches the
+  // long preamble at a uniformly random point — expected listen is half the LPL
+  // interval — then it receives the frames and transmits the ACKs.
+  const double request_j =
+      radio.ListenEnergy(sensor.config.lpl_interval / 2 + request_frames) +
+      radio.TxEnergy(request_acks);
+  // Reply leg (sensor -> powered proxy): short-preamble rendezvous, frame
+  // transmissions, ACK listening, then the post-burst stay-awake window.
+  const double reply_j =
+      radio.TxEnergy(radio.TimeOnAir(radio.short_preamble_bytes) + reply_frames) +
+      radio.ListenEnergy(reply_acks + sensor.config.post_burst_listen);
+  return request_j + reply_j;
 }
 
 }  // namespace presto

@@ -92,7 +92,8 @@ struct NodeNetStats {
   uint64_t bursts = 0;
   uint64_t frames_sent = 0;  // includes retransmissions
   uint64_t frame_retries = 0;
-  uint64_t bytes_sent = 0;  // payload + per-frame overhead actually radiated
+  uint64_t bytes_sent = 0;         // payload + per-frame overhead actually radiated
+  uint64_t cross_lane_sends = 0;   // radio sends that crossed a lane boundary
 };
 
 struct NetStats {
@@ -105,6 +106,7 @@ struct NetStats {
   uint64_t batch_flushes = 0;      // coalesced transactions actually radiated
   uint64_t batched_messages = 0;   // application messages that rode a shared flush
   uint64_t batches_abandoned = 0;  // pending batches dropped because an endpoint died
+  uint64_t cross_lane_sends = 0;   // radio sends whose receiver lived in another lane
 };
 
 class Network : public EventSink {
@@ -120,13 +122,30 @@ class Network : public EventSink {
                   EnergyMeter* meter);
 
   // Pins the node's events (deliveries, receive-side radio effects) to a simulator
-  // lane. Fixed for the run: the deployment assigns lane = home shard at build time
-  // and failover/migration traffic simply crosses lanes. Call from control context.
+  // lane. The deployment assigns lane = home shard at build time; a long-lived
+  // ownership change re-binds the lane at a barrier with RebindNodeLane (short-lived
+  // failover traffic simply crosses lanes). Call from control context.
   void SetNodeLane(NodeId id, int lane);
   int NodeLane(NodeId id) const;
 
-  // Declares a wired (tethered) pair; messages between them use the wired path.
-  void ConnectWired(NodeId a, NodeId b);
+  // Barrier-time lane re-binding: re-pins the node to `new_lane` and hands pending
+  // work over — queued/undrained kFrame deliveries for the node move lane
+  // (preserving delivery times), and coalescing batches the node opened in its old
+  // lane context migrate with their flush times intact. Control context only.
+  void RebindNodeLane(NodeId id, int new_lane);
+
+  // Declares a wired (tethered) pair; messages between them use the wired path with
+  // `latency` propagation delay (< 0: the params_.wired_latency default).
+  void ConnectWired(NodeId a, NodeId b, Duration latency = -1);
+
+  // Minimum propagation latency over wired links whose live endpoints sit in
+  // different lanes, or -1 when no such link exists (legacy mode, all-intra-lane
+  // topologies). This is the conservative lookahead bound for the wired mesh: with
+  // sim epoch <= this, a barrier always lands between a cross-lane wired send and
+  // its delivery, so the mailbox clamp never defers it (sub-epoch latency stays
+  // faithful). Recomputed lazily; mutations (kill/revive/lane re-bind/link change)
+  // invalidate the cache. Control context only.
+  Duration MinCrossLaneWiredLatency() const;
 
   // Sets the symmetric per-frame loss probability between two nodes.
   void SetLinkLoss(NodeId a, NodeId b, double per_frame_loss);
@@ -163,6 +182,16 @@ class Network : public EventSink {
   // context only.
   void SettleIdleEnergy();
 
+  // Deterministic closed-form estimate of the *sensor-side* radio energy one archive
+  // pull costs: the expected LPL rendezvous on the request (half a preamble of
+  // listening plus frame reception and ACK transmissions) plus the reply burst
+  // (short-preamble transmission to the powered proxy, ACK listening, and the
+  // post-burst stay-awake window). Loss-free expected value — it attributes energy
+  // per query without perturbing any rng stream, so per-query accounting stays
+  // replay-identical. Used by the query driver's J/query attribution.
+  double EstimatePullEnergyJ(NodeId sensor_id, size_t request_bytes,
+                             size_t reply_bytes) const;
+
   // Aggregated over all lane contexts. Control context only.
   const NetStats& stats() const;
   const NodeNetStats& node_stats(NodeId id) const;
@@ -195,6 +224,7 @@ class Network : public EventSink {
   struct PendingBatch {
     std::vector<QueuedMessage> queued;
     EventHandle flush;
+    SimTime flush_at = 0;  // absolute flush time (preserved across lane re-binds)
   };
   // Everything a concurrently executing lane mutates, sharded per lane so parallel
   // execution shares nothing: loss/rendezvous draws, aggregate counters, coalescing
@@ -212,7 +242,7 @@ class Network : public EventSink {
   double LinkLoss(NodeId a, NodeId b) const;
   void ChargeIdle(NodeState& node);
   void ChargeListenWindow(NodeState& node, SimTime from, SimTime until);
-  void SendWired(NodeState& src, NodeState& dst, Message message);
+  void SendWired(NodeState& src, NodeState& dst, Message message, Duration latency);
   void FlushBatch(NodeId src, NodeId dst);
   // Schedules the typed kFrame event that delivers `message` (and/or applies deferred
   // receiver-side radio effects) in dst's lane at `at`.
@@ -227,7 +257,9 @@ class Network : public EventSink {
   std::vector<LaneCtx> ctx_;  // [0] control/legacy, [1 + lane] per worker lane
   std::map<NodeId, NodeState> nodes_;
   std::map<std::pair<NodeId, NodeId>, double> link_loss_;
-  std::map<std::pair<NodeId, NodeId>, bool> wired_;
+  std::map<std::pair<NodeId, NodeId>, Duration> wired_;  // pair -> propagation latency
+  mutable Duration min_cross_lane_wired_ = -1;
+  mutable bool min_wired_dirty_ = true;
   mutable NetStats stats_agg_;  // materialized by stats()
 };
 

@@ -105,6 +105,22 @@ void ProxyNode::BackfillFromArchive(NodeId sensor_id, Duration horizon) {
   if (sensor.is_replica) {
     return;  // replicas cannot pull: the sensor reports to its owner
   }
+  if (config_.backfill_spacing <= 0) {
+    TryBackfillPull(sensor, horizon);
+    return;
+  }
+  // A promotion calls this once per shard sensor at a single barrier; queue the
+  // repairs and drain them one radio transaction per spacing so interactive pulls
+  // slot in between rather than timing out behind a wall of LPL preambles.
+  backfill_queue_.push_back(BackfillRequest{sensor_id, horizon});
+  if (!backfill_drain_pending_) {
+    backfill_drain_pending_ = true;
+    sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
+                     lane_);
+  }
+}
+
+bool ProxyNode::TryBackfillPull(SensorState& sensor, Duration horizon) {
   const SimTime now = sim_->Now();
   const TimeInterval window{std::max<SimTime>(0, now - horizon), now};
   // A hole is a stretch the expected sampling grid left uncovered. Four sensing
@@ -131,13 +147,47 @@ void ProxyNode::BackfillFromArchive(NodeId sensor_id, Duration horizon) {
   }
   note_gap(cursor, window.end);
   if (hole_start < 0) {
-    return;  // the replicated state already covers the promoted window
+    return false;  // the replicated state already covers the promoted window
   }
   // One archive transaction spanning first to last hole: the reply's samples land in
   // the cache through the normal pull path, closing every gap in between too.
   ++stats_.backfill_pulls;
   IssuePull(sensor, TimeInterval{hole_start, hole_end}, /*tolerance=*/0.0,
             /*is_now=*/false, now, [](const QueryAnswer&) {});
+  return true;
+}
+
+void ProxyNode::DrainBackfillQueue() {
+  backfill_drain_pending_ = false;
+  // A dead node must not reach the radio; hold the queue until revived. (A revive
+  // hand-back demotes the sensors anyway, emptying the queue via the skip below.)
+  if (net_->IsNodeDown(config_.id)) {
+    if (!backfill_queue_.empty()) {
+      backfill_drain_pending_ = true;
+      sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
+                       lane_);
+    }
+    return;
+  }
+  while (!backfill_queue_.empty()) {
+    const BackfillRequest req = backfill_queue_.front();
+    backfill_queue_.pop_front();
+    auto it = sensors_.find(req.sensor_id);
+    if (it == sensors_.end() || it->second->is_replica) {
+      continue;  // handed back or migrated away while queued — nothing to repair
+    }
+    // Re-scan at drain time: live pushes or a snapshot may have closed the holes
+    // while this entry waited, in which case no radio time is spent on it.
+    if (!TryBackfillPull(*it->second, req.horizon)) {
+      continue;
+    }
+    break;  // one radio transaction per spacing tick
+  }
+  if (!backfill_queue_.empty()) {
+    backfill_drain_pending_ = true;
+    sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
+                     lane_);
+  }
 }
 
 bool ProxyNode::IsReplicaFor(NodeId sensor_id) const {
@@ -660,6 +710,8 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
   msg.local_end = local_end.ok() ? *local_end : range.end;
   msg.compress = true;
 
+  const std::vector<uint8_t> encoded = msg.Encode();
+
   PendingPull pull;
   pull.id = id;
   pull.sensor_id = sensor.id;
@@ -667,6 +719,7 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
   pull.range = range;
   pull.tolerance = tolerance;
   pull.issued_at = issued_at;
+  pull.request_bytes = encoded.size();
   pull.callback = std::move(callback);
   EventPayload timeout;
   timeout.a = id;
@@ -683,7 +736,7 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
   // epochs to every cache-miss query. Bulk traffic (pushes, replica updates, model
   // sends) keeps coalescing.
   net_->Send(config_.id, sensor.id, static_cast<uint16_t>(MsgType::kArchiveQuery),
-             msg.Encode());
+             encoded);
 }
 
 void ProxyNode::OnSimEvent(EventKind kind, EventPayload& payload) {
@@ -714,10 +767,13 @@ void ProxyNode::FailPull(const PendingPull& pull, const Status& status) {
 
 void ProxyNode::CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
                                   const QueryCallback& callback, SensorState& sensor,
-                                  const std::vector<Sample>& pulled) {
+                                  const std::vector<Sample>& pulled, double energy_j) {
   QueryAnswer answer;
   answer.issued_at = issued_at;
   answer.completed_at = sim_->Now();
+  // Charged even when the pulled range came back empty: the radio transaction
+  // happened, so the query that triggered it owns the cost.
+  answer.energy_j = energy_j;
   if (is_now) {
     if (pulled.empty()) {
       answer.status = NotFoundError("sensor archive had no recent data");
@@ -779,11 +835,18 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
   }
   Replicate(sensor, corrected);
 
+  // Per-query energy attribution: the transaction's deterministic closed-form
+  // estimate, split evenly across the originator and every coalesced rider (the
+  // batched pipeline's whole point is that they shared one radio transaction).
+  const double share_j =
+      net_->EstimatePullEnergyJ(pull.sensor_id, pull.request_bytes,
+                                message.payload.size()) /
+      static_cast<double>(1 + pull.riders.size());
   CompletePullQuery(pull.is_now, pull.range, pull.issued_at, pull.callback, sensor,
-                    corrected);
+                    corrected, share_j);
   for (const PullRider& rider : pull.riders) {
     CompletePullQuery(rider.is_now, rider.range, rider.issued_at, rider.callback, sensor,
-                      corrected);
+                      corrected, share_j);
   }
 }
 

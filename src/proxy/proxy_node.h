@@ -19,6 +19,7 @@
 #ifndef SRC_PROXY_PROXY_NODE_H_
 #define SRC_PROXY_PROXY_NODE_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -56,6 +57,10 @@ struct QueryAnswer {
   std::vector<Sample> samples;   // PAST: the range; NOW: one sample
   double value = 0.0;            // NOW convenience (== samples.back().value)
   double error_estimate = 0.0;   // one-sigma-style bound the proxy asserts
+  // Sensor-side radio energy this answer cost (joules). Zero for cache hits and
+  // extrapolations — the whole point of the cascade; pulls carry their share of the
+  // radio transaction's closed-form estimate (coalesced riders split it evenly).
+  double energy_j = 0.0;
   SimTime issued_at = 0;
   SimTime completed_at = 0;
 
@@ -71,6 +76,12 @@ struct ProxyNodeConfig {
   MatcherParams matcher;
   double default_tolerance = 0.5;    // model-driven push threshold sent to sensors
   Duration pull_timeout = Minutes(10);
+  // Minimum spacing between promotion-time backfill pulls. A promotion hands the
+  // new owner its whole shard at one barrier; issuing every repair pull right there
+  // serializes minutes of LPL preambles on this proxy's radio, starving interactive
+  // pulls into timeout (and timing out most of the backfill itself). Queued repairs
+  // drain one radio transaction per spacing instead. 0 = issue immediately.
+  Duration backfill_spacing = Seconds(2);
   Duration maintenance_period = Minutes(1);
   // A NOW answer from cache counts as fresh within this many sensing periods.
   double freshness_periods = 3.0;
@@ -150,6 +161,9 @@ class ProxyNode : public NetNode, public EventSink {
   // a standby that was down missed its outage window entirely) and issues one
   // background archive pull spanning them, so the freshly promoted owner serves that
   // window from cache instead of degrading. No-op for replicas and hole-free caches.
+  // With backfill_spacing > 0 the repair is queued and drained one pull per spacing
+  // (holes re-scanned at drain time, so pulls made redundant by live pushes or a
+  // hand-back are skipped); 0 pulls inline.
   void BackfillFromArchive(NodeId sensor_id, Duration horizon);
 
   // Starts maintenance (model management, matcher) — call once after wiring.
@@ -225,13 +239,29 @@ class ProxyNode : public NetNode, public EventSink {
     TimeInterval range{};  // reference timeline
     double tolerance = 0.0;
     SimTime issued_at = 0;
+    size_t request_bytes = 0;  // encoded ArchiveQueryMsg size, for energy attribution
     QueryCallback callback;
     EventHandle timeout;
     std::vector<PullRider> riders;
   };
 
+  // A deferred promotion-time repair: the hole scan re-runs at drain time, so a
+  // request that live pushes (or a hand-back) already repaired issues no pull.
+  struct BackfillRequest {
+    NodeId sensor_id = 0;
+    Duration horizon = 0;
+  };
+
   SensorState& GetSensor(NodeId sensor_id);
   const SensorState* FindSensor(NodeId sensor_id) const;
+
+  // Scans `sensor`'s cache for holes and issues the spanning archive pull if any
+  // remain; returns whether a pull (a radio transaction) was actually issued.
+  bool TryBackfillPull(SensorState& sensor, Duration horizon);
+  // Pops backfill_queue_ until one pull is issued (skipping entries whose sensor was
+  // demoted/unregistered or whose holes have since been repaired), then reschedules
+  // itself backfill_spacing later while the queue is non-empty.
+  void DrainBackfillQueue();
 
   void HandleDataPush(const Message& message);
   void HandleArchiveReply(const Message& message);
@@ -249,9 +279,10 @@ class ProxyNode : public NetNode, public EventSink {
   void IssuePull(SensorState& sensor, TimeInterval range, double tolerance, bool is_now,
                  SimTime issued_at, QueryCallback callback);
   // Answers one query (the pull's originator or a rider) from freshly pulled data.
+  // `energy_j` is this query's share of the radio transaction's energy estimate.
   void CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
                          const QueryCallback& callback, SensorState& sensor,
-                         const std::vector<Sample>& pulled);
+                         const std::vector<Sample>& pulled, double energy_j);
   // Fails the pull's originator and every rider with `status`.
   void FailPull(const PendingPull& pull, const Status& status);
   void Answer(const QueryAnswer& answer, const QueryCallback& callback, bool is_now);
@@ -270,6 +301,8 @@ class ProxyNode : public NetNode, public EventSink {
   PeriodicTimer maintenance_timer_;
   std::map<NodeId, std::unique_ptr<SensorState>> sensors_;
   std::map<uint32_t, PendingPull> pending_pulls_;
+  std::deque<BackfillRequest> backfill_queue_;
+  bool backfill_drain_pending_ = false;
   uint32_t next_pull_id_ = 1;
   ProxyStats stats_;
 };

@@ -81,6 +81,14 @@ class SensorNode : public NetNode {
     batch_timer_.BindLane(lane);
   }
 
+  // Moves a running sensor's timers to a new lane, preserving absolute fire times
+  // (sensing phase does not shift). Control context only — the deployment calls
+  // this at the barrier where a migrated sensor's lane membership changes.
+  void RebindLane(int lane) {
+    sensing_timer_.Rebind(lane);
+    batch_timer_.Rebind(lane);
+  }
+
   void OnMessage(const Message& message) override;
 
   // Re-points pushes/replies at a new proxy (ownership migration or failover

@@ -48,6 +48,7 @@ void Simulator::ConfigureLanes(int num_lanes, int threads, Duration epoch) {
   PRESTO_CHECK_MSG(epoch > 0, "lane epoch must be positive");
   lane_mode_ = true;
   epoch_ = epoch;
+  epoch_cap_ = epoch;
   threads_ = std::max(1, std::min(threads, num_lanes));
   lanes_.assign(static_cast<size_t>(num_lanes) + 1, Lane{});
   for (Lane& lane : lanes_) {
@@ -56,6 +57,95 @@ void Simulator::ConfigureLanes(int num_lanes, int threads, Duration epoch) {
   for (int w = 1; w < threads_; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+void Simulator::SetLookahead(Duration lookahead) {
+  PRESTO_CHECK_MSG(lane_mode_, "lookahead requires the lane engine");
+  PRESTO_CHECK_MSG(lookahead >= 0, "negative lookahead");
+  PRESTO_CHECK_MSG(CurrentLane() == kLaneControl,
+                   "lookahead changes only from control context");
+  lookahead_ = lookahead;
+  const Duration effective =
+      lookahead > 0 ? std::min(epoch_cap_, lookahead) : epoch_cap_;
+  if (effective == epoch_) {
+    return;
+  }
+  // Re-anchor the absolute grid at the current barrier: every lane has run through
+  // global_now_, so barriers after it land on the new grid without ever moving a
+  // barrier into the past.
+  epoch_anchor_ = global_now_;
+  epoch_ = effective;
+}
+
+size_t Simulator::RebindMatchingEvents(
+    int from_lane, int to_lane,
+    const std::function<bool(EventKind, const EventSink*, const EventPayload&)>&
+        match) {
+  PRESTO_CHECK_MSG(lane_mode_, "lane re-binding requires the lane engine");
+  PRESTO_CHECK_MSG(CurrentLane() == kLaneControl,
+                   "lane membership changes only at barriers, on the control lane");
+  PRESTO_CHECK_MSG(from_lane >= 0 && from_lane < num_lanes(), "bad from_lane");
+  PRESTO_CHECK_MSG(to_lane >= 0 && to_lane < num_lanes(), "bad to_lane");
+  if (from_lane == to_lane) {
+    return 0;
+  }
+  Lane& src = lanes_[static_cast<size_t>(from_lane)];
+  Lane& dst = lanes_[static_cast<size_t>(to_lane)];
+  size_t moved = 0;
+  // Queue pass: pop everything (heap order == (time, seq) order), move matching
+  // live entries — delivery times preserved, relative order preserved because the
+  // target assigns fresh monotone seqs in pop order — and re-push the rest with
+  // their original seqs (heap contents identical to before).
+  std::vector<QueueEntry> keep;
+  keep.reserve(src.queue.size());
+  while (!src.queue.empty()) {
+    const QueueEntry entry = src.queue.top();
+    src.queue.pop();
+    Event& event = src.pool[entry.slot];
+    if (event.gen != entry.gen) {
+      continue;  // cancelled: the slot is already free, drop the stale entry
+    }
+    if (!match(event.kind, event.sink, event.payload)) {
+      keep.push_back(entry);
+      continue;
+    }
+    const EventKind kind = event.kind;
+    EventSink* sink = event.sink;
+    EventPayload payload = std::move(event.payload);
+    std::function<void()> fn = std::move(event.fn);
+    ReleaseSlot(src, entry.slot);  // bumps gen: stale handles become no-ops
+    Enqueue(dst, entry.time, kind, sink, std::move(payload), std::move(fn));
+    ++moved;
+  }
+  for (const QueueEntry& entry : keep) {
+    src.queue.push(entry);
+  }
+  // Mailbox pass: mail posted to the old lane during the just-finished epoch has
+  // not drained yet (draining happens at the *opening* barrier). Append matching
+  // entries to the new lane's same-source FIFO so the next drain delivers them
+  // there, in the same (source, FIFO) order contract.
+  for (size_t source = 0; source < src.inbox.size(); ++source) {
+    std::vector<Mail>& box = src.inbox[source];
+    std::vector<Mail> stay;
+    for (Mail& mail : box) {
+      if (match(mail.kind, mail.sink, mail.payload)) {
+        dst.inbox[source].push_back(std::move(mail));
+        ++moved;
+      } else {
+        stay.push_back(std::move(mail));
+      }
+    }
+    box = std::move(stay);
+  }
+  if (moved > 0) {
+    // The re-bind schedule is part of the replay contract, exactly like the
+    // mailbox-drain schedule: fold (barrier, route, volume) into the barrier hash.
+    MixFp(barrier_hash_, static_cast<uint64_t>(global_now_));
+    MixFp(barrier_hash_, (static_cast<uint64_t>(from_lane) << 32) |
+                             static_cast<uint64_t>(to_lane));
+    MixFp(barrier_hash_, moved);
+  }
+  return moved;
 }
 
 int Simulator::CurrentLane() const {
@@ -70,7 +160,13 @@ SimTime Simulator::Now() const {
     return lanes_[0].now;
   }
   if (tl_lane_ctx.sim == this) {
-    return lanes_[static_cast<size_t>(tl_lane_ctx.lane)].now;
+    // kLaneControl is a sentinel, not an index: control events keep
+    // CurrentLane() == kLaneControl but read the control lane's own clock, so a
+    // control event observes its scheduled time rather than the barrier it
+    // happens to execute at.
+    const int lane =
+        tl_lane_ctx.lane == kLaneControl ? ControlIndex() : tl_lane_ctx.lane;
+    return lanes_[static_cast<size_t>(lane)].now;
   }
   return global_now_;
 }
@@ -124,6 +220,14 @@ EventHandle Simulator::Push(int internal_lane, SimTime t, EventKind kind,
     target.inbox[static_cast<size_t>(current)].push_back(
         Mail{t, kind, sink, std::move(payload), std::move(fn)});
     return EventHandle();
+  }
+  if (lane_mode_ && current == kLaneControl && internal_lane != ControlIndex() &&
+      t < global_now_) {
+    // A control event observes its own timestamp, which may trail the barrier —
+    // but by the time control runs, worker lanes have already replayed up to it.
+    // Deliveries into a worker lane clamp forward to the barrier so they can
+    // never land in a lane's already-executed past.
+    t = global_now_;
   }
   Lane& lane = lanes_[static_cast<size_t>(internal_lane)];
   const uint32_t slot = Enqueue(lane, t, kind, sink, std::move(payload), std::move(fn));
@@ -200,8 +304,12 @@ void Simulator::RunLaneTo(int internal_lane, SimTime end, bool inclusive) {
   Lane& lane = lanes_[static_cast<size_t>(internal_lane)];
   const ThreadLaneContext saved = tl_lane_ctx;
   const bool is_control = internal_lane == ControlIndex();
-  if (lane_mode_ && !is_control) {
-    tl_lane_ctx = ThreadLaneContext{this, internal_lane};
+  if (lane_mode_) {
+    // Control keeps the kLaneControl sentinel (CurrentLane() must keep reporting
+    // control context for the barrier-only mutation checks); Now() maps it back
+    // to the control lane's clock.
+    tl_lane_ctx =
+        ThreadLaneContext{this, is_control ? kLaneControl : internal_lane};
   }
   while (!lane.queue.empty()) {
     const SimTime top = lane.queue.top().time;
@@ -295,8 +403,10 @@ void Simulator::RunEpoch(SimTime end, bool inclusive) {
   }
   // 4) Control lane: mutations and other serial work run at the closing barrier,
   //    with every worker idle and the global clock at `end`. An event scheduled for
-  //    time T executes at the first barrier at-or-after T (never before it), and
-  //    observes Now() == that barrier.
+  //    time T executes at the first barrier at-or-after T (never before it), but
+  //    observes Now() == T — execution is barrier-batched, the logical clock is
+  //    not. Deliveries it makes into worker lanes clamp forward to the barrier
+  //    (see Push); control-to-control chains keep full time resolution.
   global_now_ = end;
   RunLaneTo(ControlIndex(), end, /*inclusive=*/true);
 }

@@ -116,6 +116,14 @@ class Simulator {
   static constexpr int kLaneCurrent = -2;  // the scheduling context's own lane
   static constexpr int kLaneControl = -1;  // serial barrier lane
 
+  // Sentinel returned by epoch() / epoch_cap() when no lane grid is configured
+  // (legacy mode). Layers that validate a stacked barrier schedule against the cell
+  // grid must treat this value explicitly ("no grid" — not "grid of length zero"):
+  // an unconfigured cell imposes no epoch constraint, and arithmetic on the grid
+  // (GridEnd) is meaningless. Never a legal configured epoch (ConfigureLanes
+  // requires epoch > 0).
+  static constexpr Duration kNoEpochGrid = 0;
+
   Simulator() { lanes_.resize(1); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -130,9 +138,42 @@ class Simulator {
   // Worker lanes configured (0 in legacy mode).
   int num_lanes() const { return lane_mode_ ? static_cast<int>(lanes_.size()) - 1 : 0; }
   int threads() const { return threads_; }
-  // The epoch-barrier grid length (0 in legacy mode). Layers that stack their own
-  // barrier schedule on top (the federation) validate their grid against this.
-  Duration epoch() const { return lane_mode_ ? epoch_ : 0; }
+  // The *current* epoch-barrier grid length (kNoEpochGrid in legacy mode). With a
+  // lookahead bound applied this can be smaller than the configured cap and can
+  // change at barriers; layers that stack their own barrier schedule on top (the
+  // federation) must validate against epoch_cap(), which is stable for the run.
+  Duration epoch() const { return lane_mode_ ? epoch_ : kNoEpochGrid; }
+  // The epoch passed to ConfigureLanes — the upper bound SetLookahead can never
+  // exceed (kNoEpochGrid in legacy mode).
+  Duration epoch_cap() const { return lane_mode_ ? epoch_cap_ : kNoEpochGrid; }
+  // The lookahead bound currently applied (0 = none; the configured cap rules).
+  Duration lookahead() const { return lookahead_; }
+
+  // Conservative-lookahead mode: bounds the epoch so cross-lane deliveries (which
+  // clamp to the next barrier) are never deferred past `lookahead` — with
+  // `lookahead` <= the minimum cross-lane wired latency, clamped arrival times
+  // equal true arrival times and sub-epoch latencies become faithful. The engine
+  // picks epoch = min(epoch_cap, lookahead) and re-anchors the absolute grid at the
+  // current barrier; lookahead = 0 clears the bound (epoch returns to the cap).
+  // Control context only (between runs or at a barrier, on the control lane), lane
+  // mode only. Deterministic: the call sites are themselves control-lane events, so
+  // the epoch-length schedule replays identically across worker counts.
+  void SetLookahead(Duration lookahead);
+
+  // Barrier-time lane re-binding: moves every *live* pending event and undrained
+  // mailbox entry of `from_lane` that `match`es to `to_lane`, preserving delivery
+  // times and relative order ((time, seq) order; mailbox entries keep their source
+  // FIFO attribution). Control context only — lane membership changes only at
+  // barriers, on the control lane. Handles into moved events are invalidated (the
+  // old slot's generation bumps), so handle-holders (timers, pull timeouts) must
+  // re-bind cooperatively instead; this call is for handle-free events (frame
+  // deliveries). The rebind is folded into the barrier hash (order-independent
+  // per-lane fingerprints are unaffected until the events execute in their new
+  // lane). Returns the number of events + mails moved.
+  size_t RebindMatchingEvents(
+      int from_lane, int to_lane,
+      const std::function<bool(EventKind, const EventSink*, const EventPayload&)>&
+          match);
 
   // The lane the calling context executes in: a worker lane index during lane event
   // execution, else kLaneControl (also always kLaneControl in legacy mode).
@@ -254,11 +295,20 @@ class Simulator {
   void WorkerLoop();
   void ClaimLanes(SimTime end, bool inclusive);
   void MixFp(uint64_t& fp, uint64_t v) const;
-  SimTime GridEnd(SimTime t) const { return (t / epoch_ + 1) * epoch_; }
+  // First barrier strictly after `t` on the current grid. The grid is anchored at
+  // the barrier where the epoch length last changed (epoch_anchor_, 0 until a
+  // SetLookahead retune), so shrinking or restoring the epoch mid-run keeps every
+  // subsequent barrier an exact multiple away from a past barrier.
+  SimTime GridEnd(SimTime t) const {
+    return epoch_anchor_ + ((t - epoch_anchor_) / epoch_ + 1) * epoch_;
+  }
 
   bool lane_mode_ = false;
   int threads_ = 1;
-  Duration epoch_ = 0;
+  Duration epoch_ = 0;      // current effective epoch (<= epoch_cap_)
+  Duration epoch_cap_ = 0;  // the ConfigureLanes epoch
+  Duration lookahead_ = 0;  // 0 = no lookahead bound
+  SimTime epoch_anchor_ = 0;
   SimTime global_now_ = 0;
   uint64_t barrier_hash_ = 0xcbf29ce484222325ull;
   bool any_scheduled_ = false;

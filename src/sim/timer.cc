@@ -1,5 +1,6 @@
 #include "src/sim/timer.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/util/assert.h"
@@ -34,6 +35,24 @@ void PeriodicTimer::SetPeriod(Duration period) {
   }
 }
 
+void PeriodicTimer::Rebind(int new_lane) {
+  if (lane_ == new_lane) {
+    return;
+  }
+  lane_ = new_lane;
+  if (!running_) {
+    return;
+  }
+  // Preserve the absolute fire time across the move: duty-cycle phase must not
+  // shift just because the owner changed lanes (clamp covers a fire that was due
+  // exactly at this barrier).
+  pending_.Cancel();
+  const SimTime now = sim_->Now();
+  pending_ = sim_->ScheduleEventAt(std::max(next_fire_at_, now), EventKind::kTimer,
+                                   this, EventPayload{}, lane_);
+  next_fire_at_ = std::max(next_fire_at_, now);
+}
+
 void PeriodicTimer::OnSimEvent(EventKind kind, EventPayload& payload) {
   (void)kind;
   (void)payload;
@@ -49,7 +68,8 @@ void PeriodicTimer::Fire() {
 }
 
 void PeriodicTimer::ScheduleNext(Duration delay) {
-  pending_ = sim_->ScheduleEventAt(sim_->Now() + delay, EventKind::kTimer, this,
+  next_fire_at_ = sim_->Now() + delay;
+  pending_ = sim_->ScheduleEventAt(next_fire_at_, EventKind::kTimer, this,
                                    EventPayload{}, lane_);
 }
 

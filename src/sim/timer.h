@@ -29,6 +29,13 @@ class PeriodicTimer : public EventSink {
   // before Start(); the deployment binds node timers to their shard's lane.
   void BindLane(int lane) { lane_ = lane; }
 
+  // Moves a (possibly running) timer to `new_lane`: cancels the pending fire and
+  // reschedules it at the same absolute fire time (clamped to now) in the new lane.
+  // Control context only — this is the cooperative half of barrier-time lane
+  // re-binding (the timer owns its handle, so Simulator::RebindMatchingEvents must
+  // not move kTimer events out from under it).
+  void Rebind(int new_lane);
+
   // Begins firing every `period`, first fire after `initial_delay` (defaults to one
   // period). Restarting a running timer reschedules it.
   void Start(Duration period, Duration initial_delay = -1);
@@ -53,6 +60,7 @@ class PeriodicTimer : public EventSink {
   std::function<void()> callback_;
   EventHandle pending_;
   Duration period_ = 0;
+  SimTime next_fire_at_ = 0;  // absolute time of the pending fire (for Rebind)
   int lane_ = Simulator::kLaneCurrent;
   bool running_ = false;
 };

@@ -128,6 +128,12 @@ void QueryDriver::Record(const QueryOutcome& outcome) {
   }
   stats_.latency_ms.Add(ToMillis(outcome.Latency()));
   stats_.latency.Record(outcome.Latency());
+  if (outcome.energy_j > 0.0) {
+    ++stats_.energized;
+    stats_.energy_j += outcome.energy_j;
+    (outcome.past ? stats_.energy_past_j : stats_.energy_now_j) += outcome.energy_j;
+    stats_.energy_by_cell_j[outcome.source_cell] += outcome.energy_j;
+  }
 }
 
 }  // namespace presto

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 
 #include "src/sim/simulator.h"
@@ -55,6 +56,9 @@ struct QueryOutcome {
   bool ok = false;
   uint8_t source = 0;       // sink-defined answer-source tag (deployment: AnswerSource)
   bool cross_cell = false;  // federation glue: the query left its origin cell
+  bool past = false;        // query class: archival PAST (true) vs interactive NOW
+  int source_cell = 0;      // federation glue: cell that served the answer
+  double energy_j = 0.0;    // sensor radio energy this query cost (pulls only)
 
   Duration Latency() const { return completed_at - issued_at; }
 };
@@ -98,6 +102,15 @@ struct QueryDriverStats {
   std::array<uint64_t, 4> by_source{};  // indexed by QueryOutcome::source & 3
   SampleSet latency_ms;                 // completed queries (mean / quantiles)
   LatencyHistogram latency;             // completed queries (determinism digest)
+  // Per-query energy attribution (satellite of the paper's energy-vs-latency
+  // tradeoff): total sensor radio joules charged to this driver's queries, split by
+  // query class and by the cell whose sensors paid. Recording is serial (control
+  // lane), so the double sums accumulate in a deterministic order.
+  double energy_j = 0.0;
+  double energy_now_j = 0.0;
+  double energy_past_j = 0.0;
+  uint64_t energized = 0;                    // completions that cost sensor energy
+  std::map<int, double> energy_by_cell_j;    // keyed by QueryOutcome::source_cell
 };
 
 class QueryDriver : public EventSink {
@@ -137,10 +150,11 @@ class QueryDriver : public EventSink {
   IssueFn issue_fn_;
   Pcg32 rng_;
   EventHandle pending_;
-  // The arrival process chains off intended arrival times, not observed Now(): in
-  // lane mode control events observe the *barrier* clock, and chaining off it would
-  // stretch every interarrival by up to an epoch, silently eroding the configured
-  // rate. Arrivals that fall behind the barrier clamp forward and catch up in-batch.
+  // The arrival process chains off intended arrival times, not observed Now().
+  // Control events observe their scheduled time, but execution is still
+  // barrier-batched: chaining off the observed clock would couple the arrival
+  // schedule to execution order instead of the Poisson draw. Arrivals that fall
+  // behind a barrier execute there in-batch while keeping their intended stamps.
   SimTime next_at_ = 0;
   SimTime until_ = -1;  // no arrivals at/after this time; -1 = unbounded
   bool running_ = false;

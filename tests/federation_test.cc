@@ -119,6 +119,37 @@ FederationConfig SmallFederation(int num_cells, int proxies, int sensors_per_pro
   return config;
 }
 
+TEST(FederationTest, AutoEpochDerivesFromTrunkLatencyAndCellCap) {
+  // With lookahead derivation on, the federation steps at the fastest trunk's
+  // latency (the conservative bound), floored at the cells' configured lane epoch:
+  // barrier clamping then never distorts cross-cell delivery times.
+  FederationConfig config = SmallFederation(2, 2, 2);
+  config.auto_epoch = true;
+  config.epoch = Seconds(1);
+  config.link.latency = Millis(250);
+  config.cell.lane_engine = true;
+  config.cell.sim_epoch = Millis(250);
+  {
+    Federation fed(config);
+    EXPECT_EQ(fed.config().epoch, Millis(250));
+  }
+  // The cell cap floors the derivation: a trunk faster than the cells can step
+  // must not drive the federation below their grid.
+  config.cell.sim_epoch = Millis(400);
+  {
+    Federation fed(config);
+    EXPECT_EQ(fed.config().epoch, Millis(400));
+  }
+  // Legacy (single-queue) cells report kNoEpochGrid — explicitly "no constraint",
+  // so the trunk latency alone decides.
+  config.cell.lane_engine = false;
+  {
+    Federation fed(config);
+    EXPECT_EQ(fed.cell(0).sim().epoch_cap(), Simulator::kNoEpochGrid);
+    EXPECT_EQ(fed.config().epoch, Millis(250));
+  }
+}
+
 TEST(FederationTest, LocalAndCrossCellQueriesRouteThroughTheDirectory) {
   Federation fed(SmallFederation(2, 2, 4));
   fed.Start();

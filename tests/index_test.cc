@@ -195,6 +195,34 @@ TEST(TimeSyncTest, ToLocalInvertsCorrect) {
               static_cast<double>(Millis(1)));
 }
 
+TEST(TimeSyncTest, RejectsNoiseDominatedFit) {
+  // Two beacons landing close together (first contacts after a failover promotion)
+  // give least squares a baseline shorter than the timestamp jitter: the fitted
+  // slope is garbage (far from 1 ± drift ppm) and must not be trusted, or ToLocal
+  // maps query windows off the sensor's timeline entirely.
+  RegressionTimeSync sync;
+  const SimTime base = Hours(21);
+  sync.AddBeacon(base + Seconds(2), base);
+  sync.AddBeacon(base + Seconds(4) + Millis(900), base + Seconds(1));
+  EXPECT_FALSE(sync.Ready());
+  EXPECT_FALSE(sync.ToLocal(base).ok());
+  EXPECT_FALSE(sync.Correct(base).ok());
+
+  // Once the baseline grows past the jitter, the fit becomes plausible again.
+  for (int i = 1; i <= 6; ++i) {
+    const SimTime ref = base + i * Minutes(10);
+    sync.AddBeacon(ref + Seconds(2), ref);
+  }
+  ASSERT_TRUE(sync.Ready());
+  // The noisy pair stays in the window and tilts the line a little; "sane" here
+  // means sub-second error, not off-timeline by minutes.
+  auto local = sync.ToLocal(base + Hours(1));
+  ASSERT_TRUE(local.ok());
+  EXPECT_NEAR(static_cast<double>(*local),
+              static_cast<double>(base + Hours(1) + Seconds(2)),
+              static_cast<double>(Millis(500)));
+}
+
 TEST(TimeSyncTest, WindowBoundsMemory) {
   RegressionTimeSync sync(/*window=*/4);
   for (int i = 0; i < 100; ++i) {

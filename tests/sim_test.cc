@@ -277,6 +277,40 @@ TEST(LaneEngineTest, EventPoolSlotsAreReused) {
   EXPECT_LE(sim.PoolSlotsForTest(Simulator::kLaneControl), 4u);
 }
 
+TEST(LaneEngineTest, LegacyModeReportsNoEpochGrid) {
+  // Legacy single-queue engine: no barrier grid exists, and the accessors say so
+  // explicitly with the sentinel rather than a fake zero-length epoch (stacked
+  // layers treat kNoEpochGrid as "no constraint").
+  Simulator sim;
+  EXPECT_EQ(sim.epoch(), Simulator::kNoEpochGrid);
+  EXPECT_EQ(sim.epoch_cap(), Simulator::kNoEpochGrid);
+}
+
+TEST(LaneEngineTest, LookaheadShrinksTheEffectiveEpoch) {
+  Simulator sim;
+  sim.ConfigureLanes(2, 2, Millis(100));
+  EXPECT_EQ(sim.epoch(), Millis(100));
+  EXPECT_EQ(sim.epoch_cap(), Millis(100));
+  sim.SetLookahead(Millis(30));
+  EXPECT_EQ(sim.epoch(), Millis(30));
+  EXPECT_EQ(sim.epoch_cap(), Millis(100)) << "the configured cap never moves";
+  // Cross-lane mail now clamps to the finer grid: posted at 6 ms, delivered at the
+  // 30 ms barrier instead of 100 ms.
+  auto log = std::make_shared<std::vector<SimTime>>();
+  sim.ScheduleAt(Millis(5), [&sim, log] {
+    sim.ScheduleIn(Millis(1), [log, &sim] { log->push_back(sim.Now()); }, 1);
+  }, 0);
+  sim.RunUntil(Millis(200));
+  ASSERT_EQ(log->size(), 1u);
+  EXPECT_EQ((*log)[0], Millis(30));
+  // A lookahead above the cap clamps to it; clearing (0) restores the cap too.
+  sim.SetLookahead(Seconds(5));
+  EXPECT_EQ(sim.epoch(), Millis(100));
+  sim.SetLookahead(0);
+  EXPECT_EQ(sim.epoch(), Millis(100));
+  EXPECT_EQ(sim.lookahead(), 0);
+}
+
 TEST(LaneEngineTest, TimersFireInBoundLanes) {
   Simulator sim;
   sim.ConfigureLanes(2, 2, Millis(50));
@@ -291,6 +325,146 @@ TEST(LaneEngineTest, TimersFireInBoundLanes) {
   for (int lane : *lanes_seen) {
     EXPECT_EQ(lane, 1);
   }
+}
+
+// ---------- barrier-time lane re-binding ----------
+
+bool MatchCallbacks(EventKind kind, const EventSink*, const EventPayload&) {
+  return kind == EventKind::kCallback;
+}
+
+TEST(LaneRebindTest, PendingEventsHandOffPreservingDeliveryTimes) {
+  Simulator sim;
+  sim.ConfigureLanes(2, 2, Millis(100));
+  auto fires = std::make_shared<std::vector<std::pair<int, SimTime>>>();
+  for (int i = 1; i <= 3; ++i) {
+    sim.ScheduleAt(Millis(250 * i), [&sim, fires] {
+      fires->emplace_back(sim.CurrentLane(), sim.Now());
+    }, 0);
+  }
+  sim.RunUntil(Millis(100));  // a barrier; nothing has fired yet
+  EXPECT_EQ(sim.RebindMatchingEvents(0, 1, MatchCallbacks), 3u);
+  sim.RunUntil(Seconds(1));
+  ASSERT_EQ(fires->size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ((*fires)[static_cast<size_t>(i)].first, 1)
+        << "moved events execute in the new lane";
+    EXPECT_EQ((*fires)[static_cast<size_t>(i)].second, Millis(250 * (i + 1)))
+        << "delivery times survive the move";
+  }
+}
+
+TEST(LaneRebindTest, UndrainedMailFollowsTheRebind) {
+  Simulator sim;
+  sim.ConfigureLanes(2, 2, Millis(100));
+  auto lanes_seen = std::make_shared<std::vector<int>>();
+  // A lane-1 event posts cross-lane work at lane 0 mid-epoch; that mail waits in
+  // lane 0's inbox for the next opening barrier — exactly when a re-bind happens.
+  sim.ScheduleAt(Millis(5), [&sim, lanes_seen] {
+    sim.ScheduleIn(Millis(1),
+                   [lanes_seen, &sim] { lanes_seen->push_back(sim.CurrentLane()); }, 0);
+  }, 1);
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(sim.RebindMatchingEvents(0, 1, MatchCallbacks), 1u);
+  sim.RunUntil(Millis(300));
+  ASSERT_EQ(lanes_seen->size(), 1u);
+  EXPECT_EQ((*lanes_seen)[0], 1) << "undrained mail must deliver into the new lane";
+}
+
+TEST(LaneRebindTest, StaleHandlesAfterRebindAreNoOps) {
+  Simulator sim;
+  sim.ConfigureLanes(2, 1, Millis(100));
+  bool moved_fired = false;
+  bool other_fired = false;
+  EventHandle handle = sim.ScheduleAt(Seconds(1), [&] { moved_fired = true; }, 0);
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(sim.RebindMatchingEvents(0, 1, MatchCallbacks), 1u);
+  // The move released the source slot under a fresh generation; a later event may
+  // reuse it.
+  sim.ScheduleAt(Seconds(2), [&] { other_fired = true; }, 0);
+  // The pre-move handle is stale: cancelling through it must affect neither the
+  // moved event nor the slot's new occupant (generation-scoped, same as after any
+  // cancel/reuse cycle).
+  handle.Cancel();
+  sim.RunUntil(Seconds(3));
+  EXPECT_TRUE(moved_fired) << "a stale handle must not cancel the moved event";
+  EXPECT_TRUE(other_fired) << "a stale handle must not cancel the slot's new tenant";
+}
+
+TEST(LaneRebindTest, TimerRebindPreservesPhase) {
+  Simulator sim;
+  sim.ConfigureLanes(2, 2, Millis(50));
+  auto fires = std::make_shared<std::vector<std::pair<int, SimTime>>>();
+  PeriodicTimer timer(&sim, [&sim, fires] {
+    fires->emplace_back(sim.CurrentLane(), sim.Now());
+  });
+  timer.BindLane(0);
+  timer.Start(Millis(30));
+  sim.RunUntil(Millis(100));  // fires at 30, 60, 90 in lane 0
+  timer.Rebind(1);            // cooperative half: the timer owns its handle
+  sim.RunUntil(Millis(200));  // fires at 120, 150, 180 in lane 1
+  ASSERT_EQ(fires->size(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ((*fires)[i].first, i < 3 ? 0 : 1);
+    EXPECT_EQ((*fires)[i].second, Millis(30 * (static_cast<int>(i) + 1)))
+        << "the duty-cycle phase must not shift across the re-bind";
+  }
+}
+
+// The fingerprint workload with mid-run control-lane re-binds folded in: chain
+// events migrate between lanes every 5 simulated seconds. Chains touch only their
+// own padded cell and cross-lane posts touch nothing shared, so chains stay
+// race-free even when re-binding doubles them up in one lane.
+uint64_t RunRebindWorkload(int threads, uint64_t* executed = nullptr,
+                           bool with_rebinds = true) {
+  constexpr int kLanes = 4;
+  Simulator sim;
+  sim.ConfigureLanes(kLanes, threads, Millis(100));
+  auto cells = std::make_shared<std::array<LaneCell, kLanes>>();
+  std::function<void(int)> tick = [&sim, cells, &tick](int chain) {
+    LaneCell& cell = (*cells)[static_cast<size_t>(chain)];
+    ++cell.count;
+    if (cell.count % 3 == 0) {
+      sim.ScheduleIn(Millis(7), [] {}, (chain + 1) % kLanes);
+    }
+    if (sim.Now() < Seconds(30)) {
+      // Current-lane reschedule: after a re-bind the chain keeps running wherever
+      // it was moved to.
+      sim.ScheduleIn(Millis(11 + chain), [&tick, chain] { tick(chain); });
+    }
+  };
+  for (int chain = 0; chain < kLanes; ++chain) {
+    sim.ScheduleAt(Millis(1 + chain), [&tick, chain] { tick(chain); }, chain);
+  }
+  for (int k = 0; with_rebinds && k < 5; ++k) {
+    sim.ScheduleAt(Seconds(5 * (k + 1)), [&sim, k] {
+      sim.RebindMatchingEvents(k % kLanes, (k + 1) % kLanes, MatchCallbacks);
+    }, Simulator::kLaneControl);
+  }
+  sim.RunUntil(Seconds(31));
+  if (executed != nullptr) {
+    *executed = sim.events_executed();
+  }
+  return sim.fingerprint();
+}
+
+TEST(LaneRebindTest, FingerprintIdenticalAcrossWorkerCountsWithRebinds) {
+  uint64_t executed1 = 0;
+  uint64_t executed2 = 0;
+  uint64_t executed8 = 0;
+  const uint64_t fp1 = RunRebindWorkload(1, &executed1);
+  const uint64_t fp2 = RunRebindWorkload(2, &executed2);
+  const uint64_t fp8 = RunRebindWorkload(8, &executed8);
+  EXPECT_GT(executed1, 1000u);
+  EXPECT_EQ(executed1, executed2);
+  EXPECT_EQ(executed1, executed8);
+  EXPECT_EQ(fp1, fp2);
+  EXPECT_EQ(fp1, fp8);
+  EXPECT_EQ(fp2, RunRebindWorkload(2));
+  EXPECT_EQ(fp8, RunRebindWorkload(8));
+  // Re-binds are part of the replay contract: the same workload *without* them
+  // must not collide with the re-bound fingerprint.
+  EXPECT_NE(fp1, RunRebindWorkload(1, nullptr, /*with_rebinds=*/false));
 }
 
 }  // namespace

@@ -2,18 +2,27 @@
 """Non-blocking bench trajectory check: fresh BENCH_*.json vs the checked-in baseline.
 
 Usage: tools/bench_compare.py <baseline.json> <new.json> [--threshold 0.2]
+           [--latency-threshold 0.05] [--fail-on-regression]
 
-Rows are matched by their "key"; for every throughput metric present in both rows
-(higher is better) a drop beyond the threshold prints a WARNING line. The exit code
-is always 0 — machine speed differences between CI runners and the baseline host
-make throughput warnings advisory, not gating. Pass --fail-on-regression to gate
-anyway (local A/B runs on one machine).
+Rows are matched by their "key". Two families of comparison:
+
+- Throughput metrics (higher is better): a drop beyond --threshold prints a
+  WARNING. These depend on host speed, so the default run is advisory.
+- Latency histogram percentiles (the "latency_ms" section: mean/p50/p95/p99...,
+  lower is better): an increase beyond --latency-threshold prints a WARNING.
+  Latencies are *simulated* time — deterministic for a given seed and code, not
+  a function of the machine — so the default tolerance is much tighter; any
+  drift at all means the model's behaviour changed and the baseline needs a
+  deliberate refresh.
+
+The exit code is 0 unless --fail-on-regression is passed (local A/B runs on one
+machine, or latency-only gating where host speed cannot be the cause).
 """
 
 import json
 import sys
 
-# Higher-is-better rates; absolute counters and latencies are not compared.
+# Higher-is-better rates; absolute counters are not compared.
 THROUGHPUT_METRICS = ("events_per_s", "queries_per_s", "queries_per_min")
 
 
@@ -26,10 +35,14 @@ def load_rows(path):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.2
+    latency_threshold = 0.05
     fail_on_regression = "--fail-on-regression" in argv
     for i, arg in enumerate(argv):
         if arg == "--threshold" and i + 1 < len(argv):
             threshold = float(argv[i + 1])
+            args = [a for a in args if a != argv[i + 1]]
+        if arg == "--latency-threshold" and i + 1 < len(argv):
+            latency_threshold = float(argv[i + 1])
             args = [a for a in args if a != argv[i + 1]]
     if len(args) != 2:
         print(__doc__)
@@ -42,6 +55,7 @@ def main(argv):
 
     warnings = 0
     compared = 0
+    latency_compared = 0
     for key, base_row in sorted(baseline.items()):
         new_row = new.get(key)
         if new_row is None:
@@ -62,7 +76,26 @@ def main(argv):
                       f"{new_value:.3g} ({100 * drop:.0f}% drop > "
                       f"{100 * threshold:.0f}% threshold)")
                 warnings += 1
-    print(f"bench_compare: {compared} throughput metric(s) compared, "
+        # Latency percentiles: lower is better, and the values are simulated
+        # time, so a warning here is a behaviour change, not a slow runner.
+        base_lat = base_row.get("latency_ms", {})
+        new_lat = new_row.get("latency_ms", {})
+        for pct in sorted(base_lat):
+            base_value = base_lat.get(pct)
+            new_value = new_lat.get(pct)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            if not isinstance(new_value, (int, float)):
+                continue
+            latency_compared += 1
+            rise = new_value / base_value - 1.0
+            if rise > latency_threshold:
+                print(f"WARNING: {key}: latency {pct} {base_value:.4g}ms -> "
+                      f"{new_value:.4g}ms (+{100 * rise:.1f}% > "
+                      f"{100 * latency_threshold:.0f}% tolerance)")
+                warnings += 1
+    print(f"bench_compare: {compared} throughput metric(s) and "
+          f"{latency_compared} latency percentile(s) compared, "
           f"{warnings} regression warning(s)")
     return 1 if (warnings and fail_on_regression) else 0
 
