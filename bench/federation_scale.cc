@@ -34,6 +34,16 @@
 // `--csv` writes the summary table to federation_scale.csv (never by default:
 // bench dumps do not belong in the tree). `--json <path>` writes the
 // machine-readable report (schema: bench/bench_report.h, docs/BENCHMARKS.md).
+//
+// Checkpoint/restore (docs/ARCHITECTURE.md "Checkpoint format"):
+//   - a round-trip determinism self-check always runs: a small federation is
+//     checkpointed at a barrier mid-workload, a fresh federation restores from the
+//     bytes, and both must finish with bit-identical fingerprints and latency
+//     histograms — swept over sim_threads {1, 8} x cell_threads {1, 4}.
+//   - `--ckpt-out <path>` saves the first grid run's post-warmup barrier state;
+//     `--resume <path>` starts the first grid run from such a file instead of
+//     re-running warmup (the warm-start row in docs/BENCHMARKS.md) and then drives
+//     the same kill/revive phases from the revived state.
 
 #include <algorithm>
 #include <chrono>
@@ -46,6 +56,7 @@
 
 #include "bench/bench_report.h"
 #include "src/core/federation.h"
+#include "src/util/ckpt.h"
 #include "src/util/stats.h"
 #include "src/util/table.h"
 #include "src/workload/query_driver.h"
@@ -87,6 +98,8 @@ struct FedCellResult {
   double energy_past_j = 0.0;
   uint64_t energized = 0;
   std::map<int, double> energy_by_cell_j;
+  bool ckpt_failed = false;  // --ckpt-out / --resume file operation failed
+  bool resumed = false;      // warm-started from a checkpoint (warmup skipped)
 };
 
 struct DriverSnapshot {
@@ -119,7 +132,9 @@ PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
 FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell,
                                 int sim_threads, int cell_threads,
                                 double rate_per_cell_per_hour, Duration warmup,
-                                Duration phase, bool tiny_flash) {
+                                Duration phase, bool tiny_flash,
+                                const std::string& ckpt_out = "",
+                                const std::string& resume_path = "") {
   FederationConfig config;
   config.num_cells = num_cells;
   config.cell.num_proxies = proxies;
@@ -176,12 +191,50 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   const Duration grace = config.cell.pull_timeout + Seconds(15);
 
   const auto wall_start = std::chrono::steady_clock::now();
-  fed.RunUntil(warmup);
+  FedCellResult out;
+  if (!resume_path.empty()) {
+    // Warm start: restore the post-warmup barrier state instead of re-simulating
+    // the warmup window. The resumed timeline is bit-identical to the cold one
+    // (same fingerprint and histograms at the end) — the restore invariant.
+    auto loaded = Checkpoint::ReadFile(resume_path);
+    if (!loaded.ok()) {
+      std::printf("  CKPT: cannot read %s: %s\n", resume_path.c_str(),
+                  loaded.status().message().c_str());
+      out.ckpt_failed = true;
+      return out;
+    }
+    const Status restored = fed.LoadCheckpoint(*loaded);
+    if (!restored.ok()) {
+      std::printf("  CKPT: restore failed: %s\n", restored.message().c_str());
+      out.ckpt_failed = true;
+      return out;
+    }
+    out.resumed = true;
+    std::printf("  resumed from %s at sim t=%.0f s (warmup skipped)\n",
+                resume_path.c_str(), ToSeconds(fed.Now()));
+  } else {
+    fed.RunUntil(warmup);
+    if (!ckpt_out.empty()) {
+      Checkpoint ckpt;
+      Status saved = fed.SaveCheckpoint(&ckpt);
+      if (saved.ok()) {
+        saved = ckpt.WriteFile(ckpt_out);
+      }
+      if (!saved.ok()) {
+        std::printf("  CKPT: save failed: %s\n", saved.message().c_str());
+        out.ckpt_failed = true;
+      } else {
+        std::printf("  warmed checkpoint (%zu sections, digest %016llx) -> %s\n",
+                    ckpt.sections().size(),
+                    static_cast<unsigned long long>(ckpt.Digest()),
+                    ckpt_out.c_str());
+      }
+    }
+  }
   for (QueryDriver* driver : drivers) {
     driver->Start(3 * phase + grace);
   }
 
-  FedCellResult out;
   // Healthy phase.
   const DriverSnapshot at_start = Snapshot(drivers);
   fed.RunUntil(fed.Now() + phase);
@@ -261,6 +314,147 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   return out;
 }
 
+// --- checkpoint round-trip determinism self-check -----------------------------
+//
+// One small federation runs a live workload, checkpoints at a barrier mid-run, and
+// keeps going to `end`; a second, freshly constructed federation restores from the
+// checkpoint bytes and runs the remaining window. Restore at a barrier must be
+// observationally identical to never stopping: both fingerprints and both merged
+// driver latency histograms must match bit for bit — at every (sim_threads,
+// cell_threads) combination.
+
+FederationConfig RoundTripConfig(int sim_threads, int cell_threads) {
+  FederationConfig config;
+  config.num_cells = 4;
+  config.cell.num_proxies = 2;
+  config.cell.sensors_per_proxy = 16;
+  config.cell.enable_replication = true;
+  config.cell.replication_factor = 2;
+  config.cell.promotion_delay = Seconds(10);
+  config.cell.pull_timeout = Seconds(30);
+  config.cell.flash.num_blocks = 4;
+  config.cell.lane_engine = true;
+  config.cell.sim_threads = sim_threads;
+  config.cell.sim_epoch = Millis(250);
+  config.link.latency = Millis(250);
+  config.epoch = Seconds(1);
+  config.auto_epoch = true;
+  config.cell_threads = cell_threads;
+  config.seed = kSeed;
+  return config;
+}
+
+std::vector<QueryDriver*> AttachRoundTripDrivers(Federation& fed) {
+  std::vector<QueryDriver*> drivers;
+  for (int c = 0; c < fed.num_cells(); ++c) {
+    QueryDriverParams params;
+    params.mix.queries_per_hour = 2400.0;
+    params.mix.num_sensors = 0;  // whole federation namespace
+    params.mix.past_fraction = 0.2;
+    params.mix.mean_past_age = Minutes(5);
+    params.mix.max_past_age = Minutes(10);
+    params.mix.min_tolerance = 1.5;
+    params.mix.max_tolerance = 3.0;
+    params.mix.seed = kSeed ^ (0xd1e5 + static_cast<uint64_t>(c));
+    drivers.push_back(&fed.AttachQueryDriver(c, params));
+  }
+  return drivers;
+}
+
+uint64_t MergedHistogramHash(const std::vector<QueryDriver*>& drivers) {
+  LatencyHistogram merged;
+  for (const QueryDriver* driver : drivers) {
+    merged.Merge(driver->stats().latency);
+  }
+  return merged.Hash();
+}
+
+int RunRoundTripCheck(int sim_threads, int cell_threads, BenchReport& report) {
+  const Duration warm = Minutes(5);
+  const Duration ckpt_at = warm + Minutes(2);
+  const Duration end = ckpt_at + Minutes(4);
+  int violations = 0;
+  Checkpoint ckpt;
+  uint64_t fp_cont = 0;
+  uint64_t hist_cont = 0;
+  {
+    Federation fed(RoundTripConfig(sim_threads, cell_threads));
+    fed.Start();
+    std::vector<QueryDriver*> drivers = AttachRoundTripDrivers(fed);
+    fed.RunUntil(warm);
+    for (QueryDriver* driver : drivers) {
+      driver->Start(0);
+    }
+    fed.RunUntil(ckpt_at);
+    const Status saved = fed.SaveCheckpoint(&ckpt);
+    if (!saved.ok()) {
+      std::printf("  VIOLATION: round-trip save failed (sim=%d cell=%d): %s\n",
+                  sim_threads, cell_threads, saved.message().c_str());
+      return 1;
+    }
+    fed.RunUntil(end);
+    fp_cont = fed.fingerprint();
+    hist_cont = MergedHistogramHash(drivers);
+  }
+  // Encode/decode through the wire format so section checksums are exercised too.
+  auto decoded = Checkpoint::Decode(span<const uint8_t>(ckpt.Encode()));
+  if (!decoded.ok()) {
+    std::printf("  VIOLATION: round-trip decode failed: %s\n",
+                decoded.status().message().c_str());
+    return 1;
+  }
+  uint64_t fp_resumed = 0;
+  uint64_t hist_resumed = 0;
+  {
+    Federation fed(RoundTripConfig(sim_threads, cell_threads));
+    fed.Start();
+    std::vector<QueryDriver*> drivers = AttachRoundTripDrivers(fed);
+    const Status restored = fed.LoadCheckpoint(*decoded);
+    if (!restored.ok()) {
+      std::printf("  VIOLATION: round-trip restore failed (sim=%d cell=%d): %s\n",
+                  sim_threads, cell_threads, restored.message().c_str());
+      return 1;
+    }
+    fed.RunUntil(end);
+    fp_resumed = fed.fingerprint();
+    hist_resumed = MergedHistogramHash(drivers);
+  }
+  if (fp_resumed != fp_cont) {
+    std::printf("  VIOLATION: resumed fingerprint %016llx != continuous %016llx "
+                "(sim=%d cell=%d)\n",
+                static_cast<unsigned long long>(fp_resumed),
+                static_cast<unsigned long long>(fp_cont), sim_threads,
+                cell_threads);
+    ++violations;
+  }
+  if (hist_resumed != hist_cont) {
+    std::printf("  VIOLATION: resumed latency histogram %016llx != continuous "
+                "%016llx (sim=%d cell=%d)\n",
+                static_cast<unsigned long long>(hist_resumed),
+                static_cast<unsigned long long>(hist_cont), sim_threads,
+                cell_threads);
+    ++violations;
+  }
+  char key_buf[64];
+  std::snprintf(key_buf, sizeof(key_buf), "ckpt_roundtrip/sim%d/cell%d",
+                sim_threads, cell_threads);
+  BenchReport::Row& row = report.AddRow(key_buf);
+  row.Config("sim_threads", sim_threads).Config("cell_threads", cell_threads);
+  row.Metric("roundtrip_match", violations == 0 ? 1.0 : 0.0)
+      .Metric("ckpt_bytes", static_cast<double>(ckpt.Encode().size()))
+      .Metric("ckpt_sections", static_cast<double>(ckpt.sections().size()));
+  row.Fingerprint("continuous", fp_cont).Fingerprint("resumed", fp_resumed);
+  if (violations == 0) {
+    std::printf("  ckpt round-trip ok: sim=%d cell=%d fingerprint=%016llx "
+                "histogram=%016llx (%zu sections)\n",
+                sim_threads, cell_threads,
+                static_cast<unsigned long long>(fp_cont),
+                static_cast<unsigned long long>(hist_cont),
+                ckpt.sections().size());
+  }
+  return violations;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,6 +462,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool mega = false;
   bool write_csv = false;
+  std::string ckpt_out;
+  std::string resume_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -276,6 +472,10 @@ int main(int argc, char** argv) {
       mega = true;
     } else if (arg == "--csv") {
       write_csv = true;
+    } else if (arg == "--ckpt-out" && i + 1 < argc) {
+      ckpt_out = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
     }
   }
   const unsigned hw_threads = std::thread::hardware_concurrency();
@@ -338,6 +538,17 @@ int main(int argc, char** argv) {
   report.Config("seed", static_cast<double>(kSeed));
   report.Config("hardware_threads", static_cast<double>(hw_threads));
 
+  // Checkpoint/restore determinism sweep: the full sim_threads x cell_threads
+  // grid, always on (small federation — seconds of wall time).
+  std::printf("checkpoint round-trip determinism sweep:\n");
+  for (const int sim_threads : {1, 8}) {
+    for (const int cell_threads : {1, 4}) {
+      violations += RunRoundTripCheck(sim_threads, cell_threads, report);
+    }
+  }
+  std::printf("\n");
+
+  bool first_run = true;
   for (const Cell& cell : grid) {
     uint64_t base_fp = 0;
     uint64_t base_hist = 0;
@@ -356,10 +567,18 @@ int main(int argc, char** argv) {
       combos.push_back(acceptance_combos.front());
     }
     for (const Combo combo : combos) {
+      // --ckpt-out / --resume apply to the first run of the grid (the warm-start
+      // pair must describe the same cell shape on both sides).
       const FedCellResult r = RunFederationCell(
           cell.cells, cell.proxies, cell.sensors_per_cell, combo.sim_threads,
           combo.cell_threads, cell.rate_per_cell_per_hour, cell.warmup, cell.phase,
-          cell.tiny_flash);
+          cell.tiny_flash, first_run ? ckpt_out : std::string(),
+          first_run ? resume_path : std::string());
+      first_run = false;
+      if (r.ckpt_failed) {
+        ++violations;
+        continue;
+      }
       char fp_buf[32];
       std::snprintf(fp_buf, sizeof(fp_buf), "%016llx",
                     static_cast<unsigned long long>(r.fingerprint));
@@ -400,7 +619,8 @@ int main(int argc, char** argv) {
           .Config("sensors_per_cell", cell.sensors_per_cell)
           .Config("sim_threads", combo.sim_threads)
           .Config("cell_threads", combo.cell_threads)
-          .Config("rate_per_cell_per_hour", cell.rate_per_cell_per_hour);
+          .Config("rate_per_cell_per_hour", cell.rate_per_cell_per_hour)
+          .Config("resumed", r.resumed ? 1 : 0);
       row.Metric("queries_per_min", r.queries_per_min)
           .Metric("queries_per_s", r.queries_per_min / 60.0)
           .Metric("events", static_cast<double>(r.events))

@@ -68,6 +68,8 @@ void Deployment::Build(MeasureFactory measure_factory) {
     sim_.SetBarrierHook([this](SimTime epoch_end) { field_->PrepareThrough(epoch_end); });
   }
   store_ = std::make_unique<UnifiedStore>(&sim_, net_.get(), config_.seed ^ 0x696478);
+  store_->SetClient(this);
+  sim_.RegisterSink(this);
 
   Pcg32 rng(config_.seed, /*stream=*/0x4450);
 
@@ -371,7 +373,7 @@ void Deployment::ReviveProxy(int proxy_index) {
 void Deployment::OnSimEvent(EventKind kind, EventPayload& payload) {
   if (kind == EventKind::kQuery) {
     // A QueryAsync completion marshalled onto the control lane: pop the entry and
-    // hand the result to the caller in control context.
+    // complete it in control context, dispatched on the entry's origin tag.
     ExternalQuery done;
     {
       std::lock_guard<std::mutex> lock(external_m_);
@@ -380,7 +382,23 @@ void Deployment::OnSimEvent(EventKind kind, EventPayload& payload) {
       done = std::move(it->second);
       external_.erase(it);
     }
-    done.on_done(done.result);
+    switch (done.origin) {
+      case ExternalQuery::Origin::kClosure:
+        done.on_done(done.result);
+        break;
+      case ExternalQuery::Origin::kDriver: {
+        PRESTO_CHECK(done.tag < drivers_.size());
+        QueryOutcome outcome = OutcomeFromResult(done.result);
+        outcome.past = done.past;
+        drivers_[static_cast<size_t>(done.tag)]->RecordOutcome(outcome);
+        break;
+      }
+      case ExternalQuery::Origin::kFederation:
+        PRESTO_CHECK_MSG(federation_client_ != nullptr,
+                         "federation-tagged completion without a client");
+        federation_client_->OnDeploymentQueryDone(done.tag, done.result);
+        break;
+    }
     return;
   }
   PRESTO_CHECK(kind == EventKind::kMutation);
@@ -733,24 +751,43 @@ Deployment::ExternalQuery* Deployment::FindExternal(uint64_t id) {
 void Deployment::QueryAsync(const QuerySpec& spec,
                             std::function<void(const UnifiedQueryResult&)> on_done) {
   PRESTO_CHECK(on_done != nullptr);
+  ExternalQuery entry;
+  entry.origin = ExternalQuery::Origin::kClosure;
+  entry.on_done = std::move(on_done);
+  QueryAsyncInternal(spec, std::move(entry));
+}
+
+void Deployment::QueryAsyncFederated(const QuerySpec& spec, uint64_t fed_qid) {
+  PRESTO_CHECK_MSG(federation_client_ != nullptr,
+                   "federation-tagged query without a client");
+  ExternalQuery entry;
+  entry.origin = ExternalQuery::Origin::kFederation;
+  entry.tag = fed_qid;
+  QueryAsyncInternal(spec, std::move(entry));
+}
+
+void Deployment::QueryAsyncInternal(const QuerySpec& spec, ExternalQuery entry) {
   uint64_t id;
   {
     std::lock_guard<std::mutex> lock(external_m_);
     id = next_external_id_++;
-    external_[id].on_done = std::move(on_done);
+    external_.emplace(id, std::move(entry));
   }
-  // The store callback fires in the serving proxy's lane (or inline on routing
-  // errors): park the result in the entry and bounce a typed event to the control
-  // lane, where OnSimEvent invokes the caller.
-  store_->Query(spec, [this, id](const UnifiedQueryResult& r) {
-    ExternalQuery* pending = FindExternal(id);
-    PRESTO_CHECK(pending != nullptr);
-    pending->result = r;
-    EventPayload done;
-    done.a = id;
-    sim_.ScheduleEventAt(sim_.Now(), EventKind::kQuery, this, std::move(done),
-                         Simulator::kLaneControl);
-  });
+  // The store completes through OnStoreQueryDone (token = the entry id), from the
+  // serving proxy's lane or inline on routing errors.
+  store_->Query(spec, id);
+}
+
+void Deployment::OnStoreQueryDone(uint64_t token, const UnifiedQueryResult& result) {
+  // Park the result in the entry and bounce a typed event to the control lane,
+  // where OnSimEvent completes it.
+  ExternalQuery* pending = FindExternal(token);
+  PRESTO_CHECK(pending != nullptr);
+  pending->result = result;
+  EventPayload done;
+  done.a = token;
+  sim_.ScheduleEventAt(sim_.Now(), EventKind::kQuery, this, std::move(done),
+                       Simulator::kLaneControl);
 }
 
 QueryDriver& Deployment::AttachQueryDriver(const QueryDriverParams& params) {
@@ -760,7 +797,12 @@ QueryDriver& Deployment::AttachQueryDriver(const QueryDriverParams& params) {
   }
   PRESTO_CHECK_MSG(p.mix.num_sensors <= total_sensors(),
                    "driver namespace exceeds the sensor population");
-  auto issue = [this](const QueryRequest& request, QueryDriver::CompletionFn done) {
+  // Completion routes by driver index, not the CompletionFn closure, so queries in
+  // flight serialize into a checkpoint and complete after restore.
+  const uint64_t driver_index = drivers_.size();
+  auto issue = [this, driver_index](const QueryRequest& request,
+                                    QueryDriver::CompletionFn done) {
+    (void)done;  // recorded via RecordOutcome when the tagged completion lands
     QuerySpec spec;
     spec.sensor_id = GlobalSensorId(request.sensor);
     spec.tolerance = request.tolerance;
@@ -769,12 +811,11 @@ QueryDriver& Deployment::AttachQueryDriver(const QueryDriverParams& params) {
       spec.type = QueryType::kPast;
       spec.range = PastRangeOf(request, sim_.Now());
     }
-    QueryAsync(spec, [done = std::move(done),
-                      past = request.past](const UnifiedQueryResult& r) {
-      QueryOutcome outcome = OutcomeFromResult(r);
-      outcome.past = past;
-      done(outcome);
-    });
+    ExternalQuery entry;
+    entry.origin = ExternalQuery::Origin::kDriver;
+    entry.tag = driver_index;
+    entry.past = request.past;
+    QueryAsyncInternal(spec, std::move(entry));
   };
   drivers_.push_back(std::make_unique<QueryDriver>(&sim_, p, std::move(issue)));
   return *drivers_.back();
@@ -806,6 +847,195 @@ UnifiedQueryResult Deployment::QueryAndWait(const QuerySpec& spec, Duration max_
     return result;
   }
   return state->result;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void Deployment::OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                                 const EventHandle& handle, int lane) {
+  (void)t;
+  (void)lane;
+  // Promotion timers are the only deployment events whose handles matter (a revive
+  // cancels them); completion bounces (kQuery) fire uncancelled.
+  if (kind == EventKind::kMutation && payload.a == kOpPromote) {
+    pending_promotions_[static_cast<size_t>(payload.b)] = handle;
+  }
+}
+
+Status Deployment::SaveCheckpoint(Checkpoint* out, const std::string& prefix) const {
+  PRESTO_CHECK(out != nullptr);
+  Checkpoint staged;
+  const auto add = [&](const std::string& name,
+                       const std::function<Status(ByteWriter&)>& fill) -> Status {
+    ByteWriter w;
+    PRESTO_RETURN_IF_ERROR(fill(w));
+    staged.Add(prefix + name, w.TakeBuffer());
+    return OkStatus();
+  };
+  PRESTO_RETURN_IF_ERROR(add("net", [&](ByteWriter& w) { return net_->SaveState(w); }));
+  PRESTO_RETURN_IF_ERROR(
+      add("store", [&](ByteWriter& w) { return store_->SaveState(w); }));
+  PRESTO_RETURN_IF_ERROR(add("shard_map", [&](ByteWriter& w) {
+    shard_map_->SaveState(w);
+    return OkStatus();
+  }));
+  PRESTO_RETURN_IF_ERROR(add("deploy", [&](ByteWriter& w) -> Status {
+    CkptWrite(w, proxy_down_);
+    CkptWrite(w, promotion_pending_);
+    CkptWrite(w, sensor_chain_);
+    CkptWrite(w, sensor_load_ema_);
+    CkptWrite(w, shard_stats_.promotions);
+    CkptWrite(w, shard_stats_.handbacks);
+    CkptWrite(w, shard_stats_.migrations);
+    CkptWrite(w, shard_stats_.rebalance_sweeps);
+    CkptWrite(w, shard_stats_.last_promotion_at);
+    rebalance_timer_->SaveState(w);
+    CkptWrite(w, next_external_id_);
+    w.WriteVarU64(external_.size());
+    for (const auto& [id, entry] : external_) {
+      if (entry.origin == ExternalQuery::Origin::kClosure) {
+        return FailedPreconditionError(
+            "deployment checkpoint: closure-form external query in flight");
+      }
+      CkptWrite(w, id);
+      CkptWrite(w, entry.origin);
+      CkptWrite(w, entry.tag);
+      CkptWrite(w, entry.past);
+      CkptWrite(w, entry.result);
+    }
+    return OkStatus();
+  }));
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    PRESTO_RETURN_IF_ERROR(add("proxy/" + std::to_string(p), [&](ByteWriter& w) {
+      return proxies_[static_cast<size_t>(p)]->SaveState(w);
+    }));
+  }
+  PRESTO_RETURN_IF_ERROR(add("sensors", [&](ByteWriter& w) {
+    for (const auto& sensor : sensors_) {
+      sensor->SaveState(w);
+    }
+    return OkStatus();
+  }));
+  PRESTO_RETURN_IF_ERROR(add("drivers", [&](ByteWriter& w) -> Status {
+    w.WriteVarU64(drivers_.size());
+    for (const auto& driver : drivers_) {
+      PRESTO_RETURN_IF_ERROR(driver->SaveState(w));
+    }
+    return OkStatus();
+  }));
+  // The simulator section is written (and restored) last: its queue references
+  // every sink above.
+  PRESTO_RETURN_IF_ERROR(add("sim", [&](ByteWriter& w) { return sim_.SaveState(w); }));
+  // Nothing partial on failure: sections land in the output only once every
+  // subsystem serialized cleanly.
+  for (const Checkpoint::Section& section : staged.sections()) {
+    out->Add(section.name, section.payload);
+  }
+  return OkStatus();
+}
+
+Status Deployment::LoadCheckpoint(const Checkpoint& ckpt, const std::string& prefix) {
+  const auto load = [&](const std::string& name,
+                        const std::function<Status(ByteReader&)>& fill) -> Status {
+    const std::vector<uint8_t>* payload = ckpt.Find(prefix + name);
+    if (payload == nullptr) {
+      return NotFoundError("checkpoint missing section " + prefix + name);
+    }
+    ByteReader r{span<const uint8_t>(*payload)};
+    PRESTO_RETURN_IF_ERROR(fill(r));
+    if (r.remaining() != 0) {
+      return DataLossError("checkpoint section " + prefix + name +
+                           " has trailing bytes");
+    }
+    return OkStatus();
+  };
+  PRESTO_RETURN_IF_ERROR(load("net", [&](ByteReader& r) { return net_->LoadState(r); }));
+  PRESTO_RETURN_IF_ERROR(
+      load("store", [&](ByteReader& r) { return store_->LoadState(r); }));
+  PRESTO_RETURN_IF_ERROR(
+      load("shard_map", [&](ByteReader& r) { return shard_map_->LoadState(r); }));
+  PRESTO_RETURN_IF_ERROR(load("deploy", [&](ByteReader& r) -> Status {
+    CKPT_READ(r, proxy_down_);
+    CKPT_READ(r, promotion_pending_);
+    CKPT_READ(r, sensor_chain_);
+    CKPT_READ(r, sensor_load_ema_);
+    if (proxy_down_.size() != static_cast<size_t>(config_.num_proxies) ||
+        promotion_pending_.size() != proxy_down_.size() ||
+        sensor_chain_.size() != static_cast<size_t>(total_sensors()) ||
+        sensor_load_ema_.size() != sensor_chain_.size()) {
+      return DataLossError("deploy restore: table size mismatch");
+    }
+    CKPT_READ(r, shard_stats_.promotions);
+    CKPT_READ(r, shard_stats_.handbacks);
+    CKPT_READ(r, shard_stats_.migrations);
+    CKPT_READ(r, shard_stats_.rebalance_sweeps);
+    CKPT_READ(r, shard_stats_.last_promotion_at);
+    PRESTO_RETURN_IF_ERROR(rebalance_timer_->LoadState(r));
+    CKPT_READ(r, next_external_id_);
+    auto count = r.ReadVarU64();
+    if (!count.ok()) {
+      return count.status();
+    }
+    if (*count > r.remaining()) {
+      return DataLossError("deploy restore: external count exceeds section bytes");
+    }
+    external_.clear();
+    for (uint64_t i = 0; i < *count; ++i) {
+      uint64_t id = 0;
+      CKPT_READ(r, id);
+      ExternalQuery entry;
+      CKPT_READ(r, entry.origin);
+      if (entry.origin == ExternalQuery::Origin::kClosure ||
+          static_cast<uint8_t>(entry.origin) >
+              static_cast<uint8_t>(ExternalQuery::Origin::kFederation)) {
+        return DataLossError("deploy restore: bad external query origin");
+      }
+      CKPT_READ(r, entry.tag);
+      CKPT_READ(r, entry.past);
+      CKPT_READ(r, entry.result);
+      external_.emplace(id, std::move(entry));
+    }
+    // Stale pre-restore promotion handles: drop (never cancel) — the simulator
+    // section re-announces the live ones below.
+    for (EventHandle& handle : pending_promotions_) {
+      handle = EventHandle();
+    }
+    return OkStatus();
+  }));
+  for (int p = 0; p < config_.num_proxies; ++p) {
+    PRESTO_RETURN_IF_ERROR(load("proxy/" + std::to_string(p), [&](ByteReader& r) {
+      return proxies_[static_cast<size_t>(p)]->LoadState(r);
+    }));
+  }
+  PRESTO_RETURN_IF_ERROR(load("sensors", [&](ByteReader& r) -> Status {
+    for (const auto& sensor : sensors_) {
+      PRESTO_RETURN_IF_ERROR(sensor->LoadState(r));
+    }
+    return OkStatus();
+  }));
+  PRESTO_RETURN_IF_ERROR(load("drivers", [&](ByteReader& r) -> Status {
+    auto count = r.ReadVarU64();
+    if (!count.ok()) {
+      return count.status();
+    }
+    if (*count != drivers_.size()) {
+      return FailedPreconditionError(
+          "driver restore: attach the same drivers before restoring");
+    }
+    for (const auto& driver : drivers_) {
+      PRESTO_RETURN_IF_ERROR(driver->LoadState(r));
+    }
+    return OkStatus();
+  }));
+  // The simulator loads last: restored queue events announce through
+  // OnEventRestored into the fully restored subsystems above.
+  PRESTO_RETURN_IF_ERROR(load("sim", [&](ByteReader& r) { return sim_.LoadState(r); }));
+  // Re-derive the conservative lookahead from the restored topology (down proxies,
+  // re-bound lanes) — the same hook every mutation barrier runs.
+  RetuneEpoch();
+  return OkStatus();
 }
 
 }  // namespace presto

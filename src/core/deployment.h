@@ -45,10 +45,20 @@
 #include "src/sensor/sensor_node.h"
 #include "src/sim/simulator.h"
 #include "src/sim/timer.h"
+#include "src/util/ckpt.h"
 #include "src/workload/query_driver.h"
 #include "src/workload/temperature.h"
 
 namespace presto {
+
+// Serializable completion target for federation-tagged deployment queries: the
+// federation gets back the qid it tagged the query with. The deployment-level
+// analogue of PullClient / UnifiedStore::Client, one layer up.
+class FederationQueryClient {
+ public:
+  virtual ~FederationQueryClient() = default;
+  virtual void OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) = 0;
+};
 
 // Deployment-level network defaults. The link-coalescing epoch ships non-zero here
 // (unlike the raw NetworkParams default of 0): bench/fig2_batching's sweep shows
@@ -164,7 +174,7 @@ struct DeploymentConfig {
   uint64_t seed = 42;
 };
 
-class Deployment : public EventSink {
+class Deployment : public EventSink, public UnifiedStore::Client {
  public:
   // Reads the world for one sensor; the default reads the temperature field.
   using MeasureFactory = std::function<SensorNode::MeasureFn(int global_sensor_index)>;
@@ -251,8 +261,20 @@ class Deployment : public EventSink {
   // proxy's lane, and `on_done` fires as a typed event on the *control lane* — so
   // callers (federation routing, in-sim query drivers) never observe worker-lane
   // context. The deployment must outlive the completion (it owns the simulator).
+  // Closure-form entries in flight block SaveCheckpoint.
   void QueryAsync(const QuerySpec& spec,
                   std::function<void(const UnifiedQueryResult&)> on_done);
+
+  // Federation-tagged entry: completion is delivered as
+  // federation_client->OnDeploymentQueryDone(fed_qid, result) — serializable, so
+  // cross-cell queries in flight survive a checkpoint.
+  void QueryAsyncFederated(const QuerySpec& spec, uint64_t fed_qid);
+  void SetFederationClient(FederationQueryClient* client) {
+    federation_client_ = client;
+  }
+
+  // UnifiedStore::Client: store completions come back keyed by external-query id.
+  void OnStoreQueryDone(uint64_t token, const UnifiedQueryResult& result) override;
 
   // Attaches an open-loop in-sim query driver targeting this deployment's sensors
   // (QueryRequest.sensor = global index; mix.num_sensors <= 0 defaults to the whole
@@ -268,6 +290,25 @@ class Deployment : public EventSink {
   // epoch barriers (or inline in legacy mode). kQuery events are QueryAsync
   // completions marshalled from the serving proxy's lane back to control context.
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override;
+
+  // --- checkpoint / restore ---
+  // Snapshots every stateful subsystem into per-section payloads (each section
+  // carries its own checksum inside the container): "net", "store", "shard_map",
+  // "deploy", one "proxy/<p>" per proxy, "sensors", "drivers", and "sim" — composed
+  // here so section boundaries match subsystem boundaries and a diff names the first
+  // divergent layer. Call at a barrier / between RunUntil calls only; fails (writing
+  // nothing partial) while a closure-form query is in flight. `prefix` namespaces
+  // the section names ("cell3/sim") for multi-deployment containers.
+  Status SaveCheckpoint(Checkpoint* out, const std::string& prefix = "") const;
+
+  // Restores into a *freshly constructed, identically configured* deployment (same
+  // config, same AttachQueryDriver calls, Start() already run). Subsystem sections
+  // load first; "sim" loads last so restored queue events re-announce into
+  // already-restored subsystems. Restore at barrier B is observationally identical
+  // to never stopping: fingerprints and histograms match an uninterrupted run.
+  Status LoadCheckpoint(const Checkpoint& ckpt, const std::string& prefix = "");
 
  private:
   void Build(MeasureFactory measure_factory);
@@ -333,17 +374,29 @@ class Deployment : public EventSink {
   ShardMgmtStats shard_stats_;
 
   // --- external query entry ---
-  // In-flight QueryAsync queries. The map is mutex-guarded because completion
-  // callbacks run in serving-proxy lanes (concurrently for different proxies); each
-  // entry is only ever touched by its own query's events — the UnifiedStore pattern.
+  // In-flight QueryAsync queries. The map is mutex-guarded because store
+  // completions run in serving-proxy lanes (concurrently for different proxies);
+  // each entry is only ever touched by its own query's events — the UnifiedStore
+  // pattern. Every entry carries a serializable origin tag except kClosure (ad-hoc
+  // callers), which blocks SaveCheckpoint while in flight.
   struct ExternalQuery {
+    enum class Origin : uint8_t {
+      kClosure = 0,     // on_done closure (probes, tests) — not checkpointable
+      kDriver = 1,      // attached QueryDriver: tag = driver index, past = class
+      kFederation = 2,  // federation glue: tag = federation qid
+    };
+    Origin origin = Origin::kClosure;
+    uint64_t tag = 0;
+    bool past = false;  // kDriver: the request's PAST/NOW class
     UnifiedQueryResult result;
     std::function<void(const UnifiedQueryResult&)> on_done;
   };
+  void QueryAsyncInternal(const QuerySpec& spec, ExternalQuery entry);
   ExternalQuery* FindExternal(uint64_t id);
   std::mutex external_m_;
   std::map<uint64_t, ExternalQuery> external_;
   uint64_t next_external_id_ = 1;
+  FederationQueryClient* federation_client_ = nullptr;
   // Declared after sim_ so drivers (which hold pending arrival events) die first.
   std::vector<std::unique_ptr<QueryDriver>> drivers_;
 };

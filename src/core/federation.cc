@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "src/util/assert.h"
 #include "src/util/hash.h"
@@ -51,6 +53,14 @@ Federation::Federation(const FederationConfig& config)
     cell_config.seed =
         config_.seed ^ (0xfedc0de + 0x9e3779b9ull * static_cast<uint64_t>(c));
     cells_.push_back(std::make_unique<Deployment>(cell_config));
+  }
+  for (auto& cell : cells_) {
+    // Tagged cross-cell queries complete through OnDeploymentQueryDone, and the
+    // federation is a sink on every cell simulator (mail-delivery events), so both
+    // survive checkpoints. Registration order is ctor order — the sink-id contract
+    // a restored checkpoint relies on.
+    cell->SetFederationClient(this);
+    cell->sim().RegisterSink(this);
   }
   links_.reserve(static_cast<size_t>(config_.num_cells) *
                  static_cast<size_t>(config_.num_cells));
@@ -248,6 +258,14 @@ void Federation::DrainMail() {
 void Federation::IssueFromCell(
     int origin_cell, const FederationQuerySpec& spec,
     std::function<void(const FederationQueryResult&)> callback) {
+  PendingFedQuery q;
+  q.origin = PendingFedQuery::Origin::kClosure;
+  q.callback = std::move(callback);
+  IssueInternal(origin_cell, spec, std::move(q));
+}
+
+void Federation::IssueInternal(int origin_cell, const FederationQuerySpec& spec,
+                               PendingFedQuery q) {
   PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
   const int target = directory_.CellOf(spec.fed_sensor);
   const int local = directory_.LocalOf(spec.fed_sensor);
@@ -260,22 +278,21 @@ void Federation::IssueFromCell(
   ++ctr.queries;
   const uint64_t qid = ++ctr.next_qid * static_cast<uint64_t>(config_.num_cells) +
                        static_cast<uint64_t>(origin_cell);
+  q.spec.type = spec.type;
+  q.spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
+  q.spec.range = spec.range;
+  q.spec.tolerance = spec.tolerance;
+  q.spec.latency_bound = spec.latency_bound;
+  q.result.origin_cell = origin_cell;
+  q.result.target_cell = target;
+  q.result.cross_cell = target != origin_cell;
+  q.result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
+  const SimTime issued_at = q.result.issued_at;
   PendingShard& shard = PendingShardOf(qid);
-  PendingFedQuery* q;
   {
     std::lock_guard<std::mutex> lock(shard.m);
-    q = &shard.map[qid];  // references survive rehash; only this qid's owner fills
+    shard.map.emplace(qid, std::move(q));
   }
-  q->spec.type = spec.type;
-  q->spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
-  q->spec.range = spec.range;
-  q->spec.tolerance = spec.tolerance;
-  q->spec.latency_bound = spec.latency_bound;
-  q->result.origin_cell = origin_cell;
-  q->result.target_cell = target;
-  q->result.cross_cell = target != origin_cell;
-  q->result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
-  q->callback = std::move(callback);
 
   if (target == origin_cell) {
     ++ctr.local;
@@ -285,8 +302,8 @@ void Federation::IssueFromCell(
   ++ctr.forwarded;
   // The origin→target trunk is driven only by this (origin) control lane, so its
   // serialization clock stays single-writer and monotone under parallel stepping.
-  const SimTime at = LinkBetween(origin_cell, target)
-                         .Deliver(q->result.issued_at, config_.query_bytes);
+  const SimTime at =
+      LinkBetween(origin_cell, target).Deliver(issued_at, config_.query_bytes);
   outbox_[static_cast<size_t>(origin_cell)].push_back(
       Mail{target, at, kFedOpExecute, qid});
 }
@@ -300,9 +317,15 @@ void Federation::ExecuteAtTarget(uint64_t qid) {
     PRESTO_CHECK(it != shard.map.end());
     q = &it->second;
   }
-  cells_[static_cast<size_t>(q->result.target_cell)]->QueryAsync(
-      q->spec,
-      [this, qid](const UnifiedQueryResult& r) { OnCellAnswered(qid, r); });
+  // Tagged (not closure) form: the deployment carries the fed qid through its own
+  // checkpointable pending table and calls OnDeploymentQueryDone when the store
+  // answers — the whole cross-cell pipeline serializes at barriers.
+  cells_[static_cast<size_t>(q->result.target_cell)]->QueryAsyncFederated(q->spec,
+                                                                          qid);
+}
+
+void Federation::OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) {
+  OnCellAnswered(qid, result);
 }
 
 void Federation::OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r) {
@@ -350,9 +373,20 @@ void Federation::Finalize(uint64_t qid) {
     // the origin cell's control lane (or host context for probe queries).
     ++counters_[static_cast<size_t>(q.result.origin_cell)].failed;
   }
-  // The callback (driver Record, QueryAndWait latch) runs outside the shard lock:
-  // it may issue follow-up queries that take the same lock.
-  if (q.callback) {
+  // Completion dispatch runs outside the shard lock: recording may issue follow-up
+  // queries that take the same lock.
+  if (q.origin == PendingFedQuery::Origin::kDriver) {
+    // The gateway's clock, not the serving cell's: federation latency spans both
+    // trunk hops. source_cell is the cell whose sensors paid any pull energy.
+    QueryOutcome outcome = OutcomeFromResult(q.result.cell);
+    outcome.issued_at = q.result.issued_at;
+    outcome.completed_at = q.result.completed_at;
+    outcome.cross_cell = q.result.cross_cell;
+    outcome.past = q.past;
+    outcome.source_cell = q.result.target_cell;
+    PRESTO_CHECK(q.driver_index < drivers_.size());
+    drivers_[q.driver_index]->RecordOutcome(outcome);
+  } else if (q.callback) {
     q.callback(q.result);
   }
 }
@@ -412,8 +446,13 @@ QueryDriver& Federation::AttachQueryDriver(int origin_cell,
   PRESTO_CHECK_MSG(p.mix.num_sensors <= directory_.total_sensors(),
                    "driver namespace exceeds the federation population");
   Deployment& origin = *cells_[static_cast<size_t>(origin_cell)];
-  auto issue = [this, origin_cell](const QueryRequest& request,
-                                   QueryDriver::CompletionFn done) {
+  // Tagged (token) issue path: the pending entry carries this driver's index
+  // instead of capturing the completion closure, so in-flight driver queries
+  // survive a checkpoint. Finalize records the outcome directly.
+  const uint64_t driver_index = drivers_.size();
+  auto issue = [this, origin_cell, driver_index](const QueryRequest& request,
+                                                 QueryDriver::CompletionFn done) {
+    (void)done;  // completion flows through the driver-index tag, not the closure
     FederationQuerySpec fspec;
     fspec.fed_sensor = request.sensor;
     fspec.tolerance = request.tolerance;
@@ -423,21 +462,11 @@ QueryDriver& Federation::AttachQueryDriver(int origin_cell,
       fspec.range = PastRangeOf(
           request, cells_[static_cast<size_t>(origin_cell)]->sim().Now());
     }
-    IssueFromCell(origin_cell, fspec,
-                  [done = std::move(done),
-                   past = request.past](const FederationQueryResult& r) {
-                    // The gateway's clock, not the serving cell's: federation
-                    // latency spans both trunk hops.
-                    QueryOutcome outcome = OutcomeFromResult(r.cell);
-                    outcome.issued_at = r.issued_at;
-                    outcome.completed_at = r.completed_at;
-                    outcome.cross_cell = r.cross_cell;
-                    outcome.past = past;
-                    // The cell whose sensors paid the pull energy, for J/query
-                    // attribution by source cell.
-                    outcome.source_cell = r.target_cell;
-                    done(outcome);
-                  });
+    PendingFedQuery q;
+    q.origin = PendingFedQuery::Origin::kDriver;
+    q.driver_index = driver_index;
+    q.past = request.past;
+    IssueInternal(origin_cell, fspec, std::move(q));
   };
   drivers_.push_back(
       std::make_unique<QueryDriver>(&origin.sim(), p, std::move(issue)));
@@ -483,6 +512,201 @@ uint64_t Federation::fingerprint() const {
     total += term * 0x9e3779b97f4a7c15ull;
   }
   return total;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void CkptWrite(ByteWriter& w, const FederationQueryResult& v) {
+  CkptWrite(w, v.cell);
+  CkptWrite(w, v.origin_cell);
+  CkptWrite(w, v.target_cell);
+  CkptWrite(w, v.cross_cell);
+  CkptWrite(w, v.issued_at);
+  CkptWrite(w, v.completed_at);
+}
+
+Status CkptRead(ByteReader& r, FederationQueryResult& v) {
+  CKPT_READ(r, v.cell);
+  CKPT_READ(r, v.origin_cell);
+  CKPT_READ(r, v.target_cell);
+  CKPT_READ(r, v.cross_cell);
+  CKPT_READ(r, v.issued_at);
+  CKPT_READ(r, v.completed_at);
+  return OkStatus();
+}
+
+Status Federation::SaveCheckpoint(Checkpoint* out) const {
+  PRESTO_CHECK(out != nullptr);
+  Checkpoint staged;
+  for (int c = 0; c < config_.num_cells; ++c) {
+    PRESTO_RETURN_IF_ERROR(cells_[static_cast<size_t>(c)]->SaveCheckpoint(
+        &staged, "cell" + std::to_string(c) + "/"));
+  }
+  ByteWriter w;
+  CkptWrite(w, now_);
+  CkptWrite(w, barrier_hash_);
+  CkptWrite(w, serial_stats_.barriers);
+  CkptWrite(w, serial_stats_.mail_drained);
+  for (const CellCounters& ctr : counters_) {
+    CkptWrite(w, ctr.next_qid);
+    CkptWrite(w, ctr.queries);
+    CkptWrite(w, ctr.local);
+    CkptWrite(w, ctr.forwarded);
+    CkptWrite(w, ctr.failed);
+  }
+  for (const auto& box : outbox_) {
+    w.WriteVarU64(box.size());
+    for (const Mail& mail : box) {
+      CkptWrite(w, mail.target_cell);
+      CkptWrite(w, mail.time);
+      CkptWrite(w, mail.op);
+      CkptWrite(w, mail.qid);
+    }
+  }
+  for (const auto& link : links_) {
+    if (link != nullptr) {
+      link->SaveState(w);
+    }
+  }
+  // qid-sorted walk of the sharded pending table: the serialized bytes must not
+  // depend on hash layout.
+  std::vector<std::pair<uint64_t, const PendingFedQuery*>> pending;
+  for (const PendingShard& shard : pending_) {
+    std::lock_guard<std::mutex> lock(shard.m);
+    for (const auto& [qid, q] : shard.map) {
+      pending.emplace_back(qid, &q);
+    }
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.WriteVarU64(pending.size());
+  for (const auto& [qid, q] : pending) {
+    if (q->origin == PendingFedQuery::Origin::kClosure) {
+      return FailedPreconditionError(
+          "federation checkpoint: closure-form query in flight (QueryAndWait probe)");
+    }
+    CkptWrite(w, qid);
+    CkptWrite(w, q->spec);
+    CkptWrite(w, q->result);
+    CkptWrite(w, q->origin);
+    CkptWrite(w, q->driver_index);
+    CkptWrite(w, q->past);
+  }
+  w.WriteVarU64(drivers_.size());
+  for (const auto& driver : drivers_) {
+    PRESTO_RETURN_IF_ERROR(driver->SaveState(w));
+  }
+  staged.Add("fed", w.TakeBuffer());
+  // Nothing partial on failure: sections land in the output only once every cell
+  // and the federation itself serialized cleanly.
+  for (const Checkpoint::Section& section : staged.sections()) {
+    out->Add(section.name, section.payload);
+  }
+  return OkStatus();
+}
+
+Status Federation::LoadCheckpoint(const Checkpoint& ckpt) {
+  const std::vector<uint8_t>* payload = ckpt.Find("fed");
+  if (payload == nullptr) {
+    return NotFoundError("checkpoint missing section fed");
+  }
+  ByteReader r{span<const uint8_t>(*payload)};
+  CKPT_READ(r, now_);
+  CKPT_READ(r, barrier_hash_);
+  CKPT_READ(r, serial_stats_.barriers);
+  CKPT_READ(r, serial_stats_.mail_drained);
+  for (CellCounters& ctr : counters_) {
+    CKPT_READ(r, ctr.next_qid);
+    CKPT_READ(r, ctr.queries);
+    CKPT_READ(r, ctr.local);
+    CKPT_READ(r, ctr.forwarded);
+    CKPT_READ(r, ctr.failed);
+  }
+  for (auto& box : outbox_) {
+    auto count = r.ReadVarU64();
+    if (!count.ok()) {
+      return count.status();
+    }
+    if (*count > r.remaining()) {
+      return DataLossError("federation restore: outbox count exceeds section bytes");
+    }
+    box.clear();
+    for (uint64_t i = 0; i < *count; ++i) {
+      Mail mail{};
+      CKPT_READ(r, mail.target_cell);
+      CKPT_READ(r, mail.time);
+      CKPT_READ(r, mail.op);
+      CKPT_READ(r, mail.qid);
+      if (mail.target_cell < 0 || mail.target_cell >= config_.num_cells ||
+          (mail.op != kFedOpExecute && mail.op != kFedOpComplete)) {
+        return DataLossError("federation restore: bad mail entry");
+      }
+      box.push_back(mail);
+    }
+  }
+  for (auto& link : links_) {
+    if (link != nullptr) {
+      PRESTO_RETURN_IF_ERROR(link->LoadState(r));
+    }
+  }
+  for (PendingShard& shard : pending_) {
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.map.clear();
+  }
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > r.remaining()) {
+    return DataLossError("federation restore: pending count exceeds section bytes");
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    uint64_t qid = 0;
+    CKPT_READ(r, qid);
+    PendingFedQuery q;
+    CKPT_READ(r, q.spec);
+    CKPT_READ(r, q.result);
+    CKPT_READ(r, q.origin);
+    CKPT_READ(r, q.driver_index);
+    CKPT_READ(r, q.past);
+    if (q.origin != PendingFedQuery::Origin::kDriver) {
+      return DataLossError("federation restore: bad pending query origin");
+    }
+    if (q.result.origin_cell < 0 || q.result.origin_cell >= config_.num_cells ||
+        q.result.target_cell < 0 || q.result.target_cell >= config_.num_cells) {
+      return DataLossError("federation restore: pending query cell out of range");
+    }
+    if (q.driver_index >= drivers_.size()) {
+      return FailedPreconditionError(
+          "federation restore: attach the same drivers before restoring");
+    }
+    PendingShard& shard = PendingShardOf(qid);
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.map.emplace(qid, std::move(q));
+  }
+  auto driver_count = r.ReadVarU64();
+  if (!driver_count.ok()) {
+    return driver_count.status();
+  }
+  if (*driver_count != drivers_.size()) {
+    return FailedPreconditionError(
+        "federation restore: attach the same drivers before restoring");
+  }
+  for (const auto& driver : drivers_) {
+    PRESTO_RETURN_IF_ERROR(driver->LoadState(r));
+  }
+  if (r.remaining() != 0) {
+    return DataLossError("checkpoint section fed has trailing bytes");
+  }
+  // Cells load after "fed" so each cell simulator (loaded last within its own
+  // cell) re-announces queued events into fully restored drivers and tables.
+  for (int c = 0; c < config_.num_cells; ++c) {
+    PRESTO_RETURN_IF_ERROR(cells_[static_cast<size_t>(c)]->LoadCheckpoint(
+        ckpt, "cell" + std::to_string(c) + "/"));
+  }
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -65,6 +65,7 @@
 #include "src/core/types.h"
 #include "src/net/cell_link.h"
 #include "src/sim/simulator.h"
+#include "src/util/ckpt.h"
 #include "src/workload/query_driver.h"
 
 namespace presto {
@@ -141,6 +142,10 @@ struct FederationQueryResult {
   Duration Latency() const { return completed_at - issued_at; }
 };
 
+// Checkpoint codec for in-flight cross-cell results.
+void CkptWrite(ByteWriter& w, const FederationQueryResult& v);
+Status CkptRead(ByteReader& r, FederationQueryResult& v);
+
 struct FederationStats {
   uint64_t queries = 0;
   uint64_t local = 0;      // target cell == origin cell (no trunk hop)
@@ -150,7 +155,7 @@ struct FederationStats {
   uint64_t mail_drained = 0;  // inter-cell messages delivered at barriers
 };
 
-class Federation : public EventSink {
+class Federation : public EventSink, public FederationQueryClient {
  public:
   explicit Federation(const FederationConfig& config);
   ~Federation() override;
@@ -212,10 +217,33 @@ class Federation : public EventSink {
   // origin) arrive as typed kQuery events on cell control lanes.
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
+  // FederationQueryClient: a tagged deployment query completed at its target cell
+  // (runs on that cell's control lane).
+  void OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) override;
+
+  // Composes every cell's checkpoint (sections prefixed "cell<i>/") plus one "fed"
+  // section: federation clock, barrier hash, per-origin counters, trunk
+  // serialization clocks, undrained outboxes, in-flight cross-cell queries, and
+  // attached driver state. Call only at a federation barrier (between RunUntil
+  // calls); fails if a closure-form query (QueryAndWait probe) is in flight.
+  Status SaveCheckpoint(Checkpoint* out) const;
+
+  // Inverse of SaveCheckpoint, into a freshly constructed federation with the same
+  // FederationConfig and the same AttachQueryDriver calls, after Start(). The "fed"
+  // section restores first (driver/tables), then each cell — cell simulators load
+  // last and re-announce queued events so handle-holders re-capture.
+  Status LoadCheckpoint(const Checkpoint& ckpt);
+
  private:
   struct PendingFedQuery {
+    // Completion target: a serializable driver tag (token form) or a host-side
+    // closure (QueryAndWait probes — never checkpointable in flight).
+    enum class Origin : uint8_t { kClosure = 0, kDriver = 1 };
     QuerySpec spec;  // target-cell-local spec
     FederationQueryResult result;
+    Origin origin = Origin::kClosure;
+    uint64_t driver_index = 0;  // kDriver: index into drivers_
+    bool past = false;          // kDriver: query class for the recorded outcome
     std::function<void(const FederationQueryResult&)> callback;
   };
   // One shard of the pending cross-cell query table. The mutex guards only the map
@@ -226,7 +254,7 @@ class Federation : public EventSink {
   // concurrent. unordered_map keeps references stable across rehash, so an entry
   // pointer taken under the lock stays valid outside it.
   struct PendingShard {
-    std::mutex m;
+    mutable std::mutex m;  // mutable: SaveCheckpoint (const, barrier context) walks
     std::unordered_map<uint64_t, PendingFedQuery> map;
   };
   static constexpr int kPendingShards = 16;
@@ -251,6 +279,8 @@ class Federation : public EventSink {
 
   CellLink& LinkBetween(int src, int dst);
   Duration DeriveEpoch() const;
+  void IssueInternal(int origin_cell, const FederationQuerySpec& spec,
+                     PendingFedQuery q);
   PendingShard& PendingShardOf(uint64_t qid) {
     // splitmix-style spread: per-origin qids are arithmetic sequences (stride
     // num_cells), which a bare modulus would pile onto few shards.

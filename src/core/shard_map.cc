@@ -4,6 +4,7 @@
 #include <set>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 namespace {
@@ -181,6 +182,45 @@ int ShardMap::MaxShardSize() const {
     max = std::max(max, shard.size());
   }
   return static_cast<int>(max);
+}
+
+void ShardMap::SaveState(ByteWriter& w) const {
+  CkptWrite(w, version_);
+  CkptWrite(w, owner_);
+  CkptWrite(w, acting_);
+}
+
+Status ShardMap::LoadState(ByteReader& r) {
+  CKPT_READ(r, version_);
+  std::vector<int> owner;
+  std::vector<int> acting;
+  CKPT_READ(r, owner);
+  CKPT_READ(r, acting);
+  if (owner.size() != static_cast<size_t>(total_sensors_) ||
+      acting.size() != owner.size()) {
+    return DataLossError("shard map restore: table size mismatch");
+  }
+  for (size_t g = 0; g < owner.size(); ++g) {
+    if (owner[g] < 0 || owner[g] >= num_proxies_ || acting[g] < -1 ||
+        acting[g] >= num_proxies_) {
+      return DataLossError("shard map restore: proxy index out of range");
+    }
+  }
+  owner_ = std::move(owner);
+  acting_ = std::move(acting);
+  // Rebuild the inverse indices ascending — the invariant the incremental
+  // maintenance preserves, so a restored map is indistinguishable from a live one.
+  for (auto& shard : by_proxy_) {
+    shard.clear();
+  }
+  for (auto& served : served_by_) {
+    served.clear();
+  }
+  for (int g = 0; g < total_sensors_; ++g) {
+    by_proxy_[static_cast<size_t>(owner_[static_cast<size_t>(g)])].push_back(g);
+    served_by_[static_cast<size_t>(ActingOwnerOf(g))].push_back(g);
+  }
+  return OkStatus();
 }
 
 }  // namespace presto

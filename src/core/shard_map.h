@@ -31,7 +31,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/result.h"
+
 namespace presto {
+
+class ByteReader;
+class ByteWriter;
 
 enum class ShardPolicy : uint8_t {
   kGeographic = 0,  // contiguous index blocks (spatially local shards)
@@ -93,6 +98,12 @@ class ShardMap {
   // Shard balance introspection (benches report the spread).
   int MinShardSize() const;
   int MaxShardSize() const;
+
+  // Checkpoint codec: version counter plus the owner and acting-owner tables; the
+  // by-proxy and served-by inverse indices are rebuilt (ascending, exactly as the
+  // incremental maintenance leaves them). The replica ring is construction-static.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   int num_proxies_;

@@ -5,6 +5,7 @@
 
 #include "src/net/network.h"
 #include "src/proxy/proxy_node.h"
+#include "src/util/ckpt.h"
 #include "src/util/sample.h"
 #include "src/workload/query_driver.h"
 
@@ -34,6 +35,44 @@ struct UnifiedQueryResult {
 
   Duration Latency() const { return completed_at - issued_at; }
 };
+
+// Checkpoint codecs: specs and results ride inside pending-query sections.
+inline void CkptWrite(ByteWriter& w, const QuerySpec& spec) {
+  CkptWrite(w, spec.type);
+  CkptWrite(w, spec.sensor_id);
+  CkptWrite(w, spec.range);
+  CkptWrite(w, spec.tolerance);
+  CkptWrite(w, spec.latency_bound);
+}
+inline Status CkptRead(ByteReader& r, QuerySpec& spec) {
+  CKPT_READ(r, spec.type);
+  if (static_cast<uint8_t>(spec.type) > static_cast<uint8_t>(QueryType::kPast)) {
+    return DataLossError("query spec restore: type out of range");
+  }
+  CKPT_READ(r, spec.sensor_id);
+  CKPT_READ(r, spec.range);
+  CKPT_READ(r, spec.tolerance);
+  CKPT_READ(r, spec.latency_bound);
+  return OkStatus();
+}
+
+inline void CkptWrite(ByteWriter& w, const UnifiedQueryResult& result) {
+  CkptWrite(w, result.answer);
+  CkptWrite(w, result.served_by);
+  CkptWrite(w, result.index_hops);
+  CkptWrite(w, result.used_replica);
+  CkptWrite(w, result.issued_at);
+  CkptWrite(w, result.completed_at);
+}
+inline Status CkptRead(ByteReader& r, UnifiedQueryResult& result) {
+  CKPT_READ(r, result.answer);
+  CKPT_READ(r, result.served_by);
+  CKPT_READ(r, result.index_hops);
+  CKPT_READ(r, result.used_replica);
+  CKPT_READ(r, result.issued_at);
+  CKPT_READ(r, result.completed_at);
+  return OkStatus();
+}
 
 // QueryOutcome view of a store result — the driver-glue half both Deployment and
 // Federation report through (the federation additionally stamps `cross_cell`).

@@ -1,6 +1,8 @@
 #include "src/core/unified_store.h"
 
+#include "src/core/types.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/logging.h"
 
 namespace presto {
@@ -10,11 +12,13 @@ UnifiedStore::UnifiedStore(Simulator* sim, Network* net, uint64_t seed,
     : sim_(sim), net_(net), per_hop_latency_(per_hop_latency), index_(seed) {
   PRESTO_CHECK(sim_ != nullptr);
   PRESTO_CHECK(net_ != nullptr);
+  sim_->RegisterSink(this);
 }
 
 void UnifiedStore::AddProxy(ProxyNode* proxy) {
   PRESTO_CHECK(proxy != nullptr);
   proxies_[proxy->config().id] = proxy;
+  proxy->SetPullClient(this);
   for (NodeId sensor : proxy->sensors()) {
     index_.Insert(sensor, proxy->config().id);
   }
@@ -37,22 +41,45 @@ ProxyNode* UnifiedStore::FindProxy(NodeId proxy_id) const {
 
 void UnifiedStore::Query(const QuerySpec& spec,
                          std::function<void(const UnifiedQueryResult&)> callback) {
+  PendingQuery pending;
+  pending.spec = spec;
+  pending.callback = std::move(callback);
+  QueryInternal(spec, std::move(pending));
+}
+
+void UnifiedStore::Query(const QuerySpec& spec, uint64_t token) {
+  PRESTO_CHECK_MSG(client_ != nullptr, "token-form store query without a client");
+  PendingQuery pending;
+  pending.spec = spec;
+  pending.has_token = true;
+  pending.token = token;
+  QueryInternal(spec, std::move(pending));
+}
+
+void UnifiedStore::QueryInternal(const QuerySpec& spec, PendingQuery pending) {
   ++stats_.queries;
   const SimTime issued_at = sim_->Now();
+
+  const auto complete_now = [this](PendingQuery& p) {
+    p.result.completed_at = sim_->Now();
+    if (p.has_token) {
+      client_->OnStoreQueryDone(p.token, p.result);
+    } else {
+      p.callback(p.result);
+    }
+  };
 
   // Resolve the owner through the order-preserving index.
   SkipGraph::SearchStats search = index_.Search(spec.sensor_id);
   stats_.total_index_hops += search.hops;
 
-  UnifiedQueryResult result;
-  result.issued_at = issued_at;
-  result.index_hops = search.hops;
+  pending.result.issued_at = issued_at;
+  pending.result.index_hops = search.hops;
 
   if (!search.found) {
     ++stats_.unroutable;
-    result.answer.status = NotFoundError("sensor not in the distributed index");
-    result.completed_at = sim_->Now();
-    callback(result);
+    pending.result.answer.status = NotFoundError("sensor not in the distributed index");
+    complete_now(pending);
     return;
   }
 
@@ -82,36 +109,33 @@ void UnifiedStore::Query(const QuerySpec& spec,
       used_replica = true;
       ++stats_.failovers;
     } else {
-      result.answer.status = UnavailableError("owning proxy (and all replicas) down");
-      result.completed_at = sim_->Now();
-      callback(result);
+      pending.result.answer.status =
+          UnavailableError("owning proxy (and all replicas) down");
+      complete_now(pending);
       return;
     }
   }
   ProxyNode* proxy = FindProxy(proxy_id);
   if (proxy == nullptr || !proxy->ManagesSensor(spec.sensor_id)) {
     ++stats_.unroutable;
-    result.answer.status = NotFoundError("index points at a proxy without this sensor");
-    result.completed_at = sim_->Now();
-    callback(result);
+    pending.result.answer.status =
+        NotFoundError("index points at a proxy without this sensor");
+    complete_now(pending);
     return;
   }
   ++stats_.routed;
-  result.served_by = proxy_id;
-  result.used_replica = used_replica;
+  pending.result.served_by = proxy_id;
+  pending.result.used_replica = used_replica;
 
   // Forwarding the query across `hops` proxies costs wired latency each way. The
   // execute + complete stages run as typed events in the serving proxy's lane.
-  const Duration route_delay = per_hop_latency_ * (search.hops + 1);
+  pending.route_delay = per_hop_latency_ * (search.hops + 1);
+  const Duration route_delay = pending.route_delay;
   uint64_t id;
   {
     std::lock_guard<std::mutex> lock(pending_m_);
     id = next_query_id_++;
-    PendingQuery& pending = pending_[id];
-    pending.spec = spec;
-    pending.result = result;
-    pending.callback = std::move(callback);
-    pending.route_delay = route_delay;
+    pending_.emplace(id, std::move(pending));
   }
   EventPayload payload;
   payload.a = id;
@@ -126,33 +150,35 @@ UnifiedStore::PendingQuery* UnifiedStore::FindPending(uint64_t id) {
   return it == pending_.end() ? nullptr : &it->second;
 }
 
+void UnifiedStore::OnPullDone(uint64_t token, const QueryAnswer& answer) {
+  // Proxy-level completion, running in the serving proxy's lane; the token is the
+  // store query id. Record the answer and schedule the return hop.
+  PendingQuery* done = FindPending(token);
+  PRESTO_CHECK(done != nullptr);
+  done->result.answer = answer;
+  EventPayload complete;
+  complete.a = token;
+  complete.b = 1;  // stage: return hop + completion
+  sim_->ScheduleEventAt(sim_->Now() + done->route_delay, EventKind::kQuery, this,
+                        std::move(complete));
+}
+
 void UnifiedStore::OnSimEvent(EventKind kind, EventPayload& payload) {
   PRESTO_CHECK(kind == EventKind::kQuery);
   const uint64_t id = payload.a;
   if (payload.b == 0) {
     // Execute stage, running in the serving proxy's lane. The entry outlives the
-    // lock: map nodes are stable and only this query's events touch it.
+    // lock: map nodes are stable and only this query's events touch it. The proxy
+    // answers through OnPullDone (possibly synchronously, on a cache hit).
     PendingQuery* pending = FindPending(id);
     PRESTO_CHECK(pending != nullptr);
     ProxyNode* proxy = FindProxy(pending->result.served_by);
     PRESTO_CHECK(proxy != nullptr);
-    auto on_answer = [this, id](const QueryAnswer& answer) {
-      PendingQuery* done = FindPending(id);
-      PRESTO_CHECK(done != nullptr);
-      done->result.answer = answer;
-      EventPayload complete;
-      complete.a = id;
-      complete.b = 1;  // stage: return hop + callback
-      sim_->ScheduleEventAt(sim_->Now() + done->route_delay, EventKind::kQuery, this,
-                            std::move(complete));
-    };
     const QuerySpec& spec = pending->spec;
     if (spec.type == QueryType::kNow) {
-      proxy->QueryNow(spec.sensor_id, spec.tolerance, spec.latency_bound,
-                      std::move(on_answer));
+      proxy->QueryNow(spec.sensor_id, spec.tolerance, spec.latency_bound, id);
     } else {
-      proxy->QueryPast(spec.sensor_id, spec.range, spec.tolerance,
-                       std::move(on_answer));
+      proxy->QueryPast(spec.sensor_id, spec.range, spec.tolerance, id);
     }
     return;
   }
@@ -165,7 +191,71 @@ void UnifiedStore::OnSimEvent(EventKind kind, EventPayload& payload) {
     pending_.erase(it);
   }
   done.result.completed_at = sim_->Now();
-  done.callback(done.result);
+  if (done.has_token) {
+    PRESTO_CHECK_MSG(client_ != nullptr, "token-form store query without a client");
+    client_->OnStoreQueryDone(done.token, done.result);
+  } else {
+    done.callback(done.result);
+  }
+}
+
+Status UnifiedStore::SaveState(ByteWriter& w) const {
+  // Runs from control context at a barrier: no lane is executing, so the pending map
+  // is stable without the mutex.
+  index_.SaveState(w);
+  CkptWrite(w, chain_of_);
+  CkptWrite(w, stats_.queries);
+  CkptWrite(w, stats_.routed);
+  CkptWrite(w, stats_.failovers);
+  CkptWrite(w, stats_.unroutable);
+  CkptWrite(w, stats_.total_index_hops);
+  CkptWrite(w, stats_.reassignments);
+  CkptWrite(w, next_query_id_);
+  w.WriteVarU64(pending_.size());
+  for (const auto& [id, pending] : pending_) {
+    if (!pending.has_token) {
+      return FailedPreconditionError(
+          "store checkpoint: closure-form query pending (use the token query API)");
+    }
+    CkptWrite(w, id);
+    CkptWrite(w, pending.spec);
+    CkptWrite(w, pending.result);
+    CkptWrite(w, pending.token);
+    CkptWrite(w, pending.route_delay);
+  }
+  return OkStatus();
+}
+
+Status UnifiedStore::LoadState(ByteReader& r) {
+  PRESTO_RETURN_IF_ERROR(index_.LoadState(r));
+  CKPT_READ(r, chain_of_);
+  CKPT_READ(r, stats_.queries);
+  CKPT_READ(r, stats_.routed);
+  CKPT_READ(r, stats_.failovers);
+  CKPT_READ(r, stats_.unroutable);
+  CKPT_READ(r, stats_.total_index_hops);
+  CKPT_READ(r, stats_.reassignments);
+  CKPT_READ(r, next_query_id_);
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > r.remaining()) {
+    return DataLossError("store restore: pending count exceeds section bytes");
+  }
+  pending_.clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    uint64_t id = 0;
+    CKPT_READ(r, id);
+    PendingQuery pending;
+    pending.has_token = true;
+    CKPT_READ(r, pending.spec);
+    CKPT_READ(r, pending.result);
+    CKPT_READ(r, pending.token);
+    CKPT_READ(r, pending.route_delay);
+    pending_.emplace(id, std::move(pending));
+  }
+  return OkStatus();
 }
 
 }  // namespace presto

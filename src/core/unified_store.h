@@ -42,14 +42,29 @@ struct UnifiedStoreStats {
 // the cache/model/pull work runs with that shard's other events; the completion
 // callback therefore also fires in the serving proxy's lane, synchronized with the
 // control thread by the epoch barrier.
-class UnifiedStore : public EventSink {
+//
+// Proxy-level execution uses the token query API (the store is each proxy's
+// PullClient), and the store exposes the same shape upward: callers that need their
+// in-flight queries to survive a checkpoint pass a token and implement
+// UnifiedStore::Client; the closure overload remains for call sites that never
+// checkpoint mid-query (tests, ad-hoc drivers).
+class UnifiedStore : public EventSink, public PullClient {
  public:
+  // Serializable completion target for token-form store queries (the checkpointable
+  // counterpart of the callback overload). Implemented by Deployment.
+  class Client {
+   public:
+    virtual ~Client() = default;
+    virtual void OnStoreQueryDone(uint64_t token, const UnifiedQueryResult& result) = 0;
+  };
+
   // Per-hop latency models proxy-to-proxy forwarding on the wired tier while resolving
   // the distributed index.
   UnifiedStore(Simulator* sim, Network* net, uint64_t seed,
                Duration per_hop_latency = Millis(2));
 
-  // Indexes every sensor the proxy manages. Call after RegisterSensor on the proxy.
+  // Indexes every sensor the proxy manages (and installs this store as the proxy's
+  // pull client). Call after RegisterSensor on the proxy.
   void AddProxy(ProxyNode* proxy);
 
   // Declares the ordered holder chain for one sensor (acting owner first, standbys in
@@ -62,27 +77,44 @@ class UnifiedStore : public EventSink {
   void ReassignSensor(NodeId sensor_id, NodeId new_proxy);
 
   // Routes and executes a query; the callback fires when the answer is complete.
+  // Closure-form queries in flight block SaveState.
   void Query(const QuerySpec& spec,
              std::function<void(const UnifiedQueryResult&)> callback);
+
+  // Token form: completion is delivered as client->OnStoreQueryDone(token, result).
+  void Query(const QuerySpec& spec, uint64_t token);
+  void SetClient(Client* client) { client_ = client; }
 
   const UnifiedStoreStats& stats() const { return stats_; }
   int IndexSize() const { return static_cast<int>(index_.size()); }
 
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
+  // PullClient: proxy-level answers come back keyed by store query id.
+  void OnPullDone(uint64_t token, const QueryAnswer& answer) override;
+
+  // Checkpoint codec: the distributed index (exact, including its RNG), holder
+  // chains, stats, and token-form pending queries. Restore assumes an identically
+  // constructed store (same proxies added in the same order).
+  Status SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
  private:
   // One routed query in flight: spec + provenance-annotated result under
-  // construction, plus the callback to fire at completion. Stage 0 (kQuery, b=0)
-  // executes the query on the serving proxy; stage 1 (b=1) models the return hop and
-  // invokes the callback. Entries for different proxies complete concurrently, so the
-  // map itself is mutex-guarded; each entry is only ever touched by its own lane.
+  // construction, plus the completion target. Stage 0 (kQuery, b=0) executes the
+  // query on the serving proxy; stage 1 (b=1) models the return hop and completes.
+  // Entries for different proxies complete concurrently, so the map itself is
+  // mutex-guarded; each entry is only ever touched by its own lane.
   struct PendingQuery {
     QuerySpec spec;
     UnifiedQueryResult result;
+    bool has_token = false;  // token form (serializable) vs closure form
+    uint64_t token = 0;
     std::function<void(const UnifiedQueryResult&)> callback;
     Duration route_delay = 0;
   };
 
+  void QueryInternal(const QuerySpec& spec, PendingQuery pending);
   ProxyNode* FindProxy(NodeId proxy_id) const;
   PendingQuery* FindPending(uint64_t id);
 
@@ -92,6 +124,7 @@ class UnifiedStore : public EventSink {
   SkipGraph index_;  // sensor id -> owning proxy id
   std::map<NodeId, ProxyNode*> proxies_;
   std::map<NodeId, std::vector<NodeId>> chain_of_;  // sensor -> ordered holder chain
+  Client* client_ = nullptr;
   UnifiedStoreStats stats_;
   std::mutex pending_m_;
   std::map<uint64_t, PendingQuery> pending_;

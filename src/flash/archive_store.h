@@ -83,6 +83,12 @@ class ArchiveStore {
   int FreeBlocks() const { return static_cast<int>(free_blocks_.size()); }
   const ArchiveStats& stats() const { return stats_; }
 
+  // Checkpoint codec: segment index, free list, open-segment state (including the
+  // unflushed RAM page) and stats. The flash device underneath is checkpointed
+  // separately; both must be restored for the store to be consistent.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
  private:
   struct Segment {
     int block = 0;

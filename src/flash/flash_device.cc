@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -94,6 +95,73 @@ void FlashDevice::CorruptPageForTest(int page) {
     data_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(0xA5 ^ i);
   }
   written_[static_cast<size_t>(page)] = true;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void FlashDevice::SaveState(ByteWriter& w) const {
+  const size_t page_size = static_cast<size_t>(params_.page_size_bytes);
+  uint64_t written_count = 0;
+  for (const bool b : written_) {
+    written_count += b ? 1 : 0;
+  }
+  w.WriteVarU64(written_count);
+  for (size_t p = 0; p < written_.size(); ++p) {
+    if (!written_[p]) {
+      continue;
+    }
+    w.WriteVarU64(p);
+    w.WriteBytes(span<const uint8_t>(data_.data() + p * page_size, page_size));
+  }
+  CkptWrite(w, wear_);
+  CkptWrite(w, stats_.page_reads);
+  CkptWrite(w, stats_.page_writes);
+  CkptWrite(w, stats_.block_erases);
+  CkptWrite(w, stats_.busy_time);
+}
+
+Status FlashDevice::LoadState(ByteReader& r) {
+  const size_t page_size = static_cast<size_t>(params_.page_size_bytes);
+  const size_t total_pages = static_cast<size_t>(params_.TotalPages());
+  auto written_count = r.ReadVarU64();
+  if (!written_count.ok()) {
+    return written_count.status();
+  }
+  if (*written_count > total_pages) {
+    return DataLossError("flash restore: written-page count exceeds device size");
+  }
+  std::fill(data_.begin(), data_.end(), 0xFF);
+  written_.assign(total_pages, false);
+  for (uint64_t i = 0; i < *written_count; ++i) {
+    auto page = r.ReadVarU64();
+    if (!page.ok()) {
+      return page.status();
+    }
+    if (*page >= total_pages) {
+      return DataLossError("flash restore: page index out of range");
+    }
+    auto bytes = r.ReadBytes();
+    if (!bytes.ok()) {
+      return bytes.status();
+    }
+    if (bytes->size() != page_size) {
+      return DataLossError("flash restore: page image size mismatch");
+    }
+    std::copy(bytes->begin(), bytes->end(),
+              data_.begin() + static_cast<ptrdiff_t>(*page * page_size));
+    written_[static_cast<size_t>(*page)] = true;
+  }
+  CKPT_READ(r, wear_);
+  if (wear_.size() != static_cast<size_t>(params_.num_blocks)) {
+    return DataLossError("flash restore: wear table size mismatch");
+  }
+  CKPT_READ(r, stats_.page_reads);
+  CKPT_READ(r, stats_.page_writes);
+  CKPT_READ(r, stats_.block_erases);
+  CKPT_READ(r, stats_.busy_time);
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -19,6 +19,9 @@
 
 namespace presto {
 
+class ByteReader;
+class ByteWriter;
+
 struct FlashParams {
   int page_size_bytes = 256;
   int pages_per_block = 16;
@@ -69,6 +72,11 @@ class FlashDevice {
   // Simulates power loss in the middle of programming `page`: the page is marked
   // written but filled with corrupt data. Used by recovery tests.
   void CorruptPageForTest(int page);
+
+  // Checkpoint codec: media contents (written pages only — erased pages are implied
+  // 0xFF), wear counters, and stats. LoadState requires identical FlashParams.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   bool ValidPage(int page) const { return page >= 0 && page < params_.TotalPages(); }

@@ -1,6 +1,7 @@
 #include "src/flash/page_codec.h"
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/bytes.h"
 
 namespace presto {
@@ -133,6 +134,28 @@ Result<DecodedPage> DecodePage(span<const uint8_t> page) {
     out.samples.push_back(Sample{t, static_cast<double>(*value)});
   }
   return out;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void PageBuilder::SaveCkpt(ByteWriter& w) const {
+  CkptWrite(w, records_);
+  CkptWrite(w, count_);
+  CkptWrite(w, first_ts_);
+  CkptWrite(w, last_ts_);
+}
+
+Status PageBuilder::LoadCkpt(ByteReader& r) {
+  CKPT_READ(r, records_);
+  CKPT_READ(r, count_);
+  CKPT_READ(r, first_ts_);
+  CKPT_READ(r, last_ts_);
+  if (records_.size() > static_cast<size_t>(page_size_)) {
+    return DataLossError("page builder restore: records exceed page size");
+  }
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -21,6 +21,9 @@
 
 namespace presto {
 
+class ByteReader;
+class ByteWriter;
+
 inline constexpr uint16_t kPageMagic = 0x5041;  // "PA"
 inline constexpr int kPageHeaderBytes = 2 + 4 + 2 + 2 + 8 + 8;
 
@@ -53,6 +56,11 @@ class PageBuilder {
 
   // Produces the final page image (exactly page_size_bytes) and resets the builder.
   std::vector<uint8_t> Seal(uint32_t seq, Duration resolution);
+
+  // Checkpoint codec for the partially filled RAM page (page_size_ is construction
+  // config and not serialized).
+  void SaveCkpt(ByteWriter& w) const;
+  Status LoadCkpt(ByteReader& r);
 
  private:
   std::vector<uint8_t> EncodeRecord(SimTime t, double value) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -215,6 +216,77 @@ bool SkipGraph::CheckInvariants() const {
     }
   }
   return true;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void SkipGraph::SaveState(ByteWriter& w) const {
+  CkptWrite(w, rng_);
+  w.WriteVarU64(nodes_.size());
+  for (const auto& [key, node] : nodes_) {
+    CkptWrite(w, key);
+    CkptWrite(w, node->value);
+    CkptWrite(w, node->membership);
+    CkptWrite(w, static_cast<uint64_t>(node->Height()));
+  }
+}
+
+Status SkipGraph::LoadState(ByteReader& r) {
+  CKPT_READ(r, rng_);
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > r.remaining()) {
+    return DataLossError("skip graph restore: node count exceeds section bytes");
+  }
+  nodes_.clear();
+  int max_height = 0;
+  for (uint64_t i = 0; i < *count; ++i) {
+    uint64_t key = 0;
+    uint64_t value = 0;
+    uint64_t membership = 0;
+    uint64_t height = 0;
+    CKPT_READ(r, key);
+    CKPT_READ(r, value);
+    CKPT_READ(r, membership);
+    CKPT_READ(r, height);
+    if (height == 0 || height > 64) {
+      return DataLossError("skip graph restore: bad node height");
+    }
+    auto node = std::make_unique<Node>();
+    node->key = key;
+    node->value = value;
+    node->membership = membership;
+    node->left.assign(static_cast<size_t>(height), nullptr);
+    node->right.assign(static_cast<size_t>(height), nullptr);
+    max_height = std::max(max_height, static_cast<int>(height));
+    if (!nodes_.emplace(key, std::move(node)).second) {
+      return DataLossError("skip graph restore: duplicate key");
+    }
+  }
+  // Relink: the level-L lists partition {nodes with Height > L} by the low L bits of
+  // membership, sorted by key — the exact structure Insert/Erase maintain.
+  for (int level = 0; level < max_height; ++level) {
+    const uint64_t mask = level == 0 ? 0 : (1ULL << level) - 1;
+    std::map<uint64_t, Node*> last_in_group;
+    for (auto& [key, node] : nodes_) {
+      (void)key;
+      if (node->Height() <= level) {
+        continue;
+      }
+      auto [it, inserted] = last_in_group.emplace(node->membership & mask, node.get());
+      if (!inserted) {
+        Node* prev = it->second;
+        prev->right[static_cast<size_t>(level)] = node.get();
+        node->left[static_cast<size_t>(level)] = prev;
+        it->second = node.get();
+      }
+    }
+  }
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -14,9 +14,13 @@
 #include <memory>
 #include <vector>
 
+#include "src/util/result.h"
 #include "src/util/rng.h"
 
 namespace presto {
+
+class ByteReader;
+class ByteWriter;
 
 class SkipGraph {
  public:
@@ -55,6 +59,12 @@ class SkipGraph {
   // Structural invariant check for tests: every level list is sorted and doubly linked,
   // and level-i neighbours share i bits of membership prefix.
   bool CheckInvariants() const;
+
+  // Checkpoint codec. Links are not serialized: the level-L lists partition the nodes
+  // of height > L by the low L bits of membership, in key order, so (key, value,
+  // membership, height) per node plus the RNG rebuild the structure exactly.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   struct Node {

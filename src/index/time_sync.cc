@@ -4,6 +4,7 @@
 
 #include "src/models/linalg.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -98,6 +99,34 @@ Result<double> RegressionTimeSync::ResidualRms() const {
     sq += r * r;
   }
   return std::sqrt(sq / static_cast<double>(locals_.size()));
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void DriftingClock::SaveState(ByteWriter& w) const { CkptWrite(w, rng_); }
+
+Status DriftingClock::LoadState(ByteReader& r) {
+  CKPT_READ(r, rng_);
+  return OkStatus();
+}
+
+void RegressionTimeSync::SaveState(ByteWriter& w) const {
+  CkptWrite(w, locals_);
+  CkptWrite(w, references_);
+  CkptWrite(w, fit_valid_);
+  CkptWrite(w, intercept_);
+  CkptWrite(w, slope_);
+}
+
+Status RegressionTimeSync::LoadState(ByteReader& r) {
+  CKPT_READ(r, locals_);
+  CKPT_READ(r, references_);
+  CKPT_READ(r, fit_valid_);
+  CKPT_READ(r, intercept_);
+  CKPT_READ(r, slope_);
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -18,6 +18,9 @@
 
 namespace presto {
 
+class ByteReader;
+class ByteWriter;
+
 class DriftingClock {
  public:
   // drift_ppm: parts-per-million frequency error (positive runs fast).
@@ -32,6 +35,10 @@ class DriftingClock {
   SimTime LocalTimeExact(SimTime t) const;
 
   double drift_ppm() const { return drift_ppm_; }
+
+  // Checkpoint codec: only the jitter RNG is dynamic state.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   Duration offset_;
@@ -64,6 +71,10 @@ class RegressionTimeSync {
 
   // RMS residual of the fit in microseconds (how trustworthy corrections are).
   Result<double> ResidualRms() const;
+
+  // Checkpoint codec: beacon window and the fitted line.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   Status Refit();

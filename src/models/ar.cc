@@ -5,6 +5,7 @@
 
 #include "src/models/linalg.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -317,6 +318,53 @@ int64_t SeasonalArModel::PredictCostOps() const {
 int64_t SeasonalArModel::FitCostOps(size_t history_len) const {
   const int64_t p = config_.ar_order;
   return static_cast<int64_t>(history_len) * (p + 6) + p * p * p;
+}
+
+void ArCore::SaveCkpt(ByteWriter& w) const {
+  CkptWrite(w, sample_period);
+  CkptWrite(w, max_forecast_steps);
+  CkptWrite(w, phi);
+  CkptWrite(w, mean);
+  CkptWrite(w, innovation_std);
+  CkptWrite(w, marginal_std);
+  CkptWrite(w, state);
+  CkptWrite(w, state_time);
+  CkptWrite(w, horizon_std);
+}
+
+Status ArCore::LoadCkpt(ByteReader& r) {
+  CKPT_READ(r, sample_period);
+  CKPT_READ(r, max_forecast_steps);
+  CKPT_READ(r, phi);
+  CKPT_READ(r, mean);
+  CKPT_READ(r, innovation_std);
+  CKPT_READ(r, marginal_std);
+  CKPT_READ(r, state);
+  CKPT_READ(r, state_time);
+  CKPT_READ(r, horizon_std);
+  return OkStatus();
+}
+
+void ArModel::SaveState(ByteWriter& w) const {
+  CkptWrite(w, fitted_);
+  core_.SaveCkpt(w);
+}
+
+Status ArModel::LoadState(ByteReader& r) {
+  CKPT_READ(r, fitted_);
+  return core_.LoadCkpt(r);
+}
+
+void SeasonalArModel::SaveState(ByteWriter& w) const {
+  CkptWrite(w, fitted_);
+  bins_.SaveCkpt(w);
+  core_.SaveCkpt(w);
+}
+
+Status SeasonalArModel::LoadState(ByteReader& r) {
+  CKPT_READ(r, fitted_);
+  PRESTO_RETURN_IF_ERROR(bins_.LoadCkpt(r));
+  return core_.LoadCkpt(r);
 }
 
 }  // namespace presto

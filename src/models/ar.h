@@ -50,6 +50,10 @@ struct ArCore {
   void SerializeTo(ByteWriter* w) const;
   Status DeserializeFrom(ByteReader* r);
 
+  // Full-precision checkpoint codec (the wire form above rounds through f32).
+  void SaveCkpt(ByteWriter& w) const;
+  Status LoadCkpt(ByteReader& r);
+
   int64_t ForecastCostOps(SimTime t) const;
 
  private:
@@ -73,6 +77,8 @@ class ArModel : public PredictiveModel {
   std::unique_ptr<PredictiveModel> Clone() const override {
     return std::make_unique<ArModel>(*this);
   }
+  void SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
  private:
   ModelConfig config_;
@@ -96,6 +102,8 @@ class SeasonalArModel : public PredictiveModel {
   std::unique_ptr<PredictiveModel> Clone() const override {
     return std::make_unique<SeasonalArModel>(*this);
   }
+  void SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
  private:
   ModelConfig config_;

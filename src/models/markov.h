@@ -25,6 +25,8 @@ class MarkovModel : public PredictiveModel {
   std::unique_ptr<PredictiveModel> Clone() const override {
     return std::make_unique<MarkovModel>(*this);
   }
+  void SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
   int num_states() const { return static_cast<int>(centers_.size()); }
 

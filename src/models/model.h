@@ -25,6 +25,9 @@
 
 namespace presto {
 
+class ByteReader;
+class ByteWriter;
+
 // A forecast with one-sigma uncertainty. Extrapolation answers a query only when
 // `stddev` is within the query's error tolerance (proxy/query logic).
 struct Prediction {
@@ -85,7 +88,24 @@ class PredictiveModel {
   virtual int64_t FitCostOps(size_t history_len) const = 0;
 
   virtual std::unique_ptr<PredictiveModel> Clone() const = 0;
+
+  // Checkpoint codec — distinct from Serialize(): the wire format is deliberately
+  // lossy (f32 rounding, quantized probabilities, dropped anchors are radio-cost
+  // decisions), while a checkpoint must restore the replica bit-exactly. Full f64
+  // state, including anchors and rolling windows. LoadState overwrites everything;
+  // derived caches are rebuilt deterministically.
+  virtual void SaveState(ByteWriter& w) const = 0;
+  virtual Status LoadState(ByteReader& r) = 0;
 };
+
+// Checkpoint-serializes `model` with its type tag (or a null marker), so the paired
+// loader can reconstruct the right concrete class. `model` may be null.
+void SaveModelState(ByteWriter& w, const PredictiveModel* model);
+
+// Rebuilds a model from SaveModelState bytes: returns nullptr for the null marker,
+// otherwise a freshly created model of the tagged type with LoadState applied.
+Result<std::unique_ptr<PredictiveModel>> LoadModelState(ByteReader& r,
+                                                        const ModelConfig& config);
 
 }  // namespace presto
 

@@ -4,6 +4,7 @@
 #include "src/models/markov.h"
 #include "src/models/seasonal.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -38,6 +39,34 @@ std::unique_ptr<PredictiveModel> CreateModel(ModelType type, const ModelConfig& 
   }
   PRESTO_CHECK_MSG(false, "unknown model type");
   return nullptr;
+}
+
+void SaveModelState(ByteWriter& w, const PredictiveModel* model) {
+  if (model == nullptr) {
+    w.WriteU8(0);  // null marker: no model installed yet
+    return;
+  }
+  w.WriteU8(static_cast<uint8_t>(model->type()));
+  model->SaveState(w);
+}
+
+Result<std::unique_ptr<PredictiveModel>> LoadModelState(ByteReader& r,
+                                                        const ModelConfig& config) {
+  auto tag = r.ReadU8();
+  if (!tag.ok()) {
+    return tag.status();
+  }
+  if (*tag == 0) {
+    return std::unique_ptr<PredictiveModel>();
+  }
+  if (*tag < static_cast<uint8_t>(ModelType::kLastValue) ||
+      *tag > static_cast<uint8_t>(ModelType::kMarkov)) {
+    return DataLossError("model restore: unknown type tag");
+  }
+  std::unique_ptr<PredictiveModel> model =
+      CreateModel(static_cast<ModelType>(*tag), config);
+  PRESTO_RETURN_IF_ERROR(model->LoadState(r));
+  return model;
 }
 
 Result<std::unique_ptr<PredictiveModel>> DeserializeModel(span<const uint8_t> bytes,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -219,6 +220,48 @@ void LastValueModel::OnAnchor(const Sample& sample) {
   }
   anchor_ = sample;
   anchored_ = true;
+}
+
+void SeasonalBins::SaveCkpt(ByteWriter& w) const {
+  CkptWrite(w, period);
+  CkptWrite(w, means);
+  CkptWrite(w, stddevs);
+}
+
+Status SeasonalBins::LoadCkpt(ByteReader& r) {
+  CKPT_READ(r, period);
+  CKPT_READ(r, means);
+  CKPT_READ(r, stddevs);
+  return OkStatus();
+}
+
+void SeasonalModel::SaveState(ByteWriter& w) const {
+  CkptWrite(w, fitted_);
+  bins_.SaveCkpt(w);
+}
+
+Status SeasonalModel::LoadState(ByteReader& r) {
+  CKPT_READ(r, fitted_);
+  return bins_.LoadCkpt(r);
+}
+
+void LastValueModel::SaveState(ByteWriter& w) const {
+  CkptWrite(w, fitted_);
+  CkptWrite(w, anchored_);
+  CkptWrite(w, mean_);
+  CkptWrite(w, marginal_stddev_);
+  CkptWrite(w, step_stddev_);
+  CkptWrite(w, anchor_);
+}
+
+Status LastValueModel::LoadState(ByteReader& r) {
+  CKPT_READ(r, fitted_);
+  CKPT_READ(r, anchored_);
+  CKPT_READ(r, mean_);
+  CKPT_READ(r, marginal_stddev_);
+  CKPT_READ(r, step_stddev_);
+  CKPT_READ(r, anchor_);
+  return OkStatus();
 }
 
 }  // namespace presto

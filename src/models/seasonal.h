@@ -28,6 +28,10 @@ struct SeasonalBins {
 
   void SerializeTo(ByteWriter* w) const;
   Status DeserializeFrom(ByteReader* r);
+
+  // Full-precision checkpoint codec (the wire form above rounds through f32).
+  void SaveCkpt(ByteWriter& w) const;
+  Status LoadCkpt(ByteReader& r);
 };
 
 // Pure seasonal predictor: Predict(t) = bin mean. Stateless across anchors (an anchor
@@ -49,6 +53,8 @@ class SeasonalModel : public PredictiveModel {
   std::unique_ptr<PredictiveModel> Clone() const override {
     return std::make_unique<SeasonalModel>(*this);
   }
+  void SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
  private:
   ModelConfig config_;
@@ -76,6 +82,8 @@ class LastValueModel : public PredictiveModel {
   std::unique_ptr<PredictiveModel> Clone() const override {
     return std::make_unique<LastValueModel>(*this);
   }
+  void SaveState(ByteWriter& w) const override;
+  Status LoadState(ByteReader& r) override;
 
  private:
   ModelConfig config_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -27,6 +28,23 @@ SimTime CellLink::Deliver(SimTime send_time, size_t bytes) {
   stats_.bytes += static_cast<uint64_t>(bytes);
   stats_.busy += transfer;
   return clear_at_ + params_.latency;
+}
+
+void CellLink::SaveState(ByteWriter& w) const {
+  CkptWrite(w, clear_at_);
+  CkptWrite(w, stats_.messages);
+  CkptWrite(w, stats_.bytes);
+  CkptWrite(w, stats_.queued);
+  CkptWrite(w, stats_.busy);
+}
+
+Status CellLink::LoadState(ByteReader& r) {
+  CKPT_READ(r, clear_at_);
+  CKPT_READ(r, stats_.messages);
+  CKPT_READ(r, stats_.bytes);
+  CKPT_READ(r, stats_.queued);
+  CKPT_READ(r, stats_.busy);
+  return OkStatus();
 }
 
 }  // namespace presto

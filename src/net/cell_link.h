@@ -21,9 +21,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/util/result.h"
 #include "src/util/sim_time.h"
 
 namespace presto {
+
+class ByteReader;
+class ByteWriter;
 
 struct CellLinkParams {
   Duration latency = Millis(5);    // one-way propagation delay
@@ -51,6 +55,10 @@ class CellLink {
 
   const CellLinkStats& stats() const { return stats_; }
   const CellLinkParams& params() const { return params_; }
+
+  // Checkpoint codec: the serialization clock and counters.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   CellLinkParams params_;

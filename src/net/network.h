@@ -198,6 +198,16 @@ class Network : public EventSink {
   const NetworkParams& params() const { return params_; }
 
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override;
+
+  // Checkpoint: per-node radio state (down/lane/busy/listen windows/energy
+  // checkpoints/stats), link tables, and every lane context (rng stream, stats,
+  // open coalescing batches with their queued messages and absolute flush times).
+  // In-flight kFrame deliveries live in the simulator's queues, not here; batch
+  // flush handles are re-captured via OnEventRestored. Control context only.
+  Status SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   struct NodeState {

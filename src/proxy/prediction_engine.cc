@@ -4,6 +4,7 @@
 
 #include "src/models/registry.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/logging.h"
 
 namespace presto {
@@ -118,6 +119,33 @@ bool PredictionEngine::ShouldRefit(SimTime now) const {
       static_cast<double>(push_window_) /
       static_cast<double>(params_.model_config.sample_period);
   return static_cast<double>(recent_pushes_.size()) > params_.refit_push_rate * expected;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void PredictionEngine::SaveState(ByteWriter& w) const {
+  CkptWrite(w, history_);
+  SaveModelState(w, model_.get());
+  CkptWrite(w, last_fit_time_);
+  CkptWrite(w, fit_count_);
+  CkptWrite(w, recent_pushes_);
+  CkptWrite(w, push_window_);
+}
+
+Status PredictionEngine::LoadState(ByteReader& r) {
+  CKPT_READ(r, history_);
+  auto model = LoadModelState(r, params_.model_config);
+  if (!model.ok()) {
+    return model.status();
+  }
+  model_ = std::move(*model);
+  CKPT_READ(r, last_fit_time_);
+  CKPT_READ(r, fit_count_);
+  CKPT_READ(r, recent_pushes_);
+  CKPT_READ(r, push_window_);
+  return OkStatus();
 }
 
 }  // namespace presto

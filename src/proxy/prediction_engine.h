@@ -65,6 +65,15 @@ class PredictionEngine {
   SimTime last_fit_time() const { return last_fit_time_; }
   uint64_t fit_count() const { return fit_count_; }
 
+  // Installs an already-materialized model (snapshot transfer: full precision, unlike
+  // InstallSerialized's wire params).
+  void InstallModel(std::unique_ptr<PredictiveModel> model) { model_ = std::move(model); }
+
+  // Checkpoint codec: training history, the fitted model (full precision), fit
+  // bookkeeping and the push-rate window.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
  private:
   // Resamples history onto the model's sampling grid (linear interpolation), because
   // bootstrap/value-driven training data is irregular.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/logging.h"
 #include "src/wavelet/codec.h"
 
@@ -29,6 +30,7 @@ ProxyNode::ProxyNode(Simulator* sim, Network* net, const ProxyNodeConfig& config
       maintenance_timer_(sim, [this] { RunMaintenance(); }) {
   PRESTO_CHECK(sim_ != nullptr);
   PRESTO_CHECK(net_ != nullptr);
+  sim_->RegisterSink(this);
   NodeRadioConfig radio;
   radio.powered = true;
   net_->AttachNode(config_.id, this, radio, /*meter=*/nullptr);
@@ -81,22 +83,17 @@ void ProxyNode::SendStateSnapshot(NodeId sensor_id, NodeId to_proxy, Duration hi
   const SimTime now = sim_->Now();
   const std::vector<Sample> recent =
       sensor.cache.Range(TimeInterval{now - history, now + 1});
-  if (!recent.empty()) {
-    ReplicaUpdateMsg msg;
-    msg.sensor_id = sensor_id;
-    msg.batch = EncodeIrregularBatch(recent);
-    net_->SendBatched(config_.id, to_proxy,
-                      static_cast<uint16_t>(MsgType::kReplicaUpdate),
-                      msg.Encode());
-  }
-  if (sensor.engine.has_model()) {
-    ReplicaModelMsg rep;
-    rep.sensor_id = sensor_id;
-    rep.tolerance = config_.default_tolerance;
-    rep.model_params = sensor.engine.model()->Serialize();
-    net_->SendBatched(config_.id, to_proxy, static_cast<uint16_t>(MsgType::kReplicaModel),
-                      rep.Encode());
-  }
+  // One serialization path with checkpointing: the snapshot payload is a
+  // checkpoint-codec blob (exact f64 samples + the full-precision model), so the
+  // transferred bytes the network stats charge are exactly the bytes this state costs
+  // in a checkpoint section.
+  ByteWriter w;
+  CkptWrite(w, sensor_id);
+  CkptWrite(w, recent);
+  CkptWrite(w, config_.default_tolerance);
+  SaveModelState(w, sensor.engine.model());
+  net_->SendBatched(config_.id, to_proxy,
+                    static_cast<uint16_t>(MsgType::kStateSnapshot), w.TakeBuffer());
   ++stats_.snapshots_sent;
 }
 
@@ -114,10 +111,19 @@ void ProxyNode::BackfillFromArchive(NodeId sensor_id, Duration horizon) {
   // slot in between rather than timing out behind a wall of LPL preambles.
   backfill_queue_.push_back(BackfillRequest{sensor_id, horizon});
   if (!backfill_drain_pending_) {
-    backfill_drain_pending_ = true;
-    sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
-                     lane_);
+    ScheduleBackfillDrain();
   }
+}
+
+void ProxyNode::ScheduleBackfillDrain() {
+  backfill_drain_pending_ = true;
+  // A typed event (payload.b == 1 marks a drain tick, distinguishing it from pull
+  // timeouts) rather than a closure, so a checkpoint taken while repairs are queued
+  // restores the drain cadence.
+  EventPayload tick;
+  tick.b = 1;
+  sim_->ScheduleEventAt(sim_->Now() + config_.backfill_spacing, EventKind::kQuery, this,
+                        std::move(tick), lane_);
 }
 
 bool ProxyNode::TryBackfillPull(SensorState& sensor, Duration horizon) {
@@ -153,7 +159,7 @@ bool ProxyNode::TryBackfillPull(SensorState& sensor, Duration horizon) {
   // the cache through the normal pull path, closing every gap in between too.
   ++stats_.backfill_pulls;
   IssuePull(sensor, TimeInterval{hole_start, hole_end}, /*tolerance=*/0.0,
-            /*is_now=*/false, now, [](const QueryAnswer&) {});
+            /*is_now=*/false, now, QueryOrigin());
   return true;
 }
 
@@ -163,9 +169,7 @@ void ProxyNode::DrainBackfillQueue() {
   // hand-back demotes the sensors anyway, emptying the queue via the skip below.)
   if (net_->IsNodeDown(config_.id)) {
     if (!backfill_queue_.empty()) {
-      backfill_drain_pending_ = true;
-      sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
-                       lane_);
+      ScheduleBackfillDrain();
     }
     return;
   }
@@ -184,9 +188,7 @@ void ProxyNode::DrainBackfillQueue() {
     break;  // one radio transaction per spacing tick
   }
   if (!backfill_queue_.empty()) {
-    backfill_drain_pending_ = true;
-    sim_->ScheduleIn(config_.backfill_spacing, [this] { DrainBackfillQueue(); },
-                     lane_);
+    ScheduleBackfillDrain();
   }
 }
 
@@ -313,6 +315,9 @@ void ProxyNode::OnMessage(const Message& message) {
     case MsgType::kReplicaModel:
       HandleReplicaModel(message);
       break;
+    case MsgType::kStateSnapshot:
+      HandleStateSnapshot(message);
+      break;
     default:
       PLOG_WARN("proxy %u: unexpected message type %u", config_.id, message.type);
       break;
@@ -431,7 +436,7 @@ void ProxyNode::RunMaintenance() {
 
 // ---------- queries ----------
 
-void ProxyNode::Answer(const QueryAnswer& answer, const QueryCallback& callback,
+void ProxyNode::Answer(const QueryAnswer& answer, const QueryOrigin& origin,
                        bool is_now) {
   if (answer.status.ok()) {
     switch (answer.source) {
@@ -451,11 +456,43 @@ void ProxyNode::Answer(const QueryAnswer& answer, const QueryCallback& callback,
   }
   SampleSet& lat = is_now ? stats_.now_latency_ms : stats_.past_latency_ms;
   lat.Add(ToMillis(answer.Latency()));
-  callback(answer);
+  switch (origin.kind) {
+    case QueryOrigin::Kind::kNone:
+      break;  // backfill repair: the pulled data landing in the cache is the answer
+    case QueryOrigin::Kind::kClosure:
+      origin.closure(answer);
+      break;
+    case QueryOrigin::Kind::kToken:
+      PRESTO_CHECK_MSG(pull_client_ != nullptr, "token query without a pull client");
+      pull_client_->OnPullDone(origin.token, answer);
+      break;
+  }
 }
 
 void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
                          QueryCallback callback) {
+  QueryNowInternal(sensor_id, tolerance, latency_bound,
+                   QueryOrigin::Closure(std::move(callback)));
+}
+
+void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
+                         uint64_t token) {
+  QueryNowInternal(sensor_id, tolerance, latency_bound, QueryOrigin::Token(token));
+}
+
+void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
+                          QueryCallback callback) {
+  QueryPastInternal(sensor_id, range, tolerance,
+                    QueryOrigin::Closure(std::move(callback)));
+}
+
+void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
+                          uint64_t token) {
+  QueryPastInternal(sensor_id, range, tolerance, QueryOrigin::Token(token));
+}
+
+void ProxyNode::QueryNowInternal(NodeId sensor_id, double tolerance,
+                                 Duration latency_bound, QueryOrigin origin) {
   ++stats_.queries;
   const SimTime now = sim_->Now();
   auto it = sensors_.find(sensor_id);
@@ -464,7 +501,7 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
     answer.status = NotFoundError("proxy does not manage this sensor");
     answer.issued_at = now;
     answer.completed_at = now;
-    Answer(answer, callback, /*is_now=*/true);
+    Answer(answer, origin, /*is_now=*/true);
     return;
   }
   SensorState& sensor = *it->second;
@@ -488,7 +525,7 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
       answer.error_estimate = 0.0;
       answer.issued_at = now;
       answer.completed_at = now;
-      Answer(answer, callback, /*is_now=*/true);
+      Answer(answer, origin, /*is_now=*/true);
       return;
     }
     // 2) Model extrapolation. With model-driven push the sensor guarantees that any
@@ -508,7 +545,7 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
           answer.error_estimate = bound;
           answer.issued_at = now;
           answer.completed_at = now;
-          Answer(answer, callback, /*is_now=*/true);
+          Answer(answer, origin, /*is_now=*/true);
           return;
         }
       }
@@ -528,22 +565,22 @@ void ProxyNode::QueryNow(NodeId sensor_id, double tolerance, Duration latency_bo
       } else {
         answer.status = NotFoundError("nothing cached yet");
       }
-      Answer(answer, callback, /*is_now=*/true);
+      Answer(answer, origin, /*is_now=*/true);
       return;
     }
   }
   // A replica cannot pull: the sensor reports to its (down) owner. Serve degraded.
   if (sensor.is_replica) {
-    AnswerDegradedNow(sensor, now, std::move(callback));
+    AnswerDegradedNow(sensor, now, std::move(origin));
     return;
   }
   // 3) Cache-miss-triggered pull of the freshest archive data.
   const TimeInterval range{now - 2 * sensor.sensing_period, now + sensor.sensing_period};
-  IssuePull(sensor, range, tolerance, /*is_now=*/true, now, std::move(callback));
+  IssuePull(sensor, range, tolerance, /*is_now=*/true, now, std::move(origin));
 }
 
 void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now,
-                                  QueryCallback callback) {
+                                  QueryOrigin origin) {
   QueryAnswer answer;
   answer.issued_at = now;
   answer.completed_at = now;
@@ -555,7 +592,7 @@ void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now,
       answer.samples = {Sample{now, prediction->value}};
       answer.value = prediction->value;
       answer.error_estimate = std::max(config_.default_tolerance, prediction->stddev);
-      Answer(answer, callback, /*is_now=*/true);
+      Answer(answer, origin, /*is_now=*/true);
       return;
     }
   }
@@ -567,15 +604,15 @@ void ProxyNode::AnswerDegradedNow(SensorState& sensor, SimTime now,
     answer.value = latest->second.value;
     answer.error_estimate =
         ToSeconds(now - latest->first) / ToSeconds(sensor.sensing_period);
-    Answer(answer, callback, /*is_now=*/true);
+    Answer(answer, origin, /*is_now=*/true);
     return;
   }
   answer.status = UnavailableError("replica holds no state for this sensor yet");
-  Answer(answer, callback, /*is_now=*/true);
+  Answer(answer, origin, /*is_now=*/true);
 }
 
-void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
-                          QueryCallback callback) {
+void ProxyNode::QueryPastInternal(NodeId sensor_id, TimeInterval range,
+                                  double tolerance, QueryOrigin origin) {
   ++stats_.queries;
   const SimTime now = sim_->Now();
   auto it = sensors_.find(sensor_id);
@@ -584,7 +621,7 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
     answer.status = NotFoundError("proxy does not manage this sensor");
     answer.issued_at = now;
     answer.completed_at = now;
-    Answer(answer, callback, /*is_now=*/false);
+    Answer(answer, origin, /*is_now=*/false);
     return;
   }
   SensorState& sensor = *it->second;
@@ -608,7 +645,7 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
       answer.error_estimate = 0.0;
       answer.issued_at = now;
       answer.completed_at = now;
-      Answer(answer, callback, /*is_now=*/false);
+      Answer(answer, origin, /*is_now=*/false);
       return;
     }
     // 2) Fill the gaps by extrapolation if the model's uncertainty fits the tolerance.
@@ -641,7 +678,7 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
         answer.error_estimate = worst;
         answer.issued_at = now;
         answer.completed_at = now;
-        Answer(answer, callback, /*is_now=*/false);
+        Answer(answer, origin, /*is_now=*/false);
         return;
       }
     }
@@ -658,20 +695,20 @@ void ProxyNode::QueryPast(NodeId sensor_id, TimeInterval range, double tolerance
         answer.value = answer.samples.back().value;
         answer.error_estimate = 1.0 - coverage;
       }
-      Answer(answer, callback, /*is_now=*/false);
+      Answer(answer, origin, /*is_now=*/false);
       return;
     }
   }
   if (sensor.is_replica) {
-    AnswerDegradedPast(sensor, range, now, std::move(callback));
+    AnswerDegradedPast(sensor, range, now, std::move(origin));
     return;
   }
   // 3) Pull the range from the sensor's archive.
-  IssuePull(sensor, range, tolerance, /*is_now=*/false, now, std::move(callback));
+  IssuePull(sensor, range, tolerance, /*is_now=*/false, now, std::move(origin));
 }
 
-void ProxyNode::AnswerDegradedPast(SensorState& sensor, TimeInterval range, SimTime now,
-                                   QueryCallback callback) {
+void ProxyNode::AnswerDegradedPast(SensorState& sensor, TimeInterval range,
+                                   SimTime now, QueryOrigin origin) {
   QueryAnswer answer;
   answer.issued_at = now;
   answer.completed_at = now;
@@ -685,11 +722,11 @@ void ProxyNode::AnswerDegradedPast(SensorState& sensor, TimeInterval range, SimT
     answer.error_estimate =
         1.0 - sensor.cache.CoverageFraction(range, sensor.sensing_period);
   }
-  Answer(answer, callback, /*is_now=*/false);
+  Answer(answer, origin, /*is_now=*/false);
 }
 
 void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolerance,
-                          bool is_now, SimTime issued_at, QueryCallback callback) {
+                          bool is_now, SimTime issued_at, QueryOrigin origin) {
   // Batched query pipeline: if a pull to this sensor already covers the range, ride it
   // instead of paying for a second radio transaction.
   for (auto& [pull_id, pull] : pending_pulls_) {
@@ -697,7 +734,7 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
     if (pull.sensor_id == sensor.id && pull.range.start <= range.start &&
         range.end <= pull.range.end) {
       ++stats_.coalesced_pulls;
-      pull.riders.push_back(PullRider{is_now, range, issued_at, std::move(callback)});
+      pull.riders.push_back(PullRider{is_now, range, issued_at, std::move(origin)});
       return;
     }
   }
@@ -720,7 +757,7 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
   pull.tolerance = tolerance;
   pull.issued_at = issued_at;
   pull.request_bytes = encoded.size();
-  pull.callback = std::move(callback);
+  pull.origin = std::move(origin);
   EventPayload timeout;
   timeout.a = id;
   // Pinned to this proxy's own lane: a pull may be issued from the control lane
@@ -740,8 +777,13 @@ void ProxyNode::IssuePull(SensorState& sensor, TimeInterval range, double tolera
 }
 
 void ProxyNode::OnSimEvent(EventKind kind, EventPayload& payload) {
-  // The only typed event a proxy schedules for itself: a pull timeout (kQuery).
+  // Proxies schedule two typed events for themselves, both kQuery: pull timeouts
+  // (payload.a = pull id) and backfill drain ticks (payload.b == 1).
   PRESTO_CHECK(kind == EventKind::kQuery);
+  if (payload.b == 1) {
+    DrainBackfillQueue();
+    return;
+  }
   auto it = pending_pulls_.find(static_cast<uint32_t>(payload.a));
   if (it == pending_pulls_.end()) {
     return;
@@ -757,16 +799,16 @@ void ProxyNode::FailPull(const PendingPull& pull, const Status& status) {
   answer.status = status;
   answer.issued_at = pull.issued_at;
   answer.completed_at = sim_->Now();
-  Answer(answer, pull.callback, pull.is_now);
+  Answer(answer, pull.origin, pull.is_now);
   for (const PullRider& rider : pull.riders) {
     QueryAnswer rider_answer = answer;
     rider_answer.issued_at = rider.issued_at;
-    Answer(rider_answer, rider.callback, rider.is_now);
+    Answer(rider_answer, rider.origin, rider.is_now);
   }
 }
 
 void ProxyNode::CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
-                                  const QueryCallback& callback, SensorState& sensor,
+                                  const QueryOrigin& origin, SensorState& sensor,
                                   const std::vector<Sample>& pulled, double energy_j) {
   QueryAnswer answer;
   answer.issued_at = issued_at;
@@ -795,7 +837,7 @@ void ProxyNode::CompletePullQuery(bool is_now, TimeInterval range, SimTime issue
       answer.error_estimate = 0.0;
     }
   }
-  Answer(answer, callback, is_now);
+  Answer(answer, origin, is_now);
 }
 
 void ProxyNode::HandleArchiveReply(const Message& message) {
@@ -842,10 +884,10 @@ void ProxyNode::HandleArchiveReply(const Message& message) {
       net_->EstimatePullEnergyJ(pull.sensor_id, pull.request_bytes,
                                 message.payload.size()) /
       static_cast<double>(1 + pull.riders.size());
-  CompletePullQuery(pull.is_now, pull.range, pull.issued_at, pull.callback, sensor,
+  CompletePullQuery(pull.is_now, pull.range, pull.issued_at, pull.origin, sensor,
                     corrected, share_j);
   for (const PullRider& rider : pull.riders) {
-    CompletePullQuery(rider.is_now, rider.range, rider.issued_at, rider.callback, sensor,
+    CompletePullQuery(rider.is_now, rider.range, rider.issued_at, rider.origin, sensor,
                       corrected, share_j);
   }
 }
@@ -902,6 +944,278 @@ void ProxyNode::HandleReplicaModel(const Message& message) {
     PLOG_WARN("proxy %u: replica model install failed: %s", config_.id,
               installed.ToString().c_str());
   }
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void ProxyNode::HandleStateSnapshot(const Message& message) {
+  ByteReader r{span<const uint8_t>(message.payload)};
+  NodeId sensor_id = 0;
+  std::vector<Sample> samples;
+  double tolerance = 0.0;
+  const Status parsed = [&]() -> Status {
+    CKPT_READ(r, sensor_id);
+    CKPT_READ(r, samples);
+    CKPT_READ(r, tolerance);
+    return OkStatus();
+  }();
+  (void)tolerance;  // informational; the receiver keeps its own default_tolerance
+  if (!parsed.ok()) {
+    PLOG_WARN("proxy %u: bad state snapshot: %s", config_.id,
+              parsed.ToString().c_str());
+    return;
+  }
+  auto it = sensors_.find(sensor_id);
+  if (it == sensors_.end()) {
+    return;  // shard moved on while the snapshot was in flight
+  }
+  SensorState& sensor = *it->second;
+  for (const Sample& s : samples) {
+    sensor.cache.Insert(s.t, s.value, CacheSource::kPushed, sim_->Now());
+  }
+  auto model = LoadModelState(r, config_.engine.model_config);
+  if (!model.ok()) {
+    PLOG_WARN("proxy %u: snapshot model restore failed: %s", config_.id,
+              model.status().ToString().c_str());
+    return;
+  }
+  if (*model != nullptr) {
+    sensor.engine.InstallModel(std::move(*model));
+  }
+}
+
+void ProxyNode::OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                                const EventHandle& handle, int lane) {
+  (void)t;
+  (void)lane;
+  if (kind != EventKind::kQuery || payload.b == 1) {
+    return;  // backfill drain ticks re-fire without a retained handle
+  }
+  auto it = pending_pulls_.find(static_cast<uint32_t>(payload.a));
+  if (it != pending_pulls_.end()) {
+    it->second.timeout = handle;
+  }
+}
+
+Status ProxyNode::SaveState(ByteWriter& w) const {
+  const auto save_origin = [&w](const QueryOrigin& o) -> Status {
+    if (o.kind == QueryOrigin::Kind::kClosure) {
+      return FailedPreconditionError(
+          "proxy checkpoint: closure-form pull pending (use the token query API)");
+    }
+    CkptWrite(w, o.kind);
+    CkptWrite(w, o.token);
+    return OkStatus();
+  };
+  CkptWrite(w, lane_);
+  maintenance_timer_.SaveState(w);
+  w.WriteVarU64(sensors_.size());
+  for (const auto& [id, sensor] : sensors_) {
+    CkptWrite(w, id);
+    CkptWrite(w, sensor->is_replica);
+    CkptWrite(w, sensor->sensing_period);
+    sensor->cache.SaveState(w);
+    sensor->engine.SaveState(w);
+    sensor->sync.SaveState(w);
+    sensor->matcher.SaveState(w);
+    CkptWrite(w, sensor->model_sent);
+    CkptWrite(w, sensor->last_model_send);
+    CkptWrite(w, sensor->last_push);
+    CkptWrite(w, sensor->replica_targets);
+    CkptWrite(w, sensor->window_queries);
+    CkptWrite(w, sensor->window_pushes);
+  }
+  w.WriteVarU64(pending_pulls_.size());
+  for (const auto& [id, pull] : pending_pulls_) {
+    (void)id;
+    CkptWrite(w, pull.id);
+    CkptWrite(w, pull.sensor_id);
+    CkptWrite(w, pull.is_now);
+    CkptWrite(w, pull.range);
+    CkptWrite(w, pull.tolerance);
+    CkptWrite(w, pull.issued_at);
+    CkptWrite(w, pull.request_bytes);
+    PRESTO_RETURN_IF_ERROR(save_origin(pull.origin));
+    w.WriteVarU64(pull.riders.size());
+    for (const PullRider& rider : pull.riders) {
+      CkptWrite(w, rider.is_now);
+      CkptWrite(w, rider.range);
+      CkptWrite(w, rider.issued_at);
+      PRESTO_RETURN_IF_ERROR(save_origin(rider.origin));
+    }
+  }
+  w.WriteVarU64(backfill_queue_.size());
+  for (const BackfillRequest& req : backfill_queue_) {
+    CkptWrite(w, req.sensor_id);
+    CkptWrite(w, req.horizon);
+  }
+  CkptWrite(w, backfill_drain_pending_);
+  CkptWrite(w, next_pull_id_);
+  CkptWrite(w, stats_.pushes_received);
+  CkptWrite(w, stats_.push_samples);
+  CkptWrite(w, stats_.queries);
+  CkptWrite(w, stats_.cache_hits);
+  CkptWrite(w, stats_.extrapolations);
+  CkptWrite(w, stats_.pulls);
+  CkptWrite(w, stats_.coalesced_pulls);
+  CkptWrite(w, stats_.pull_timeouts);
+  CkptWrite(w, stats_.failures);
+  CkptWrite(w, stats_.degraded_answers);
+  CkptWrite(w, stats_.model_sends);
+  CkptWrite(w, stats_.config_sends);
+  CkptWrite(w, stats_.replica_updates);
+  CkptWrite(w, stats_.promotions);
+  CkptWrite(w, stats_.demotions);
+  CkptWrite(w, stats_.snapshots_sent);
+  CkptWrite(w, stats_.backfill_pulls);
+  CkptWrite(w, stats_.now_latency_ms);
+  CkptWrite(w, stats_.past_latency_ms);
+  return OkStatus();
+}
+
+Status ProxyNode::LoadState(ByteReader& r) {
+  const auto read_origin = [&r](QueryOrigin& o) -> Status {
+    CKPT_READ(r, o.kind);
+    CKPT_READ(r, o.token);
+    if (o.kind == QueryOrigin::Kind::kClosure) {
+      return DataLossError("proxy restore: closure origin in checkpoint");
+    }
+    return OkStatus();
+  };
+  CKPT_READ(r, lane_);
+  PRESTO_RETURN_IF_ERROR(maintenance_timer_.LoadState(r));
+  auto sensor_count = r.ReadVarU64();
+  if (!sensor_count.ok()) {
+    return sensor_count.status();
+  }
+  if (*sensor_count > r.remaining()) {
+    return DataLossError("proxy restore: sensor count exceeds section bytes");
+  }
+  sensors_.clear();
+  for (uint64_t i = 0; i < *sensor_count; ++i) {
+    NodeId id = 0;
+    CKPT_READ(r, id);
+    auto sensor =
+        std::make_unique<SensorState>(id, Seconds(31), config_.engine, config_.matcher);
+    CKPT_READ(r, sensor->is_replica);
+    CKPT_READ(r, sensor->sensing_period);
+    PRESTO_RETURN_IF_ERROR(sensor->cache.LoadState(r));
+    PRESTO_RETURN_IF_ERROR(sensor->engine.LoadState(r));
+    PRESTO_RETURN_IF_ERROR(sensor->sync.LoadState(r));
+    PRESTO_RETURN_IF_ERROR(sensor->matcher.LoadState(r));
+    CKPT_READ(r, sensor->model_sent);
+    CKPT_READ(r, sensor->last_model_send);
+    CKPT_READ(r, sensor->last_push);
+    CKPT_READ(r, sensor->replica_targets);
+    CKPT_READ(r, sensor->window_queries);
+    CKPT_READ(r, sensor->window_pushes);
+    sensors_.emplace(id, std::move(sensor));
+  }
+  auto pull_count = r.ReadVarU64();
+  if (!pull_count.ok()) {
+    return pull_count.status();
+  }
+  if (*pull_count > r.remaining()) {
+    return DataLossError("proxy restore: pull count exceeds section bytes");
+  }
+  pending_pulls_.clear();
+  for (uint64_t i = 0; i < *pull_count; ++i) {
+    PendingPull pull;
+    CKPT_READ(r, pull.id);
+    CKPT_READ(r, pull.sensor_id);
+    CKPT_READ(r, pull.is_now);
+    CKPT_READ(r, pull.range);
+    CKPT_READ(r, pull.tolerance);
+    CKPT_READ(r, pull.issued_at);
+    CKPT_READ(r, pull.request_bytes);
+    PRESTO_RETURN_IF_ERROR(read_origin(pull.origin));
+    auto rider_count = r.ReadVarU64();
+    if (!rider_count.ok()) {
+      return rider_count.status();
+    }
+    if (*rider_count > r.remaining()) {
+      return DataLossError("proxy restore: rider count exceeds section bytes");
+    }
+    for (uint64_t j = 0; j < *rider_count; ++j) {
+      PullRider rider;
+      CKPT_READ(r, rider.is_now);
+      CKPT_READ(r, rider.range);
+      CKPT_READ(r, rider.issued_at);
+      PRESTO_RETURN_IF_ERROR(read_origin(rider.origin));
+      pull.riders.push_back(std::move(rider));
+    }
+    pull.timeout = EventHandle();  // re-captured via OnEventRestored
+    const uint32_t id = pull.id;
+    pending_pulls_.emplace(id, std::move(pull));
+  }
+  auto backfill_count = r.ReadVarU64();
+  if (!backfill_count.ok()) {
+    return backfill_count.status();
+  }
+  if (*backfill_count > r.remaining()) {
+    return DataLossError("proxy restore: backfill count exceeds section bytes");
+  }
+  backfill_queue_.clear();
+  for (uint64_t i = 0; i < *backfill_count; ++i) {
+    BackfillRequest req;
+    CKPT_READ(r, req.sensor_id);
+    CKPT_READ(r, req.horizon);
+    backfill_queue_.push_back(req);
+  }
+  CKPT_READ(r, backfill_drain_pending_);
+  CKPT_READ(r, next_pull_id_);
+  CKPT_READ(r, stats_.pushes_received);
+  CKPT_READ(r, stats_.push_samples);
+  CKPT_READ(r, stats_.queries);
+  CKPT_READ(r, stats_.cache_hits);
+  CKPT_READ(r, stats_.extrapolations);
+  CKPT_READ(r, stats_.pulls);
+  CKPT_READ(r, stats_.coalesced_pulls);
+  CKPT_READ(r, stats_.pull_timeouts);
+  CKPT_READ(r, stats_.failures);
+  CKPT_READ(r, stats_.degraded_answers);
+  CKPT_READ(r, stats_.model_sends);
+  CKPT_READ(r, stats_.config_sends);
+  CKPT_READ(r, stats_.replica_updates);
+  CKPT_READ(r, stats_.promotions);
+  CKPT_READ(r, stats_.demotions);
+  CKPT_READ(r, stats_.snapshots_sent);
+  CKPT_READ(r, stats_.backfill_pulls);
+  CKPT_READ(r, stats_.now_latency_ms);
+  CKPT_READ(r, stats_.past_latency_ms);
+  return OkStatus();
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void CkptWrite(ByteWriter& w, const QueryAnswer& answer) {
+  CkptWrite(w, answer.status);
+  CkptWrite(w, answer.source);
+  CkptWrite(w, answer.samples);
+  CkptWrite(w, answer.value);
+  CkptWrite(w, answer.error_estimate);
+  CkptWrite(w, answer.energy_j);
+  CkptWrite(w, answer.issued_at);
+  CkptWrite(w, answer.completed_at);
+}
+
+Status CkptRead(ByteReader& r, QueryAnswer& answer) {
+  CKPT_READ(r, answer.status);
+  CKPT_READ(r, answer.source);
+  if (static_cast<uint8_t>(answer.source) > static_cast<uint8_t>(AnswerSource::kFailed)) {
+    return DataLossError("query answer restore: source out of range");
+  }
+  CKPT_READ(r, answer.samples);
+  CKPT_READ(r, answer.value);
+  CKPT_READ(r, answer.error_estimate);
+  CKPT_READ(r, answer.energy_j);
+  CKPT_READ(r, answer.issued_at);
+  CKPT_READ(r, answer.completed_at);
+  return OkStatus();
 }
 
 }  // namespace presto

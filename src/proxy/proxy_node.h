@@ -67,7 +67,20 @@ struct QueryAnswer {
   Duration Latency() const { return completed_at - issued_at; }
 };
 
+// Checkpoint codec for answers parked in pending store/federation queries.
+void CkptWrite(ByteWriter& w, const QueryAnswer& answer);
+Status CkptRead(ByteReader& r, QueryAnswer& answer);
+
 using QueryCallback = std::function<void(const QueryAnswer&)>;
+
+// Serializable completion target for the token-based query API: the client gets the
+// token it passed to QueryNow/QueryPast back with the answer. Implemented by the
+// unified store; tokens (unlike closures) survive a checkpoint.
+class PullClient {
+ public:
+  virtual ~PullClient() = default;
+  virtual void OnPullDone(uint64_t token, const QueryAnswer& answer) = 0;
+};
 
 struct ProxyNodeConfig {
   NodeId id = 0;
@@ -170,13 +183,32 @@ class ProxyNode : public NetNode, public EventSink {
   void Start();
 
   // --- query API (invoked by the unified store / examples / benches) ---
+  // Closure form: convenient for tests and benches, but a pull pending on a closure
+  // cannot be checkpointed. The token form routes the answer to the registered
+  // PullClient and is fully serializable.
   void QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
                 QueryCallback callback);
   void QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
                  QueryCallback callback);
+  void QueryNow(NodeId sensor_id, double tolerance, Duration latency_bound,
+                uint64_t token);
+  void QueryPast(NodeId sensor_id, TimeInterval range, double tolerance,
+                 uint64_t token);
+  void SetPullClient(PullClient* client) { pull_client_ = client; }
 
   void OnMessage(const Message& message) override;
-  void OnSimEvent(EventKind kind, EventPayload& payload) override;  // pull timeouts
+  // Pull timeouts (payload.b == 0, payload.a = pull id) and backfill drain ticks
+  // (payload.b == 1), both EventKind::kQuery.
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override;
+
+  // Checkpoint codec: per-sensor state (cache, engine, sync, matcher), pending pulls
+  // (token/no-op origins only — closure-form pulls fail the save), backfill queue,
+  // timers and stats. LoadState expects a freshly constructed proxy with the same
+  // config; pull-timeout handles are re-captured via OnEventRestored.
+  Status SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
   // Introspection for benches and the unified store.
   const ProxyStats& stats() const { return stats_; }
@@ -223,13 +255,36 @@ class ProxyNode : public NetNode, public EventSink {
           matcher(matcher_params) {}
   };
 
+  // Where a query's answer goes. kNone (backfill pulls: answer discarded) and kToken
+  // are serializable; kClosure is the legacy convenience form and blocks checkpointing
+  // while pending.
+  struct QueryOrigin {
+    enum class Kind : uint8_t { kNone = 0, kClosure = 1, kToken = 2 };
+    Kind kind = Kind::kNone;
+    uint64_t token = 0;
+    QueryCallback closure;
+
+    static QueryOrigin Closure(QueryCallback cb) {
+      QueryOrigin o;
+      o.kind = Kind::kClosure;
+      o.closure = std::move(cb);
+      return o;
+    }
+    static QueryOrigin Token(uint64_t token) {
+      QueryOrigin o;
+      o.kind = Kind::kToken;
+      o.token = token;
+      return o;
+    }
+  };
+
   // A query that attached itself to an already-in-flight pull covering its range
   // (the batched query pipeline: one radio transaction answers them all).
   struct PullRider {
     bool is_now = false;
     TimeInterval range{};
     SimTime issued_at = 0;
-    QueryCallback callback;
+    QueryOrigin origin;
   };
 
   struct PendingPull {
@@ -240,7 +295,7 @@ class ProxyNode : public NetNode, public EventSink {
     double tolerance = 0.0;
     SimTime issued_at = 0;
     size_t request_bytes = 0;  // encoded ArchiveQueryMsg size, for energy attribution
-    QueryCallback callback;
+    QueryOrigin origin;
     EventHandle timeout;
     std::vector<PullRider> riders;
   };
@@ -262,30 +317,39 @@ class ProxyNode : public NetNode, public EventSink {
   // demoted/unregistered or whose holes have since been repaired), then reschedules
   // itself backfill_spacing later while the queue is non-empty.
   void DrainBackfillQueue();
+  // Schedules the next drain tick (a typed kQuery event with payload.b == 1, so the
+  // tick survives a checkpoint) and marks the drain pending.
+  void ScheduleBackfillDrain();
 
   void HandleDataPush(const Message& message);
   void HandleArchiveReply(const Message& message);
   void HandleReplicaUpdate(const Message& message);
   void HandleReplicaModel(const Message& message);
+  void HandleStateSnapshot(const Message& message);
+
+  void QueryNowInternal(NodeId sensor_id, double tolerance, Duration latency_bound,
+                        QueryOrigin origin);
+  void QueryPastInternal(NodeId sensor_id, TimeInterval range, double tolerance,
+                         QueryOrigin origin);
 
   void MaybeSendModel(SensorState& sensor);
   void RunMaintenance();
   // Best-effort answer when this proxy only holds replicated state for the sensor:
   // cache/extrapolation only, never a pull (the owner is down; paper §5's degraded
   // service). The error estimate is honest rather than tolerance-gated.
-  void AnswerDegradedNow(SensorState& sensor, SimTime now, QueryCallback callback);
+  void AnswerDegradedNow(SensorState& sensor, SimTime now, QueryOrigin origin);
   void AnswerDegradedPast(SensorState& sensor, TimeInterval range, SimTime now,
-                          QueryCallback callback);
+                          QueryOrigin origin);
   void IssuePull(SensorState& sensor, TimeInterval range, double tolerance, bool is_now,
-                 SimTime issued_at, QueryCallback callback);
+                 SimTime issued_at, QueryOrigin origin);
   // Answers one query (the pull's originator or a rider) from freshly pulled data.
   // `energy_j` is this query's share of the radio transaction's energy estimate.
   void CompletePullQuery(bool is_now, TimeInterval range, SimTime issued_at,
-                         const QueryCallback& callback, SensorState& sensor,
+                         const QueryOrigin& origin, SensorState& sensor,
                          const std::vector<Sample>& pulled, double energy_j);
   // Fails the pull's originator and every rider with `status`.
   void FailPull(const PendingPull& pull, const Status& status);
-  void Answer(const QueryAnswer& answer, const QueryCallback& callback, bool is_now);
+  void Answer(const QueryAnswer& answer, const QueryOrigin& origin, bool is_now);
   void Replicate(SensorState& sensor, const std::vector<Sample>& reference_samples);
   // Fails and removes every pending pull addressed to `sensor_id`.
   void AbortPullsFor(NodeId sensor_id, const Status& status);
@@ -297,6 +361,7 @@ class ProxyNode : public NetNode, public EventSink {
   Simulator* sim_;
   Network* net_;
   ProxyNodeConfig config_;
+  PullClient* pull_client_ = nullptr;
   int lane_ = Simulator::kLaneCurrent;  // set by BindLane in lane mode
   PeriodicTimer maintenance_timer_;
   std::map<NodeId, std::unique_ptr<SensorState>> sensors_;

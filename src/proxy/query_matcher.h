@@ -10,9 +10,13 @@
 #include <optional>
 
 #include "src/sensor/protocol.h"
+#include "src/util/result.h"
 #include "src/util/sim_time.h"
 
 namespace presto {
+
+class ByteReader;
+class ByteWriter;
 
 struct QueryProfile {
   uint64_t queries = 0;
@@ -53,6 +57,10 @@ class QuerySensorMatcher {
   const QueryProfile& profile() const { return profile_; }
   Duration applied_lpl() const { return applied_lpl_; }
   double applied_quant() const { return applied_quant_; }
+
+  // Checkpoint codec: the query profile window and the applied-config snapshot.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   MatcherParams params_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -106,6 +107,44 @@ void SummaryCache::EvictBefore(SimTime t) {
   const size_t n = static_cast<size_t>(std::distance(entries_.begin(), end));
   entries_.erase(entries_.begin(), end);
   stats_.evictions += n;
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void CkptWrite(ByteWriter& w, const CachedValue& v) {
+  w.WriteF64(v.value);
+  CkptWrite(w, v.source);
+  CkptWrite(w, v.inserted_at);
+}
+
+Status CkptRead(ByteReader& r, CachedValue& v) {
+  auto value = r.ReadF64();
+  if (!value.ok()) {
+    return value.status();
+  }
+  v.value = *value;
+  CKPT_READ(r, v.source);
+  CKPT_READ(r, v.inserted_at);
+  return OkStatus();
+}
+
+void SummaryCache::SaveState(ByteWriter& w) const {
+  CkptWrite(w, entries_);
+  CkptWrite(w, stats_.inserts);
+  CkptWrite(w, stats_.refinements);
+  CkptWrite(w, stats_.downgrades_rejected);
+  CkptWrite(w, stats_.evictions);
+}
+
+Status SummaryCache::LoadState(ByteReader& r) {
+  CKPT_READ(r, entries_);
+  CKPT_READ(r, stats_.inserts);
+  CKPT_READ(r, stats_.refinements);
+  CKPT_READ(r, stats_.downgrades_rejected);
+  CKPT_READ(r, stats_.evictions);
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -14,9 +14,13 @@
 #include <optional>
 #include <vector>
 
+#include "src/util/result.h"
 #include "src/util/sample.h"
 
 namespace presto {
+
+class ByteReader;
+class ByteWriter;
 
 // Ascending authority: a kPulled record beats a kPushed one at the same instant, which
 // beats an extrapolation.
@@ -33,6 +37,10 @@ struct CachedValue {
   CacheSource source = CacheSource::kPushed;
   SimTime inserted_at = 0;  // when the proxy learned this value (arrival, not data time)
 };
+
+// Checkpoint codec for cache entries (ADL overloads used by the container codecs).
+void CkptWrite(ByteWriter& w, const CachedValue& v);
+Status CkptRead(ByteReader& r, CachedValue& v);
 
 struct CacheStats {
   uint64_t inserts = 0;
@@ -77,6 +85,10 @@ class SummaryCache {
 
   size_t size() const { return entries_.size(); }
   const CacheStats& stats() const { return stats_; }
+
+  // Checkpoint codec: entries with provenance, plus stats (max_entries_ is config).
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   size_t max_entries_;

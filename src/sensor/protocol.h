@@ -34,6 +34,9 @@ enum class MsgType : uint16_t {
   kArchiveReply = 5,
   kReplicaUpdate = 6,
   kReplicaModel = 7,
+  // Migration / hand-back / recruit state transfer: a checkpoint-codec blob carrying
+  // cache samples plus the full-precision model (src/proxy/proxy_node.cc).
+  kStateSnapshot = 8,
 };
 
 enum class PushReason : uint8_t {

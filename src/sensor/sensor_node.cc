@@ -4,6 +4,7 @@
 
 #include "src/models/registry.h"
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/logging.h"
 #include "src/wavelet/aging.h"
 
@@ -309,6 +310,94 @@ void SensorNode::HandleArchiveQuery(const Message& message) {
   // (pushes and other bulk traffic still ride it).
   net_->Send(config_.id, config_.proxy_id,
              static_cast<uint16_t>(MsgType::kArchiveReply), reply.Encode());
+}
+
+}  // namespace presto
+
+namespace presto {
+
+void SensorNode::SaveState(ByteWriter& w) const {
+  // Proxy-tunable config fields (everything ModelUpdate/ConfigUpdate/SetProxy touch).
+  CkptWrite(w, config_.proxy_id);
+  CkptWrite(w, config_.sensing_period);
+  CkptWrite(w, config_.policy);
+  CkptWrite(w, config_.value_delta);
+  CkptWrite(w, config_.model_tolerance);
+  CkptWrite(w, config_.batch_interval);
+  CkptWrite(w, config_.compress);
+  CkptWrite(w, config_.codec.kind);
+  CkptWrite(w, config_.codec.levels);
+  CkptWrite(w, config_.codec.quant_step);
+  CkptWrite(w, config_.codec.denoise);
+  CkptWrite(w, config_.codec.denoise_scale);
+
+  CkptWrite(w, meter_);
+  flash_.SaveState(w);
+  archive_.SaveState(w);
+  clock_.SaveState(w);
+  sensing_timer_.SaveState(w);
+  batch_timer_.SaveState(w);
+
+  SaveModelState(w, model_.get());
+  CkptWrite(w, model_seq_);
+  CkptWrite(w, has_pushed_value_);
+  CkptWrite(w, last_pushed_value_);
+  CkptWrite(w, batch_buffer_);
+
+  CkptWrite(w, stats_.samples);
+  CkptWrite(w, stats_.pushes);
+  CkptWrite(w, stats_.pushed_samples);
+  CkptWrite(w, stats_.suppressed);
+  CkptWrite(w, stats_.model_checks);
+  CkptWrite(w, stats_.model_updates);
+  CkptWrite(w, stats_.config_updates);
+  CkptWrite(w, stats_.archive_queries);
+  CkptWrite(w, stats_.compressed_bytes);
+  CkptWrite(w, stats_.uncompressed_bytes);
+}
+
+Status SensorNode::LoadState(ByteReader& r) {
+  CKPT_READ(r, config_.proxy_id);
+  CKPT_READ(r, config_.sensing_period);
+  CKPT_READ(r, config_.policy);
+  CKPT_READ(r, config_.value_delta);
+  CKPT_READ(r, config_.model_tolerance);
+  CKPT_READ(r, config_.batch_interval);
+  CKPT_READ(r, config_.compress);
+  CKPT_READ(r, config_.codec.kind);
+  CKPT_READ(r, config_.codec.levels);
+  CKPT_READ(r, config_.codec.quant_step);
+  CKPT_READ(r, config_.codec.denoise);
+  CKPT_READ(r, config_.codec.denoise_scale);
+
+  CKPT_READ(r, meter_);
+  PRESTO_RETURN_IF_ERROR(flash_.LoadState(r));
+  PRESTO_RETURN_IF_ERROR(archive_.LoadState(r));
+  PRESTO_RETURN_IF_ERROR(clock_.LoadState(r));
+  PRESTO_RETURN_IF_ERROR(sensing_timer_.LoadState(r));
+  PRESTO_RETURN_IF_ERROR(batch_timer_.LoadState(r));
+
+  auto model = LoadModelState(r, config_.model_config);
+  if (!model.ok()) {
+    return model.status();
+  }
+  model_ = std::move(*model);
+  CKPT_READ(r, model_seq_);
+  CKPT_READ(r, has_pushed_value_);
+  CKPT_READ(r, last_pushed_value_);
+  CKPT_READ(r, batch_buffer_);
+
+  CKPT_READ(r, stats_.samples);
+  CKPT_READ(r, stats_.pushes);
+  CKPT_READ(r, stats_.pushed_samples);
+  CKPT_READ(r, stats_.suppressed);
+  CKPT_READ(r, stats_.model_checks);
+  CKPT_READ(r, stats_.model_updates);
+  CKPT_READ(r, stats_.config_updates);
+  CKPT_READ(r, stats_.archive_queries);
+  CKPT_READ(r, stats_.compressed_bytes);
+  CKPT_READ(r, stats_.uncompressed_bytes);
+  return OkStatus();
 }
 
 }  // namespace presto

@@ -108,6 +108,11 @@ class SensorNode : public NetNode {
     uint64_t uncompressed_bytes = 0;  // what those payloads would cost raw
   };
 
+  // Checkpoint codec: proxy-tunable config fields, flash + archive + clock, timers,
+  // the installed model (full precision), batch buffer, push state, meter and stats.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
   const Stats& stats() const { return stats_; }
   const EnergyMeter& meter() const { return meter_; }
   EnergyMeter* meter_mut() { return &meter_; }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/hash.h"
 
 namespace presto {
@@ -526,6 +527,241 @@ SimTime Simulator::NextEventTime() const {
     }
   }
   return best;
+}
+
+uint64_t Simulator::RegisterSink(EventSink* sink) {
+  PRESTO_CHECK(sink != nullptr);
+  auto it = sink_ids_.find(sink);
+  if (it != sink_ids_.end()) {
+    return it->second;
+  }
+  const uint64_t id = sinks_.size();
+  sink_ids_[sink] = id;
+  sinks_.push_back(sink);
+  return id;
+}
+
+namespace {
+
+void WritePayload(ByteWriter& w, const EventPayload& p) {
+  CkptWrite(w, p.a);
+  CkptWrite(w, p.b);
+  CkptWrite(w, p.c);
+  CkptWrite(w, p.d);
+  CkptWrite(w, p.e);
+  CkptWrite(w, p.f);
+  CkptWrite(w, p.bytes);
+}
+
+Status ReadPayload(ByteReader& r, EventPayload& p) {
+  CKPT_READ(r, p.a);
+  CKPT_READ(r, p.b);
+  CKPT_READ(r, p.c);
+  CKPT_READ(r, p.d);
+  CKPT_READ(r, p.e);
+  CKPT_READ(r, p.f);
+  CKPT_READ(r, p.bytes);
+  return OkStatus();
+}
+
+}  // namespace
+
+Status Simulator::SaveState(ByteWriter& w) const {
+  PRESTO_CHECK_MSG(CurrentLane() == kLaneControl,
+                   "checkpoint only from control context");
+  CkptWrite(w, lane_mode_);
+  CkptWrite(w, static_cast<uint64_t>(lanes_.size()));
+  CkptWrite(w, static_cast<uint64_t>(sinks_.size()));
+  CkptWrite(w, epoch_);
+  CkptWrite(w, epoch_cap_);
+  CkptWrite(w, lookahead_);
+  CkptWrite(w, epoch_anchor_);
+  CkptWrite(w, global_now_);
+  w.WriteU64(barrier_hash_);
+  CkptWrite(w, any_scheduled_);
+  for (size_t li = 0; li < lanes_.size(); ++li) {
+    const Lane& lane = lanes_[li];
+    CkptWrite(w, lane.now);
+    CkptWrite(w, lane.next_seq);
+    CkptWrite(w, lane.executed);
+    w.WriteU64(lane.fp);
+    // Pending queue events, ascending (time, seq) — copy-pop to iterate the heap.
+    auto queue = lane.queue;
+    std::vector<QueueEntry> live;
+    live.reserve(queue.size());
+    while (!queue.empty()) {
+      const QueueEntry entry = queue.top();
+      queue.pop();
+      if (lane.pool[entry.slot].gen == entry.gen) {
+        live.push_back(entry);
+      }
+    }
+    CkptWrite(w, static_cast<uint64_t>(live.size()));
+    for (const QueueEntry& entry : live) {
+      const Event& event = lane.pool[entry.slot];
+      if (event.kind == EventKind::kCallback) {
+        return FailedPreconditionError(
+            "checkpoint: pending kCallback closure in lane " + std::to_string(li) +
+            " at t=" + std::to_string(entry.time) + " (typed events only)");
+      }
+      auto sid = sink_ids_.find(event.sink);
+      if (sid == sink_ids_.end()) {
+        return FailedPreconditionError("checkpoint: unregistered sink in lane " +
+                                       std::to_string(li));
+      }
+      CkptWrite(w, entry.time);
+      CkptWrite(w, entry.seq);
+      CkptWrite(w, event.kind);
+      CkptWrite(w, sid->second);
+      WritePayload(w, event.payload);
+    }
+    CkptWrite(w, static_cast<uint64_t>(lane.inbox.size()));
+    for (const std::vector<Mail>& box : lane.inbox) {
+      CkptWrite(w, static_cast<uint64_t>(box.size()));
+      for (const Mail& mail : box) {
+        if (mail.kind == EventKind::kCallback) {
+          return FailedPreconditionError(
+              "checkpoint: pending kCallback closure in a mailbox of lane " +
+              std::to_string(li));
+        }
+        auto sid = sink_ids_.find(mail.sink);
+        if (sid == sink_ids_.end()) {
+          return FailedPreconditionError(
+              "checkpoint: unregistered mailbox sink in lane " + std::to_string(li));
+        }
+        CkptWrite(w, mail.time);
+        CkptWrite(w, mail.kind);
+        CkptWrite(w, sid->second);
+        WritePayload(w, mail.payload);
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status Simulator::LoadState(ByteReader& r) {
+  PRESTO_CHECK_MSG(CurrentLane() == kLaneControl, "restore only from control context");
+  bool lane_mode = false;
+  uint64_t lane_count = 0;
+  uint64_t sink_count = 0;
+  CKPT_READ(r, lane_mode);
+  CKPT_READ(r, lane_count);
+  CKPT_READ(r, sink_count);
+  if (lane_mode != lane_mode_ || lane_count != lanes_.size()) {
+    return FailedPreconditionError(
+        "restore: lane configuration mismatch (checkpoint has " +
+        std::to_string(lane_count) + " lanes, simulator has " +
+        std::to_string(lanes_.size()) + ")");
+  }
+  if (sink_count != sinks_.size()) {
+    return FailedPreconditionError(
+        "restore: sink table mismatch (checkpoint has " + std::to_string(sink_count) +
+        " sinks, simulator has " + std::to_string(sinks_.size()) +
+        "; construction order must match the saving run)");
+  }
+  Duration epoch = 0;
+  Duration epoch_cap = 0;
+  CKPT_READ(r, epoch);
+  CKPT_READ(r, epoch_cap);
+  if (epoch_cap != epoch_cap_) {
+    return FailedPreconditionError("restore: epoch grid mismatch");
+  }
+  epoch_ = epoch;
+  CKPT_READ(r, lookahead_);
+  CKPT_READ(r, epoch_anchor_);
+  CKPT_READ(r, global_now_);
+  auto barrier_hash = r.ReadU64();
+  if (!barrier_hash.ok()) {
+    return barrier_hash.status();
+  }
+  barrier_hash_ = *barrier_hash;
+  CKPT_READ(r, any_scheduled_);
+  // Restored events to announce once every lane's queues are rebuilt.
+  struct Restored {
+    int lane;
+    SimTime time;
+    EventKind kind;
+    uint32_t slot;
+  };
+  std::vector<Restored> announce;
+  for (size_t li = 0; li < lanes_.size(); ++li) {
+    Lane& lane = lanes_[li];
+    // Discard construction-time residue: the restoring run rebuilds queues from the
+    // checkpoint; handle-holders re-capture via OnEventRestored below.
+    lane.pool.clear();
+    lane.free_slots.clear();
+    lane.queue = std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later>();
+    CKPT_READ(r, lane.now);
+    CKPT_READ(r, lane.next_seq);
+    CKPT_READ(r, lane.executed);
+    auto fp = r.ReadU64();
+    if (!fp.ok()) {
+      return fp.status();
+    }
+    lane.fp = *fp;
+    uint64_t pending = 0;
+    CKPT_READ(r, pending);
+    for (uint64_t i = 0; i < pending; ++i) {
+      SimTime time = 0;
+      uint64_t seq = 0;
+      EventKind kind = EventKind::kCallback;
+      uint64_t sink_id = 0;
+      CKPT_READ(r, time);
+      CKPT_READ(r, seq);
+      CKPT_READ(r, kind);
+      CKPT_READ(r, sink_id);
+      if (kind == EventKind::kCallback || sink_id >= sinks_.size()) {
+        return DataLossError("restore: invalid event record in lane " +
+                             std::to_string(li));
+      }
+      const uint32_t slot = static_cast<uint32_t>(lane.pool.size());
+      lane.pool.emplace_back();
+      Event& event = lane.pool[slot];
+      event.kind = kind;
+      event.sink = sinks_[sink_id];
+      PRESTO_RETURN_IF_ERROR(ReadPayload(r, event.payload));
+      // Original (time, seq): same-time tie-break order is part of the replay
+      // contract, so events re-enter with the seqs they were scheduled under.
+      lane.queue.push(QueueEntry{time, seq, slot, event.gen});
+      announce.push_back(Restored{static_cast<int>(li), time, kind, slot});
+    }
+    uint64_t box_count = 0;
+    CKPT_READ(r, box_count);
+    if (box_count != lane.inbox.size()) {
+      return DataLossError("restore: mailbox table mismatch in lane " +
+                           std::to_string(li));
+    }
+    for (std::vector<Mail>& box : lane.inbox) {
+      box.clear();
+      uint64_t mail_count = 0;
+      CKPT_READ(r, mail_count);
+      for (uint64_t i = 0; i < mail_count; ++i) {
+        Mail mail{};
+        uint64_t sink_id = 0;
+        CKPT_READ(r, mail.time);
+        CKPT_READ(r, mail.kind);
+        CKPT_READ(r, sink_id);
+        if (mail.kind == EventKind::kCallback || sink_id >= sinks_.size()) {
+          return DataLossError("restore: invalid mailbox record in lane " +
+                               std::to_string(li));
+        }
+        mail.sink = sinks_[sink_id];
+        PRESTO_RETURN_IF_ERROR(ReadPayload(r, mail.payload));
+        box.push_back(std::move(mail));
+      }
+    }
+  }
+  for (const Restored& item : announce) {
+    Lane& lane = lanes_[static_cast<size_t>(item.lane)];
+    Event& event = lane.pool[item.slot];
+    const int external_lane = lane_mode_ && item.lane != ControlIndex()
+                                  ? item.lane
+                                  : kLaneControl;
+    event.sink->OnEventRestored(item.time, item.kind, event.payload,
+                                EventHandle(this, item.lane, item.slot, event.gen),
+                                external_lane);
+  }
+  return OkStatus();
 }
 
 size_t Simulator::PoolSlotsForTest(int lane) const {

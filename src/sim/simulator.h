@@ -42,15 +42,20 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
+#include "src/util/result.h"
 #include "src/util/sim_time.h"
 
 namespace presto {
 
+class ByteReader;
+class ByteWriter;
+class EventHandle;
 class Simulator;
 
 // Typed event classes. kCallback is the escape hatch (tests, benches, one-off
@@ -82,6 +87,22 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void OnSimEvent(EventKind kind, EventPayload& payload) = 0;
+
+  // Checkpoint restore hook: Simulator::LoadState announces every restored queue
+  // event to its sink (per lane, in (time, seq) order) so holders of cancellable
+  // handles — timers, pull timeouts, batch flushes — re-capture them. `lane` is the
+  // external designator the event lives in (a worker lane index, or kLaneControl for
+  // the control/legacy lane) — sinks with per-lane state use it to find the owning
+  // context. Mailbox entries are not announced (cross-lane posts never had handles).
+  // Default no-op: sinks whose events carry no handle state ignore it.
+  virtual void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                               const EventHandle& handle, int lane) {
+    (void)t;
+    (void)kind;
+    (void)payload;
+    (void)handle;
+    (void)lane;
+  }
 };
 
 // Handle to a scheduled event; allows cancellation (e.g. a retransmission timer being
@@ -230,6 +251,31 @@ class Simulator {
   size_t PoolSlotsForTest(int lane) const;
   size_t FreeSlotsForTest(int lane) const;
 
+  // --- Checkpoint support ---------------------------------------------------
+  // Registers `sink` in the deterministic sink table checkpoints use to name event
+  // receivers. Idempotent; returns the sink's stable id. Subsystems register in
+  // their constructors, so an identically configured restore run (same construction
+  // order) assigns identical ids — the contract that lets serialized sink ids
+  // resolve to live objects.
+  uint64_t RegisterSink(EventSink* sink);
+  size_t RegisteredSinkCount() const { return sinks_.size(); }
+
+  // Serializes the complete engine state: clocks, epoch grid, per-lane sequence
+  // counters and fingerprints, every pending queue event (original (time, seq) —
+  // tie-break order is part of the replay contract) and undrained mailbox entry.
+  // Control context only (between runs or at a barrier). Fails without side effects
+  // if any pending event is a kCallback closure (closures cannot be serialized;
+  // typed events only) or references an unregistered sink.
+  Status SaveState(ByteWriter& w) const;
+
+  // Restores state saved by SaveState into a freshly constructed, identically
+  // configured simulator: same lane count and epoch cap — the thread count may
+  // differ (replay is thread-count independent). Existing queues are discarded;
+  // events re-enter their pools with their original (time, seq) keys and each is
+  // announced via OnEventRestored. Call after every subsystem's own LoadState, so
+  // re-captured handles land in fully restored objects.
+  Status LoadState(ByteReader& r);
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -314,6 +360,8 @@ class Simulator {
   bool any_scheduled_ = false;
   std::vector<Lane> lanes_;  // legacy: [0]; lane mode: [0..L-1] workers, [L] control
   std::function<void(SimTime)> barrier_hook_;
+  std::vector<EventSink*> sinks_;  // checkpoint sink table, construction order
+  std::map<const EventSink*, uint64_t> sink_ids_;
 
   // Worker pool (lane mode, threads_ > 1).
   std::vector<std::thread> workers_;

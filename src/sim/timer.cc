@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 
 namespace presto {
 
@@ -11,6 +12,7 @@ PeriodicTimer::PeriodicTimer(Simulator* sim, std::function<void()> callback)
     : sim_(sim), callback_(std::move(callback)) {
   PRESTO_CHECK(sim_ != nullptr);
   PRESTO_CHECK(callback_ != nullptr);
+  sim_->RegisterSink(this);
 }
 
 void PeriodicTimer::Start(Duration period, Duration initial_delay) {
@@ -71,6 +73,32 @@ void PeriodicTimer::ScheduleNext(Duration delay) {
   next_fire_at_ = sim_->Now() + delay;
   pending_ = sim_->ScheduleEventAt(next_fire_at_, EventKind::kTimer, this,
                                    EventPayload{}, lane_);
+}
+
+void PeriodicTimer::SaveState(ByteWriter& w) const {
+  CkptWrite(w, period_);
+  CkptWrite(w, next_fire_at_);
+  CkptWrite(w, lane_);
+  CkptWrite(w, running_);
+}
+
+Status PeriodicTimer::LoadState(ByteReader& r) {
+  pending_ = EventHandle();  // stale pre-restore handle: drop without cancelling
+  CKPT_READ(r, period_);
+  CKPT_READ(r, next_fire_at_);
+  CKPT_READ(r, lane_);
+  CKPT_READ(r, running_);
+  return OkStatus();
+}
+
+void PeriodicTimer::OnEventRestored(SimTime t, EventKind kind,
+                                    const EventPayload& payload,
+                                    const EventHandle& handle, int lane) {
+  (void)kind;
+  (void)payload;
+  next_fire_at_ = t;
+  pending_ = handle;
+  lane_ = lane;
 }
 
 }  // namespace presto

@@ -52,6 +52,14 @@ class PeriodicTimer : public EventSink {
 
   void OnSimEvent(EventKind kind, EventPayload& payload) override;
 
+  // Checkpoint: period / running flag / absolute next-fire time. The pending fire
+  // itself lives in the simulator's queue; LoadState drops the stale handle and
+  // OnEventRestored re-captures it when the engine restores the kTimer event.
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override;
+
  private:
   void Fire();
   void ScheduleNext(Duration delay);

@@ -1,0 +1,237 @@
+#include "src/util/ckpt.h"
+
+#include <cstdio>
+
+namespace presto {
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x314b4350;  // "PCK1" little-endian
+constexpr uint32_t kDiffMagic = 0x444b4350;      // "PCKD" little-endian
+
+}  // namespace
+
+void Checkpoint::Add(const std::string& name, std::vector<uint8_t> payload) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    sections_[it->second].payload = std::move(payload);
+    return;
+  }
+  index_[name] = sections_.size();
+  sections_.push_back(Section{name, std::move(payload)});
+}
+
+const std::vector<uint8_t>* Checkpoint::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return nullptr;
+  }
+  return &sections_[it->second].payload;
+}
+
+uint64_t Checkpoint::Digest() const {
+  uint64_t fp = kFnvOffsetBasis;
+  for (const Section& s : sections_) {
+    for (const char c : s.name) {
+      fp = (fp ^ static_cast<uint8_t>(c)) * kFnvPrime;
+    }
+    FnvMix(fp, CkptChecksum(span<const uint8_t>(s.payload)));
+  }
+  return fp;
+}
+
+std::vector<uint8_t> Checkpoint::Encode() const {
+  ByteWriter w;
+  w.WriteU32(kSnapshotMagic);
+  w.WriteU32(kVersion);
+  w.WriteVarU64(sections_.size());
+  for (const Section& s : sections_) {
+    w.WriteString(s.name);
+    w.WriteBytes(span<const uint8_t>(s.payload));
+    w.WriteU64(CkptChecksum(span<const uint8_t>(s.payload)));
+  }
+  return w.TakeBuffer();
+}
+
+Result<Checkpoint> Checkpoint::Decode(span<const uint8_t> data) {
+  ByteReader r(data);
+  auto magic = r.ReadU32();
+  if (!magic.ok() || *magic != kSnapshotMagic) {
+    return DataLossError("ckpt: bad snapshot magic");
+  }
+  auto version = r.ReadU32();
+  if (!version.ok()) {
+    return version.status();
+  }
+  if (*version != kVersion) {
+    return InvalidArgumentError("ckpt: unsupported version " +
+                                std::to_string(*version));
+  }
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  Checkpoint out;
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto payload = r.ReadBytes();
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    auto checksum = r.ReadU64();
+    if (!checksum.ok()) {
+      return checksum.status();
+    }
+    if (CkptChecksum(span<const uint8_t>(*payload)) != *checksum) {
+      return DataLossError("ckpt: checksum mismatch in section '" + *name + "'");
+    }
+    out.Add(*name, std::move(*payload));
+  }
+  return out;
+}
+
+std::vector<uint8_t> Checkpoint::EncodeDiffFrom(const Checkpoint& base) const {
+  ByteWriter w;
+  w.WriteU32(kDiffMagic);
+  w.WriteU32(kVersion);
+  w.WriteU64(base.Digest());
+  std::vector<std::string> removed;
+  for (const Section& s : base.sections_) {
+    if (Find(s.name) == nullptr) {
+      removed.push_back(s.name);
+    }
+  }
+  w.WriteVarU64(removed.size());
+  for (const std::string& name : removed) {
+    w.WriteString(name);
+  }
+  std::vector<const Section*> changed;
+  for (const Section& s : sections_) {
+    const std::vector<uint8_t>* old = base.Find(s.name);
+    if (old == nullptr || *old != s.payload) {
+      changed.push_back(&s);
+    }
+  }
+  w.WriteVarU64(changed.size());
+  for (const Section* s : changed) {
+    w.WriteString(s->name);
+    w.WriteBytes(span<const uint8_t>(s->payload));
+    w.WriteU64(CkptChecksum(span<const uint8_t>(s->payload)));
+  }
+  return w.TakeBuffer();
+}
+
+Result<Checkpoint> Checkpoint::ApplyDiff(const Checkpoint& base,
+                                         span<const uint8_t> diff) {
+  ByteReader r(diff);
+  auto magic = r.ReadU32();
+  if (!magic.ok() || *magic != kDiffMagic) {
+    return DataLossError("ckpt: bad diff magic");
+  }
+  auto version = r.ReadU32();
+  if (!version.ok()) {
+    return version.status();
+  }
+  if (*version != kVersion) {
+    return InvalidArgumentError("ckpt: unsupported diff version " +
+                                std::to_string(*version));
+  }
+  auto base_digest = r.ReadU64();
+  if (!base_digest.ok()) {
+    return base_digest.status();
+  }
+  if (*base_digest != base.Digest()) {
+    return FailedPreconditionError("ckpt: diff base digest mismatch");
+  }
+  auto removed_count = r.ReadVarU64();
+  if (!removed_count.ok()) {
+    return removed_count.status();
+  }
+  std::map<std::string, bool> removed;
+  for (uint64_t i = 0; i < *removed_count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    removed[*name] = true;
+  }
+  Checkpoint out;
+  for (const Section& s : base.sections_) {
+    if (removed.count(s.name) == 0) {
+      out.Add(s.name, s.payload);
+    }
+  }
+  auto changed_count = r.ReadVarU64();
+  if (!changed_count.ok()) {
+    return changed_count.status();
+  }
+  for (uint64_t i = 0; i < *changed_count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto payload = r.ReadBytes();
+    if (!payload.ok()) {
+      return payload.status();
+    }
+    auto checksum = r.ReadU64();
+    if (!checksum.ok()) {
+      return checksum.status();
+    }
+    if (CkptChecksum(span<const uint8_t>(*payload)) != *checksum) {
+      return DataLossError("ckpt: checksum mismatch in diff section '" + *name + "'");
+    }
+    out.Add(*name, std::move(*payload));
+  }
+  return out;
+}
+
+std::vector<std::string> Checkpoint::DivergentSections(const Checkpoint& other) const {
+  std::vector<std::string> out;
+  for (const Section& s : sections_) {
+    const std::vector<uint8_t>* theirs = other.Find(s.name);
+    if (theirs == nullptr || *theirs != s.payload) {
+      out.push_back(s.name);
+    }
+  }
+  for (const Section& s : other.sections_) {
+    if (Find(s.name) == nullptr) {
+      out.push_back(s.name);
+    }
+  }
+  return out;
+}
+
+Status Checkpoint::WriteFile(const std::string& path) const {
+  const std::vector<uint8_t> bytes = Encode();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("ckpt: cannot open '" + path + "' for writing");
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return DataLossError("ckpt: short write to '" + path + "'");
+  }
+  return OkStatus();
+}
+
+Result<Checkpoint> Checkpoint::ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return UnavailableError("ckpt: cannot open '" + path + "'");
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[65536];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return Decode(span<const uint8_t>(bytes));
+}
+
+}  // namespace presto

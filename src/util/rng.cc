@@ -109,4 +109,20 @@ Pcg32 Pcg32::Split() {
   return Pcg32(NextU64(), NextU64() >> 1);
 }
 
+Pcg32::State Pcg32::SaveState() const {
+  State s;
+  s.state = state_;
+  s.inc = inc_;
+  s.has_cached_gaussian = has_cached_gaussian_;
+  s.cached_gaussian = cached_gaussian_;
+  return s;
+}
+
+void Pcg32::LoadState(const State& s) {
+  state_ = s.state;
+  inc_ = s.inc;
+  has_cached_gaussian_ = s.has_cached_gaussian;
+  cached_gaussian_ = s.cached_gaussian;
+}
+
 }  // namespace presto

@@ -53,6 +53,17 @@ class Pcg32 {
   // an independent stream.
   Pcg32 Split();
 
+  // Checkpoint support: the complete generator state, including the Box-Muller cache
+  // (dropping it would shift every subsequent Gaussian draw by one).
+  struct State {
+    uint64_t state = 0;
+    uint64_t inc = 0;
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const;
+  void LoadState(const State& s);
+
  private:
   uint64_t state_;
   uint64_t inc_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/assert.h"
+#include "src/util/ckpt.h"
 #include "src/util/hash.h"
 
 namespace presto {
@@ -17,12 +18,14 @@ void LatencyHistogram::Record(Duration latency) {
     ++bucket;
   }
   ++counts_[static_cast<size_t>(bucket)];
+  hash_valid_ = false;
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
   for (int i = 0; i < kBuckets; ++i) {
     counts_[static_cast<size_t>(i)] += other.counts_[static_cast<size_t>(i)];
   }
+  hash_valid_ = false;
 }
 
 uint64_t LatencyHistogram::TotalCount() const {
@@ -34,11 +37,23 @@ uint64_t LatencyHistogram::TotalCount() const {
 }
 
 uint64_t LatencyHistogram::Hash() const {
-  uint64_t fp = kFnvOffsetBasis;
-  for (uint64_t c : counts_) {
-    FnvMix(fp, c);
+  if (!hash_valid_) {
+    uint64_t fp = kFnvOffsetBasis;
+    for (uint64_t c : counts_) {
+      FnvMix(fp, c);
+    }
+    cached_hash_ = fp;
+    hash_valid_ = true;
   }
-  return fp;
+  return cached_hash_;
+}
+
+void LatencyHistogram::SaveState(ByteWriter& w) const { CkptWrite(w, counts_); }
+
+Status LatencyHistogram::LoadState(ByteReader& r) {
+  CKPT_READ(r, counts_);
+  hash_valid_ = false;
+  return OkStatus();
 }
 
 std::string LatencyHistogram::ToString() const {
@@ -68,6 +83,7 @@ QueryDriver::QueryDriver(Simulator* sim, const QueryDriverParams& params,
   PRESTO_CHECK(issue_fn_ != nullptr);
   PRESTO_CHECK(params_.mix.num_sensors >= 1);
   PRESTO_CHECK(params_.mix.queries_per_hour > 0.0);
+  sim_->RegisterSink(this);
 }
 
 Duration QueryDriver::NextGap() {
@@ -115,6 +131,57 @@ void QueryDriver::OnSimEvent(EventKind kind, EventPayload& payload) {
   }
   pending_ = sim_->ScheduleEventAt(next_at_, EventKind::kQuery, this, EventPayload{},
                                    Simulator::kLaneControl);
+}
+
+void QueryDriver::OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                                  const EventHandle& handle, int lane) {
+  (void)t;
+  (void)payload;
+  (void)lane;
+  if (kind == EventKind::kQuery) {
+    pending_ = handle;  // the one pending arrival re-captured after restore
+  }
+}
+
+Status QueryDriver::SaveState(ByteWriter& w) const {
+  CkptWrite(w, rng_);
+  CkptWrite(w, next_at_);
+  CkptWrite(w, until_);
+  CkptWrite(w, running_);
+  CkptWrite(w, stats_.issued);
+  CkptWrite(w, stats_.completed);
+  CkptWrite(w, stats_.failed);
+  CkptWrite(w, stats_.cross_cell);
+  CkptWrite(w, stats_.by_source);
+  CkptWrite(w, stats_.latency_ms);
+  stats_.latency.SaveState(w);
+  CkptWrite(w, stats_.energy_j);
+  CkptWrite(w, stats_.energy_now_j);
+  CkptWrite(w, stats_.energy_past_j);
+  CkptWrite(w, stats_.energized);
+  CkptWrite(w, stats_.energy_by_cell_j);
+  return OkStatus();
+}
+
+Status QueryDriver::LoadState(ByteReader& r) {
+  pending_ = EventHandle();  // re-captured via OnEventRestored
+  CKPT_READ(r, rng_);
+  CKPT_READ(r, next_at_);
+  CKPT_READ(r, until_);
+  CKPT_READ(r, running_);
+  CKPT_READ(r, stats_.issued);
+  CKPT_READ(r, stats_.completed);
+  CKPT_READ(r, stats_.failed);
+  CKPT_READ(r, stats_.cross_cell);
+  CKPT_READ(r, stats_.by_source);
+  CKPT_READ(r, stats_.latency_ms);
+  PRESTO_RETURN_IF_ERROR(stats_.latency.LoadState(r));
+  CKPT_READ(r, stats_.energy_j);
+  CKPT_READ(r, stats_.energy_now_j);
+  CKPT_READ(r, stats_.energy_past_j);
+  CKPT_READ(r, stats_.energized);
+  CKPT_READ(r, stats_.energy_by_cell_j);
+  return OkStatus();
 }
 
 void QueryDriver::Record(const QueryOutcome& outcome) {

@@ -78,10 +78,17 @@ class LatencyHistogram {
   uint64_t BucketCount(int i) const { return counts_[static_cast<size_t>(i)]; }
 
   // FNV digest over the bucket vector — the self-check benches print and compare.
+  // Memoized: mutations (Record / Merge / LoadState) invalidate, so hot compare
+  // loops pay the 40-bucket fold once per mutation, not once per call. Merge sums
+  // commuting bucket counts, so hash(merge(a, b)) == hash(merge(b, a)).
   uint64_t Hash() const;
 
   // "[1ms,2ms):12" style non-empty buckets, for bench dumps.
   std::string ToString() const;
+
+  // Checkpoint codec: bucket counts only (the memo rebuilds on demand).
+  void SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
   friend bool operator==(const LatencyHistogram& a, const LatencyHistogram& b) {
     return a.counts_ == b.counts_;
@@ -92,6 +99,8 @@ class LatencyHistogram {
 
  private:
   std::array<uint64_t, kBuckets> counts_{};
+  mutable uint64_t cached_hash_ = 0;
+  mutable bool hash_valid_ = false;
 };
 
 struct QueryDriverStats {
@@ -139,7 +148,21 @@ class QueryDriver : public EventSink {
   const QueryDriverParams& params() const { return params_; }
   const QueryDriverStats& stats() const { return stats_; }
 
+  // Records a completed outcome directly — the token-form completion path, used by
+  // glue that tags in-flight queries with a driver index instead of capturing the
+  // CompletionFn closure (closures cannot survive a checkpoint). Control context
+  // only, like CompletionFn.
+  void RecordOutcome(const QueryOutcome& outcome) { Record(outcome); }
+
   void OnSimEvent(EventKind kind, EventPayload& payload) override;  // arrivals
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override;
+
+  // Checkpoint codec: arrival RNG and schedule, run window, and recorded stats.
+  // The pending-arrival event itself lives in the simulator's queue; LoadState
+  // drops the stale handle and OnEventRestored re-captures it.
+  Status SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
 
  private:
   Duration NextGap();

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bisect two barrier-checkpoint sequences to the first divergent barrier.
+
+When two runs that should replay bit-identically do not, dump a checkpoint per
+federation barrier from each run (bench/federation_scale --ckpt-out, or any driver
+calling Federation::SaveCheckpoint on the barrier grid) into two directories with
+matching file names (e.g. barrier_000120.ckpt). This script binary-searches the
+sequence for the first barrier whose checkpoints differ — divergence is monotone:
+once the replay forks, every later barrier differs — then asks `presto_ckpt diff`
+to name the first divergent subsystem section at that barrier, which is the
+subsystem to read first.
+
+    tools/ckpt_bisect.py --tool build/presto_ckpt run_a/ run_b/
+
+Exit codes: 0 sequences identical, 2 divergence found (details on stdout),
+1 usage or tooling error.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+
+def run_diff(tool, a, b):
+    """Returns (divergent: bool, first_section: str|None)."""
+    proc = subprocess.run(
+        [tool, "diff", a, b], capture_output=True, text=True, check=False
+    )
+    if proc.returncode == 0:
+        return False, None
+    if proc.returncode == 2:
+        first = None
+        for line in proc.stdout.splitlines():
+            if line.startswith("first divergent section:"):
+                first = line.split(":", 1)[1].strip()
+                break
+        return True, first
+    sys.stderr.write(proc.stderr or proc.stdout)
+    raise RuntimeError(f"presto_ckpt diff failed on {a} vs {b}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tool",
+        default="build/presto_ckpt",
+        help="path to the presto_ckpt binary (default: build/presto_ckpt)",
+    )
+    parser.add_argument("dir_a", help="checkpoint directory from run A")
+    parser.add_argument("dir_b", help="checkpoint directory from run B")
+    args = parser.parse_args()
+
+    names_a = {f for f in os.listdir(args.dir_a) if f.endswith(".ckpt")}
+    names_b = {f for f in os.listdir(args.dir_b) if f.endswith(".ckpt")}
+    common = sorted(names_a & names_b)
+    if not common:
+        sys.stderr.write("ckpt_bisect: no matching *.ckpt file names\n")
+        return 1
+    for only, where in ((names_a - names_b, args.dir_b), (names_b - names_a, args.dir_a)):
+        if only:
+            print(f"note: {len(only)} checkpoint(s) missing from {where}: "
+                  f"{', '.join(sorted(only)[:5])}")
+
+    # Binary search for the first divergent barrier (divergence is monotone in
+    # barrier order for deterministic replays).
+    lo, hi = 0, len(common) - 1
+    last_diverged, _ = run_diff(
+        args.tool, os.path.join(args.dir_a, common[hi]), os.path.join(args.dir_b, common[hi])
+    )
+    if not last_diverged:
+        print(f"identical across all {len(common)} barrier checkpoints")
+        return 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        diverged, _ = run_diff(
+            args.tool,
+            os.path.join(args.dir_a, common[mid]),
+            os.path.join(args.dir_b, common[mid]),
+        )
+        if diverged:
+            hi = mid
+        else:
+            lo = mid + 1
+    first_file = common[lo]
+    _, section = run_diff(
+        args.tool, os.path.join(args.dir_a, first_file), os.path.join(args.dir_b, first_file)
+    )
+    print(f"first divergent barrier: {first_file}")
+    print(f"first divergent section: {section}")
+    if lo > 0:
+        print(f"last identical barrier:  {common[lo - 1]}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

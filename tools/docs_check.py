@@ -12,10 +12,16 @@
 4. Bench JSON schema: the schema keys documented in docs/BENCHMARKS.md (the
    backticked first column of its schema table) must equal kBenchReportSchemaKeys
    in bench/bench_report.h — the schema doc and the emitter cannot drift apart.
+5. Baseline validation: the checked-in repo-root BENCH_*.json trajectory baselines
+   must actually conform to schema v1 — version match, required top-level keys,
+   rows with unique keys, section names drawn from the declared key set, and
+   fingerprints as "0x%016x" hex strings.
 
 Exits non-zero with one line per problem.
 """
 
+import glob
+import json
 import os
 import re
 import sys
@@ -171,17 +177,84 @@ def check_benchmarks_doc(problems):
         )
 
 
+def schema_version():
+    with open(os.path.join(REPO, "bench", "bench_report.h"), encoding="utf-8") as f:
+        text = f.read()
+    match = re.search(r"kBenchReportSchemaVersion\s*=\s*(\d+)", text)
+    if not match:
+        raise SystemExit("docs_check: kBenchReportSchemaVersion not found in "
+                         "bench/bench_report.h")
+    return int(match.group(1))
+
+
+# Of the declared schema keys, these are top-level document keys; the rest are
+# per-row section names. "key" appears in both spots ("key" is per-row only).
+BASELINE_REQUIRED_TOP = ["schema_version", "bench", "grid", "rows"]
+BASELINE_OPTIONAL_TOP = ["config"]
+FINGERPRINT_RE = re.compile(r"^0x[0-9a-f]{16}$")
+
+
+def check_bench_baselines(problems):
+    """The checked-in BENCH_*.json baselines must conform to the declared schema."""
+    declared = set(schema_keys())
+    row_sections = declared - set(BASELINE_REQUIRED_TOP) - {"key"}
+    version = schema_version()
+    for path in sorted(glob.glob(os.path.join(REPO, "BENCH_*.json"))):
+        rel = os.path.relpath(path, REPO)
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            problems.append(f"{rel}: unreadable baseline ({err})")
+            continue
+        for key in BASELINE_REQUIRED_TOP:
+            if key not in report:
+                problems.append(f"{rel}: missing required top-level key `{key}`")
+        if report.get("schema_version") != version:
+            problems.append(
+                f"{rel}: schema_version {report.get('schema_version')!r} != "
+                f"bench_report.h kBenchReportSchemaVersion ({version})"
+            )
+        for key in report:
+            if key not in BASELINE_REQUIRED_TOP + BASELINE_OPTIONAL_TOP:
+                problems.append(f"{rel}: undeclared top-level key `{key}`")
+        rows = report.get("rows")
+        if not isinstance(rows, list) or not rows:
+            problems.append(f"{rel}: `rows` must be a non-empty array")
+            continue
+        seen = set()
+        for i, row in enumerate(rows):
+            where = f"{rel} rows[{i}]"
+            if not isinstance(row, dict) or not isinstance(row.get("key"), str):
+                problems.append(f"{where}: row must be an object with a string `key`")
+                continue
+            if row["key"] in seen:
+                problems.append(f"{where}: duplicate row key `{row['key']}`")
+            seen.add(row["key"])
+            for section in row:
+                if section != "key" and section not in row_sections:
+                    problems.append(f"{where}: undeclared row section `{section}`")
+            for name, value in row.get("fingerprints", {}).items():
+                if not isinstance(value, str) or not FINGERPRINT_RE.match(value):
+                    problems.append(
+                        f"{where}: fingerprint `{name}` must be a 0x%016x hex "
+                        f"string, got {value!r}"
+                    )
+
+
 def main():
     problems = []
     check_knob_tables(problems)
     check_markdown_links(problems)
     check_benchmarks_doc(problems)
+    check_bench_baselines(problems)
     for p in problems:
         print(p)
     if problems:
         print(f"docs_check: {len(problems)} problem(s)")
         return 1
-    print("docs_check: knob tables complete, markdown links resolve")
+    print("docs_check: knob tables complete, markdown links resolve, "
+          "baselines validate")
     return 0
 
 
