@@ -20,17 +20,24 @@
 //     >= 100 queries/sim-minute federation-wide,
 //   - healthy-phase failures are zero; kill-phase failures stay inside the killed
 //     cell's namespace share band; revive-phase failures are zero,
-//   - the acceptance cell re-runs at sim_threads in {1, 8} and again with
-//     cell-parallel stepping (cell_threads = num_cells) with a bit-identical
-//     federation fingerprint and bit-identical driver latency histograms,
+//   - the acceptance cell re-runs at sim_threads in {1, 8}, again with
+//     cell-parallel stepping (cell_threads = num_cells), and again with the cells
+//     forked into presto_cell worker processes (cell_processes > 1, the
+//     byte-serialized federation seam) — all with a bit-identical federation
+//     fingerprint and bit-identical driver latency histograms,
 //   - cell-parallel stepping clears >= 1.5x events/s over sequential stepping on
 //     the 4 x 8 x 16k acceptance cell (checked when the host has >= 8 hardware
 //     threads).
 //
+// Report keys are unchanged from earlier baselines for in-process rows; rows run
+// under multi-process stepping append a "/procsN" suffix so bench_compare lines
+// them up against their own kind.
+//
 // `--smoke` runs a reduced grid with the same checks (the CI entry point).
 // `--mega` appends the 16-cell x ~100k-sensor cell (16 x 8 x 6144 = 98304
-// sensors, tiny per-sensor flash, cell-parallel stepping) — the committed
-// BENCH_federation_scale.json baseline row; too slow for per-PR CI.
+// sensors, tiny per-sensor flash, cell-parallel stepping) and re-runs it with
+// one worker process per cell — the committed BENCH_federation_scale.json
+// baseline rows; too slow for per-PR CI.
 // `--csv` writes the summary table to federation_scale.csv (never by default:
 // bench dumps do not belong in the tree). `--json <path>` writes the
 // machine-readable report (schema: bench/bench_report.h, docs/BENCHMARKS.md).
@@ -109,13 +116,17 @@ struct DriverSnapshot {
   uint64_t cross_cell = 0;
 };
 
-DriverSnapshot Snapshot(const std::vector<QueryDriver*>& drivers) {
+// Everything below reads drivers through the mode-independent facade (driver
+// indices + Federation::DriverStats), so the same bench body runs in-process,
+// cell-parallel, and with cells forked into presto_cell worker processes.
+DriverSnapshot Snapshot(const Federation& fed, const std::vector<int>& drivers) {
   DriverSnapshot snap;
-  for (const QueryDriver* driver : drivers) {
-    snap.issued += driver->stats().issued;
-    snap.completed += driver->stats().completed;
-    snap.failed += driver->stats().failed;
-    snap.cross_cell += driver->stats().cross_cell;
+  for (const int d : drivers) {
+    const QueryDriverStats stats = fed.DriverStats(d);
+    snap.issued += stats.issued;
+    snap.completed += stats.completed;
+    snap.failed += stats.failed;
+    snap.cross_cell += stats.cross_cell;
   }
   return snap;
 }
@@ -131,8 +142,8 @@ PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
 
 FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell,
                                 int sim_threads, int cell_threads,
-                                double rate_per_cell_per_hour, Duration warmup,
-                                Duration phase, bool tiny_flash,
+                                int cell_processes, double rate_per_cell_per_hour,
+                                Duration warmup, Duration phase, bool tiny_flash,
                                 const std::string& ckpt_out = "",
                                 const std::string& resume_path = "") {
   FederationConfig config;
@@ -164,12 +175,12 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   config.epoch = Seconds(1);
   config.auto_epoch = true;
   config.cell_threads = cell_threads;
+  config.cell_processes = cell_processes;
   config.seed = kSeed;
 
   Federation fed(config);
-  fed.Start();
 
-  std::vector<QueryDriver*> drivers;
+  std::vector<int> drivers;
   for (int c = 0; c < num_cells; ++c) {
     QueryDriverParams params;
     params.mix.queries_per_hour = rate_per_cell_per_hour;
@@ -180,8 +191,9 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
     params.mix.min_tolerance = 1.5;
     params.mix.max_tolerance = 3.0;
     params.mix.seed = kSeed ^ (0xd1e5 + static_cast<uint64_t>(c));
-    drivers.push_back(&fed.AttachQueryDriver(c, params));
+    drivers.push_back(fed.AttachDriver(c, params));
   }
+  fed.Start();
 
   // Queries routed just before a topology change complete a couple of federation
   // epochs later (trunk hop + barrier clamps), and a pull already in flight at the
@@ -231,14 +243,14 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
       }
     }
   }
-  for (QueryDriver* driver : drivers) {
-    driver->Start(3 * phase + grace);
+  for (const int d : drivers) {
+    fed.StartDriver(d, 3 * phase + grace);
   }
 
   // Healthy phase.
-  const DriverSnapshot at_start = Snapshot(drivers);
+  const DriverSnapshot at_start = Snapshot(fed, drivers);
   fed.RunUntil(fed.Now() + phase);
-  const DriverSnapshot at_kill = Snapshot(drivers);
+  const DriverSnapshot at_kill = Snapshot(fed, drivers);
   out.healthy = Delta(at_start, at_kill);
 
   // Kill phase: one whole cell goes dark; a proxy inside a *surviving* cell dies
@@ -252,30 +264,28 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   // fits the bench window that used to force skipping it here.
   const bool proxy_kill = true;
   if (proxy_kill) {
-    fed.cell((victim_cell + 1) % num_cells).KillProxy(0);
+    fed.KillProxyInCell((victim_cell + 1) % num_cells, 0);
   }
   fed.RunUntil(fed.Now() + phase);
 
   // Revive, then let kill-window stragglers drain before judging the new window.
   fed.ReviveCell(victim_cell);
   if (proxy_kill) {
-    fed.cell((victim_cell + 1) % num_cells).ReviveProxy(0);
+    fed.ReviveProxyInCell((victim_cell + 1) % num_cells, 0);
   }
   fed.RunUntil(fed.Now() + grace);
-  const DriverSnapshot at_revive = Snapshot(drivers);
+  const DriverSnapshot at_revive = Snapshot(fed, drivers);
   out.killed = Delta(at_kill, at_revive);
 
   fed.RunUntil(fed.Now() + phase + Minutes(2));  // trailing settle drains in-flight
-  const DriverSnapshot at_end = Snapshot(drivers);
+  const DriverSnapshot at_end = Snapshot(fed, drivers);
   out.revived = Delta(at_revive, at_end);
   const auto wall_end = std::chrono::steady_clock::now();
   out.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
 
   out.sim_minutes_driven = ToMinutes(3 * phase + grace);
   out.queries_per_min = static_cast<double>(at_end.issued) / out.sim_minutes_driven;
-  for (int c = 0; c < num_cells; ++c) {
-    out.events += fed.cell(c).sim().events_executed();
-  }
+  out.events = fed.EventsExecuted();
   out.events_per_sec = static_cast<double>(out.events) / std::max(out.wall_s, 1e-9);
   out.cross_share = at_end.issued > 0
                         ? static_cast<double>(at_end.cross_cell) /
@@ -285,31 +295,26 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   out.fed_epoch_ms = ToMillis(fed.config().epoch);
   SampleSet latency_ms;
   LatencyHistogram merged;
-  for (const QueryDriver* driver : drivers) {
-    merged.Merge(driver->stats().latency);
-    for (double ms : driver->stats().latency_ms.samples()) {
+  for (const int d : drivers) {
+    const QueryDriverStats stats = fed.DriverStats(d);
+    merged.Merge(stats.latency);
+    for (double ms : stats.latency_ms.samples()) {
       latency_ms.Add(ms);
     }
-    out.energy_j += driver->stats().energy_j;
-    out.energy_now_j += driver->stats().energy_now_j;
-    out.energy_past_j += driver->stats().energy_past_j;
-    out.energized += driver->stats().energized;
-    for (const auto& [cell, joules] : driver->stats().energy_by_cell_j) {
+    out.energy_j += stats.energy_j;
+    out.energy_now_j += stats.energy_now_j;
+    out.energy_past_j += stats.energy_past_j;
+    out.energized += stats.energized;
+    for (const auto& [cell, joules] : stats.energy_by_cell_j) {
       out.energy_by_cell_j[cell] += joules;
     }
   }
   out.now_latency_ms_mean = latency_ms.mean();
   out.now_latency_ms_p95 = latency_ms.Quantile(0.95);
   out.histogram = merged.Hash();
-  for (int s = 0; s < num_cells; ++s) {
-    for (int d = 0; d < num_cells; ++d) {
-      if (s == d) {
-        continue;
-      }
-      out.trunk_messages += fed.link(s, d).stats().messages;
-      out.trunk_bytes += fed.link(s, d).stats().bytes;
-    }
-  }
+  const FederationTrunkTotals trunks = fed.TrunkTotals();
+  out.trunk_messages = trunks.messages;
+  out.trunk_bytes = trunks.bytes;
   out.fingerprint = fed.fingerprint();
   return out;
 }
@@ -323,7 +328,8 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
 // driver latency histograms must match bit for bit — at every (sim_threads,
 // cell_threads) combination.
 
-FederationConfig RoundTripConfig(int sim_threads, int cell_threads) {
+FederationConfig RoundTripConfig(int sim_threads, int cell_threads,
+                                 int cell_processes) {
   FederationConfig config;
   config.num_cells = 4;
   config.cell.num_proxies = 2;
@@ -340,12 +346,13 @@ FederationConfig RoundTripConfig(int sim_threads, int cell_threads) {
   config.epoch = Seconds(1);
   config.auto_epoch = true;
   config.cell_threads = cell_threads;
+  config.cell_processes = cell_processes;
   config.seed = kSeed;
   return config;
 }
 
-std::vector<QueryDriver*> AttachRoundTripDrivers(Federation& fed) {
-  std::vector<QueryDriver*> drivers;
+std::vector<int> AttachRoundTripDrivers(Federation& fed) {
+  std::vector<int> drivers;
   for (int c = 0; c < fed.num_cells(); ++c) {
     QueryDriverParams params;
     params.mix.queries_per_hour = 2400.0;
@@ -356,20 +363,21 @@ std::vector<QueryDriver*> AttachRoundTripDrivers(Federation& fed) {
     params.mix.min_tolerance = 1.5;
     params.mix.max_tolerance = 3.0;
     params.mix.seed = kSeed ^ (0xd1e5 + static_cast<uint64_t>(c));
-    drivers.push_back(&fed.AttachQueryDriver(c, params));
+    drivers.push_back(fed.AttachDriver(c, params));
   }
   return drivers;
 }
 
-uint64_t MergedHistogramHash(const std::vector<QueryDriver*>& drivers) {
+uint64_t MergedHistogramHash(const Federation& fed, const std::vector<int>& drivers) {
   LatencyHistogram merged;
-  for (const QueryDriver* driver : drivers) {
-    merged.Merge(driver->stats().latency);
+  for (const int d : drivers) {
+    merged.Merge(fed.DriverStats(d).latency);
   }
   return merged.Hash();
 }
 
-int RunRoundTripCheck(int sim_threads, int cell_threads, BenchReport& report) {
+int RunRoundTripCheck(int sim_threads, int cell_threads, int cell_processes,
+                      BenchReport& report) {
   const Duration warm = Minutes(5);
   const Duration ckpt_at = warm + Minutes(2);
   const Duration end = ckpt_at + Minutes(4);
@@ -378,23 +386,25 @@ int RunRoundTripCheck(int sim_threads, int cell_threads, BenchReport& report) {
   uint64_t fp_cont = 0;
   uint64_t hist_cont = 0;
   {
-    Federation fed(RoundTripConfig(sim_threads, cell_threads));
+    Federation fed(RoundTripConfig(sim_threads, cell_threads, cell_processes));
+    std::vector<int> drivers = AttachRoundTripDrivers(fed);
     fed.Start();
-    std::vector<QueryDriver*> drivers = AttachRoundTripDrivers(fed);
     fed.RunUntil(warm);
-    for (QueryDriver* driver : drivers) {
-      driver->Start(0);
+    for (const int d : drivers) {
+      fed.StartDriver(d, 0);
     }
     fed.RunUntil(ckpt_at);
     const Status saved = fed.SaveCheckpoint(&ckpt);
     if (!saved.ok()) {
-      std::printf("  VIOLATION: round-trip save failed (sim=%d cell=%d): %s\n",
-                  sim_threads, cell_threads, saved.message().c_str());
+      std::printf("  VIOLATION: round-trip save failed (sim=%d cell=%d "
+                  "procs=%d): %s\n",
+                  sim_threads, cell_threads, cell_processes,
+                  saved.message().c_str());
       return 1;
     }
     fed.RunUntil(end);
     fp_cont = fed.fingerprint();
-    hist_cont = MergedHistogramHash(drivers);
+    hist_cont = MergedHistogramHash(fed, drivers);
   }
   // Encode/decode through the wire format so section checksums are exercised too.
   auto decoded = Checkpoint::Decode(span<const uint8_t>(ckpt.Encode()));
@@ -406,48 +416,56 @@ int RunRoundTripCheck(int sim_threads, int cell_threads, BenchReport& report) {
   uint64_t fp_resumed = 0;
   uint64_t hist_resumed = 0;
   {
-    Federation fed(RoundTripConfig(sim_threads, cell_threads));
+    Federation fed(RoundTripConfig(sim_threads, cell_threads, cell_processes));
+    std::vector<int> drivers = AttachRoundTripDrivers(fed);
     fed.Start();
-    std::vector<QueryDriver*> drivers = AttachRoundTripDrivers(fed);
     const Status restored = fed.LoadCheckpoint(*decoded);
     if (!restored.ok()) {
-      std::printf("  VIOLATION: round-trip restore failed (sim=%d cell=%d): %s\n",
-                  sim_threads, cell_threads, restored.message().c_str());
+      std::printf("  VIOLATION: round-trip restore failed (sim=%d cell=%d "
+                  "procs=%d): %s\n",
+                  sim_threads, cell_threads, cell_processes,
+                  restored.message().c_str());
       return 1;
     }
     fed.RunUntil(end);
     fp_resumed = fed.fingerprint();
-    hist_resumed = MergedHistogramHash(drivers);
+    hist_resumed = MergedHistogramHash(fed, drivers);
   }
   if (fp_resumed != fp_cont) {
     std::printf("  VIOLATION: resumed fingerprint %016llx != continuous %016llx "
-                "(sim=%d cell=%d)\n",
+                "(sim=%d cell=%d procs=%d)\n",
                 static_cast<unsigned long long>(fp_resumed),
                 static_cast<unsigned long long>(fp_cont), sim_threads,
-                cell_threads);
+                cell_threads, cell_processes);
     ++violations;
   }
   if (hist_resumed != hist_cont) {
     std::printf("  VIOLATION: resumed latency histogram %016llx != continuous "
-                "%016llx (sim=%d cell=%d)\n",
+                "%016llx (sim=%d cell=%d procs=%d)\n",
                 static_cast<unsigned long long>(hist_resumed),
                 static_cast<unsigned long long>(hist_cont), sim_threads,
-                cell_threads);
+                cell_threads, cell_processes);
     ++violations;
   }
-  char key_buf[64];
-  std::snprintf(key_buf, sizeof(key_buf), "ckpt_roundtrip/sim%d/cell%d",
-                sim_threads, cell_threads);
+  char key_buf[80];
+  int key_len = std::snprintf(key_buf, sizeof(key_buf), "ckpt_roundtrip/sim%d/cell%d",
+                              sim_threads, cell_threads);
+  if (cell_processes > 1) {
+    std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/procs%d",
+                  cell_processes);
+  }
   BenchReport::Row& row = report.AddRow(key_buf);
-  row.Config("sim_threads", sim_threads).Config("cell_threads", cell_threads);
+  row.Config("sim_threads", sim_threads)
+      .Config("cell_threads", cell_threads)
+      .Config("cell_processes", cell_processes);
   row.Metric("roundtrip_match", violations == 0 ? 1.0 : 0.0)
       .Metric("ckpt_bytes", static_cast<double>(ckpt.Encode().size()))
       .Metric("ckpt_sections", static_cast<double>(ckpt.sections().size()));
   row.Fingerprint("continuous", fp_cont).Fingerprint("resumed", fp_resumed);
   if (violations == 0) {
-    std::printf("  ckpt round-trip ok: sim=%d cell=%d fingerprint=%016llx "
-                "histogram=%016llx (%zu sections)\n",
-                sim_threads, cell_threads,
+    std::printf("  ckpt round-trip ok: sim=%d cell=%d procs=%d "
+                "fingerprint=%016llx histogram=%016llx (%zu sections)\n",
+                sim_threads, cell_threads, cell_processes,
                 static_cast<unsigned long long>(fp_cont),
                 static_cast<unsigned long long>(hist_cont),
                 ckpt.sections().size());
@@ -487,11 +505,13 @@ int main(int argc, char** argv) {
               smoke ? " [--smoke: reduced grid]" : "",
               mega ? " [--mega: 16-cell ~100k row]" : "");
 
-  // (sim_threads, cell_threads): lane workers inside each cell x host threads
-  // stepping the cells concurrently within each federation epoch.
+  // (sim_threads, cell_threads, cell_processes): lane workers inside each cell x
+  // host threads stepping the cells concurrently within each federation epoch x
+  // presto_cell worker processes the cells are forked into (1 = in-process).
   struct Combo {
     int sim_threads;
     int cell_threads;
+    int cell_processes = 1;
   };
   struct Cell {
     int cells;
@@ -511,6 +531,7 @@ int main(int argc, char** argv) {
     acceptance_combos.push_back({1, 1});
     acceptance_combos.push_back({2, 1});
     acceptance_combos.push_back({1, 4});
+    acceptance_combos.push_back({1, 1, 4});
   } else {
     grid.push_back({2, 4, 256, 1800.0, Hours(1), Minutes(8), false, false});
     grid.push_back({4, 8, 1024, 1800.0, Hours(1), Minutes(8), false, false});
@@ -520,6 +541,7 @@ int main(int argc, char** argv) {
     acceptance_combos.push_back({1, 1});
     acceptance_combos.push_back({8, 1});
     acceptance_combos.push_back({1, 4});
+    acceptance_combos.push_back({1, 1, 4});
   }
   if (mega) {
     // 16 cells x 8 proxies x 6144 sensors/cell = 98304 sensors under one
@@ -529,7 +551,8 @@ int main(int argc, char** argv) {
 
   int violations = 0;
   TextTable table;
-  table.SetHeader({"cells", "proxies", "sensors", "threads", "cell_thr", "q/min",
+  table.SetHeader({"cells", "proxies", "sensors", "threads", "cell_thr", "procs",
+                   "q/min",
                    "cross", "lat ms", "p95 ms", "healthy fail", "killed fail",
                    "fail share", "revived fail", "trunk msgs", "Mev/s", "wall s",
                    "fingerprint"});
@@ -539,13 +562,15 @@ int main(int argc, char** argv) {
   report.Config("hardware_threads", static_cast<double>(hw_threads));
 
   // Checkpoint/restore determinism sweep: the full sim_threads x cell_threads
-  // grid, always on (small federation — seconds of wall time).
+  // grid, always on (small federation — seconds of wall time) — plus one
+  // multi-process row exercising save/restore across the worker seam.
   std::printf("checkpoint round-trip determinism sweep:\n");
   for (const int sim_threads : {1, 8}) {
     for (const int cell_threads : {1, 4}) {
-      violations += RunRoundTripCheck(sim_threads, cell_threads, report);
+      violations += RunRoundTripCheck(sim_threads, cell_threads, 1, report);
     }
   }
+  violations += RunRoundTripCheck(1, 1, 4, report);
   std::printf("\n");
 
   bool first_run = true;
@@ -560,9 +585,11 @@ int main(int argc, char** argv) {
         combos.push_back(combo);
       }
     } else if (cell.tiny_flash) {
-      // The mega cell runs once, cell-parallel: its point is the committed
-      // baseline row, not a threads sweep.
+      // The mega cell runs cell-parallel (the committed baseline row) and again
+      // with one presto_cell worker process per cell — the ~100k-sensor row must
+      // complete under multi-process stepping with the same fingerprint.
       combos.push_back({1, 4});
+      combos.push_back({1, 1, 16});
     } else {
       combos.push_back(acceptance_combos.front());
     }
@@ -571,8 +598,9 @@ int main(int argc, char** argv) {
       // pair must describe the same cell shape on both sides).
       const FedCellResult r = RunFederationCell(
           cell.cells, cell.proxies, cell.sensors_per_cell, combo.sim_threads,
-          combo.cell_threads, cell.rate_per_cell_per_hour, cell.warmup, cell.phase,
-          cell.tiny_flash, first_run ? ckpt_out : std::string(),
+          combo.cell_threads, combo.cell_processes, cell.rate_per_cell_per_hour,
+          cell.warmup, cell.phase, cell.tiny_flash,
+          first_run ? ckpt_out : std::string(),
           first_run ? resume_path : std::string());
       first_run = false;
       if (r.ckpt_failed) {
@@ -590,6 +618,7 @@ int main(int argc, char** argv) {
                     TextTable::Int(cell.cells * cell.sensors_per_cell),
                     TextTable::Int(combo.sim_threads),
                     TextTable::Int(combo.cell_threads),
+                    TextTable::Int(combo.cell_processes),
                     TextTable::Num(r.queries_per_min, 1),
                     TextTable::Num(r.cross_share, 2),
                     TextTable::Num(r.now_latency_ms_mean, 1),
@@ -602,23 +631,31 @@ int main(int argc, char** argv) {
                     TextTable::Num(r.events_per_sec / 1e6, 2),
                     TextTable::Num(r.wall_s, 1), fp_buf});
       std::printf("  done: %d cells x %d proxies x %d sensors, threads=%d "
-                  "cell_threads=%d (%.1f q/min, %.2fM events/s, %.1f s wall) "
-                  "fingerprint=%016llx\n",
+                  "cell_threads=%d procs=%d (%.1f q/min, %.2fM events/s, "
+                  "%.1f s wall) fingerprint=%016llx\n",
                   cell.cells, cell.proxies, cell.cells * cell.sensors_per_cell,
-                  combo.sim_threads, combo.cell_threads, r.queries_per_min,
-                  r.events_per_sec / 1e6, r.wall_s,
+                  combo.sim_threads, combo.cell_threads, combo.cell_processes,
+                  r.queries_per_min, r.events_per_sec / 1e6, r.wall_s,
                   static_cast<unsigned long long>(r.fingerprint));
 
       char key_buf[96];
-      std::snprintf(key_buf, sizeof(key_buf), "c%dxp%dxs%d/sim%d/cell%d",
-                    cell.cells, cell.proxies, cell.sensors_per_cell,
-                    combo.sim_threads, combo.cell_threads);
+      int key_len = std::snprintf(key_buf, sizeof(key_buf),
+                                  "c%dxp%dxs%d/sim%d/cell%d", cell.cells,
+                                  cell.proxies, cell.sensors_per_cell,
+                                  combo.sim_threads, combo.cell_threads);
+      if (combo.cell_processes > 1) {
+        // In-process keys stay byte-identical to earlier baselines; only
+        // multi-process rows grow a suffix.
+        std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/procs%d",
+                      combo.cell_processes);
+      }
       BenchReport::Row& row = report.AddRow(key_buf);
       row.Config("cells", cell.cells)
           .Config("proxies", cell.proxies)
           .Config("sensors_per_cell", cell.sensors_per_cell)
           .Config("sim_threads", combo.sim_threads)
           .Config("cell_threads", combo.cell_threads)
+          .Config("cell_processes", combo.cell_processes)
           .Config("rate_per_cell_per_hour", cell.rate_per_cell_per_hour)
           .Config("resumed", r.resumed ? 1 : 0);
       row.Metric("queries_per_min", r.queries_per_min)
@@ -694,22 +731,28 @@ int main(int argc, char** argv) {
         ++violations;
       }
       if (combo.sim_threads == combos.front().sim_threads &&
-          combo.cell_threads == combos.front().cell_threads) {
+          combo.cell_threads == combos.front().cell_threads &&
+          combo.cell_processes == combos.front().cell_processes) {
         base_fp = r.fingerprint;
         base_hist = r.histogram;
       } else {
         if (r.fingerprint != base_fp) {
           std::printf("  VIOLATION: federation fingerprint diverges at threads=%d "
-                      "cell_threads=%d\n", combo.sim_threads, combo.cell_threads);
+                      "cell_threads=%d procs=%d\n",
+                      combo.sim_threads, combo.cell_threads,
+                      combo.cell_processes);
           ++violations;
         }
         if (r.histogram != base_hist) {
           std::printf("  VIOLATION: latency histogram diverges at threads=%d "
-                      "cell_threads=%d\n", combo.sim_threads, combo.cell_threads);
+                      "cell_threads=%d procs=%d\n",
+                      combo.sim_threads, combo.cell_threads,
+                      combo.cell_processes);
           ++violations;
         }
       }
-      if (combo.sim_threads == 1 && combo.cell_threads == 1) {
+      if (combo.sim_threads == 1 && combo.cell_threads == 1 &&
+          combo.cell_processes == 1) {
         sequential_eps = r.events_per_sec;
       }
       if (combo.sim_threads == 1 && combo.cell_threads > 1) {

@@ -25,6 +25,11 @@
 // `--smoke` runs a reduced grid (small cells, no 8/16-proxy rows) with the same
 // violation checks — the CI bench-smoke job's entry point. `--csv` writes the
 // summary table to scale_sharding.csv (never by default: dumps stay out of the tree).
+//
+// Warm starts (docs/ARCHITECTURE.md "Checkpoint format"): `--ckpt-out <path>`
+// saves the first failover cell's 20 h post-warmup state; `--resume <path>`
+// starts that cell from such a file instead of re-simulating the warmup and then
+// drives the same healthy/failover phases from the revived state.
 
 // Engine phase: the same deployment engine on the parallel shard-lane simulator
 // (lane = shard, epoch barriers, typed pooled events). Every engine cell runs at
@@ -68,6 +73,8 @@ struct CellResult {
   double other_shard_success = 0.0;
   uint64_t promotions = 0;
   uint64_t fingerprint = 0;
+  bool ckpt_failed = false;  // --ckpt-out / --resume file operation failed
+  bool resumed = false;      // warm-started from a checkpoint (warmup skipped)
 };
 
 QuerySpec NowQuery(const Deployment& deployment, int global, double tolerance) {
@@ -79,7 +86,9 @@ QuerySpec NowQuery(const Deployment& deployment, int global, double tolerance) {
 }
 
 CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
-                   bool replication, Duration batch_epoch) {
+                   bool replication, Duration batch_epoch,
+                   const std::string& ckpt_out = "",
+                   const std::string& resume_path = "") {
   DeploymentConfig config;
   config.num_proxies = num_proxies;
   config.sensors_per_proxy = total_sensors / num_proxies;
@@ -91,10 +100,47 @@ CellResult RunCell(int num_proxies, int total_sensors, ShardPolicy policy,
   config.seed = kSeed;
   Deployment deployment(config);
   deployment.Start();
-  deployment.RunUntil(Hours(20));
 
   Pcg32 rng(kSeed ^ 0xbe4c);
   CellResult out;
+  if (!resume_path.empty()) {
+    // Warm start: restore the 20 h post-warmup state instead of re-simulating it.
+    // The resumed timeline is bit-identical to the cold one (restore invariant).
+    auto loaded = Checkpoint::ReadFile(resume_path);
+    if (!loaded.ok()) {
+      std::printf("  CKPT: cannot read %s: %s\n", resume_path.c_str(),
+                  loaded.status().message().c_str());
+      out.ckpt_failed = true;
+      return out;
+    }
+    const Status restored = deployment.LoadCheckpoint(*loaded);
+    if (!restored.ok()) {
+      std::printf("  CKPT: restore failed: %s\n", restored.message().c_str());
+      out.ckpt_failed = true;
+      return out;
+    }
+    out.resumed = true;
+    std::printf("  resumed from %s at sim t=%.0f s (warmup skipped)\n",
+                resume_path.c_str(), ToSeconds(deployment.sim().Now()));
+  } else {
+    deployment.RunUntil(Hours(20));
+    if (!ckpt_out.empty()) {
+      Checkpoint ckpt;
+      Status saved = deployment.SaveCheckpoint(&ckpt);
+      if (saved.ok()) {
+        saved = ckpt.WriteFile(ckpt_out);
+      }
+      if (!saved.ok()) {
+        std::printf("  CKPT: save failed: %s\n", saved.message().c_str());
+        out.ckpt_failed = true;
+      } else {
+        std::printf("  warmed checkpoint (%zu sections, digest %016llx) -> %s\n",
+                    ckpt.sections().size(),
+                    static_cast<unsigned long long>(ckpt.Digest()),
+                    ckpt_out.c_str());
+      }
+    }
+  }
 
   // Healthy phase: a spread of NOW queries across the whole population.
   SampleSet latency_ms;
@@ -438,12 +484,18 @@ int main(int argc, char** argv) {
   const std::string json_path = ConsumeJsonFlag(&argc, argv);
   bool smoke = false;
   bool write_csv = false;
+  std::string ckpt_out;
+  std::string resume_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--csv") {
       write_csv = true;
+    } else if (arg == "--ckpt-out" && i + 1 < argc) {
+      ckpt_out = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      resume_path = argv[++i];
     }
   }
   BenchReport report("scale_sharding");
@@ -489,9 +541,20 @@ int main(int argc, char** argv) {
                    "J/sens/day", "batched", "kills", "killed fail", "degraded",
                    "other ok", "recovery ms", "promo ms"});
   std::vector<CellResult> results;
+  bool first_run = true;
   for (const Cell& cell : cells) {
+    // --ckpt-out / --resume apply to the first failover cell only (the warm-start
+    // pair must describe the same cell shape on both sides).
     const CellResult r = RunCell(cell.proxies, cell.sensors, cell.policy,
-                                 cell.replication, cell.batch_epoch);
+                                 cell.replication, cell.batch_epoch,
+                                 first_run ? ckpt_out : std::string(),
+                                 first_run ? resume_path : std::string());
+    first_run = false;
+    if (r.ckpt_failed) {
+      ++violations;
+      results.push_back(r);
+      continue;
+    }
     results.push_back(r);
     table.AddRow({TextTable::Int(cell.proxies), TextTable::Int(cell.sensors),
                   ShardPolicyName(cell.policy), cell.replication ? "yes" : "no",
@@ -515,7 +578,8 @@ int main(int argc, char** argv) {
         .Config("sensors", cell.sensors)
         .Config("policy", ShardPolicyName(cell.policy))
         .Config("replication", cell.replication ? 1 : 0)
-        .Config("batch_epoch_s", ToSeconds(cell.batch_epoch));
+        .Config("batch_epoch_s", ToSeconds(cell.batch_epoch))
+        .Config("resumed", r.resumed ? 1 : 0);
     row.Metric("success", r.success)
         .Metric("batched_share", r.batched_share)
         .Metric("kills", r.kills)

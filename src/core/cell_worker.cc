@@ -1,0 +1,420 @@
+#include "src/core/cell_worker.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "src/util/ckpt.h"
+
+namespace presto {
+
+int CellWorker::Serve() {
+  while (true) {
+    auto request = channel_->Recv();
+    if (!request.ok()) {
+      // The parent exited or closed the channel: a clean worker exit, so a
+      // normal shutdown never trips process-death detection (or LeakSanitizer).
+      return 0;
+    }
+    FedFrame reply;
+    reply.type = FedFrameType::kAck;
+    const Status s = Dispatch(*request, &reply);
+    if (!s.ok()) {
+      ByteWriter w;
+      CkptWrite(w, s);
+      reply.type = FedFrameType::kError;
+      reply.payload = w.TakeBuffer();
+    }
+    if (!channel_->Send(reply).ok()) {
+      return 0;
+    }
+    if (request->type == FedFrameType::kShutdown) {
+      return 0;
+    }
+  }
+}
+
+Status CellWorker::Dispatch(const FedFrame& request, FedFrame* reply) {
+  const span<const uint8_t> payload(request.payload);
+  if (request.type == FedFrameType::kBootstrap) {
+    return HandleBootstrap(payload);
+  }
+  if (request.type == FedFrameType::kShutdown) {
+    return OkStatus();  // reply kAck, then Serve leaves its loop
+  }
+  if (!bootstrapped_) {
+    return FailedPreconditionError("cell_worker: not bootstrapped");
+  }
+  switch (request.type) {
+    case FedFrameType::kStart:
+      PRESTO_RETURN_IF_ERROR(HandleStart());
+      break;
+    case FedFrameType::kAttachDriver:
+      return HandleAttachDriver(payload, reply);
+    case FedFrameType::kStartDriver:
+      PRESTO_RETURN_IF_ERROR(HandleStartDriver(payload));
+      break;
+    case FedFrameType::kStep:
+      PRESTO_RETURN_IF_ERROR(HandleStep(payload));
+      break;
+    case FedFrameType::kInject:
+      PRESTO_RETURN_IF_ERROR(HandleInject(payload));
+      break;
+    case FedFrameType::kKillCell:
+      PRESTO_RETURN_IF_ERROR(HandleKillCell(payload));
+      break;
+    case FedFrameType::kReviveCell:
+      PRESTO_RETURN_IF_ERROR(HandleReviveCell(payload));
+      break;
+    case FedFrameType::kKillProxy:
+      PRESTO_RETURN_IF_ERROR(HandleProxyOp(payload, /*kill=*/true));
+      break;
+    case FedFrameType::kReviveProxy:
+      PRESTO_RETURN_IF_ERROR(HandleProxyOp(payload, /*kill=*/false));
+      break;
+    case FedFrameType::kMigrateSensor:
+      PRESTO_RETURN_IF_ERROR(HandleMigrateSensor(payload));
+      break;
+    case FedFrameType::kSnapshot:
+      return HandleSnapshot(reply);
+    case FedFrameType::kCkptSave:
+      return HandleCkptSave(reply);
+    case FedFrameType::kCkptLoad:
+      return HandleCkptLoad(payload);
+    default:
+      return InvalidArgumentError("cell_worker: unexpected frame type");
+  }
+  // Every control op replies with the mail (and host-probe completions) it
+  // generated, so the parent's routing never waits an extra barrier.
+  reply->payload = ControlReply();
+  return OkStatus();
+}
+
+Status CellWorker::HandleBootstrap(span<const uint8_t> payload) {
+  if (bootstrapped_) {
+    return FailedPreconditionError("cell_worker: already bootstrapped");
+  }
+  ByteReader r{payload};
+  auto raw = r.ReadBytes();
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  static_assert(std::is_trivially_copyable<FederationConfig>::value,
+                "FederationConfig rides the wire as raw bytes");
+  if (raw->size() != sizeof(FederationConfig)) {
+    return DataLossError("cell_worker: bootstrap config size mismatch");
+  }
+  std::memcpy(&config_, raw->data(), sizeof(FederationConfig));
+  CKPT_READ(r, worker_index_);
+  CKPT_READ(r, num_workers_);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: bootstrap trailing bytes");
+  }
+  if (num_workers_ < 1 || worker_index_ < 0 || worker_index_ >= num_workers_ ||
+      config_.num_cells < 1 || config_.cell.num_proxies < 1 ||
+      config_.cell.sensors_per_proxy < 1 || config_.epoch <= 0) {
+    return InvalidArgumentError("cell_worker: bad bootstrap parameters");
+  }
+  for (int c = worker_index_; c < config_.num_cells; c += num_workers_) {
+    hosted_.push_back(c);
+    DeploymentConfig cell_config = config_.cell;
+    cell_config.seed = FederationCellSeed(config_.seed, c);
+    cells_.push_back(std::make_unique<Deployment>(cell_config));
+    // Pairwise construction keeps each simulator's sink-registration order
+    // identical to the in-process federation — the checkpoint sink-id contract.
+    cores_.push_back(std::make_unique<FedCell>(c, &config_, cells_.back().get()));
+  }
+  bootstrapped_ = true;
+  return OkStatus();
+}
+
+Status CellWorker::HandleStart() {
+  for (auto& cell : cells_) {
+    cell->Start();
+  }
+  return OkStatus();
+}
+
+Status CellWorker::HandleAttachDriver(span<const uint8_t> payload, FedFrame* reply) {
+  ByteReader r{payload};
+  int origin = 0;
+  CKPT_READ(r, origin);
+  auto raw = r.ReadBytes();
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: attach-driver trailing bytes");
+  }
+  static_assert(std::is_trivially_copyable<QueryDriverParams>::value,
+                "QueryDriverParams rides the wire as raw bytes");
+  if (raw->size() != sizeof(QueryDriverParams)) {
+    return DataLossError("cell_worker: driver params size mismatch");
+  }
+  QueryDriverParams params{};
+  std::memcpy(&params, raw->data(), sizeof(QueryDriverParams));
+  auto slot = SlotOf(origin);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  if (params.mix.num_sensors > 0 &&
+      params.mix.num_sensors > config_.num_cells * config_.cell.num_proxies *
+                                   config_.cell.sensors_per_proxy) {
+    return InvalidArgumentError("driver namespace exceeds the federation population");
+  }
+  const int driver_slot =
+      cores_[static_cast<size_t>(*slot)]->AttachDriver(params);
+  ByteWriter w;
+  w.WriteVarU64(static_cast<uint64_t>(driver_slot));
+  reply->payload = w.TakeBuffer();
+  return OkStatus();
+}
+
+Status CellWorker::HandleStartDriver(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  int cell = 0, driver_slot = 0;
+  Duration duration = 0;
+  CKPT_READ(r, cell);
+  CKPT_READ(r, driver_slot);
+  CKPT_READ(r, duration);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: start-driver trailing bytes");
+  }
+  auto slot = SlotOf(cell);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  FedCell& core = *cores_[static_cast<size_t>(*slot)];
+  if (driver_slot < 0 || driver_slot >= core.num_drivers()) {
+    return InvalidArgumentError("cell_worker: driver slot out of range");
+  }
+  core.StartDriver(driver_slot, duration);
+  return OkStatus();
+}
+
+Status CellWorker::HandleStep(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  SimTime barrier = 0, end = 0;
+  CKPT_READ(r, barrier);
+  CKPT_READ(r, end);
+  std::vector<FedMail> mail;
+  CKPT_READ(r, mail);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: step trailing bytes");
+  }
+  for (FedMail& m : mail) {
+    auto slot = SlotOf(m.target_cell);
+    if (!slot.ok()) {
+      return slot.status();
+    }
+    if (m.op != kFedOpExecute && m.op != kFedOpComplete) {
+      return DataLossError("cell_worker: bad mail op in step");
+    }
+    cores_[static_cast<size_t>(*slot)]->DeliverMail(std::move(m), barrier);
+  }
+  for (auto& cell : cells_) {
+    cell->RunUntil(end);
+  }
+  return OkStatus();
+}
+
+Status CellWorker::HandleInject(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  int origin = 0;
+  uint64_t token = 0;
+  FederationQuerySpec spec;
+  CKPT_READ(r, origin);
+  CKPT_READ(r, token);
+  CKPT_READ(r, spec);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: inject trailing bytes");
+  }
+  auto slot = SlotOf(origin);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  const int total = config_.num_cells * config_.cell.num_proxies *
+                    config_.cell.sensors_per_proxy;
+  if (spec.fed_sensor < 0 || spec.fed_sensor >= total) {
+    return InvalidArgumentError("cell_worker: inject sensor out of range");
+  }
+  FedCell::Pending q;
+  q.origin = FedCell::Origin::kHost;
+  q.host_token = token;
+  // Fail-fast (dead target) and same-instant completions land in host_done_ and
+  // ride back in this very reply's control fold.
+  cores_[static_cast<size_t>(*slot)]->Issue(spec, std::move(q));
+  return OkStatus();
+}
+
+Status CellWorker::HandleKillCell(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  int cell = 0;
+  CKPT_READ(r, cell);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: kill-cell trailing bytes");
+  }
+  if (cell < 0 || cell >= config_.num_cells) {
+    return InvalidArgumentError("cell_worker: cell index out of range");
+  }
+  // Every hosted gateway marks the cell down and fails its pending queries
+  // toward it (hosted-cell ascending, qid ascending within — deterministic).
+  for (auto& core : cores_) {
+    core->SetCellDown(cell, true);
+    core->FailPendingToward(cell);
+  }
+  auto slot = SlotOf(cell);
+  if (slot.ok()) {
+    Deployment& victim = *cells_[static_cast<size_t>(*slot)];
+    for (int p = 0; p < victim.config().num_proxies; ++p) {
+      victim.KillProxy(p);
+    }
+  }
+  return OkStatus();
+}
+
+Status CellWorker::HandleReviveCell(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  int cell = 0;
+  CKPT_READ(r, cell);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: revive-cell trailing bytes");
+  }
+  if (cell < 0 || cell >= config_.num_cells) {
+    return InvalidArgumentError("cell_worker: cell index out of range");
+  }
+  auto slot = SlotOf(cell);
+  if (slot.ok()) {
+    Deployment& revived = *cells_[static_cast<size_t>(*slot)];
+    for (int p = 0; p < revived.config().num_proxies; ++p) {
+      revived.ReviveProxy(p);
+    }
+  }
+  for (auto& core : cores_) {
+    core->SetCellDown(cell, false);
+  }
+  return OkStatus();
+}
+
+Status CellWorker::HandleProxyOp(span<const uint8_t> payload, bool kill) {
+  ByteReader r{payload};
+  int cell = 0, proxy = 0;
+  CKPT_READ(r, cell);
+  CKPT_READ(r, proxy);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: proxy-op trailing bytes");
+  }
+  auto slot = SlotOf(cell);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  Deployment& target = *cells_[static_cast<size_t>(*slot)];
+  if (proxy < 0 || proxy >= target.config().num_proxies) {
+    return InvalidArgumentError("cell_worker: proxy index out of range");
+  }
+  if (kill) {
+    target.KillProxy(proxy);
+  } else {
+    target.ReviveProxy(proxy);
+  }
+  return OkStatus();
+}
+
+Status CellWorker::HandleMigrateSensor(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  int cell = 0, global_index = 0, new_owner = 0;
+  CKPT_READ(r, cell);
+  CKPT_READ(r, global_index);
+  CKPT_READ(r, new_owner);
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: migrate-sensor trailing bytes");
+  }
+  auto slot = SlotOf(cell);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  Deployment& target = *cells_[static_cast<size_t>(*slot)];
+  if (global_index < 0 || global_index >= target.total_sensors() ||
+      new_owner < 0 || new_owner >= target.config().num_proxies) {
+    return InvalidArgumentError("cell_worker: migrate-sensor argument out of range");
+  }
+  target.MigrateSensor(global_index, new_owner);
+  return OkStatus();
+}
+
+Status CellWorker::HandleSnapshot(FedFrame* reply) {
+  ByteWriter w;
+  w.WriteVarU64(cores_.size());
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    FedCell& core = *cores_[i];
+    FedCellSnapshot snap;
+    snap.sim_fingerprint = cells_[i]->sim().fingerprint();
+    snap.events = cells_[i]->sim().events_executed();
+    snap.counters = core.counters();
+    snap.trunks = core.TrunkTotals();
+    for (int d = 0; d < core.num_drivers(); ++d) {
+      snap.drivers.push_back(core.driver(d).stats());
+    }
+    CkptWrite(w, snap);
+  }
+  reply->payload = w.TakeBuffer();
+  return OkStatus();
+}
+
+Status CellWorker::HandleCkptSave(FedFrame* reply) {
+  Checkpoint sub;
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    PRESTO_RETURN_IF_ERROR(SaveCellCheckpoint(*cells_[i], *cores_[i], &sub));
+  }
+  reply->payload = sub.Encode();
+  return OkStatus();
+}
+
+Status CellWorker::HandleCkptLoad(span<const uint8_t> payload) {
+  ByteReader r{payload};
+  auto blob = r.ReadBytes();
+  if (!blob.ok()) {
+    return blob.status();
+  }
+  std::vector<uint8_t> down;
+  PRESTO_RETURN_IF_ERROR(
+      ReadCellBitmap(r, static_cast<size_t>(config_.num_cells), &down));
+  if (r.remaining() != 0) {
+    return DataLossError("cell_worker: ckpt-load trailing bytes");
+  }
+  auto ckpt = Checkpoint::Decode(span<const uint8_t>(*blob));
+  if (!ckpt.ok()) {
+    return ckpt.status();
+  }
+  for (size_t i = 0; i < cores_.size(); ++i) {
+    cores_[i]->RestoreCellDown(down);
+    cores_[i]->TakeOutbox();  // undrained mail belongs to the orchestrator
+    PRESTO_RETURN_IF_ERROR(LoadCellCheckpoint(*cells_[i], *cores_[i], *ckpt));
+  }
+  return OkStatus();
+}
+
+Result<int> CellWorker::SlotOf(int cell_index) const {
+  if (cell_index >= worker_index_ && cell_index < config_.num_cells &&
+      cell_index % num_workers_ == worker_index_) {
+    return (cell_index - worker_index_) / num_workers_;
+  }
+  return InvalidArgumentError("cell_worker: cell is not hosted by this worker");
+}
+
+std::vector<uint8_t> CellWorker::ControlReply() {
+  std::vector<FedMail> mail;
+  std::vector<FedCell::HostDone> done;
+  for (auto& core : cores_) {
+    std::vector<FedMail> box = core->TakeOutbox();
+    std::move(box.begin(), box.end(), std::back_inserter(mail));
+    std::vector<FedCell::HostDone> host = core->TakeHostDone();
+    std::move(host.begin(), host.end(), std::back_inserter(done));
+  }
+  return EncodeFedControlReply(mail, done);
+}
+
+}  // namespace presto

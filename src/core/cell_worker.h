@@ -1,0 +1,80 @@
+// The presto_cell worker: one process hosting a slice of a federation's cells.
+//
+// A Federation in process mode (FederationConfig::cell_processes > 1) forks one
+// of these per process slot; cell c lives in worker c % cell_processes. The
+// worker owns full Deployment + FedCell pairs for its hosted cells and speaks
+// the fed_wire frame protocol over a single inherited socketpair fd: kBootstrap
+// constructs the cells (same seeds, same sink-registration order as the
+// in-process constructor — the cross-mode fingerprint contract), kStep runs one
+// federation epoch and returns the mail it generated, control frames mutate
+// topology, kSnapshot folds telemetry, and kCkptSave/kCkptLoad reuse the exact
+// per-cell checkpoint sections the in-process federation writes (live
+// migration: a worker can bootstrap from either mode's checkpoint).
+//
+// Error discipline mirrors fed_wire's: malformed payloads return kError frames
+// (Status code + message), never a PRESTO_CHECK abort — the parent treats an
+// aborted worker as a crashed cell, so clean errors must stay clean.
+
+#ifndef SRC_CORE_CELL_WORKER_H_
+#define SRC_CORE_CELL_WORKER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/deployment.h"
+#include "src/core/federation.h"
+#include "src/net/fed_wire.h"
+
+namespace presto {
+
+class CellWorker {
+ public:
+  // `channel` must outlive the worker (it is the process's one link to the
+  // parent orchestrator).
+  explicit CellWorker(FrameChannel* channel) : channel_(channel) {}
+
+  CellWorker(const CellWorker&) = delete;
+  CellWorker& operator=(const CellWorker&) = delete;
+
+  // Serves frames until kShutdown or the parent closes the channel; either is a
+  // clean exit (returns the process exit code). Every request gets exactly one
+  // reply: kAck with the op's payload, or kError carrying a Status.
+  int Serve();
+
+ private:
+  // Routes one request; a non-OK return becomes the kError reply.
+  Status Dispatch(const FedFrame& request, FedFrame* reply);
+
+  Status HandleBootstrap(span<const uint8_t> payload);
+  Status HandleStart();
+  Status HandleAttachDriver(span<const uint8_t> payload, FedFrame* reply);
+  Status HandleStartDriver(span<const uint8_t> payload);
+  Status HandleStep(span<const uint8_t> payload);
+  Status HandleInject(span<const uint8_t> payload);
+  Status HandleKillCell(span<const uint8_t> payload);
+  Status HandleReviveCell(span<const uint8_t> payload);
+  Status HandleProxyOp(span<const uint8_t> payload, bool kill);
+  Status HandleMigrateSensor(span<const uint8_t> payload);
+  Status HandleSnapshot(FedFrame* reply);
+  Status HandleCkptSave(FedFrame* reply);
+  Status HandleCkptLoad(span<const uint8_t> payload);
+
+  // Hosted slot of a global cell index, or an error if it lives elsewhere.
+  Result<int> SlotOf(int cell_index) const;
+  // Drains every hosted cell's outbox + host-probe completions into one encoded
+  // control reply (hosted-cell ascending order — the parent re-sorts by source).
+  std::vector<uint8_t> ControlReply();
+
+  FrameChannel* channel_;
+  bool bootstrapped_ = false;
+  FederationConfig config_{};  // outlives the FedCells, which hold a pointer
+  int worker_index_ = 0;
+  int num_workers_ = 1;
+  std::vector<int> hosted_;  // global cell indices, ascending
+  std::vector<std::unique_ptr<Deployment>> cells_;  // paired with cores_
+  std::vector<std::unique_ptr<FedCell>> cores_;
+};
+
+}  // namespace presto
+
+#endif  // SRC_CORE_CELL_WORKER_H_

@@ -1,8 +1,19 @@
 #include "src/core/federation.h"
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -12,9 +23,30 @@
 namespace presto {
 namespace {
 
-// Federation kQuery payload.a op codes (payload.b carries the query id).
-constexpr uint64_t kFedOpExecute = 1;   // request landed at the target cell
-constexpr uint64_t kFedOpComplete = 2;  // response landed back at the origin
+constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+// Folded into the barrier hash (with the cell index) when a worker dies: a crash
+// is part of the run's observable history, exactly like a drained barrier.
+constexpr uint64_t kWorkerDeathMark = 0xdeadc377ull;
+
+// The presto_cell binary: PRESTO_CELL_BIN wins, else next to this executable,
+// else whatever PATH resolves.
+std::string ResolveWorkerBinary() {
+  if (const char* env = std::getenv("PRESTO_CELL_BIN"); env != nullptr && *env) {
+    return env;
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    std::string path(self);
+    const size_t slash = path.rfind('/');
+    if (slash != std::string::npos) {
+      return path.substr(0, slash + 1) + "presto_cell";
+    }
+  }
+  return "presto_cell";
+}
 
 }  // namespace
 
@@ -40,58 +72,584 @@ int CellDirectory::FedIndexOf(int cell, int local) const {
   return cell * sensors_per_cell_ + local;
 }
 
+// ---------------------------------------------------------------------------
+// Seam codecs.
+// ---------------------------------------------------------------------------
+
+void CkptWrite(ByteWriter& w, const FederationQuerySpec& v) {
+  CkptWrite(w, v.type);
+  CkptWrite(w, v.fed_sensor);
+  CkptWrite(w, v.range);
+  CkptWrite(w, v.tolerance);
+  CkptWrite(w, v.latency_bound);
+}
+
+Status CkptRead(ByteReader& r, FederationQuerySpec& v) {
+  CKPT_READ(r, v.type);
+  if (static_cast<uint8_t>(v.type) > static_cast<uint8_t>(QueryType::kPast)) {
+    return DataLossError("federation query spec: type out of range");
+  }
+  CKPT_READ(r, v.fed_sensor);
+  CKPT_READ(r, v.range);
+  CKPT_READ(r, v.tolerance);
+  CKPT_READ(r, v.latency_bound);
+  return OkStatus();
+}
+
+void CkptWrite(ByteWriter& w, const FederationQueryResult& v) {
+  CkptWrite(w, v.cell);
+  CkptWrite(w, v.origin_cell);
+  CkptWrite(w, v.target_cell);
+  CkptWrite(w, v.cross_cell);
+  CkptWrite(w, v.issued_at);
+  CkptWrite(w, v.completed_at);
+}
+
+Status CkptRead(ByteReader& r, FederationQueryResult& v) {
+  CKPT_READ(r, v.cell);
+  CKPT_READ(r, v.origin_cell);
+  CKPT_READ(r, v.target_cell);
+  CKPT_READ(r, v.cross_cell);
+  CKPT_READ(r, v.issued_at);
+  CKPT_READ(r, v.completed_at);
+  return OkStatus();
+}
+
+void CkptWrite(ByteWriter& w, const FederationTrunkTotals& v) {
+  CkptWrite(w, v.messages);
+  CkptWrite(w, v.bytes);
+}
+
+Status CkptRead(ByteReader& r, FederationTrunkTotals& v) {
+  CKPT_READ(r, v.messages);
+  CKPT_READ(r, v.bytes);
+  return OkStatus();
+}
+
+void CkptWrite(ByteWriter& w, const FedCell::Counters& v) {
+  CkptWrite(w, v.next_qid);
+  CkptWrite(w, v.queries);
+  CkptWrite(w, v.local);
+  CkptWrite(w, v.forwarded);
+  CkptWrite(w, v.failed);
+  CkptWrite(w, v.orphans);
+}
+
+Status CkptRead(ByteReader& r, FedCell::Counters& v) {
+  CKPT_READ(r, v.next_qid);
+  CKPT_READ(r, v.queries);
+  CKPT_READ(r, v.local);
+  CKPT_READ(r, v.forwarded);
+  CKPT_READ(r, v.failed);
+  CKPT_READ(r, v.orphans);
+  return OkStatus();
+}
+
+void CkptWrite(ByteWriter& w, const FedCellSnapshot& v) {
+  CkptWrite(w, v.sim_fingerprint);
+  CkptWrite(w, v.events);
+  CkptWrite(w, v.counters);
+  CkptWrite(w, v.trunks);
+  CkptWrite(w, v.drivers);
+}
+
+Status CkptRead(ByteReader& r, FedCellSnapshot& v) {
+  CKPT_READ(r, v.sim_fingerprint);
+  CKPT_READ(r, v.events);
+  CKPT_READ(r, v.counters);
+  CKPT_READ(r, v.trunks);
+  CKPT_READ(r, v.drivers);
+  return OkStatus();
+}
+
+std::vector<uint8_t> EncodeFedControlReply(
+    const std::vector<FedMail>& mail,
+    const std::vector<FedCell::HostDone>& host_done) {
+  ByteWriter w;
+  CkptWrite(w, mail);
+  w.WriteVarU64(host_done.size());
+  for (const FedCell::HostDone& d : host_done) {
+    CkptWrite(w, d.token);
+    CkptWrite(w, d.result);
+  }
+  return w.TakeBuffer();
+}
+
+Status DecodeFedControlReply(span<const uint8_t> payload, std::vector<FedMail>* mail,
+                             std::vector<FedCell::HostDone>* host_done) {
+  ByteReader r{payload};
+  CKPT_READ(r, *mail);
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > r.remaining()) {
+    return DataLossError("fed control reply: count exceeds payload bytes");
+  }
+  host_done->clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    FedCell::HostDone d;
+    CKPT_READ(r, d.token);
+    CKPT_READ(r, d.result);
+    host_done->push_back(std::move(d));
+  }
+  if (r.remaining() != 0) {
+    return DataLossError("fed control reply: trailing bytes");
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// FedCell: the per-cell half of the router.
+// ---------------------------------------------------------------------------
+
+FedCell::FedCell(int index, const FederationConfig* config, Deployment* cell)
+    : index_(index),
+      config_(config),
+      directory_(config->num_cells,
+                 config->cell.num_proxies * config->cell.sensors_per_proxy),
+      cell_(cell) {
+  PRESTO_CHECK(cell_ != nullptr);
+  PRESTO_CHECK(index_ >= 0 && index_ < config_->num_cells);
+  by_target_.resize(static_cast<size_t>(config_->num_cells));
+  cell_down_.assign(static_cast<size_t>(config_->num_cells), 0);
+  links_out_.reserve(static_cast<size_t>(config_->num_cells));
+  for (int d = 0; d < config_->num_cells; ++d) {
+    links_out_.push_back(d == index_ ? nullptr
+                                     : std::make_unique<CellLink>(config_->link));
+  }
+  // Tagged cross-cell queries complete through OnDeploymentQueryDone, and the
+  // router is a sink on the cell simulator (mail-delivery events), so both
+  // survive checkpoints. The caller constructs FedCells in cell-index order, so
+  // sink ids match across modes.
+  cell_->SetFederationClient(this);
+  cell_->sim().RegisterSink(this);
+}
+
+void FedCell::Issue(const FederationQuerySpec& spec, Pending q) {
+  // Runs on this cell's control lane (driver arrivals, mail) or host control
+  // context between steps: the counter block is single-writer either way, so qid
+  // allocation (qid ≡ index_ mod num_cells) needs no cross-cell coordination —
+  // and is deterministic, unlike a shared counter under cell-parallel stepping.
+  const int target = directory_.CellOf(spec.fed_sensor);
+  const int local = directory_.LocalOf(spec.fed_sensor);
+  ++counters_.queries;
+  const uint64_t qid =
+      ++counters_.next_qid * static_cast<uint64_t>(config_->num_cells) +
+      static_cast<uint64_t>(index_);
+  const int spp = config_->cell.sensors_per_proxy;
+  q.spec.type = spec.type;
+  q.spec.sensor_id = Deployment::SensorId(local / spp, local % spp);
+  q.spec.range = spec.range;
+  q.spec.tolerance = spec.tolerance;
+  q.spec.latency_bound = spec.latency_bound;
+  q.result.origin_cell = index_;
+  q.result.target_cell = target;
+  q.result.cross_cell = target != index_;
+  q.result.issued_at = cell_->sim().Now();
+  if (cell_down_[static_cast<size_t>(target)]) {
+    // Fail fast at this gateway: zero added latency, no trunk hop, no pending
+    // entry — the directory knows the cell is down, so the query never leaves.
+    q.result.cell = UnifiedQueryResult{};
+    q.result.cell.answer.status =
+        UnavailableError("federation: target cell is down");
+    Complete(std::move(q));
+    return;
+  }
+  by_target_[static_cast<size_t>(target)].insert(qid);
+  if (target == index_) {
+    ++counters_.local;
+    pending_.emplace(qid, std::move(q));
+    ExecuteLocal(qid);  // no trunk hop: straight into the local store
+    return;
+  }
+  ++counters_.forwarded;
+  // This origin->target trunk is driven only by this cell's control lane, so its
+  // serialization clock stays single-writer and monotone under parallel stepping.
+  const SimTime at = links_out_[static_cast<size_t>(target)]->Deliver(
+      q.result.issued_at, config_->query_bytes);
+  ByteWriter body;
+  CkptWrite(body, q.spec);
+  pending_.emplace(qid, std::move(q));
+  outbox_.push_back(
+      FedMail{index_, target, at, kFedOpExecute, qid, body.TakeBuffer()});
+}
+
+void FedCell::ExecuteLocal(uint64_t qid) {
+  auto it = pending_.find(qid);
+  PRESTO_CHECK(it != pending_.end());
+  // Copy: QueryAsyncFederated may complete synchronously and erase the entry.
+  const QuerySpec spec = it->second.spec;
+  cell_->QueryAsyncFederated(spec, qid);
+}
+
+void FedCell::OnSimEvent(EventKind kind, EventPayload& payload) {
+  PRESTO_CHECK(kind == EventKind::kQuery);
+  switch (payload.a) {
+    case kFedOpExecute: {
+      if (cell_down_[static_cast<size_t>(index_)]) {
+        // Mail raced a kill: the origin already failed (or will fail) this query
+        // in its own kill sweep. Dropping here keeps a dead cell silent.
+        ++counters_.orphans;
+        return;
+      }
+      QuerySpec spec;
+      ByteReader r{span<const uint8_t>(payload.bytes)};
+      const Status s = CkptRead(r, spec);
+      PRESTO_CHECK_MSG(s.ok() && r.remaining() == 0,
+                       "federation: bad execute mail body");
+      // Tagged (not closure) form: the deployment carries the fed qid through its
+      // own checkpointable pending table and calls OnDeploymentQueryDone when the
+      // store answers.
+      cell_->QueryAsyncFederated(spec, payload.b);
+      return;
+    }
+    case kFedOpComplete: {
+      if (pending_.find(payload.b) == pending_.end()) {
+        // A response for a query this origin already failed fast at kill time.
+        ++counters_.orphans;
+        return;
+      }
+      UnifiedQueryResult result;
+      ByteReader r{span<const uint8_t>(payload.bytes)};
+      const Status s = CkptRead(r, result);
+      PRESTO_CHECK_MSG(s.ok() && r.remaining() == 0,
+                       "federation: bad complete mail body");
+      FinalizeEntry(payload.b, result);
+      return;
+    }
+    default:
+      PRESTO_CHECK_MSG(false, "unknown federation op");
+  }
+}
+
+void FedCell::OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) {
+  // Runs on this cell's control lane (QueryAsync marshals completions there).
+  const int origin = OriginOf(qid);
+  if (origin == index_) {
+    if (pending_.find(qid) == pending_.end()) {
+      ++counters_.orphans;  // completed after a kill sweep already failed it
+      return;
+    }
+    FinalizeEntry(qid, result);
+    return;
+  }
+  // Cross-cell: the answer rides the target->origin trunk home as FedMail (PAST
+  // answers pay for their sample payload).
+  const size_t bytes = config_->response_base_bytes +
+                       result.answer.samples.size() *
+                           static_cast<size_t>(config_->response_sample_bytes);
+  const SimTime at =
+      links_out_[static_cast<size_t>(origin)]->Deliver(cell_->sim().Now(), bytes);
+  ByteWriter body;
+  CkptWrite(body, result);
+  outbox_.push_back(
+      FedMail{index_, origin, at, kFedOpComplete, qid, body.TakeBuffer()});
+}
+
+void FedCell::FinalizeEntry(uint64_t qid, const UnifiedQueryResult& result) {
+  auto it = pending_.find(qid);
+  PRESTO_CHECK(it != pending_.end());
+  Pending q = std::move(it->second);
+  by_target_[static_cast<size_t>(q.result.target_cell)].erase(qid);
+  pending_.erase(it);
+  q.result.cell = result;
+  Complete(std::move(q));
+}
+
+void FedCell::Complete(Pending q) {
+  q.result.completed_at = cell_->sim().Now();
+  if (!q.result.cell.answer.status.ok()) {
+    ++counters_.failed;
+  }
+  switch (q.origin) {
+    case Origin::kDriver: {
+      // The gateway's clock, not the serving cell's: federation latency spans
+      // both trunk hops. source_cell is the cell whose sensors paid any energy.
+      QueryOutcome outcome = OutcomeFromResult(q.result.cell);
+      outcome.issued_at = q.result.issued_at;
+      outcome.completed_at = q.result.completed_at;
+      outcome.cross_cell = q.result.cross_cell;
+      outcome.past = q.past;
+      outcome.source_cell = q.result.target_cell;
+      PRESTO_CHECK(q.driver_slot < drivers_.size());
+      drivers_[static_cast<size_t>(q.driver_slot)]->RecordOutcome(outcome);
+      return;
+    }
+    case Origin::kHost:
+      host_done_.push_back(HostDone{q.host_token, std::move(q.result)});
+      return;
+    case Origin::kClosure:
+      if (q.callback) {
+        q.callback(q.result);
+      }
+      return;
+  }
+}
+
+int FedCell::AttachDriver(const QueryDriverParams& params) {
+  QueryDriverParams p = params;
+  if (p.mix.num_sensors <= 0) {
+    p.mix.num_sensors = directory_.total_sensors();
+  }
+  PRESTO_CHECK_MSG(p.mix.num_sensors <= directory_.total_sensors(),
+                   "driver namespace exceeds the federation population");
+  // Tagged (slot) issue path: the pending entry carries this driver's slot
+  // instead of capturing the completion closure, so in-flight driver queries
+  // survive a checkpoint. Complete records the outcome directly.
+  const uint64_t slot = drivers_.size();
+  auto issue = [this, slot](const QueryRequest& request,
+                            QueryDriver::CompletionFn done) {
+    (void)done;  // completion flows through the driver-slot tag, not the closure
+    FederationQuerySpec fspec;
+    fspec.fed_sensor = request.sensor;
+    fspec.tolerance = request.tolerance;
+    fspec.latency_bound = request.latency_bound;
+    if (request.past) {
+      fspec.type = QueryType::kPast;
+      fspec.range = PastRangeOf(request, cell_->sim().Now());
+    }
+    Pending q;
+    q.origin = Origin::kDriver;
+    q.driver_slot = slot;
+    q.past = request.past;
+    Issue(fspec, std::move(q));
+  };
+  drivers_.push_back(
+      std::make_unique<QueryDriver>(&cell_->sim(), p, std::move(issue)));
+  return static_cast<int>(slot);
+}
+
+void FedCell::StartDriver(int slot, Duration duration) {
+  PRESTO_CHECK(slot >= 0 && slot < num_drivers());
+  drivers_[static_cast<size_t>(slot)]->Start(duration);
+}
+
+void FedCell::SetCellDown(int cell_index, bool down) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_->num_cells);
+  cell_down_[static_cast<size_t>(cell_index)] = down ? 1 : 0;
+}
+
+void FedCell::FailPendingToward(int cell_index) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_->num_cells);
+  std::set<uint64_t> victims;
+  victims.swap(by_target_[static_cast<size_t>(cell_index)]);
+  for (const uint64_t qid : victims) {  // ascending qid: deterministic order
+    auto it = pending_.find(qid);
+    PRESTO_CHECK(it != pending_.end());
+    Pending q = std::move(it->second);
+    pending_.erase(it);
+    q.result.cell = UnifiedQueryResult{};
+    q.result.cell.answer.status =
+        UnavailableError("federation: target cell was killed");
+    Complete(std::move(q));
+  }
+}
+
+void FedCell::RestoreCellDown(const std::vector<uint8_t>& flags) {
+  PRESTO_CHECK(flags.size() == cell_down_.size());
+  cell_down_ = flags;
+}
+
+void FedCell::DeliverMail(FedMail mail, SimTime barrier) {
+  PRESTO_CHECK(mail.target_cell == index_);
+  EventPayload payload;
+  payload.a = mail.op;
+  payload.b = mail.qid;
+  payload.bytes = std::move(mail.body);
+  // Delivery clamps to this barrier: inter-cell granularity is the federation
+  // epoch (trunk latency below it is only faithful modulo the clamp).
+  cell_->sim().ScheduleEventAt(std::max(mail.time, barrier), EventKind::kQuery,
+                               this, std::move(payload), Simulator::kLaneControl);
+}
+
+std::vector<FedMail> FedCell::TakeOutbox() {
+  return std::exchange(outbox_, {});
+}
+
+std::vector<FedCell::HostDone> FedCell::TakeHostDone() {
+  return std::exchange(host_done_, {});
+}
+
+FederationTrunkTotals FedCell::TrunkTotals() const {
+  FederationTrunkTotals total;
+  for (const auto& link : links_out_) {
+    if (link == nullptr) {
+      continue;
+    }
+    total.messages += link->stats().messages;
+    total.bytes += link->stats().bytes;
+  }
+  return total;
+}
+
+Status FedCell::SaveState(ByteWriter& w) const {
+  CkptWrite(w, counters_);
+  for (const auto& link : links_out_) {
+    if (link != nullptr) {
+      link->SaveState(w);
+    }
+  }
+  // qid-sorted walk: the serialized bytes must not depend on hash layout.
+  std::vector<uint64_t> qids;
+  qids.reserve(pending_.size());
+  for (const auto& [qid, q] : pending_) {
+    qids.push_back(qid);
+  }
+  std::sort(qids.begin(), qids.end());
+  w.WriteVarU64(qids.size());
+  for (const uint64_t qid : qids) {
+    const Pending& q = pending_.at(qid);
+    if (q.origin != Origin::kDriver) {
+      return FailedPreconditionError(
+          "federation checkpoint: closure-form query in flight (QueryAndWait probe)");
+    }
+    CkptWrite(w, qid);
+    CkptWrite(w, q.spec);
+    CkptWrite(w, q.result);
+    CkptWrite(w, q.driver_slot);
+    CkptWrite(w, q.past);
+  }
+  w.WriteVarU64(drivers_.size());
+  for (const auto& driver : drivers_) {
+    PRESTO_RETURN_IF_ERROR(driver->SaveState(w));
+  }
+  return OkStatus();
+}
+
+Status FedCell::LoadState(ByteReader& r) {
+  CKPT_READ(r, counters_);
+  for (auto& link : links_out_) {
+    if (link != nullptr) {
+      PRESTO_RETURN_IF_ERROR(link->LoadState(r));
+    }
+  }
+  pending_.clear();
+  for (auto& targets : by_target_) {
+    targets.clear();
+  }
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count > r.remaining()) {
+    return DataLossError("federation restore: pending count exceeds section bytes");
+  }
+  for (uint64_t i = 0; i < *count; ++i) {
+    uint64_t qid = 0;
+    CKPT_READ(r, qid);
+    Pending q;
+    q.origin = Origin::kDriver;  // the only origin that can cross a checkpoint
+    CKPT_READ(r, q.spec);
+    CKPT_READ(r, q.result);
+    CKPT_READ(r, q.driver_slot);
+    CKPT_READ(r, q.past);
+    if (OriginOf(qid) != index_ || q.result.origin_cell != index_) {
+      return DataLossError("federation restore: pending query origin mismatch");
+    }
+    if (q.result.target_cell < 0 || q.result.target_cell >= config_->num_cells) {
+      return DataLossError("federation restore: pending query cell out of range");
+    }
+    if (q.driver_slot >= drivers_.size()) {
+      return FailedPreconditionError(
+          "federation restore: attach the same drivers before restoring");
+    }
+    by_target_[static_cast<size_t>(q.result.target_cell)].insert(qid);
+    pending_.emplace(qid, std::move(q));
+  }
+  auto driver_count = r.ReadVarU64();
+  if (!driver_count.ok()) {
+    return driver_count.status();
+  }
+  if (*driver_count != drivers_.size()) {
+    return FailedPreconditionError(
+        "federation restore: attach the same drivers before restoring");
+  }
+  for (const auto& driver : drivers_) {
+    PRESTO_RETURN_IF_ERROR(driver->LoadState(r));
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-cell checkpoint composition (in-process federation + workers).
+// ---------------------------------------------------------------------------
+
+Status SaveCellCheckpoint(const Deployment& cell, const FedCell& core,
+                          Checkpoint* out) {
+  const std::string prefix = "cell" + std::to_string(core.index()) + "/";
+  PRESTO_RETURN_IF_ERROR(cell.SaveCheckpoint(out, prefix));
+  ByteWriter w;
+  PRESTO_RETURN_IF_ERROR(core.SaveState(w));
+  out->Add(prefix + "fed", w.TakeBuffer());
+  return OkStatus();
+}
+
+Status LoadCellCheckpoint(Deployment& cell, FedCell& core, const Checkpoint& ckpt) {
+  const std::string prefix = "cell" + std::to_string(core.index()) + "/";
+  const std::vector<uint8_t>* payload = ckpt.Find(prefix + "fed");
+  if (payload == nullptr) {
+    return NotFoundError("checkpoint missing section " + prefix + "fed");
+  }
+  ByteReader r{span<const uint8_t>(*payload)};
+  // Router first: the cell's simulator (loaded last inside LoadCheckpoint)
+  // re-announces restored events into fully rebuilt tables.
+  PRESTO_RETURN_IF_ERROR(core.LoadState(r));
+  if (r.remaining() != 0) {
+    return DataLossError("checkpoint section " + prefix + "fed has trailing bytes");
+  }
+  return cell.LoadCheckpoint(ckpt, prefix);
+}
+
+// ---------------------------------------------------------------------------
+// Federation: construction and the shared barrier schedule.
+// ---------------------------------------------------------------------------
+
 Federation::Federation(const FederationConfig& config)
     : config_(config),
       directory_(config.num_cells,
                  config.cell.num_proxies * config.cell.sensors_per_proxy) {
   PRESTO_CHECK(config_.num_cells >= 1);
   PRESTO_CHECK_MSG(config_.epoch > 0, "federation epoch must be positive");
-  for (int c = 0; c < config_.num_cells; ++c) {
-    DeploymentConfig cell_config = config_.cell;
-    // Distinct per-cell seeds off one federation seed: cells are statistically
-    // independent but the whole federation replays from `seed`.
-    cell_config.seed =
-        config_.seed ^ (0xfedc0de + 0x9e3779b9ull * static_cast<uint64_t>(c));
-    cells_.push_back(std::make_unique<Deployment>(cell_config));
-  }
-  for (auto& cell : cells_) {
-    // Tagged cross-cell queries complete through OnDeploymentQueryDone, and the
-    // federation is a sink on every cell simulator (mail-delivery events), so both
-    // survive checkpoints. Registration order is ctor order — the sink-id contract
-    // a restored checkpoint relies on.
-    cell->SetFederationClient(this);
-    cell->sim().RegisterSink(this);
-  }
-  links_.reserve(static_cast<size_t>(config_.num_cells) *
-                 static_cast<size_t>(config_.num_cells));
-  for (int s = 0; s < config_.num_cells; ++s) {
-    for (int d = 0; d < config_.num_cells; ++d) {
-      links_.push_back(s == d ? nullptr : std::make_unique<CellLink>(config_.link));
-    }
-  }
+  cell_threads_ = std::max(1, std::min(config_.cell_threads, config_.num_cells));
+  cell_processes_ =
+      std::max(1, std::min(config_.cell_processes, config_.num_cells));
+  PRESTO_CHECK_MSG(cell_threads_ == 1 || cell_processes_ == 1,
+                   "cell_processes and cell_threads are mutually exclusive");
   if (config_.auto_epoch) {
     config_.epoch = DeriveEpoch();
+    config_.auto_epoch = false;  // resolved: workers must not re-derive
   }
-  for (const auto& cell : cells_) {
-    const Duration cap = cell->sim().epoch_cap();
-    if (cap == Simulator::kNoEpochGrid) {
-      // Legacy single-queue cells have no barrier grid, hence no constraint: their
-      // events execute at exact times regardless of when mail is injected. The
-      // sentinel is deliberate — epoch_cap() == 0 means "no grid", never "a grid of
-      // length zero" (ConfigureLanes rejects non-positive epochs).
-      continue;
-    }
+  const Duration cap = CellEpochCap();
+  if (cap != Simulator::kNoEpochGrid) {
     // A trunk cannot deliver finer than its endpoints step: clamping inter-cell
-    // mail to federation barriers below the cells' own barrier grid would schedule
-    // into epochs the cells never open. Validated against the configured cap, not
-    // the current effective epoch — lookahead may shrink the latter mid-run, but
-    // it can also grow back to the cap.
+    // mail to federation barriers below the cells' own barrier grid would
+    // schedule into epochs the cells never open. Validated against the
+    // configured cap, not the current effective epoch — lookahead may shrink
+    // the latter mid-run, but it can also grow back to the cap.
     PRESTO_CHECK_MSG(config_.epoch >= cap,
                      "federation epoch must cover the cell lane epoch cap");
   }
-  outbox_.resize(static_cast<size_t>(config_.num_cells));
-  counters_.resize(static_cast<size_t>(config_.num_cells));
-  cell_threads_ = std::max(1, std::min(config_.cell_threads, config_.num_cells));
+  cell_down_.assign(static_cast<size_t>(config_.num_cells), 0);
+  if (process_mode()) {
+    route_.resize(static_cast<size_t>(config_.num_cells));
+    SpawnWorkers();
+    return;
+  }
+  for (int c = 0; c < config_.num_cells; ++c) {
+    DeploymentConfig cell_config = config_.cell;
+    cell_config.seed = FederationCellSeed(config_.seed, c);
+    cells_.push_back(std::make_unique<Deployment>(cell_config));
+  }
+  for (int c = 0; c < config_.num_cells; ++c) {
+    // Cell-index order: the FedCell registers sinks on its cell's simulator, and
+    // sink ids are part of the checkpoint contract across modes.
+    cores_.push_back(
+        std::make_unique<FedCell>(c, &config_, cells_[static_cast<size_t>(c)].get()));
+    if (cap != Simulator::kNoEpochGrid) {
+      PRESTO_CHECK(cells_[static_cast<size_t>(c)]->sim().epoch_cap() == cap);
+    }
+  }
   for (int w = 1; w < cell_threads_; ++w) {
     cell_workers_.emplace_back([this] { CellWorkerLoop(); });
   }
@@ -108,54 +666,35 @@ Federation::~Federation() {
       worker.join();
     }
   }
+  ShutdownWorkers();
 }
 
-void Federation::Start() {
-  for (auto& cell : cells_) {
-    cell->Start();
-  }
+Duration Federation::CellEpochCap() const {
+  // Config-only math (no instantiated simulator needed — workers aren't local):
+  // lane-engine cells step on their configured sim_epoch grid; legacy
+  // single-queue cells have no grid and impose no constraint.
+  return config_.cell.lane_engine ? config_.cell.sim_epoch : Simulator::kNoEpochGrid;
 }
 
 Duration Federation::DeriveEpoch() const {
-  // Topology-derived conservative bound: the fastest directed trunk is the soonest
-  // any cell can affect another, so stepping no coarser than it keeps barrier
-  // clamping from distorting cross-cell delivery times. All trunks currently share
-  // config_.link, but deriving from the instantiated links keeps this correct if
-  // per-pair trunks ever diverge.
-  Duration min_trunk = -1;
-  for (const auto& link : links_) {
-    if (link == nullptr) {
-      continue;
-    }
-    const Duration latency = link->params().latency;
-    if (min_trunk < 0 || latency < min_trunk) {
-      min_trunk = latency;
-    }
-  }
-  Duration floor = 0;
-  for (const auto& cell : cells_) {
-    floor = std::max(floor, cell->sim().epoch_cap());  // kNoEpochGrid = 0: no floor
-  }
-  Duration derived = config_.epoch;
-  if (min_trunk >= 0) {
-    derived = std::min(derived, min_trunk);
-  }
-  derived = std::max(derived, floor);
+  // Topology-derived conservative bound: the fastest trunk is the soonest any
+  // cell can affect another, so stepping no coarser than it keeps barrier
+  // clamping from distorting cross-cell delivery times. All trunks share
+  // config_.link, so the minimum is the configured latency.
+  Duration derived = std::min(config_.epoch, config_.link.latency);
+  derived = std::max(derived, CellEpochCap());  // kNoEpochGrid = 0: no floor
   PRESTO_CHECK_MSG(derived > 0, "derived federation epoch must be positive");
   return derived;
 }
 
-CellLink& Federation::LinkBetween(int src, int dst) {
-  PRESTO_CHECK(src != dst);
-  return *links_[static_cast<size_t>(src) * static_cast<size_t>(config_.num_cells) +
-                 static_cast<size_t>(dst)];
-}
-
-const CellLink& Federation::link(int src, int dst) const {
-  PRESTO_CHECK(src >= 0 && src < config_.num_cells);
-  PRESTO_CHECK(dst >= 0 && dst < config_.num_cells && src != dst);
-  return *links_[static_cast<size_t>(src) * static_cast<size_t>(config_.num_cells) +
-                 static_cast<size_t>(dst)];
+void Federation::Start() {
+  if (process_mode()) {
+    BroadcastControl(FedFrameType::kStart, {});
+    return;
+  }
+  for (auto& cell : cells_) {
+    cell->Start();
+  }
 }
 
 void Federation::RunUntil(SimTime t) {
@@ -166,21 +705,47 @@ void Federation::RunUntil(SimTime t) {
     // off-grid resumes with a partial iteration whose start is *not* a barrier —
     // draining there would make delivery times (and the barrier hash) depend on
     // how the host happened to slice its RunUntil calls.
-    if (now_ % config_.epoch == 0) {
-      DrainMail();
-    }
-    // Cells step through the epoch — concurrently when cell_threads_ > 1. Cells
-    // only interact through outboxes drained at the (serial) barrier above, so
-    // which host thread steps a cell is unobservable: fingerprints and driver
-    // histograms are identical for sequential and parallel stepping.
-    if (cell_threads_ <= 1) {
-      for (auto& cell : cells_) {
-        cell->RunUntil(end);
-      }
+    const bool on_grid = now_ % config_.epoch == 0;
+    if (process_mode()) {
+      StepWorkers(end, on_grid);
     } else {
-      StepCells(end);
+      if (on_grid) {
+        DrainMail();
+      }
+      // Cells step through the epoch — concurrently when cell_threads_ > 1.
+      // Cells only interact through outboxes drained at the (serial) barrier
+      // above, so which host thread steps a cell is unobservable: fingerprints
+      // and driver histograms are identical for sequential and parallel runs.
+      if (cell_threads_ <= 1) {
+        for (auto& cell : cells_) {
+          cell->RunUntil(end);
+        }
+      } else {
+        StepCells(end);
+      }
     }
     now_ = end;
+  }
+}
+
+void Federation::DrainMail() {
+  uint64_t drained = 0;
+  for (int c = 0; c < config_.num_cells; ++c) {
+    // Source-ascending, FIFO within a source: the per-target arrival order every
+    // mode reproduces (the process-mode parent routes in exactly this order).
+    for (FedMail& mail : cores_[static_cast<size_t>(c)]->TakeOutbox()) {
+      const int target = mail.target_cell;
+      cores_[static_cast<size_t>(target)]->DeliverMail(std::move(mail), now_);
+      ++drained;
+    }
+  }
+  ++serial_stats_.barriers;
+  if (drained > 0) {
+    serial_stats_.mail_drained += drained;
+    // Which barrier took delivery of how much inter-cell traffic is part of the
+    // federation replay contract (mirrors the simulator's barrier-sequence hash).
+    FnvMix(barrier_hash_, static_cast<uint64_t>(now_));
+    FnvMix(barrier_hash_, drained);
   }
 }
 
@@ -229,185 +794,154 @@ void Federation::ClaimCells(SimTime end) {
   }
 }
 
-void Federation::DrainMail() {
-  uint64_t drained = 0;
-  for (auto& box : outbox_) {
-    for (Mail& mail : box) {
-      EventPayload payload;
-      payload.a = mail.op;
-      payload.b = mail.qid;
-      // Delivery clamps to this barrier: inter-cell granularity is the federation
-      // epoch (trunk latency below it is only faithful modulo the clamp).
-      cells_[static_cast<size_t>(mail.target_cell)]->sim().ScheduleEventAt(
-          std::max(mail.time, now_), EventKind::kQuery, this, std::move(payload),
-          Simulator::kLaneControl);
-      ++drained;
-    }
-    box.clear();
-  }
-  ++serial_stats_.barriers;
-  if (drained > 0) {
-    serial_stats_.mail_drained += drained;
-    // Which barrier took delivery of how much inter-cell traffic is part of the
-    // federation replay contract (mirrors the simulator's barrier-sequence hash).
-    FnvMix(barrier_hash_, static_cast<uint64_t>(now_));
-    FnvMix(barrier_hash_, drained);
-  }
+// ---------------------------------------------------------------------------
+// In-process-only accessors.
+// ---------------------------------------------------------------------------
+
+Deployment& Federation::cell(int index) {
+  PRESTO_CHECK_MSG(!process_mode(), "Federation::cell is in-process only");
+  PRESTO_CHECK(index >= 0 && index < config_.num_cells);
+  return *cells_[static_cast<size_t>(index)];
+}
+
+const CellLink& Federation::link(int src, int dst) const {
+  PRESTO_CHECK_MSG(!process_mode(), "Federation::link is in-process only");
+  PRESTO_CHECK(src >= 0 && src < config_.num_cells);
+  PRESTO_CHECK(dst >= 0 && dst < config_.num_cells && src != dst);
+  return cores_[static_cast<size_t>(src)]->link_out(dst);
+}
+
+QueryDriver& Federation::AttachQueryDriver(int origin_cell,
+                                           const QueryDriverParams& params) {
+  PRESTO_CHECK_MSG(!process_mode(),
+                   "Federation::AttachQueryDriver is in-process only");
+  const int index = AttachDriver(origin_cell, params);
+  const auto [cell_index, slot] = driver_map_[static_cast<size_t>(index)];
+  return cores_[static_cast<size_t>(cell_index)]->driver(slot);
 }
 
 void Federation::IssueFromCell(
     int origin_cell, const FederationQuerySpec& spec,
     std::function<void(const FederationQueryResult&)> callback) {
-  PendingFedQuery q;
-  q.origin = PendingFedQuery::Origin::kClosure;
-  q.callback = std::move(callback);
-  IssueInternal(origin_cell, spec, std::move(q));
-}
-
-void Federation::IssueInternal(int origin_cell, const FederationQuerySpec& spec,
-                               PendingFedQuery q) {
+  PRESTO_CHECK_MSG(!process_mode(), "Federation::IssueFromCell is in-process only");
   PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
-  const int target = directory_.CellOf(spec.fed_sensor);
-  const int local = directory_.LocalOf(spec.fed_sensor);
-  // Runs on the origin cell's control lane (driver arrivals) or host control
-  // context: the origin's counter block is single-writer either way, so qid
-  // allocation (qid ≡ origin_cell mod num_cells) needs no cross-cell coordination
-  // — and is deterministic, unlike a shared atomic counter under cell-parallel
-  // stepping.
-  CellCounters& ctr = counters_[static_cast<size_t>(origin_cell)];
-  ++ctr.queries;
-  const uint64_t qid = ++ctr.next_qid * static_cast<uint64_t>(config_.num_cells) +
-                       static_cast<uint64_t>(origin_cell);
-  q.spec.type = spec.type;
-  q.spec.sensor_id = cells_[static_cast<size_t>(target)]->GlobalSensorId(local);
-  q.spec.range = spec.range;
-  q.spec.tolerance = spec.tolerance;
-  q.spec.latency_bound = spec.latency_bound;
-  q.result.origin_cell = origin_cell;
-  q.result.target_cell = target;
-  q.result.cross_cell = target != origin_cell;
-  q.result.issued_at = cells_[static_cast<size_t>(origin_cell)]->sim().Now();
-  const SimTime issued_at = q.result.issued_at;
-  PendingShard& shard = PendingShardOf(qid);
-  {
-    std::lock_guard<std::mutex> lock(shard.m);
-    shard.map.emplace(qid, std::move(q));
-  }
+  FedCell::Pending q;
+  q.origin = FedCell::Origin::kClosure;
+  q.callback = std::move(callback);
+  cores_[static_cast<size_t>(origin_cell)]->Issue(spec, std::move(q));
+}
 
-  if (target == origin_cell) {
-    ++ctr.local;
-    ExecuteAtTarget(qid);  // no trunk hop: straight into the local store
+// ---------------------------------------------------------------------------
+// Mode-independent facade.
+// ---------------------------------------------------------------------------
+
+int Federation::AttachDriver(int origin_cell, const QueryDriverParams& params) {
+  PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
+  int slot;
+  if (process_mode()) {
+    static_assert(std::is_trivially_copyable<QueryDriverParams>::value,
+                  "QueryDriverParams rides the wire as raw bytes");
+    ByteWriter w;
+    CkptWrite(w, origin_cell);
+    const auto* raw = reinterpret_cast<const uint8_t*>(&params);
+    w.WriteBytes(span<const uint8_t>(raw, sizeof(params)));
+    const int target = WorkerOf(origin_cell);
+    FedFrame reply;
+    const Status s =
+        CallWorker(target, FedFrameType::kAttachDriver, w.TakeBuffer(), &reply);
+    PRESTO_CHECK_MSG(s.ok() && reply.type == FedFrameType::kAck,
+                     "failed to attach a driver on a presto_cell worker");
+    ByteReader r{span<const uint8_t>(reply.payload)};
+    auto wire_slot = r.ReadVarU64();
+    PRESTO_CHECK(wire_slot.ok() && r.remaining() == 0);
+    slot = static_cast<int>(*wire_slot);
+  } else {
+    slot = cores_[static_cast<size_t>(origin_cell)]->AttachDriver(params);
+  }
+  driver_map_.emplace_back(origin_cell, slot);
+  snaps_fresh_ = false;
+  return static_cast<int>(driver_map_.size()) - 1;
+}
+
+void Federation::StartDriver(int driver_index, Duration duration) {
+  PRESTO_CHECK(driver_index >= 0 && driver_index < num_drivers());
+  const auto [cell_index, slot] = driver_map_[static_cast<size_t>(driver_index)];
+  if (process_mode()) {
+    const int w = WorkerOf(cell_index);
+    if (!workers_[static_cast<size_t>(w)].alive) {
+      return;  // the dead worker's cells are already down: nothing to start
+    }
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    CkptWrite(payload, slot);
+    CkptWrite(payload, duration);
+    ControlCall(w, FedFrameType::kStartDriver, payload.TakeBuffer());
+    FlushDeadCellKills();
     return;
   }
-  ++ctr.forwarded;
-  // The origin→target trunk is driven only by this (origin) control lane, so its
-  // serialization clock stays single-writer and monotone under parallel stepping.
-  const SimTime at =
-      LinkBetween(origin_cell, target).Deliver(issued_at, config_.query_bytes);
-  outbox_[static_cast<size_t>(origin_cell)].push_back(
-      Mail{target, at, kFedOpExecute, qid});
+  cores_[static_cast<size_t>(cell_index)]->StartDriver(slot, duration);
 }
 
-void Federation::ExecuteAtTarget(uint64_t qid) {
-  PendingShard& shard = PendingShardOf(qid);
-  PendingFedQuery* q;
-  {
-    std::lock_guard<std::mutex> lock(shard.m);
-    auto it = shard.map.find(qid);
-    PRESTO_CHECK(it != shard.map.end());
-    q = &it->second;
+QueryDriverStats Federation::DriverStats(int driver_index) const {
+  PRESTO_CHECK(driver_index >= 0 && driver_index < num_drivers());
+  const auto [cell_index, slot] = driver_map_[static_cast<size_t>(driver_index)];
+  if (process_mode()) {
+    RefreshSnapshots();
+    const FedCellSnapshot& snap = snaps_[static_cast<size_t>(cell_index)];
+    if (static_cast<size_t>(slot) >= snap.drivers.size()) {
+      return QueryDriverStats{};  // worker died before its first snapshot fold
+    }
+    return snap.drivers[static_cast<size_t>(slot)];
   }
-  // Tagged (not closure) form: the deployment carries the fed qid through its own
-  // checkpointable pending table and calls OnDeploymentQueryDone when the store
-  // answers — the whole cross-cell pipeline serializes at barriers.
-  cells_[static_cast<size_t>(q->result.target_cell)]->QueryAsyncFederated(q->spec,
-                                                                          qid);
-}
-
-void Federation::OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) {
-  OnCellAnswered(qid, result);
-}
-
-void Federation::OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r) {
-  // Runs on the target cell's control lane (QueryAsync marshals completions there).
-  PendingShard& shard = PendingShardOf(qid);
-  PendingFedQuery* q;
-  {
-    std::lock_guard<std::mutex> lock(shard.m);
-    auto it = shard.map.find(qid);
-    PRESTO_CHECK(it != shard.map.end());
-    q = &it->second;
-  }
-  q->result.cell = r;
-  if (!q->result.cross_cell) {
-    Finalize(qid);
-    return;
-  }
-  const int target = q->result.target_cell;
-  const int origin = q->result.origin_cell;
-  const size_t bytes =
-      config_.response_base_bytes +
-      r.answer.samples.size() * static_cast<size_t>(config_.response_sample_bytes);
-  // The target→origin trunk is driven only by this (target) control lane.
-  const SimTime at =
-      LinkBetween(target, origin)
-          .Deliver(cells_[static_cast<size_t>(target)]->sim().Now(), bytes);
-  outbox_[static_cast<size_t>(target)].push_back(
-      Mail{origin, at, kFedOpComplete, qid});
-}
-
-void Federation::Finalize(uint64_t qid) {
-  PendingShard& shard = PendingShardOf(qid);
-  PendingFedQuery q;
-  {
-    std::lock_guard<std::mutex> lock(shard.m);
-    auto it = shard.map.find(qid);
-    PRESTO_CHECK(it != shard.map.end());
-    q = std::move(it->second);
-    shard.map.erase(it);
-  }
-  q.result.completed_at =
-      cells_[static_cast<size_t>(q.result.origin_cell)]->sim().Now();
-  if (!q.result.cell.answer.status.ok()) {
-    // Failures are charged to the origin's counter block: Finalize always runs on
-    // the origin cell's control lane (or host context for probe queries).
-    ++counters_[static_cast<size_t>(q.result.origin_cell)].failed;
-  }
-  // Completion dispatch runs outside the shard lock: recording may issue follow-up
-  // queries that take the same lock.
-  if (q.origin == PendingFedQuery::Origin::kDriver) {
-    // The gateway's clock, not the serving cell's: federation latency spans both
-    // trunk hops. source_cell is the cell whose sensors paid any pull energy.
-    QueryOutcome outcome = OutcomeFromResult(q.result.cell);
-    outcome.issued_at = q.result.issued_at;
-    outcome.completed_at = q.result.completed_at;
-    outcome.cross_cell = q.result.cross_cell;
-    outcome.past = q.past;
-    outcome.source_cell = q.result.target_cell;
-    PRESTO_CHECK(q.driver_index < drivers_.size());
-    drivers_[q.driver_index]->RecordOutcome(outcome);
-  } else if (q.callback) {
-    q.callback(q.result);
-  }
-}
-
-void Federation::OnSimEvent(EventKind kind, EventPayload& payload) {
-  PRESTO_CHECK(kind == EventKind::kQuery);
-  switch (payload.a) {
-    case kFedOpExecute:
-      ExecuteAtTarget(payload.b);
-      break;
-    case kFedOpComplete:
-      Finalize(payload.b);
-      break;
-    default:
-      PRESTO_CHECK_MSG(false, "unknown federation op");
-  }
+  return cores_[static_cast<size_t>(cell_index)]->driver(slot).stats();
 }
 
 FederationQueryResult Federation::QueryAndWait(int origin_cell,
                                                const FederationQuerySpec& spec,
                                                Duration max_wait) {
+  PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
+  const SimTime deadline = now_ + max_wait;
+  if (process_mode()) {
+    const int w = WorkerOf(origin_cell);
+    auto synthesize = [&](Status status) {
+      FederationQueryResult out;
+      out.cell.answer.status = std::move(status);
+      out.origin_cell = origin_cell;
+      out.target_cell = directory_.CellOf(spec.fed_sensor);
+      out.issued_at = now_;
+      out.completed_at = now_;
+      return out;
+    };
+    if (!workers_[static_cast<size_t>(w)].alive) {
+      return synthesize(UnavailableError("federation: origin cell's worker is gone"));
+    }
+    const uint64_t token = ++next_host_token_;
+    ByteWriter payload;
+    CkptWrite(payload, origin_cell);
+    CkptWrite(payload, token);
+    CkptWrite(payload, spec);
+    ControlCall(w, FedFrameType::kInject, payload.TakeBuffer());
+    FlushDeadCellKills();
+    // Fail-fast and same-epoch completions ride back in the inject reply itself;
+    // anything slower surfaces through a later kStep reply's host_done fold.
+    auto it = host_results_.find(token);
+    while (it == host_results_.end() && now_ < deadline &&
+           workers_[static_cast<size_t>(w)].alive) {
+      RunUntil(std::min(now_ + config_.epoch, deadline));
+      it = host_results_.find(token);  // re-find: absorbs may rehash the map
+    }
+    if (it == host_results_.end()) {
+      if (!workers_[static_cast<size_t>(w)].alive) {
+        return synthesize(
+            UnavailableError("federation: origin cell's worker died mid-query"));
+      }
+      return synthesize(
+          DeadlineExceededError("federated query did not complete in max_wait"));
+    }
+    FederationQueryResult out = std::move(it->second);
+    host_results_.erase(it);
+    return out;
+  }
   // Shared (not stack-referencing) wait state: on a timeout the pending entry —
   // and its callback — outlive this frame, and a late completion must write into
   // state that is still alive, not a popped stack.
@@ -420,7 +954,6 @@ FederationQueryResult Federation::QueryAndWait(int origin_cell,
     state->out = r;
     state->done = true;
   });
-  const SimTime deadline = now_ + max_wait;
   while (!state->done && now_ < deadline) {
     RunUntil(std::min(now_ + config_.epoch, deadline));
   }
@@ -436,45 +969,23 @@ FederationQueryResult Federation::QueryAndWait(int origin_cell,
   return state->out;
 }
 
-QueryDriver& Federation::AttachQueryDriver(int origin_cell,
-                                           const QueryDriverParams& params) {
-  PRESTO_CHECK(origin_cell >= 0 && origin_cell < config_.num_cells);
-  QueryDriverParams p = params;
-  if (p.mix.num_sensors <= 0) {
-    p.mix.num_sensors = directory_.total_sensors();
-  }
-  PRESTO_CHECK_MSG(p.mix.num_sensors <= directory_.total_sensors(),
-                   "driver namespace exceeds the federation population");
-  Deployment& origin = *cells_[static_cast<size_t>(origin_cell)];
-  // Tagged (token) issue path: the pending entry carries this driver's index
-  // instead of capturing the completion closure, so in-flight driver queries
-  // survive a checkpoint. Finalize records the outcome directly.
-  const uint64_t driver_index = drivers_.size();
-  auto issue = [this, origin_cell, driver_index](const QueryRequest& request,
-                                                 QueryDriver::CompletionFn done) {
-    (void)done;  // completion flows through the driver-index tag, not the closure
-    FederationQuerySpec fspec;
-    fspec.fed_sensor = request.sensor;
-    fspec.tolerance = request.tolerance;
-    fspec.latency_bound = request.latency_bound;
-    if (request.past) {
-      fspec.type = QueryType::kPast;
-      fspec.range = PastRangeOf(
-          request, cells_[static_cast<size_t>(origin_cell)]->sim().Now());
-    }
-    PendingFedQuery q;
-    q.origin = PendingFedQuery::Origin::kDriver;
-    q.driver_index = driver_index;
-    q.past = request.past;
-    IssueInternal(origin_cell, fspec, std::move(q));
-  };
-  drivers_.push_back(
-      std::make_unique<QueryDriver>(&origin.sim(), p, std::move(issue)));
-  return *drivers_.back();
-}
-
 void Federation::KillCell(int cell_index) {
   PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  cell_down_[static_cast<size_t>(cell_index)] = 1;
+  if (process_mode()) {
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    BroadcastControl(FedFrameType::kKillCell, payload.TakeBuffer());
+    snaps_fresh_ = false;
+    return;
+  }
+  // Every gateway marks the cell down and fails its pending queries toward it
+  // (cell-index order, ascending qid within a cell: deterministic), then the
+  // cell's own proxies die.
+  for (auto& core : cores_) {
+    core->SetCellDown(cell_index, true);
+    core->FailPendingToward(cell_index);
+  }
   Deployment& cell = *cells_[static_cast<size_t>(cell_index)];
   for (int p = 0; p < cell.config().num_proxies; ++p) {
     cell.KillProxy(p);
@@ -483,19 +994,132 @@ void Federation::KillCell(int cell_index) {
 
 void Federation::ReviveCell(int cell_index) {
   PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  if (process_mode()) {
+    PRESTO_CHECK_MSG(workers_[static_cast<size_t>(WorkerOf(cell_index))].alive,
+                     "cannot revive a cell whose worker died");
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    BroadcastControl(FedFrameType::kReviveCell, payload.TakeBuffer());
+    cell_down_[static_cast<size_t>(cell_index)] = 0;
+    snaps_fresh_ = false;
+    return;
+  }
   Deployment& cell = *cells_[static_cast<size_t>(cell_index)];
   for (int p = 0; p < cell.config().num_proxies; ++p) {
     cell.ReviveProxy(p);
   }
+  for (auto& core : cores_) {
+    core->SetCellDown(cell_index, false);
+  }
+  cell_down_[static_cast<size_t>(cell_index)] = 0;
+}
+
+void Federation::KillProxyInCell(int cell_index, int proxy_index) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  if (process_mode()) {
+    const int w = WorkerOf(cell_index);
+    PRESTO_CHECK_MSG(workers_[static_cast<size_t>(w)].alive,
+                     "cannot mutate a cell whose worker died");
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    CkptWrite(payload, proxy_index);
+    ControlCall(w, FedFrameType::kKillProxy, payload.TakeBuffer());
+    FlushDeadCellKills();
+    snaps_fresh_ = false;
+    return;
+  }
+  cells_[static_cast<size_t>(cell_index)]->KillProxy(proxy_index);
+}
+
+void Federation::ReviveProxyInCell(int cell_index, int proxy_index) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  if (process_mode()) {
+    const int w = WorkerOf(cell_index);
+    PRESTO_CHECK_MSG(workers_[static_cast<size_t>(w)].alive,
+                     "cannot mutate a cell whose worker died");
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    CkptWrite(payload, proxy_index);
+    ControlCall(w, FedFrameType::kReviveProxy, payload.TakeBuffer());
+    FlushDeadCellKills();
+    snaps_fresh_ = false;
+    return;
+  }
+  cells_[static_cast<size_t>(cell_index)]->ReviveProxy(proxy_index);
+}
+
+void Federation::MigrateSensorInCell(int cell_index, int global_index,
+                                     int new_owner) {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  if (process_mode()) {
+    const int w = WorkerOf(cell_index);
+    PRESTO_CHECK_MSG(workers_[static_cast<size_t>(w)].alive,
+                     "cannot mutate a cell whose worker died");
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    CkptWrite(payload, global_index);
+    CkptWrite(payload, new_owner);
+    ControlCall(w, FedFrameType::kMigrateSensor, payload.TakeBuffer());
+    FlushDeadCellKills();
+    snaps_fresh_ = false;
+    return;
+  }
+  cells_[static_cast<size_t>(cell_index)]->MigrateSensor(global_index, new_owner);
+}
+
+uint64_t Federation::EventsExecuted() const {
+  if (process_mode()) {
+    RefreshSnapshots();
+    uint64_t total = 0;
+    for (const FedCellSnapshot& snap : snaps_) {
+      total += snap.events;
+    }
+    return total;
+  }
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->sim().events_executed();
+  }
+  return total;
+}
+
+FederationTrunkTotals Federation::TrunkTotals() const {
+  FederationTrunkTotals total;
+  if (process_mode()) {
+    RefreshSnapshots();
+    for (const FedCellSnapshot& snap : snaps_) {
+      total.messages += snap.trunks.messages;
+      total.bytes += snap.trunks.bytes;
+    }
+    return total;
+  }
+  for (const auto& core : cores_) {
+    const FederationTrunkTotals t = core->TrunkTotals();
+    total.messages += t.messages;
+    total.bytes += t.bytes;
+  }
+  return total;
 }
 
 FederationStats Federation::stats() const {
   FederationStats total = serial_stats_;
-  for (const CellCounters& ctr : counters_) {
+  auto fold = [&total](const FedCell::Counters& ctr) {
     total.queries += ctr.queries;
     total.local += ctr.local;
     total.forwarded += ctr.forwarded;
     total.failed += ctr.failed;
+    total.orphans += ctr.orphans;
+  };
+  if (process_mode()) {
+    RefreshSnapshots();
+    for (const FedCellSnapshot& snap : snaps_) {
+      fold(snap.counters);
+    }
+    total.orphans += parent_orphans_;
+    return total;
+  }
+  for (const auto& core : cores_) {
+    fold(core->counters());
   }
   return total;
 }
@@ -503,104 +1127,425 @@ FederationStats Federation::stats() const {
 uint64_t Federation::fingerprint() const {
   uint64_t total = barrier_hash_;
   uint64_t index = 0;
-  for (const auto& cell : cells_) {
-    // Bind each stream to its cell identity before the commutative sum, so swapping
-    // two cells' entire histories (a directory misrouting bug) still changes the
-    // fold — the same shape as the simulator's per-lane fingerprint.
-    uint64_t term = cell->sim().fingerprint();
+  auto fold = [&](uint64_t sim_fp) {
+    // Bind each stream to its cell identity before the commutative sum, so
+    // swapping two cells' entire histories (a directory misrouting bug) still
+    // changes the fold — the same shape as the simulator's per-lane fingerprint.
+    uint64_t term = sim_fp;
     FnvMix(term, index++);
-    total += term * 0x9e3779b97f4a7c15ull;
+    total += term * kGolden;
+  };
+  if (process_mode()) {
+    RefreshSnapshots();
+    for (const FedCellSnapshot& snap : snaps_) {
+      fold(snap.sim_fingerprint);
+    }
+    return total;
+  }
+  for (const auto& cell : cells_) {
+    fold(cell->sim().fingerprint());
   }
   return total;
 }
 
-}  // namespace presto
+// ---------------------------------------------------------------------------
+// Process mode: worker lifecycle and the frame RPC discipline.
+// ---------------------------------------------------------------------------
 
-namespace presto {
-
-void CkptWrite(ByteWriter& w, const FederationQueryResult& v) {
-  CkptWrite(w, v.cell);
-  CkptWrite(w, v.origin_cell);
-  CkptWrite(w, v.target_cell);
-  CkptWrite(w, v.cross_cell);
-  CkptWrite(w, v.issued_at);
-  CkptWrite(w, v.completed_at);
+void Federation::SpawnWorkers() {
+  const std::string bin = ResolveWorkerBinary();
+  workers_.resize(static_cast<size_t>(cell_processes_));
+  for (int c = 0; c < config_.num_cells; ++c) {
+    workers_[static_cast<size_t>(WorkerOf(c))].cells.push_back(c);
+  }
+  for (int w = 0; w < cell_processes_; ++w) {
+    int fds[2];
+    PRESTO_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    // The parent-side fd must not leak into *any* worker (each fork inherits
+    // every fd open at that moment): close-on-exec before the first fork.
+    PRESTO_CHECK(::fcntl(fds[0], F_SETFD, FD_CLOEXEC) == 0);
+    const pid_t pid = ::fork();
+    PRESTO_CHECK(pid >= 0);
+    if (pid == 0) {
+      char fd_arg[16];
+      std::snprintf(fd_arg, sizeof(fd_arg), "%d", fds[1]);
+      ::execl(bin.c_str(), "presto_cell", fd_arg, static_cast<char*>(nullptr));
+      _exit(127);  // exec failed; bootstrap below reports the actionable error
+    }
+    ::close(fds[1]);
+    WorkerProc& worker = workers_[static_cast<size_t>(w)];
+    worker.pid = pid;
+    worker.channel = std::make_unique<FrameChannel>(fds[0]);
+    worker.alive = true;
+  }
+  for (int w = 0; w < cell_processes_; ++w) {
+    BootstrapWorker(w);
+  }
+  snaps_.assign(static_cast<size_t>(config_.num_cells), FedCellSnapshot{});
 }
 
-Status CkptRead(ByteReader& r, FederationQueryResult& v) {
-  CKPT_READ(r, v.cell);
-  CKPT_READ(r, v.origin_cell);
-  CKPT_READ(r, v.target_cell);
-  CKPT_READ(r, v.cross_cell);
-  CKPT_READ(r, v.issued_at);
-  CKPT_READ(r, v.completed_at);
+void Federation::BootstrapWorker(int w) {
+  static_assert(std::is_trivially_copyable<FederationConfig>::value,
+                "FederationConfig rides the wire as raw bytes");
+  // The worker constructs its hosted cells from the *resolved* config: epoch
+  // already derived, parallelism fields neutralized (the worker is the
+  // parallelism), num_cells kept — every worker owns a full routing view.
+  FederationConfig wire = config_;
+  wire.auto_epoch = false;
+  wire.cell_threads = 1;
+  wire.cell_processes = 1;
+  ByteWriter payload;
+  const auto* raw = reinterpret_cast<const uint8_t*>(&wire);
+  payload.WriteBytes(span<const uint8_t>(raw, sizeof(wire)));
+  CkptWrite(payload, w);
+  CkptWrite(payload, cell_processes_);
+  FedFrame reply;
+  const Status s =
+      CallWorker(w, FedFrameType::kBootstrap, payload.TakeBuffer(), &reply);
+  PRESTO_CHECK_MSG(s.ok() && reply.type == FedFrameType::kAck,
+                   "failed to bootstrap a presto_cell worker (is the presto_cell "
+                   "binary next to this executable? set PRESTO_CELL_BIN otherwise)");
+}
+
+Status Federation::CallWorker(int w, FedFrameType type, std::vector<uint8_t> payload,
+                              FedFrame* reply) {
+  WorkerProc& worker = workers_[static_cast<size_t>(w)];
+  PRESTO_CHECK(worker.alive);
+  FedFrame frame;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  const Status sent = worker.channel->Send(frame);
+  if (!sent.ok()) {
+    MarkWorkerDead(w);
+    return sent;
+  }
+  auto received = worker.channel->Recv();
+  if (!received.ok()) {
+    MarkWorkerDead(w);
+    return received.status();
+  }
+  *reply = std::move(*received);
   return OkStatus();
 }
+
+bool Federation::ControlCall(int w, FedFrameType type, std::vector<uint8_t> payload) {
+  FedFrame reply;
+  if (!CallWorker(w, type, std::move(payload), &reply).ok()) {
+    return false;  // CallWorker already marked the worker dead
+  }
+  if (reply.type != FedFrameType::kAck) {
+    MarkWorkerDead(w);
+    return false;
+  }
+  if (!AbsorbControlReply(reply.payload).ok()) {
+    MarkWorkerDead(w);
+    return false;
+  }
+  return true;
+}
+
+Status Federation::AbsorbControlReply(const std::vector<uint8_t>& payload) {
+  std::vector<FedMail> mail;
+  std::vector<FedCell::HostDone> host_done;
+  PRESTO_RETURN_IF_ERROR(
+      DecodeFedControlReply(span<const uint8_t>(payload), &mail, &host_done));
+  for (FedMail& m : mail) {
+    if (m.source_cell < 0 || m.source_cell >= config_.num_cells ||
+        m.target_cell < 0 || m.target_cell >= config_.num_cells ||
+        (m.op != kFedOpExecute && m.op != kFedOpComplete)) {
+      return DataLossError("federation: bad mail in control reply");
+    }
+    route_[static_cast<size_t>(m.source_cell)].push_back(std::move(m));
+  }
+  for (FedCell::HostDone& d : host_done) {
+    host_results_[d.token] = std::move(d.result);
+  }
+  return OkStatus();
+}
+
+void Federation::BroadcastControl(FedFrameType type,
+                                  const std::vector<uint8_t>& payload) {
+  for (int w = 0; w < cell_processes_; ++w) {
+    if (!workers_[static_cast<size_t>(w)].alive) {
+      continue;
+    }
+    ControlCall(w, type, payload);  // copy: each worker consumes its own
+  }
+  FlushDeadCellKills();
+}
+
+void Federation::StepWorkers(SimTime end, bool on_grid) {
+  std::vector<std::vector<FedMail>> deliver(workers_.size());
+  if (on_grid) {
+    // The parent-side barrier drain: route_ holds per-source FIFOs, walked
+    // source-ascending — the exact per-target arrival order DrainMail produces
+    // in-process, so delivery schedules (and fingerprints) match across modes.
+    uint64_t drained = 0;
+    for (int c = 0; c < config_.num_cells; ++c) {
+      auto& box = route_[static_cast<size_t>(c)];
+      for (FedMail& mail : box) {
+        const int w = WorkerOf(mail.target_cell);
+        ++drained;  // delivery happened at this barrier either way
+        if (!workers_[static_cast<size_t>(w)].alive) {
+          ++parent_orphans_;  // the dead cell drops it, counted like any orphan
+          continue;
+        }
+        deliver[static_cast<size_t>(w)].push_back(std::move(mail));
+      }
+      box.clear();
+    }
+    ++serial_stats_.barriers;
+    if (drained > 0) {
+      serial_stats_.mail_drained += drained;
+      FnvMix(barrier_hash_, static_cast<uint64_t>(now_));
+      FnvMix(barrier_hash_, drained);
+    }
+  }
+  // Strict one-reply-per-request RPC, batched: send every worker its step, then
+  // collect every reply — workers step their cells concurrently in between.
+  std::vector<uint8_t> sent(workers_.size(), 0);
+  for (int w = 0; w < cell_processes_; ++w) {
+    WorkerProc& worker = workers_[static_cast<size_t>(w)];
+    if (!worker.alive) {
+      continue;
+    }
+    ByteWriter payload;
+    CkptWrite(payload, now_);
+    CkptWrite(payload, end);
+    CkptWrite(payload, deliver[static_cast<size_t>(w)]);
+    FedFrame frame;
+    frame.type = FedFrameType::kStep;
+    frame.payload = payload.TakeBuffer();
+    if (!worker.channel->Send(frame).ok()) {
+      parent_orphans_ += deliver[static_cast<size_t>(w)].size();
+      MarkWorkerDead(w);
+      continue;
+    }
+    sent[static_cast<size_t>(w)] = 1;
+  }
+  for (int w = 0; w < cell_processes_; ++w) {
+    WorkerProc& worker = workers_[static_cast<size_t>(w)];
+    if (!sent[static_cast<size_t>(w)] || !worker.alive) {
+      continue;
+    }
+    auto reply = worker.channel->Recv();
+    if (!reply.ok() || reply->type != FedFrameType::kAck ||
+        !AbsorbControlReply(reply->payload).ok()) {
+      MarkWorkerDead(w);
+    }
+  }
+  // Only now — with no reply outstanding — may the survivors hear about deaths.
+  FlushDeadCellKills();
+  snaps_fresh_ = false;
+}
+
+void Federation::MarkWorkerDead(int w) {
+  WorkerProc& worker = workers_[static_cast<size_t>(w)];
+  if (!worker.alive) {
+    return;
+  }
+  // Local bookkeeping only — never sends frames (a sibling kStep reply may still
+  // be outstanding; see the header). Survivors learn via FlushDeadCellKills.
+  worker.alive = false;
+  if (worker.channel != nullptr) {
+    worker.channel->Close();
+  }
+  if (worker.pid > 0) {
+    ::kill(static_cast<pid_t>(worker.pid), SIGKILL);
+    int status = 0;
+    ::waitpid(static_cast<pid_t>(worker.pid), &status, 0);
+    worker.pid = -1;
+  }
+  for (const int c : worker.cells) {
+    // A crash is observable history: fold a death marker per cell into the
+    // barrier hash (always — even if the cell was already marked down).
+    FnvMix(barrier_hash_, kWorkerDeathMark);
+    FnvMix(barrier_hash_, static_cast<uint64_t>(c));
+    if (!cell_down_[static_cast<size_t>(c)]) {
+      cell_down_[static_cast<size_t>(c)] = 1;
+      dead_cells_pending_kill_.push_back(c);
+    }
+  }
+  // Undelivered mail toward the dead cells can never land: drop and count.
+  for (auto& box : route_) {
+    size_t kept = 0;
+    for (FedMail& mail : box) {
+      if (!workers_[static_cast<size_t>(WorkerOf(mail.target_cell))].alive) {
+        ++parent_orphans_;
+        continue;
+      }
+      box[kept++] = std::move(mail);
+    }
+    box.resize(kept);
+  }
+  snaps_fresh_ = false;
+}
+
+void Federation::FlushDeadCellKills() {
+  // Loop: broadcasting a kill can itself discover another dead worker, which
+  // queues more kills.
+  while (!dead_cells_pending_kill_.empty()) {
+    std::vector<int> batch = std::exchange(dead_cells_pending_kill_, {});
+    for (const int c : batch) {
+      ByteWriter payload;
+      CkptWrite(payload, c);
+      const std::vector<uint8_t> bytes = payload.TakeBuffer();
+      for (int w = 0; w < cell_processes_; ++w) {
+        if (!workers_[static_cast<size_t>(w)].alive) {
+          continue;
+        }
+        ControlCall(w, FedFrameType::kKillCell, bytes);
+      }
+    }
+  }
+}
+
+void Federation::ShutdownWorkers() {
+  for (WorkerProc& worker : workers_) {
+    bool clean = false;
+    if (worker.alive && worker.channel != nullptr) {
+      FedFrame frame;
+      frame.type = FedFrameType::kShutdown;
+      auto reply = worker.channel->Call(frame);
+      clean = reply.ok() && reply->type == FedFrameType::kAck;
+    }
+    if (worker.channel != nullptr) {
+      worker.channel->Close();
+    }
+    worker.alive = false;
+    if (worker.pid > 0) {
+      if (!clean) {
+        ::kill(static_cast<pid_t>(worker.pid), SIGKILL);
+      }
+      int status = 0;
+      ::waitpid(static_cast<pid_t>(worker.pid), &status, 0);
+      worker.pid = -1;
+    }
+  }
+  workers_.clear();
+}
+
+void Federation::RefreshSnapshots() const {
+  if (!process_mode() || snaps_fresh_) {
+    return;
+  }
+  // Logically const: folds worker-side telemetry into the mutable snapshot
+  // cache. CallWorker/MarkWorkerDead mutate worker state on failure, which is
+  // exactly the "crashed worker freezes at its last fold" contract.
+  auto* self = const_cast<Federation*>(this);
+  for (int w = 0; w < cell_processes_; ++w) {
+    const WorkerProc& worker = workers_[static_cast<size_t>(w)];
+    if (!worker.alive) {
+      continue;  // its cells freeze at their last folded snapshot
+    }
+    FedFrame reply;
+    if (!self->CallWorker(w, FedFrameType::kSnapshot, {}, &reply).ok()) {
+      continue;  // already marked dead
+    }
+    if (reply.type != FedFrameType::kAck) {
+      self->MarkWorkerDead(w);
+      continue;
+    }
+    ByteReader r{span<const uint8_t>(reply.payload)};
+    auto count = r.ReadVarU64();
+    bool ok = count.ok() && *count == worker.cells.size();
+    if (ok) {
+      for (const int c : worker.cells) {
+        FedCellSnapshot snap;
+        if (!CkptRead(r, snap).ok()) {
+          ok = false;
+          break;
+        }
+        snaps_[static_cast<size_t>(c)] = std::move(snap);
+      }
+      ok = ok && r.remaining() == 0;
+    }
+    if (!ok) {
+      self->MarkWorkerDead(w);
+    }
+  }
+  self->FlushDeadCellKills();
+  snaps_fresh_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints: per-cell sections + one orchestrator "fed" section, byte-
+// identical whichever mode produced them (the live-migration contract).
+// ---------------------------------------------------------------------------
 
 Status Federation::SaveCheckpoint(Checkpoint* out) const {
   PRESTO_CHECK(out != nullptr);
   Checkpoint staged;
-  for (int c = 0; c < config_.num_cells; ++c) {
-    PRESTO_RETURN_IF_ERROR(cells_[static_cast<size_t>(c)]->SaveCheckpoint(
-        &staged, "cell" + std::to_string(c) + "/"));
+  if (process_mode()) {
+    auto* self = const_cast<Federation*>(this);
+    std::vector<Checkpoint> subs;
+    subs.reserve(workers_.size());
+    for (int w = 0; w < cell_processes_; ++w) {
+      if (!workers_[static_cast<size_t>(w)].alive) {
+        return FailedPreconditionError("federation checkpoint: a cell worker died");
+      }
+      FedFrame reply;
+      PRESTO_RETURN_IF_ERROR(
+          self->CallWorker(w, FedFrameType::kCkptSave, {}, &reply));
+      if (reply.type == FedFrameType::kError) {
+        ByteReader r{span<const uint8_t>(reply.payload)};
+        Status failure = OkStatus();
+        PRESTO_RETURN_IF_ERROR(CkptRead(r, failure));
+        return failure;  // e.g. a probe query in flight on the worker
+      }
+      if (reply.type != FedFrameType::kAck) {
+        return DataLossError("federation checkpoint: unexpected worker reply");
+      }
+      auto sub = Checkpoint::Decode(span<const uint8_t>(reply.payload));
+      if (!sub.ok()) {
+        return sub.status();
+      }
+      subs.push_back(std::move(*sub));
+    }
+    // Deterministic cell-index section order regardless of worker layout: walk
+    // cells 0..N-1 and copy each cell's sections from its worker's checkpoint.
+    // The trailing '/' in the prefix keeps "cell1/" from matching "cell10/...".
+    for (int c = 0; c < config_.num_cells; ++c) {
+      const std::string prefix = "cell" + std::to_string(c) + "/";
+      const Checkpoint& sub = subs[static_cast<size_t>(WorkerOf(c))];
+      for (const Checkpoint::Section& section : sub.sections()) {
+        if (section.name.compare(0, prefix.size(), prefix) == 0) {
+          staged.Add(section.name, section.payload);
+        }
+      }
+    }
+  } else {
+    for (int c = 0; c < config_.num_cells; ++c) {
+      PRESTO_RETURN_IF_ERROR(SaveCellCheckpoint(*cells_[static_cast<size_t>(c)],
+                                                *cores_[static_cast<size_t>(c)],
+                                                &staged));
+    }
   }
+  // Orchestrator-only state: the federation clock, barrier-sequence hash,
+  // barrier counters, cell-down flags, and the undrained FedMail (per-source
+  // FIFO, flattened source-ascending — both modes produce identical bytes).
   ByteWriter w;
   CkptWrite(w, now_);
   CkptWrite(w, barrier_hash_);
   CkptWrite(w, serial_stats_.barriers);
   CkptWrite(w, serial_stats_.mail_drained);
-  for (const CellCounters& ctr : counters_) {
-    CkptWrite(w, ctr.next_qid);
-    CkptWrite(w, ctr.queries);
-    CkptWrite(w, ctr.local);
-    CkptWrite(w, ctr.forwarded);
-    CkptWrite(w, ctr.failed);
-  }
-  for (const auto& box : outbox_) {
-    w.WriteVarU64(box.size());
-    for (const Mail& mail : box) {
-      CkptWrite(w, mail.target_cell);
-      CkptWrite(w, mail.time);
-      CkptWrite(w, mail.op);
-      CkptWrite(w, mail.qid);
+  CkptWrite(w, parent_orphans_);
+  WriteCellBitmap(w, cell_down_);
+  std::vector<FedMail> mail;
+  if (process_mode()) {
+    for (const auto& box : route_) {
+      mail.insert(mail.end(), box.begin(), box.end());
+    }
+  } else {
+    for (const auto& core : cores_) {
+      const std::vector<FedMail>& box = core->outbox();
+      mail.insert(mail.end(), box.begin(), box.end());
     }
   }
-  for (const auto& link : links_) {
-    if (link != nullptr) {
-      link->SaveState(w);
-    }
-  }
-  // qid-sorted walk of the sharded pending table: the serialized bytes must not
-  // depend on hash layout.
-  std::vector<std::pair<uint64_t, const PendingFedQuery*>> pending;
-  for (const PendingShard& shard : pending_) {
-    std::lock_guard<std::mutex> lock(shard.m);
-    for (const auto& [qid, q] : shard.map) {
-      pending.emplace_back(qid, &q);
-    }
-  }
-  std::sort(pending.begin(), pending.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  w.WriteVarU64(pending.size());
-  for (const auto& [qid, q] : pending) {
-    if (q->origin == PendingFedQuery::Origin::kClosure) {
-      return FailedPreconditionError(
-          "federation checkpoint: closure-form query in flight (QueryAndWait probe)");
-    }
-    CkptWrite(w, qid);
-    CkptWrite(w, q->spec);
-    CkptWrite(w, q->result);
-    CkptWrite(w, q->origin);
-    CkptWrite(w, q->driver_index);
-    CkptWrite(w, q->past);
-  }
-  w.WriteVarU64(drivers_.size());
-  for (const auto& driver : drivers_) {
-    PRESTO_RETURN_IF_ERROR(driver->SaveState(w));
-  }
+  CkptWrite(w, mail);
   staged.Add("fed", w.TakeBuffer());
-  // Nothing partial on failure: sections land in the output only once every cell
-  // and the federation itself serialized cleanly.
+  // Nothing partial on failure: sections land in the output only once every
+  // cell and the federation itself serialized cleanly.
   for (const Checkpoint::Section& section : staged.sections()) {
     out->Add(section.name, section.payload);
   }
@@ -617,94 +1562,67 @@ Status Federation::LoadCheckpoint(const Checkpoint& ckpt) {
   CKPT_READ(r, barrier_hash_);
   CKPT_READ(r, serial_stats_.barriers);
   CKPT_READ(r, serial_stats_.mail_drained);
-  for (CellCounters& ctr : counters_) {
-    CKPT_READ(r, ctr.next_qid);
-    CKPT_READ(r, ctr.queries);
-    CKPT_READ(r, ctr.local);
-    CKPT_READ(r, ctr.forwarded);
-    CKPT_READ(r, ctr.failed);
-  }
-  for (auto& box : outbox_) {
-    auto count = r.ReadVarU64();
-    if (!count.ok()) {
-      return count.status();
+  CKPT_READ(r, parent_orphans_);
+  PRESTO_RETURN_IF_ERROR(
+      ReadCellBitmap(r, static_cast<size_t>(config_.num_cells), &cell_down_));
+  std::vector<FedMail> mail;
+  CKPT_READ(r, mail);
+  for (const FedMail& m : mail) {
+    if (m.source_cell < 0 || m.source_cell >= config_.num_cells ||
+        m.target_cell < 0 || m.target_cell >= config_.num_cells ||
+        (m.op != kFedOpExecute && m.op != kFedOpComplete)) {
+      return DataLossError("federation restore: bad mail entry");
     }
-    if (*count > r.remaining()) {
-      return DataLossError("federation restore: outbox count exceeds section bytes");
-    }
-    box.clear();
-    for (uint64_t i = 0; i < *count; ++i) {
-      Mail mail{};
-      CKPT_READ(r, mail.target_cell);
-      CKPT_READ(r, mail.time);
-      CKPT_READ(r, mail.op);
-      CKPT_READ(r, mail.qid);
-      if (mail.target_cell < 0 || mail.target_cell >= config_.num_cells ||
-          (mail.op != kFedOpExecute && mail.op != kFedOpComplete)) {
-        return DataLossError("federation restore: bad mail entry");
-      }
-      box.push_back(mail);
-    }
-  }
-  for (auto& link : links_) {
-    if (link != nullptr) {
-      PRESTO_RETURN_IF_ERROR(link->LoadState(r));
-    }
-  }
-  for (PendingShard& shard : pending_) {
-    std::lock_guard<std::mutex> lock(shard.m);
-    shard.map.clear();
-  }
-  auto count = r.ReadVarU64();
-  if (!count.ok()) {
-    return count.status();
-  }
-  if (*count > r.remaining()) {
-    return DataLossError("federation restore: pending count exceeds section bytes");
-  }
-  for (uint64_t i = 0; i < *count; ++i) {
-    uint64_t qid = 0;
-    CKPT_READ(r, qid);
-    PendingFedQuery q;
-    CKPT_READ(r, q.spec);
-    CKPT_READ(r, q.result);
-    CKPT_READ(r, q.origin);
-    CKPT_READ(r, q.driver_index);
-    CKPT_READ(r, q.past);
-    if (q.origin != PendingFedQuery::Origin::kDriver) {
-      return DataLossError("federation restore: bad pending query origin");
-    }
-    if (q.result.origin_cell < 0 || q.result.origin_cell >= config_.num_cells ||
-        q.result.target_cell < 0 || q.result.target_cell >= config_.num_cells) {
-      return DataLossError("federation restore: pending query cell out of range");
-    }
-    if (q.driver_index >= drivers_.size()) {
-      return FailedPreconditionError(
-          "federation restore: attach the same drivers before restoring");
-    }
-    PendingShard& shard = PendingShardOf(qid);
-    std::lock_guard<std::mutex> lock(shard.m);
-    shard.map.emplace(qid, std::move(q));
-  }
-  auto driver_count = r.ReadVarU64();
-  if (!driver_count.ok()) {
-    return driver_count.status();
-  }
-  if (*driver_count != drivers_.size()) {
-    return FailedPreconditionError(
-        "federation restore: attach the same drivers before restoring");
-  }
-  for (const auto& driver : drivers_) {
-    PRESTO_RETURN_IF_ERROR(driver->LoadState(r));
   }
   if (r.remaining() != 0) {
     return DataLossError("checkpoint section fed has trailing bytes");
   }
+  if (process_mode()) {
+    // Each worker restores its hosted cells from the same container the
+    // in-process path reads — live migration is just "bootstrap, then load".
+    const std::vector<uint8_t> encoded = ckpt.Encode();
+    for (int w = 0; w < cell_processes_; ++w) {
+      if (!workers_[static_cast<size_t>(w)].alive) {
+        return FailedPreconditionError("federation restore: a cell worker died");
+      }
+      ByteWriter req;
+      req.WriteBytes(span<const uint8_t>(encoded));
+      WriteCellBitmap(req, cell_down_);
+      FedFrame reply;
+      PRESTO_RETURN_IF_ERROR(
+          CallWorker(w, FedFrameType::kCkptLoad, req.TakeBuffer(), &reply));
+      if (reply.type == FedFrameType::kError) {
+        ByteReader er{span<const uint8_t>(reply.payload)};
+        Status failure = OkStatus();
+        PRESTO_RETURN_IF_ERROR(CkptRead(er, failure));
+        return failure;
+      }
+      if (reply.type != FedFrameType::kAck) {
+        return DataLossError("federation restore: unexpected worker reply");
+      }
+    }
+    for (auto& box : route_) {
+      box.clear();
+    }
+    for (FedMail& m : mail) {
+      route_[static_cast<size_t>(m.source_cell)].push_back(std::move(m));
+    }
+    host_results_.clear();
+    snaps_fresh_ = false;
+    return OkStatus();
+  }
+  for (auto& core : cores_) {
+    core->RestoreCellDown(cell_down_);
+    core->TakeOutbox();  // drop stale undrained mail before re-queuing saved mail
+  }
+  for (FedMail& m : mail) {
+    cores_[static_cast<size_t>(m.source_cell)]->RestoreMail(std::move(m));
+  }
   // Cells load after "fed" so each cell simulator (loaded last within its own
   // cell) re-announces queued events into fully restored drivers and tables.
   for (int c = 0; c < config_.num_cells; ++c) {
-    PRESTO_RETURN_IF_ERROR(cells_[static_cast<size_t>(c)]->LoadCheckpoint(
-        ckpt, "cell" + std::to_string(c) + "/"));
+    PRESTO_RETURN_IF_ERROR(LoadCellCheckpoint(
+        *cells_[static_cast<size_t>(c)], *cores_[static_cast<size_t>(c)], ckpt));
   }
   return OkStatus();
 }

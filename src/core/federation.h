@@ -11,6 +11,15 @@
 //    configured bandwidth plus propagation latency) and its answer rides the reverse
 //    trunk home — both hops typed simulator events, never a host round-trip.
 //
+//  - FedCell is the per-cell half of that router: it owns the cell's outgoing trunk
+//    row, its pending cross-cell query table (indexed by target cell, so whole-cell
+//    kill/revive fails pending queries in O(pending-for-that-cell)), its attached
+//    query drivers, and a FIFO outbox of FedMail — byte-serialized trunk messages
+//    (the query spec rides the request, the full result rides the response). A
+//    FedCell therefore needs *nothing* from any other cell at runtime: every
+//    cross-cell interaction is a FedMail, which is what lets a cell live in another
+//    process (below) without changing a single observable.
+//
 //  - All cells advance under one shared epoch-barrier schedule (FederationConfig::
 //    epoch): Federation::RunUntil steps every cell through the same absolute grid.
 //    Inter-cell traffic generated inside an epoch lands in per-source-cell FIFO
@@ -20,33 +29,40 @@
 //
 //  - Cell-parallel stepping (FederationConfig::cell_threads > 1): within each
 //    federation epoch the cells themselves run concurrently, claimed off a shared
-//    counter by a persistent pool of host threads (each cell still internally
-//    parallel across its shard lanes). What makes this safe without changing any
-//    observable: every per-source-cell outbox and every directed trunk is written
-//    only by its source cell's serial control lane; query ids are allocated from
-//    per-origin-cell counters (qid ≡ origin mod num_cells), so allocation needs no
-//    cross-cell coordination; per-query state lives in a sharded, mutex-protected
-//    pending table whose entries are only ever touched by one cell at a time
-//    (issue/finalize on the origin's control lane, execute/answer on the target's,
-//    strictly separated by federation barriers); and cross-cell counters are
-//    per-origin-cell, folded on demand. Mail drain, driver starts, and
-//    topology mutations (KillCell / KillProxy / ...) stay on the serial control
-//    step between epochs — the barrier loop never overlaps cell execution.
+//    counter by a persistent pool of host threads. Safe without locks because every
+//    mutable structure (outbox, trunk row, pending table, counters) belongs to
+//    exactly one cell and is only touched from that cell's serial control lane;
+//    barrier-time work (mail drain, kills, driver starts) stays on the serial
+//    control step between epochs.
 //
-//  - Determinism: cells only interact through outboxes drained serially at
-//    barriers, so per-cell event streams are independent of which host thread (or
-//    how many) steps them. fingerprint() folds each cell's worker-count-independent
-//    fingerprint (bound to its cell index) with a barrier-sequence hash over
-//    drained mail, making the federation fingerprint bit-identical across
-//    `sim_threads` worker counts, `cell_threads` counts (including sequential
-//    stepping), and reruns — the bench and federation_test self-check all three.
+//  - Cells as processes (FederationConfig::cell_processes > 1): the same seam,
+//    moved across a process boundary. The parent becomes a pure orchestrator — it
+//    owns no Deployments — and forks one worker (tools/presto_cell) per process
+//    slot; cell c lives in worker c % cell_processes. Every boundary crossing is a
+//    versioned wire frame (src/net/fed_wire.h) on a socketpair: bootstrap, barrier
+//    stepping (kStep carries the epoch window plus that barrier's FedMail
+//    deliveries; the reply returns the mail the epoch generated), control messages
+//    (kill / revive / migrate / query-inject), and the fingerprint + stats fold
+//    (kSnapshot). Workers step their cells concurrently between barriers — process
+//    parallelism with the same observables. A worker that dies mid-run is a
+//    deployment-visible failure, not a hang: its cells are marked down everywhere
+//    (fail-fast, like KillCell), its last folded stats freeze, and the run
+//    continues on the survivors.
+//
+//  - Determinism: cells only interact through FedMail drained serially at barriers,
+//    so per-cell event streams are independent of which host thread, how many, or
+//    which *process* steps them. fingerprint() folds each cell's worker-count-
+//    independent fingerprint (bound to its cell index) with a barrier-sequence hash
+//    over drained mail, making the federation fingerprint bit-identical across
+//    `sim_threads` worker counts, `cell_threads` counts, `cell_processes` counts,
+//    and reruns — bench and federation_test self-check all of them.
 //
 // Query lifecycle (cross-cell): driver/host issues at origin O -> directory lookup
-// at O's gateway -> request serialized onto the O->T trunk -> drained at a
-// federation barrier -> executes in T via Deployment::QueryAsync (typed kQuery
-// stages in the serving proxy's lane, completion on T's control lane) -> response
-// serialized onto the T->O trunk -> drained at a federation barrier -> finalized on
-// O's control lane (latency measured on O's clock end to end).
+// at O's gateway -> spec serialized into a FedMail on the O->T trunk -> drained at
+// a federation barrier -> executes in T via Deployment::QueryAsync (typed kQuery
+// stages in the serving proxy's lane, completion on T's control lane) -> result
+// serialized into a FedMail on the T->O trunk -> drained at a federation barrier ->
+// finalized on O's control lane (latency measured on O's clock end to end).
 
 #ifndef SRC_CORE_FEDERATION_H_
 #define SRC_CORE_FEDERATION_H_
@@ -57,18 +73,35 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/core/deployment.h"
 #include "src/core/types.h"
 #include "src/net/cell_link.h"
+#include "src/net/fed_wire.h"
 #include "src/sim/simulator.h"
 #include "src/util/ckpt.h"
 #include "src/workload/query_driver.h"
 
 namespace presto {
+
+// Federation kQuery payload.a op codes (payload.b carries the query id, and
+// payload.bytes the serialized QuerySpec / UnifiedQueryResult). Shared by the
+// in-process outboxes, the wire frames, and the checkpoint — one mail format.
+inline constexpr uint64_t kFedOpExecute = 1;   // request landed at the target cell
+inline constexpr uint64_t kFedOpComplete = 2;  // response landed back at the origin
+
+// Per-cell deployment seed derived from the federation seed: cells are
+// statistically independent but the whole federation replays from one number.
+// Shared by the in-process constructor and presto_cell workers — the two paths
+// must agree or fingerprints diverge across modes.
+inline uint64_t FederationCellSeed(uint64_t fed_seed, int cell) {
+  return fed_seed ^ (0xfedc0de + 0x9e3779b9ull * static_cast<uint64_t>(cell));
+}
 
 // Global sensor namespace: federation index = cell * sensors_per_cell + local
 // (contiguous per-cell blocks — the geographic analogue one layer up).
@@ -101,17 +134,27 @@ struct FederationConfig {
   // Simulator::kNoEpochGrid and impose no constraint.
   Duration epoch = Seconds(1);
   // Derive the federation epoch from the topology instead of trusting `epoch`
-  // verbatim: epoch = clamp(min trunk latency, [max cell epoch cap, epoch]).
-  // Stepping no coarser than the fastest trunk keeps DrainMail's barrier clamp from
-  // ever binding, so cross-cell completion times are faithful to trunk latency
-  // rather than quantized to federation barrier multiples. `epoch` stays the
-  // ceiling; the cells' configured lane grid stays the floor.
+  // verbatim: epoch = clamp(trunk latency, [cell epoch cap, epoch]). Stepping no
+  // coarser than the trunk keeps the barrier clamp from ever binding, so
+  // cross-cell completion times are faithful to trunk latency rather than
+  // quantized to federation barrier multiples. `epoch` stays the ceiling; the
+  // cells' configured lane grid stays the floor.
   bool auto_epoch = false;
   // Host threads stepping cells concurrently within each federation epoch, clamped
   // to [1, num_cells]. 1 (the default) keeps sequential cell-index-order stepping.
   // Fingerprints and driver latency histograms are identical at every value — the
   // cell-parallel half of the federation determinism contract (see file header).
   int cell_threads = 1;
+  // Worker *processes* hosting the cells, clamped to [1, num_cells]. 1 (the
+  // default) keeps every cell in this process. > 1 forks that many presto_cell
+  // workers and distributes cell c to worker c % cell_processes; all
+  // federation<->cell traffic then rides the fed_wire frame protocol and the
+  // parent holds no Deployments (cell()/link()/AttachQueryDriver are in-process
+  // only — use the mode-independent facade: AttachDriver / DriverStats /
+  // KillProxyInCell / EventsExecuted / TrunkTotals). Mutually exclusive with
+  // cell_threads > 1: processes already step cells concurrently. Observables
+  // (fingerprint, histograms, stats) are bit-identical to in-process runs.
+  int cell_processes = 1;
   // Inter-cell trunk model (one directed CellLink per cell pair).
   CellLinkParams link;
   // Message sizes on the trunk: a query request, a response envelope, and each
@@ -142,7 +185,10 @@ struct FederationQueryResult {
   Duration Latency() const { return completed_at - issued_at; }
 };
 
-// Checkpoint codec for in-flight cross-cell results.
+// Wire/checkpoint codecs: specs ride kInject frames, results ride host_done folds
+// and in-flight pending entries.
+void CkptWrite(ByteWriter& w, const FederationQuerySpec& v);
+Status CkptRead(ByteReader& r, FederationQuerySpec& v);
 void CkptWrite(ByteWriter& w, const FederationQueryResult& v);
 Status CkptRead(ByteReader& r, FederationQueryResult& v);
 
@@ -153,161 +199,363 @@ struct FederationStats {
   uint64_t failed = 0;
   uint64_t barriers = 0;
   uint64_t mail_drained = 0;  // inter-cell messages delivered at barriers
+  // Trunk messages dropped because their endpoint state died out from under them:
+  // an execute arriving at a killed cell, a response for a query already failed
+  // fast at its origin, or mail addressed to a crashed worker's cells. Never a
+  // hang, never an abort — just counted.
+  uint64_t orphans = 0;
 };
 
-class Federation : public EventSink, public FederationQueryClient {
+// Inter-cell trunk totals, summed over every directed link (mode-independent).
+struct FederationTrunkTotals {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+};
+
+void CkptWrite(ByteWriter& w, const FederationTrunkTotals& v);
+Status CkptRead(ByteReader& r, FederationTrunkTotals& v);
+
+// The per-cell half of the federation router (see file header). One FedCell per
+// cell, living wherever its Deployment lives — the Federation in-process, a
+// presto_cell worker in process mode. All methods run on the cell's serial control
+// lane or in host/worker control context between steps; nothing here locks.
+class FedCell : public EventSink, public FederationQueryClient {
  public:
-  explicit Federation(const FederationConfig& config);
-  ~Federation() override;
+  // Completion target of a pending query: a serializable driver tag, a host-side
+  // closure (in-process QueryAndWait — never checkpointable in flight), or a
+  // host-probe token (process-mode QueryAndWait — the result rides back to the
+  // parent in the next reply's host_done list).
+  enum class Origin : uint8_t { kClosure = 0, kDriver = 1, kHost = 2 };
 
-  // Starts every cell. Call once, then RunUntil.
-  void Start();
-
-  // Advances every cell through the shared barrier grid to `t`. With
-  // `cell_threads > 1` the cells of each epoch run concurrently; mail drain and
-  // everything else at the barrier stays serial.
-  void RunUntil(SimTime t);
-
-  // Effective cell-stepping parallelism (config clamped to the cell count).
-  int cell_threads() const { return cell_threads_; }
-
-  SimTime Now() const { return now_; }
-  int num_cells() const { return config_.num_cells; }
-  Deployment& cell(int index) { return *cells_[static_cast<size_t>(index)]; }
-  const CellDirectory& directory() const { return directory_; }
-  const FederationConfig& config() const { return config_; }
-
-  // Issues a query into the global namespace from `origin_cell`'s gateway. Callable
-  // from host control context (between RunUntil calls) or from the origin cell's
-  // control lane (the query driver's arrival events). `callback` fires on the
-  // origin cell's control lane when the answer lands back at the gateway.
-  void IssueFromCell(int origin_cell, const FederationQuerySpec& spec,
-                     std::function<void(const FederationQueryResult&)> callback);
-
-  // Issues and runs the federation until the answer arrives (or `max_wait` passes).
-  FederationQueryResult QueryAndWait(int origin_cell, const FederationQuerySpec& spec,
-                                     Duration max_wait = Minutes(30));
-
-  // Attaches an open-loop in-sim query driver whose queries enter at `origin_cell`
-  // and target the whole federation namespace (mix.num_sensors <= 0 defaults to
-  // directory().total_sensors()). Caller starts it. One driver per gateway cell is
-  // the usual shape; give each a distinct mix.seed.
-  QueryDriver& AttachQueryDriver(int origin_cell, const QueryDriverParams& params);
-
-  // Failure injection at cell granularity: kills (revives) every proxy in the cell.
-  // With in-cell replication a single KillProxy inside a cell fails over as usual;
-  // killing the *whole* cell makes its block of the namespace unavailable until
-  // revival — queries to it fail fast at the serving store, not by timeout.
-  void KillCell(int cell_index);
-  void ReviveCell(int cell_index);
-
-  // The directed inter-cell trunk src -> dst (src != dst).
-  const CellLink& link(int src, int dst) const;
-
-  // Aggregated over the per-origin-cell counter blocks plus the serial barrier
-  // counters; call from host control context (between RunUntil calls).
-  FederationStats stats() const;
-
-  // Order-independent fold of the per-cell fingerprints (each bound to its cell
-  // index) plus the federation barrier-sequence hash. Equal across reruns and
-  // worker counts — the federation-level replay contract.
-  uint64_t fingerprint() const;
-
-  // Inter-cell deliveries (kFedOpExecute at the target, kFedOpComplete back at the
-  // origin) arrive as typed kQuery events on cell control lanes.
-  void OnSimEvent(EventKind kind, EventPayload& payload) override;
-
-  // FederationQueryClient: a tagged deployment query completed at its target cell
-  // (runs on that cell's control lane).
-  void OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) override;
-
-  // Composes every cell's checkpoint (sections prefixed "cell<i>/") plus one "fed"
-  // section: federation clock, barrier hash, per-origin counters, trunk
-  // serialization clocks, undrained outboxes, in-flight cross-cell queries, and
-  // attached driver state. Call only at a federation barrier (between RunUntil
-  // calls); fails if a closure-form query (QueryAndWait probe) is in flight.
-  Status SaveCheckpoint(Checkpoint* out) const;
-
-  // Inverse of SaveCheckpoint, into a freshly constructed federation with the same
-  // FederationConfig and the same AttachQueryDriver calls, after Start(). The "fed"
-  // section restores first (driver/tables), then each cell — cell simulators load
-  // last and re-announce queued events so handle-holders re-capture.
-  Status LoadCheckpoint(const Checkpoint& ckpt);
-
- private:
-  struct PendingFedQuery {
-    // Completion target: a serializable driver tag (token form) or a host-side
-    // closure (QueryAndWait probes — never checkpointable in flight).
-    enum class Origin : uint8_t { kClosure = 0, kDriver = 1 };
+  struct Pending {
     QuerySpec spec;  // target-cell-local spec
     FederationQueryResult result;
     Origin origin = Origin::kClosure;
-    uint64_t driver_index = 0;  // kDriver: index into drivers_
-    bool past = false;          // kDriver: query class for the recorded outcome
-    std::function<void(const FederationQueryResult&)> callback;
+    uint64_t driver_slot = 0;  // kDriver: index into this cell's drivers
+    bool past = false;         // kDriver: query class for the recorded outcome
+    uint64_t host_token = 0;   // kHost: parent-side correlation token
+    std::function<void(const FederationQueryResult&)> callback;  // kClosure
   };
-  // One shard of the pending cross-cell query table. The mutex guards only the map
-  // *structure* (concurrent inserts/finds/erases of different qids from different
-  // cell control lanes); entries themselves are single-owner at any instant —
-  // issue/finalize touch a qid on the origin's control lane, execute/answer on the
-  // target's, and the two sides are separated by federation barriers, never
-  // concurrent. unordered_map keeps references stable across rehash, so an entry
-  // pointer taken under the lock stays valid outside it.
-  struct PendingShard {
-    mutable std::mutex m;  // mutable: SaveCheckpoint (const, barrier context) walks
-    std::unordered_map<uint64_t, PendingFedQuery> map;
+
+  struct HostDone {
+    uint64_t token = 0;
+    FederationQueryResult result;
   };
-  static constexpr int kPendingShards = 16;
-  // Per-origin-cell bookkeeping, written only from that cell's serial control lane
-  // (or host control context). Padded so neighbouring cells' control lanes do not
-  // share a cache line under cell-parallel stepping.
-  struct alignas(64) CellCounters {
+
+  // Per-origin-cell bookkeeping, written only from this cell's serial control lane
+  // (or host control context between steps).
+  struct Counters {
     uint64_t next_qid = 0;
     uint64_t queries = 0;
     uint64_t local = 0;
     uint64_t forwarded = 0;
     uint64_t failed = 0;
-  };
-  // An inter-cell message awaiting the next federation barrier. Lives in the
-  // *source* cell's FIFO, written only from that cell's serial control lane.
-  struct Mail {
-    int target_cell;
-    SimTime time;  // trunk delivery time (clamped to the draining barrier)
-    uint64_t op;
-    uint64_t qid;
+    uint64_t orphans = 0;
   };
 
-  CellLink& LinkBetween(int src, int dst);
-  Duration DeriveEpoch() const;
-  void IssueInternal(int origin_cell, const FederationQuerySpec& spec,
-                     PendingFedQuery q);
-  PendingShard& PendingShardOf(uint64_t qid) {
-    // splitmix-style spread: per-origin qids are arithmetic sequences (stride
-    // num_cells), which a bare modulus would pile onto few shards.
-    return pending_[(qid * 0x9e3779b97f4a7c15ull) >> 60];
+  // Registers as a sink on (and federation client of) `cell`'s simulator — call
+  // in cell-index order so sink ids match across modes. `config` and `cell` must
+  // outlive the FedCell.
+  FedCell(int index, const FederationConfig* config, Deployment* cell);
+
+  FedCell(const FedCell&) = delete;
+  FedCell& operator=(const FedCell&) = delete;
+
+  int index() const { return index_; }
+  Deployment& cell() { return *cell_; }
+
+  // Issues a query entering at this cell. A query whose target cell is marked down
+  // fails fast at this gateway (zero added latency, no trunk hop); otherwise it
+  // executes locally or rides the trunk as FedMail.
+  void Issue(const FederationQuerySpec& spec, Pending q);
+
+  // Attaches an open-loop in-sim driver issuing at this gateway; returns its slot.
+  int AttachDriver(const QueryDriverParams& params);
+  void StartDriver(int slot, Duration duration);
+  QueryDriver& driver(int slot) { return *drivers_[static_cast<size_t>(slot)]; }
+  int num_drivers() const { return static_cast<int>(drivers_.size()); }
+
+  // Down-cell bookkeeping. SetCellDown flips the routing flag only; the caller
+  // pairs it with FailPendingToward (kill) so every pending query toward the dead
+  // cell finalizes immediately (ascending qid order — deterministic), instead of
+  // waiting for a response that will never come.
+  void SetCellDown(int cell_index, bool down);
+  void FailPendingToward(int cell_index);
+  // Checkpoint restore: flags only, no pending sweep.
+  void RestoreCellDown(const std::vector<uint8_t>& flags);
+
+  // Barrier-time mail delivery: schedules the typed kQuery event on this cell's
+  // control lane at max(mail.time, barrier) — the barrier clamp.
+  void DeliverMail(FedMail mail, SimTime barrier);
+  std::vector<FedMail> TakeOutbox();
+  std::vector<HostDone> TakeHostDone();
+  const std::vector<FedMail>& outbox() const { return outbox_; }
+  // Checkpoint restore: re-queues undrained mail this cell had generated.
+  void RestoreMail(FedMail mail) { outbox_.push_back(std::move(mail)); }
+
+  CellLink& link_out(int dst) { return *links_out_[static_cast<size_t>(dst)]; }
+  const CellLink& link_out(int dst) const {
+    return *links_out_[static_cast<size_t>(dst)];
   }
+  const Counters& counters() const { return counters_; }
+  FederationTrunkTotals TrunkTotals() const;
+
+  void OnSimEvent(EventKind kind, EventPayload& payload) override;
+  void OnEventRestored(SimTime t, EventKind kind, const EventPayload& payload,
+                       const EventHandle& handle, int lane) override {
+    // Mail events carry everything in their payload; nothing to re-capture.
+    (void)t, (void)kind, (void)payload, (void)handle, (void)lane;
+  }
+
+  // FederationQueryClient: a tagged deployment query completed at this cell (runs
+  // on this cell's control lane). Local queries finalize here; cross-cell answers
+  // ride the trunk home as FedMail.
+  void OnDeploymentQueryDone(uint64_t qid, const UnifiedQueryResult& result) override;
+
+  // Checkpoint codec for the "cell<i>/fed" section: counters, outgoing trunk row,
+  // pending table (ascending qid; driver-form only — closure and host-probe
+  // entries cannot cross a checkpoint), and attached driver state. The outbox is
+  // *not* here: undrained mail belongs to the orchestrator's "fed" section, which
+  // is what makes in-process and multi-process checkpoints byte-identical.
+  Status SaveState(ByteWriter& w) const;
+  Status LoadState(ByteReader& r);
+
+ private:
+  int OriginOf(uint64_t qid) const {
+    return static_cast<int>(qid % static_cast<uint64_t>(config_->num_cells));
+  }
+  void ExecuteLocal(uint64_t qid);
+  void FinalizeEntry(uint64_t qid, const UnifiedQueryResult& result);
+  // Stamps completed_at, counts a failure, and dispatches to the completion
+  // target. `q` is already detached from the pending table (or never entered it —
+  // the fail-fast path).
+  void Complete(Pending q);
+
+  int index_;
+  const FederationConfig* config_;
+  CellDirectory directory_;  // derived from *config_: pure routing math
+  Deployment* cell_;
+  Counters counters_;
+  // Pending cross-cell queries issued *at this cell* (single-writer: this cell's
+  // control lane). by_target_ indexes pending qids by target cell so KillCell
+  // fails exactly the affected queries — ordered sets, so the sweep is
+  // deterministic ascending-qid.
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::vector<std::set<uint64_t>> by_target_;
+  std::vector<std::unique_ptr<CellLink>> links_out_;  // [dst], nullptr diagonal
+  std::vector<FedMail> outbox_;                       // FIFO, drained at barriers
+  std::vector<uint8_t> cell_down_;                    // routing view, all cells
+  std::vector<HostDone> host_done_;                   // kHost completions
+  // Declared after cell_ wiring so drivers (holding pending arrival events) are
+  // destroyed before their simulator.
+  std::vector<std::unique_ptr<QueryDriver>> drivers_;
+};
+
+void CkptWrite(ByteWriter& w, const FedCell::Counters& v);
+Status CkptRead(ByteReader& r, FedCell::Counters& v);
+
+// One cell's folded telemetry, marshalled over kSnapshot frames: everything the
+// orchestrator's read-side facade (stats / fingerprint / EventsExecuted /
+// TrunkTotals / DriverStats) needs without touching the cell.
+struct FedCellSnapshot {
+  uint64_t sim_fingerprint = 0;
+  uint64_t events = 0;
+  FedCell::Counters counters;
+  FederationTrunkTotals trunks;
+  std::vector<QueryDriverStats> drivers;
+};
+
+void CkptWrite(ByteWriter& w, const FedCellSnapshot& v);
+Status CkptRead(ByteReader& r, FedCellSnapshot& v);
+
+// Control-reply payload: the FedMail the op (or epoch) generated plus any
+// host-probe completions. Every control frame (kStart through kMigrateSensor,
+// including kStep and kInject) replies with one, so the parent's mail routing
+// never waits an extra barrier.
+std::vector<uint8_t> EncodeFedControlReply(
+    const std::vector<FedMail>& mail, const std::vector<FedCell::HostDone>& host_done);
+Status DecodeFedControlReply(span<const uint8_t> payload, std::vector<FedMail>* mail,
+                             std::vector<FedCell::HostDone>* host_done);
+
+// Saves/loads one cell — the deployment's own sections plus the "cell<i>/fed"
+// router section, all under the "cell<i>/" prefix. Shared by the in-process
+// federation and presto_cell workers, which is what makes checkpoint bytes
+// mode-independent (the live-migration contract). Load restores the router first
+// so the simulator (loaded last) re-announces into rebuilt tables.
+Status SaveCellCheckpoint(const Deployment& cell, const FedCell& core, Checkpoint* out);
+Status LoadCellCheckpoint(Deployment& cell, FedCell& core, const Checkpoint& ckpt);
+
+class Federation {
+ public:
+  explicit Federation(const FederationConfig& config);
+  ~Federation();
+
+  // Starts every cell. Call once, then RunUntil.
+  void Start();
+
+  // Advances every cell through the shared barrier grid to `t`. With
+  // `cell_threads > 1` the cells of each epoch run concurrently on the host pool;
+  // with `cell_processes > 1` each worker process steps its cells between
+  // barriers. Mail drain and everything else at the barrier stays serial.
+  void RunUntil(SimTime t);
+
+  // Effective parallelism (config clamped to the cell count).
+  int cell_threads() const { return cell_threads_; }
+  int cell_processes() const { return cell_processes_; }
+  bool process_mode() const { return cell_processes_ > 1; }
+
+  SimTime Now() const { return now_; }
+  int num_cells() const { return config_.num_cells; }
+  const CellDirectory& directory() const { return directory_; }
+  const FederationConfig& config() const { return config_; }
+
+  // --- in-process-only accessors (PRESTO_CHECK in process mode) ---
+  Deployment& cell(int index);
+  const CellLink& link(int src, int dst) const;
+  // Attaches a driver and returns it by reference. Prefer the mode-independent
+  // AttachDriver/DriverStats pair in code that must also run multi-process.
+  QueryDriver& AttachQueryDriver(int origin_cell, const QueryDriverParams& params);
+  // Issues with a host-side completion closure (in-process QueryAndWait form).
+  void IssueFromCell(int origin_cell, const FederationQuerySpec& spec,
+                     std::function<void(const FederationQueryResult&)> callback);
+
+  // --- mode-independent facade ---
+  // Attaches an open-loop in-sim query driver whose queries enter at `origin_cell`
+  // and target the whole federation namespace (mix.num_sensors <= 0 defaults to
+  // directory().total_sensors()); returns a federation-wide driver index. Call
+  // before Start()/RunUntil in the same order on save and restore sides.
+  int AttachDriver(int origin_cell, const QueryDriverParams& params);
+  void StartDriver(int driver_index, Duration duration);
+  // Stats snapshot by value (process mode folds them over the wire; a crashed
+  // worker's drivers freeze at their last folded values).
+  QueryDriverStats DriverStats(int driver_index) const;
+  int num_drivers() const { return static_cast<int>(driver_map_.size()); }
+
+  // Issues and runs the federation until the answer arrives (or `max_wait`
+  // passes). In process mode the probe rides a kInject frame to the origin worker
+  // and the result returns in a reply's host_done fold.
+  FederationQueryResult QueryAndWait(int origin_cell, const FederationQuerySpec& spec,
+                                     Duration max_wait = Minutes(30));
+
+  // Failure injection at cell granularity: marks the cell down at every gateway
+  // (new queries toward it fail fast at their origin; pending ones finalize as
+  // failures immediately) and kills (revives) every proxy in the cell.
+  void KillCell(int cell_index);
+  void ReviveCell(int cell_index);
+
+  // Per-proxy topology mutations addressed by cell — the mode-independent form of
+  // cell(i).KillProxy(p) and friends.
+  void KillProxyInCell(int cell_index, int proxy_index);
+  void ReviveProxyInCell(int cell_index, int proxy_index);
+  void MigrateSensorInCell(int cell_index, int global_index, int new_owner);
+
+  // Total simulator events executed across cells (bench throughput metric).
+  uint64_t EventsExecuted() const;
+  FederationTrunkTotals TrunkTotals() const;
+
+  // Aggregated over the per-cell counter blocks plus the serial barrier counters;
+  // call from host control context (between RunUntil calls).
+  FederationStats stats() const;
+
+  // Order-independent fold of the per-cell fingerprints (each bound to its cell
+  // index) plus the federation barrier-sequence hash. Equal across reruns, worker
+  // counts, and process counts — the federation-level replay contract. A crashed
+  // worker contributes its cells' last folded fingerprints plus a death marker in
+  // the barrier hash.
+  uint64_t fingerprint() const;
+
+  // --- process-mode test/telemetry hooks ---
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  bool worker_alive(int w) const { return workers_[static_cast<size_t>(w)].alive; }
+  int worker_pid(int w) const {
+    return static_cast<int>(workers_[static_cast<size_t>(w)].pid);
+  }
+
+  // Composes every cell's checkpoint (sections prefixed "cell<i>/", including the
+  // per-cell federation router state "cell<i>/fed") plus one "fed" section holding
+  // only orchestrator state: federation clock, barrier hash, cell-down flags, and
+  // the undrained FedMail. The container is byte-identical whether the cells run
+  // in-process or in workers — a checkpoint taken from either mode restores into
+  // either mode (the live-migration primitive; process-mode workers bootstrap from
+  // exactly this format). Call only between RunUntil calls; fails if a probe query
+  // (QueryAndWait) is in flight or a worker has crashed.
+  Status SaveCheckpoint(Checkpoint* out) const;
+
+  // Inverse of SaveCheckpoint, into a freshly constructed federation with the same
+  // FederationConfig (cell_threads / cell_processes may differ) and the same
+  // AttachDriver calls, after Start(). Router state restores before each cell's
+  // simulator, so restored events re-announce into fully rebuilt tables.
+  Status LoadCheckpoint(const Checkpoint& ckpt);
+
+ private:
+  struct WorkerProc {
+    long pid = -1;
+    std::unique_ptr<FrameChannel> channel;
+    std::vector<int> cells;  // global cell indices, ascending
+    bool alive = false;
+  };
+
+  Duration CellEpochCap() const;
+  Duration DeriveEpoch() const;
   void DrainMail();
   void StepCells(SimTime end);
   void CellWorkerLoop();
   void ClaimCells(SimTime end);
-  void ExecuteAtTarget(uint64_t qid);
-  void OnCellAnswered(uint64_t qid, const UnifiedQueryResult& r);
-  void Finalize(uint64_t qid);
+
+  int WorkerOf(int cell_index) const { return cell_index % cell_processes_; }
+  void SpawnWorkers();
+  void BootstrapWorker(int w);
+  // One strict RPC round trip. A transport failure marks the worker dead (never
+  // aborts the parent) and returns the transport status; the reply frame — kAck
+  // or kError — is the caller's to interpret.
+  Status CallWorker(int w, FedFrameType type, std::vector<uint8_t> payload,
+                    FedFrame* reply);
+  // CallWorker for control ops: requires kAck, absorbs the control reply into
+  // route_ / host_results_, and marks the worker dead on any deviation.
+  bool ControlCall(int w, FedFrameType type, std::vector<uint8_t> payload);
+  // Parses a control reply {mail, host_done} into route_ / host_results_.
+  Status AbsorbControlReply(const std::vector<uint8_t>& payload);
+  void BroadcastControl(FedFrameType type, const std::vector<uint8_t>& payload);
+  void StepWorkers(SimTime end, bool on_grid);
+  // Local bookkeeping only (kill + reap + mark cells down + drop routed mail):
+  // never sends frames, so it is safe while sibling kStep replies are still
+  // outstanding. The survivor-facing kKillCell broadcast is deferred into
+  // dead_cells_pending_kill_ and flushed once no reply is pending.
+  void MarkWorkerDead(int w);
+  void FlushDeadCellKills();
+  void ShutdownWorkers();
+  void RefreshSnapshots() const;
 
   FederationConfig config_;
   CellDirectory directory_;
+  int cell_threads_ = 1;
+  int cell_processes_ = 1;
+
+  // In-process mode: the cells and their routers, paired in cell-index order.
   std::vector<std::unique_ptr<Deployment>> cells_;
-  std::vector<std::unique_ptr<CellLink>> links_;  // [src * num_cells + dst]
-  std::vector<std::vector<Mail>> outbox_;         // [source cell] FIFO
-  std::array<PendingShard, kPendingShards> pending_;
-  std::vector<CellCounters> counters_;  // [origin cell]
+  std::vector<std::unique_ptr<FedCell>> cores_;
+
+  // Process mode: worker table, parent-side mail routing (per source-cell FIFO,
+  // the orchestrator's copy of the outboxes), and host-probe correlation.
+  std::vector<WorkerProc> workers_;
+  std::vector<std::vector<FedMail>> route_;  // [source cell] FIFO
+  uint64_t next_host_token_ = 0;
+  std::unordered_map<uint64_t, FederationQueryResult> host_results_;
+  uint64_t parent_orphans_ = 0;  // mail dropped toward crashed workers' cells
+  std::vector<int> dead_cells_pending_kill_;
+  mutable std::vector<FedCellSnapshot> snaps_;
+  mutable bool snaps_fresh_ = false;
+
+  std::vector<uint8_t> cell_down_;  // orchestrator view (both modes)
+  // Global driver index -> (origin cell, per-cell slot).
+  std::vector<std::pair<int, int>> driver_map_;
+
   SimTime now_ = 0;
   uint64_t barrier_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
   FederationStats serial_stats_;                   // barriers / mail_drained only
 
   // Cell-stepping pool (cell_threads_ > 1): the simulator's lane pool one level
   // up. Workers claim cells off next_cell_ and run each through [now_, pool_end_].
-  int cell_threads_ = 1;
   std::vector<std::thread> cell_workers_;
   std::mutex pool_m_;
   std::condition_variable pool_cv_;
@@ -317,9 +565,6 @@ class Federation : public EventSink, public FederationQueryClient {
   bool pool_quit_ = false;
   int pool_done_ = 0;
   std::atomic<int> next_cell_{0};
-
-  // Declared after cells_ so drivers (holding pending arrival events) die first.
-  std::vector<std::unique_ptr<QueryDriver>> drivers_;
 };
 
 }  // namespace presto

@@ -1,0 +1,220 @@
+#include "src/net/fed_wire.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/util/bitpack.h"
+#include "src/util/ckpt.h"
+
+namespace presto {
+namespace {
+
+constexpr uint8_t kMagic[4] = {'P', 'F', 'W', '1'};
+constexpr size_t kHeaderBytes = 4 + 1 + 1 + 4;  // magic, version, type, length
+
+void PutHeader(uint8_t* out, FedFrameType type, uint32_t length) {
+  std::memcpy(out, kMagic, 4);
+  out[4] = kFedWireVersion;
+  out[5] = static_cast<uint8_t>(type);
+  out[6] = static_cast<uint8_t>(length & 0xff);
+  out[7] = static_cast<uint8_t>((length >> 8) & 0xff);
+  out[8] = static_cast<uint8_t>((length >> 16) & 0xff);
+  out[9] = static_cast<uint8_t>((length >> 24) & 0xff);
+}
+
+// Validates everything but the payload bytes; fills type + length on success.
+Status ParseHeader(const uint8_t* header, FedFrameType* type, uint32_t* length) {
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    return DataLossError("fed_wire: bad frame magic");
+  }
+  if (header[4] != kFedWireVersion) {
+    return FailedPreconditionError("fed_wire: unsupported protocol version");
+  }
+  if (header[5] >= kFedFrameTypeCount) {
+    return DataLossError("fed_wire: unknown frame type");
+  }
+  const uint32_t len = static_cast<uint32_t>(header[6]) |
+                       (static_cast<uint32_t>(header[7]) << 8) |
+                       (static_cast<uint32_t>(header[8]) << 16) |
+                       (static_cast<uint32_t>(header[9]) << 24);
+  if (len > kMaxFedFramePayload) {
+    return DataLossError("fed_wire: oversized frame length prefix");
+  }
+  *type = static_cast<FedFrameType>(header[5]);
+  *length = len;
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodeFedFrame(const FedFrame& frame) {
+  if (frame.payload.size() > kMaxFedFramePayload) {
+    return ResourceExhaustedError("fed_wire: frame payload exceeds the cap");
+  }
+  std::vector<uint8_t> out(kHeaderBytes + frame.payload.size());
+  PutHeader(out.data(), frame.type, static_cast<uint32_t>(frame.payload.size()));
+  if (!frame.payload.empty()) {
+    std::memcpy(out.data() + kHeaderBytes, frame.payload.data(),
+                frame.payload.size());
+  }
+  return out;
+}
+
+Result<FedFrame> DecodeFedFrame(span<const uint8_t> data) {
+  if (data.size() < kHeaderBytes) {
+    return DataLossError("fed_wire: truncated frame header");
+  }
+  FedFrameType type;
+  uint32_t length = 0;
+  PRESTO_RETURN_IF_ERROR(ParseHeader(data.data(), &type, &length));
+  if (data.size() < kHeaderBytes + length) {
+    return DataLossError("fed_wire: truncated frame payload");
+  }
+  if (data.size() > kHeaderBytes + length) {
+    return DataLossError("fed_wire: trailing bytes after frame");
+  }
+  FedFrame frame;
+  frame.type = type;
+  frame.payload.assign(data.data() + kHeaderBytes, data.data() + data.size());
+  return frame;
+}
+
+void CkptWrite(ByteWriter& w, const FedMail& v) {
+  CkptWrite(w, v.source_cell);
+  CkptWrite(w, v.target_cell);
+  CkptWrite(w, v.time);
+  CkptWrite(w, v.op);
+  CkptWrite(w, v.qid);
+  w.WriteBytes(span<const uint8_t>(v.body));
+}
+
+Status CkptRead(ByteReader& r, FedMail& v) {
+  CKPT_READ(r, v.source_cell);
+  CKPT_READ(r, v.target_cell);
+  CKPT_READ(r, v.time);
+  CKPT_READ(r, v.op);
+  CKPT_READ(r, v.qid);
+  auto body = r.ReadBytes();
+  if (!body.ok()) {
+    return body.status();
+  }
+  v.body = std::move(*body);
+  return OkStatus();
+}
+
+void WriteCellBitmap(ByteWriter& w, const std::vector<uint8_t>& flags) {
+  w.WriteVarU64(flags.size());
+  BitWriter bits;
+  for (const uint8_t flag : flags) {
+    bits.WriteBits(flag != 0 ? 1 : 0, 1);
+  }
+  w.WriteBytes(span<const uint8_t>(bits.bytes()));
+}
+
+Status ReadCellBitmap(ByteReader& r, size_t num_cells, std::vector<uint8_t>* flags) {
+  auto count = r.ReadVarU64();
+  if (!count.ok()) {
+    return count.status();
+  }
+  if (*count != num_cells) {
+    return DataLossError("fed_wire: cell bitmap count mismatch");
+  }
+  auto packed = r.ReadBytes();
+  if (!packed.ok()) {
+    return packed.status();
+  }
+  if (packed->size() != (num_cells + 7) / 8) {
+    return DataLossError("fed_wire: cell bitmap byte count mismatch");
+  }
+  BitReader bits(*packed);
+  flags->assign(num_cells, 0);
+  for (size_t c = 0; c < num_cells; ++c) {
+    (*flags)[c] = static_cast<uint8_t>(bits.ReadBits(1));
+  }
+  return OkStatus();
+}
+
+Status FrameChannel::WriteAll(const uint8_t* data, size_t size) {
+  if (fd_ < 0) {
+    return UnavailableError("fed_wire: channel closed");
+  }
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return UnavailableError("fed_wire: send failed (peer gone?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FrameChannel::ReadAll(uint8_t* data, size_t size, bool* eof_at_start) {
+  if (fd_ < 0) {
+    return UnavailableError("fed_wire: channel closed");
+  }
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd_, data + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return UnavailableError("fed_wire: recv failed");
+    }
+    if (n == 0) {
+      if (eof_at_start != nullptr) {
+        *eof_at_start = (done == 0);
+      }
+      return done == 0 ? UnavailableError("fed_wire: peer closed the channel")
+                       : DataLossError("fed_wire: mid-frame EOF");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status FrameChannel::Send(const FedFrame& frame) {
+  auto encoded = EncodeFedFrame(frame);
+  if (!encoded.ok()) {
+    return encoded.status();
+  }
+  return WriteAll(encoded->data(), encoded->size());
+}
+
+Result<FedFrame> FrameChannel::Recv() {
+  uint8_t header[kHeaderBytes];
+  bool eof_at_start = false;
+  PRESTO_RETURN_IF_ERROR(ReadAll(header, sizeof(header), &eof_at_start));
+  FedFrameType type;
+  uint32_t length = 0;
+  PRESTO_RETURN_IF_ERROR(ParseHeader(header, &type, &length));
+  FedFrame frame;
+  frame.type = type;
+  frame.payload.resize(length);
+  if (length > 0) {
+    PRESTO_RETURN_IF_ERROR(ReadAll(frame.payload.data(), length, nullptr));
+  }
+  return frame;
+}
+
+Result<FedFrame> FrameChannel::Call(const FedFrame& frame) {
+  PRESTO_RETURN_IF_ERROR(Send(frame));
+  return Recv();
+}
+
+void FrameChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace presto

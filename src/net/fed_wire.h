@@ -1,0 +1,136 @@
+// Versioned wire protocol for the federation <-> cell process seam.
+//
+// When a federation runs its cells as separate processes (FederationConfig::
+// cell_processes > 1), everything that used to be a function call across the
+// federation/cell boundary becomes a length-prefixed frame on a socketpair:
+// epoch-barrier stepping, trunk mail (query requests and responses), control
+// messages (kill / revive / migrate / query-inject), and the fingerprint + stats
+// fold. This header defines that boundary and nothing above it: frames carry
+// opaque payload bytes encoded with the util/bytes codecs, so the net layer stays
+// agnostic of core types — the orchestrator (src/core/federation.cc) and the
+// worker (src/core/cell_worker.cc) agree on each frame type's payload layout.
+//
+// Frame layout (all little-endian):
+//
+//   magic   "PFW1"              4 bytes
+//   version u8                  kFedWireVersion
+//   type    u8                  FedFrameType
+//   length  u32                 payload byte count (<= kMaxFedFramePayload)
+//   payload length bytes
+//
+// Decoding is defensive end to end: a truncated header, bad magic, unsupported
+// version, unknown type, oversized length prefix, or mid-stream EOF all return a
+// clean Status — never a PRESTO_CHECK abort. The parent treats a failed channel as
+// a crashed worker (a deployment-visible cell failure), so the decode path must
+// stay total on arbitrary bytes.
+
+#ifndef SRC_NET_FED_WIRE_H_
+#define SRC_NET_FED_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/result.h"
+#include "src/util/sim_time.h"
+#include "src/util/span.h"
+
+namespace presto {
+
+inline constexpr uint8_t kFedWireVersion = 1;
+
+// Hard cap on a single frame payload: far above any real checkpoint, far below
+// anything a corrupt length prefix could use to drive an allocation attack.
+inline constexpr uint32_t kMaxFedFramePayload = 1u << 30;
+
+// One request or reply crossing the process seam. Requests flow parent -> worker;
+// every request gets exactly one reply (kAck / kError / the op's typed reply) —
+// the strict RPC discipline that makes the seam deadlock-free.
+enum class FedFrameType : uint8_t {
+  kError = 0,         // reply: Status (code + message)
+  kAck = 1,           // reply: op-specific payload (possibly empty)
+  kBootstrap = 2,     // config blob + worker index/count: construct hosted cells
+  kStart = 3,         // Start() every hosted cell
+  kAttachDriver = 4,  // origin cell + driver params: attach, reply with slot
+  kStartDriver = 5,   // cell + slot + duration: begin the arrival process
+  kStep = 6,          // barrier + end + mail deliveries: run one federation epoch
+  kInject = 7,        // host query probe at an origin cell (QueryAndWait)
+  kKillCell = 8,      // mark a cell down everywhere + kill its proxies if hosted
+  kReviveCell = 9,    // inverse of kKillCell
+  kKillProxy = 10,    // cell + proxy index
+  kReviveProxy = 11,  // cell + proxy index
+  kMigrateSensor = 12,  // cell + global sensor index + new owner proxy
+  kSnapshot = 13,     // fold request: counters, fingerprints, trunks, drivers
+  kCkptSave = 14,     // reply: encoded Checkpoint of the hosted cells
+  kCkptLoad = 15,     // encoded Checkpoint + down flags: restore hosted cells
+  kShutdown = 16,     // clean exit; worker replies kAck then leaves its loop
+};
+inline constexpr uint8_t kFedFrameTypeCount = 17;
+
+struct FedFrame {
+  FedFrameType type = FedFrameType::kAck;
+  std::vector<uint8_t> payload;
+};
+
+// Serializes header + payload. The only failure mode is an oversized payload.
+Result<std::vector<uint8_t>> EncodeFedFrame(const FedFrame& frame);
+
+// Parses one complete frame from `data` (which must contain exactly one frame —
+// trailing bytes are an error). All malformed inputs return a Status.
+Result<FedFrame> DecodeFedFrame(span<const uint8_t> data);
+
+// An inter-cell trunk message awaiting a federation barrier, in seam form: the
+// source cell, target cell, trunk delivery time, op (execute / complete), query
+// id, and the byte-encoded body (a QuerySpec or UnifiedQueryResult — opaque
+// here). The same struct rides in-process outboxes, kStep frames, and the
+// federation checkpoint, so the three paths cannot drift.
+struct FedMail {
+  int source_cell = 0;
+  int target_cell = 0;
+  SimTime time = 0;  // trunk delivery time (clamped to the draining barrier)
+  uint64_t op = 0;
+  uint64_t qid = 0;
+  std::vector<uint8_t> body;
+};
+
+void CkptWrite(ByteWriter& w, const FedMail& v);
+Status CkptRead(ByteReader& r, FedMail& v);
+
+// Cell-down flags as a bit-packed map (BitWriter, one bit per cell), length
+// prefixed. Broadcast in kCkptLoad and folded into bootstrap-time restores.
+void WriteCellBitmap(ByteWriter& w, const std::vector<uint8_t>& flags);
+Status ReadCellBitmap(ByteReader& r, size_t num_cells, std::vector<uint8_t>* flags);
+
+// Blocking frame transport over one end of a socketpair. Send/Recv run full
+// write/read loops (short transfers and EINTR handled); a peer that closed or
+// crashed surfaces as a non-OK Status from either side, never a signal
+// (MSG_NOSIGNAL) or an abort. Not thread-safe: each channel has one owner.
+class FrameChannel {
+ public:
+  explicit FrameChannel(int fd) : fd_(fd) {}
+  ~FrameChannel() { Close(); }
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  Status Send(const FedFrame& frame);
+  Result<FedFrame> Recv();
+
+  // Convenience round trip: Send, then Recv exactly one reply.
+  Result<FedFrame> Call(const FedFrame& frame);
+
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t size);
+  // Reads exactly `size` bytes. `*eof_at_start` reports a clean EOF before any
+  // byte arrived (peer exited between frames) vs. a mid-frame truncation.
+  Status ReadAll(uint8_t* data, size_t size, bool* eof_at_start);
+
+  int fd_ = -1;
+};
+
+}  // namespace presto
+
+#endif  // SRC_NET_FED_WIRE_H_

@@ -438,8 +438,20 @@ bool Simulator::Step() {
 void Simulator::RunUntil(SimTime t) {
   if (!lane_mode_) {
     Lane& lane = lanes_[0];
-    while (!lane.queue.empty() && lane.queue.top().time <= t) {
-      Step();
+    while (!lane.queue.empty()) {
+      const QueueEntry& top = lane.queue.top();
+      if (lane.pool[top.slot].gen != top.gen) {
+        // Lazy-deleted (cancelled) entry. Dropping it here matters: a stale entry
+        // at time <= t can front a live event beyond t, and deciding on the stale
+        // top's time would execute that event past the bound (Step() runs the
+        // first *live* event it finds, whatever its time).
+        lane.queue.pop();
+        continue;
+      }
+      if (top.time > t) {
+        break;
+      }
+      ExecuteOne(lane);
     }
     if (lane.now < t) {
       lane.now = t;

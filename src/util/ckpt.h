@@ -375,8 +375,10 @@ class Checkpoint {
 
   // Current (and only) on-disk format version. Decode rejects other versions: the
   // compat rule is "same version or re-simulate" — checkpoints are replay artifacts,
-  // not archival data, so no cross-version migration is attempted.
-  static constexpr uint32_t kVersion = 1;
+  // not archival data, so no cross-version migration is attempted. v2: the
+  // federation "fed" section moved to the process-seam layout (per-cell FedCell
+  // blobs under "cell<i>/fed", payload-carrying trunk mail, cell-down bitmap).
+  static constexpr uint32_t kVersion = 2;
 
   // Appends (or replaces) a named section.
   void Add(const std::string& name, std::vector<uint8_t> payload);

@@ -143,23 +143,43 @@ void QueryDriver::OnEventRestored(SimTime t, EventKind kind, const EventPayload&
   }
 }
 
+void CkptWrite(ByteWriter& w, const QueryDriverStats& v) {
+  CkptWrite(w, v.issued);
+  CkptWrite(w, v.completed);
+  CkptWrite(w, v.failed);
+  CkptWrite(w, v.cross_cell);
+  CkptWrite(w, v.by_source);
+  CkptWrite(w, v.latency_ms);
+  v.latency.SaveState(w);
+  CkptWrite(w, v.energy_j);
+  CkptWrite(w, v.energy_now_j);
+  CkptWrite(w, v.energy_past_j);
+  CkptWrite(w, v.energized);
+  CkptWrite(w, v.energy_by_cell_j);
+}
+
+Status CkptRead(ByteReader& r, QueryDriverStats& v) {
+  CKPT_READ(r, v.issued);
+  CKPT_READ(r, v.completed);
+  CKPT_READ(r, v.failed);
+  CKPT_READ(r, v.cross_cell);
+  CKPT_READ(r, v.by_source);
+  CKPT_READ(r, v.latency_ms);
+  PRESTO_RETURN_IF_ERROR(v.latency.LoadState(r));
+  CKPT_READ(r, v.energy_j);
+  CKPT_READ(r, v.energy_now_j);
+  CKPT_READ(r, v.energy_past_j);
+  CKPT_READ(r, v.energized);
+  CKPT_READ(r, v.energy_by_cell_j);
+  return OkStatus();
+}
+
 Status QueryDriver::SaveState(ByteWriter& w) const {
   CkptWrite(w, rng_);
   CkptWrite(w, next_at_);
   CkptWrite(w, until_);
   CkptWrite(w, running_);
-  CkptWrite(w, stats_.issued);
-  CkptWrite(w, stats_.completed);
-  CkptWrite(w, stats_.failed);
-  CkptWrite(w, stats_.cross_cell);
-  CkptWrite(w, stats_.by_source);
-  CkptWrite(w, stats_.latency_ms);
-  stats_.latency.SaveState(w);
-  CkptWrite(w, stats_.energy_j);
-  CkptWrite(w, stats_.energy_now_j);
-  CkptWrite(w, stats_.energy_past_j);
-  CkptWrite(w, stats_.energized);
-  CkptWrite(w, stats_.energy_by_cell_j);
+  CkptWrite(w, stats_);
   return OkStatus();
 }
 
@@ -169,18 +189,7 @@ Status QueryDriver::LoadState(ByteReader& r) {
   CKPT_READ(r, next_at_);
   CKPT_READ(r, until_);
   CKPT_READ(r, running_);
-  CKPT_READ(r, stats_.issued);
-  CKPT_READ(r, stats_.completed);
-  CKPT_READ(r, stats_.failed);
-  CKPT_READ(r, stats_.cross_cell);
-  CKPT_READ(r, stats_.by_source);
-  CKPT_READ(r, stats_.latency_ms);
-  PRESTO_RETURN_IF_ERROR(stats_.latency.LoadState(r));
-  CKPT_READ(r, stats_.energy_j);
-  CKPT_READ(r, stats_.energy_now_j);
-  CKPT_READ(r, stats_.energy_past_j);
-  CKPT_READ(r, stats_.energized);
-  CKPT_READ(r, stats_.energy_by_cell_j);
+  CKPT_READ(r, stats_);
   return OkStatus();
 }
 

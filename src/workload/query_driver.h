@@ -122,6 +122,12 @@ struct QueryDriverStats {
   std::map<int, double> energy_by_cell_j;    // keyed by QueryOutcome::source_cell
 };
 
+// Stats codec: checkpoints embed it via QueryDriver::SaveState, and the federation
+// process seam marshals per-worker driver stats through it (kSnapshot frames) —
+// one field order for both, so the two paths cannot drift.
+void CkptWrite(ByteWriter& w, const QueryDriverStats& v);
+Status CkptRead(ByteReader& r, QueryDriverStats& v);
+
 class QueryDriver : public EventSink {
  public:
   using CompletionFn = std::function<void(const QueryOutcome&)>;

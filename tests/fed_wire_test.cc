@@ -1,0 +1,287 @@
+// fed_wire tests: frame round-trips, the malformed-input suite (every corrupt
+// header shape must come back as a clean Status — the parent orchestrator treats
+// a PRESTO_CHECK in the decode path as a crashed worker, so decode must stay
+// total on arbitrary bytes), the FedMail / cell-bitmap codecs, and the blocking
+// FrameChannel over a real socketpair including both EOF flavors.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/fed_wire.h"
+#include "src/util/ckpt.h"
+
+namespace presto {
+namespace {
+
+std::vector<uint8_t> MustEncode(const FedFrame& frame) {
+  auto encoded = EncodeFedFrame(frame);
+  EXPECT_TRUE(encoded.ok()) << encoded.status().message();
+  return *encoded;
+}
+
+// ---------- frame codec ----------
+
+TEST(FedWireFrameTest, RoundTripsEveryFrameType) {
+  for (uint8_t t = 0; t < kFedFrameTypeCount; ++t) {
+    FedFrame frame;
+    frame.type = static_cast<FedFrameType>(t);
+    frame.payload = {t, 0xaa, 0x55};
+    const std::vector<uint8_t> bytes = MustEncode(frame);
+    auto decoded = DecodeFedFrame(span<const uint8_t>(bytes));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    EXPECT_EQ(decoded->type, frame.type);
+    EXPECT_EQ(decoded->payload, frame.payload);
+  }
+}
+
+TEST(FedWireFrameTest, RoundTripsEmptyAndLargePayloads) {
+  FedFrame empty;
+  empty.type = FedFrameType::kStart;
+  auto decoded = DecodeFedFrame(span<const uint8_t>(MustEncode(empty)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->payload.empty());
+
+  FedFrame big;
+  big.type = FedFrameType::kCkptSave;
+  big.payload.resize(1 << 20);
+  for (size_t i = 0; i < big.payload.size(); ++i) {
+    big.payload[i] = static_cast<uint8_t>(i * 2654435761u);
+  }
+  auto round = DecodeFedFrame(span<const uint8_t>(MustEncode(big)));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->payload, big.payload);
+}
+
+TEST(FedWireMalformedTest, TruncatedHeader) {
+  const std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  for (size_t cut = 0; cut < 10; ++cut) {
+    auto decoded =
+        DecodeFedFrame(span<const uint8_t>(bytes.data(), std::min(cut, bytes.size())));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    EXPECT_EQ(decoded.status().message(), "fed_wire: truncated frame header");
+  }
+}
+
+TEST(FedWireMalformedTest, BadMagic) {
+  std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  bytes[0] = 'X';
+  auto decoded = DecodeFedFrame(span<const uint8_t>(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(decoded.status().message(), "fed_wire: bad frame magic");
+}
+
+TEST(FedWireMalformedTest, UnsupportedVersion) {
+  std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  bytes[4] = kFedWireVersion + 1;
+  auto decoded = DecodeFedFrame(span<const uint8_t>(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(decoded.status().message(), "fed_wire: unsupported protocol version");
+}
+
+TEST(FedWireMalformedTest, UnknownFrameType) {
+  std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  bytes[5] = kFedFrameTypeCount;
+  auto decoded = DecodeFedFrame(span<const uint8_t>(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().message(), "fed_wire: unknown frame type");
+  bytes[5] = 0xff;
+  EXPECT_FALSE(DecodeFedFrame(span<const uint8_t>(bytes)).ok());
+}
+
+TEST(FedWireMalformedTest, OversizedLengthPrefix) {
+  // A corrupt length prefix far above the cap must be rejected *before* any
+  // allocation sized from it.
+  std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  bytes[6] = 0xff;
+  bytes[7] = 0xff;
+  bytes[8] = 0xff;
+  bytes[9] = 0xff;
+  auto decoded = DecodeFedFrame(span<const uint8_t>(bytes));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(decoded.status().message(), "fed_wire: oversized frame length prefix");
+}
+
+TEST(FedWireMalformedTest, TruncatedAndTrailingPayload) {
+  FedFrame frame;
+  frame.type = FedFrameType::kStep;
+  frame.payload = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> bytes = MustEncode(frame);
+  auto truncated = DecodeFedFrame(span<const uint8_t>(bytes.data(), bytes.size() - 2));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().message(), "fed_wire: truncated frame payload");
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  auto extra = DecodeFedFrame(span<const uint8_t>(trailing));
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().message(), "fed_wire: trailing bytes after frame");
+}
+
+// ---------- FedMail + cell bitmap codecs ----------
+
+TEST(FedWireCodecTest, FedMailRoundTrips) {
+  FedMail mail;
+  mail.source_cell = 3;
+  mail.target_cell = 11;
+  mail.time = Minutes(90) + Millis(250);
+  mail.op = 2;
+  mail.qid = (1ull << 40) + 17;
+  mail.body = {0xde, 0xad, 0xbe, 0xef};
+  ByteWriter w;
+  CkptWrite(w, mail);
+  ByteReader r{span<const uint8_t>(w.buffer())};
+  FedMail back;
+  ASSERT_TRUE(CkptRead(r, back).ok());
+  EXPECT_EQ(back.source_cell, mail.source_cell);
+  EXPECT_EQ(back.target_cell, mail.target_cell);
+  EXPECT_EQ(back.time, mail.time);
+  EXPECT_EQ(back.op, mail.op);
+  EXPECT_EQ(back.qid, mail.qid);
+  EXPECT_EQ(back.body, mail.body);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Truncation anywhere inside the record is a clean error.
+  for (size_t cut = 0; cut < w.buffer().size(); ++cut) {
+    ByteReader short_reader{span<const uint8_t>(w.buffer().data(), cut)};
+    FedMail scratch;
+    EXPECT_FALSE(CkptRead(short_reader, scratch).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(FedWireCodecTest, CellBitmapRoundTripsAcrossWidths) {
+  for (const size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{64},
+                         size_t{65}}) {
+    std::vector<uint8_t> flags(n, 0);
+    for (size_t c = 0; c < n; c += 3) {
+      flags[c] = 1;
+    }
+    ByteWriter w;
+    WriteCellBitmap(w, flags);
+    ByteReader r{span<const uint8_t>(w.buffer())};
+    std::vector<uint8_t> back;
+    ASSERT_TRUE(ReadCellBitmap(r, n, &back).ok()) << "n=" << n;
+    EXPECT_EQ(back, flags) << "n=" << n;
+  }
+}
+
+TEST(FedWireCodecTest, CellBitmapRejectsCountMismatch) {
+  std::vector<uint8_t> flags(8, 1);
+  ByteWriter w;
+  WriteCellBitmap(w, flags);
+  ByteReader r{span<const uint8_t>(w.buffer())};
+  std::vector<uint8_t> back;
+  const Status st = ReadCellBitmap(r, 9, &back);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "fed_wire: cell bitmap count mismatch");
+}
+
+// ---------- FrameChannel over a socketpair ----------
+
+struct ChannelPair {
+  ChannelPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = std::make_unique<FrameChannel>(fds[0]);
+    b = std::make_unique<FrameChannel>(fds[1]);
+  }
+  std::unique_ptr<FrameChannel> a;
+  std::unique_ptr<FrameChannel> b;
+};
+
+TEST(FrameChannelTest, SendRecvRoundTripsLargeFrames) {
+  ChannelPair pair;
+  FedFrame frame;
+  frame.type = FedFrameType::kCkptLoad;
+  frame.payload.resize(3 << 20);  // > socket buffer: exercises the write/read loops
+  for (size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = static_cast<uint8_t>(i ^ (i >> 11));
+  }
+  // Sender on a second thread — a 3 MiB frame does not fit in the kernel buffer,
+  // so a single-threaded send would deadlock against our own pending read.
+  std::thread sender([&] {
+    EXPECT_TRUE(pair.a->Send(frame).ok());
+  });
+  auto received = pair.b->Recv();
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received.status().message();
+  EXPECT_EQ(received->type, frame.type);
+  EXPECT_EQ(received->payload, frame.payload);
+}
+
+TEST(FrameChannelTest, CallRoundTrips) {
+  ChannelPair pair;
+  std::thread echo([&] {
+    auto request = pair.b->Recv();
+    ASSERT_TRUE(request.ok());
+    FedFrame reply;
+    reply.type = FedFrameType::kAck;
+    reply.payload = request->payload;
+    EXPECT_TRUE(pair.b->Send(reply).ok());
+  });
+  FedFrame request;
+  request.type = FedFrameType::kSnapshot;
+  request.payload = {9, 8, 7};
+  auto reply = pair.a->Call(request);
+  echo.join();
+  ASSERT_TRUE(reply.ok()) << reply.status().message();
+  EXPECT_EQ(reply->type, FedFrameType::kAck);
+  EXPECT_EQ(reply->payload, request.payload);
+}
+
+TEST(FrameChannelTest, CleanEofBetweenFramesIsUnavailable) {
+  // Peer exits between frames: the reader sees EOF before any header byte — the
+  // "worker left cleanly" signal, distinct from a torn frame.
+  ChannelPair pair;
+  pair.a->Close();
+  auto received = pair.b->Recv();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(received.status().message(), "fed_wire: peer closed the channel");
+}
+
+TEST(FrameChannelTest, MidFrameEofIsDataLoss) {
+  // Peer dies mid-header: a torn frame must be reported as data loss, not as a
+  // clean shutdown — the parent marks the worker crashed either way, but the
+  // distinction matters for diagnostics.
+  ChannelPair pair;
+  const std::vector<uint8_t> whole = MustEncode(FedFrame{});
+  ASSERT_EQ(::write(pair.a->fd(), whole.data(), 4), 4);
+  pair.a->Close();
+  auto received = pair.b->Recv();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(received.status().message(), "fed_wire: mid-frame EOF");
+}
+
+TEST(FrameChannelTest, CorruptHeaderOnTheWireIsRejected) {
+  ChannelPair pair;
+  std::vector<uint8_t> bytes = MustEncode(FedFrame{});
+  bytes[0] = '?';  // break the magic
+  ASSERT_EQ(::write(pair.a->fd(), bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  auto received = pair.b->Recv();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().message(), "fed_wire: bad frame magic");
+}
+
+TEST(FrameChannelTest, ClosedChannelFailsBothDirections) {
+  ChannelPair pair;
+  pair.a->Close();
+  EXPECT_EQ(pair.a->fd(), -1);
+  EXPECT_FALSE(pair.a->Send(FedFrame{}).ok());
+  EXPECT_FALSE(pair.a->Recv().ok());
+}
+
+}  // namespace
+}  // namespace presto

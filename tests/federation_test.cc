@@ -2,13 +2,19 @@
 // routing over inter-cell trunks, the in-sim open-loop query driver, failover of a
 // cross-cell target's proxy mid-stream, whole-cell kill/revive, and the federation
 // determinism contract — same seed => identical federation fingerprint *and*
-// identical latency histogram across sim_threads worker counts.
+// identical latency histogram across sim_threads worker counts, cell_threads
+// counts, and cell_processes counts (cells as forked worker processes), plus
+// cross-mode checkpoint migration and worker-crash containment.
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
+
+#include <memory>
 #include <vector>
 
 #include "src/core/federation.h"
+#include "src/util/ckpt.h"
 #include "src/workload/query_driver.h"
 
 namespace presto {
@@ -367,9 +373,10 @@ TEST(FederationTest, PendingTableSurvivesCrossCellContentionThroughOneGateway) {
   // the sharded pending table from four threads at once. Arrivals ride the control
   // step, so a single driver is clamped to the barrier cadence no matter its rate;
   // eight drivers on the same gateway flood several concurrent qids per epoch.
-  // Every query must complete exactly once (an entry lost or double-finalized trips
-  // the driver accounting or a PRESTO_CHECK), and the outcome must be bit-identical
-  // to sequential stepping.
+  // Each gateway owns its own single-writer pending table (indexed by target cell
+  // for the kill sweep), so every query must complete exactly once (an entry lost
+  // or double-finalized trips the driver accounting or a PRESTO_CHECK), and the
+  // outcome must be bit-identical to sequential stepping.
   auto run = [](int cell_threads) {
     FederationConfig config = SmallFederation(4, 2, 4);
     config.cell.lane_engine = true;
@@ -432,6 +439,246 @@ TEST(FederationTest, PendingTableSurvivesCrossCellContentionThroughOneGateway) {
   EXPECT_EQ(sequential.histogram, parallel.histogram);
   EXPECT_EQ(sequential.issued, parallel.issued);
   EXPECT_EQ(sequential.failed, parallel.failed);
+}
+
+// ---------- cells as processes ----------
+
+// A driven kill/revive scenario built entirely on the mode-independent facade
+// (AttachDriver / StartDriver / DriverStats / KillProxyInCell / KillCell /
+// QueryAndWait), so the identical code runs whether the cells live in this
+// process (sequential or cell-parallel) or in forked presto_cell workers.
+FedDigest RunFacadeFederation(int cell_threads, int cell_processes) {
+  FederationConfig config = SmallFederation(4, 4, 2);
+  config.cell.lane_engine = true;
+  config.cell.sim_epoch = Millis(500);
+  config.cell_threads = cell_threads;
+  config.cell_processes = cell_processes;
+  Federation fed(config);
+
+  QueryDriverParams params;
+  params.mix.queries_per_hour = 1200.0;
+  params.mix.num_sensors = 0;  // whole federation namespace
+  params.mix.past_fraction = 0.2;
+  params.mix.mean_past_age = Minutes(20);
+  params.mix.max_past_age = Minutes(40);
+  params.mix.min_tolerance = 2.0;
+  params.mix.max_tolerance = 3.0;
+  std::vector<int> drivers;
+  for (int c = 0; c < fed.num_cells(); c += 2) {  // gateways at cells 0 and 2
+    QueryDriverParams p = params;
+    p.mix.seed = 6060 + static_cast<uint64_t>(c);
+    drivers.push_back(fed.AttachDriver(c, p));
+  }
+  fed.Start();
+  fed.RunUntil(Hours(1));
+  for (const int d : drivers) {
+    fed.StartDriver(d, Minutes(12));
+  }
+  fed.RunUntil(fed.Now() + Minutes(2));
+  fed.KillProxyInCell(1, 0);  // in-cell failover under cross-cell load
+  fed.RunUntil(fed.Now() + Minutes(2));
+  fed.KillCell(3);  // whole-cell outage: queries toward it fail fast
+  fed.RunUntil(fed.Now() + Minutes(2));
+  fed.ReviveProxyInCell(1, 0);
+  fed.ReviveCell(3);
+  fed.RunUntil(fed.Now() + Minutes(3));
+
+  // A host probe rides whichever seam is active (closure in-process, kInject +
+  // host_done fold across the process boundary) — and must not perturb replay.
+  FederationQuerySpec probe;
+  probe.fed_sensor = fed.directory().FedIndexOf(2, 1);
+  probe.tolerance = 3.0;
+  const FederationQueryResult probed = fed.QueryAndWait(0, probe);
+  EXPECT_TRUE(probed.cell.answer.status.ok()) << probed.cell.answer.status.message();
+  EXPECT_TRUE(probed.cross_cell);
+  fed.RunUntil(fed.Now() + Minutes(3));
+
+  FedDigest digest;
+  digest.fingerprint = fed.fingerprint();
+  LatencyHistogram merged;
+  for (const int d : drivers) {
+    const QueryDriverStats stats = fed.DriverStats(d);
+    merged.Merge(stats.latency);
+    digest.issued += stats.issued;
+    digest.completed += stats.completed;
+    digest.failed += stats.failed;
+    digest.cross_cell += stats.cross_cell;
+  }
+  digest.histogram = merged.Hash();
+  return digest;
+}
+
+TEST(FederationProcessModeTest, MultiProcessSteppingMatchesInProcess) {
+  const FedDigest in_process = RunFacadeFederation(/*cell_threads=*/1,
+                                                   /*cell_processes=*/1);
+  EXPECT_GT(in_process.issued, 200u);
+  EXPECT_EQ(in_process.completed, in_process.issued);
+  EXPECT_GT(in_process.cross_cell, 50u);
+  EXPECT_GT(in_process.failed, 0u) << "the cell-3 outage must fail some queries";
+
+  // Threaded in-process stepping through the same facade, then worker processes
+  // at even, uneven (4 cells over 3 workers), and one-cell-per-worker splits:
+  // fingerprint and histogram must be bit-identical in every mode.
+  const FedDigest threaded = RunFacadeFederation(/*cell_threads=*/8,
+                                                 /*cell_processes=*/1);
+  EXPECT_EQ(in_process.fingerprint, threaded.fingerprint);
+  EXPECT_EQ(in_process.histogram, threaded.histogram);
+  for (const int procs : {2, 3, 4}) {
+    const FedDigest multi = RunFacadeFederation(/*cell_threads=*/1, procs);
+    EXPECT_EQ(in_process.fingerprint, multi.fingerprint)
+        << "fingerprint diverged at cell_processes=" << procs;
+    EXPECT_EQ(in_process.histogram, multi.histogram)
+        << "latency histogram diverged at cell_processes=" << procs;
+    EXPECT_EQ(in_process.issued, multi.issued);
+    EXPECT_EQ(in_process.completed, multi.completed);
+    EXPECT_EQ(in_process.failed, multi.failed);
+    EXPECT_EQ(in_process.cross_cell, multi.cross_cell);
+  }
+}
+
+TEST(FederationProcessModeTest, WorkerCrashSurfacesAsCellFailure) {
+  FederationConfig config = SmallFederation(4, 2, 2);
+  config.cell_processes = 4;
+  Federation fed(config);
+  fed.Start();
+  fed.RunUntil(Hours(1));
+  ASSERT_EQ(fed.num_workers(), 4);
+  ASSERT_TRUE(fed.worker_alive(1));
+
+  // SIGKILL, not kShutdown: no goodbye frame, just a torn channel. The next
+  // barrier must detect it and keep going — a crashed worker is a deployment-
+  // visible cell failure, never a federation hang or a parent abort.
+  ASSERT_EQ(::kill(fed.worker_pid(1), SIGKILL), 0);
+  fed.RunUntil(fed.Now() + Minutes(5));
+  EXPECT_FALSE(fed.worker_alive(1));
+  EXPECT_TRUE(fed.worker_alive(0));
+
+  // Queries toward the dead worker's cell fail fast at their origin gateway.
+  FederationQuerySpec dark;
+  dark.fed_sensor = fed.directory().FedIndexOf(1, 0);
+  dark.tolerance = 3.0;
+  const FederationQueryResult toward = fed.QueryAndWait(0, dark);
+  EXPECT_FALSE(toward.cell.answer.status.ok())
+      << "a crashed worker's namespace block must fail, not hang";
+
+  // Probes *from* the dead cell fail cleanly too (no frame can reach it).
+  const FederationQueryResult from = fed.QueryAndWait(1, dark);
+  EXPECT_FALSE(from.cell.answer.status.ok());
+
+  // The surviving cells keep serving local and cross-cell traffic.
+  FederationQuerySpec alive;
+  alive.fed_sensor = fed.directory().FedIndexOf(2, 1);
+  alive.tolerance = 3.0;
+  EXPECT_TRUE(fed.QueryAndWait(3, alive).cell.answer.status.ok());
+
+  // Telemetry stays serveable and stable: the dead worker's cells freeze at
+  // their last folded values instead of vanishing or wedging the fold.
+  const uint64_t fp = fed.fingerprint();
+  EXPECT_EQ(fp, fed.fingerprint());
+  fed.RunUntil(fed.Now() + Minutes(2));
+  EXPECT_GT(fed.EventsExecuted(), 0u);
+
+  // A checkpoint of a degraded federation is refused (a crashed worker's cells
+  // cannot be serialized), not silently partial.
+  Checkpoint ckpt;
+  EXPECT_FALSE(fed.SaveCheckpoint(&ckpt).ok());
+}
+
+TEST(FederationProcessModeTest, CrossModeCheckpointMigration) {
+  // The checkpoint container is the live-migration format: bytes written by an
+  // in-process federation restore into worker processes and vice versa, and both
+  // modes serialize the same scenario to the same Digest().
+  auto fresh = [](int cell_processes) {
+    FederationConfig config = SmallFederation(2, 2, 4);
+    config.cell_processes = cell_processes;
+    auto fed = std::make_unique<Federation>(config);
+    for (int c = 0; c < 2; ++c) {
+      QueryDriverParams p;
+      p.mix.queries_per_hour = 1200.0;
+      p.mix.num_sensors = 0;
+      p.mix.past_fraction = 0.1;
+      p.mix.mean_past_age = Minutes(5);
+      p.mix.max_past_age = Minutes(8);
+      p.mix.min_tolerance = 2.0;
+      p.mix.max_tolerance = 3.0;
+      p.mix.seed = 31337 + static_cast<uint64_t>(c);
+      fed->AttachDriver(c, p);
+    }
+    fed->Start();
+    return fed;
+  };
+  auto prefix = [&](int cell_processes) {
+    auto fed = fresh(cell_processes);
+    fed->RunUntil(Minutes(10));
+    fed->StartDriver(0, Minutes(10));
+    fed->StartDriver(1, Minutes(10));
+    fed->RunUntil(Minutes(13));
+    fed->KillProxyInCell(1, 0);  // save mid-failover, queries in flight
+    fed->RunUntil(Minutes(14));
+    return fed;
+  };
+  auto finish = [](Federation& fed) {
+    fed.ReviveProxyInCell(1, 0);
+    fed.RunUntil(Minutes(25));
+    FedDigest digest;
+    digest.fingerprint = fed.fingerprint();
+    LatencyHistogram merged;
+    for (int d = 0; d < fed.num_drivers(); ++d) {
+      const QueryDriverStats stats = fed.DriverStats(d);
+      merged.Merge(stats.latency);
+      digest.issued += stats.issued;
+      digest.completed += stats.completed;
+      digest.failed += stats.failed;
+    }
+    digest.histogram = merged.Hash();
+    return digest;
+  };
+
+  // Same prefix in both modes => byte-identical checkpoint containers.
+  auto in_proc = prefix(1);
+  Checkpoint from_in_proc;
+  ASSERT_TRUE(in_proc->SaveCheckpoint(&from_in_proc).ok());
+  auto multi = prefix(2);
+  Checkpoint from_multi;
+  ASSERT_TRUE(multi->SaveCheckpoint(&from_multi).ok());
+  EXPECT_EQ(from_in_proc.Digest(), from_multi.Digest())
+      << "checkpoint bytes must not depend on the execution mode";
+
+  // Uninterrupted reference: the in-process run just keeps going.
+  const FedDigest reference = finish(*in_proc);
+  EXPECT_GT(reference.issued, 100u);
+  EXPECT_EQ(reference.completed, reference.issued);
+
+  // Migrate each way: in-process bytes into workers, worker bytes in-process.
+  auto migrated_out = fresh(2);
+  ASSERT_TRUE(migrated_out->LoadCheckpoint(from_in_proc).ok());
+  auto migrated_in = fresh(1);
+  ASSERT_TRUE(migrated_in->LoadCheckpoint(from_multi).ok());
+
+  // Restoring the same bytes into either mode must re-serialize identically:
+  // load canonicalizes (event-pool layout is rebuilt, so the resave need not
+  // equal the original container), but the canonical form cannot depend on
+  // whether the cells live in-process or in workers.
+  Checkpoint resaved_out;
+  ASSERT_TRUE(migrated_out->SaveCheckpoint(&resaved_out).ok());
+  Checkpoint resaved_in;
+  {
+    auto reload = fresh(1);
+    ASSERT_TRUE(reload->LoadCheckpoint(from_in_proc).ok());
+    ASSERT_TRUE(reload->SaveCheckpoint(&resaved_in).ok());
+  }
+  EXPECT_EQ(resaved_out.Digest(), resaved_in.Digest());
+
+  const FedDigest out_digest = finish(*migrated_out);
+  const FedDigest in_digest = finish(*migrated_in);
+  EXPECT_EQ(reference.fingerprint, out_digest.fingerprint)
+      << "in-process checkpoint must replay inside worker processes";
+  EXPECT_EQ(reference.fingerprint, in_digest.fingerprint)
+      << "worker checkpoint must replay in-process";
+  EXPECT_EQ(reference.histogram, out_digest.histogram);
+  EXPECT_EQ(reference.histogram, in_digest.histogram);
+  EXPECT_EQ(reference.issued, out_digest.issued);
+  EXPECT_EQ(reference.issued, in_digest.issued);
 }
 
 }  // namespace

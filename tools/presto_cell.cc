@@ -1,0 +1,29 @@
+// presto_cell: the federation's per-process cell worker.
+//
+// Never run by hand — a Federation with cell_processes > 1 forks one per
+// process slot, passing its end of a socketpair as argv[1]. Everything else
+// (config, hosted cells, stepping) arrives as fed_wire frames; see
+// src/core/cell_worker.h for the protocol.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/cell_worker.h"
+#include "src/net/fed_wire.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: presto_cell <socket-fd>\n"
+                 "(spawned by a presto Federation; not meant to run by hand)\n");
+    return 2;
+  }
+  const int fd = std::atoi(argv[1]);
+  if (fd <= 2) {  // refuse stdio and garbage ("0" from non-numeric input)
+    std::fprintf(stderr, "presto_cell: bad socket fd '%s'\n", argv[1]);
+    return 2;
+  }
+  presto::FrameChannel channel(fd);
+  presto::CellWorker worker(&channel);
+  return worker.Serve();
+}
