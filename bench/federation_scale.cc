@@ -21,23 +21,26 @@
 //   - healthy-phase failures are zero; kill-phase failures stay inside the killed
 //     cell's namespace share band; revive-phase failures are zero,
 //   - the acceptance cell re-runs at sim_threads in {1, 8}, again with
-//     cell-parallel stepping (cell_threads = num_cells), and again with the cells
+//     cell-parallel stepping (cell_threads = num_cells), again with the cells
 //     forked into presto_cell worker processes (cell_processes > 1, the
-//     byte-serialized federation seam) — all with a bit-identical federation
-//     fingerprint and bit-identical driver latency histograms,
+//     byte-serialized federation seam), and again over localhost TCP against
+//     `presto_cell --listen` workers (cell_endpoints, the multi-machine
+//     transport) — all with a bit-identical federation fingerprint and
+//     bit-identical driver latency histograms,
 //   - cell-parallel stepping clears >= 1.5x events/s over sequential stepping on
 //     the 4 x 8 x 16k acceptance cell (checked when the host has >= 8 hardware
 //     threads).
 //
 // Report keys are unchanged from earlier baselines for in-process rows; rows run
-// under multi-process stepping append a "/procsN" suffix so bench_compare lines
-// them up against their own kind.
+// under multi-process stepping append a "/procsN" suffix and rows run over the
+// TCP socket transport append "/sockN", so bench_compare lines each up against
+// its own kind.
 //
 // `--smoke` runs a reduced grid with the same checks (the CI entry point).
 // `--mega` appends the 16-cell x ~100k-sensor cell (16 x 8 x 6144 = 98304
 // sensors, tiny per-sensor flash, cell-parallel stepping) and re-runs it with
-// one worker process per cell — the committed BENCH_federation_scale.json
-// baseline rows; too slow for per-PR CI.
+// one worker process per cell and with one TCP socket worker per cell — the
+// committed BENCH_federation_scale.json baseline rows; too slow for per-PR CI.
 // `--csv` writes the summary table to federation_scale.csv (never by default:
 // bench dumps do not belong in the tree). `--json <path>` writes the
 // machine-readable report (schema: bench/bench_report.h, docs/BENCHMARKS.md).
@@ -57,11 +60,13 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_report.h"
+#include "src/core/cell_worker.h"
 #include "src/core/federation.h"
 #include "src/util/ckpt.h"
 #include "src/util/stats.h"
@@ -96,6 +101,7 @@ struct FedCellResult {
   uint64_t trunk_bytes = 0;
   uint64_t fingerprint = 0;
   uint64_t histogram = 0;
+  bool spawn_failed = false;  // could not launch the localhost socket workers
   double wall_s = 0.0;
   double fed_epoch_ms = 0.0;  // lookahead-derived federation epoch
   // Per-query energy attribution: sensor radio joules the drivers' queries cost,
@@ -131,6 +137,41 @@ DriverSnapshot Snapshot(const Federation& fed, const std::vector<int>& drivers) 
   return snap;
 }
 
+// Localhost `presto_cell --listen` workers for the /sockN rows — the TCP
+// transport measured end to end on one machine. Each federation spawns its own
+// set: a worker's listen loop exits after the federation it served shuts down.
+// Declared before the Federation so its destructor reaps only after the
+// federation's clean kShutdown.
+struct BenchSocketWorkers {
+  std::vector<SpawnedCellWorker> workers;
+  bool ok = true;
+  explicit BenchSocketWorkers(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto spawned = SpawnCellWorkerListening();
+      if (!spawned.ok()) {
+        std::printf("  VIOLATION: cannot spawn socket worker %d: %s\n", i,
+                    spawned.status().message().c_str());
+        ok = false;
+        return;
+      }
+      workers.push_back(*spawned);
+    }
+  }
+  BenchSocketWorkers(const BenchSocketWorkers&) = delete;
+  BenchSocketWorkers& operator=(const BenchSocketWorkers&) = delete;
+  ~BenchSocketWorkers() {
+    for (SpawnedCellWorker& worker : workers) {
+      StopCellWorker(worker);
+    }
+  }
+  void Fill(FederationConfig& config) const {
+    config.num_endpoints = static_cast<int>(workers.size());
+    for (size_t i = 0; i < workers.size(); ++i) {
+      config.cell_endpoints[i] = MakeFedEndpoint("127.0.0.1", workers[i].port);
+    }
+  }
+};
+
 PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
   PhaseWindow window;
   window.issued = after.issued - before.issued;
@@ -142,8 +183,9 @@ PhaseWindow Delta(const DriverSnapshot& before, const DriverSnapshot& after) {
 
 FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell,
                                 int sim_threads, int cell_threads,
-                                int cell_processes, double rate_per_cell_per_hour,
-                                Duration warmup, Duration phase, bool tiny_flash,
+                                int cell_processes, int sockets,
+                                double rate_per_cell_per_hour, Duration warmup,
+                                Duration phase, bool tiny_flash,
                                 const std::string& ckpt_out = "",
                                 const std::string& resume_path = "") {
   FederationConfig config;
@@ -177,6 +219,17 @@ FedCellResult RunFederationCell(int num_cells, int proxies, int sensors_per_cell
   config.cell_threads = cell_threads;
   config.cell_processes = cell_processes;
   config.seed = kSeed;
+
+  std::unique_ptr<BenchSocketWorkers> socket_workers;
+  if (sockets > 0) {
+    socket_workers = std::make_unique<BenchSocketWorkers>(sockets);
+    if (!socket_workers->ok) {
+      FedCellResult failed;
+      failed.spawn_failed = true;
+      return failed;
+    }
+    socket_workers->Fill(config);
+  }
 
   Federation fed(config);
 
@@ -377,7 +430,7 @@ uint64_t MergedHistogramHash(const Federation& fed, const std::vector<int>& driv
 }
 
 int RunRoundTripCheck(int sim_threads, int cell_threads, int cell_processes,
-                      BenchReport& report) {
+                      int sockets, BenchReport& report) {
   const Duration warm = Minutes(5);
   const Duration ckpt_at = warm + Minutes(2);
   const Duration end = ckpt_at + Minutes(4);
@@ -385,8 +438,20 @@ int RunRoundTripCheck(int sim_threads, int cell_threads, int cell_processes,
   Checkpoint ckpt;
   uint64_t fp_cont = 0;
   uint64_t hist_cont = 0;
+  // Each federation spawns its own socket workers (the listen loop exits with
+  // the federation it served), so save-side and restore-side both cross TCP.
   {
-    Federation fed(RoundTripConfig(sim_threads, cell_threads, cell_processes));
+    std::unique_ptr<BenchSocketWorkers> socket_workers;
+    FederationConfig config =
+        RoundTripConfig(sim_threads, cell_threads, cell_processes);
+    if (sockets > 0) {
+      socket_workers = std::make_unique<BenchSocketWorkers>(sockets);
+      if (!socket_workers->ok) {
+        return 1;
+      }
+      socket_workers->Fill(config);
+    }
+    Federation fed(config);
     std::vector<int> drivers = AttachRoundTripDrivers(fed);
     fed.Start();
     fed.RunUntil(warm);
@@ -416,7 +481,17 @@ int RunRoundTripCheck(int sim_threads, int cell_threads, int cell_processes,
   uint64_t fp_resumed = 0;
   uint64_t hist_resumed = 0;
   {
-    Federation fed(RoundTripConfig(sim_threads, cell_threads, cell_processes));
+    std::unique_ptr<BenchSocketWorkers> socket_workers;
+    FederationConfig config =
+        RoundTripConfig(sim_threads, cell_threads, cell_processes);
+    if (sockets > 0) {
+      socket_workers = std::make_unique<BenchSocketWorkers>(sockets);
+      if (!socket_workers->ok) {
+        return 1;
+      }
+      socket_workers->Fill(config);
+    }
+    Federation fed(config);
     std::vector<int> drivers = AttachRoundTripDrivers(fed);
     fed.Start();
     const Status restored = fed.LoadCheckpoint(*decoded);
@@ -451,21 +526,26 @@ int RunRoundTripCheck(int sim_threads, int cell_threads, int cell_processes,
   int key_len = std::snprintf(key_buf, sizeof(key_buf), "ckpt_roundtrip/sim%d/cell%d",
                               sim_threads, cell_threads);
   if (cell_processes > 1) {
-    std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/procs%d",
-                  cell_processes);
+    key_len += std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len,
+                             "/procs%d", cell_processes);
+  }
+  if (sockets > 0) {
+    std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/sock%d",
+                  sockets);
   }
   BenchReport::Row& row = report.AddRow(key_buf);
   row.Config("sim_threads", sim_threads)
       .Config("cell_threads", cell_threads)
-      .Config("cell_processes", cell_processes);
+      .Config("cell_processes", cell_processes)
+      .Config("sockets", sockets);
   row.Metric("roundtrip_match", violations == 0 ? 1.0 : 0.0)
       .Metric("ckpt_bytes", static_cast<double>(ckpt.Encode().size()))
       .Metric("ckpt_sections", static_cast<double>(ckpt.sections().size()));
   row.Fingerprint("continuous", fp_cont).Fingerprint("resumed", fp_resumed);
   if (violations == 0) {
-    std::printf("  ckpt round-trip ok: sim=%d cell=%d procs=%d "
+    std::printf("  ckpt round-trip ok: sim=%d cell=%d procs=%d socks=%d "
                 "fingerprint=%016llx histogram=%016llx (%zu sections)\n",
-                sim_threads, cell_threads, cell_processes,
+                sim_threads, cell_threads, cell_processes, sockets,
                 static_cast<unsigned long long>(fp_cont),
                 static_cast<unsigned long long>(hist_cont),
                 ckpt.sections().size());
@@ -505,13 +585,17 @@ int main(int argc, char** argv) {
               smoke ? " [--smoke: reduced grid]" : "",
               mega ? " [--mega: 16-cell ~100k row]" : "");
 
-  // (sim_threads, cell_threads, cell_processes): lane workers inside each cell x
-  // host threads stepping the cells concurrently within each federation epoch x
-  // presto_cell worker processes the cells are forked into (1 = in-process).
+  // (sim_threads, cell_threads, cell_processes, sockets): lane workers inside
+  // each cell x host threads stepping the cells concurrently within each
+  // federation epoch x presto_cell worker processes the cells are forked into
+  // (1 = in-process) x localhost `presto_cell --listen` workers reached over TCP
+  // (0 = no socket transport; when set, cell_processes stays 1 and placement
+  // follows FederationConfig::cell_endpoints).
   struct Combo {
     int sim_threads;
     int cell_threads;
     int cell_processes = 1;
+    int sockets = 0;
   };
   struct Cell {
     int cells;
@@ -532,6 +616,7 @@ int main(int argc, char** argv) {
     acceptance_combos.push_back({2, 1});
     acceptance_combos.push_back({1, 4});
     acceptance_combos.push_back({1, 1, 4});
+    acceptance_combos.push_back({1, 1, 1, 4});
   } else {
     grid.push_back({2, 4, 256, 1800.0, Hours(1), Minutes(8), false, false});
     grid.push_back({4, 8, 1024, 1800.0, Hours(1), Minutes(8), false, false});
@@ -542,6 +627,7 @@ int main(int argc, char** argv) {
     acceptance_combos.push_back({8, 1});
     acceptance_combos.push_back({1, 4});
     acceptance_combos.push_back({1, 1, 4});
+    acceptance_combos.push_back({1, 1, 1, 4});
   }
   if (mega) {
     // 16 cells x 8 proxies x 6144 sensors/cell = 98304 sensors under one
@@ -552,7 +638,7 @@ int main(int argc, char** argv) {
   int violations = 0;
   TextTable table;
   table.SetHeader({"cells", "proxies", "sensors", "threads", "cell_thr", "procs",
-                   "q/min",
+                   "socks", "q/min",
                    "cross", "lat ms", "p95 ms", "healthy fail", "killed fail",
                    "fail share", "revived fail", "trunk msgs", "Mev/s", "wall s",
                    "fingerprint"});
@@ -563,14 +649,16 @@ int main(int argc, char** argv) {
 
   // Checkpoint/restore determinism sweep: the full sim_threads x cell_threads
   // grid, always on (small federation — seconds of wall time) — plus one
-  // multi-process row exercising save/restore across the worker seam.
+  // multi-process row and one localhost-TCP row exercising save/restore across
+  // both flavors of the worker seam.
   std::printf("checkpoint round-trip determinism sweep:\n");
   for (const int sim_threads : {1, 8}) {
     for (const int cell_threads : {1, 4}) {
-      violations += RunRoundTripCheck(sim_threads, cell_threads, 1, report);
+      violations += RunRoundTripCheck(sim_threads, cell_threads, 1, 0, report);
     }
   }
-  violations += RunRoundTripCheck(1, 1, 4, report);
+  violations += RunRoundTripCheck(1, 1, 4, 0, report);
+  violations += RunRoundTripCheck(1, 1, 1, 4, report);
   std::printf("\n");
 
   bool first_run = true;
@@ -585,11 +673,13 @@ int main(int argc, char** argv) {
         combos.push_back(combo);
       }
     } else if (cell.tiny_flash) {
-      // The mega cell runs cell-parallel (the committed baseline row) and again
-      // with one presto_cell worker process per cell — the ~100k-sensor row must
-      // complete under multi-process stepping with the same fingerprint.
+      // The mega cell runs cell-parallel (the committed baseline row), again
+      // with one presto_cell worker process per cell, and again with one TCP
+      // socket worker per cell — the ~100k-sensor row must complete under both
+      // seams with the same fingerprint.
       combos.push_back({1, 4});
       combos.push_back({1, 1, 16});
+      combos.push_back({1, 1, 1, 16});
     } else {
       combos.push_back(acceptance_combos.front());
     }
@@ -598,12 +688,12 @@ int main(int argc, char** argv) {
       // pair must describe the same cell shape on both sides).
       const FedCellResult r = RunFederationCell(
           cell.cells, cell.proxies, cell.sensors_per_cell, combo.sim_threads,
-          combo.cell_threads, combo.cell_processes, cell.rate_per_cell_per_hour,
-          cell.warmup, cell.phase, cell.tiny_flash,
+          combo.cell_threads, combo.cell_processes, combo.sockets,
+          cell.rate_per_cell_per_hour, cell.warmup, cell.phase, cell.tiny_flash,
           first_run ? ckpt_out : std::string(),
           first_run ? resume_path : std::string());
       first_run = false;
-      if (r.ckpt_failed) {
+      if (r.ckpt_failed || r.spawn_failed) {
         ++violations;
         continue;
       }
@@ -619,6 +709,7 @@ int main(int argc, char** argv) {
                     TextTable::Int(combo.sim_threads),
                     TextTable::Int(combo.cell_threads),
                     TextTable::Int(combo.cell_processes),
+                    TextTable::Int(combo.sockets),
                     TextTable::Num(r.queries_per_min, 1),
                     TextTable::Num(r.cross_share, 2),
                     TextTable::Num(r.now_latency_ms_mean, 1),
@@ -631,12 +722,12 @@ int main(int argc, char** argv) {
                     TextTable::Num(r.events_per_sec / 1e6, 2),
                     TextTable::Num(r.wall_s, 1), fp_buf});
       std::printf("  done: %d cells x %d proxies x %d sensors, threads=%d "
-                  "cell_threads=%d procs=%d (%.1f q/min, %.2fM events/s, "
-                  "%.1f s wall) fingerprint=%016llx\n",
+                  "cell_threads=%d procs=%d socks=%d (%.1f q/min, "
+                  "%.2fM events/s, %.1f s wall) fingerprint=%016llx\n",
                   cell.cells, cell.proxies, cell.cells * cell.sensors_per_cell,
                   combo.sim_threads, combo.cell_threads, combo.cell_processes,
-                  r.queries_per_min, r.events_per_sec / 1e6, r.wall_s,
-                  static_cast<unsigned long long>(r.fingerprint));
+                  combo.sockets, r.queries_per_min, r.events_per_sec / 1e6,
+                  r.wall_s, static_cast<unsigned long long>(r.fingerprint));
 
       char key_buf[96];
       int key_len = std::snprintf(key_buf, sizeof(key_buf),
@@ -645,9 +736,13 @@ int main(int argc, char** argv) {
                                   combo.sim_threads, combo.cell_threads);
       if (combo.cell_processes > 1) {
         // In-process keys stay byte-identical to earlier baselines; only
-        // multi-process rows grow a suffix.
-        std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/procs%d",
-                      combo.cell_processes);
+        // multi-process and socket rows grow a suffix.
+        key_len += std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len,
+                                 "/procs%d", combo.cell_processes);
+      }
+      if (combo.sockets > 0) {
+        std::snprintf(key_buf + key_len, sizeof(key_buf) - key_len, "/sock%d",
+                      combo.sockets);
       }
       BenchReport::Row& row = report.AddRow(key_buf);
       row.Config("cells", cell.cells)
@@ -656,6 +751,7 @@ int main(int argc, char** argv) {
           .Config("sim_threads", combo.sim_threads)
           .Config("cell_threads", combo.cell_threads)
           .Config("cell_processes", combo.cell_processes)
+          .Config("sockets", combo.sockets)
           .Config("rate_per_cell_per_hour", cell.rate_per_cell_per_hour)
           .Config("resumed", r.resumed ? 1 : 0);
       row.Metric("queries_per_min", r.queries_per_min)
@@ -732,27 +828,28 @@ int main(int argc, char** argv) {
       }
       if (combo.sim_threads == combos.front().sim_threads &&
           combo.cell_threads == combos.front().cell_threads &&
-          combo.cell_processes == combos.front().cell_processes) {
+          combo.cell_processes == combos.front().cell_processes &&
+          combo.sockets == combos.front().sockets) {
         base_fp = r.fingerprint;
         base_hist = r.histogram;
       } else {
         if (r.fingerprint != base_fp) {
           std::printf("  VIOLATION: federation fingerprint diverges at threads=%d "
-                      "cell_threads=%d procs=%d\n",
+                      "cell_threads=%d procs=%d socks=%d\n",
                       combo.sim_threads, combo.cell_threads,
-                      combo.cell_processes);
+                      combo.cell_processes, combo.sockets);
           ++violations;
         }
         if (r.histogram != base_hist) {
           std::printf("  VIOLATION: latency histogram diverges at threads=%d "
-                      "cell_threads=%d procs=%d\n",
+                      "cell_threads=%d procs=%d socks=%d\n",
                       combo.sim_threads, combo.cell_threads,
-                      combo.cell_processes);
+                      combo.cell_processes, combo.sockets);
           ++violations;
         }
       }
       if (combo.sim_threads == 1 && combo.cell_threads == 1 &&
-          combo.cell_processes == 1) {
+          combo.cell_processes == 1 && combo.sockets == 0) {
         sequential_eps = r.events_per_sec;
       }
       if (combo.sim_threads == 1 && combo.cell_threads > 1) {

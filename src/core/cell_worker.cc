@@ -1,6 +1,13 @@
 #include "src/core/cell_worker.h"
 
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <string>
@@ -27,6 +34,11 @@ int CellWorker::Serve() {
       CkptWrite(w, s);
       reply.type = FedFrameType::kError;
       reply.payload = w.TakeBuffer();
+    }
+    if (request->type == FedFrameType::kShutdown) {
+      // Requested even if the kAck below fails to send — the parent is leaving
+      // either way, and the --listen loop must not re-accept after a shutdown.
+      shutdown_requested_ = true;
     }
     if (!channel_->Send(reply).ok()) {
       return 0;
@@ -415,6 +427,132 @@ std::vector<uint8_t> CellWorker::ControlReply() {
     std::move(host.begin(), host.end(), std::back_inserter(done));
   }
   return EncodeFedControlReply(mail, done);
+}
+
+std::string ResolveCellWorkerBinary() {
+  // PRESTO_CELL_BIN wins, else next to this executable, else whatever PATH
+  // resolves.
+  if (const char* env = std::getenv("PRESTO_CELL_BIN")) {
+    if (env[0] != '\0') {
+      return env;
+    }
+  }
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  if (n > 0) {
+    self[n] = '\0';
+    std::string dir(self);
+    const size_t slash = dir.rfind('/');
+    if (slash != std::string::npos) {
+      return dir.substr(0, slash + 1) + "presto_cell";
+    }
+  }
+  return "presto_cell";
+}
+
+int RunCellWorkerListenLoop(uint16_t port, Duration handshake_deadline,
+                            bool once) {
+  uint16_t bound_port = 0;
+  auto listen_fd = TcpListen("0.0.0.0", port, &bound_port);
+  if (!listen_fd.ok()) {
+    std::fprintf(stderr, "presto_cell: %s\n", listen_fd.status().message().c_str());
+    return 1;
+  }
+  // The spawn helpers (and human operators) read this line to learn the
+  // kernel-chosen port; keep the format in lockstep with SpawnCellWorkerListening.
+  std::printf("PRESTO_CELL_LISTENING %u\n", static_cast<unsigned>(bound_port));
+  std::fflush(stdout);
+  while (true) {
+    auto conn = TcpAccept(*listen_fd, /*deadline=*/0);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "presto_cell: %s\n", conn.status().message().c_str());
+      ::close(*listen_fd);
+      return 1;
+    }
+    bool shutdown = false;
+    {
+      FrameChannel channel(*conn);
+      // Only the hello is deadlined: a connector that never completes the
+      // handshake (half-open, slow-loris) must not wedge the accept loop. After
+      // adoption the orchestrator paces the frames, and its death arrives as
+      // EOF/RST — so Serve runs fully blocking, same as a fork-mode worker.
+      channel.SetDeadline(handshake_deadline);
+      auto hello = FedHelloServer(channel);
+      if (!hello.ok()) {
+        std::fprintf(stderr, "presto_cell: %s\n",
+                     hello.status().message().c_str());
+        continue;  // channel destructor closes the fd; keep listening
+      }
+      channel.SetDeadline(0);
+      CellWorker worker(&channel);
+      worker.Serve();
+      shutdown = worker.shutdown_requested();
+    }
+    if (shutdown || once) {
+      ::close(*listen_fd);
+      return 0;
+    }
+    // EOF without shutdown: the orchestrator died or migrated away. Re-accept —
+    // the next connection re-bootstraps this worker from scratch.
+  }
+}
+
+Result<SpawnedCellWorker> SpawnCellWorkerListening() {
+  int announce[2];
+  if (::pipe(announce) != 0) {
+    return InternalError("cell_worker spawn: pipe failed");
+  }
+  const std::string bin = ResolveCellWorkerBinary();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(announce[0]);
+    ::close(announce[1]);
+    return InternalError("cell_worker spawn: fork failed");
+  }
+  if (pid == 0) {
+    ::close(announce[0]);
+    ::dup2(announce[1], STDOUT_FILENO);
+    ::close(announce[1]);
+    ::execl(bin.c_str(), bin.c_str(), "--listen", "0", (char*)nullptr);
+    _exit(127);
+  }
+  ::close(announce[1]);
+  // Read the announcement line byte by byte; the worker writes it immediately
+  // after binding, so a missing line means exec failed or the bind did.
+  char line[256];
+  size_t len = 0;
+  while (len + 1 < sizeof(line)) {
+    char c = 0;
+    const ssize_t n = ::read(announce[0], &c, 1);
+    if (n <= 0 || c == '\n') {
+      break;
+    }
+    line[len++] = c;
+  }
+  line[len] = '\0';
+  ::close(announce[0]);
+  unsigned port = 0;
+  if (std::sscanf(line, "PRESTO_CELL_LISTENING %u", &port) != 1 || port == 0 ||
+      port > 65535) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    return UnavailableError(
+        "cell_worker spawn: no listen announcement (is the presto_cell binary "
+        "next to this executable? set PRESTO_CELL_BIN otherwise)");
+  }
+  SpawnedCellWorker out;
+  out.pid = pid;
+  out.port = static_cast<uint16_t>(port);
+  return out;
+}
+
+void StopCellWorker(SpawnedCellWorker& worker) {
+  if (worker.pid <= 0) {
+    return;
+  }
+  ::kill(static_cast<pid_t>(worker.pid), SIGKILL);
+  ::waitpid(static_cast<pid_t>(worker.pid), nullptr, 0);
+  worker.pid = -1;
 }
 
 }  // namespace presto

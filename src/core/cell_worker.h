@@ -19,6 +19,7 @@
 #define SRC_CORE_CELL_WORKER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/deployment.h"
@@ -40,6 +41,11 @@ class CellWorker {
   // clean exit (returns the process exit code). Every request gets exactly one
   // reply: kAck with the op's payload, or kError carrying a Status.
   int Serve();
+
+  // Whether Serve ended because the parent sent kShutdown (vs. channel EOF).
+  // The --listen accept loop re-accepts after an EOF — a reconnecting
+  // orchestrator re-bootstraps the worker — but exits on a real shutdown.
+  bool shutdown_requested() const { return shutdown_requested_; }
 
  private:
   // Routes one request; a non-OK return becomes the kError reply.
@@ -67,6 +73,7 @@ class CellWorker {
 
   FrameChannel* channel_;
   bool bootstrapped_ = false;
+  bool shutdown_requested_ = false;
   FederationConfig config_{};  // outlives the FedCells, which hold a pointer
   int worker_index_ = 0;
   int num_workers_ = 1;
@@ -74,6 +81,31 @@ class CellWorker {
   std::vector<std::unique_ptr<Deployment>> cells_;  // paired with cores_
   std::vector<std::unique_ptr<FedCell>> cores_;
 };
+
+// Path to the presto_cell binary: $PRESTO_CELL_BIN wins, else the file next to
+// this executable, else whatever PATH resolves. Shared by the fork bootstrap
+// (federation.cc) and the test/bench helpers that spawn listening workers.
+std::string ResolveCellWorkerBinary();
+
+// The `presto_cell --listen <port>` accept loop: binds 0.0.0.0:<port> (0 picks
+// an ephemeral port), prints `PRESTO_CELL_LISTENING <bound_port>` on stdout,
+// then serves orchestrator connections one at a time. Each connection gets a
+// handshake-deadlined FedHelloServer, then an undeadlined CellWorker::Serve()
+// (a dead orchestrator arrives as EOF/RST, so the worker re-accepts — that is
+// exactly how a resumed/migrated orchestrator re-adopts the worker). Returns
+// the process exit code; exits the loop on kShutdown or, with `once`, after
+// the first connection ends either way.
+int RunCellWorkerListenLoop(uint16_t port, Duration handshake_deadline, bool once);
+
+// Fork-exec helper for tests and benches: spawns `presto_cell --listen 0` and
+// parses the announcement line for the kernel-chosen port.
+struct SpawnedCellWorker {
+  long pid = -1;
+  uint16_t port = 0;
+};
+Result<SpawnedCellWorker> SpawnCellWorkerListening();
+// SIGKILL + reap; safe to call twice (pid resets to -1).
+void StopCellWorker(SpawnedCellWorker& worker);
 
 }  // namespace presto
 

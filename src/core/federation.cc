@@ -17,6 +17,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/cell_worker.h"
 #include "src/util/assert.h"
 #include "src/util/hash.h"
 
@@ -29,26 +30,16 @@ constexpr uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 // is part of the run's observable history, exactly like a drained barrier.
 constexpr uint64_t kWorkerDeathMark = 0xdeadc377ull;
 
-// The presto_cell binary: PRESTO_CELL_BIN wins, else next to this executable,
-// else whatever PATH resolves.
-std::string ResolveWorkerBinary() {
-  if (const char* env = std::getenv("PRESTO_CELL_BIN"); env != nullptr && *env) {
-    return env;
-  }
-  char self[4096];
-  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
-  if (n > 0) {
-    self[n] = '\0';
-    std::string path(self);
-    const size_t slash = path.rfind('/');
-    if (slash != std::string::npos) {
-      return path.substr(0, slash + 1) + "presto_cell";
-    }
-  }
-  return "presto_cell";
-}
-
 }  // namespace
+
+FedEndpoint MakeFedEndpoint(const char* host, uint16_t port) {
+  FedEndpoint out;
+  PRESTO_CHECK_MSG(std::strlen(host) < sizeof(out.host),
+                   "endpoint host string too long");
+  std::strncpy(out.host, host, sizeof(out.host) - 1);
+  out.port = port;
+  return out;
+}
 
 CellDirectory::CellDirectory(int num_cells, int sensors_per_cell)
     : num_cells_(num_cells), sensors_per_cell_(sensors_per_cell) {
@@ -616,6 +607,19 @@ Federation::Federation(const FederationConfig& config)
       std::max(1, std::min(config_.cell_processes, config_.num_cells));
   PRESTO_CHECK_MSG(cell_threads_ == 1 || cell_processes_ == 1,
                    "cell_processes and cell_threads are mutually exclusive");
+  socket_mode_ = config_.num_endpoints > 0;
+  if (socket_mode_) {
+    PRESTO_CHECK_MSG(config_.num_endpoints <= kMaxFedEndpoints,
+                     "num_endpoints exceeds kMaxFedEndpoints");
+    PRESTO_CHECK_MSG(config_.cell_threads == 1 && config_.cell_processes == 1,
+                     "cell_endpoints is mutually exclusive with cell_threads / "
+                     "cell_processes");
+    PRESTO_CHECK_MSG(config_.frame_deadline > 0,
+                     "frame_deadline must be positive in socket mode");
+    // Endpoints play the worker-process role: cell c -> endpoint c % N, the
+    // exact placement rule fork mode uses, so observables cannot drift.
+    cell_processes_ = std::min(config_.num_endpoints, config_.num_cells);
+  }
   if (config_.auto_epoch) {
     config_.epoch = DeriveEpoch();
     config_.auto_epoch = false;  // resolved: workers must not re-derive
@@ -633,7 +637,11 @@ Federation::Federation(const FederationConfig& config)
   cell_down_.assign(static_cast<size_t>(config_.num_cells), 0);
   if (process_mode()) {
     route_.resize(static_cast<size_t>(config_.num_cells));
-    SpawnWorkers();
+    if (socket_mode_) {
+      ConnectWorkers();
+    } else {
+      SpawnWorkers();
+    }
     return;
   }
   for (int c = 0; c < config_.num_cells; ++c) {
@@ -734,9 +742,17 @@ void Federation::DrainMail() {
     // Source-ascending, FIFO within a source: the per-target arrival order every
     // mode reproduces (the process-mode parent routes in exactly this order).
     for (FedMail& mail : cores_[static_cast<size_t>(c)]->TakeOutbox()) {
+      ++drained;
+      if (cell_down_[static_cast<size_t>(mail.source_cell)] != 0) {
+        // A killed cell keeps stepping, but its trunks are down: late mail from
+        // it is dropped at the barrier, never delivered. This is what makes a
+        // KillCell run fingerprint-identical on the survivors to a run whose
+        // worker was SIGKILLed (where that mail never exists at all).
+        ++serial_stats_.orphans;
+        continue;
+      }
       const int target = mail.target_cell;
       cores_[static_cast<size_t>(target)]->DeliverMail(std::move(mail), now_);
-      ++drained;
     }
   }
   ++serial_stats_.barriers;
@@ -859,6 +875,7 @@ int Federation::AttachDriver(int origin_cell, const QueryDriverParams& params) {
     slot = cores_[static_cast<size_t>(origin_cell)]->AttachDriver(params);
   }
   driver_map_.emplace_back(origin_cell, slot);
+  driver_params_.push_back(params);
   snaps_fresh_ = false;
   return static_cast<int>(driver_map_.size()) - 1;
 }
@@ -1148,16 +1165,29 @@ uint64_t Federation::fingerprint() const {
   return total;
 }
 
+uint64_t Federation::CellFingerprint(int cell_index) const {
+  PRESTO_CHECK(cell_index >= 0 && cell_index < config_.num_cells);
+  if (process_mode()) {
+    RefreshSnapshots();
+    return snaps_[static_cast<size_t>(cell_index)].sim_fingerprint;
+  }
+  return cells_[static_cast<size_t>(cell_index)]->sim().fingerprint();
+}
+
 // ---------------------------------------------------------------------------
 // Process mode: worker lifecycle and the frame RPC discipline.
 // ---------------------------------------------------------------------------
 
-void Federation::SpawnWorkers() {
-  const std::string bin = ResolveWorkerBinary();
+void Federation::AssignWorkerCells() {
   workers_.resize(static_cast<size_t>(cell_processes_));
   for (int c = 0; c < config_.num_cells; ++c) {
     workers_[static_cast<size_t>(WorkerOf(c))].cells.push_back(c);
   }
+}
+
+void Federation::SpawnWorkers() {
+  const std::string bin = ResolveCellWorkerBinary();
+  AssignWorkerCells();
   for (int w = 0; w < cell_processes_; ++w) {
     int fds[2];
     PRESTO_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
@@ -1179,32 +1209,83 @@ void Federation::SpawnWorkers() {
     worker.alive = true;
   }
   for (int w = 0; w < cell_processes_; ++w) {
-    BootstrapWorker(w);
+    const Status s = BootstrapWorker(w);
+    PRESTO_CHECK_MSG(
+        s.ok(),
+        "failed to bootstrap a presto_cell worker (is the presto_cell binary "
+        "next to this executable? set PRESTO_CELL_BIN otherwise)");
   }
   snaps_.assign(static_cast<size_t>(config_.num_cells), FedCellSnapshot{});
 }
 
-void Federation::BootstrapWorker(int w) {
+void Federation::ConnectWorkers() {
+  AssignWorkerCells();
+  for (int w = 0; w < cell_processes_; ++w) {
+    const Status s = ConnectWorkerChannel(w, config_.cell_endpoints[w]);
+    PRESTO_CHECK_MSG(s.ok(),
+                     "failed to connect a presto_cell --listen worker (is it "
+                     "running at cell_endpoints[w]?)");
+  }
+  for (int w = 0; w < cell_processes_; ++w) {
+    const Status s = BootstrapWorker(w);
+    PRESTO_CHECK_MSG(s.ok(),
+                     "failed to bootstrap a presto_cell worker over its socket");
+  }
+  snaps_.assign(static_cast<size_t>(config_.num_cells), FedCellSnapshot{});
+}
+
+Status Federation::ConnectWorkerChannel(int w, const FedEndpoint& endpoint) {
+  if (endpoint.host[0] == '\0' || endpoint.port == 0) {
+    return InvalidArgumentError("federation: empty cell endpoint");
+  }
+  auto fd = TcpConnect(endpoint.host, endpoint.port, config_.frame_deadline);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  WorkerProc& worker = workers_[static_cast<size_t>(w)];
+  worker.pid = -1;  // not our child: death surfaces as a channel failure
+  worker.channel = std::make_unique<FrameChannel>(*fd);
+  worker.channel->SetDeadline(config_.frame_deadline);
+  worker.alive = true;
+  const Status hello = FedHelloClient(*worker.channel, w, cell_processes_);
+  if (!hello.ok()) {
+    worker.channel->Close();
+    worker.alive = false;
+    return hello;
+  }
+  return OkStatus();
+}
+
+Status Federation::BootstrapWorker(int w) {
   static_assert(std::is_trivially_copyable<FederationConfig>::value,
                 "FederationConfig rides the wire as raw bytes");
   // The worker constructs its hosted cells from the *resolved* config: epoch
   // already derived, parallelism fields neutralized (the worker is the
-  // parallelism), num_cells kept — every worker owns a full routing view.
+  // parallelism), num_cells kept — every worker owns a full routing view. The
+  // endpoint map is neutralized too: the transport that delivered this config
+  // is not part of the simulated world, so socket- and fork-mode workers build
+  // from identical bytes.
   FederationConfig wire = config_;
   wire.auto_epoch = false;
   wire.cell_threads = 1;
   wire.cell_processes = 1;
+  wire.num_endpoints = 0;
+  // memset (not per-element assignment) so padding bytes zero too: the struct
+  // ships as raw bytes below and every worker must receive identical payloads.
+  std::memset(static_cast<void*>(wire.cell_endpoints), 0,
+              sizeof(wire.cell_endpoints));
   ByteWriter payload;
   const auto* raw = reinterpret_cast<const uint8_t*>(&wire);
   payload.WriteBytes(span<const uint8_t>(raw, sizeof(wire)));
   CkptWrite(payload, w);
   CkptWrite(payload, cell_processes_);
   FedFrame reply;
-  const Status s =
-      CallWorker(w, FedFrameType::kBootstrap, payload.TakeBuffer(), &reply);
-  PRESTO_CHECK_MSG(s.ok() && reply.type == FedFrameType::kAck,
-                   "failed to bootstrap a presto_cell worker (is the presto_cell "
-                   "binary next to this executable? set PRESTO_CELL_BIN otherwise)");
+  PRESTO_RETURN_IF_ERROR(
+      CallWorker(w, FedFrameType::kBootstrap, payload.TakeBuffer(), &reply));
+  if (reply.type != FedFrameType::kAck) {
+    return FailedPreconditionError("federation: worker refused the bootstrap");
+  }
+  return OkStatus();
 }
 
 Status Federation::CallWorker(int w, FedFrameType type, std::vector<uint8_t> payload,
@@ -1286,6 +1367,13 @@ void Federation::StepWorkers(SimTime end, bool on_grid) {
       for (FedMail& mail : box) {
         const int w = WorkerOf(mail.target_cell);
         ++drained;  // delivery happened at this barrier either way
+        if (cell_down_[static_cast<size_t>(mail.source_cell)] != 0) {
+          // Down-source drop, mirroring DrainMail: late mail from a killed cell
+          // is never delivered, so KillCell survivors match worker-kill
+          // survivors bit for bit.
+          ++parent_orphans_;
+          continue;
+        }
         if (!workers_[static_cast<size_t>(w)].alive) {
           ++parent_orphans_;  // the dead cell drops it, counted like any orphan
           continue;
@@ -1374,7 +1462,11 @@ void Federation::MarkWorkerDead(int w) {
         ++parent_orphans_;
         continue;
       }
-      box[kept++] = std::move(mail);
+      // Guard the no-drops-yet case: a vector self-move empties the mail body.
+      if (&box[kept] != &mail) {
+        box[kept] = std::move(mail);
+      }
+      ++kept;
     }
     box.resize(kept);
   }
@@ -1585,21 +1677,7 @@ Status Federation::LoadCheckpoint(const Checkpoint& ckpt) {
       if (!workers_[static_cast<size_t>(w)].alive) {
         return FailedPreconditionError("federation restore: a cell worker died");
       }
-      ByteWriter req;
-      req.WriteBytes(span<const uint8_t>(encoded));
-      WriteCellBitmap(req, cell_down_);
-      FedFrame reply;
-      PRESTO_RETURN_IF_ERROR(
-          CallWorker(w, FedFrameType::kCkptLoad, req.TakeBuffer(), &reply));
-      if (reply.type == FedFrameType::kError) {
-        ByteReader er{span<const uint8_t>(reply.payload)};
-        Status failure = OkStatus();
-        PRESTO_RETURN_IF_ERROR(CkptRead(er, failure));
-        return failure;
-      }
-      if (reply.type != FedFrameType::kAck) {
-        return DataLossError("federation restore: unexpected worker reply");
-      }
+      PRESTO_RETURN_IF_ERROR(LoadWorkerCheckpoint(w, encoded));
     }
     for (auto& box : route_) {
       box.clear();
@@ -1624,6 +1702,104 @@ Status Federation::LoadCheckpoint(const Checkpoint& ckpt) {
     PRESTO_RETURN_IF_ERROR(LoadCellCheckpoint(
         *cells_[static_cast<size_t>(c)], *cores_[static_cast<size_t>(c)], ckpt));
   }
+  return OkStatus();
+}
+
+Status Federation::LoadWorkerCheckpoint(int w, const std::vector<uint8_t>& encoded) {
+  ByteWriter req;
+  req.WriteBytes(span<const uint8_t>(encoded));
+  WriteCellBitmap(req, cell_down_);
+  FedFrame reply;
+  PRESTO_RETURN_IF_ERROR(
+      CallWorker(w, FedFrameType::kCkptLoad, req.TakeBuffer(), &reply));
+  if (reply.type == FedFrameType::kError) {
+    ByteReader er{span<const uint8_t>(reply.payload)};
+    Status failure = OkStatus();
+    PRESTO_RETURN_IF_ERROR(CkptRead(er, failure));
+    return failure;
+  }
+  if (reply.type != FedFrameType::kAck) {
+    return DataLossError("federation restore: unexpected worker reply");
+  }
+  return OkStatus();
+}
+
+Status Federation::ReplayDriverAttachments(int w) {
+  for (size_t i = 0; i < driver_map_.size(); ++i) {
+    const auto [cell_index, slot] = driver_map_[i];
+    if (WorkerOf(cell_index) != w) {
+      continue;
+    }
+    ByteWriter payload;
+    CkptWrite(payload, cell_index);
+    const auto* raw = reinterpret_cast<const uint8_t*>(&driver_params_[i]);
+    payload.WriteBytes(span<const uint8_t>(raw, sizeof(QueryDriverParams)));
+    FedFrame reply;
+    PRESTO_RETURN_IF_ERROR(
+        CallWorker(w, FedFrameType::kAttachDriver, payload.TakeBuffer(), &reply));
+    if (reply.type != FedFrameType::kAck) {
+      return FailedPreconditionError(
+          "federation migrate: driver re-attach refused");
+    }
+    ByteReader r{span<const uint8_t>(reply.payload)};
+    auto wire_slot = r.ReadVarU64();
+    if (!wire_slot.ok() || r.remaining() != 0 ||
+        static_cast<int>(*wire_slot) != slot) {
+      return DataLossError("federation migrate: driver slot mismatch on re-attach");
+    }
+  }
+  return OkStatus();
+}
+
+Status Federation::MigrateWorkerEndpoint(int w, const FedEndpoint& endpoint) {
+  PRESTO_CHECK_MSG(socket_mode_, "MigrateWorkerEndpoint requires socket transport");
+  PRESTO_CHECK(w >= 0 && w < cell_processes_);
+  WorkerProc& worker = workers_[static_cast<size_t>(w)];
+  if (!worker.alive) {
+    return FailedPreconditionError("federation migrate: worker is already dead");
+  }
+  // The migration payload is the full federation checkpoint — the same bytes a
+  // fork-mode restore reads. SaveCheckpoint enforces its own preconditions
+  // (every worker alive, no host probe in flight).
+  Checkpoint ckpt;
+  PRESTO_RETURN_IF_ERROR(SaveCheckpoint(&ckpt));
+  // Decommission the old endpoint (best effort: the peer may already be gone),
+  // then stand the worker up again over the new fd.
+  FedFrame bye;
+  bye.type = FedFrameType::kShutdown;
+  (void)worker.channel->Call(bye);
+  worker.channel->Close();
+  worker.alive = false;
+  Status s = ConnectWorkerChannel(w, endpoint);
+  if (!s.ok()) {
+    // Same containment path as any worker death: mark cells down, tell
+    // survivors. ConnectWorkerChannel left alive=false; arm it so
+    // MarkWorkerDead runs its full bookkeeping exactly once.
+    worker.alive = true;
+    MarkWorkerDead(w);
+    FlushDeadCellKills();
+    return s;
+  }
+  // From here every hop is a CallWorker: transport failures mark the worker
+  // dead themselves, so only protocol-level refusals still need the hammer.
+  s = BootstrapWorker(w);
+  if (s.ok()) {
+    s = ReplayDriverAttachments(w);
+  }
+  if (s.ok() && !ControlCall(w, FedFrameType::kStart, {})) {
+    s = UnavailableError("federation migrate: start failed on the new worker");
+  }
+  if (s.ok()) {
+    s = LoadWorkerCheckpoint(w, ckpt.Encode());
+  }
+  if (!s.ok()) {
+    if (worker.alive) {
+      MarkWorkerDead(w);
+    }
+    FlushDeadCellKills();
+    return s;
+  }
+  snaps_fresh_ = false;
   return OkStatus();
 }
 

@@ -122,6 +122,15 @@ class CellDirectory {
   int sensors_per_cell_;
 };
 
+// One socket-transport worker endpoint (numeric IPv4 + port). Plain char array
+// so FederationConfig stays trivially copyable — the kBootstrap frame memcpys it.
+inline constexpr int kMaxFedEndpoints = 64;
+struct FedEndpoint {
+  char host[46] = {};
+  uint16_t port = 0;
+};
+FedEndpoint MakeFedEndpoint(const char* host, uint16_t port);
+
 struct FederationConfig {
   int num_cells = 2;
   // Per-cell template (proxies, sensors, replication, lane engine, ...). Each cell
@@ -155,6 +164,23 @@ struct FederationConfig {
   // cell_threads > 1: processes already step cells concurrently. Observables
   // (fingerprint, histograms, stats) are bit-identical to in-process runs.
   int cell_processes = 1;
+  // TCP socket transport (num_endpoints > 0): instead of forking, the federation
+  // connects to `num_endpoints` already-listening `presto_cell --listen` workers
+  // (cell_endpoints[0..num_endpoints)), places cell c on endpoint
+  // c % num_endpoints — the same placement rule fork mode uses — and speaks the
+  // same fed_wire frames over TCP after a versioned hello handshake. Mutually
+  // exclusive with cell_threads / cell_processes > 1. Observables (fingerprint,
+  // histograms, stats, checkpoint bytes) stay bit-identical to every other mode;
+  // a dead TCP peer surfaces as the same contained cell failure as a SIGKILLed
+  // fork worker.
+  FedEndpoint cell_endpoints[kMaxFedEndpoints] = {};
+  int num_endpoints = 0;
+  // Per-frame wall-clock deadline on socket channels (connect, handshake, and
+  // every frame read/write). A worker that stops responding — SIGSTOP, network
+  // black hole — degrades into a contained cell failure within this bound
+  // instead of wedging the barrier loop. Fork-mode socketpairs stay fully
+  // blocking (death there always arrives as EOF).
+  Duration frame_deadline = Seconds(30);
   // Inter-cell trunk model (one directed CellLink per cell pair).
   CellLinkParams link;
   // Message sizes on the trunk: a query request, a response envelope, and each
@@ -402,7 +428,8 @@ class Federation {
   // Effective parallelism (config clamped to the cell count).
   int cell_threads() const { return cell_threads_; }
   int cell_processes() const { return cell_processes_; }
-  bool process_mode() const { return cell_processes_ > 1; }
+  bool socket_mode() const { return socket_mode_; }
+  bool process_mode() const { return cell_processes_ > 1 || socket_mode_; }
 
   SimTime Now() const { return now_; }
   int num_cells() const { return config_.num_cells; }
@@ -464,6 +491,19 @@ class Federation {
   // the barrier hash.
   uint64_t fingerprint() const;
 
+  // One cell's simulator fingerprint (mode-independent; chaos tests compare
+  // *survivor* cells between a worker-kill run and a KillCell reference run,
+  // where the global fingerprint legitimately differs by death markers).
+  uint64_t CellFingerprint(int cell_index) const;
+
+  // Live migration (socket mode): checkpoints the whole federation, shuts the
+  // worker's old channel down, connects/handshakes/bootstraps `endpoint`, and
+  // restores worker w from the very bytes fork-mode workers bootstrap from —
+  // the same bytes over a different fd. Requires every worker alive and no
+  // probe in flight (SaveCheckpoint's contract). On a dead endpoint the worker
+  // is marked dead (contained cell failure) and the error returned.
+  Status MigrateWorkerEndpoint(int w, const FedEndpoint& endpoint);
+
   // --- process-mode test/telemetry hooks ---
   int num_workers() const { return static_cast<int>(workers_.size()); }
   bool worker_alive(int w) const { return workers_[static_cast<size_t>(w)].alive; }
@@ -503,8 +543,17 @@ class Federation {
   void ClaimCells(SimTime end);
 
   int WorkerOf(int cell_index) const { return cell_index % cell_processes_; }
+  void AssignWorkerCells();
   void SpawnWorkers();
-  void BootstrapWorker(int w);
+  void ConnectWorkers();
+  // Connect + hello handshake for one socket worker (channel setup only).
+  Status ConnectWorkerChannel(int w, const FedEndpoint& endpoint);
+  Status BootstrapWorker(int w);
+  // Re-sends kAttachDriver for every driver whose origin cell worker w hosts
+  // (migration replay; slots must match the original attachment order).
+  Status ReplayDriverAttachments(int w);
+  // Sends one worker the full checkpoint container + down flags (kCkptLoad).
+  Status LoadWorkerCheckpoint(int w, const std::vector<uint8_t>& encoded);
   // One strict RPC round trip. A transport failure marks the worker dead (never
   // aborts the parent) and returns the transport status; the reply frame — kAck
   // or kError — is the caller's to interpret.
@@ -530,6 +579,7 @@ class Federation {
   CellDirectory directory_;
   int cell_threads_ = 1;
   int cell_processes_ = 1;
+  bool socket_mode_ = false;
 
   // In-process mode: the cells and their routers, paired in cell-index order.
   std::vector<std::unique_ptr<Deployment>> cells_;
@@ -549,6 +599,9 @@ class Federation {
   std::vector<uint8_t> cell_down_;  // orchestrator view (both modes)
   // Global driver index -> (origin cell, per-cell slot).
   std::vector<std::pair<int, int>> driver_map_;
+  // The raw params of each AttachDriver call, in driver-index order — replayed
+  // verbatim when a migrated worker re-bootstraps (slots must come out equal).
+  std::vector<QueryDriverParams> driver_params_;
 
   SimTime now_ = 0;
   uint64_t barrier_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis

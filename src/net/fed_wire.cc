@@ -1,9 +1,15 @@
 #include "src/net/fed_wire.h"
 
+#include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -15,6 +21,66 @@ namespace {
 
 constexpr uint8_t kMagic[4] = {'P', 'F', 'W', '1'};
 constexpr size_t kHeaderBytes = 4 + 1 + 1 + 4;  // magic, version, type, length
+
+using WireClock = std::chrono::steady_clock;
+
+// Waits until fd is ready for `events` (or has an error/hangup to report — the
+// subsequent send/recv surfaces it). `has_deadline` false polls indefinitely.
+Status WaitReady(int fd, short events, WireClock::time_point deadline,
+                 bool has_deadline) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (has_deadline) {
+      const auto now = WireClock::now();
+      if (now >= deadline) {
+        return DeadlineExceededError("fed_wire: frame deadline expired");
+      }
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - now)
+                            .count();
+      timeout_ms = static_cast<int>(std::min<long long>(left + 1, 60000));
+    }
+    struct pollfd entry;
+    entry.fd = fd;
+    entry.events = events;
+    entry.revents = 0;
+    const int n = ::poll(&entry, 1, timeout_ms);
+    if (n > 0) {
+      return OkStatus();
+    }
+    if (n < 0 && errno != EINTR) {
+      return UnavailableError("fed_wire: poll failed");
+    }
+    // Timed out or EINTR: loop re-checks the absolute deadline.
+  }
+}
+
+Status SetNonBlocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) {
+    return UnavailableError("fed_wire: fcntl(F_GETFL) failed");
+  }
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return UnavailableError("fed_wire: fcntl(F_SETFL) failed");
+  }
+  return OkStatus();
+}
+
+Status ResolveIpv4(const char* host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  if (::inet_pton(AF_INET, host, &addr->sin_addr) != 1) {
+    return InvalidArgumentError("fed_wire: endpoint host must be numeric IPv4");
+  }
+  return OkStatus();
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
 
 void PutHeader(uint8_t* out, FedFrameType type, uint32_t length) {
   std::memcpy(out, kMagic, 4);
@@ -138,7 +204,208 @@ Status ReadCellBitmap(ByteReader& r, size_t num_cells, std::vector<uint8_t>* fla
   return OkStatus();
 }
 
-Status FrameChannel::WriteAll(const uint8_t* data, size_t size) {
+Result<int> TcpListen(const char* host, uint16_t port, uint16_t* bound_port) {
+  sockaddr_in addr;
+  PRESTO_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError("fed_wire: socket() failed");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return UnavailableError("fed_wire: bind failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return UnavailableError("fed_wire: listen failed");
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    std::memset(&bound, 0, sizeof(bound));
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      ::close(fd);
+      return UnavailableError("fed_wire: getsockname failed");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+Result<int> TcpAccept(int listen_fd, Duration deadline) {
+  const auto cutoff = WireClock::now() + std::chrono::microseconds(deadline);
+  for (;;) {
+    PRESTO_RETURN_IF_ERROR(WaitReady(listen_fd, POLLIN, cutoff, deadline > 0));
+    const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return fd;
+    }
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      continue;  // the connection evaporated between poll and accept
+    }
+    return UnavailableError("fed_wire: accept failed");
+  }
+}
+
+Result<int> TcpConnect(const char* host, uint16_t port, Duration deadline) {
+  sockaddr_in addr;
+  PRESTO_RETURN_IF_ERROR(ResolveIpv4(host, port, &addr));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return UnavailableError("fed_wire: socket() failed");
+  }
+  Status mode = SetNonBlocking(fd, true);
+  if (!mode.ok()) {
+    ::close(fd);
+    return mode;
+  }
+  const auto cutoff = WireClock::now() + std::chrono::microseconds(deadline);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    ::close(fd);
+    return UnavailableError("fed_wire: connect failed");
+  }
+  if (rc != 0) {
+    const Status ready = WaitReady(fd, POLLOUT, cutoff, deadline > 0);
+    if (!ready.ok()) {
+      ::close(fd);
+      return ready;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return UnavailableError("fed_wire: connect failed");
+    }
+  }
+  mode = SetNonBlocking(fd, false);
+  if (!mode.ok()) {
+    ::close(fd);
+    return mode;
+  }
+  SetNoDelay(fd);
+  return fd;
+}
+
+std::vector<uint8_t> EncodeFedHello(const FedHello& hello) {
+  ByteWriter w;
+  w.WriteU8(hello.version);
+  CkptWrite(w, hello.worker_index);
+  CkptWrite(w, hello.num_workers);
+  return w.TakeBuffer();
+}
+
+Status DecodeFedHello(span<const uint8_t> payload, FedHello* hello) {
+  ByteReader r(payload);
+  auto version = r.ReadU8();
+  if (!version.ok()) {
+    return version.status();
+  }
+  hello->version = *version;
+  CKPT_READ(r, hello->worker_index);
+  CKPT_READ(r, hello->num_workers);
+  if (!r.AtEnd()) {
+    return DataLossError("fed_wire: trailing bytes after hello");
+  }
+  if (hello->num_workers < 1 || hello->worker_index < 0 ||
+      hello->worker_index >= hello->num_workers) {
+    return DataLossError("fed_wire: hello cell assignment out of range");
+  }
+  return OkStatus();
+}
+
+Status FedHelloClient(FrameChannel& channel, int worker_index, int num_workers) {
+  FedHello hello;
+  hello.version = kFedWireVersion;
+  hello.worker_index = worker_index;
+  hello.num_workers = num_workers;
+  FedFrame frame;
+  frame.type = FedFrameType::kHello;
+  frame.payload = EncodeFedHello(hello);
+  auto reply = channel.Call(frame);
+  if (!reply.ok()) {
+    return reply.status();
+  }
+  if (reply->type == FedFrameType::kError) {
+    ByteReader r(span<const uint8_t>(reply->payload));
+    Status refused = OkStatus();
+    if (!CkptRead(r, refused).ok() || refused.ok()) {
+      return DataLossError("fed_wire: malformed hello refusal");
+    }
+    return refused;
+  }
+  if (reply->type != FedFrameType::kAck) {
+    return DataLossError("fed_wire: unexpected hello reply type");
+  }
+  FedHello theirs;
+  PRESTO_RETURN_IF_ERROR(DecodeFedHello(span<const uint8_t>(reply->payload),
+                                        &theirs));
+  if (theirs.version != kFedWireVersion) {
+    return FailedPreconditionError(
+        "fed_wire: worker advertises an unsupported protocol version");
+  }
+  if (theirs.worker_index != worker_index || theirs.num_workers != num_workers) {
+    return FailedPreconditionError(
+        "fed_wire: worker acknowledged a different cell assignment");
+  }
+  return OkStatus();
+}
+
+Result<FedHello> FedHelloServer(FrameChannel& channel) {
+  auto request = channel.Recv();
+  if (!request.ok()) {
+    return request.status();
+  }
+  const auto refuse = [&channel](Status why) -> Status {
+    FedFrame reply;
+    reply.type = FedFrameType::kError;
+    ByteWriter w;
+    CkptWrite(w, why);
+    reply.payload = w.TakeBuffer();
+    (void)channel.Send(reply);
+    return why;
+  };
+  if (request->type != FedFrameType::kHello) {
+    return refuse(
+        FailedPreconditionError("fed_wire: expected a hello handshake frame"));
+  }
+  FedHello hello;
+  const Status decoded =
+      DecodeFedHello(span<const uint8_t>(request->payload), &hello);
+  if (!decoded.ok()) {
+    return refuse(decoded);
+  }
+  if (hello.version != kFedWireVersion) {
+    return refuse(FailedPreconditionError(
+        "fed_wire: unsupported protocol version"));
+  }
+  FedFrame ack;
+  ack.type = FedFrameType::kAck;
+  FedHello mine = hello;
+  mine.version = kFedWireVersion;
+  ack.payload = EncodeFedHello(mine);
+  PRESTO_RETURN_IF_ERROR(channel.Send(ack));
+  return hello;
+}
+
+void FrameChannel::SetDeadline(Duration deadline) {
+  deadline_ = deadline > 0 ? deadline : 0;
+  if (fd_ >= 0) {
+    (void)SetNonBlocking(fd_, deadline_ > 0);
+  }
+}
+
+std::chrono::steady_clock::time_point FrameChannel::FrameCutoff() const {
+  return WireClock::now() + std::chrono::microseconds(deadline_);
+}
+
+Status FrameChannel::WriteAll(const uint8_t* data, size_t size,
+                              std::chrono::steady_clock::time_point deadline) {
   if (fd_ < 0) {
     return UnavailableError("fed_wire: channel closed");
   }
@@ -149,6 +416,10 @@ Status FrameChannel::WriteAll(const uint8_t* data, size_t size) {
       if (errno == EINTR) {
         continue;
       }
+      if (deadline_ > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        PRESTO_RETURN_IF_ERROR(WaitReady(fd_, POLLOUT, deadline, true));
+        continue;
+      }
       return UnavailableError("fed_wire: send failed (peer gone?)");
     }
     done += static_cast<size_t>(n);
@@ -156,7 +427,8 @@ Status FrameChannel::WriteAll(const uint8_t* data, size_t size) {
   return OkStatus();
 }
 
-Status FrameChannel::ReadAll(uint8_t* data, size_t size, bool* eof_at_start) {
+Status FrameChannel::ReadAll(uint8_t* data, size_t size, bool* eof_at_start,
+                             std::chrono::steady_clock::time_point deadline) {
   if (fd_ < 0) {
     return UnavailableError("fed_wire: channel closed");
   }
@@ -165,6 +437,10 @@ Status FrameChannel::ReadAll(uint8_t* data, size_t size, bool* eof_at_start) {
     const ssize_t n = ::recv(fd_, data + done, size - done, 0);
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (deadline_ > 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        PRESTO_RETURN_IF_ERROR(WaitReady(fd_, POLLIN, deadline, true));
         continue;
       }
       return UnavailableError("fed_wire: recv failed");
@@ -186,13 +462,14 @@ Status FrameChannel::Send(const FedFrame& frame) {
   if (!encoded.ok()) {
     return encoded.status();
   }
-  return WriteAll(encoded->data(), encoded->size());
+  return WriteAll(encoded->data(), encoded->size(), FrameCutoff());
 }
 
 Result<FedFrame> FrameChannel::Recv() {
+  const auto cutoff = FrameCutoff();
   uint8_t header[kHeaderBytes];
   bool eof_at_start = false;
-  PRESTO_RETURN_IF_ERROR(ReadAll(header, sizeof(header), &eof_at_start));
+  PRESTO_RETURN_IF_ERROR(ReadAll(header, sizeof(header), &eof_at_start, cutoff));
   FedFrameType type;
   uint32_t length = 0;
   PRESTO_RETURN_IF_ERROR(ParseHeader(header, &type, &length));
@@ -200,7 +477,7 @@ Result<FedFrame> FrameChannel::Recv() {
   frame.type = type;
   frame.payload.resize(length);
   if (length > 0) {
-    PRESTO_RETURN_IF_ERROR(ReadAll(frame.payload.data(), length, nullptr));
+    PRESTO_RETURN_IF_ERROR(ReadAll(frame.payload.data(), length, nullptr, cutoff));
   }
   return frame;
 }

@@ -27,6 +27,7 @@
 #ifndef SRC_NET_FED_WIRE_H_
 #define SRC_NET_FED_WIRE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -37,7 +38,9 @@
 
 namespace presto {
 
-inline constexpr uint8_t kFedWireVersion = 1;
+// Version 2 added the kHello handshake frame (the TCP listen/connect bootstrap);
+// peers on either side of a skew reject each other with a typed error.
+inline constexpr uint8_t kFedWireVersion = 2;
 
 // Hard cap on a single frame payload: far above any real checkpoint, far below
 // anything a corrupt length prefix could use to drive an allocation attack.
@@ -64,8 +67,9 @@ enum class FedFrameType : uint8_t {
   kCkptSave = 14,     // reply: encoded Checkpoint of the hosted cells
   kCkptLoad = 15,     // encoded Checkpoint + down flags: restore hosted cells
   kShutdown = 16,     // clean exit; worker replies kAck then leaves its loop
+  kHello = 17,        // handshake: advertised version + cell assignment echo
 };
-inline constexpr uint8_t kFedFrameTypeCount = 17;
+inline constexpr uint8_t kFedFrameTypeCount = 18;
 
 struct FedFrame {
   FedFrameType type = FedFrameType::kAck;
@@ -101,10 +105,58 @@ Status CkptRead(ByteReader& r, FedMail& v);
 void WriteCellBitmap(ByteWriter& w, const std::vector<uint8_t>& flags);
 Status ReadCellBitmap(ByteReader& r, size_t num_cells, std::vector<uint8_t>* flags);
 
-// Blocking frame transport over one end of a socketpair. Send/Recv run full
-// write/read loops (short transfers and EINTR handled); a peer that closed or
-// crashed surfaces as a non-OK Status from either side, never a signal
-// (MSG_NOSIGNAL) or an abort. Not thread-safe: each channel has one owner.
+// --- TCP transport (multi-machine federation) ---------------------------------
+//
+// The socket bootstrap replaces fork: `presto_cell --listen <port>` workers sit
+// on a TCP accept loop and the orchestrator connects. Hosts are numeric IPv4
+// ("127.0.0.1", "10.0.0.7"); name resolution is the deployment's job, not the
+// wire layer's. All three helpers return an fd the caller owns.
+
+// Opens a listening socket bound to host:port. port 0 picks an ephemeral port;
+// `*bound_port` (may be null) reports the kernel's choice either way.
+Result<int> TcpListen(const char* host, uint16_t port, uint16_t* bound_port);
+
+// Accepts one connection (TCP_NODELAY set). deadline <= 0 blocks forever;
+// otherwise a quiet listen socket returns kDeadlineExceeded. `deadline` is wall
+// time in the same microsecond unit as Duration.
+Result<int> TcpAccept(int listen_fd, Duration deadline);
+
+// Nonblocking connect with a wall-clock deadline (then back to blocking mode,
+// TCP_NODELAY set). A dead endpoint fails fast; a black-holed one returns
+// kDeadlineExceeded instead of hanging the orchestrator.
+Result<int> TcpConnect(const char* host, uint16_t port, Duration deadline);
+
+// Handshake payload: both sides advertise their protocol version redundantly
+// with the frame header (so skew is rejected as a *typed* refusal, not a frame
+// parse error), and the orchestrator names the worker's cell assignment, which
+// the worker must echo back — a worker wired to the wrong endpoint in a
+// placement map fails loudly at connect time, not at the first barrier.
+struct FedHello {
+  uint8_t version = kFedWireVersion;
+  int worker_index = 0;
+  int num_workers = 1;
+};
+
+std::vector<uint8_t> EncodeFedHello(const FedHello& hello);
+Status DecodeFedHello(span<const uint8_t> payload, FedHello* hello);
+
+class FrameChannel;
+
+// Orchestrator side: sends kHello{assignment}, expects a kAck echoing the
+// assignment with the worker's advertised version. Version skew and assignment
+// mismatches are kFailedPrecondition; garbage is kDataLoss; a silent or
+// half-open peer is bounded by the channel deadline.
+Status FedHelloClient(FrameChannel& channel, int worker_index, int num_workers);
+
+// Worker side: expects exactly one kHello within the channel deadline, replies
+// kAck (echo) on success or kError + a typed Status on refusal.
+Result<FedHello> FedHelloServer(FrameChannel& channel);
+
+// Blocking frame transport over one end of a socketpair or a connected TCP fd.
+// Send/Recv run full write/read loops (short transfers and EINTR handled); a
+// peer that closed or crashed surfaces as a non-OK Status from either side,
+// never a signal (MSG_NOSIGNAL) or an abort. Not thread-safe: each channel has
+// one owner.
 class FrameChannel {
  public:
   explicit FrameChannel(int fd) : fd_(fd) {}
@@ -119,16 +171,30 @@ class FrameChannel {
   // Convenience round trip: Send, then Recv exactly one reply.
   Result<FedFrame> Call(const FedFrame& frame);
 
+  // Per-frame wall-clock deadline. 0 (the default) keeps the original fully
+  // blocking behaviour — fork-mode socketpairs rely on it, since worker death
+  // there always arrives as EOF. With a positive deadline the fd flips to
+  // nonblocking and every Send/Recv must complete its *whole frame* within the
+  // budget, else kDeadlineExceeded — how a SIGSTOPped or black-holed TCP peer
+  // degrades into a contained cell failure instead of wedging the barrier loop.
+  void SetDeadline(Duration deadline);
+  Duration deadline() const { return deadline_; }
+
   int fd() const { return fd_; }
   void Close();
 
  private:
-  Status WriteAll(const uint8_t* data, size_t size);
+  Status WriteAll(const uint8_t* data, size_t size,
+                  std::chrono::steady_clock::time_point deadline);
   // Reads exactly `size` bytes. `*eof_at_start` reports a clean EOF before any
   // byte arrived (peer exited between frames) vs. a mid-frame truncation.
-  Status ReadAll(uint8_t* data, size_t size, bool* eof_at_start);
+  Status ReadAll(uint8_t* data, size_t size, bool* eof_at_start,
+                 std::chrono::steady_clock::time_point deadline);
+  // Absolute cutoff for the frame starting now (ignored when deadline_ == 0).
+  std::chrono::steady_clock::time_point FrameCutoff() const;
 
   int fd_ = -1;
+  Duration deadline_ = 0;
 };
 
 }  // namespace presto

@@ -283,5 +283,289 @@ TEST(FrameChannelTest, ClosedChannelFailsBothDirections) {
   EXPECT_FALSE(pair.a->Recv().ok());
 }
 
+// ---------- hello handshake ----------
+
+TEST(FedHelloTest, CodecRoundTripsAndValidates) {
+  FedHello hello;
+  hello.worker_index = 3;
+  hello.num_workers = 7;
+  const std::vector<uint8_t> bytes = EncodeFedHello(hello);
+  FedHello back;
+  ASSERT_TRUE(DecodeFedHello(span<const uint8_t>(bytes), &back).ok());
+  EXPECT_EQ(back.version, kFedWireVersion);
+  EXPECT_EQ(back.worker_index, 3);
+  EXPECT_EQ(back.num_workers, 7);
+
+  std::vector<uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  FedHello scratch;
+  Status st = DecodeFedHello(span<const uint8_t>(trailing), &scratch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "fed_wire: trailing bytes after hello");
+
+  FedHello bogus;
+  bogus.worker_index = 4;
+  bogus.num_workers = 4;  // index must be < count
+  st = DecodeFedHello(span<const uint8_t>(EncodeFedHello(bogus)), &scratch);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "fed_wire: hello cell assignment out of range");
+
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeFedHello(span<const uint8_t>(bytes.data(), cut), &scratch).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(FedHelloTest, ClientAndServerAgree) {
+  ChannelPair pair;
+  std::thread server([&] {
+    auto hello = FedHelloServer(*pair.b);
+    ASSERT_TRUE(hello.ok()) << hello.status().message();
+    EXPECT_EQ(hello->version, kFedWireVersion);
+    EXPECT_EQ(hello->worker_index, 2);
+    EXPECT_EQ(hello->num_workers, 5);
+  });
+  EXPECT_TRUE(FedHelloClient(*pair.a, 2, 5).ok());
+  server.join();
+}
+
+TEST(FedHelloTest, FutureWorkerVersionIsATypedRefusal) {
+  // A worker whose *frames* are current but whose hello advertises a future
+  // protocol revision: the orchestrator must reject with kFailedPrecondition —
+  // a typed skew refusal, not a parse error and not a hang.
+  ChannelPair pair;
+  std::thread fake_worker([&] {
+    auto request = pair.b->Recv();
+    ASSERT_TRUE(request.ok());
+    FedHello reply;
+    reply.version = kFedWireVersion + 1;
+    reply.worker_index = 0;
+    reply.num_workers = 1;
+    FedFrame ack;
+    ack.type = FedFrameType::kAck;
+    ack.payload = EncodeFedHello(reply);
+    EXPECT_TRUE(pair.b->Send(ack).ok());
+  });
+  const Status st = FedHelloClient(*pair.a, 0, 1);
+  fake_worker.join();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(st.message(),
+            "fed_wire: worker advertises an unsupported protocol version");
+}
+
+TEST(FedHelloTest, WrongAssignmentEchoIsATypedRefusal) {
+  // A worker wired to the wrong endpoint in a placement map echoes somebody
+  // else's assignment — that must fail at connect time, not at a barrier.
+  ChannelPair pair;
+  std::thread fake_worker([&] {
+    auto request = pair.b->Recv();
+    ASSERT_TRUE(request.ok());
+    FedHello reply;
+    reply.worker_index = 1;  // client asked for 0
+    reply.num_workers = 2;
+    FedFrame ack;
+    ack.type = FedFrameType::kAck;
+    ack.payload = EncodeFedHello(reply);
+    EXPECT_TRUE(pair.b->Send(ack).ok());
+  });
+  const Status st = FedHelloClient(*pair.a, 0, 2);
+  fake_worker.join();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(st.message(), "fed_wire: worker acknowledged a different cell assignment");
+}
+
+TEST(FedHelloTest, ServerRefusesANonHelloOpeningAndClientSeesWhy) {
+  // A confused client that opens with a control frame gets a typed kError reply
+  // carrying the server's refusal Status; both sides agree on the reason.
+  ChannelPair pair;
+  std::thread server([&] {
+    auto hello = FedHelloServer(*pair.b);
+    ASSERT_FALSE(hello.ok());
+    EXPECT_EQ(hello.status().message(), "fed_wire: expected a hello handshake frame");
+  });
+  FedFrame wrong;
+  wrong.type = FedFrameType::kStart;
+  auto reply = pair.a->Call(wrong);
+  server.join();
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->type, FedFrameType::kError);
+  ByteReader r{span<const uint8_t>(reply->payload)};
+  Status refused = OkStatus();
+  ASSERT_TRUE(CkptRead(r, refused).ok());
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(refused.message(), "fed_wire: expected a hello handshake frame");
+}
+
+TEST(FedHelloTest, GarbageAckIsDataLoss) {
+  ChannelPair pair;
+  std::thread fake_worker([&] {
+    auto request = pair.b->Recv();
+    ASSERT_TRUE(request.ok());
+    FedFrame ack;
+    ack.type = FedFrameType::kAck;
+    ack.payload = {0xff, 0xff, 0xff};  // not a hello
+    EXPECT_TRUE(pair.b->Send(ack).ok());
+  });
+  const Status st = FedHelloClient(*pair.a, 0, 1);
+  fake_worker.join();
+  EXPECT_FALSE(st.ok());
+}
+
+// ---------- TCP transport ----------
+
+Duration ElapsedSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TEST(FedWireTcpTest, ListenConnectAcceptRoundTripsFrames) {
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().message();
+  ASSERT_GT(port, 0);
+
+  auto client_fd = TcpConnect("127.0.0.1", port, Seconds(5));
+  ASSERT_TRUE(client_fd.ok()) << client_fd.status().message();
+  auto server_fd = TcpAccept(*listen_fd, Seconds(5));
+  ASSERT_TRUE(server_fd.ok()) << server_fd.status().message();
+
+  FrameChannel client(*client_fd);
+  FrameChannel server(*server_fd);
+  FedFrame frame;
+  frame.type = FedFrameType::kStep;
+  frame.payload.resize(1 << 16);
+  for (size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = static_cast<uint8_t>(i * 31u);
+  }
+  std::thread sender([&] { EXPECT_TRUE(client.Send(frame).ok()); });
+  auto received = server.Recv();
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received.status().message();
+  EXPECT_EQ(received->payload, frame.payload);
+  ::close(*listen_fd);
+}
+
+TEST(FedWireTcpTest, HostnameIsRejectedNotResolved) {
+  auto fd = TcpConnect("localhost", 1, Millis(100));
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fd.status().message(), "fed_wire: endpoint host must be numeric IPv4");
+}
+
+TEST(FedWireTcpTest, DeadEndpointFailsFastAndNeverHangs) {
+  // Grab an ephemeral port, then close the listener: connecting to it must fail
+  // quickly (RST) — and in any case within the deadline, never hang.
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  ::close(*listen_fd);
+  const auto start = std::chrono::steady_clock::now();
+  auto fd = TcpConnect("127.0.0.1", port, Seconds(2));
+  EXPECT_FALSE(fd.ok());
+  EXPECT_LT(ElapsedSince(start), Seconds(10));
+}
+
+TEST(FedWireTcpTest, QuietListenerBoundsAccept) {
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  const auto start = std::chrono::steady_clock::now();
+  auto fd = TcpAccept(*listen_fd, Millis(200));
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(fd.status().message(), "fed_wire: frame deadline expired");
+  const Duration waited = ElapsedSince(start);
+  EXPECT_GE(waited, Millis(150));
+  EXPECT_LT(waited, Seconds(10));
+  ::close(*listen_fd);
+}
+
+TEST(FedWireTcpTest, HalfOpenPeerIsBoundedByTheChannelDeadline) {
+  // The peer completes the TCP handshake (kernel backlog) but never speaks: a
+  // deadlined hello must give up with kDeadlineExceeded in bounded time instead
+  // of wedging the orchestrator in recv().
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  auto client_fd = TcpConnect("127.0.0.1", port, Seconds(5));
+  ASSERT_TRUE(client_fd.ok());
+  FrameChannel channel(*client_fd);
+  channel.SetDeadline(Millis(200));
+  const auto start = std::chrono::steady_clock::now();
+  const Status st = FedHelloClient(channel, 0, 1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(st.message(), "fed_wire: frame deadline expired");
+  const Duration waited = ElapsedSince(start);
+  EXPECT_GE(waited, Millis(150));
+  EXPECT_LT(waited, Seconds(10));
+  ::close(*listen_fd);
+}
+
+TEST(FedWireTcpTest, SlowLorisPartialHelloIsBoundedByTheDeadline) {
+  // An attacker (or a wedged peer) trickles half a hello frame and stalls. The
+  // worker-side handshake deadline must cut the connection loose in bounded
+  // time — the accept loop depends on this to keep serving honest peers.
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  auto attacker_fd = TcpConnect("127.0.0.1", port, Seconds(5));
+  ASSERT_TRUE(attacker_fd.ok());
+  auto victim_fd = TcpAccept(*listen_fd, Seconds(5));
+  ASSERT_TRUE(victim_fd.ok());
+
+  FedFrame hello;
+  hello.type = FedFrameType::kHello;
+  hello.payload = EncodeFedHello(FedHello{});
+  const std::vector<uint8_t> whole = MustEncode(hello);
+  ASSERT_EQ(::write(*attacker_fd, whole.data(), 6), 6);  // header cut mid-way
+
+  FrameChannel victim(*victim_fd);
+  victim.SetDeadline(Millis(200));
+  const auto start = std::chrono::steady_clock::now();
+  auto result = FedHelloServer(victim);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status().message(), "fed_wire: frame deadline expired");
+  const Duration waited = ElapsedSince(start);
+  EXPECT_GE(waited, Millis(150));
+  EXPECT_LT(waited, Seconds(10));
+  ::close(*attacker_fd);
+  ::close(*listen_fd);
+}
+
+TEST(FedWireTcpTest, DeadlinedChannelStillRoundTripsLargeFrames) {
+  // The deadline path flips the fd nonblocking and threads poll() through every
+  // partial read/write — a frame larger than the socket buffers must still
+  // round-trip intact when both sides keep up.
+  uint16_t port = 0;
+  auto listen_fd = TcpListen("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listen_fd.ok());
+  auto client_fd = TcpConnect("127.0.0.1", port, Seconds(5));
+  ASSERT_TRUE(client_fd.ok());
+  auto server_fd = TcpAccept(*listen_fd, Seconds(5));
+  ASSERT_TRUE(server_fd.ok());
+  FrameChannel client(*client_fd);
+  FrameChannel server(*server_fd);
+  client.SetDeadline(Seconds(30));
+  server.SetDeadline(Seconds(30));
+  FedFrame frame;
+  frame.type = FedFrameType::kCkptLoad;
+  frame.payload.resize(3 << 20);
+  for (size_t i = 0; i < frame.payload.size(); ++i) {
+    frame.payload[i] = static_cast<uint8_t>(i ^ (i >> 9));
+  }
+  std::thread sender([&] { EXPECT_TRUE(client.Send(frame).ok()); });
+  auto received = server.Recv();
+  sender.join();
+  ASSERT_TRUE(received.ok()) << received.status().message();
+  EXPECT_EQ(received->payload, frame.payload);
+  ::close(*listen_fd);
+}
+
 }  // namespace
 }  // namespace presto

@@ -10,9 +10,11 @@
 
 #include <signal.h>
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
+#include "src/core/cell_worker.h"
 #include "src/core/federation.h"
 #include "src/util/ckpt.h"
 #include "src/workload/query_driver.h"
@@ -443,16 +445,53 @@ TEST(FederationTest, PendingTableSurvivesCrossCellContentionThroughOneGateway) {
 
 // ---------- cells as processes ----------
 
+// Spawns n `presto_cell --listen 0` worker processes on localhost and fills a
+// FederationConfig's endpoint map with them; SIGKILLs whatever is still running
+// on destruction. The live TCP analogue of fork-mode cell_processes.
+struct ScopedSocketWorkers {
+  std::vector<SpawnedCellWorker> workers;
+
+  explicit ScopedSocketWorkers(int n) {
+    for (int i = 0; i < n; ++i) {
+      auto spawned = SpawnCellWorkerListening();
+      PRESTO_CHECK_MSG(spawned.ok(), "failed to spawn a --listen presto_cell");
+      workers.push_back(*spawned);
+    }
+  }
+  ~ScopedSocketWorkers() {
+    for (SpawnedCellWorker& worker : workers) {
+      StopCellWorker(worker);
+    }
+  }
+  ScopedSocketWorkers(const ScopedSocketWorkers&) = delete;
+  ScopedSocketWorkers& operator=(const ScopedSocketWorkers&) = delete;
+
+  void Fill(FederationConfig* config) const {
+    for (size_t i = 0; i < workers.size(); ++i) {
+      config->cell_endpoints[i] = MakeFedEndpoint("127.0.0.1", workers[i].port);
+    }
+    config->num_endpoints = static_cast<int>(workers.size());
+  }
+};
+
 // A driven kill/revive scenario built entirely on the mode-independent facade
 // (AttachDriver / StartDriver / DriverStats / KillProxyInCell / KillCell /
 // QueryAndWait), so the identical code runs whether the cells live in this
 // process (sequential or cell-parallel) or in forked presto_cell workers.
-FedDigest RunFacadeFederation(int cell_threads, int cell_processes) {
+FedDigest RunFacadeFederation(int cell_threads, int cell_processes,
+                              int sockets = 0) {
   FederationConfig config = SmallFederation(4, 4, 2);
   config.cell.lane_engine = true;
   config.cell.sim_epoch = Millis(500);
   config.cell_threads = cell_threads;
   config.cell_processes = cell_processes;
+  // Socket mode: the same scenario with the cells living in spawned --listen
+  // workers reached over localhost TCP instead of forked socketpair children.
+  std::unique_ptr<ScopedSocketWorkers> socket_workers;
+  if (sockets > 0) {
+    socket_workers = std::make_unique<ScopedSocketWorkers>(sockets);
+    socket_workers->Fill(&config);
+  }
   Federation fed(config);
 
   QueryDriverParams params;
@@ -533,6 +572,20 @@ TEST(FederationProcessModeTest, MultiProcessSteppingMatchesInProcess) {
     EXPECT_EQ(in_process.completed, multi.completed);
     EXPECT_EQ(in_process.failed, multi.failed);
     EXPECT_EQ(in_process.cross_cell, multi.cross_cell);
+  }
+  // Socket transport (spawned --listen workers over localhost TCP), even and
+  // uneven splits: the transport under the seam must not be observable either.
+  for (const int sockets : {3, 4}) {
+    const FedDigest socket =
+        RunFacadeFederation(/*cell_threads=*/1, /*cell_processes=*/1, sockets);
+    EXPECT_EQ(in_process.fingerprint, socket.fingerprint)
+        << "fingerprint diverged at sockets=" << sockets;
+    EXPECT_EQ(in_process.histogram, socket.histogram)
+        << "latency histogram diverged at sockets=" << sockets;
+    EXPECT_EQ(in_process.issued, socket.issued);
+    EXPECT_EQ(in_process.completed, socket.completed);
+    EXPECT_EQ(in_process.failed, socket.failed);
+    EXPECT_EQ(in_process.cross_cell, socket.cross_cell);
   }
 }
 
@@ -679,6 +732,406 @@ TEST(FederationProcessModeTest, CrossModeCheckpointMigration) {
   EXPECT_EQ(reference.histogram, in_digest.histogram);
   EXPECT_EQ(reference.issued, out_digest.issued);
   EXPECT_EQ(reference.issued, in_digest.issued);
+}
+
+// ---------- socket transport ----------
+
+TEST(FederationSocketModeTest, DeadTcpPeerSurfacesAsCellFailure) {
+  // The TCP twin of WorkerCrashSurfacesAsCellFailure: SIGKILLing a --listen
+  // worker tears the connection (RST/EOF, no goodbye frame), and the next
+  // barrier must degrade it into a contained cell failure — fail-fast queries,
+  // frozen telemetry, refused checkpoints — never a hang.
+  ScopedSocketWorkers workers(4);
+  FederationConfig config = SmallFederation(4, 2, 2);
+  workers.Fill(&config);
+  Federation fed(config);
+  fed.Start();
+  fed.RunUntil(Hours(1));
+  ASSERT_EQ(fed.num_workers(), 4);
+  ASSERT_TRUE(fed.worker_alive(1));
+
+  const auto killed_at = std::chrono::steady_clock::now();
+  StopCellWorker(workers.workers[1]);
+  fed.RunUntil(fed.Now() + Minutes(5));
+  const auto contained =
+      std::chrono::steady_clock::now() - killed_at;
+  EXPECT_FALSE(fed.worker_alive(1));
+  EXPECT_TRUE(fed.worker_alive(0));
+  // Abrupt peer death is an immediate RST/EOF, nowhere near the 30 s deadline.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(contained).count(), 20);
+
+  FederationQuerySpec dark;
+  dark.fed_sensor = fed.directory().FedIndexOf(1, 0);
+  dark.tolerance = 3.0;
+  EXPECT_FALSE(fed.QueryAndWait(0, dark).cell.answer.status.ok())
+      << "a dead TCP worker's namespace block must fail, not hang";
+  EXPECT_FALSE(fed.QueryAndWait(1, dark).cell.answer.status.ok());
+
+  FederationQuerySpec alive;
+  alive.fed_sensor = fed.directory().FedIndexOf(2, 1);
+  alive.tolerance = 3.0;
+  EXPECT_TRUE(fed.QueryAndWait(3, alive).cell.answer.status.ok());
+
+  const uint64_t fp = fed.fingerprint();
+  EXPECT_EQ(fp, fed.fingerprint());
+  fed.RunUntil(fed.Now() + Minutes(2));
+  EXPECT_GT(fed.EventsExecuted(), 0u);
+
+  // Degraded-save refusal holds over TCP exactly as it does for fork workers.
+  Checkpoint ckpt;
+  EXPECT_FALSE(fed.SaveCheckpoint(&ckpt).ok());
+}
+
+TEST(FederationSocketModeTest, FrameDeadlineContainsAStalledPeer) {
+  // A SIGSTOPped worker is the nasty case TCP cannot surface on its own: the
+  // kernel keeps ACKing into the socket buffers, so without deadlines the
+  // orchestrator would block in recv() forever. The per-frame deadline must
+  // degrade it into the standard contained cell failure within bounded time.
+  ScopedSocketWorkers workers(2);
+  FederationConfig config = SmallFederation(2, 2, 2);
+  workers.Fill(&config);
+  config.frame_deadline = Millis(250);
+  Federation fed(config);
+  fed.Start();
+  fed.RunUntil(Hours(1));
+  ASSERT_TRUE(fed.worker_alive(1));
+
+  ASSERT_EQ(::kill(static_cast<pid_t>(workers.workers[1].pid), SIGSTOP), 0);
+  const auto stalled_at = std::chrono::steady_clock::now();
+  fed.RunUntil(fed.Now() + Minutes(1));
+  const auto contained = std::chrono::steady_clock::now() - stalled_at;
+  EXPECT_FALSE(fed.worker_alive(1));
+  EXPECT_TRUE(fed.worker_alive(0));
+  // One deadline per frame, a handful of frames in flight at the detection
+  // barrier: containment lands in ~one deadline, never minutes.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(contained).count(),
+            10000);
+
+  FederationQuerySpec dark;
+  dark.fed_sensor = fed.directory().FedIndexOf(1, 0);
+  dark.tolerance = 3.0;
+  EXPECT_FALSE(fed.QueryAndWait(0, dark).cell.answer.status.ok());
+  FederationQuerySpec alive;
+  alive.fed_sensor = 0;
+  alive.tolerance = 3.0;
+  EXPECT_TRUE(fed.QueryAndWait(0, alive).cell.answer.status.ok());
+}
+
+// ---------- chaos: seeded kill schedules across the three execution modes ----
+
+// Tiny deterministic RNG for kill schedules (no libc rand state shared with the
+// code under test).
+struct Pcg32 {
+  uint64_t state;
+  explicit Pcg32(uint64_t seed)
+      : state(seed * 0x9e3779b97f4a7c15ull + 1442695040888963407ull) {}
+  uint32_t Next() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint32_t xorshifted = static_cast<uint32_t>(((state >> 18u) ^ state) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(state >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+  int Below(int bound) { return static_cast<int>(Next() % static_cast<uint32_t>(bound)); }
+};
+
+struct KillEvent {
+  SimTime at = 0;  // on the epoch grid; the kill lands between RunUntil calls
+  int cell = 0;    // == worker index (one cell per worker in the chaos runs)
+};
+
+// One seeded schedule: two distinct victim cells (never the gateway cells 0 and
+// 2), each at a distinct epoch barrier inside the driven window.
+std::vector<KillEvent> ChaosSchedule(uint64_t seed) {
+  Pcg32 rng(seed);
+  const int candidates[] = {1, 3, 4, 5};
+  const int first = rng.Below(4);
+  int second = rng.Below(3);
+  if (second >= first) {
+    ++second;
+  }
+  std::vector<KillEvent> kills;
+  kills.push_back({Hours(1) + Minutes(3) + Seconds(rng.Below(60)), candidates[first]});
+  kills.push_back({Hours(1) + Minutes(6) + Seconds(rng.Below(60)), candidates[second]});
+  return kills;
+}
+
+struct ChaosDigest {
+  std::vector<uint64_t> survivor_fp;  // CellFingerprint of every never-killed cell
+  uint64_t issued = 0, completed = 0, failed = 0, cross_cell = 0;
+  uint64_t histogram = 0;
+};
+
+enum class ChaosMode {
+  kReferenceKillCell,  // in-process; kills injected via the KillCell facade
+  kForkSigkill,        // forked workers; kills are SIGKILLs of the host process
+  kSocketKill,         // --listen workers; kills tear the TCP connection
+};
+
+ChaosDigest RunChaosFederation(ChaosMode mode, uint64_t schedule_seed) {
+  const int kCells = 6;
+  FederationConfig config = SmallFederation(kCells, 2, 2);
+  config.cell.lane_engine = true;
+  config.cell.sim_epoch = Millis(500);
+  std::unique_ptr<ScopedSocketWorkers> socket_workers;
+  if (mode == ChaosMode::kForkSigkill) {
+    config.cell_processes = kCells;  // one cell per worker: kill cell == kill worker
+  } else if (mode == ChaosMode::kSocketKill) {
+    socket_workers = std::make_unique<ScopedSocketWorkers>(kCells);
+    socket_workers->Fill(&config);
+  }
+  Federation fed(config);
+  std::vector<int> drivers;
+  for (const int c : {0, 2}) {  // gateways never die; victims host no drivers
+    QueryDriverParams p;
+    p.mix.queries_per_hour = 1800.0;
+    p.mix.num_sensors = 0;
+    p.mix.past_fraction = 0.1;
+    p.mix.mean_past_age = Minutes(10);
+    p.mix.max_past_age = Minutes(20);
+    p.mix.min_tolerance = 2.0;
+    p.mix.max_tolerance = 3.0;
+    p.mix.seed = 8686 + static_cast<uint64_t>(c);
+    drivers.push_back(fed.AttachDriver(c, p));
+  }
+  fed.Start();
+  fed.RunUntil(Hours(1));
+  for (const int d : drivers) {
+    fed.StartDriver(d, Minutes(10));
+  }
+
+  std::vector<KillEvent> kills = ChaosSchedule(schedule_seed);
+  std::vector<uint8_t> down(kCells, 0);
+  for (const KillEvent& kill : kills) {
+    fed.RunUntil(kill.at);
+    if (mode == ChaosMode::kReferenceKillCell) {
+      // A killed worker is only *detected* at the next barrier, so the
+      // equivalent facade kill lands one epoch after the host-side SIGKILL:
+      // survivors treat the victim as alive through the same final epoch.
+      fed.RunUntil(kill.at + fed.config().epoch);
+      fed.KillCell(kill.cell);
+    } else if (mode == ChaosMode::kForkSigkill) {
+      PRESTO_CHECK(::kill(fed.worker_pid(kill.cell), SIGKILL) == 0);
+    } else {
+      StopCellWorker(socket_workers->workers[static_cast<size_t>(kill.cell)]);
+    }
+    down[static_cast<size_t>(kill.cell)] = 1;
+  }
+  fed.RunUntil(Hours(1) + Minutes(12));
+
+  // A federation with dead workers refuses to checkpoint (their cells cannot
+  // be serialized). In-process KillCell keeps the cells constructible, so the
+  // reference mode still saves — the refusal is a worker-liveness property.
+  if (mode != ChaosMode::kReferenceKillCell) {
+    Checkpoint refused;
+    EXPECT_FALSE(fed.SaveCheckpoint(&refused).ok());
+  }
+
+  ChaosDigest digest;
+  for (int c = 0; c < kCells; ++c) {
+    if (!down[static_cast<size_t>(c)]) {
+      digest.survivor_fp.push_back(fed.CellFingerprint(c));
+    }
+  }
+  LatencyHistogram merged;
+  for (const int d : drivers) {
+    const QueryDriverStats stats = fed.DriverStats(d);
+    merged.Merge(stats.latency);
+    digest.issued += stats.issued;
+    digest.completed += stats.completed;
+    digest.failed += stats.failed;
+    digest.cross_cell += stats.cross_cell;
+  }
+  digest.histogram = merged.Hash();
+  return digest;
+}
+
+TEST(FederationChaosTest, SeededWorkerKillsMatchTheKillCellReference) {
+  // For each seeded schedule: SIGKILLed fork workers and torn TCP connections
+  // must leave every survivor bit-identical to an in-process run where the same
+  // cells died by KillCell — the "a dead worker IS a dead cell" contract, fuzzed
+  // over kill times and victims instead of hand-picked.
+  for (const uint64_t seed : {11ull, 29ull, 47ull}) {
+    const ChaosDigest reference =
+        RunChaosFederation(ChaosMode::kReferenceKillCell, seed);
+    EXPECT_GT(reference.issued, 200u);
+    EXPECT_EQ(reference.completed, reference.issued)
+        << "every query must finalize (fail-fast counts) even through kills";
+    EXPECT_GT(reference.failed, 0u) << "the outages must fail some queries";
+    ASSERT_EQ(reference.survivor_fp.size(), 4u);
+
+    for (const ChaosMode mode : {ChaosMode::kForkSigkill, ChaosMode::kSocketKill}) {
+      const ChaosDigest chaos = RunChaosFederation(mode, seed);
+      ASSERT_EQ(chaos.survivor_fp.size(), reference.survivor_fp.size());
+      for (size_t i = 0; i < chaos.survivor_fp.size(); ++i) {
+        EXPECT_EQ(chaos.survivor_fp[i], reference.survivor_fp[i])
+            << "survivor " << i << " diverged, seed=" << seed
+            << " mode=" << static_cast<int>(mode);
+      }
+      EXPECT_EQ(chaos.issued, reference.issued) << "seed=" << seed;
+      EXPECT_EQ(chaos.completed, reference.completed) << "seed=" << seed;
+      EXPECT_EQ(chaos.failed, reference.failed) << "seed=" << seed;
+      EXPECT_EQ(chaos.cross_cell, reference.cross_cell) << "seed=" << seed;
+      EXPECT_EQ(chaos.histogram, reference.histogram) << "seed=" << seed;
+    }
+  }
+}
+
+// ---------- checkpoint migration across the socket seam ----------
+
+TEST(FederationSocketModeTest, CheckpointHopsAcrossAllThreeModes) {
+  // in-process save -> socket-worker restore -> fork-worker restore, asserting
+  // canonical resave identity at each hop and full replay equality at the end:
+  // live migration really is "the same bytes over a different fd".
+  auto fresh = [](int cell_processes, const ScopedSocketWorkers* sockets) {
+    FederationConfig config = SmallFederation(2, 2, 4);
+    config.cell_processes = cell_processes;
+    if (sockets != nullptr) {
+      sockets->Fill(&config);
+    }
+    auto fed = std::make_unique<Federation>(config);
+    for (int c = 0; c < 2; ++c) {
+      QueryDriverParams p;
+      p.mix.queries_per_hour = 1200.0;
+      p.mix.num_sensors = 0;
+      p.mix.past_fraction = 0.1;
+      p.mix.mean_past_age = Minutes(5);
+      p.mix.max_past_age = Minutes(8);
+      p.mix.min_tolerance = 2.0;
+      p.mix.max_tolerance = 3.0;
+      p.mix.seed = 24601 + static_cast<uint64_t>(c);
+      fed->AttachDriver(c, p);
+    }
+    fed->Start();
+    return fed;
+  };
+  auto finish = [](Federation& fed) {
+    fed.RunUntil(Minutes(25));
+    FedDigest digest;
+    digest.fingerprint = fed.fingerprint();
+    LatencyHistogram merged;
+    for (int d = 0; d < fed.num_drivers(); ++d) {
+      const QueryDriverStats stats = fed.DriverStats(d);
+      merged.Merge(stats.latency);
+      digest.issued += stats.issued;
+      digest.completed += stats.completed;
+      digest.failed += stats.failed;
+    }
+    digest.histogram = merged.Hash();
+    return digest;
+  };
+
+  // Prefix in-process, mid-stream save.
+  auto origin = fresh(1, nullptr);
+  origin->RunUntil(Minutes(10));
+  origin->StartDriver(0, Minutes(10));
+  origin->StartDriver(1, Minutes(10));
+  origin->RunUntil(Minutes(14));
+  Checkpoint hop0;
+  ASSERT_TRUE(origin->SaveCheckpoint(&hop0).ok());
+  const FedDigest reference = finish(*origin);
+  EXPECT_GT(reference.issued, 50u);
+  EXPECT_EQ(reference.completed, reference.issued);
+
+  // Hop 1: restore into --listen socket workers; resave must canonicalize to
+  // the same bytes an in-process reload resaves.
+  Checkpoint hop1;
+  FedDigest socket_digest;
+  {
+    ScopedSocketWorkers workers(2);
+    auto socket_fed = fresh(1, &workers);
+    ASSERT_TRUE(socket_fed->LoadCheckpoint(hop0).ok());
+    ASSERT_TRUE(socket_fed->SaveCheckpoint(&hop1).ok());
+    socket_digest = finish(*socket_fed);
+  }
+  Checkpoint in_proc_resave;
+  {
+    auto reload = fresh(1, nullptr);
+    ASSERT_TRUE(reload->LoadCheckpoint(hop0).ok());
+    ASSERT_TRUE(reload->SaveCheckpoint(&in_proc_resave).ok());
+  }
+  EXPECT_EQ(hop1.Digest(), in_proc_resave.Digest())
+      << "socket-worker restore must canonicalize identically to in-process";
+
+  // Hop 2: the socket resave restores into fork workers; same canonical form.
+  auto fork_fed = fresh(2, nullptr);
+  ASSERT_TRUE(fork_fed->LoadCheckpoint(hop1).ok());
+  Checkpoint hop2;
+  ASSERT_TRUE(fork_fed->SaveCheckpoint(&hop2).ok());
+  EXPECT_EQ(hop2.Digest(), hop1.Digest())
+      << "a canonical container must be a resave fixed point across modes";
+  const FedDigest fork_digest = finish(*fork_fed);
+
+  EXPECT_EQ(reference.fingerprint, socket_digest.fingerprint)
+      << "in-process bytes must replay inside socket workers";
+  EXPECT_EQ(reference.fingerprint, fork_digest.fingerprint)
+      << "socket-worker bytes must replay inside fork workers";
+  EXPECT_EQ(reference.histogram, socket_digest.histogram);
+  EXPECT_EQ(reference.histogram, fork_digest.histogram);
+  EXPECT_EQ(reference.issued, socket_digest.issued);
+  EXPECT_EQ(reference.issued, fork_digest.issued);
+}
+
+TEST(FederationSocketModeTest, LiveMigrationToAFreshEndpointReplays) {
+  // Mid-run, move worker 1's cells to a brand-new --listen process: checkpoint,
+  // shutdown the old endpoint, re-bootstrap + restore over the new fd. The
+  // migrated run must stay bit-identical to an unmigrated socket run.
+  auto run = [](bool migrate) {
+    ScopedSocketWorkers workers(2);
+    FederationConfig config = SmallFederation(2, 2, 4);
+    workers.Fill(&config);
+    Federation fed(config);
+    std::vector<int> drivers;
+    for (int c = 0; c < 2; ++c) {
+      QueryDriverParams p;
+      p.mix.queries_per_hour = 1200.0;
+      p.mix.num_sensors = 0;
+      p.mix.past_fraction = 0.1;
+      p.mix.mean_past_age = Minutes(5);
+      p.mix.max_past_age = Minutes(8);
+      p.mix.min_tolerance = 2.0;
+      p.mix.max_tolerance = 3.0;
+      p.mix.seed = 1701 + static_cast<uint64_t>(c);
+      drivers.push_back(fed.AttachDriver(c, p));
+    }
+    fed.Start();
+    fed.RunUntil(Minutes(10));
+    for (const int d : drivers) {
+      fed.StartDriver(d, Minutes(10));
+    }
+    fed.RunUntil(Minutes(14));
+    std::unique_ptr<ScopedSocketWorkers> replacement;
+    if (migrate) {
+      replacement = std::make_unique<ScopedSocketWorkers>(1);
+      const Status moved = fed.MigrateWorkerEndpoint(
+          1, MakeFedEndpoint("127.0.0.1", replacement->workers[0].port));
+      EXPECT_TRUE(moved.ok()) << moved.message();
+      EXPECT_TRUE(fed.worker_alive(1));
+    }
+    fed.RunUntil(Minutes(25));
+    FedDigest digest;
+    digest.fingerprint = fed.fingerprint();
+    LatencyHistogram merged;
+    for (const int d : drivers) {
+      const QueryDriverStats stats = fed.DriverStats(d);
+      merged.Merge(stats.latency);
+      digest.issued += stats.issued;
+      digest.completed += stats.completed;
+      digest.failed += stats.failed;
+    }
+    digest.histogram = merged.Hash();
+    return digest;
+  };
+  const FedDigest stayed = run(/*migrate=*/false);
+  EXPECT_GT(stayed.issued, 50u);
+  EXPECT_EQ(stayed.completed, stayed.issued);
+  EXPECT_EQ(stayed.failed, 0u);
+  const FedDigest moved = run(/*migrate=*/true);
+  EXPECT_EQ(stayed.fingerprint, moved.fingerprint)
+      << "live migration must be invisible to the simulation";
+  EXPECT_EQ(stayed.histogram, moved.histogram);
+  EXPECT_EQ(stayed.issued, moved.issued);
+  EXPECT_EQ(stayed.completed, moved.completed);
+  EXPECT_EQ(stayed.failed, moved.failed);
 }
 
 }  // namespace
